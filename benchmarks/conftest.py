@@ -1,0 +1,33 @@
+"""Benchmark-suite plumbing.
+
+Every figure bench renders its table to ``results/<name>.txt`` (and
+stdout) so ``pytest benchmarks/ --benchmark-only`` leaves the paper's
+regenerated figures on disk regardless of output capture.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered experiment table under results/ and echo it."""
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n[{name}] written to {path}\n{text}")
+        return path
+
+    return _save

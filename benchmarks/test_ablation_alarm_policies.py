@@ -1,0 +1,32 @@
+"""Bench (Abl. F): alarm-policy operating characteristics.
+
+Contrasts the paper's strict any-mismatch rule with the estimate-based
+threshold extension across true losses from 1 to well beyond ``m``.
+"""
+
+from repro.experiments import ablations
+
+
+def test_alarm_policy_study(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_alarm_policy_study,
+        kwargs={"n": 1000, "tolerance": 10, "trials": 300},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_f_alarm_policies",
+        ablations.format_alarm_policy_study(rows, tolerance=10),
+    )
+
+    by_x = {r.missing: r for r in rows}
+    # Sub-threshold losses: strict pages often, threshold rarely.
+    assert by_x[1].strict_page_rate > 0.2
+    assert by_x[1].threshold_page_rate < 0.05
+    assert by_x[10].threshold_page_rate < 0.4
+    # Far beyond threshold: both must page nearly always.
+    deep = max(by_x)
+    assert by_x[deep].strict_page_rate > 0.99
+    assert by_x[deep].threshold_page_rate > 0.9
+    # The strict rule preserves the paper's guarantee at x = m + 1.
+    assert by_x[11].strict_page_rate > 0.9

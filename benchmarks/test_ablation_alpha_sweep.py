@@ -1,0 +1,20 @@
+"""Bench (Abl. B): Eq. 2 frame size vs required confidence."""
+
+from repro.experiments import ablations
+
+
+def test_alpha_sweep(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_alpha_sweep, rounds=1, iterations=1
+    )
+    save_result("ablation_b_alpha_sweep", ablations.format_alpha_sweep(rows))
+
+    by_cell = {}
+    for r in rows:
+        by_cell.setdefault((r.population, r.tolerance), []).append(r)
+    for cell, series in by_cell.items():
+        sizes = [r.frame_size for r in sorted(series, key=lambda r: r.alpha)]
+        assert sizes == sorted(sizes), f"frame must grow with alpha at {cell}"
+        # Tightening from 0.90 to 0.999 stays within a small constant
+        # factor — confidence is cheap for this protocol.
+        assert sizes[-1] < 4.0 * sizes[0]

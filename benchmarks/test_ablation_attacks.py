@@ -1,0 +1,28 @@
+"""Bench (Abl. D): the attack matrix — who catches what.
+
+The ordering this must reproduce:
+* plain theft vs TRP: caught (> alpha-ish);
+* Alg. 4 collusion vs TRP: never caught (the motivating hole);
+* collusion vs UTRP with the timer's budget: caught;
+* collusion vs UTRP without a timer: never caught (the timer matters).
+"""
+
+from repro.experiments import ablations
+from repro.experiments.grid import grid_from_env
+
+
+def test_attack_matrix(benchmark, save_result):
+    grid = grid_from_env()
+    rows = benchmark.pedantic(
+        ablations.run_attack_matrix,
+        kwargs={"trials": min(grid.trials, 300), "master_seed": grid.master_seed},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_d_attacks", ablations.format_attack_matrix(rows))
+
+    theft, trp_collusion, utrp_collusion, no_timer = rows
+    assert theft.detection_rate > 0.85
+    assert trp_collusion.detection_rate == 0.0
+    assert utrp_collusion.detection_rate > 0.85
+    assert no_timer.detection_rate < 0.1

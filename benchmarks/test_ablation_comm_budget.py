@@ -1,0 +1,21 @@
+"""Bench (Abl. C): UTRP frame size vs the collusion budget c."""
+
+from repro.experiments import ablations
+
+
+def test_comm_budget_sweep(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_comm_budget_sweep, rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_c_comm_budget", ablations.format_comm_budget_sweep(rows)
+    )
+
+    by_n = {}
+    for r in rows:
+        by_n.setdefault(r.population, []).append(r)
+    for n, series in by_n.items():
+        frames = [r.utrp_frame for r in sorted(series, key=lambda r: r.budget)]
+        assert frames == sorted(frames), f"frame must grow with c at n={n}"
+        for r in series:
+            assert r.utrp_frame > r.trp_frame

@@ -1,0 +1,20 @@
+"""Bench (Abl. E): occupancy-model error in Theorem 1."""
+
+from repro.experiments import ablations
+
+
+def test_gfunc_approximation(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_gfunc_approximation, rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_e_gfunc_approx", ablations.format_gfunc_approximation(rows)
+    )
+
+    for r in rows:
+        # The paper's e^{-(n-x)/f} is tight at the Eq. 2 operating point.
+        assert r.paper_error < 0.01
+        assert r.poisson_error < 0.05
+    # The exponential approximation error should shrink as n grows.
+    errors = [r.paper_error for r in rows]
+    assert errors[-1] <= errors[0] + 1e-6

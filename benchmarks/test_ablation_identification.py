@@ -1,0 +1,30 @@
+"""Bench (Abl. K): naming the missing tags after an alarm.
+
+The detection protocols say *that* tags are missing; the
+identification extension replays TRP rounds to say *which*. Checks:
+coverage grows with rounds roughly as the analysis plans, and
+soundness is absolute — zero false positives across every trial.
+"""
+
+from repro.experiments import ablations
+
+
+def test_identification_study(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_identification_study,
+        kwargs={"trials": 50},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_k_identification",
+        ablations.format_identification_study(rows),
+    )
+
+    coverages = [r.measured_coverage for r in rows]
+    assert coverages == sorted(coverages), "coverage must grow with rounds"
+    assert coverages[-1] > 0.75
+    for r in rows:
+        assert r.false_positives == 0, "identification must never accuse a present tag"
+        # Analytic plan within Monte Carlo + approximation slack.
+        assert abs(r.planned_coverage - r.measured_coverage) < 0.12

@@ -1,0 +1,30 @@
+"""Bench (Abl. J): multi-round TRP plans at equal confidence.
+
+One Eq. 2 frame versus ``r`` smaller independent rounds reaching the
+same worst-case detection probability: the single frame always wins on
+total slots because ``g`` saturates in ``f`` — repeated-trial
+confidence compounding cannot beat the frame's own concavity.
+"""
+
+from repro.experiments import ablations
+
+
+def test_rounds_tradeoff(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_rounds_tradeoff, rounds=1, iterations=1
+    )
+    save_result("ablation_j_rounds", ablations.format_rounds_tradeoff(rows))
+
+    by_n = {}
+    for r in rows:
+        by_n.setdefault(r.population, []).append(r)
+    for n, plans in by_n.items():
+        plans = sorted(plans, key=lambda r: r.rounds)
+        totals = [r.total_slots for r in plans]
+        # More rounds must never be cheaper, and the penalty must grow.
+        assert totals == sorted(totals), f"rounds got cheaper at n={n}"
+        assert plans[0].vs_single == 1.0
+        assert plans[-1].vs_single > 1.5
+        # Per-round frames shrink as rounds grow.
+        frames = [r.frame_size for r in plans]
+        assert frames == sorted(frames, reverse=True)

@@ -1,0 +1,27 @@
+"""Bench (Abl. H): timer design — collusion budget vs link latency.
+
+The honest take on UTRP's timer: the budget ``c`` is not a free
+parameter but ``(STmax - STmin)/tcomm``. This bench sweeps the
+adversary's link latency and shows the regime where the defence is
+cheap (slow links: tens of overhead slots) versus where it blows up
+(LAN-fast links: the frame grows by multiples).
+"""
+
+from repro.experiments import ablations
+
+
+def test_timer_design(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_timer_design, rounds=1, iterations=1
+    )
+    save_result("ablation_h_timer_design", ablations.format_timer_design(rows))
+
+    # Faster adversary links must never shrink the budget or the frame.
+    budgets = [r.budget for r in rows]
+    frames = [r.utrp_frame for r in rows]
+    assert budgets == sorted(budgets, reverse=True)
+    assert frames == sorted(frames, reverse=True)
+    # Slow links: overhead is a few dozen slots (the Fig. 6 regime).
+    assert rows[-1].overhead_slots < 100
+    # Fast links: the defence gets expensive — the budget explodes.
+    assert rows[0].budget > 100 * rows[-1].budget

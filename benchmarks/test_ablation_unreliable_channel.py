@@ -1,0 +1,41 @@
+"""Bench (Abl. G): intact set over a lossy channel — false-alarm rates.
+
+Makes the introduction's tolerance argument quantitative: a fraction of
+a percent of lost replies makes the strict rule page on nearly every
+scan of an intact set, while the threshold rule absorbs losses whose
+estimated magnitude stays within ``m``.
+"""
+
+from repro.experiments import ablations
+
+
+def test_unreliable_channel_study(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.run_unreliable_channel_study,
+        kwargs={"n": 1000, "tolerance": 10, "trials": 200},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_g_unreliable_channel",
+        ablations.format_unreliable_channel_study(rows),
+    )
+
+    by_eps = {r.miss_rate: r for r in rows}
+    # A perfect channel: no false pages under either policy.
+    assert by_eps[0.0].strict_false_page_rate == 0.0
+    assert by_eps[0.0].threshold_false_page_rate == 0.0
+    # At 1% loss the strict rule is unusable.
+    assert by_eps[0.01].strict_false_page_rate > 0.9
+    # The threshold rule helps at every loss rate, and is near-silent
+    # while expected benign loss (eps * n) stays well under m. At
+    # eps * n ~ m (1% of 1000 vs m = 10) it pages about half the time —
+    # the operational lesson: provision m above the expected loss.
+    for eps, row in by_eps.items():
+        if eps > 0:
+            assert row.threshold_false_page_rate < row.strict_false_page_rate
+    assert by_eps[0.001].threshold_false_page_rate < 0.05
+    assert by_eps[0.005].threshold_false_page_rate < 0.4
+    # Mean mismatches must grow with the loss rate.
+    means = [r.mean_mismatches for r in rows]
+    assert means == sorted(means)

@@ -1,0 +1,36 @@
+"""Bench (Abl. A): wall-clock air time — collect-all vs TRP.
+
+Quantifies the paper's Sec. 6 remark that collect-all's real cost is
+worse than its slot count because tags return 96-bit IDs while TRP tags
+return a short random burst: under the Gen2-flavoured link model the
+TRP advantage must exceed the pure slot-count advantage of Fig. 4.
+"""
+
+from repro.core.analysis import optimal_trp_frame_size
+from repro.experiments import ablations
+from repro.experiments.grid import grid_from_env
+
+
+def test_wallclock_ablation(benchmark, save_result):
+    grid = grid_from_env()
+    rows = benchmark.pedantic(
+        ablations.run_wallclock, args=(grid,), rounds=1, iterations=1
+    )
+    save_result("ablation_a_wallclock", ablations.format_wallclock(rows))
+
+    for row in rows:
+        assert row.speedup > 1.0
+    # ID transmission must hurt collect-all beyond the slot-count gap at
+    # the largest set size.
+    biggest = max(grid.populations)
+    for row in rows:
+        if row.population != biggest:
+            continue
+        f_trp = optimal_trp_frame_size(row.population, row.tolerance, grid.alpha)
+        # Recover Fig. 4's slot advantage for the same cell from theory:
+        # collect-all ~ e * n slots.
+        slots_advantage = (2.72 * row.population) / f_trp
+        assert row.speedup > slots_advantage, (
+            f"wall-clock advantage {row.speedup:.2f}x should exceed the "
+            f"slot advantage {slots_advantage:.2f}x at n={row.population}"
+        )

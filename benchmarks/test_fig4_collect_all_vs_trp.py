@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 4 — *collect all* vs TRP slot counts.
+
+Paper claims checked here:
+* both curves are (near-)linear in ``n``;
+* TRP uses fewer slots at every grid cell;
+* the gap widens as the set grows.
+
+Set ``REPRO_FULL=1`` for the paper's full grid (n = 100..2000 step 100).
+"""
+
+from repro.experiments import fig4
+from repro.experiments.grid import grid_from_env
+
+
+def test_fig4_regeneration(benchmark, save_result):
+    grid = grid_from_env()
+    result = benchmark.pedantic(fig4.run, args=(grid,), rounds=1, iterations=1)
+    save_result("fig4_collect_all_vs_trp", fig4.format_result(result))
+
+    assert len(result.rows) == len(grid.populations) * len(grid.tolerances)
+    for row in result.rows:
+        assert row.trp_slots < row.collect_all_slots, (
+            f"TRP must beat collect-all at n={row.population}, m={row.tolerance}"
+        )
+    for m in grid.tolerances:
+        panel = result.panel(m)
+        gaps = [r.collect_all_slots - r.trp_slots for r in panel]
+        assert gaps[-1] > gaps[0], "the TRP advantage must grow with n"
+        # near-linearity of TRP: frame sizes grow monotonically in n
+        sizes = [r.trp_slots for r in panel]
+        assert sizes == sorted(sizes)

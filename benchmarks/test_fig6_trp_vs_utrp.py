@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 6 — TRP vs UTRP frame sizes at c = 20.
+
+Paper claims checked: UTRP always needs more slots than TRP (the price
+of defending against collusion) but "the overhead of UTRP over TRP is
+small" — for the paper's larger sets the relative overhead shrinks to
+a few percent.
+"""
+
+from repro.experiments import fig6
+from repro.experiments.grid import grid_from_env
+
+
+def test_fig6_regeneration(benchmark, save_result):
+    grid = grid_from_env()
+    result = benchmark.pedantic(fig6.run, args=(grid,), rounds=1, iterations=1)
+    save_result("fig6_trp_vs_utrp", fig6.format_result(result))
+
+    for row in result.rows:
+        assert row.utrp_slots > row.trp_slots
+        assert row.overhead_slots < 200, (
+            f"UTRP overhead blew up at n={row.population}, m={row.tolerance}"
+        )
+    # At the largest set the overhead must be small in relative terms.
+    biggest = max(grid.populations)
+    for m in grid.tolerances:
+        row = [r for r in result.panel(m) if r.population == biggest][0]
+        assert row.overhead_fraction < 0.15

@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 7 — UTRP accuracy against optimal collusion.
+
+Paper claim: with the Eq. 3 (+ slack) frame size and ``c = 20``, the
+colluding pair's forged bitstring is caught with probability above
+``alpha = 0.95`` at every ``(n, m)``.
+
+This is the heaviest figure (a full re-seed cascade per trial); the
+default grid keeps it to tens of seconds. ``REPRO_FULL=1`` runs the
+paper's 20x4 grid at 1000 trials.
+"""
+
+import math
+
+from repro.experiments import fig7
+from repro.experiments.grid import grid_from_env
+
+
+def test_fig7_regeneration(benchmark, save_result):
+    grid = grid_from_env()
+    result = benchmark.pedantic(fig7.run, args=(grid,), rounds=1, iterations=1)
+    save_result("fig7_utrp_accuracy", fig7.format_result(result))
+
+    noise = 3 * math.sqrt(grid.alpha * (1 - grid.alpha) / grid.trials)
+    for row in result.rows:
+        assert row.detection.rate > grid.alpha - noise, (
+            f"collusion detection collapsed at n={row.population}, "
+            f"m={row.tolerance}: {row.detection.rate:.3f}"
+        )
+    assert result.cells_clearing_alpha() >= len(result.rows) // 2

@@ -1,0 +1,85 @@
+"""Bench: the two anti-collision inventory families vs TRP monitoring.
+
+The paper's related work spans framed slotted ALOHA and tree-based
+splitting; Fig. 4 compares TRP against the former. This bench adds the
+latter, confirming that *any* full-inventory approach — not just the
+chosen baseline — pays per-tag costs that monitoring avoids.
+"""
+
+import numpy as np
+
+from repro.aloha.adaptive import simulate_adaptive_collect_all
+from repro.aloha.tree_splitting import simulate_tree_splitting
+from repro.core.analysis import optimal_trp_frame_size
+from repro.experiments.grid import grid_from_env
+from repro.experiments.report import render_table
+from repro.rfid.ids import random_tag_ids
+from repro.simulation.fastpath import collect_all_slots_trials
+from repro.simulation.rng import derive_seed
+
+
+def _tree_slots(n, trials, rng):
+    return float(
+        np.mean(
+            [
+                simulate_tree_splitting(random_tag_ids(n, rng), rng).total_slots
+                for _ in range(trials)
+            ]
+        )
+    )
+
+
+def _adaptive_slots(n, trials, rng):
+    return float(
+        np.mean(
+            [
+                simulate_adaptive_collect_all(
+                    random_tag_ids(n, rng), rng
+                ).total_slots
+                for _ in range(trials)
+            ]
+        )
+    )
+
+
+def test_inventory_family_comparison(benchmark, save_result):
+    grid = grid_from_env()
+    m = 10
+
+    def run():
+        rows = []
+        for n in grid.populations:
+            rng = np.random.default_rng(derive_seed(grid.master_seed, 500, n))
+            aloha = float(
+                collect_all_slots_trials(n, m, grid.cost_trials, rng).mean()
+            )
+            tree = _tree_slots(n, grid.cost_trials, rng)
+            adaptive = _adaptive_slots(n, grid.cost_trials, rng)
+            trp = optimal_trp_frame_size(n, m, grid.alpha)
+            rows.append((n, aloha, tree, adaptive, trp))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "inventory_families",
+        render_table(
+            ["n", "framed ALOHA slots", "tree splitting slots",
+             "adaptive (n unknown)", "TRP slots"],
+            rows,
+            title=f"Inventory families vs TRP monitoring (m={m}, "
+            f"alpha={grid.alpha})",
+        ),
+    )
+
+    for n, aloha, tree, adaptive, trp in rows:
+        # Every inventory family costs a multiple of n...
+        assert aloha > 2.0 * n
+        assert tree > 2.0 * n
+        assert adaptive > 2.0 * n
+        # ...while the monitoring frame stays below all of them.
+        assert trp < aloha and trp < tree and trp < adaptive
+        # Not knowing n costs the adaptive reader only a constant factor.
+        assert adaptive < 2.5 * aloha
+    # Tree splitting's per-tag cost is roughly flat in n (~2.9).
+    per_tag = [tree / n for n, _a, tree, _ad, _t in rows]
+    assert max(per_tag) - min(per_tag) < 0.8

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the computational kernels.
+
+Unlike the figure benches (one-shot macro runs), these exercise the
+hot inner loops repeatedly so pytest-benchmark's statistics are
+meaningful — useful when optimising the hash, the frame tally or the
+cascade replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aloha.frame import hash_frame
+from repro.core.analysis import detection_probability, optimal_trp_frame_size
+from repro.core.utrp_analysis import utrp_detection_probability
+from repro.rfid.hashing import slots_for_tags
+from repro.rfid.ids import random_tag_ids
+from repro.server.verifier import expected_utrp_bitstring
+from repro.simulation.fastpath import (
+    trp_trial_detected,
+    utrp_collusion_detected,
+)
+
+
+@pytest.fixture(scope="module")
+def ids_10k():
+    return random_tag_ids(10_000, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def ids_1k():
+    return random_tag_ids(1_000, np.random.default_rng(1))
+
+
+def test_bench_slot_hash_10k_tags(benchmark, ids_10k):
+    benchmark(slots_for_tags, ids_10k, 12345, 16384)
+
+
+def test_bench_frame_tally_10k_tags(benchmark, ids_10k):
+    benchmark(hash_frame, ids_10k, 16384, 777)
+
+
+def test_bench_theorem1_evaluation(benchmark):
+    benchmark(detection_probability.__wrapped__
+              if hasattr(detection_probability, "__wrapped__")
+              else detection_probability, 2000, 11, 1391)
+
+
+def test_bench_eq2_frame_sizing(benchmark):
+    def sized():
+        optimal_trp_frame_size.cache_clear()
+        return optimal_trp_frame_size(2000, 10, 0.95)
+
+    benchmark(sized)
+
+
+def test_bench_eq3_detection(benchmark):
+    benchmark(utrp_detection_probability, 1000, 10, 757, 20)
+
+
+def test_bench_utrp_cascade_replay_1k(benchmark, ids_1k):
+    counters = np.zeros(1000, dtype=np.int64)
+    seeds = np.random.default_rng(2).integers(0, 1 << 62, size=1100).tolist()
+    benchmark(expected_utrp_bitstring, ids_1k, counters, 1100, seeds)
+
+
+def test_bench_trp_trial_1k(benchmark, ids_1k):
+    mask = np.zeros(1000, dtype=bool)
+    mask[:11] = True
+    benchmark(trp_trial_detected, ids_1k, mask, 694, 424242)
+
+
+def test_bench_collusion_trial_1k(benchmark, ids_1k):
+    counters = np.zeros(1000, dtype=np.int64)
+    mask = np.zeros(1000, dtype=bool)
+    mask[:11] = True
+    seeds = np.random.default_rng(3).integers(0, 1 << 62, size=760).tolist()
+    benchmark(utrp_collusion_detected, ids_1k, counters, mask, 757, seeds, 20)

@@ -1,0 +1,77 @@
+"""Bench: analytic-vs-simulated fidelity of the paper's theorems.
+
+Executable version of EXPERIMENTS.md's fidelity checklist: Theorem 1
+and Eq. 3 are compared against protocol-level Monte Carlo at
+representative grid points. If the implementation of either the math
+or the simulation drifts, this bench is what breaks.
+"""
+
+import numpy as np
+
+from repro.core.analysis import detection_probability, optimal_trp_frame_size
+from repro.core.utrp_analysis import (
+    optimal_utrp_frame_size,
+    utrp_detection_probability,
+)
+from repro.experiments.report import render_table
+from repro.simulation.fastpath import (
+    trp_detection_trials,
+    utrp_collusion_detection_trials,
+)
+from repro.simulation.rng import derive_seed
+
+SEED = 20080617
+
+
+def _theorem1_check():
+    rows = []
+    for n, m in [(100, 5), (500, 10), (1000, 20), (2000, 30)]:
+        f = optimal_trp_frame_size(n, m, 0.95)
+        analytic = detection_probability(n, m + 1, f)
+        rng = np.random.default_rng(derive_seed(SEED, 700, n, m))
+        mc = float(trp_detection_trials(n, m + 1, f, 4000, rng).mean())
+        rows.append((n, m, f, analytic, mc, abs(analytic - mc)))
+    return rows
+
+
+def _eq3_check():
+    rows = []
+    for n, m in [(200, 5), (500, 10)]:
+        f = optimal_utrp_frame_size(n, m, 0.95, 20)
+        analytic = utrp_detection_probability(n, m, f, 20)
+        rng = np.random.default_rng(derive_seed(SEED, 701, n, m))
+        mc = float(
+            utrp_collusion_detection_trials(n, m + 1, f, 20, 600, rng).mean()
+        )
+        rows.append((n, m, f, analytic, mc, abs(analytic - mc)))
+    return rows
+
+
+def test_theorem1_fidelity(benchmark, save_result):
+    rows = benchmark.pedantic(_theorem1_check, rounds=1, iterations=1)
+    save_result(
+        "validation_theorem1",
+        render_table(
+            ["n", "m", "f", "g (Theorem 1)", "Monte Carlo", "abs error"],
+            rows,
+            title="Theorem 1 vs 4000-trial protocol simulation",
+        ),
+    )
+    for n, m, f, analytic, mc, err in rows:
+        assert err < 0.015, f"Theorem 1 drifted at n={n}, m={m}: {err:.4f}"
+
+
+def test_eq3_fidelity(benchmark, save_result):
+    rows = benchmark.pedantic(_eq3_check, rounds=1, iterations=1)
+    save_result(
+        "validation_eq3",
+        render_table(
+            ["n", "m", "f", "Eq. 3 analytic", "Monte Carlo", "abs error"],
+            rows,
+            title="Eq. 3 vs 600-trial collusion simulation",
+        ),
+    )
+    # Eq. 3 leans on the expected-value c' (Theorem 3), so the paper
+    # itself pads the frame; allow a correspondingly looser band.
+    for n, m, f, analytic, mc, err in rows:
+        assert err < 0.04, f"Eq. 3 drifted at n={n}, m={m}: {err:.4f}"

@@ -1,0 +1,66 @@
+"""Deployment planner: explore the (n, m, alpha, c) design space.
+
+Before rolling out monitoring, an integrator wants to know what each
+policy choice costs in scan time. This example sweeps the knobs the
+paper's analysis exposes and prints a planning sheet:
+
+* Eq. 2 frame size across tolerances and confidence levels;
+* Eq. 3's untrusted-reader premium across collusion budgets;
+* predicted detection probability if the policy is under-provisioned.
+
+Run:  python examples/deployment_planner.py
+"""
+
+from repro.core.analysis import detection_probability, optimal_trp_frame_size
+from repro.core.utrp_analysis import optimal_utrp_frame_size
+from repro.experiments.report import render_table
+from repro.rfid.timing import GEN2_TYPICAL
+
+N = 1000  # items on the monitored shelf
+
+print(f"planning sheet for n = {N} tags\n")
+
+# --- 1. tolerance / confidence trade-off ------------------------------
+rows = []
+for m in (0, 5, 10, 20, 50):
+    for alpha in (0.90, 0.95, 0.99):
+        f = optimal_trp_frame_size(N, m, alpha)
+        ms = f * GEN2_TYPICAL.empty_slot_us / 1000
+        rows.append((m, alpha, f, f"~{ms:.0f} ms"))
+print(render_table(
+    ["tolerance m", "alpha", "TRP frame", "scan time"],
+    rows,
+    title="1. policy cost (trusted reader)",
+))
+
+# --- 2. the untrusted-reader premium ----------------------------------
+rows = []
+for c in (0, 10, 20, 50, 100):
+    trp = optimal_trp_frame_size(N, 10, 0.95)
+    utrp = optimal_utrp_frame_size(N, 10, 0.95, c)
+    rows.append((c, trp, utrp, utrp - trp))
+print()
+print(render_table(
+    ["collusion budget c", "TRP frame", "UTRP frame", "premium (slots)"],
+    rows,
+    title="2. untrusted-reader premium (m=10, alpha=0.95)",
+))
+
+# --- 3. what under-provisioning costs ---------------------------------
+f_right = optimal_trp_frame_size(N, 10, 0.95)
+rows = []
+for shrink in (1.0, 0.8, 0.6, 0.4):
+    f = max(1, int(f_right * shrink))
+    rows.append((
+        f"{int(shrink * 100)}%",
+        f,
+        detection_probability(N, 11, f),
+    ))
+print()
+print(render_table(
+    ["frame vs optimal", "frame", "P(detect m+1 missing)"],
+    rows,
+    title="3. detection lost to under-provisioned frames (m=10)",
+))
+print("\nreading: the optimal frame is the knee of the curve — smaller")
+print("frames shed detection probability quickly, larger ones only add cost.")

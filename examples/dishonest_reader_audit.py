@@ -1,0 +1,100 @@
+"""Dishonest-reader audit: why UTRP exists, played out end to end.
+
+The Sec. 5 storyline: the employee running the RFID reader is the
+thief. This example demonstrates the escalation the paper walks
+through:
+
+1. a replayed bitstring beats a server that reuses its challenge;
+2. fresh challenges kill replay — but two colluding readers (the
+   insider plus an accomplice holding the stolen tags) still forge a
+   perfect TRP proof (Alg. 4);
+3. UTRP's re-seeding + counters + timer force the colluders to
+   synchronise per empty slot; with a realistic budget the forgery is
+   caught.
+
+Run:  python examples/dishonest_reader_audit.py
+"""
+
+import numpy as np
+
+from repro import MonitorRequirement, MonitoringServer
+from repro.adversary import ColludingUtrpPair, ReplayAttacker, attack_trp_with_collusion
+from repro.rfid import SlottedChannel, TagPopulation
+from repro.rfid.bitstring import bitstrings_equal
+from repro.rfid.reader import ScanResult
+from repro.server.verifier import expected_trp_bitstring
+
+rng = np.random.default_rng(1337)
+
+N, M = 300, 5
+requirement = MonitorRequirement(population=N, tolerance=M, confidence=0.95)
+
+# Acts 1-2 play out against plain TRP-grade tags; act 3 re-runs the
+# theft against a UTRP deployment with counter tags.
+plain_stock = TagPopulation.create(N, uses_counter=False, rng=rng)
+plain_ids = plain_stock.ids.copy()
+server = MonitoringServer(requirement, rng=rng, counter_tags=False)
+server.register(plain_ids.tolist())
+frame = server.trp_frame_size
+
+print(f"set: {N} tags, tolerance {M}, TRP frame {frame}\n")
+
+# ---------------------------------------------------------------- 1 --
+print("[1] replay attack against a lazy server (reused challenge)")
+attacker = ReplayAttacker()
+attacker.record(SlottedChannel(plain_stock.tags), frame, seed=999)
+plain_loot = plain_stock.remove_random(M + 1, rng)          # the theft
+replayed = attacker.replay(frame, 999)
+lazy_expectation = expected_trp_bitstring(plain_ids, frame, 999)
+print(f"    stale recording vs reused (f, r): "
+      f"{'ACCEPTED - theft invisible' if bitstrings_equal(replayed.bitstring, lazy_expectation) else 'rejected'}")
+
+fresh_expectation = expected_trp_bitstring(plain_ids, frame, 31337)
+print(f"    stale recording vs fresh  (f, r): "
+      f"{'accepted' if bitstrings_equal(attacker.replay(frame, 31337).bitstring, fresh_expectation) else 'REJECTED - replay dead'}\n")
+
+# ---------------------------------------------------------------- 2 --
+print("[2] colluding readers against TRP (Alg. 4)")
+forged = attack_trp_with_collusion(
+    frame, 424242, SlottedChannel(plain_stock.tags), SlottedChannel(plain_loot.tags)
+)
+expected = expected_trp_bitstring(plain_ids, frame, 424242)
+print(f"    OR-merged bitstring vs fresh challenge: "
+      f"{'ACCEPTED - TRP cannot see the split' if bitstrings_equal(forged.bitstring, expected) else 'rejected'}\n")
+
+# ---------------------------------------------------------------- 3 --
+print("[3] the same plot against UTRP (counter tags, c = 20 sync budget)")
+stock = TagPopulation.create(N, uses_counter=True, rng=rng)
+all_ids = stock.ids.copy()
+server = MonitoringServer(requirement, rng=rng, counter_tags=True)
+server.register(all_ids.tolist())
+loot = stock.remove_random(M + 1, rng)
+caught = 0
+rounds = 40
+for _ in range(rounds):
+    pair = ColludingUtrpPair(
+        SlottedChannel(stock.tags), SlottedChannel(loot.tags), budget=20
+    )
+
+    def attack(challenge):
+        result = pair.scan(challenge.frame_size, list(challenge.seeds))
+        return (
+            ScanResult(
+                bitstring=result.bitstring,
+                slots_used=challenge.frame_size,
+                seeds_used=0,
+            ),
+            0.0,  # the forged proof arrives "instantly"
+        )
+
+    report = server.check_utrp(SlottedChannel(stock.tags), scan_fn=attack)
+    caught += not report.intact
+    # Make the demo's rounds independent: a caught forgery would trigger
+    # a physical audit and counter re-provisioning in practice, so reset
+    # both the hardware counters and the server's mirror between rounds.
+    for tag in list(stock.tags) + list(loot.tags):
+        tag.counter = 0
+    server.database.set_counters(np.zeros(N, dtype=np.int64))
+
+print(f"    forged UTRP proofs caught: {caught}/{rounds} rounds "
+      f"(per-round detection probability > 0.95; finite-sample noise applies)")

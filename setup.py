@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so environments without the ``wheel`` package (no PEP 660 editable
+builds) can still do ``pip install -e . --no-use-pep517``; all real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

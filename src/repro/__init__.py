@@ -1,0 +1,61 @@
+"""repro — missing-RFID-tag monitoring, reproduced from ICDCS 2008.
+
+A from-scratch implementation of Tan, Sheng & Li, *How to Monitor for
+Missing RFID Tags* (ICDCS 2008): the TRP and UTRP monitoring protocols,
+the framed-slotted-ALOHA substrate and *collect all* baseline they are
+evaluated against, the paper's adversary models (theft, replay,
+colluding readers), and a Monte Carlo harness that regenerates every
+figure in the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import MonitorRequirement, MonitoringServer
+    from repro.rfid import TagPopulation, SlottedChannel
+
+    rng = np.random.default_rng(0)
+    req = MonitorRequirement(population=1000, tolerance=10, confidence=0.95)
+    tags = TagPopulation.create(req.population, uses_counter=True, rng=rng)
+    server = MonitoringServer(req, rng=rng, counter_tags=True)
+    server.register(tags.ids.tolist())
+
+    report = server.check_trp(SlottedChannel(tags.tags))
+    assert report.intact
+
+See the package docs: :mod:`repro.core` (protocols + math),
+:mod:`repro.rfid` (tags/readers/channel), :mod:`repro.aloha`
+(anti-collision + baseline), :mod:`repro.server` (verifier side),
+:mod:`repro.adversary` (attacks), :mod:`repro.simulation` (Monte
+Carlo), :mod:`repro.experiments` (figure regeneration).
+"""
+
+from .core import (
+    Alert,
+    MonitorRequirement,
+    MonitoringServer,
+    Verdict,
+    VerificationResult,
+    detection_probability,
+    optimal_trp_frame_size,
+    optimal_utrp_frame_size,
+    run_trp_round,
+    run_utrp_round,
+    utrp_detection_probability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alert",
+    "MonitorRequirement",
+    "MonitoringServer",
+    "Verdict",
+    "VerificationResult",
+    "detection_probability",
+    "optimal_trp_frame_size",
+    "optimal_utrp_frame_size",
+    "run_trp_round",
+    "run_utrp_round",
+    "utrp_detection_probability",
+    "__version__",
+]

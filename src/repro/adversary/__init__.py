@@ -1,0 +1,37 @@
+"""Adversary models: theft, replay, and colluding readers."""
+
+from .collusion import (
+    CollusionScan,
+    ColludingUtrpPair,
+    attack_trp_with_collusion,
+    simulate_colluding_utrp_scan,
+)
+from .replay import ReplayAttacker
+from .strategies import (
+    EagerStrategy,
+    RandomStrategy,
+    ReserveStrategy,
+    SpreadStrategy,
+    SyncContext,
+    SyncStrategy,
+    simulate_strategy_collusion,
+)
+from .theft import TheftOutcome, steal_random_tags, worst_case_theft
+
+__all__ = [
+    "CollusionScan",
+    "ColludingUtrpPair",
+    "attack_trp_with_collusion",
+    "simulate_colluding_utrp_scan",
+    "ReplayAttacker",
+    "EagerStrategy",
+    "RandomStrategy",
+    "ReserveStrategy",
+    "SpreadStrategy",
+    "SyncContext",
+    "SyncStrategy",
+    "simulate_strategy_collusion",
+    "TheftOutcome",
+    "steal_random_tags",
+    "worst_case_theft",
+]

@@ -1,0 +1,278 @@
+"""Colluding-reader attacks (Sec. 5.1 and 5.4).
+
+The strong adversary: a dishonest reader R1 keeps the remaining set
+``s1``, hands the stolen ``s2`` to a collaborator R2, and the pair try
+to assemble a bitstring indistinguishable from an intact scan.
+
+* Against **TRP** the attack always succeeds (Alg. 4): both scan under
+  the same ``(f, r)`` and OR the bitstrings — the hash is position-
+  independent, so the merge equals the intact set's bitstring.
+  :func:`attack_trp_with_collusion` demonstrates this on real channels.
+* Against **UTRP** the re-seed cascade makes every R1-empty slot a
+  mandatory synchronisation with R2, and the server's timer caps those
+  at ``c``. The paper's optimal adversary strategy (Sec. 5.4) — spend
+  the budget on the first ``c`` empty slots, then finish solo with
+  ``s1`` — is implemented twice: :class:`ColludingUtrpPair` drives real
+  tag/channel machinery (tests, examples), and
+  :func:`simulate_colluding_utrp_scan` is the vectorised equivalent the
+  Fig. 7 Monte Carlo uses (cross-validated in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..rfid.bitstring import bitwise_or, empty_bitstring
+from ..rfid.channel import SlottedChannel
+from ..rfid.hashing import slots_for_tags_with_counters
+from ..rfid.reader import ScanResult, TrustedReader
+
+__all__ = [
+    "attack_trp_with_collusion",
+    "CollusionScan",
+    "simulate_colluding_utrp_scan",
+    "ColludingUtrpPair",
+]
+
+_INF = np.iinfo(np.int64).max
+
+
+def attack_trp_with_collusion(
+    frame_size: int,
+    seed: int,
+    remaining_channel: SlottedChannel,
+    stolen_channel: SlottedChannel,
+) -> ScanResult:
+    """Alg. 4 — defeat TRP by scanning ``s1`` and ``s2`` separately.
+
+    R1 and R2 run the honest TRP scan on their halves under the same
+    ``(f, r)`` and OR the bitstrings. Because a TRP tag's slot depends
+    only on ``(id, r, f)``, the merged bitstring is exactly what the
+    intact set would produce — the vulnerability motivating UTRP.
+    """
+    r1 = TrustedReader("dishonest-R1").scan_trp(remaining_channel, frame_size, seed)
+    r2 = TrustedReader("collaborator-R2").scan_trp(stolen_channel, frame_size, seed)
+    merged = bitwise_or(r1.bitstring, r2.bitstring)
+    return ScanResult(
+        bitstring=merged,
+        slots_used=r1.slots_used + r2.slots_used,
+        seeds_used=r1.seeds_used + r2.seeds_used,
+    )
+
+
+@dataclass
+class CollusionScan:
+    """What the colluding pair hand the server after a UTRP attempt.
+
+    Attributes:
+        bitstring: the forged proof ``b̂s``.
+        comms_used: synchronisations actually spent (``<= budget``).
+        went_solo: True if the budget ran out and R1 finished alone.
+        solo_from_slot: global slot where synchronisation stopped
+            (``frame_size`` when the whole scan stayed synchronised).
+    """
+
+    bitstring: np.ndarray
+    comms_used: int
+    went_solo: bool
+    solo_from_slot: int
+
+
+def simulate_colluding_utrp_scan(
+    tag_ids: np.ndarray,
+    counters: np.ndarray,
+    stolen_mask: np.ndarray,
+    frame_size: int,
+    seeds: Sequence[int],
+    budget: int,
+) -> CollusionScan:
+    """Vectorised optimal collusion against UTRP (Sec. 5.4 strategy).
+
+    Walks the same cascade as the verifier's replay, with two twists:
+
+    * every slot R1 (holding the non-stolen tags) finds empty costs one
+      synchronisation with R2 — R1 cannot otherwise know whether a
+      stolen tag claimed it;
+    * when the budget is exhausted R1 continues alone: stolen-tag
+      replies are missed, only R1's own replies trigger re-seeds, and
+      only the kept tags' counters keep ticking.
+
+    Args:
+        tag_ids: the *full* original set, in the server's registration
+            order (so the result aligns with the verifier prediction).
+        counters: mirrored counters before the scan, same order.
+        stolen_mask: boolean; True entries are with the collaborator.
+        frame_size: ``f`` from the server's challenge.
+        seeds: the server's pre-committed ``r_1..r_f``.
+        budget: ``c`` — synchronisations the timer allows.
+
+    Raises:
+        ValueError: on shape mismatches or an undersized seed list.
+    """
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    cts = np.asarray(counters, dtype=np.int64).copy()
+    stolen = np.asarray(stolen_mask, dtype=bool)
+    if not (ids.shape == cts.shape == stolen.shape):
+        raise ValueError("tag_ids, counters and stolen_mask must align")
+    if len(seeds) < frame_size:
+        raise ValueError(f"need {frame_size} seeds, got {len(seeds)}")
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+
+    bs = empty_bitstring(frame_size)
+    active = np.ones(ids.shape, dtype=bool)
+    budget_left = budget
+    solo = False
+    solo_from = frame_size
+
+    def rehash(seed: int, sub_frame: int, mask: np.ndarray) -> np.ndarray:
+        full = np.full(ids.shape, _INF, dtype=np.int64)
+        if mask.any():
+            full[mask] = slots_for_tags_with_counters(
+                ids[mask], seed, sub_frame, cts[mask]
+            )
+        return full
+
+    # Both readers broadcast (f, r_1) to their halves in lockstep.
+    cts += 1
+    seeds_used = 1
+    offset = 0
+    cursor = 0  # local slot R1 has walked up to in the current sub-frame
+    slots = rehash(int(seeds[0]), frame_size, active)
+
+    while offset + cursor < frame_size:
+        kept_active = active & ~stolen
+        ahead1 = slots[kept_active & (slots >= cursor)] if kept_active.any() else slots[:0]
+        next1 = int(ahead1.min()) if ahead1.size else _INF
+        if not solo:
+            stolen_active = active & stolen
+            ahead2 = (
+                slots[stolen_active & (slots >= cursor)]
+                if stolen_active.any()
+                else slots[:0]
+            )
+            next2 = int(ahead2.min()) if ahead2.size else _INF
+            event = min(next1, next2)
+            if event == _INF:
+                # Nothing left to reply anywhere: the remaining slots
+                # are genuinely empty, so reporting zeros is correct
+                # whether or not R1 can still afford to double-check.
+                break
+            comms = (event - cursor) + (1 if next2 < next1 else 0)
+            if budget_left < comms:
+                # R1 verifies as many empties as it can afford, then
+                # carries on alone from that slot. The collaborator's
+                # information is lost from here on.
+                cursor += budget_left
+                budget_left = 0
+                solo = True
+                solo_from = offset + cursor
+                active &= ~stolen  # R2's tags are never observed again
+                continue
+            budget_left -= comms
+        else:
+            event = next1
+            if event == _INF:
+                break
+
+        bs[offset + event] = 1
+        repliers = active & (slots == event)
+        active &= ~repliers
+        sub_frame = frame_size - (offset + event + 1)
+        if sub_frame <= 0:
+            break
+        seeds_used += 1
+        if solo:
+            cts[~stolen] += 1  # only R1's broadcast is heard
+        else:
+            cts += 1  # lockstep re-seed on both sides
+        offset = offset + event + 1
+        cursor = 0
+        slots = rehash(int(seeds[seeds_used - 1]), sub_frame, active)
+
+    return CollusionScan(
+        bitstring=bs,
+        comms_used=budget - budget_left,
+        went_solo=solo,
+        solo_from_slot=solo_from,
+    )
+
+
+class ColludingUtrpPair:
+    """Channel-faithful colluding readers for UTRP.
+
+    Drives two real :class:`SlottedChannel` populations (the shelf and
+    the loot bag) slot by slot with the same strategy as
+    :func:`simulate_colluding_utrp_scan`: synchronise on R1-empty slots
+    while the budget lasts, then run solo. Used by the protocol-level
+    tests and the attack-demo example; the vectorised function is the
+    Monte Carlo fast path.
+    """
+
+    def __init__(
+        self,
+        remaining_channel: SlottedChannel,
+        stolen_channel: SlottedChannel,
+        budget: int,
+    ):
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        self._s1 = remaining_channel
+        self._s2 = stolen_channel
+        self.budget = budget
+
+    def scan(self, frame_size: int, seeds: Sequence[int]) -> CollusionScan:
+        """Execute the attack for one server challenge.
+
+        Raises:
+            ValueError: if fewer than ``frame_size`` seeds are given.
+        """
+        if len(seeds) < frame_size:
+            raise ValueError(f"need {frame_size} seeds, got {len(seeds)}")
+        self._s1.power_cycle()
+        self._s2.power_cycle()
+        bs = empty_bitstring(frame_size)
+        budget_left = self.budget
+        solo = False
+        solo_from = frame_size
+
+        seed_index = 0
+        self._s1.broadcast_seed(frame_size, seeds[seed_index])
+        self._s2.broadcast_seed(frame_size, seeds[seed_index])
+        seed_index += 1
+        sub_frame = frame_size
+
+        for sn in range(frame_size):
+            local = sn - (frame_size - sub_frame)
+            got1 = self._s1.poll_slot(local).outcome.occupied
+            got2 = False
+            if not solo:
+                if got1:
+                    # R1's own reply: bit is 1 and a re-seed is due no
+                    # matter what R2 saw; R2 polls its slot too (its
+                    # tags must consume the slot) but no waiting occurs.
+                    got2 = self._s2.poll_slot(local).outcome.occupied
+                elif budget_left > 0:
+                    budget_left -= 1
+                    got2 = self._s2.poll_slot(local).outcome.occupied
+                else:
+                    solo = True
+                    solo_from = sn
+            occupied = got1 or (got2 and not solo)
+            if occupied:
+                bs[sn] = 1
+                sub_frame = frame_size - (sn + 1)
+                if sub_frame > 0:
+                    self._s1.broadcast_seed(sub_frame, seeds[seed_index])
+                    if not solo:
+                        self._s2.broadcast_seed(sub_frame, seeds[seed_index])
+                    seed_index += 1
+        return CollusionScan(
+            bitstring=bs,
+            comms_used=self.budget - budget_left,
+            went_solo=solo,
+            solo_from_slot=solo_from,
+        )

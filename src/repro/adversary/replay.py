@@ -1,0 +1,63 @@
+"""Replay attacks (Sec. 1 and Sec. 5.1).
+
+The original *collect all* threat: a dishonest employee records the
+tags' answers before the theft and replays them afterwards. Against a
+server that reuses its challenge the replay is perfect; against fresh
+per-scan seeds it only succeeds if the stale bitstring happens to equal
+the fresh expectation — vanishingly unlikely, which is exactly the
+paper's first counter-measure ("easily defeated by letting the server
+issue a new (f, r) each time"). The ablation bench quantifies both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..rfid.channel import SlottedChannel
+from ..rfid.reader import ScanResult, TrustedReader
+
+__all__ = ["ReplayAttacker"]
+
+
+@dataclass
+class ReplayAttacker:
+    """A dishonest reader that records honest scans and replays them.
+
+    Usage: before the theft, call :meth:`record` while the set is
+    intact; after the theft, :meth:`replay` answers the server from the
+    recording instead of scanning.
+    """
+
+    _recordings: Dict[Tuple[int, int], np.ndarray] = field(default_factory=dict)
+
+    def record(
+        self, channel: SlottedChannel, frame_size: int, seed: int
+    ) -> ScanResult:
+        """Honestly scan the (still intact) set and keep the bitstring."""
+        scan = TrustedReader("replay-recorder").scan_trp(channel, frame_size, seed)
+        self._recordings[(frame_size, seed)] = scan.bitstring.copy()
+        return scan
+
+    @property
+    def recorded_challenges(self) -> int:
+        return len(self._recordings)
+
+    def replay(self, frame_size: int, seed: int) -> Optional[ScanResult]:
+        """Answer a challenge from the recordings.
+
+        Exact replay when the server reused a recorded ``(f, r)``;
+        otherwise the attacker's best effort is any recording with the
+        right frame size (hoping the server doesn't notice). Returns
+        ``None`` when nothing usable was recorded — the attacker must
+        then fail the round outright.
+        """
+        exact = self._recordings.get((frame_size, seed))
+        if exact is not None:
+            return ScanResult(bitstring=exact.copy(), slots_used=0, seeds_used=0)
+        for (f, _r), bs in self._recordings.items():
+            if f == frame_size:
+                return ScanResult(bitstring=bs.copy(), slots_used=0, seeds_used=0)
+        return None

@@ -1,0 +1,226 @@
+"""Collusion synchronisation strategies — is the paper's optimal?
+
+Sec. 5.4 asserts the colluders' best strategy is to spend the whole
+budget on the *first* ``c`` empty slots R1 encounters, then finish
+solo. This module makes that claim testable: a
+:class:`SyncStrategy` decides, at every R1-empty slot, whether to spend
+one synchronisation, and :func:`simulate_strategy_collusion` plays any
+strategy against the full cascade.
+
+Cost model (the paper's): learning R2's outcome for a slot costs one
+synchronisation; R1→R2 notifications (re-seed announcements after R1's
+own replies, or after a paid reveal) ride along for free — R1 "can
+continue re-seeding and scanning ... without waiting". A *skipped*
+R1-empty slot is recorded as 0 and triggers no re-seed; if a stolen tag
+actually replied there, the server's cascade re-seeds while the
+colluders' does not, and the forgery unravels.
+
+The expected outcome — confirmed by the Abl. I bench — is that eager
+spending dominates: every skipped early empty slot is a chance for the
+cascade to diverge, and unspent budget is worthless once it has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..rfid.bitstring import empty_bitstring
+from ..rfid.hashing import slots_for_tags_with_counters
+from .collusion import CollusionScan
+
+__all__ = [
+    "SyncContext",
+    "SyncStrategy",
+    "EagerStrategy",
+    "SpreadStrategy",
+    "ReserveStrategy",
+    "RandomStrategy",
+    "simulate_strategy_collusion",
+]
+
+_INF = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class SyncContext:
+    """What a strategy knows when deciding to spend a sync.
+
+    Attributes:
+        global_slot: position in the frame (0-based).
+        frame_size: ``f``.
+        budget_left: synchronisations still available.
+        empties_seen: R1-empty slots encountered so far (spent or not).
+    """
+
+    global_slot: int
+    frame_size: int
+    budget_left: int
+    empties_seen: int
+
+
+class SyncStrategy:
+    """Decides whether to pay for R2's outcome at an R1-empty slot."""
+
+    name = "abstract"
+
+    def spend(self, ctx: SyncContext) -> bool:
+        raise NotImplementedError
+
+
+class EagerStrategy(SyncStrategy):
+    """The paper's strategy: spend while any budget remains."""
+
+    name = "eager (paper)"
+
+    def spend(self, ctx: SyncContext) -> bool:
+        return ctx.budget_left > 0
+
+
+class SpreadStrategy(SyncStrategy):
+    """Spend on every ``period``-th empty slot, rationing the budget."""
+
+    name = "spread"
+
+    def __init__(self, period: int):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self.name = f"spread (1 in {period})"
+
+    def spend(self, ctx: SyncContext) -> bool:
+        return ctx.budget_left > 0 and ctx.empties_seen % self.period == 0
+
+
+class ReserveStrategy(SyncStrategy):
+    """Hold back until the frame's tail, then spend everything.
+
+    Rationale an adversary might try: late slots are sparser, so a
+    sync there is more 'informative'. The cascade punishes the early
+    silence instead.
+    """
+
+    name = "reserve-for-tail"
+
+    def __init__(self, start_fraction: float = 0.5):
+        if not 0.0 <= start_fraction < 1.0:
+            raise ValueError("start_fraction must be in [0, 1)")
+        self.start_fraction = start_fraction
+        self.name = f"reserve (spend after {int(start_fraction * 100)}%)"
+
+    def spend(self, ctx: SyncContext) -> bool:
+        return (
+            ctx.budget_left > 0
+            and ctx.global_slot >= self.start_fraction * ctx.frame_size
+        )
+
+
+class RandomStrategy(SyncStrategy):
+    """Flip a coin per empty slot (a strawman control)."""
+
+    name = "random"
+
+    def __init__(self, probability: float, rng: np.random.Generator):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self._rng = rng
+        self.name = f"random (p={probability})"
+
+    def spend(self, ctx: SyncContext) -> bool:
+        return ctx.budget_left > 0 and self._rng.random() < self.probability
+
+
+def simulate_strategy_collusion(
+    tag_ids: np.ndarray,
+    counters: np.ndarray,
+    stolen_mask: np.ndarray,
+    frame_size: int,
+    seeds: Sequence[int],
+    budget: int,
+    strategy: SyncStrategy,
+) -> CollusionScan:
+    """Play a UTRP collusion with an arbitrary sync strategy.
+
+    Walks the cascade slot by slot (strategies need per-slot context),
+    with the lockstep semantics described in the module docstring. With
+    :class:`EagerStrategy` this reproduces
+    :func:`repro.adversary.collusion.simulate_colluding_utrp_scan`
+    bit-for-bit (asserted in the test suite).
+
+    Raises:
+        ValueError: on shape mismatches or an undersized seed list.
+    """
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    cts = np.asarray(counters, dtype=np.int64).copy()
+    stolen = np.asarray(stolen_mask, dtype=bool)
+    if not (ids.shape == cts.shape == stolen.shape):
+        raise ValueError("tag_ids, counters and stolen_mask must align")
+    if len(seeds) < frame_size:
+        raise ValueError(f"need {frame_size} seeds, got {len(seeds)}")
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+
+    bs = empty_bitstring(frame_size)
+    active = np.ones(ids.shape, dtype=bool)
+    kept = ~stolen
+    budget_left = budget
+    empties_seen = 0
+    first_skip: Optional[int] = None
+
+    def rehash(seed: int, sub_frame: int) -> np.ndarray:
+        full = np.full(ids.shape, _INF, dtype=np.int64)
+        if active.any():
+            full[active] = slots_for_tags_with_counters(
+                ids[active], seed, sub_frame, cts[active]
+            )
+        return full
+
+    cts += 1
+    seeds_used = 1
+    offset = 0
+    slots = rehash(int(seeds[0]), frame_size)
+
+    global_slot = 0
+    while global_slot < frame_size:
+        local = global_slot - offset
+        r1_reply = bool(np.any(active & kept & (slots == local)))
+        r2_reply = bool(np.any(active & stolen & (slots == local)))
+        reseed = False
+        if r1_reply:
+            bs[global_slot] = 1
+            reseed = True
+        else:
+            empties_seen += 1
+            ctx = SyncContext(
+                global_slot=global_slot,
+                frame_size=frame_size,
+                budget_left=budget_left,
+                empties_seen=empties_seen - 1,
+            )
+            if strategy.spend(ctx) and budget_left > 0:
+                budget_left -= 1
+                if r2_reply:
+                    bs[global_slot] = 1
+                    reseed = True
+            elif first_skip is None:
+                first_skip = global_slot
+        # Lockstep polling: every tag in this slot transmitted and goes
+        # silent whether or not anyone recorded it.
+        repliers = active & (slots == local)
+        active &= ~repliers
+        global_slot += 1
+        if reseed and global_slot < frame_size:
+            sub_frame = frame_size - global_slot
+            cts += 1
+            seeds_used += 1
+            offset = global_slot
+            slots = rehash(int(seeds[seeds_used - 1]), sub_frame)
+    return CollusionScan(
+        bitstring=bs,
+        comms_used=budget - budget_left,
+        went_solo=budget_left == 0 or first_skip is not None,
+        solo_from_slot=first_skip if first_skip is not None else frame_size,
+    )

@@ -1,0 +1,67 @@
+"""Theft scenarios: the paper's basic adversary (Sec. 3).
+
+The adversary physically removes tags from the set; stolen tags leave
+the reader's range and never answer queries. The paper always evaluates
+the *worst case* theft of exactly ``m + 1`` tags — any larger theft is
+easier to detect (Lemma 1) — and that convention is captured here so
+experiments can't accidentally test an easier case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..rfid.population import TagPopulation
+
+__all__ = ["TheftOutcome", "steal_random_tags", "worst_case_theft"]
+
+
+@dataclass
+class TheftOutcome:
+    """Result of a theft against a population.
+
+    Attributes:
+        remaining: the tags still on the shelf (``s1``).
+        stolen: the removed tags (``s2``), now out of reader range.
+    """
+
+    remaining: TagPopulation
+    stolen: TagPopulation
+
+    @property
+    def stolen_count(self) -> int:
+        return len(self.stolen)
+
+
+def steal_random_tags(
+    population: TagPopulation,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+) -> TheftOutcome:
+    """Remove ``count`` uniformly random tags from the population.
+
+    Mutates ``population`` in place (the tags are physically gone) and
+    returns both halves.
+
+    Raises:
+        ValueError: if ``count`` exceeds the population size.
+    """
+    stolen = population.remove_random(count, rng)
+    return TheftOutcome(remaining=population, stolen=stolen)
+
+
+def worst_case_theft(
+    population: TagPopulation,
+    tolerance: int,
+    rng: Optional[np.random.Generator] = None,
+) -> TheftOutcome:
+    """Steal exactly ``m + 1`` tags — the hardest detectable theft.
+
+    Raises:
+        ValueError: if the population cannot lose ``tolerance + 1``
+            tags.
+    """
+    return steal_random_tags(population, tolerance + 1, rng)

@@ -1,0 +1,34 @@
+"""Framed slotted ALOHA substrate and the *collect all* baseline.
+
+The anti-collision layer every protocol in the paper builds on
+(Sec. 3, "Anti-collision"): frame hashing and slot statistics
+(:mod:`.frame`), the full-inventory baseline the paper compares against
+(:mod:`.framed_slotted`), and cardinality estimators from the related
+probabilistic line of work (:mod:`.estimators`).
+"""
+
+from .adaptive import AdaptiveInventoryResult, simulate_adaptive_collect_all
+from .estimators import EstimateResult, SingletonEstimator, ZeroEstimator
+from .frame import FrameOutcome, expected_empty_fraction, hash_frame
+from .framed_slotted import (
+    CollectAllProtocol,
+    CollectAllResult,
+    simulate_collect_all_slots,
+)
+from .tree_splitting import TreeInventoryResult, simulate_tree_splitting
+
+__all__ = [
+    "AdaptiveInventoryResult",
+    "simulate_adaptive_collect_all",
+    "EstimateResult",
+    "SingletonEstimator",
+    "ZeroEstimator",
+    "FrameOutcome",
+    "expected_empty_fraction",
+    "hash_frame",
+    "CollectAllProtocol",
+    "CollectAllResult",
+    "simulate_collect_all_slots",
+    "TreeInventoryResult",
+    "simulate_tree_splitting",
+]

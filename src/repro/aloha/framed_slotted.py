@@ -1,0 +1,158 @@
+"""The *collect all* baseline: dynamic framed slotted ALOHA inventory.
+
+This is the protocol the paper's Fig. 4 compares TRP against. Following
+the paper's simulation setup (Sec. 6):
+
+* the first round uses frame size ``f = n`` — Lee et al.'s result that
+  the optimal frame size equals the number of unidentified tags;
+* each later round uses ``f = `` number of tags still expected;
+* with a tolerance of ``m`` the inventory stops once ``n - m`` distinct
+  IDs have been collected;
+* the reported cost is the **sum of all frame sizes used**.
+
+Two implementations are provided. :class:`CollectAllProtocol` drives
+the real channel/tag state machines (tags transmit IDs, collisions
+re-arm, singletons are ACKed silent) and is what the tests and examples
+exercise. :func:`simulate_collect_all_slots` is the vectorised
+equivalent used by the Fig. 4 bench; both are validated against each
+other in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+import numpy as np
+
+from ..rfid.channel import SlotOutcome, SlottedChannel
+from .frame import hash_frame
+
+__all__ = ["CollectAllResult", "CollectAllProtocol", "simulate_collect_all_slots"]
+
+#: Safety valve: the expected number of rounds is O(log n); anything past
+#: this means the target count is unreachable (too many tags missing).
+MAX_ROUNDS = 10_000
+
+
+@dataclass
+class CollectAllResult:
+    """Outcome of a collect-all inventory.
+
+    Attributes:
+        collected_ids: distinct tag IDs identified, in collection order.
+        total_slots: sum of all frame sizes — the paper's Fig. 4 metric.
+        rounds: number of ``(f, r)`` rounds run.
+        complete: whether the target count was reached before the
+            round limit (False means more tags were missing than the
+            inventory could tolerate).
+    """
+
+    collected_ids: List[int]
+    total_slots: int
+    rounds: int
+    complete: bool
+
+
+class CollectAllProtocol:
+    """Channel-faithful dynamic framed slotted ALOHA inventory."""
+
+    def __init__(self, expected_count: int, tolerance: int = 0):
+        """Args:
+            expected_count: ``n`` — how many tags the server's records say
+                exist; sizes the first frame.
+            tolerance: ``m`` — stop once ``n - m`` IDs are in hand.
+
+        Raises:
+            ValueError: on a negative count or tolerance, or tolerance
+                exceeding the expected count.
+        """
+        if expected_count < 0:
+            raise ValueError("expected_count must be non-negative")
+        if not 0 <= tolerance <= expected_count:
+            raise ValueError("tolerance must be within [0, expected_count]")
+        self.expected_count = expected_count
+        self.tolerance = tolerance
+
+    @property
+    def target_count(self) -> int:
+        return self.expected_count - self.tolerance
+
+    def run(self, channel: SlottedChannel, rng: np.random.Generator) -> CollectAllResult:
+        """Inventory the channel's population until the target is met."""
+        channel.power_cycle()
+        collected: List[int] = []
+        seen: Set[int] = set()
+        total_slots = 0
+        rounds = 0
+        while len(collected) < self.target_count and rounds < MAX_ROUNDS:
+            remaining = self.expected_count - len(collected)
+            frame_size = max(remaining, 1)
+            seed = int(rng.integers(0, 1 << 62))
+            channel.broadcast_seed(frame_size, seed)
+            rounds += 1
+            total_slots += frame_size
+            for sn in range(frame_size):
+                obs = channel.poll_slot(sn, ids_on_air=True)
+                if obs.outcome is SlotOutcome.SINGLE and obs.decoded_id not in seen:
+                    seen.add(obs.decoded_id)
+                    collected.append(obs.decoded_id)
+            if channel.stats.slots_polled and not any(
+                t.state.value != "silent" for t in channel.tags
+            ) and len(collected) < self.target_count:
+                # Every present tag has been identified yet the target is
+                # unmet: the remainder is physically missing. A real
+                # reader would keep polling ever-smaller empty frames; we
+                # charge one more probe frame and stop.
+                total_slots += max(self.expected_count - len(collected), 1)
+                rounds += 1
+                break
+        complete = len(collected) >= self.target_count
+        return CollectAllResult(collected, total_slots, rounds, complete)
+
+
+def simulate_collect_all_slots(
+    tag_ids: np.ndarray,
+    expected_count: int,
+    tolerance: int,
+    rng: np.random.Generator,
+) -> int:
+    """Vectorised collect-all: return the total slots used.
+
+    Semantics match :class:`CollectAllProtocol` exactly: frame sizes are
+    ``expected_count`` minus IDs already collected, singletons resolve,
+    collisions retry, stop at ``expected_count - tolerance`` IDs.
+
+    Raises:
+        ValueError: if the target is unreachable (more tags missing than
+            the tolerance allows) — the physical protocol would never
+            terminate.
+    """
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    target = expected_count - tolerance
+    if len(ids) < target:
+        raise ValueError(
+            f"only {len(ids)} tags present; cannot collect {target}"
+        )
+    outstanding = ids
+    collected = 0
+    total_slots = 0
+    rounds = 0
+    while collected < target:
+        rounds += 1
+        if rounds > MAX_ROUNDS:
+            raise RuntimeError("collect-all failed to converge")
+        frame_size = max(expected_count - collected, 1)
+        seed = int(rng.integers(0, 1 << 62))
+        total_slots += frame_size
+        outcome = hash_frame(outstanding, frame_size, seed)
+        resolved = outcome.singleton_ids
+        take = min(len(resolved), target - collected)
+        collected += len(resolved)
+        if take < len(resolved):
+            # Target hit mid-frame; later singletons were still polled
+            # (the frame runs to completion), so the slot cost stands.
+            collected = target
+        mask = ~np.isin(outstanding, resolved)
+        outstanding = outstanding[mask]
+    return total_slots

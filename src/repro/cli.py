@@ -1,0 +1,205 @@
+"""Command-line entry point: regenerate any figure or ablation offline.
+
+Usage::
+
+    python -m repro fig4            # collect-all vs TRP slots
+    python -m repro fig5            # TRP accuracy
+    python -m repro fig6            # TRP vs UTRP frame sizes
+    python -m repro fig7            # UTRP accuracy under collusion
+    python -m repro ablations       # all five ablations
+    python -m repro plan -n 1000 -m 10 --alpha 0.95   # frame planning
+
+Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid and
+``--trials K`` to override the Monte Carlo sample size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from .core.analysis import detection_probability, optimal_trp_frame_size
+from .core.utrp_analysis import optimal_utrp_frame_size, utrp_detection_probability
+from .experiments import ablations, fig4, fig5, fig6, fig7
+from .experiments.grid import ExperimentGrid, grid_from_env, paper_grid
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rfid",
+        description=(
+            "Reproduction harness for 'How to Monitor for Missing RFID "
+            "Tags' (ICDCS 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("fig4", "collect-all vs TRP slot counts"),
+        ("fig5", "TRP detection accuracy (worst-case theft)"),
+        ("fig6", "TRP vs UTRP frame sizes"),
+        ("fig7", "UTRP detection accuracy under collusion"),
+        ("ablations", "run the ablation studies"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--full", action="store_true", help="use the paper's exact grid")
+        p.add_argument("--trials", type=int, default=None, help="override trial count")
+        p.add_argument("--seed", type=int, default=None, help="override master seed")
+        if name.startswith("fig"):
+            p.add_argument(
+                "--csv", default=None, metavar="PATH",
+                help="also write the figure's rows as CSV",
+            )
+
+    plan = sub.add_parser("plan", help="frame-size planning for a deployment")
+    plan.add_argument("-n", "--population", type=int, required=True)
+    plan.add_argument("-m", "--tolerance", type=int, required=True)
+    plan.add_argument("--alpha", type=float, default=0.95)
+    plan.add_argument("-c", "--comm-budget", type=int, default=20)
+    plan.add_argument(
+        "--rounds", type=int, default=1,
+        help="show multi-round plans up to this many rounds",
+    )
+    plan.add_argument(
+        "--identify-beta", type=float, default=None, metavar="BETA",
+        help="also plan forensic rounds to name all missing tags w.p. BETA",
+    )
+
+    sub.add_parser("list", help="list every reproducible experiment")
+    return parser
+
+
+def _grid(args: argparse.Namespace) -> ExperimentGrid:
+    # Environment (REPRO_FULL / REPRO_TRIALS) sets the baseline; flags win.
+    grid = paper_grid() if args.full else grid_from_env()
+    if args.trials is not None:
+        grid = replace(grid, trials=args.trials)
+    if args.seed is not None:
+        grid = replace(grid, master_seed=args.seed)
+    return grid
+
+
+def _run_plan(args: argparse.Namespace) -> str:
+    n, m, alpha, c = args.population, args.tolerance, args.alpha, args.comm_budget
+    f_trp = optimal_trp_frame_size(n, m, alpha)
+    f_utrp = optimal_utrp_frame_size(n, m, alpha, c)
+    lines = [
+        f"deployment: n={n} tags, tolerate m={m} missing, confidence alpha={alpha}",
+        f"TRP  (trusted reader) : frame size f = {f_trp}"
+        f"  [g(n, m+1, f) = {detection_probability(n, m + 1, f_trp):.4f}]",
+        f"UTRP (untrusted, c={c}): frame size f = {f_utrp}"
+        f"  [Eq.3 detection = {utrp_detection_probability(n, m, f_utrp, c):.4f}]",
+    ]
+    if args.rounds > 1:
+        from .core.rounds import plan_rounds
+
+        lines.append("")
+        lines.append("multi-round TRP plans at equal confidence:")
+        for plan in plan_rounds(n, m, alpha, max_rounds=args.rounds):
+            lines.append(
+                f"  {plan.rounds} round(s) x {plan.frame_size} slots = "
+                f"{plan.total_slots} total"
+            )
+    if args.identify_beta is not None:
+        from .core.identification import rounds_to_identify
+
+        forensic = rounds_to_identify(n, m + 1, f_trp, beta=args.identify_beta)
+        lines.append("")
+        lines.append(
+            f"forensics: ~{forensic} extra TRP rounds name all m+1={m + 1} "
+            f"missing tags w.p. {args.identify_beta}"
+        )
+    return "\n".join(lines)
+
+
+def _run_list() -> str:
+    from .experiments.manifest import EXPERIMENTS
+
+    lines = ["reproducible experiments (python -m repro <figN> | pytest benchmarks/):"]
+    for exp_id in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[exp_id]
+        lines.append(
+            f"  {exp_id:<6} {exp.title:<48} [{exp.paper_source}] -> {exp.bench}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point. Returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        print(_run_plan(args))
+        return 0
+    if args.command == "list":
+        print(_run_list())
+        return 0
+
+    grid = _grid(args)
+    if args.command in ("fig4", "fig5", "fig6", "fig7"):
+        module = {"fig4": fig4, "fig5": fig5, "fig6": fig6, "fig7": fig7}[
+            args.command
+        ]
+        result = module.run(grid)
+        print(module.format_result(result))
+        if args.csv:
+            from .experiments.export import figure_rows, write_csv
+
+            headers, rows = figure_rows(result)
+            write_csv(args.csv, headers, rows)
+            print(f"\nCSV written to {args.csv}")
+    elif args.command == "ablations":
+        print(ablations.format_wallclock(ablations.run_wallclock(grid)))
+        print()
+        print(ablations.format_alpha_sweep(ablations.run_alpha_sweep()))
+        print()
+        print(ablations.format_comm_budget_sweep(ablations.run_comm_budget_sweep()))
+        print()
+        print(
+            ablations.format_attack_matrix(
+                ablations.run_attack_matrix(master_seed=grid.master_seed)
+            )
+        )
+        print()
+        print(
+            ablations.format_gfunc_approximation(
+                ablations.run_gfunc_approximation()
+            )
+        )
+        print()
+        print(
+            ablations.format_alarm_policy_study(
+                ablations.run_alarm_policy_study(master_seed=grid.master_seed),
+                tolerance=10,
+            )
+        )
+        print()
+        print(
+            ablations.format_unreliable_channel_study(
+                ablations.run_unreliable_channel_study(
+                    master_seed=grid.master_seed
+                )
+            )
+        )
+        print()
+        print(ablations.format_timer_design(ablations.run_timer_design()))
+        print()
+        print(
+            ablations.format_strategy_comparison(
+                ablations.run_strategy_comparison(
+                    trials=min(grid.trials, 200), master_seed=grid.master_seed
+                )
+            )
+        )
+        print()
+        print(ablations.format_rounds_tradeoff(ablations.run_rounds_tradeoff()))
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

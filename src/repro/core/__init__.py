@@ -1,0 +1,90 @@
+"""The paper's contribution: TRP and UTRP with their analyses.
+
+Import order matters: the pure math (parameters, analysis,
+utrp_analysis, verification) loads before the protocol engines, which
+reach back into :mod:`repro.server` — keeping the package import graph
+acyclic even under partial initialisation.
+"""
+
+from .parameters import MonitorRequirement
+from .analysis import (
+    detection_probability,
+    detection_probability_poisson,
+    expected_empty_slots,
+    frame_size_for,
+    optimal_trp_frame_size,
+)
+from .utrp_analysis import (
+    DEFAULT_SLACK_SLOTS,
+    CollusionBudget,
+    expected_sync_slots,
+    optimal_utrp_frame_size,
+    utrp_detection_probability,
+)
+from .verification import Verdict, VerificationResult, compare_bitstrings
+from .trp import TrpRoundReport, run_trp_round
+from .utrp import UtrpRoundReport, estimate_scan_time_bounds, run_utrp_round
+from .estimation import (
+    StrictAlarmPolicy,
+    ThresholdAlarmPolicy,
+    estimate_missing_count,
+    expected_mismatch_slots,
+)
+from .rounds import (
+    RoundsPlan,
+    optimal_repeated_frame_size,
+    plan_rounds,
+    repeated_detection_probability,
+)
+from .identification import (
+    MissingTagIdentifier,
+    RoundEvidence,
+    confirmed_missing_in_round,
+    identification_probability,
+    rounds_to_identify,
+)
+from .calibration import CalibrationResult, calibrate_trp_frame_size
+from .monitor import Alert, MonitoringServer
+from .groups import GroupAlert, GroupSweepReport, GroupedMonitor
+
+__all__ = [
+    "MonitorRequirement",
+    "detection_probability",
+    "detection_probability_poisson",
+    "expected_empty_slots",
+    "frame_size_for",
+    "optimal_trp_frame_size",
+    "DEFAULT_SLACK_SLOTS",
+    "CollusionBudget",
+    "expected_sync_slots",
+    "optimal_utrp_frame_size",
+    "utrp_detection_probability",
+    "Verdict",
+    "VerificationResult",
+    "compare_bitstrings",
+    "TrpRoundReport",
+    "run_trp_round",
+    "UtrpRoundReport",
+    "estimate_scan_time_bounds",
+    "run_utrp_round",
+    "Alert",
+    "MonitoringServer",
+    "StrictAlarmPolicy",
+    "ThresholdAlarmPolicy",
+    "estimate_missing_count",
+    "expected_mismatch_slots",
+    "GroupAlert",
+    "GroupSweepReport",
+    "GroupedMonitor",
+    "RoundsPlan",
+    "optimal_repeated_frame_size",
+    "plan_rounds",
+    "repeated_detection_probability",
+    "MissingTagIdentifier",
+    "RoundEvidence",
+    "confirmed_missing_in_round",
+    "identification_probability",
+    "rounds_to_identify",
+    "CalibrationResult",
+    "calibrate_trp_frame_size",
+]

@@ -1,0 +1,190 @@
+"""TRP analysis: detection probability and optimal frame sizing.
+
+Implements Sec. 4.3 of the paper:
+
+* Theorem 1 — ``g(n, x, f)``, the probability that TRP detects a set
+  with exactly ``x`` missing tags using frame size ``f``::
+
+      g(n, x, f) = 1 - sum_{i=0}^{f} C(f,i) p^i (1-p)^{f-i} (1 - i/f)^x,
+      p = e^{-(n-x)/f}
+
+  (``N0 = i`` empty slots among the present tags' frame; each of the
+  ``x`` missing tags dodges detection unless it hashes onto an empty
+  slot).
+* Lemma 1 — ``g`` is increasing in ``x`` (more thefts are easier to
+  catch), so the binding case is ``x = m + 1`` (Theorem 2).
+* Eq. 2 — the optimal frame size ``f* = min { f : g(n, m+1, f) > alpha }``.
+
+The binomial expectation is evaluated vectorised over a mass-covering
+window of the Binomial(f, p) support, so sizing stays fast even for
+frames of tens of thousands of slots. A Poisson-approximation variant
+is provided for the approximation-quality ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy import stats
+
+from .parameters import MonitorRequirement
+
+__all__ = [
+    "detection_probability",
+    "detection_probability_poisson",
+    "expected_empty_slots",
+    "optimal_trp_frame_size",
+    "frame_size_for",
+]
+
+#: Probability mass allowed outside the truncated binomial window. The
+#: dropped terms each contribute at most ``_TAIL_EPS`` to the sum, which
+#: is far below every confidence granularity the paper uses.
+_TAIL_EPS = 1e-12
+
+#: Upper bound for the frame-size search; Eq. 2 solutions for the
+#: paper's whole grid sit below 10^4, so hitting this indicates misuse.
+_MAX_FRAME = 1 << 26
+
+
+def _binom_window(f: int, p: float) -> Tuple[int, int]:
+    """Index window of Binomial(f, p) holding all but ``_TAIL_EPS`` mass."""
+    if p <= 0.0:
+        return 0, 0
+    if p >= 1.0:
+        return f, f
+    lo = int(stats.binom.ppf(_TAIL_EPS / 2, f, p))
+    hi = int(stats.binom.ppf(1 - _TAIL_EPS / 2, f, p))
+    return max(lo, 0), min(hi, f)
+
+
+def _occupancy_p(present: int, f: int, exact_occupancy: bool) -> float:
+    """Probability a given slot is empty of the ``present`` tags.
+
+    The paper's proof uses the exponential approximation
+    ``p = e^{-(n-x)/f}``; the exact value is ``(1 - 1/f)^{n-x}``. Both
+    are supported so the approximation error can be measured.
+    """
+    if exact_occupancy:
+        return (1.0 - 1.0 / f) ** present if f > 1 else (0.0 if present else 1.0)
+    return math.exp(-present / f)
+
+
+def detection_probability(
+    n: int, x: int, f: int, exact_occupancy: bool = False
+) -> float:
+    """``g(n, x, f)`` — Theorem 1.
+
+    Args:
+        n: total tags in the monitored set.
+        x: how many of them are missing.
+        f: TRP frame size.
+        exact_occupancy: use the exact empty-slot probability
+            ``(1-1/f)^{n-x}`` instead of the paper's ``e^{-(n-x)/f}``.
+
+    Returns:
+        Probability that the returned bitstring differs from the
+        server's expectation, i.e. the theft is detected.
+
+    Raises:
+        ValueError: if ``x`` is outside ``[0, n]`` or ``f < 1``.
+    """
+    if not 0 <= x <= n:
+        raise ValueError(f"x must be in [0, n]; got x={x}, n={n}")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if x == 0:
+        return 0.0
+    present = n - x
+    p = _occupancy_p(present, f, exact_occupancy)
+    lo, hi = _binom_window(f, p)
+    i = np.arange(lo, hi + 1)
+    pmf = stats.binom.pmf(i, f, p)
+    escape = (1.0 - i / f) ** x
+    return float(1.0 - np.dot(pmf, escape))
+
+
+def detection_probability_poisson(n: int, x: int, f: int) -> float:
+    """Poisson-occupancy approximation of ``g(n, x, f)``.
+
+    Treats each slot's emptiness as independent, so
+    ``E[(1 - N0/f)^x] ~ (1 - p)^x`` with a second-order variance
+    correction. Used by the approximation-quality ablation (Abl. E);
+    cheap enough to evaluate inline during interactive planning.
+    """
+    if not 0 <= x <= n:
+        raise ValueError(f"x must be in [0, n]; got x={x}, n={n}")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if x == 0:
+        return 0.0
+    p = math.exp(-(n - x) / f)
+    mean = p
+    var = p * (1 - p) / f
+    # E[(1 - N0/f)^x] expanded around the mean of N0/f.
+    base = (1 - mean) ** x
+    if x >= 2 and 1 - mean > 0:
+        base += 0.5 * x * (x - 1) * (1 - mean) ** (x - 2) * var
+    return float(min(max(1.0 - base, 0.0), 1.0))
+
+
+def expected_empty_slots(n: int, x: int, f: int) -> float:
+    """``E[N0] = f * e^{-(n-x)/f}`` — mean empty slots left by present tags."""
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    return f * math.exp(-(n - x) / f)
+
+
+@lru_cache(maxsize=4096)
+def optimal_trp_frame_size(
+    n: int, m: int, alpha: float, exact_occupancy: bool = False
+) -> int:
+    """Eq. 2 — ``f* = min { f : g(n, m+1, f) > alpha }``.
+
+    ``g`` is monotone non-decreasing in ``f`` at the scales of interest
+    (more slots mean more empty slots for a missing tag to expose
+    itself in), so the minimum is found with exponential bracketing and
+    binary search; a final local scan guards against discreteness
+    wiggles at very small frames.
+
+    Raises:
+        ValueError: on invalid ``(n, m, alpha)`` (delegated to
+            :class:`MonitorRequirement`) or if no frame below the
+            internal cap satisfies the requirement.
+    """
+    req = MonitorRequirement(population=n, tolerance=m, confidence=alpha)
+    x = req.critical_missing
+
+    def ok(f: int) -> bool:
+        return detection_probability(n, x, f, exact_occupancy) > alpha
+
+    hi = 1
+    while not ok(hi):
+        hi *= 2
+        if hi > _MAX_FRAME:
+            raise ValueError(
+                f"no frame size up to {_MAX_FRAME} satisfies "
+                f"g({n}, {x}, f) > {alpha}"
+            )
+    lo = hi // 2  # ok(lo) is False (or lo == 0)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    # Guard against non-monotone wiggle: shrink while the predicate
+    # still holds just below, then confirm the answer itself.
+    while hi > 1 and ok(hi - 1):
+        hi -= 1
+    return hi
+
+
+def frame_size_for(req: MonitorRequirement, exact_occupancy: bool = False) -> int:
+    """Convenience wrapper over :func:`optimal_trp_frame_size`."""
+    return optimal_trp_frame_size(
+        req.population, req.tolerance, req.confidence, exact_occupancy
+    )

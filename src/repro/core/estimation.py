@@ -1,0 +1,139 @@
+"""Missing-count estimation and alarm policies (extension).
+
+The paper's server alarms on *any* bitstring mismatch. That rule gives
+the one-sided guarantee of Eq. 1 (``> m`` missing is caught w.p.
+``> alpha``), but it also fires — with moderate probability — when only
+one or two tags are missing, which the introduction explicitly wants to
+tolerate ("it is impractical to notify the retailer each time there is
+a single RFID tag missing"). The paper does not spell out how the
+server distinguishes a sub-threshold loss from a breach.
+
+This module supplies the natural completion: the *number* of
+mismatched slots is itself an estimator of how many tags are missing.
+A slot mismatches exactly when every tag that picked it is missing, so
+
+    E[mismatches | x missing] = f * (1 - e^{-x/f}) * e^{-(n-x)/f}
+
+which is strictly increasing in ``x`` and invertible. The
+:class:`ThresholdAlarmPolicy` alarms only when the inverted estimate
+exceeds ``m``, keeping routine sub-threshold losses silent at the cost
+of a weaker worst-case guarantee right at ``x = m + 1`` (quantified by
+the Abl. F bench; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import optimize
+
+__all__ = [
+    "expected_mismatch_slots",
+    "estimate_missing_count",
+    "AlarmPolicy",
+    "StrictAlarmPolicy",
+    "ThresholdAlarmPolicy",
+]
+
+
+def expected_mismatch_slots(n: int, x: int, f: int) -> float:
+    """Mean number of expected-1/observed-0 slots with ``x`` missing.
+
+    A slot betrays the theft iff at least one *missing* tag picked it
+    and no *present* tag did.
+
+    Raises:
+        ValueError: if ``x`` is outside ``[0, n]`` or ``f < 1``.
+    """
+    if not 0 <= x <= n:
+        raise ValueError(f"x must be in [0, n]; got x={x}, n={n}")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    return f * (1.0 - math.exp(-x / f)) * math.exp(-(n - x) / f)
+
+
+def estimate_missing_count(mismatches: int, n: int, f: int) -> float:
+    """Invert :func:`expected_mismatch_slots` to estimate ``x``.
+
+    Args:
+        mismatches: count of slots where the server expected occupancy
+            and saw none.
+        n: registered population size.
+        f: frame size of the scan.
+
+    Returns:
+        The (real-valued) ``x`` whose expected mismatch count equals
+        the observation; 0.0 for a clean scan. Clamped to ``[0, n]``.
+
+    Raises:
+        ValueError: on a negative mismatch count or bad ``(n, f)``.
+    """
+    if mismatches < 0:
+        raise ValueError("mismatches must be >= 0")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if mismatches == 0:
+        return 0.0
+    ceiling = expected_mismatch_slots(n, n, f)
+    if mismatches >= ceiling:
+        return float(n)
+
+    def gap(x: float) -> float:
+        return (
+            f * (1.0 - math.exp(-x / f)) * math.exp(-(n - x) / f) - mismatches
+        )
+
+    return float(optimize.brentq(gap, 0.0, float(n)))
+
+
+class AlarmPolicy:
+    """Decides whether a NOT_INTACT scan pages the operator."""
+
+    def should_alarm(self, mismatches: int, n: int, f: int) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StrictAlarmPolicy(AlarmPolicy):
+    """The paper's rule: any mismatch alarms.
+
+    Preserves the Eq. 1 guarantee exactly; sub-threshold losses may
+    page the operator.
+    """
+
+    def should_alarm(self, mismatches: int, n: int, f: int) -> bool:
+        return mismatches > 0
+
+    def describe(self) -> str:
+        return "strict (any mismatch alarms — the paper's rule)"
+
+
+@dataclass(frozen=True)
+class ThresholdAlarmPolicy(AlarmPolicy):
+    """Alarm only when the estimated missing count exceeds ``m``.
+
+    Attributes:
+        tolerance: ``m``.
+        margin: subtracted from the estimate before comparing, trading
+            false silence for fewer false pages (0 = neutral).
+    """
+
+    tolerance: int
+    margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+
+    def should_alarm(self, mismatches: int, n: int, f: int) -> bool:
+        estimate = estimate_missing_count(mismatches, n, f)
+        return estimate - self.margin > self.tolerance
+
+    def describe(self) -> str:
+        return (
+            f"threshold (page only when estimated missing > {self.tolerance})"
+        )

@@ -1,0 +1,184 @@
+"""Multi-group monitoring: many sets, one operator view.
+
+The paper's contribution list (Sec. 1, point 4) highlights that —
+unlike the yoking-proof line, whose per-tag timers hard-wire a group
+size — this monitoring technique "can accommodate different sized
+groups of tags". :class:`GroupedMonitor` makes that concrete: each
+group (a shelf, a pallet, a stockroom) gets its own
+:class:`~repro.core.monitor.MonitoringServer` with its own
+``(n, m, alpha)`` policy, reader-trust level and alarm policy, while
+alerts funnel into one place and a scan sweep covers every group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..rfid.channel import SlottedChannel
+from .estimation import AlarmPolicy
+from .monitor import Alert, MonitoringServer
+from .parameters import MonitorRequirement
+
+__all__ = ["GroupAlert", "GroupSweepReport", "GroupedMonitor"]
+
+
+@dataclass(frozen=True)
+class GroupAlert:
+    """An alert, qualified with the group that raised it."""
+
+    group: str
+    alert: Alert
+
+    def describe(self) -> str:
+        return f"[{self.group}] {self.alert.describe()}"
+
+
+@dataclass
+class GroupSweepReport:
+    """Outcome of checking every group once.
+
+    Attributes:
+        intact_groups: groups whose scan verified.
+        flagged_groups: groups whose scan raised an alert this sweep.
+        total_slots: combined slot cost of the sweep.
+    """
+
+    intact_groups: List[str]
+    flagged_groups: List[str]
+    total_slots: int
+
+    @property
+    def all_intact(self) -> bool:
+        return not self.flagged_groups
+
+
+class GroupedMonitor:
+    """Monitors several independently-sized tag groups."""
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        on_alert: Optional[Callable[[GroupAlert], None]] = None,
+    ):
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._servers: Dict[str, MonitoringServer] = {}
+        self._untrusted: Dict[str, bool] = {}
+        self.alerts: List[GroupAlert] = []
+        self._on_alert = on_alert
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def add_group(
+        self,
+        name: str,
+        requirement: MonitorRequirement,
+        tag_ids,
+        counter_tags: bool = True,
+        untrusted_reader: bool = False,
+        comm_budget: int = 20,
+        alarm_policy: Optional[AlarmPolicy] = None,
+    ) -> MonitoringServer:
+        """Register a new group with its own policy.
+
+        Args:
+            name: unique group label (appears in alerts).
+            requirement: the group's ``(n, m, alpha)``.
+            tag_ids: the group's registered IDs.
+            counter_tags: whether this group's tags are UTRP-grade.
+            untrusted_reader: check this group with UTRP during sweeps.
+            comm_budget: collusion budget for UTRP planning.
+            alarm_policy: per-group paging rule.
+
+        Raises:
+            ValueError: on a duplicate name, or requesting UTRP sweeps
+                for non-counter tags.
+        """
+        if name in self._servers:
+            raise ValueError(f"group {name!r} already exists")
+        if untrusted_reader and not counter_tags:
+            raise ValueError("UTRP sweeps need counter-capable tags")
+
+        def forward(alert: Alert, group=name) -> None:
+            wrapped = GroupAlert(group=group, alert=alert)
+            self.alerts.append(wrapped)
+            if self._on_alert is not None:
+                self._on_alert(wrapped)
+
+        server = MonitoringServer(
+            requirement,
+            rng=self._rng,
+            on_alert=forward,
+            comm_budget=comm_budget,
+            counter_tags=counter_tags,
+            alarm_policy=alarm_policy,
+        )
+        server.register(list(tag_ids))
+        self._servers[name] = server
+        self._untrusted[name] = untrusted_reader
+        return server
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def groups(self) -> List[str]:
+        return list(self._servers)
+
+    def server(self, name: str) -> MonitoringServer:
+        """The per-group server (e.g. for frame-size planning).
+
+        Raises:
+            KeyError: on an unknown group.
+        """
+        return self._servers[name]
+
+    def planned_sweep_slots(self) -> int:
+        """Total slots one sweep of every group will cost."""
+        total = 0
+        for name, server in self._servers.items():
+            total += (
+                server.utrp_frame_size
+                if self._untrusted[name]
+                else server.trp_frame_size
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+
+    def sweep(self, channels: Dict[str, SlottedChannel]) -> GroupSweepReport:
+        """Check every group once against its physical channel.
+
+        Groups flagged this sweep are those whose check appended an
+        alert (per the group's alarm policy).
+
+        Raises:
+            KeyError: if a channel is missing for any group.
+        """
+        intact: List[str] = []
+        flagged: List[str] = []
+        total_slots = 0
+        for name, server in self._servers.items():
+            channel = channels[name]
+            alerts_before = len(self.alerts)
+            if self._untrusted[name]:
+                report = server.check_utrp(channel)
+            else:
+                report = server.check_trp(channel)
+            total_slots += report.slots_used
+            if len(self.alerts) > alerts_before:
+                flagged.append(name)
+            else:
+                intact.append(name)
+        return GroupSweepReport(
+            intact_groups=intact,
+            flagged_groups=flagged,
+            total_slots=total_slots,
+        )

@@ -1,0 +1,183 @@
+"""Missing-tag identification (extension).
+
+The paper's protocols answer *whether* more than ``m`` tags are
+missing. Once the alarm fires, the operator's next question is *which*
+tags are gone — the problem the follow-on literature (missing-tag
+identification) took up. This module implements the natural
+TRP-compatible identifier, using two observations about a bitstring
+round with seed ``r`` and frame ``f``:
+
+* an expected-occupied slot observed **empty** condemns *every*
+  registered tag hashing there: any present one would have replied —
+  so those tags are **confirmed missing** (no false positives, ever,
+  on a reliable channel);
+* an occupied slot only proves *some* tag in it is present, so
+  presence is never confirmed for an individual tag — a missing tag
+  can hide behind a present slot-mate indefinitely.
+
+Each extra round re-hashes everyone with a fresh seed, so a missing
+tag escapes confirmation in one round only if it shares its slot with
+a present tag — probability ``~ 1 - e^{-(n-x)/f}`` — and escapes ``k``
+rounds with the ``k``-th power of that. :func:`rounds_to_identify`
+inverts this to plan how many rounds confirm the whole missing set
+with a target probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from ..rfid.hashing import slots_for_tags
+
+__all__ = [
+    "RoundEvidence",
+    "confirmed_missing_in_round",
+    "MissingTagIdentifier",
+    "identification_probability",
+    "rounds_to_identify",
+]
+
+
+@dataclass(frozen=True)
+class RoundEvidence:
+    """What one TRP round contributes to identification.
+
+    Attributes:
+        confirmed_missing: tag IDs condemned by empty expected-occupied
+            slots this round.
+        suspicious_slots: the slots that condemned them.
+    """
+
+    confirmed_missing: Set[int]
+    suspicious_slots: List[int]
+
+
+def confirmed_missing_in_round(
+    registered_ids: np.ndarray,
+    frame_size: int,
+    seed: int,
+    observed_bitstring: np.ndarray,
+) -> RoundEvidence:
+    """Extract the round's confirmed-missing set.
+
+    Args:
+        registered_ids: every ID the server registered.
+        frame_size: the round's ``f``.
+        seed: the round's ``r``.
+        observed_bitstring: what the reader returned.
+
+    Raises:
+        ValueError: if the bitstring length does not match the frame.
+    """
+    ids = np.asarray(registered_ids, dtype=np.uint64)
+    observed = np.asarray(observed_bitstring)
+    if observed.shape != (frame_size,):
+        raise ValueError(
+            f"bitstring length {observed.shape} does not match frame "
+            f"{frame_size}"
+        )
+    slots = slots_for_tags(ids, seed, frame_size)
+    expected_occupied = np.zeros(frame_size, dtype=bool)
+    expected_occupied[slots] = True
+    betrayed = expected_occupied & (observed == 0)
+    condemned_mask = betrayed[slots]
+    return RoundEvidence(
+        confirmed_missing=set(int(i) for i in ids[condemned_mask]),
+        suspicious_slots=np.nonzero(betrayed)[0].tolist(),
+    )
+
+
+class MissingTagIdentifier:
+    """Accumulates identification evidence across TRP rounds.
+
+    Feed it each round's ``(f, r, observed_bitstring)``; it maintains
+    the union of confirmed-missing tags and estimates coverage.
+    """
+
+    def __init__(self, registered_ids: Sequence[int]):
+        self._ids = np.asarray(list(registered_ids), dtype=np.uint64)
+        if len(np.unique(self._ids)) != len(self._ids):
+            raise ValueError("registered IDs must be unique")
+        self._confirmed: Set[int] = set()
+        self._rounds = 0
+
+    @property
+    def rounds_observed(self) -> int:
+        return self._rounds
+
+    @property
+    def confirmed_missing(self) -> Set[int]:
+        """Tags proven missing so far (never a false positive on a
+        reliable channel)."""
+        return set(self._confirmed)
+
+    def ingest(
+        self, frame_size: int, seed: int, observed_bitstring: np.ndarray
+    ) -> RoundEvidence:
+        """Add one round's bitstring and return its fresh evidence."""
+        evidence = confirmed_missing_in_round(
+            self._ids, frame_size, seed, observed_bitstring
+        )
+        self._confirmed |= evidence.confirmed_missing
+        self._rounds += 1
+        return evidence
+
+    def coverage(self, missing_estimate: int, frame_size: int) -> float:
+        """Estimated probability that a given missing tag has been
+        confirmed by now (see :func:`identification_probability`)."""
+        n = len(self._ids)
+        return identification_probability(
+            n, missing_estimate, frame_size, self._rounds
+        )
+
+
+def identification_probability(
+    n: int, x: int, frame_size: int, rounds: int
+) -> float:
+    """P(a specific missing tag is confirmed within ``rounds`` rounds).
+
+    Per round the tag is confirmed iff no present tag shares its slot:
+    ``p = (approximately) e^{-(n-x)/f}``; rounds are independent.
+
+    Raises:
+        ValueError: on invalid shapes.
+    """
+    if not 0 <= x <= n:
+        raise ValueError(f"x must be in [0, n]; got x={x}, n={n}")
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+    if rounds < 0:
+        raise ValueError("rounds must be >= 0")
+    p = math.exp(-(n - x) / frame_size)
+    return 1.0 - (1.0 - p) ** rounds
+
+
+def rounds_to_identify(
+    n: int, x: int, frame_size: int, beta: float = 0.99
+) -> int:
+    """Rounds needed so *all* ``x`` missing tags are confirmed w.p. > beta.
+
+    Uses a union bound: per-tag miss probability must fall below
+    ``(1 - beta) / x``.
+
+    Raises:
+        ValueError: on invalid inputs or an unidentifiable setup
+            (``p = 0``).
+    """
+    if not 0 < x <= n:
+        raise ValueError("x must be in (0, n]")
+    if not 0.0 < beta < 1.0:
+        raise ValueError("beta must be in (0, 1)")
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+    p = math.exp(-(n - x) / frame_size)
+    if p <= 0.0:
+        raise ValueError("frame too small: confirmation probability is 0")
+    if p >= 1.0:
+        return 1
+    target = (1.0 - beta) / x
+    return max(1, math.ceil(math.log(target) / math.log(1.0 - p)))

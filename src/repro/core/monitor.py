@@ -1,0 +1,250 @@
+"""The monitoring server: the paper's deployment loop in one object.
+
+:class:`MonitoringServer` owns the database, the seed issuer and the
+``(n, m, alpha)`` requirement, and exposes the two operations a
+deployment performs: register the set once, then repeatedly check it —
+with TRP when the reader is trusted, UTRP when it is not. Alerts
+(``> m`` tags missing, or a rejected UTRP proof) are delivered to a
+caller-supplied callback, matching Sec. 1's "the server will issue a
+warning if the number of missing tags exceeds the threshold".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..rfid.channel import SlottedChannel
+from ..rfid.reader import TrustedReader
+from ..rfid.timing import LinkTiming, UNIT_SLOTS
+from ..server.audit import AuditLog
+from ..server.database import TagDatabase
+from ..server.seeds import SeedIssuer
+from .analysis import frame_size_for
+from .estimation import AlarmPolicy, StrictAlarmPolicy
+from .parameters import MonitorRequirement
+from .trp import TrpRoundReport, run_trp_round
+from .utrp import UtrpRoundReport, run_utrp_round
+from .utrp_analysis import optimal_utrp_frame_size
+from .verification import Verdict, VerificationResult
+
+__all__ = ["Alert", "MonitoringServer"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A warning raised to the operator.
+
+    Attributes:
+        round_index: which check (0-based) raised it.
+        protocol: "TRP" or "UTRP".
+        result: the verification evidence behind the alarm.
+    """
+
+    round_index: int
+    protocol: str
+    result: VerificationResult
+
+    def describe(self) -> str:
+        return (
+            f"round {self.round_index} [{self.protocol}]: "
+            f"{self.result.verdict.value}"
+            + (
+                f", {len(self.result.mismatched_slots)} mismatched slots"
+                if self.result.mismatched_slots
+                else ""
+            )
+        )
+
+
+class MonitoringServer:
+    """End-to-end server: registration, planning, checking, alerting."""
+
+    def __init__(
+        self,
+        requirement: MonitorRequirement,
+        rng: Optional[np.random.Generator] = None,
+        on_alert: Optional[Callable[[Alert], None]] = None,
+        comm_budget: int = 20,
+        timing: LinkTiming = UNIT_SLOTS,
+        counter_tags: bool = False,
+        alarm_policy: Optional[AlarmPolicy] = None,
+        audit: Optional[AuditLog] = None,
+    ):
+        """Args:
+            requirement: the ``(n, m, alpha)`` policy.
+            rng: randomness for seed issuance (reproducible runs pass
+                a seeded generator).
+            on_alert: callback for every alarm; alerts are also kept in
+                :attr:`alerts`.
+            comm_budget: collusion budget ``c`` UTRP planning assumes.
+            timing: link model for UTRP timers.
+            counter_tags: whether the deployed tags are UTRP-grade
+                (hardware counter). Required for :meth:`check_utrp`;
+                makes :meth:`check_trp` counter-aware so mixed
+                schedules stay in sync.
+            alarm_policy: when a scan comes back NOT_INTACT, decides
+                whether to page the operator. Defaults to the paper's
+                strict rule (any mismatch); pass
+                :class:`~repro.core.estimation.ThresholdAlarmPolicy`
+                to stay silent for estimated losses within ``m``.
+                Rejected proofs (late / malformed) always page.
+            audit: optional append-only log; the server records every
+                registration, verdict and alert in it (seed values are
+                deliberately never logged — a leaked log must not
+                enable replay).
+        """
+        self.requirement = requirement
+        self.database = TagDatabase()
+        self.issuer = SeedIssuer(rng)
+        self.comm_budget = comm_budget
+        self.timing = timing
+        self.counter_tags = counter_tags
+        self.alarm_policy: AlarmPolicy = (
+            alarm_policy if alarm_policy is not None else StrictAlarmPolicy()
+        )
+        self.audit = audit
+        self.alerts: List[Alert] = []
+        self._on_alert = on_alert
+        self._rounds = 0
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+
+    def register(self, tag_ids, labels=None) -> None:
+        """Record the monitored set's IDs (once; sets are static).
+
+        Raises:
+            ValueError: if the number of IDs does not match the
+                requirement's population.
+        """
+        ids = list(tag_ids)
+        if len(ids) != self.requirement.population:
+            raise ValueError(
+                f"requirement expects n={self.requirement.population} tags, "
+                f"got {len(ids)} IDs"
+            )
+        self.database.register_set(ids, labels)
+        if self.audit is not None:
+            self.audit.record(
+                "set-registered",
+                population=len(ids),
+                tolerance=self.requirement.tolerance,
+                confidence=self.requirement.confidence,
+            )
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    @property
+    def trp_frame_size(self) -> int:
+        """Eq. 2's optimal frame size for this requirement."""
+        return frame_size_for(self.requirement)
+
+    @property
+    def utrp_frame_size(self) -> int:
+        """Eq. 3's optimal frame size (plus slack) for this requirement."""
+        return optimal_utrp_frame_size(
+            self.requirement.population,
+            self.requirement.tolerance,
+            self.requirement.confidence,
+            self.comm_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+
+    def check_trp(
+        self,
+        channel: SlottedChannel,
+        reader: Optional[TrustedReader] = None,
+        frame_size: Optional[int] = None,
+    ) -> TrpRoundReport:
+        """Run a trusted-reader check against a physical population."""
+        report = run_trp_round(
+            self.database,
+            self.issuer,
+            self.requirement,
+            channel,
+            reader=reader,
+            frame_size=frame_size,
+            counter_aware=self.counter_tags,
+        )
+        self._register_outcome("TRP", report.result)
+        return report
+
+    def check_utrp(
+        self,
+        channel: SlottedChannel,
+        reader: Optional[TrustedReader] = None,
+        frame_size: Optional[int] = None,
+        timer: Optional[float] = None,
+        scan_fn=None,
+    ) -> UtrpRoundReport:
+        """Run an untrusted-reader check; ``scan_fn`` lets tests inject
+        a dishonest reader in place of the honest scan.
+
+        Raises:
+            RuntimeError: if the deployment's tags lack the hardware
+                counter UTRP requires (Sec. 5.2's assumption).
+        """
+        if not self.counter_tags:
+            raise RuntimeError(
+                "UTRP requires counter-capable tags; construct "
+                "MonitoringServer(counter_tags=True) for such a deployment"
+            )
+        report = run_utrp_round(
+            self.database,
+            self.issuer,
+            self.requirement,
+            channel,
+            comm_budget=self.comm_budget,
+            reader=reader,
+            frame_size=frame_size,
+            timer=timer,
+            scan_fn=scan_fn,
+            timing=self.timing,
+        )
+        self._register_outcome("UTRP", report.result)
+        return report
+
+    def _register_outcome(self, protocol: str, result: VerificationResult) -> None:
+        round_index = self._rounds
+        self._rounds += 1
+        if self.audit is not None:
+            self.audit.record(
+                "verdict",
+                round=round_index,
+                protocol=protocol,
+                verdict=result.verdict.value,
+                frame_size=result.frame_size,
+                mismatched_slots=len(result.mismatched_slots),
+            )
+        if not result.verdict.alarm:
+            return
+        if result.verdict is Verdict.NOT_INTACT and not self.alarm_policy.should_alarm(
+            len(result.mismatched_slots),
+            self.requirement.population,
+            result.frame_size,
+        ):
+            return  # sub-threshold loss under a tolerant policy
+        alert = Alert(round_index, protocol, result)
+        self.alerts.append(alert)
+        if self.audit is not None:
+            self.audit.record(
+                "alert",
+                round=round_index,
+                protocol=protocol,
+                verdict=result.verdict.value,
+            )
+        if self._on_alert is not None:
+            self._on_alert(alert)
+
+    @property
+    def rounds_run(self) -> int:
+        return self._rounds

@@ -1,0 +1,57 @@
+"""Monitoring requirement: the ``(n, m, alpha)`` triple of Sec. 3.
+
+Every planning and verification function in :mod:`repro.core` takes a
+:class:`MonitorRequirement`, which validates the paper's constraints
+once so the math modules don't have to re-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MonitorRequirement"]
+
+
+@dataclass(frozen=True)
+class MonitorRequirement:
+    """What the server demands of the monitoring protocol.
+
+    Attributes:
+        population: ``n`` — number of tags in the monitored set ``T*``.
+        tolerance: ``m`` — up to this many missing tags the set still
+            counts as intact.
+        confidence: ``alpha`` — lower bound on the probability that a
+            *not intact* set (``> m`` missing) is detected.
+
+    The adversary-relevant quantity is :attr:`critical_missing`
+    (``m + 1``): the paper proves (Lemma 1 + Theorem 2) that if the
+    protocol detects exactly ``m + 1`` missing tags with probability
+    ``> alpha``, it does so for every larger theft too.
+    """
+
+    population: int
+    tolerance: int
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError(f"population must be >= 1, got {self.population}")
+        if not 0 <= self.tolerance < self.population:
+            raise ValueError(
+                f"tolerance must be in [0, population), got {self.tolerance}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    @property
+    def critical_missing(self) -> int:
+        """``m + 1`` — the hardest theft size to detect (Theorem 2)."""
+        return self.tolerance + 1
+
+    def describe(self) -> str:
+        return (
+            f"n={self.population} tags, tolerate m={self.tolerance} missing, "
+            f"detect >m with confidence alpha={self.confidence}"
+        )

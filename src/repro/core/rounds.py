@@ -1,0 +1,131 @@
+"""Multi-round TRP planning: repeat small frames or run one big one?
+
+A natural question the paper leaves open: instead of one frame sized
+by Eq. 2, a server could run ``r`` *independent* TRP rounds (fresh
+seeds) with smaller frames and alarm if any round mismatches. Missed
+detections are independent across rounds (each round re-hashes every
+tag with a fresh seed), so
+
+    P(detect over r rounds) = 1 - (1 - g(n, x, f))^r .
+
+This module sizes such plans and answers the trade-off: because
+``g`` rises steeply and then saturates in ``f``, splitting the budget
+over rounds is **never cheaper** at the paper's operating points — one
+Eq. 2 frame beats ``r`` smaller ones in total slots (quantified by the
+Abl. J bench) — but multi-round plans still earn their keep
+operationally: they bound the *per-scan* downtime when a shelf cannot
+be taken offline long enough for one big frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .analysis import detection_probability
+from .parameters import MonitorRequirement
+
+__all__ = [
+    "repeated_detection_probability",
+    "optimal_repeated_frame_size",
+    "RoundsPlan",
+    "plan_rounds",
+]
+
+_MAX_FRAME = 1 << 26
+
+
+def repeated_detection_probability(
+    n: int, x: int, frame_size: int, rounds: int
+) -> float:
+    """``1 - (1 - g(n, x, f))^r`` — detection over independent rounds.
+
+    Raises:
+        ValueError: if ``rounds`` is not positive (other validation is
+            delegated to :func:`detection_probability`).
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    g = detection_probability(n, x, frame_size)
+    return 1.0 - (1.0 - g) ** rounds
+
+
+def optimal_repeated_frame_size(
+    n: int, m: int, alpha: float, rounds: int
+) -> int:
+    """Minimal per-round frame so ``r`` rounds jointly clear ``alpha``.
+
+    Equivalent to Eq. 2 with the per-round requirement relaxed to
+    ``1 - (1-alpha)^(1/r)``.
+
+    Raises:
+        ValueError: on invalid ``(n, m, alpha)`` or ``rounds``.
+    """
+    MonitorRequirement(population=n, tolerance=m, confidence=alpha)
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    x = m + 1
+
+    def ok(f: int) -> bool:
+        return repeated_detection_probability(n, x, f, rounds) > alpha
+
+    hi = 1
+    while not ok(hi):
+        hi *= 2
+        if hi > _MAX_FRAME:
+            raise ValueError("no feasible per-round frame size")
+    lo = hi // 2
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    while hi > 1 and ok(hi - 1):
+        hi -= 1
+    return hi
+
+
+@dataclass(frozen=True)
+class RoundsPlan:
+    """A fully-specified multi-round monitoring plan.
+
+    Attributes:
+        rounds: number of independent TRP rounds per check.
+        frame_size: per-round frame.
+        total_slots: ``rounds * frame_size`` — the cost to compare
+            against the single-round Eq. 2 plan.
+        achieved_confidence: joint detection probability at the
+            worst-case theft.
+    """
+
+    rounds: int
+    frame_size: int
+    total_slots: int
+    achieved_confidence: float
+
+
+def plan_rounds(
+    n: int, m: int, alpha: float, max_rounds: int = 5
+) -> List[RoundsPlan]:
+    """Enumerate plans for 1..``max_rounds`` rounds at equal confidence.
+
+    Raises:
+        ValueError: on invalid inputs.
+    """
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    plans: List[RoundsPlan] = []
+    for r in range(1, max_rounds + 1):
+        f = optimal_repeated_frame_size(n, m, alpha, r)
+        plans.append(
+            RoundsPlan(
+                rounds=r,
+                frame_size=f,
+                total_slots=r * f,
+                achieved_confidence=repeated_detection_probability(
+                    n, m + 1, f, r
+                ),
+            )
+        )
+    return plans

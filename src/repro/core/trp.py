@@ -1,0 +1,111 @@
+"""TRP — the Trusted Reader Protocol (Sec. 4, Algs. 1-3).
+
+One round:
+
+1. the server picks the frame size from Eq. 2 and issues a fresh
+   ``(f, r)`` (:class:`~repro.server.seeds.SeedIssuer`);
+2. the reader broadcasts it and walks the frame, recording occupancy
+   (:meth:`~repro.rfid.reader.TrustedReader.scan_trp`);
+3. the server predicts the intact bitstring from its ID database and
+   compares (:func:`~repro.server.verifier.expected_trp_bitstring`).
+
+This module wires those three into a round runner used by the examples
+and the protocol-level tests; large Monte Carlo sweeps use the
+vectorised :mod:`repro.simulation.fastpath` instead (validated against
+this path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rfid.channel import SlottedChannel
+from ..rfid.reader import ScanResult, TrustedReader
+from ..server.database import TagDatabase
+from ..server.seeds import SeedIssuer, TrpChallenge
+from ..server.verifier import (
+    expected_trp_bitstring,
+    expected_trp_bitstring_with_counters,
+)
+from .analysis import frame_size_for
+from .parameters import MonitorRequirement
+from .verification import VerificationResult, compare_bitstrings
+
+__all__ = ["TrpRoundReport", "run_trp_round"]
+
+
+@dataclass
+class TrpRoundReport:
+    """Everything one TRP round produced.
+
+    Attributes:
+        challenge: the ``(f, r)`` the server issued.
+        scan: the reader's raw scan (bitstring + slot accounting).
+        result: the server's verdict.
+    """
+
+    challenge: TrpChallenge
+    scan: ScanResult
+    result: VerificationResult
+
+    @property
+    def intact(self) -> bool:
+        return self.result.intact
+
+    @property
+    def slots_used(self) -> int:
+        return self.scan.slots_used
+
+
+def run_trp_round(
+    database: TagDatabase,
+    issuer: SeedIssuer,
+    requirement: MonitorRequirement,
+    channel: SlottedChannel,
+    reader: Optional[TrustedReader] = None,
+    frame_size: Optional[int] = None,
+    counter_aware: bool = False,
+) -> TrpRoundReport:
+    """Run one honest TRP round end to end.
+
+    Args:
+        database: the server's registered IDs (defines the prediction).
+        issuer: seed source; guarantees the round's ``r`` is fresh.
+        requirement: ``(n, m, alpha)``; sizes the frame via Eq. 2
+            unless ``frame_size`` overrides it.
+        channel: the physical tag population being scanned.
+        reader: honest reader (a default one is created if omitted).
+        frame_size: explicit frame size override (experiments sweeping
+            ``f`` use this; normal operation lets Eq. 2 decide).
+        counter_aware: set True when the population is UTRP-grade
+            (counter) tags — the prediction then folds each tag's
+            ticked counter into the hash and commits the bump, keeping
+            mixed TRP/UTRP schedules on one set in sync.
+
+    Raises:
+        ValueError: if the requirement's population does not match the
+            database (a misconfigured deployment).
+    """
+    if requirement.population != database.size:
+        raise ValueError(
+            f"requirement says n={requirement.population} but database "
+            f"holds {database.size} tags"
+        )
+    f = frame_size if frame_size is not None else frame_size_for(requirement)
+    challenge = issuer.trp_challenge(f)
+    scanner = reader if reader is not None else TrustedReader()
+    scan = scanner.scan_trp(channel, challenge.frame_size, challenge.seed)
+    if counter_aware:
+        expected, new_counters = expected_trp_bitstring_with_counters(
+            database.ids, database.counters, challenge.frame_size, challenge.seed
+        )
+    else:
+        expected = expected_trp_bitstring(
+            database.ids, challenge.frame_size, challenge.seed
+        )
+        new_counters = None
+    result = compare_bitstrings(expected, scan.bitstring, challenge.frame_size)
+    if new_counters is not None:
+        database.set_counters(new_counters)
+    return TrpRoundReport(challenge=challenge, scan=scan, result=result)

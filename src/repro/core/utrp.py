@@ -1,0 +1,168 @@
+"""UTRP — the UnTrusted Reader Protocol (Sec. 5, Algs. 5-7).
+
+One round:
+
+1. the server sizes the frame from Eq. 3, pre-commits the seed list
+   ``r_1..r_f``, and starts a timer (Alg. 5 lines 1, 5);
+2. the reader walks the frame, re-seeding the remaining tags with
+   ``f' = f - sn`` after every occupied slot (Alg. 6) while every tag
+   ticks its counter on every broadcast (Alg. 7);
+3. the server replays the cascade over its mirrored counters, checks
+   the proof arrived in time, compares bitstrings, and — only when the
+   scan verifies or at least ran — commits the updated counters.
+
+Counter bookkeeping on rejection: the tags' physical counters advanced
+during the scan whether or not the proof verified, so the server must
+commit the replayed counters even for a NOT_INTACT verdict; otherwise
+every later round would desynchronise. A proof that never came back
+(timeout with no bitstring) is the one case needing operator
+intervention, surfaced as ``REJECTED_LATE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..rfid.channel import SlottedChannel
+from ..rfid.reader import ScanResult, TrustedReader
+from ..rfid.timing import LinkTiming, UNIT_SLOTS
+from ..server.database import TagDatabase
+from ..server.seeds import SeedIssuer, UtrpChallenge
+from ..server.verifier import expected_utrp_bitstring
+from .parameters import MonitorRequirement
+from .utrp_analysis import optimal_utrp_frame_size
+from .verification import Verdict, VerificationResult, compare_bitstrings
+
+__all__ = ["UtrpRoundReport", "run_utrp_round", "estimate_scan_time_bounds"]
+
+
+def estimate_scan_time_bounds(
+    frame_size: int, population: int, timing: LinkTiming = UNIT_SLOTS
+) -> tuple:
+    """``(STmin, STmax)`` — honest scan-time envelope (Sec. 5.4).
+
+    STmin assumes every slot is empty (one broadcast, ``f`` empty
+    slots); STmax assumes the densest cascade: every present tag group
+    occupies a slot, each occupied slot triggers a re-seed broadcast
+    and a payload burst. The server sets its timer to STmax.
+    """
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+    if population < 0:
+        raise ValueError("population must be >= 0")
+    st_min = frame_size * timing.empty_slot_us + timing.seed_broadcast_us
+    occupied = min(population, frame_size)
+    st_max = (
+        (frame_size - occupied) * timing.empty_slot_us
+        + occupied * (timing.reply_slot_us + 16 * timing.bit_us)
+        + (1 + occupied) * timing.seed_broadcast_us
+    )
+    return (st_min, max(st_min, st_max))
+
+
+@dataclass
+class UtrpRoundReport:
+    """Everything one UTRP round produced.
+
+    Attributes:
+        challenge: frame size, pre-committed seeds, timer.
+        scan: the reader's raw scan.
+        result: the server's verdict (including timer enforcement).
+        seeds_consumed_expected: seeds the honest cascade uses — the
+            verifier's replay count, exposed for auditing.
+    """
+
+    challenge: UtrpChallenge
+    scan: ScanResult
+    result: VerificationResult
+    seeds_consumed_expected: int
+
+    @property
+    def intact(self) -> bool:
+        return self.result.intact
+
+    @property
+    def slots_used(self) -> int:
+        return self.scan.slots_used
+
+
+def run_utrp_round(
+    database: TagDatabase,
+    issuer: SeedIssuer,
+    requirement: MonitorRequirement,
+    channel: SlottedChannel,
+    comm_budget: int = 20,
+    reader: Optional[TrustedReader] = None,
+    frame_size: Optional[int] = None,
+    timer: Optional[float] = None,
+    scan_fn: Optional[Callable[[UtrpChallenge], tuple]] = None,
+    timing: LinkTiming = UNIT_SLOTS,
+) -> UtrpRoundReport:
+    """Run one UTRP round end to end.
+
+    Args:
+        database: server records (IDs + mirrored counters).
+        issuer: seed source for the pre-committed list.
+        requirement: ``(n, m, alpha)``; sizes the frame via Eq. 3.
+        channel: the physical population an honest reader would scan.
+        comm_budget: the ``c`` Eq. 3 defends against (paper: 20).
+        reader: honest reader used when ``scan_fn`` is not given.
+        frame_size: explicit override of the Eq. 3 frame size.
+        timer: explicit timer override; defaults to STmax for the
+            issued frame.
+        scan_fn: alternative scan procedure — adversaries inject their
+            attack here; must return ``(ScanResult, elapsed)``.
+        timing: link timing model used for the default timer and for
+            the honest reader's reported elapsed time.
+
+    Raises:
+        ValueError: if the requirement population does not match the
+            database.
+    """
+    if requirement.population != database.size:
+        raise ValueError(
+            f"requirement says n={requirement.population} but database "
+            f"holds {database.size} tags"
+        )
+    f = (
+        frame_size
+        if frame_size is not None
+        else optimal_utrp_frame_size(
+            requirement.population,
+            requirement.tolerance,
+            requirement.confidence,
+            comm_budget,
+        )
+    )
+    st_min, st_max = estimate_scan_time_bounds(f, requirement.population, timing)
+    challenge = issuer.utrp_challenge(f, timer if timer is not None else st_max)
+
+    if scan_fn is not None:
+        scan, elapsed = scan_fn(challenge)
+    else:
+        scanner = reader if reader is not None else TrustedReader()
+        air_time_before = timing.session_us(channel.stats)
+        scan = scanner.scan_utrp(channel, challenge.frame_size, challenge.seeds)
+        elapsed = timing.session_us(channel.stats) - air_time_before
+
+    prediction = expected_utrp_bitstring(
+        database.ids, database.counters, challenge.frame_size, challenge.seeds
+    )
+    if elapsed > challenge.timer:
+        result = VerificationResult(
+            Verdict.REJECTED_LATE, [], challenge.frame_size, elapsed
+        )
+    else:
+        result = compare_bitstrings(
+            prediction.bitstring, scan.bitstring, challenge.frame_size, elapsed
+        )
+    # The physical tags heard the broadcasts regardless of the verdict;
+    # keep the mirror in sync (see module docstring).
+    database.set_counters(prediction.counters)
+    return UtrpRoundReport(
+        challenge=challenge,
+        scan=scan,
+        result=result,
+        seeds_consumed_expected=prediction.seeds_used,
+    )

@@ -1,0 +1,212 @@
+"""UTRP analysis: collusion-aware detection probability and frame sizing.
+
+Implements Sec. 5.4 of the paper. The adversary splits the set into
+``s1`` (kept, ``n - m - 1`` tags, scanned by the dishonest reader R1)
+and ``s2`` (stolen, ``m + 1`` tags, scanned by the collaborator R2).
+The server's timer allows the pair to synchronise on at most ``c``
+empty slots, after which R1 must finish alone. The analysis quantities:
+
+* Theorem 3 — by the time R1 has *seen* ``c`` empty slots it has
+  *walked* ``c' = c / e^{-(n-m-1)/f}`` slots in expectation (empty slots
+  arrive at rate ``p``).
+* Theorem 4 — ``x``, the stolen tags that would reply after slot ``c'``,
+  is Binomial(``m+1``, ``1 - c'/f``). These are the thefts that remain
+  *detectable*; stolen tags hashing into the synchronised prefix are
+  faithfully merged into the bitstring by the collaborator.
+* Theorem 5 — ``y``, the kept tags replying after slot ``c'``, is
+  Binomial(``n-m-1``, ``1 - c'/f``). Only they contribute occupancy to
+  the unsynchronised suffix.
+* Eq. 3 — detection probability
+  ``sum_{i,j} Pr(x=i) Pr(y=j) g(i+j, i, f - c') > alpha`` determines the
+  minimal frame size; the paper then adds a few slack slots (5-10)
+  because ``c'`` is an expectation.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+from scipy import stats
+
+from .parameters import MonitorRequirement
+
+__all__ = [
+    "CollusionBudget",
+    "expected_sync_slots",
+    "utrp_detection_probability",
+    "optimal_utrp_frame_size",
+    "DEFAULT_SLACK_SLOTS",
+]
+
+#: Extra slots the paper adds on top of Eq. 3's optimum ("between 5-10
+#: slots", Sec. 6) to absorb the expectation-based estimate of ``c'``.
+DEFAULT_SLACK_SLOTS = 8
+
+_TAIL_EPS = 1e-10
+_MAX_FRAME = 1 << 26
+
+
+class CollusionBudget:
+    """How much inter-reader coordination the server's timer permits.
+
+    ``c = (t - STmin) / tcomm`` (Sec. 5.4): with timer ``t``, minimum
+    honest scan time ``STmin`` and per-exchange latency ``tcomm``, the
+    colluding readers can afford ``c`` synchronisations. Experiments
+    normally specify ``c`` directly (the paper uses ``c = 20``); this
+    class also derives it from timing for the timer ablation.
+    """
+
+    def __init__(self, sync_slots: int):
+        if sync_slots < 0:
+            raise ValueError(f"sync budget must be >= 0, got {sync_slots}")
+        self.sync_slots = sync_slots
+
+    @classmethod
+    def from_timing(
+        cls, timer: float, min_scan_time: float, comm_time: float
+    ) -> "CollusionBudget":
+        """Derive ``c`` from the server timer and channel latencies.
+
+        Raises:
+            ValueError: if the timer is shorter than the minimum honest
+                scan time (no honest reader could ever answer) or the
+                communication latency is not positive.
+        """
+        if comm_time <= 0:
+            raise ValueError("comm_time must be positive")
+        if timer < min_scan_time:
+            raise ValueError(
+                "timer shorter than the minimum honest scan time; "
+                "honest readers would always be rejected"
+            )
+        return cls(int((timer - min_scan_time) / comm_time))
+
+
+def expected_sync_slots(n: int, m: int, f: int, c: int) -> float:
+    """Theorem 3 — expected slots walked before ``c`` empties are seen.
+
+    ``c' = c / p`` with ``p = e^{-(n-m-1)/f}``, capped at ``f`` (the
+    budget may outlast the frame, in which case the whole bitstring is
+    synchronised and the attack is undetectable).
+    """
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if c < 0:
+        raise ValueError(f"c must be >= 0, got {c}")
+    p_empty = math.exp(-(n - m - 1) / f)
+    if p_empty <= 0.0:
+        return float(f)
+    return min(float(f), c / p_empty)
+
+
+def _binom_window(count: int, p: float) -> Tuple[int, int]:
+    if p <= 0.0:
+        return 0, 0
+    if p >= 1.0:
+        return count, count
+    lo = int(stats.binom.ppf(_TAIL_EPS / 2, count, p))
+    hi = int(stats.binom.ppf(1 - _TAIL_EPS / 2, count, p))
+    return max(lo, 0), min(hi, count)
+
+
+def utrp_detection_probability(n: int, m: int, f: int, c: int) -> float:
+    """Eq. 3's left-hand side — detection probability under collusion.
+
+    Evaluates ``sum_{i,j} Pr(x=i) Pr(y=j) g(i+j, i, f-c')`` vectorised:
+    for each surviving-kept-tag count ``j`` the inner binomial
+    expectation over empty slots is one matrix product against the
+    escape powers ``(1 - k/F)^i``.
+
+    Returns 0.0 outright when the sync budget covers the whole frame
+    (``c' >= f``): every slot was coordinated, nothing distinguishes
+    the split set from an intact one.
+
+    Raises:
+        ValueError: on invalid shapes (``m + 1 >= n``, non-positive
+            frame, negative budget).
+    """
+    if not 0 <= m < n - 1:
+        raise ValueError(f"need 0 <= m < n-1; got n={n}, m={m}")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if c < 0:
+        raise ValueError(f"c must be >= 0, got {c}")
+
+    c_prime = expected_sync_slots(n, m, f, c)
+    if c_prime >= f:
+        return 0.0
+    f_eff = max(int(round(f - c_prime)), 1)
+    q = 1.0 - c_prime / f  # a tag replies after the synchronised prefix
+
+    stolen = m + 1
+    kept = n - m - 1
+    i_vals = np.arange(0, stolen + 1)
+    px = stats.binom.pmf(i_vals, stolen, q)
+
+    j_lo, j_hi = _binom_window(kept, q)
+    j_vals = np.arange(j_lo, j_hi + 1)
+    py = stats.binom.pmf(j_vals, kept, q)
+
+    total = 0.0
+    for j, pj in zip(j_vals, py):
+        if pj < 1e-15:
+            continue
+        p_empty = math.exp(-j / f_eff)
+        k_lo, k_hi = _binom_window(f_eff, p_empty)
+        k = np.arange(k_lo, k_hi + 1)
+        pmf_k = stats.binom.pmf(k, f_eff, p_empty)
+        # escape[i, k] = (1 - k/f_eff)^i. A saturated frame (k = f_eff)
+        # gets log weight -1e300: exp(0 * .) = 1 keeps the i = 0 row at
+        # (anything)^0 = 1 while any i >= 1 collapses to 0.
+        with np.errstate(divide="ignore"):
+            logs = np.where(k < f_eff, np.log1p(-k / f_eff), -1e300)
+        escape = np.exp(np.outer(i_vals, logs))
+        g_by_i = 1.0 - escape @ pmf_k
+        total += pj * float(px @ g_by_i)
+    return float(min(max(total, 0.0), 1.0))
+
+
+@lru_cache(maxsize=2048)
+def optimal_utrp_frame_size(
+    n: int, m: int, alpha: float, c: int, slack: int = DEFAULT_SLACK_SLOTS
+) -> int:
+    """Minimal ``f`` satisfying Eq. 3, plus the paper's slack slots.
+
+    Search mirrors :func:`repro.core.analysis.optimal_trp_frame_size`:
+    exponential bracketing, binary search, then a local scan to absorb
+    discreteness in ``c'`` rounding.
+
+    Raises:
+        ValueError: on invalid parameters or when no frame below the
+            internal cap satisfies the requirement.
+    """
+    MonitorRequirement(population=n, tolerance=m, confidence=alpha)
+    if m + 1 >= n:
+        raise ValueError("UTRP analysis needs m + 1 < n (a non-empty kept set)")
+    if slack < 0:
+        raise ValueError(f"slack must be >= 0, got {slack}")
+
+    def ok(f: int) -> bool:
+        return utrp_detection_probability(n, m, f, c) > alpha
+
+    hi = 1
+    while not ok(hi):
+        hi *= 2
+        if hi > _MAX_FRAME:
+            raise ValueError(
+                f"no frame size up to {_MAX_FRAME} satisfies Eq. 3 for "
+                f"n={n}, m={m}, alpha={alpha}, c={c}"
+            )
+    lo = hi // 2
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    while hi > 1 and ok(hi - 1):
+        hi -= 1
+    return hi + slack

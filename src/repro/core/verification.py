@@ -1,0 +1,70 @@
+"""Verification verdicts: comparing predicted and returned bitstrings.
+
+The server's decision rule is exact equality (Sec. 4.1: "a match will
+indicate that the set is intact"). :class:`VerificationResult` keeps
+the evidence — which slots disagreed — because examples and the
+adversary analyses want to show *where* a theft surfaced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..rfid.bitstring import differing_slots
+
+__all__ = ["Verdict", "VerificationResult", "compare_bitstrings"]
+
+
+class Verdict(enum.Enum):
+    """The server's conclusion about one scan."""
+
+    INTACT = "intact"              # bitstring matched the prediction
+    NOT_INTACT = "not-intact"      # mismatch: more than m tags missing
+    REJECTED_LATE = "rejected-late"  # UTRP: proof arrived after the timer
+    REJECTED_MALFORMED = "rejected-malformed"  # wrong length / garbage
+
+    @property
+    def alarm(self) -> bool:
+        """True when the server raises a warning to the operator."""
+        return self is not Verdict.INTACT
+
+
+@dataclass
+class VerificationResult:
+    """One scan's verdict plus its evidence.
+
+    Attributes:
+        verdict: the server's conclusion.
+        mismatched_slots: global slot indices where observation and
+            prediction disagreed (empty unless NOT_INTACT).
+        frame_size: ``f`` used for the scan.
+        elapsed: reader's response latency as measured by the server
+            (only meaningful for UTRP, where the timer applies).
+    """
+
+    verdict: Verdict
+    mismatched_slots: List[int] = field(default_factory=list)
+    frame_size: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def intact(self) -> bool:
+        return self.verdict is Verdict.INTACT
+
+
+def compare_bitstrings(
+    expected: np.ndarray, observed: np.ndarray, frame_size: int, elapsed: float = 0.0
+) -> VerificationResult:
+    """Apply the server's decision rule to one returned bitstring."""
+    if observed.shape != expected.shape:
+        return VerificationResult(
+            Verdict.REJECTED_MALFORMED, [], frame_size, elapsed
+        )
+    diff = differing_slots(expected, observed)
+    if diff:
+        return VerificationResult(Verdict.NOT_INTACT, diff, frame_size, elapsed)
+    return VerificationResult(Verdict.INTACT, [], frame_size, elapsed)

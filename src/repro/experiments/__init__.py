@@ -1,0 +1,25 @@
+"""Evaluation harness: one module per paper figure, plus ablations."""
+
+from . import ablations, fig4, fig5, fig6, fig7
+from .grid import ExperimentGrid, grid_from_env, paper_grid, quick_grid
+from .manifest import EXPERIMENTS, Experiment, all_experiment_ids, experiment
+from .report import render_bar, render_series, render_table
+
+__all__ = [
+    "ablations",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ExperimentGrid",
+    "grid_from_env",
+    "paper_grid",
+    "quick_grid",
+    "EXPERIMENTS",
+    "Experiment",
+    "all_experiment_ids",
+    "experiment",
+    "render_bar",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,88 @@
+"""CSV export of experiment results.
+
+Figure results render as text tables for humans; downstream analysis
+(plotting the curves against the paper's, regression-tracking across
+library versions) wants machine-readable rows. Every figure result
+type exports through one generic row protocol.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+__all__ = ["rows_to_csv", "write_csv", "figure_rows"]
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an RFC-4180 CSV string.
+
+    Raises:
+        ValueError: if any row's width differs from the header's.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        writer.writerow(list(row))
+    return buf.getvalue()
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Write :func:`rows_to_csv` output to ``path``."""
+    text = rows_to_csv(headers, rows)
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def figure_rows(result) -> "tuple[List[str], List[List[object]]]":
+    """Flatten any fig4/fig5/fig6/fig7 result into (headers, rows).
+
+    Dispatches on the result's row structure rather than its type so
+    future figure modules export for free as long as they keep the
+    ``rows`` convention.
+
+    Raises:
+        TypeError: if the object carries no recognisable rows.
+    """
+    rows = getattr(result, "rows", None)
+    if not rows:
+        raise TypeError(f"{type(result).__name__} has no exportable rows")
+    sample = rows[0]
+    if hasattr(sample, "collect_all_slots"):  # Fig. 4
+        return (
+            ["n", "m", "collect_all_slots", "collect_all_busy_slots",
+             "trp_slots", "speedup", "busy_speedup"],
+            [
+                [r.population, r.tolerance, r.collect_all_slots,
+                 r.collect_all_busy_slots, r.trp_slots, r.speedup,
+                 r.busy_speedup]
+                for r in rows
+            ],
+        )
+    if hasattr(sample, "utrp_slots"):  # Fig. 6
+        return (
+            ["n", "m", "trp_slots", "utrp_slots", "overhead_slots",
+             "overhead_fraction"],
+            [
+                [r.population, r.tolerance, r.trp_slots, r.utrp_slots,
+                 r.overhead_slots, r.overhead_fraction]
+                for r in rows
+            ],
+        )
+    if hasattr(sample, "detection"):  # Figs. 5 and 7
+        return (
+            ["n", "m", "frame_size", "detection_rate", "ci_low", "ci_high",
+             "trials"],
+            [
+                [r.population, r.tolerance, r.frame_size, r.detection.rate,
+                 r.detection.ci_low, r.detection.ci_high, r.detection.trials]
+                for r in rows
+            ],
+        )
+    raise TypeError(f"unrecognised row type {type(sample).__name__}")

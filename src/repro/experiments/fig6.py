@@ -1,0 +1,95 @@
+"""Fig. 6 — TRP versus UTRP frame sizes (``c = 20``).
+
+Both frame sizes are analytic (Eq. 2 vs Eq. 3 + slack), so this figure
+involves no Monte Carlo. The paper's claim: UTRP's defence against
+colluding readers costs only a small slot overhead over TRP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.analysis import optimal_trp_frame_size
+from ..core.utrp_analysis import optimal_utrp_frame_size
+from .grid import ExperimentGrid
+from .report import render_table
+
+__all__ = ["Fig6Row", "Fig6Result", "run", "format_result"]
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One grid cell of Fig. 6.
+
+    Attributes:
+        population: ``n``.
+        tolerance: ``m``.
+        trp_slots: Eq. 2 frame size.
+        utrp_slots: Eq. 3 frame size plus the paper's slack slots.
+    """
+
+    population: int
+    tolerance: int
+    trp_slots: int
+    utrp_slots: int
+
+    @property
+    def overhead_slots(self) -> int:
+        return self.utrp_slots - self.trp_slots
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_slots / self.trp_slots
+
+
+@dataclass
+class Fig6Result:
+    grid: ExperimentGrid
+    rows: List[Fig6Row]
+
+    def panel(self, tolerance: int) -> List[Fig6Row]:
+        return [r for r in self.rows if r.tolerance == tolerance]
+
+    @property
+    def max_overhead_fraction(self) -> float:
+        return max(r.overhead_fraction for r in self.rows)
+
+
+def run(grid: ExperimentGrid) -> Fig6Result:
+    """Regenerate Fig. 6's data over ``grid``."""
+    rows: List[Fig6Row] = []
+    for m in grid.tolerances:
+        for n in grid.populations:
+            rows.append(
+                Fig6Row(
+                    population=n,
+                    tolerance=m,
+                    trp_slots=optimal_trp_frame_size(n, m, grid.alpha),
+                    utrp_slots=optimal_utrp_frame_size(
+                        n, m, grid.alpha, grid.comm_budget
+                    ),
+                )
+            )
+    return Fig6Result(grid=grid, rows=rows)
+
+
+def format_result(result: Fig6Result) -> str:
+    blocks = []
+    for m in result.grid.tolerances:
+        rows = [
+            (r.population, r.trp_slots, r.utrp_slots, r.overhead_slots,
+             f"{100 * r.overhead_fraction:.1f}%")
+            for r in result.panel(m)
+        ]
+        blocks.append(
+            render_table(
+                ["n", "TRP slots", "UTRP slots", "overhead", "overhead %"],
+                rows,
+                title=(
+                    f"Fig. 6 panel: tolerate m={m}, c={result.grid.comm_budget} "
+                    f"(alpha={result.grid.alpha})"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,103 @@
+"""Experiment grids: the paper's evaluation parameters, sizeable down.
+
+Sec. 6 fixes the evaluation design: ``n`` from 100 to 2000 in steps of
+100, ``m in {5, 10, 20, 30}``, ``alpha = 0.95``, 1000 trials, and
+``c = 20`` for UTRP. That full grid takes a while on the UTRP side, so
+experiments run on a reduced-but-same-shape grid by default and honour
+two environment variables:
+
+* ``REPRO_FULL=1`` — use the paper's exact grid;
+* ``REPRO_TRIALS=<k>`` — override the trial count only.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+__all__ = ["ExperimentGrid", "paper_grid", "quick_grid", "grid_from_env"]
+
+#: Default master seed: the paper's publication date, so runs are
+#: reproducible but obviously arbitrary.
+DEFAULT_SEED = 20080617
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """One evaluation sweep's parameters.
+
+    Attributes:
+        populations: the ``n`` values to sweep.
+        tolerances: the ``m`` values to sweep.
+        alpha: confidence level (paper: 0.95).
+        trials: Monte Carlo trials per grid cell (paper: 1000).
+        cost_trials: trials for cost (slot-count) measurements, whose
+            variance is far smaller than detection-rate variance.
+        comm_budget: UTRP's collusion budget ``c`` (paper: 20).
+        master_seed: experiment-level seed for reproducibility.
+    """
+
+    populations: Tuple[int, ...]
+    tolerances: Tuple[int, ...] = (5, 10, 20, 30)
+    alpha: float = 0.95
+    trials: int = 1000
+    cost_trials: int = 20
+    comm_budget: int = 20
+    master_seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not self.populations:
+            raise ValueError("populations must be non-empty")
+        if not self.tolerances:
+            raise ValueError("tolerances must be non-empty")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.trials <= 0 or self.cost_trials <= 0:
+            raise ValueError("trial counts must be positive")
+        if self.comm_budget < 0:
+            raise ValueError("comm_budget must be >= 0")
+        for n in self.populations:
+            for m in self.tolerances:
+                if m + 1 >= n:
+                    raise ValueError(
+                        f"grid cell n={n}, m={m} is degenerate (m+1 >= n)"
+                    )
+
+    @property
+    def cells(self):
+        """All ``(n, m)`` combinations, n-major (the paper's layout)."""
+        return [(n, m) for m in self.tolerances for n in self.populations]
+
+
+def paper_grid() -> ExperimentGrid:
+    """Sec. 6's exact evaluation grid."""
+    return ExperimentGrid(
+        populations=tuple(range(100, 2001, 100)),
+        tolerances=(5, 10, 20, 30),
+        alpha=0.95,
+        trials=1000,
+        cost_trials=50,
+        comm_budget=20,
+    )
+
+
+def quick_grid() -> ExperimentGrid:
+    """Same shape, reduced density — CI-friendly (~seconds per figure)."""
+    return ExperimentGrid(
+        populations=(100, 500, 1000, 2000),
+        tolerances=(5, 10, 20, 30),
+        alpha=0.95,
+        trials=150,
+        cost_trials=8,
+        comm_budget=20,
+    )
+
+
+def grid_from_env() -> ExperimentGrid:
+    """Pick the grid from ``REPRO_FULL`` / ``REPRO_TRIALS``."""
+    grid = paper_grid() if os.environ.get("REPRO_FULL") == "1" else quick_grid()
+    trials_override = os.environ.get("REPRO_TRIALS")
+    if trials_override:
+        grid = replace(grid, trials=max(1, int(trials_override)))
+    return grid

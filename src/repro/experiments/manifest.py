@@ -1,0 +1,139 @@
+"""Experiment manifest: one registry of everything reproducible.
+
+DESIGN.md promises an index from experiment id (figure / ablation) to
+the code that regenerates it; this module *is* that index, executable.
+The CLI, the benches and the completeness tests all enumerate the same
+registry, so a figure can't silently lose its bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = ["Experiment", "EXPERIMENTS", "experiment", "all_experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment.
+
+    Attributes:
+        experiment_id: short id ("fig4", "abl-F", ...).
+        title: what it shows.
+        paper_source: the paper section/figure it reproduces, or
+            "extension" for studies beyond the paper.
+        bench: path (repo-relative) of the bench that regenerates it.
+        runner: callable producing the result rows (grid-based runners
+            take an ExperimentGrid; parameterised ones take kwargs).
+        grid_based: whether ``runner`` expects an ExperimentGrid.
+    """
+
+    experiment_id: str
+    title: str
+    paper_source: str
+    bench: str
+    runner: Callable
+    grid_based: bool = False
+
+
+def _registry() -> Dict[str, Experiment]:
+    from . import ablations, fig4, fig5, fig6, fig7
+
+    entries = [
+        Experiment(
+            "fig4", "collect-all vs TRP slot counts", "Fig. 4",
+            "benchmarks/test_fig4_collect_all_vs_trp.py", fig4.run, True,
+        ),
+        Experiment(
+            "fig5", "TRP detection accuracy, worst-case theft", "Fig. 5",
+            "benchmarks/test_fig5_trp_accuracy.py", fig5.run, True,
+        ),
+        Experiment(
+            "fig6", "TRP vs UTRP frame sizes (c=20)", "Fig. 6",
+            "benchmarks/test_fig6_trp_vs_utrp.py", fig6.run, True,
+        ),
+        Experiment(
+            "fig7", "UTRP detection accuracy under collusion", "Fig. 7",
+            "benchmarks/test_fig7_utrp_accuracy.py", fig7.run, True,
+        ),
+        Experiment(
+            "abl-A", "wall-clock air time under a Gen2 link model",
+            "Sec. 6 remark", "benchmarks/test_ablation_wallclock.py",
+            ablations.run_wallclock, True,
+        ),
+        Experiment(
+            "abl-B", "frame size vs required confidence", "extension",
+            "benchmarks/test_ablation_alpha_sweep.py",
+            ablations.run_alpha_sweep,
+        ),
+        Experiment(
+            "abl-C", "UTRP frame vs collusion budget", "extension",
+            "benchmarks/test_ablation_comm_budget.py",
+            ablations.run_comm_budget_sweep,
+        ),
+        Experiment(
+            "abl-D", "attack matrix: who catches what", "Secs. 5.1/5.4",
+            "benchmarks/test_ablation_attacks.py",
+            ablations.run_attack_matrix,
+        ),
+        Experiment(
+            "abl-E", "Theorem 1 occupancy-approximation error",
+            "Theorem 1 proof", "benchmarks/test_ablation_gfunc_approx.py",
+            ablations.run_gfunc_approximation,
+        ),
+        Experiment(
+            "abl-F", "alarm-policy operating characteristics", "extension",
+            "benchmarks/test_ablation_alarm_policies.py",
+            ablations.run_alarm_policy_study,
+        ),
+        Experiment(
+            "abl-G", "false alarms over a lossy channel", "Sec. 1 motivation",
+            "benchmarks/test_ablation_unreliable_channel.py",
+            ablations.run_unreliable_channel_study,
+        ),
+        Experiment(
+            "abl-H", "timer design: budget vs link latency", "Sec. 5.4",
+            "benchmarks/test_ablation_timer_design.py",
+            ablations.run_timer_design,
+        ),
+        Experiment(
+            "abl-I", "collusion sync strategies", "Sec. 5.4 claim",
+            "benchmarks/test_ablation_strategies.py",
+            ablations.run_strategy_comparison,
+        ),
+        Experiment(
+            "abl-J", "multi-round plans at equal confidence", "extension",
+            "benchmarks/test_ablation_rounds.py",
+            ablations.run_rounds_tradeoff,
+        ),
+        Experiment(
+            "abl-K", "naming the missing tags after an alarm", "extension",
+            "benchmarks/test_ablation_identification.py",
+            ablations.run_identification_study,
+        ),
+    ]
+    return {e.experiment_id: e for e in entries}
+
+
+#: The canonical registry, id -> Experiment.
+EXPERIMENTS: Dict[str, Experiment] = _registry()
+
+
+def experiment(experiment_id: str) -> Experiment:
+    """Look an experiment up by id.
+
+    Raises:
+        KeyError: on unknown ids (message lists what exists).
+    """
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiment_ids() -> List[str]:
+    return sorted(EXPERIMENTS)

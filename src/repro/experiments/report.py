@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results.
+
+Everything prints as monospace tables (and simple bar strips for the
+detection-probability figures) so the benches can ``tee`` output that
+reads like the paper's figures without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_bar", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header.
+
+    Floats render with 4 decimals; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar(value: float, lo: float, hi: float, width: int = 40) -> str:
+    """One horizontal bar scaled into ``[lo, hi]`` (clipped)."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    frac = (min(max(value, lo), hi) - lo) / (hi - lo)
+    filled = int(round(frac * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_series(
+    labels: Sequence[object],
+    values: Sequence[float],
+    lo: float,
+    hi: float,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """A labelled bar strip — the text analogue of one figure panel."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max((len(str(l)) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = render_bar(value, lo, hi, width)
+        lines.append(f"{str(label).rjust(label_w)} |{bar}| {value:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""RFID substrate: tags, IDs, slotted channel, readers, timing.
+
+This package is the simulated "hardware" layer every protocol in
+:mod:`repro.core` and :mod:`repro.aloha` runs on. It knows nothing about
+monitoring, thresholds or adversaries — only about tags deterministically
+hashing themselves into slots and a reader observing slot outcomes.
+"""
+
+from .bitstring import (
+    bitstrings_equal,
+    bitwise_or,
+    differing_slots,
+    empty_bitstring,
+    format_bitstring,
+    from_slots,
+)
+from .channel import ChannelStats, SlotObservation, SlotOutcome, SlottedChannel
+from .hashing import slot_for_tag, slots_for_tags, splitmix64, tag_hash
+from .ids import TagId, TagIdGenerator, random_tag_ids, sequential_tag_ids
+from .population import TagPopulation
+from .reader import ScanResult, TrustedReader
+from .tag import Tag, TagReply, TagState
+from .timing import GEN2_TYPICAL, UNIT_SLOTS, LinkTiming
+
+__all__ = [
+    "bitstrings_equal",
+    "bitwise_or",
+    "differing_slots",
+    "empty_bitstring",
+    "format_bitstring",
+    "from_slots",
+    "ChannelStats",
+    "SlotObservation",
+    "SlotOutcome",
+    "SlottedChannel",
+    "slot_for_tag",
+    "slots_for_tags",
+    "splitmix64",
+    "tag_hash",
+    "TagId",
+    "TagIdGenerator",
+    "random_tag_ids",
+    "sequential_tag_ids",
+    "TagPopulation",
+    "ScanResult",
+    "TrustedReader",
+    "Tag",
+    "TagReply",
+    "TagState",
+    "GEN2_TYPICAL",
+    "UNIT_SLOTS",
+    "LinkTiming",
+]

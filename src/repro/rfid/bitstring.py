@@ -1,0 +1,82 @@
+"""Occupancy bitstrings — the only payload TRP/UTRP readers return.
+
+A bitstring ``bs`` has one entry per frame slot; ``bs[sn] == 1`` iff at
+least one tag replied in slot ``sn`` (Sec. 4.1). Internally it is a
+numpy ``uint8`` array; these helpers keep construction, comparison and
+display in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = [
+    "empty_bitstring",
+    "from_slots",
+    "bitstrings_equal",
+    "differing_slots",
+    "bitwise_or",
+    "format_bitstring",
+]
+
+
+def empty_bitstring(frame_size: int) -> np.ndarray:
+    """An all-zero bitstring of length ``f`` (Alg. 3 line 1).
+
+    Raises:
+        ValueError: if ``frame_size`` is not positive.
+    """
+    if frame_size <= 0:
+        raise ValueError(f"frame_size must be positive, got {frame_size}")
+    return np.zeros(frame_size, dtype=np.uint8)
+
+
+def from_slots(frame_size: int, occupied_slots: Iterable[int]) -> np.ndarray:
+    """Build a bitstring from the set of occupied slot numbers.
+
+    Raises:
+        ValueError: if any slot is outside ``[0, frame_size)``.
+    """
+    bs = empty_bitstring(frame_size)
+    slots = np.fromiter((int(s) for s in occupied_slots), dtype=np.int64)
+    if slots.size:
+        if slots.min() < 0 or slots.max() >= frame_size:
+            raise ValueError("occupied slot outside frame")
+        bs[slots] = 1
+    return bs
+
+
+def bitstrings_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact comparison — the server's verification predicate."""
+    return a.shape == b.shape and bool(np.array_equal(a, b))
+
+
+def differing_slots(a: np.ndarray, b: np.ndarray) -> List[int]:
+    """Slot indices where two equal-length bitstrings disagree.
+
+    Raises:
+        ValueError: if lengths differ (frames of different sizes are
+            never comparable slot-by-slot).
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: {a.shape} vs {b.shape}")
+    return np.nonzero(a != b)[0].tolist()
+
+
+def bitwise_or(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``bs_s1 OR bs_s2`` — the collusion merge of Alg. 4 line 3.
+
+    Raises:
+        ValueError: if lengths differ.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"length mismatch: {a.shape} vs {b.shape}")
+    return np.bitwise_or(a, b)
+
+
+def format_bitstring(bs: np.ndarray, group: int = 8) -> str:
+    """Human-readable rendering, grouped for log output."""
+    text = "".join(str(int(b)) for b in bs)
+    return " ".join(text[i : i + group] for i in range(0, len(text), group))

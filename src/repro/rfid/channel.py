@@ -1,0 +1,175 @@
+"""Slotted radio channel between one reader and a tag population.
+
+The channel enforces the physics the protocols are built on:
+
+* a polled slot is **empty** (no reply), a **singleton** (one tag's
+  payload decodes) or a **collision** (several tags replied — the reader
+  learns *that* the slot was occupied but nothing else);
+* tag identities never cross the channel unless a tag explicitly
+  transmits its ID (the *collect all* baseline does; TRP/UTRP never do);
+* every broadcast and every slot is metered so experiments can convert
+  protocol runs into air-time via :mod:`repro.rfid.timing`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .tag import Tag, TagReply
+
+__all__ = ["SlotOutcome", "SlotObservation", "ChannelStats", "SlottedChannel"]
+
+
+class SlotOutcome(enum.Enum):
+    """What a reader can distinguish about one slot."""
+
+    EMPTY = "empty"
+    SINGLE = "single"
+    COLLISION = "collision"
+
+    @property
+    def occupied(self) -> bool:
+        """True if at least one tag replied — the bit TRP/UTRP record."""
+        return self is not SlotOutcome.EMPTY
+
+
+@dataclass
+class SlotObservation:
+    """Result of polling one slot.
+
+    Attributes:
+        outcome: empty / single / collision.
+        payload_bits: the decoded random bits when exactly one tag
+            replied, else ``None`` (collisions garble payloads).
+        decoded_id: the tag ID, only when the protocol put IDs on the
+            air (*collect all*) **and** the slot was a singleton.
+            TRP/UTRP scans always see ``None`` here — that is the
+            privacy property of Sec. 1, contribution (2).
+        replies: the underlying replies — simulation-side ground truth.
+            Readers must not inspect ``replies[i].tag_id``; honest and
+            dishonest reader implementations alike only consume
+            ``outcome``, ``payload_bits`` and ``decoded_id``.
+    """
+
+    outcome: SlotOutcome
+    payload_bits: Optional[int]
+    decoded_id: Optional[int] = None
+    replies: List[TagReply] = field(default_factory=list)
+
+
+@dataclass
+class ChannelStats:
+    """Air-interface counters accumulated over a session."""
+
+    seed_broadcasts: int = 0
+    slots_polled: int = 0
+    empty_slots: int = 0
+    singleton_slots: int = 0
+    collision_slots: int = 0
+    reply_payload_bits: int = 0
+    id_transmissions: int = 0
+
+    def merge(self, other: "ChannelStats") -> "ChannelStats":
+        """Combine counters from two sessions (e.g. colluding readers)."""
+        return ChannelStats(
+            seed_broadcasts=self.seed_broadcasts + other.seed_broadcasts,
+            slots_polled=self.slots_polled + other.slots_polled,
+            empty_slots=self.empty_slots + other.empty_slots,
+            singleton_slots=self.singleton_slots + other.singleton_slots,
+            collision_slots=self.collision_slots + other.collision_slots,
+            reply_payload_bits=self.reply_payload_bits + other.reply_payload_bits,
+            id_transmissions=self.id_transmissions + other.id_transmissions,
+        )
+
+
+class SlottedChannel:
+    """The shared medium for one reader and the tags in its field.
+
+    The channel owns no protocol logic: it just delivers broadcasts to
+    every powered tag and merges simultaneous replies into the three
+    observable outcomes.
+
+    An optional ``miss_rate`` models the benign failures the paper's
+    introduction motivates tolerance with (scratched tags, items
+    blocking each other): each reply is independently lost with that
+    probability. The transmitting tag still believes it answered and
+    falls silent — which is exactly why lost replies surface as
+    mismatches at the server.
+    """
+
+    def __init__(
+        self,
+        tags: Sequence[Tag],
+        miss_rate: float = 0.0,
+        rng=None,
+    ):
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ValueError(f"miss_rate must be within [0, 1], got {miss_rate}")
+        if miss_rate > 0.0 and rng is None:
+            raise ValueError("a lossy channel needs an rng")
+        self._tags = list(tags)
+        self._miss_rate = miss_rate
+        self._rng = rng
+        self.stats = ChannelStats()
+
+    @property
+    def tags(self) -> List[Tag]:
+        """Tags currently in the reader's field (simulation ground truth)."""
+        return self._tags
+
+    def power_cycle(self) -> None:
+        """Start a fresh session: every tag re-enters IDLE state."""
+        for tag in self._tags:
+            tag.power_cycle()
+
+    def broadcast_seed(self, frame_size: int, seed: int) -> None:
+        """Deliver a ``(f, r)`` broadcast to every tag in the field."""
+        self.stats.seed_broadcasts += 1
+        for tag in self._tags:
+            tag.receive_seed(frame_size, seed)
+
+    def poll_slot(self, slot: int, ids_on_air: bool = False) -> SlotObservation:
+        """Poll one slot and resolve collisions.
+
+        Args:
+            slot: the (protocol-local) slot number being polled.
+            ids_on_air: True when the running protocol makes tags
+                transmit their full IDs (*collect all*). A singleton
+                slot then decodes the ID; collided IDs are garbled but
+                still cost air time.
+
+        Raises:
+            ValueError: if ``slot`` is negative.
+        """
+        if slot < 0:
+            raise ValueError(f"slot must be non-negative, got {slot}")
+        self.stats.slots_polled += 1
+        replies = [r for r in (tag.poll(slot) for tag in self._tags) if r is not None]
+        if self._miss_rate > 0.0 and replies:
+            # Fading/blocking: each burst is lost independently. The tag
+            # transmitted regardless, so it stays silent afterwards.
+            replies = [
+                r for r in replies if self._rng.random() >= self._miss_rate
+            ]
+        if ids_on_air:
+            self.stats.id_transmissions += len(replies)
+        if not replies:
+            self.stats.empty_slots += 1
+            return SlotObservation(SlotOutcome.EMPTY, None, None, [])
+        if len(replies) == 1:
+            self.stats.singleton_slots += 1
+            decoded = replies[0].tag_id if ids_on_air else None
+            if not ids_on_air:
+                self.stats.reply_payload_bits += 16
+            return SlotObservation(SlotOutcome.SINGLE, replies[0].bits, decoded, replies)
+        self.stats.collision_slots += 1
+        if ids_on_air:
+            # No ACK reaches collided tags, so they re-arm and will
+            # retransmit in a later collect-all round.
+            colliders = {r.tag_id for r in replies}
+            for tag in self._tags:
+                if tag.tag_id in colliders:
+                    tag.mark_collided()
+        return SlotObservation(SlotOutcome.COLLISION, None, None, replies)

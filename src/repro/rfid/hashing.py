@@ -1,0 +1,151 @@
+"""Deterministic tag-side hash function ``h(.)``.
+
+The paper's protocols rely on every tag picking its reply slot with a
+*deterministic* hash of its ID and a reader-supplied seed::
+
+    sn = h(id XOR r) mod f            (TRP, Sec. 4.1)
+    sn = h(id XOR r XOR ct) mod f     (UTRP, Sec. 5.2)
+
+The paper leaves ``h`` unspecified — any hash that maps its input
+uniformly over the output range reproduces the analysis (Theorem 1 only
+assumes each tag picks a slot uniformly and independently across seeds).
+We use the splitmix64 finalizer, a well-studied 64-bit mixer with full
+avalanche, which is cheap enough to be a plausible stand-in for the
+lightweight hash a passive tag would implement.
+
+Both a scalar path (used by the per-tag state machines) and a vectorised
+numpy path (used by the Monte Carlo fast paths) are provided; they are
+bit-identical and tested against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MASK64",
+    "splitmix64",
+    "splitmix64_array",
+    "tag_hash",
+    "tag_hash_array",
+    "slot_for_tag",
+    "slots_for_tags",
+    "slots_for_tags_with_counters",
+]
+
+#: All tag IDs, seeds and counters are treated as 64-bit unsigned words.
+MASK64 = (1 << 64) - 1
+
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def splitmix64(value: int) -> int:
+    """Mix a 64-bit integer through the splitmix64 finalizer.
+
+    This is the core bijective mixer: every output bit depends on every
+    input bit (full avalanche), so ``splitmix64(x) mod f`` is uniform
+    over ``[0, f)`` for any practical frame size ``f``.
+
+    Args:
+        value: arbitrary integer; only the low 64 bits are used.
+
+    Returns:
+        A uniformly mixed integer in ``[0, 2**64)``.
+    """
+    z = (value + _GAMMA) & MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & MASK64
+    return (z ^ (z >> 31)) & MASK64
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`splitmix64` over an array of ``uint64`` words.
+
+    Bit-identical to the scalar path; numpy's wrapping ``uint64``
+    arithmetic implements the same modular multiplications.
+    """
+    z = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        z += np.uint64(_GAMMA)
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+        z ^= z >> np.uint64(31)
+    return z
+
+
+def tag_hash(tag_id: int, seed: int, counter: int = 0) -> int:
+    """``h(id XOR r XOR ct)`` — the hash a tag computes on-chip.
+
+    With ``counter == 0`` this is exactly the TRP hash ``h(id XOR r)``;
+    UTRP tags pass their running counter ``ct`` (Alg. 7 line 2).
+
+    Args:
+        tag_id: the tag's unique 64-bit ID.
+        seed: the reader-broadcast random number ``r``.
+        counter: the tag's counter ``ct`` (0 for TRP).
+
+    Returns:
+        The mixed 64-bit hash value, before the ``mod f`` reduction.
+    """
+    return splitmix64((tag_id ^ seed ^ counter) & MASK64)
+
+
+def tag_hash_array(tag_ids: np.ndarray, seed: int, counter: int = 0) -> np.ndarray:
+    """Vectorised :func:`tag_hash` for a whole population at once."""
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    word = np.uint64((seed ^ counter) & MASK64)
+    return splitmix64_array(ids ^ word)
+
+
+def slot_for_tag(tag_id: int, seed: int, frame_size: int, counter: int = 0) -> int:
+    """Slot number a tag picks: ``h(id XOR r XOR ct) mod f``.
+
+    Slots are numbered ``0 .. frame_size - 1`` internally (the paper uses
+    ``1 .. f``; the off-by-one is presentation only and tested to be
+    irrelevant to every reported quantity).
+
+    Raises:
+        ValueError: if ``frame_size`` is not positive.
+    """
+    if frame_size <= 0:
+        raise ValueError(f"frame_size must be positive, got {frame_size}")
+    return tag_hash(tag_id, seed, counter) % frame_size
+
+
+def slots_for_tags(
+    tag_ids: np.ndarray, seed: int, frame_size: int, counter: int = 0
+) -> np.ndarray:
+    """Vectorised :func:`slot_for_tag` — one slot per tag, dtype ``int64``.
+
+    Raises:
+        ValueError: if ``frame_size`` is not positive.
+    """
+    if frame_size <= 0:
+        raise ValueError(f"frame_size must be positive, got {frame_size}")
+    hashes = tag_hash_array(tag_ids, seed, counter)
+    return (hashes % np.uint64(frame_size)).astype(np.int64)
+
+
+def slots_for_tags_with_counters(
+    tag_ids: np.ndarray, seed: int, frame_size: int, counters: np.ndarray
+) -> np.ndarray:
+    """Vectorised UTRP slot pick with a *per-tag* counter vector.
+
+    Bit-identical to calling :func:`slot_for_tag` per tag with each
+    tag's own ``ct`` — the form the UTRP verifier replays the cascade
+    with.
+
+    Raises:
+        ValueError: if ``frame_size`` is not positive or lengths differ.
+    """
+    if frame_size <= 0:
+        raise ValueError(f"frame_size must be positive, got {frame_size}")
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    cts = np.asarray(counters).astype(np.uint64)
+    if ids.shape != cts.shape:
+        raise ValueError("tag_ids and counters must have the same length")
+    word = ids ^ np.uint64(seed & MASK64) ^ cts
+    hashes = splitmix64_array(word)
+    return (hashes % np.uint64(frame_size)).astype(np.int64)

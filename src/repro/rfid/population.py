@@ -1,0 +1,147 @@
+"""Tag populations: the monitored set ``T*`` and operations on it.
+
+A population is the *physical* collection of tags present in a reader's
+field. The server's view of the set lives in
+:mod:`repro.server.database`; the gap between the two (stolen tags) is
+what the protocols detect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ids import random_tag_ids, sequential_tag_ids
+from .tag import Tag
+
+__all__ = ["TagPopulation"]
+
+
+class TagPopulation:
+    """A concrete set of tags, addressable by ID.
+
+    The population is created once and then only ever *loses* tags
+    (Sec. 3: the set "once created is assumed to remain static" — no
+    additions), matching the paper's adversary who physically removes
+    tags.
+    """
+
+    def __init__(self, tags: Iterable[Tag]):
+        self._tags: List[Tag] = list(tags)
+        ids = [t.tag_id for t in self._tags]
+        if len(set(ids)) != len(ids):
+            raise ValueError("tag IDs in a population must be unique")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        count: int,
+        uses_counter: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        sequential: bool = False,
+    ) -> "TagPopulation":
+        """Manufacture ``count`` fresh tags.
+
+        Args:
+            count: population size ``n``.
+            uses_counter: make UTRP-capable tags (hardware counter in
+                the slot hash).
+            rng: source of randomness for ID assignment.
+            sequential: issue consecutive IDs instead of random ones
+                (a harder case for hash uniformity; used by tests).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if sequential:
+            ids = sequential_tag_ids(count)
+        else:
+            ids = random_tag_ids(count, rng)
+        return cls(Tag(int(i), uses_counter=uses_counter) for i in ids)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __iter__(self):
+        return iter(self._tags)
+
+    @property
+    def tags(self) -> List[Tag]:
+        return list(self._tags)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """All present tag IDs as a ``uint64`` array."""
+        return np.array([t.tag_id for t in self._tags], dtype=np.uint64)
+
+    def get(self, tag_id: int) -> Tag:
+        """Fetch a tag by ID.
+
+        Raises:
+            KeyError: if the tag is not (or no longer) present.
+        """
+        for tag in self._tags:
+            if tag.tag_id == tag_id:
+                return tag
+        raise KeyError(f"tag {tag_id:#x} not in population")
+
+    # ------------------------------------------------------------------
+    # mutation (theft)
+    # ------------------------------------------------------------------
+
+    def remove(self, tag_ids: Sequence[int]) -> "TagPopulation":
+        """Physically remove the given tags, returning them as a new
+        population (the adversary's loot bag).
+
+        Raises:
+            KeyError: if any requested ID is not present.
+        """
+        wanted = set(int(i) for i in tag_ids)
+        taken = [t for t in self._tags if t.tag_id in wanted]
+        if len(taken) != len(wanted):
+            missing = wanted - {t.tag_id for t in taken}
+            raise KeyError(f"tags not present: {sorted(missing)[:5]}")
+        self._tags = [t for t in self._tags if t.tag_id not in wanted]
+        return TagPopulation(taken)
+
+    def remove_random(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> "TagPopulation":
+        """Steal ``count`` uniformly random tags (the paper's theft model).
+
+        Raises:
+            ValueError: if ``count`` exceeds the population size.
+        """
+        if count > len(self._tags):
+            raise ValueError(
+                f"cannot remove {count} tags from a population of {len(self._tags)}"
+            )
+        gen = rng if rng is not None else np.random.default_rng()
+        chosen = gen.choice(len(self._tags), size=count, replace=False)
+        ids = [self._tags[i].tag_id for i in chosen]
+        return self.remove(ids)
+
+    def split(
+        self, first_size: int
+    ) -> Tuple["TagPopulation", "TagPopulation"]:
+        """Partition into two populations of sizes ``first_size`` and the
+        rest — how colluding readers divide ``T*`` into ``s1`` and ``s2``.
+
+        Raises:
+            ValueError: if ``first_size`` is out of range.
+        """
+        if not 0 <= first_size <= len(self._tags):
+            raise ValueError(f"first_size {first_size} out of range")
+        ids = [t.tag_id for t in self._tags[:first_size]]
+        first = self.remove(ids)
+        rest = TagPopulation(self._tags)
+        self._tags = []
+        return first, rest

@@ -1,0 +1,104 @@
+"""Reader-side scan procedures.
+
+A reader is the untrusted middle box between server and tags: it can
+broadcast seeds, poll slots, and observe empty/occupied outcomes — never
+tag IDs. :class:`TrustedReader` implements the honest behaviour of both
+protocols:
+
+* :meth:`TrustedReader.scan_trp` — Alg. 3: one seed, walk the frame,
+  record occupancy.
+* :meth:`TrustedReader.scan_utrp` — Alg. 6: walk the frame, and after
+  every occupied slot broadcast the next server-issued seed with the
+  shrunken frame size ``f' = f - sn``.
+
+Dishonest readers (replay, collusion) live in :mod:`repro.adversary`
+and are built from the same channel primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .bitstring import empty_bitstring
+from .channel import SlottedChannel
+
+__all__ = ["ScanResult", "TrustedReader"]
+
+
+@dataclass
+class ScanResult:
+    """Everything a reader hands back to the server after a scan.
+
+    Attributes:
+        bitstring: slot-occupancy vector of length ``f``.
+        slots_used: total slots polled (equals ``f`` for TRP/UTRP —
+            both walk the frame exactly once, Sec. 4.2).
+        seeds_used: how many ``(f, r)`` broadcasts were made (1 for
+            TRP; 1 + number of occupied slots for UTRP).
+    """
+
+    bitstring: np.ndarray
+    slots_used: int
+    seeds_used: int
+
+
+class TrustedReader:
+    """An honest reader executing the server's instructions verbatim."""
+
+    def __init__(self, name: str = "reader"):
+        self.name = name
+
+    def scan_trp(self, channel: SlottedChannel, frame_size: int, seed: int) -> ScanResult:
+        """Run one TRP scan (Alg. 1 + Alg. 3).
+
+        Broadcasts ``(f, r)`` once, then polls slots ``0..f-1`` in order,
+        setting ``bs[sn] = 1`` whenever at least one tag replies.
+        """
+        channel.power_cycle()
+        channel.broadcast_seed(frame_size, seed)
+        bs = empty_bitstring(frame_size)
+        for sn in range(frame_size):
+            if channel.poll_slot(sn).outcome.occupied:
+                bs[sn] = 1
+        return ScanResult(bitstring=bs, slots_used=frame_size, seeds_used=1)
+
+    def scan_utrp(
+        self, channel: SlottedChannel, frame_size: int, seeds: Sequence[int]
+    ) -> ScanResult:
+        """Run one UTRP scan (Alg. 6).
+
+        The server supplies ``f`` seeds ``r_1..r_f``; the reader uses
+        them strictly in order, re-seeding the remaining tags with frame
+        size ``f' = f - sn`` after every occupied slot ``sn``.
+
+        Slot bookkeeping: the reader walks *global* slots ``0..f-1``. At
+        any moment the current seed governs a sub-frame of size ``f'``
+        whose local slot 0 aligns with the next global slot — Alg. 6
+        line 4's broadcast of ``sn - f + f'`` is exactly this global to
+        local conversion.
+
+        Raises:
+            ValueError: if fewer than ``frame_size`` seeds are supplied.
+        """
+        if len(seeds) < frame_size:
+            raise ValueError(
+                f"UTRP needs {frame_size} seeds, got {len(seeds)}"
+            )
+        channel.power_cycle()
+        seed_iter = iter(seeds)
+        channel.broadcast_seed(frame_size, next(seed_iter))
+        seeds_used = 1
+        bs = empty_bitstring(frame_size)
+        sub_frame = frame_size  # f' in the paper
+        for sn in range(frame_size):
+            local_slot = sn - (frame_size - sub_frame)
+            if channel.poll_slot(local_slot).outcome.occupied:
+                bs[sn] = 1
+                sub_frame = frame_size - (sn + 1)
+                if sub_frame > 0:
+                    channel.broadcast_seed(sub_frame, next(seed_iter))
+                    seeds_used += 1
+        return ScanResult(bitstring=bs, slots_used=frame_size, seeds_used=seeds_used)

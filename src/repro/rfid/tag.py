@@ -1,0 +1,148 @@
+"""Passive-tag state machine.
+
+Implements the tag side of both protocols:
+
+* Alg. 2 (TRP): on ``(f, r)`` compute ``sn = h(id XOR r) mod f``; when the
+  reader polls that slot, answer with a few random bits.
+* Alg. 7 (UTRP): additionally keep a hardware counter ``ct`` that
+  increments on *every* received ``(f, r)`` pair, fold it into the hash,
+  and fall silent permanently after replying once.
+
+The model is deliberately minimal — a passive tag has no clock, no
+persistent RAM beyond ``ct``, and can talk to only one reader at a time
+(Sec. 5.3). Random reply bits are derived deterministically from the
+tag's own hash state, standing in for the tag's hardware RNG; nothing in
+either protocol depends on their value, only on their presence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .hashing import MASK64, splitmix64, slot_for_tag
+
+__all__ = ["TagState", "TagReply", "Tag"]
+
+_REPLY_SALT = 0xA5A5_5A5A_0F0F_F0F0
+#: Number of random bits a tag transmits to claim a slot (Sec. 4.2 —
+#: "a much shorter random number" than the ID).
+REPLY_BITS = 16
+
+
+class TagState(enum.Enum):
+    """Lifecycle of a tag within one scan session."""
+
+    IDLE = "idle"          # powered but not yet seeded
+    SEEDED = "seeded"      # has (f, r), waiting for its slot
+    SILENT = "silent"      # replied already; stays quiet until session reset
+
+
+@dataclass
+class TagReply:
+    """What a tag puts on the air when its slot is polled.
+
+    Attributes:
+        tag_id: identity of the replying tag. The *reader never sees
+            this* — it is carried for simulation bookkeeping only; the
+            channel hands readers just the random bits (or a collision).
+        bits: the short random payload actually transmitted.
+    """
+
+    tag_id: int
+    bits: int
+
+
+@dataclass
+class Tag:
+    """One RFID tag.
+
+    Attributes:
+        tag_id: unique 64-bit identifier (never transmitted by TRP/UTRP).
+        uses_counter: whether the tag folds its counter into the slot
+            hash (True for UTRP tags, False for plain TRP tags).
+        counter: the monotone hardware counter ``ct``. Persists across
+            sessions — that persistence is exactly what defeats
+            rescan-and-replay (Sec. 5.3).
+    """
+
+    tag_id: int
+    uses_counter: bool = False
+    counter: int = 0
+    _state: TagState = field(default=TagState.IDLE, repr=False)
+    _frame_size: int = field(default=0, repr=False)
+    _seed: int = field(default=0, repr=False)
+    _slot: int = field(default=-1, repr=False)
+
+    @property
+    def state(self) -> TagState:
+        return self._state
+
+    @property
+    def chosen_slot(self) -> Optional[int]:
+        """Slot the tag currently intends to reply in (None if not seeded)."""
+        return self._slot if self._state is TagState.SEEDED else None
+
+    def power_cycle(self) -> None:
+        """Start a new scan session (tag re-enters the reader field).
+
+        Volatile state clears; the hardware counter does *not* reset.
+        """
+        self._state = TagState.IDLE
+        self._frame_size = 0
+        self._seed = 0
+        self._slot = -1
+
+    def receive_seed(self, frame_size: int, seed: int) -> None:
+        """Handle a broadcast ``(f, r)`` pair (Alg. 2 line 1 / Alg. 7 lines 1, 6-8).
+
+        A UTRP tag increments ``ct`` on every seed it hears, even ones it
+        will never act on — the increment happens in hardware on receipt.
+        Tags that have already replied stay silent but still hear the
+        broadcast, which is why the server can track their counters.
+
+        Raises:
+            ValueError: if ``frame_size`` is not positive.
+        """
+        if frame_size <= 0:
+            raise ValueError(f"frame_size must be positive, got {frame_size}")
+        if self.uses_counter:
+            self.counter = (self.counter + 1) & MASK64
+        if self._state is TagState.SILENT:
+            return
+        self._frame_size = frame_size
+        self._seed = seed
+        counter = self.counter if self.uses_counter else 0
+        self._slot = slot_for_tag(self.tag_id, seed, frame_size, counter)
+        self._state = TagState.SEEDED
+
+    def poll(self, slot: int) -> Optional[TagReply]:
+        """Answer a reader polling ``slot`` (Alg. 2 lines 3-5 / Alg. 7 lines 3-5).
+
+        Returns a :class:`TagReply` if this is the tag's chosen slot,
+        otherwise ``None``. After replying the tag keeps silent for the
+        rest of the session.
+        """
+        if self._state is not TagState.SEEDED or slot != self._slot:
+            return None
+        self._state = TagState.SILENT
+        return TagReply(tag_id=self.tag_id, bits=self._reply_bits())
+
+    def mark_collided(self) -> None:
+        """Re-arm a tag whose reply collided (collect-all retransmission).
+
+        In the *collect all* baseline the reader's missing ACK tells a
+        collided tag to retransmit in a later round, so it returns to
+        IDLE and will re-seed on the next ``(f, r)``. TRP/UTRP tags are
+        never re-armed — they "keep silent" after replying (Alg. 7
+        line 5) whether or not they collided.
+        """
+        self._state = TagState.IDLE
+        self._slot = -1
+
+    def _reply_bits(self) -> int:
+        """Deterministic stand-in for the tag's hardware RNG burst."""
+        counter = self.counter if self.uses_counter else 0
+        word = (self.tag_id ^ self._seed ^ counter ^ _REPLY_SALT) & MASK64
+        return splitmix64(word) & ((1 << REPLY_BITS) - 1)

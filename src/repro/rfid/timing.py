@@ -1,0 +1,72 @@
+"""Air-interface timing model.
+
+The paper measures efficiency in *slots* and assumes "the duration of
+each slot is equally long" (Sec. 6) — that is what Figs. 4 and 6 plot.
+It also notes that collect-all's *actual* performance is worse because a
+tag must return its full ID rather than TRP's short random burst. This
+module makes that remark quantitative: it converts
+:class:`~repro.rfid.channel.ChannelStats` into microseconds under an
+EPC C1G2-flavoured link budget, which the wall-clock ablation bench
+(Abl. A in DESIGN.md) uses.
+
+The constants are representative Gen2 values (40 kbps tag uplink, 26 us
+tari-ish reader symbols), not a certification-grade model; every figure
+the paper reports remains slot-denominated and independent of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkTiming", "GEN2_TYPICAL", "UNIT_SLOTS"]
+
+
+@dataclass(frozen=True)
+class LinkTiming:
+    """Durations (microseconds) of the protocol's on-air primitives.
+
+    Attributes:
+        empty_slot_us: cost of polling a slot nobody answers.
+        reply_slot_us: fixed slot overhead when at least one tag answers
+            (preamble, settling), excluding the payload itself.
+        bit_us: per-payload-bit transmission time on the tag uplink.
+        seed_broadcast_us: reader broadcasting one ``(f, r)`` pair.
+        id_bits: length of a full tag ID (EPC-96).
+    """
+
+    empty_slot_us: float = 100.0
+    reply_slot_us: float = 150.0
+    bit_us: float = 25.0
+    seed_broadcast_us: float = 800.0
+    id_bits: int = 96
+
+    def session_us(self, stats) -> float:
+        """Total air time for a session's :class:`ChannelStats`."""
+        occupied = stats.singleton_slots + stats.collision_slots
+        payload_us = stats.reply_payload_bits * self.bit_us
+        id_us = stats.id_transmissions * self.id_bits * self.bit_us
+        return (
+            stats.empty_slots * self.empty_slot_us
+            + occupied * self.reply_slot_us
+            + payload_us
+            + id_us
+            + stats.seed_broadcasts * self.seed_broadcast_us
+        )
+
+    def slots_equivalent(self, stats) -> float:
+        """Air time expressed in equivalent empty-slot units."""
+        return self.session_us(stats) / self.empty_slot_us
+
+
+#: A representative EPC C1G2 parameterisation.
+GEN2_TYPICAL = LinkTiming()
+
+#: The paper's own accounting: every slot costs 1, nothing else costs
+#: anything. Figs. 4 and 6 are measured under this model.
+UNIT_SLOTS = LinkTiming(
+    empty_slot_us=1.0,
+    reply_slot_us=1.0,
+    bit_us=0.0,
+    seed_broadcast_us=0.0,
+    id_bits=0,
+)

@@ -1,0 +1,33 @@
+"""Server-side substrate: ID database, seed issuance, bitstring prediction.
+
+These modules know every registered ID and can predict what an intact
+set must answer; they deliberately do not import :mod:`repro.core`
+(protocol orchestration and frame-size planning sit above them, in
+:mod:`repro.core.monitor`).
+"""
+
+from .audit import AuditEntry, AuditLog
+from .database import TagDatabase, TagRecord
+from .provisioning import BookVerifier, ChallengeBook
+from .seeds import SeedIssuer, TrpChallenge, UtrpChallenge
+from .state import export_state, import_state, load_state, save_state
+from .verifier import UtrpPrediction, expected_trp_bitstring, expected_utrp_bitstring
+
+__all__ = [
+    "AuditEntry",
+    "AuditLog",
+    "BookVerifier",
+    "ChallengeBook",
+    "TagDatabase",
+    "TagRecord",
+    "SeedIssuer",
+    "TrpChallenge",
+    "UtrpChallenge",
+    "UtrpPrediction",
+    "expected_trp_bitstring",
+    "expected_utrp_bitstring",
+    "export_state",
+    "import_state",
+    "load_state",
+    "save_state",
+]

@@ -1,0 +1,142 @@
+"""Append-only audit log of monitoring activity.
+
+When a theft is detected the evidence chain matters: which challenges
+were issued, what came back, who was paged. :class:`AuditLog` records
+structured events (in memory and optionally as JSON lines on disk) in
+issue order; the log is append-only by construction and each entry is
+chained to the previous one with a running hash so post-hoc editing of
+an on-disk log is detectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = ["AuditEntry", "AuditLog"]
+
+_GENESIS = "0" * 64
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audit record.
+
+    Attributes:
+        index: position in the log (0-based).
+        kind: event type ("challenge-issued", "verdict", "alert", ...).
+        payload: event data (JSON-safe).
+        prev_digest: hex digest of the previous entry.
+        digest: hex digest of this entry (chains the log).
+    """
+
+    index: int
+    kind: str
+    payload: Dict[str, Any]
+    prev_digest: str
+    digest: str
+
+
+def _digest(index: int, kind: str, payload: Dict[str, Any], prev: str) -> str:
+    body = json.dumps(
+        {"index": index, "kind": kind, "payload": payload, "prev": prev},
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+class AuditLog:
+    """Hash-chained, append-only event log."""
+
+    def __init__(self, path: Optional[str] = None):
+        """Args:
+            path: optional JSON-lines file to append every entry to.
+        """
+        self._entries: List[AuditEntry] = []
+        self._path = path
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[AuditEntry]:
+        return list(self._entries)
+
+    @property
+    def head_digest(self) -> str:
+        return self._entries[-1].digest if self._entries else _GENESIS
+
+    def record(self, kind: str, **payload: Any) -> AuditEntry:
+        """Append one event.
+
+        Raises:
+            TypeError: if the payload is not JSON-serialisable.
+        """
+        index = len(self._entries)
+        prev = self.head_digest
+        digest = _digest(index, kind, payload, prev)
+        entry = AuditEntry(
+            index=index,
+            kind=kind,
+            payload=dict(payload),
+            prev_digest=prev,
+            digest=digest,
+        )
+        self._entries.append(entry)
+        if self._path is not None:
+            with open(self._path, "a") as fh:
+                fh.write(
+                    json.dumps(
+                        {
+                            "index": entry.index,
+                            "kind": entry.kind,
+                            "payload": entry.payload,
+                            "prev": entry.prev_digest,
+                            "digest": entry.digest,
+                        }
+                    )
+                    + "\n"
+                )
+        return entry
+
+    def verify_chain(self) -> bool:
+        """Re-derive every digest; False means the log was tampered."""
+        prev = _GENESIS
+        for i, entry in enumerate(self._entries):
+            if entry.index != i or entry.prev_digest != prev:
+                return False
+            if _digest(i, entry.kind, entry.payload, prev) != entry.digest:
+                return False
+            prev = entry.digest
+        return True
+
+    @classmethod
+    def load(cls, path: str) -> "AuditLog":
+        """Rebuild a log from its JSON-lines file.
+
+        Raises:
+            ValueError: on malformed lines or a broken hash chain.
+        """
+        log = cls()
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                doc = json.loads(line)
+                entry = AuditEntry(
+                    index=int(doc["index"]),
+                    kind=str(doc["kind"]),
+                    payload=dict(doc["payload"]),
+                    prev_digest=str(doc["prev"]),
+                    digest=str(doc["digest"]),
+                )
+                log._entries.append(entry)
+        if not log.verify_chain():
+            raise ValueError(f"audit log {path} failed chain verification")
+        return log
+
+    def of_kind(self, kind: str) -> List[AuditEntry]:
+        return [e for e in self._entries if e.kind == kind]

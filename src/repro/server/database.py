@@ -1,0 +1,127 @@
+"""The server's ID database.
+
+The secure back-end store of Sec. 1: every tag's ID is recorded when
+the set is created, and — for UTRP — the server mirrors each tag's
+hardware counter ``ct`` (Sec. 5.2: "the server also knows the value of
+each tag's counter since ct only increments when queried by the
+reader"). Counter mirroring is what lets the verifier replay the
+re-seed cascade exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["TagRecord", "TagDatabase"]
+
+
+class TagRecord:
+    """Server-side state for one registered tag."""
+
+    __slots__ = ("tag_id", "counter", "label")
+
+    def __init__(self, tag_id: int, counter: int = 0, label: Optional[str] = None):
+        self.tag_id = int(tag_id)
+        self.counter = int(counter)
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"TagRecord(tag_id={self.tag_id:#x}, counter={self.counter})"
+
+
+class TagDatabase:
+    """Registry of one monitored set ``T*``.
+
+    The set is static after registration (Sec. 3) — there is
+    deliberately no ``add`` after :meth:`register_set` and no ``remove``
+    at all: the server believing a tag exists while it is physically
+    gone is precisely the condition the protocols detect.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[int, TagRecord] = {}
+        self._sealed = False
+
+    def register_set(
+        self, tag_ids: Iterable[int], labels: Optional[Iterable[str]] = None
+    ) -> None:
+        """Record the full set of IDs, once.
+
+        Raises:
+            RuntimeError: if a set was already registered.
+            ValueError: on duplicate IDs.
+        """
+        if self._sealed:
+            raise RuntimeError("a tag set is already registered; sets are static")
+        ids = [int(i) for i in tag_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate tag IDs in registration")
+        label_list: List[Optional[str]]
+        if labels is None:
+            label_list = [None] * len(ids)
+        else:
+            label_list = list(labels)
+            if len(label_list) != len(ids):
+                raise ValueError("labels must match tag_ids in length")
+        for tag_id, label in zip(ids, label_list):
+            self._records[tag_id] = TagRecord(tag_id, 0, label)
+        self._sealed = True
+
+    @property
+    def size(self) -> int:
+        """``n`` — the registered population size."""
+        return len(self._records)
+
+    @property
+    def ids(self) -> np.ndarray:
+        """All registered IDs as a ``uint64`` array (stable order)."""
+        return np.fromiter(
+            self._records.keys(), dtype=np.uint64, count=len(self._records)
+        )
+
+    @property
+    def counters(self) -> np.ndarray:
+        """Mirrored counters, aligned with :attr:`ids`."""
+        return np.fromiter(
+            (r.counter for r in self._records.values()),
+            dtype=np.int64,
+            count=len(self._records),
+        )
+
+    def record(self, tag_id: int) -> TagRecord:
+        """Look up one tag.
+
+        Raises:
+            KeyError: if the ID was never registered.
+        """
+        return self._records[int(tag_id)]
+
+    def bump_counters(self, times: int = 1) -> None:
+        """Mirror ``times`` seed broadcasts: every tag's ``ct`` += times.
+
+        Every registered tag hears every broadcast (silent tags
+        included), so the increment is uniform across the set.
+
+        Raises:
+            ValueError: if ``times`` is negative.
+        """
+        if times < 0:
+            raise ValueError("times must be >= 0")
+        for rec in self._records.values():
+            rec.counter += times
+
+    def set_counters(self, values: np.ndarray) -> None:
+        """Overwrite mirrored counters (aligned with :attr:`ids`).
+
+        Used by the UTRP verifier after replaying a scan's cascade.
+
+        Raises:
+            ValueError: on length mismatch.
+        """
+        vals = np.asarray(values)
+        if vals.shape != (len(self._records),):
+            raise ValueError("counter vector length mismatch")
+        for rec, v in zip(self._records.values(), vals):
+            rec.counter = int(v)

@@ -1,0 +1,106 @@
+"""Challenge pre-provisioning for intermittently-connected readers.
+
+Sec. 4.2: "The server can either communicate a new (f, r) each time the
+reader executes TRP, or the server can issue a list of different (f, r)
+pairs to the reader ahead of time." This module implements the second
+mode with the bookkeeping that makes it safe:
+
+* the server keeps the authoritative copy of the issued list and the
+  index of the next challenge it will accept;
+* the reader consumes challenges strictly in order; the server rejects
+  an out-of-order or reused index, so a stolen challenge book cannot be
+  replayed against earlier positions;
+* books are finite — exhaustion is an explicit state the operator sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .seeds import SeedIssuer, TrpChallenge
+
+__all__ = ["ChallengeBook", "BookVerifier"]
+
+
+class ChallengeBook:
+    """The reader-side list of pre-issued TRP challenges."""
+
+    def __init__(self, challenges: List[TrpChallenge]):
+        if not challenges:
+            raise ValueError("a challenge book needs at least one entry")
+        self._challenges = list(challenges)
+        self._next = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._challenges) - self._next
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining == 0
+
+    def next_challenge(self) -> TrpChallenge:
+        """Consume the next challenge in order.
+
+        Raises:
+            IndexError: when the book is exhausted (the reader must
+                fetch a fresh book from the server).
+        """
+        if self.exhausted:
+            raise IndexError("challenge book exhausted")
+        challenge = self._challenges[self._next]
+        self._next += 1
+        return challenge
+
+    def peek_index(self) -> int:
+        """Index of the next unused challenge (for audit logs)."""
+        return self._next
+
+
+@dataclass
+class BookVerifier:
+    """Server-side mirror of an issued challenge book.
+
+    Tracks which index the server expects next; scans must come back in
+    issue order, each index at most once.
+    """
+
+    challenges: List[TrpChallenge]
+    _expected: int = 0
+
+    @classmethod
+    def issue(
+        cls, issuer: SeedIssuer, frame_size: int, count: int
+    ) -> "tuple[ChallengeBook, BookVerifier]":
+        """Issue a book of ``count`` challenges and its server mirror.
+
+        Raises:
+            ValueError: on a non-positive count or frame size.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        challenges = issuer.trp_challenge_batch(frame_size, count)
+        return ChallengeBook(challenges), cls(challenges=list(challenges))
+
+    def accept(self, index: int) -> TrpChallenge:
+        """Validate that ``index`` is the next acceptable scan.
+
+        Returns the challenge the server must verify against.
+
+        Raises:
+            ValueError: on an out-of-order, reused or unknown index.
+        """
+        if index != self._expected:
+            raise ValueError(
+                f"scan used challenge index {index}; server expects "
+                f"{self._expected} (out-of-order or replayed)"
+            )
+        if index >= len(self.challenges):
+            raise ValueError("index beyond the issued book")
+        self._expected += 1
+        return self.challenges[index]
+
+    @property
+    def remaining(self) -> int:
+        return len(self.challenges) - self._expected

@@ -1,0 +1,115 @@
+"""Server-side seed issuance.
+
+Replay resistance for TRP rests entirely on the server never reusing a
+``(f, r)`` pair (Sec. 5.1: "this attack can be easily defeated by
+letting the server issue a new (f, r) each time"); UTRP additionally
+pre-commits a whole ordered list ``r_1..r_f`` per scan (Alg. 5 line 1).
+:class:`SeedIssuer` centralises both, guarantees non-reuse, and keeps
+an audit trail so tests can assert the guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+__all__ = ["TrpChallenge", "UtrpChallenge", "SeedIssuer"]
+
+
+@dataclass(frozen=True)
+class TrpChallenge:
+    """One TRP scan instruction: broadcast ``(f, r)`` once."""
+
+    frame_size: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class UtrpChallenge:
+    """One UTRP scan instruction.
+
+    Attributes:
+        frame_size: ``f``.
+        seeds: the ordered list ``r_1..r_f``; the reader must consume
+            them strictly in order, one per re-seed.
+        timer: wall-clock budget the reader must answer within; the
+            server rejects late proofs (Alg. 5 line 5).
+    """
+
+    frame_size: int
+    seeds: Tuple[int, ...]
+    timer: float
+
+
+class SeedIssuer:
+    """Issues fresh random numbers, never repeating one.
+
+    Seeds are drawn from a caller-supplied generator so experiment runs
+    are reproducible; uniqueness is enforced against everything issued
+    over this issuer's lifetime.
+    """
+
+    _SEED_SPACE = 1 << 62
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._issued: Set[int] = set()
+
+    @property
+    def issued_count(self) -> int:
+        return len(self._issued)
+
+    def _fresh(self, count: int) -> List[int]:
+        out: List[int] = []
+        while len(out) < count:
+            draw = self._rng.integers(0, self._SEED_SPACE, size=count - len(out))
+            for value in draw.tolist():
+                if value not in self._issued:
+                    self._issued.add(value)
+                    out.append(int(value))
+                if len(out) == count:
+                    break
+        return out
+
+    def trp_challenge(self, frame_size: int) -> TrpChallenge:
+        """Issue a fresh TRP ``(f, r)``.
+
+        Raises:
+            ValueError: if ``frame_size`` is not positive.
+        """
+        if frame_size <= 0:
+            raise ValueError(f"frame_size must be positive, got {frame_size}")
+        return TrpChallenge(frame_size=frame_size, seed=self._fresh(1)[0])
+
+    def trp_challenge_batch(self, frame_size: int, count: int) -> List[TrpChallenge]:
+        """Pre-issue a list of challenges (Sec. 4.2: the server "can
+        issue a list of different (f, r) pairs ahead of time").
+
+        Raises:
+            ValueError: if ``frame_size`` is not positive or ``count``
+                is negative.
+        """
+        if frame_size <= 0:
+            raise ValueError(f"frame_size must be positive, got {frame_size}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [TrpChallenge(frame_size, s) for s in self._fresh(count)]
+
+    def utrp_challenge(self, frame_size: int, timer: float) -> UtrpChallenge:
+        """Issue a UTRP challenge with ``f`` pre-committed seeds.
+
+        Raises:
+            ValueError: if ``frame_size`` is not positive or the timer
+                is not positive.
+        """
+        if frame_size <= 0:
+            raise ValueError(f"frame_size must be positive, got {frame_size}")
+        if timer <= 0:
+            raise ValueError(f"timer must be positive, got {timer}")
+        return UtrpChallenge(
+            frame_size=frame_size,
+            seeds=tuple(self._fresh(frame_size)),
+            timer=timer,
+        )

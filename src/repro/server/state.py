@@ -1,0 +1,100 @@
+"""Server-state persistence.
+
+A monitoring server is a long-lived deployment: the registered IDs,
+mirrored counters and seed-issuance history must survive restarts —
+losing the counter mirror bricks every UTRP tag until re-provisioning,
+and forgetting issued seeds reopens the replay hole. This module
+serialises that state to a plain JSON document (no pickle: the state
+file crosses trust boundaries in practice).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from .database import TagDatabase
+from .seeds import SeedIssuer
+
+__all__ = ["export_state", "import_state", "save_state", "load_state"]
+
+_FORMAT = "repro-rfid-server-state"
+_VERSION = 1
+
+
+def export_state(database: TagDatabase, issuer: Optional[SeedIssuer] = None) -> dict:
+    """Serialise a database (and optionally an issuer's history)."""
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "tags": [
+            {
+                "id": int(tag_id),
+                "counter": int(counter),
+                "label": database.record(int(tag_id)).label,
+            }
+            for tag_id, counter in zip(
+                database.ids.tolist(), database.counters.tolist()
+            )
+        ],
+    }
+    if issuer is not None:
+        doc["issued_seeds"] = sorted(int(s) for s in issuer._issued)
+    return doc
+
+
+def import_state(doc: dict) -> "tuple[TagDatabase, SeedIssuer]":
+    """Rebuild a database and issuer from :func:`export_state` output.
+
+    The rebuilt issuer draws fresh randomness but remembers every
+    previously-issued seed, preserving the never-reuse guarantee across
+    restarts.
+
+    Raises:
+        ValueError: on an unrecognised or malformed document.
+    """
+    if doc.get("format") != _FORMAT:
+        raise ValueError("not a repro server-state document")
+    if doc.get("version") != _VERSION:
+        raise ValueError(f"unsupported state version {doc.get('version')!r}")
+    tags = doc.get("tags")
+    if not isinstance(tags, list):
+        raise ValueError("malformed state: missing tag list")
+
+    database = TagDatabase()
+    database.register_set(
+        [t["id"] for t in tags], labels=[t.get("label") for t in tags]
+    )
+    database.set_counters(np.array([t["counter"] for t in tags], dtype=np.int64))
+
+    issuer = SeedIssuer()
+    for seed in doc.get("issued_seeds", []):
+        issuer._issued.add(int(seed))
+    return database, issuer
+
+
+def save_state(
+    path: str, database: TagDatabase, issuer: Optional[SeedIssuer] = None
+) -> None:
+    """Write the state document to ``path`` atomically."""
+    doc = export_state(database, issuer)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    import os
+
+    os.replace(tmp, path)
+
+
+def load_state(path: str) -> "tuple[TagDatabase, SeedIssuer]":
+    """Read a state document back.
+
+    Raises:
+        ValueError: on malformed content (via :func:`import_state`).
+        OSError: if the file cannot be read.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    return import_state(doc)

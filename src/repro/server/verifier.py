@@ -1,0 +1,159 @@
+"""Expected-bitstring prediction — the server's half of verification.
+
+TRP (Sec. 4.1): knowing every ID and the issued ``(f, r)``, the server
+computes the bitstring an intact set *would* return and compares.
+
+UTRP (Sec. 5.3): the server additionally replays the whole re-seed
+cascade — which slot fires first, which tags fall silent, what frame
+size and seed the honest reader would broadcast next, and how every
+tag's counter advances (all tags hear all broadcasts). The replay is
+vectorised: each cascade step only needs the minimum chosen slot among
+still-active tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..rfid.bitstring import empty_bitstring
+from ..rfid.hashing import slots_for_tags, slots_for_tags_with_counters
+
+__all__ = [
+    "UtrpPrediction",
+    "expected_trp_bitstring",
+    "expected_trp_bitstring_with_counters",
+    "expected_utrp_bitstring",
+]
+
+
+def expected_trp_bitstring(
+    tag_ids: np.ndarray, frame_size: int, seed: int
+) -> np.ndarray:
+    """Bitstring an intact set produces under TRP's single seed.
+
+    Raises:
+        ValueError: if ``frame_size`` is not positive.
+    """
+    bs = empty_bitstring(frame_size)
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    if ids.size:
+        slots = slots_for_tags(ids, seed, frame_size)
+        bs[np.unique(slots)] = 1
+    return bs
+
+
+def expected_trp_bitstring_with_counters(
+    tag_ids: np.ndarray, counters: np.ndarray, frame_size: int, seed: int
+):
+    """TRP prediction for *counter-capable* tags.
+
+    UTRP-grade tags tick their counter on every ``(f, r)`` they hear —
+    including a plain TRP broadcast — and fold the new value into their
+    slot hash. A server monitoring such a set with TRP must therefore
+    predict with ``ct + 1`` and commit the bump, or the very next UTRP
+    round would desynchronise.
+
+    Returns:
+        ``(bitstring, new_counters)`` — the expected occupancy and the
+        post-scan counter vector to commit.
+
+    Raises:
+        ValueError: on shape mismatch or non-positive frame size.
+    """
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    cts = np.asarray(counters, dtype=np.int64) + 1
+    if ids.shape != cts.shape:
+        raise ValueError("tag_ids and counters must have the same length")
+    bs = empty_bitstring(frame_size)
+    if ids.size:
+        slots = slots_for_tags_with_counters(ids, seed, frame_size, cts)
+        bs[np.unique(slots)] = 1
+    return bs, cts
+
+
+@dataclass
+class UtrpPrediction:
+    """Result of replaying a UTRP cascade over the server's records.
+
+    Attributes:
+        bitstring: expected occupancy over the ``f`` global slots.
+        counters: every tag's counter after the scan (aligned with the
+            input ID order) — the server commits these back to its
+            database once the scan verifies.
+        seeds_used: how many of the pre-committed seeds the honest
+            cascade consumes.
+    """
+
+    bitstring: np.ndarray
+    counters: np.ndarray
+    seeds_used: int
+
+
+def expected_utrp_bitstring(
+    tag_ids: np.ndarray,
+    counters: np.ndarray,
+    frame_size: int,
+    seeds: Sequence[int],
+) -> UtrpPrediction:
+    """Replay the honest UTRP cascade (Algs. 6-7) over known IDs.
+
+    The cascade invariants mirrored from the tag/reader machines:
+
+    * every broadcast increments *every* tag's counter (silent tags
+      still hear it);
+    * after an occupied global slot ``sn`` the next sub-frame is
+      ``f' = f - (sn + 1)`` and is only broadcast when ``f' > 0``;
+    * tags that replied (all tags in the occupied slot, collisions
+      included) go permanently silent.
+
+    Raises:
+        ValueError: if fewer than ``frame_size`` seeds are supplied or
+            shapes are inconsistent.
+    """
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    cts = np.asarray(counters, dtype=np.int64).copy()
+    if ids.shape != cts.shape:
+        raise ValueError("tag_ids and counters must have the same length")
+    if len(seeds) < frame_size:
+        raise ValueError(f"UTRP needs {frame_size} seeds, got {len(seeds)}")
+
+    bs = empty_bitstring(frame_size)
+    active = np.ones(ids.shape, dtype=bool)
+    _sentinel = np.iinfo(np.int64).max
+
+    def rehash(seed: int, sub_frame: int) -> np.ndarray:
+        """Slots of active tags in the current sub-frame; silent tags
+        get a sentinel so the masked min below stays branch-free."""
+        full = np.full(ids.shape, _sentinel, dtype=np.int64)
+        if active.any():
+            full[active] = slots_for_tags_with_counters(
+                ids[active], seed, sub_frame, cts[active]
+            )
+        return full
+
+    # Initial broadcast: (f, r_1) reaches every tag, counters tick first
+    # (Alg. 7 line 1), then slots are chosen with the new counter.
+    cts += 1
+    seeds_used = 1
+    offset = 0  # global slot index where the current sub-frame starts
+    slots = rehash(int(seeds[0]), frame_size)
+
+    while active.any():
+        local_first = int(slots[active].min())
+        global_slot = offset + local_first
+        bs[global_slot] = 1
+        repliers = active & (slots == local_first)
+        active &= ~repliers
+        sub_frame = frame_size - (global_slot + 1)
+        if sub_frame <= 0:
+            break
+        # Honest reader re-seeds after every occupied slot; every tag
+        # (replied or not) hears the broadcast and ticks its counter.
+        cts += 1
+        seeds_used += 1
+        offset = global_slot + 1
+        slots = rehash(int(seeds[seeds_used - 1]), sub_frame)
+    return UtrpPrediction(bs, cts, seeds_used)

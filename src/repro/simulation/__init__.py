@@ -1,0 +1,38 @@
+"""Monte Carlo engine: seeding, runners, metrics, fast kernels, scenarios."""
+
+from .fastpath import (
+    collect_all_slots_trials,
+    trp_detection_trials,
+    trp_trial_detected,
+    utrp_collusion_detection_trials,
+    utrp_collusion_trial_detected,
+)
+from .metrics import ProportionSummary, summarize_detections, wilson_interval
+from .rng import derive_seed, generator_for_trial, spawn_generators
+from .runner import MonteCarloRunner, TrialBatch
+from .scenarios import DeployedSet, deploy, deploy_with_collusion, deploy_with_theft
+from .trace import TraceEvent, TraceEventKind, TracingChannel, render_trace
+
+__all__ = [
+    "collect_all_slots_trials",
+    "trp_detection_trials",
+    "trp_trial_detected",
+    "utrp_collusion_detection_trials",
+    "utrp_collusion_trial_detected",
+    "ProportionSummary",
+    "summarize_detections",
+    "wilson_interval",
+    "derive_seed",
+    "generator_for_trial",
+    "spawn_generators",
+    "MonteCarloRunner",
+    "TrialBatch",
+    "DeployedSet",
+    "deploy",
+    "deploy_with_collusion",
+    "deploy_with_theft",
+    "TraceEvent",
+    "TraceEventKind",
+    "TracingChannel",
+    "render_trace",
+]

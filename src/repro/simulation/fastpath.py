@@ -1,0 +1,346 @@
+"""Vectorised Monte Carlo trial kernels.
+
+The protocol engines in :mod:`repro.core` walk real tag state machines
+— right for correctness, far too slow for 1000-trial sweeps over
+thousands of tags. These kernels compute the *same distributions* with
+numpy array operations and are cross-validated against the slow path in
+the test suite:
+
+* :func:`trp_detection_trials` — Fig. 5's experiment: does TRP notice
+  ``x`` randomly stolen tags?
+* :func:`utrp_collusion_detection_trials` — Fig. 7's experiment: does
+  UTRP notice the optimal colluding pair?
+* :func:`collect_all_slots_trials` — Fig. 4's baseline cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..adversary.collusion import simulate_colluding_utrp_scan
+from ..aloha.framed_slotted import simulate_collect_all_slots
+from ..rfid.hashing import slots_for_tags
+from ..rfid.ids import random_tag_ids
+from ..server.verifier import expected_utrp_bitstring
+
+__all__ = [
+    "trp_trial_detected",
+    "trp_detection_trials",
+    "trp_mismatch_count_trials",
+    "trp_false_alarm_trials",
+    "utrp_collusion_detected",
+    "utrp_collusion_trial_detected",
+    "utrp_collusion_detection_trials",
+    "collect_all_slots_trials",
+]
+
+_SEED_SPACE = 1 << 62
+_INF = np.iinfo(np.int64).max
+
+
+def trp_trial_detected(
+    tag_ids: np.ndarray,
+    missing_mask: np.ndarray,
+    frame_size: int,
+    seed: int,
+) -> bool:
+    """One TRP round: is the theft visible in the bitstring?
+
+    A missing tag is exposed iff its slot receives no reply from any
+    present tag — i.e. the observed bitstring has a 0 where the
+    prediction has a 1. (The observed bitstring can never have extra
+    1s: present tags are a subset of registered tags.)
+    """
+    slots = slots_for_tags(np.asarray(tag_ids, dtype=np.uint64), seed, frame_size)
+    present_counts = np.bincount(slots[~missing_mask], minlength=frame_size)
+    missing_slots = slots[missing_mask]
+    return bool(np.any(present_counts[missing_slots] == 0))
+
+
+def trp_detection_trials(
+    n: int,
+    missing: int,
+    frame_size: int,
+    trials: int,
+    rng: np.random.Generator,
+    resample_population: bool = True,
+) -> np.ndarray:
+    """Fig. 5 kernel: ``trials`` independent TRP rounds, fresh seed and
+    fresh random theft each time.
+
+    Args:
+        n: population size.
+        missing: tags stolen per trial (the experiments use ``m + 1``).
+        frame_size: TRP frame (from Eq. 2 in the paper's setup).
+        trials: Monte Carlo sample size.
+        rng: source for populations, seeds and theft choices.
+        resample_population: draw fresh IDs each trial (matches the
+            paper averaging over deployments); False reuses one
+            population and varies only seed and theft.
+
+    Returns:
+        Boolean array, one entry per trial (True = theft detected).
+
+    Raises:
+        ValueError: if ``missing`` exceeds ``n`` or ``trials`` is not
+            positive.
+    """
+    if not 0 <= missing <= n:
+        raise ValueError("missing must be within [0, n]")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    detections = np.empty(trials, dtype=bool)
+    ids = random_tag_ids(n, rng)
+    for t in range(trials):
+        if resample_population and t:
+            ids = random_tag_ids(n, rng)
+        mask = np.zeros(n, dtype=bool)
+        mask[rng.choice(n, size=missing, replace=False)] = True
+        seed = int(rng.integers(0, _SEED_SPACE))
+        detections[t] = trp_trial_detected(ids, mask, frame_size, seed)
+    return detections
+
+
+def utrp_collusion_trial_detected(
+    tag_ids: np.ndarray,
+    counters: np.ndarray,
+    stolen_mask: np.ndarray,
+    frame_size: int,
+    seeds,
+    budget: int,
+) -> bool:
+    """One UTRP round against the optimal colluding pair.
+
+    Plays the attack scan and the server's cascade replay over the same
+    challenge; detection is any bitstring difference.
+    """
+    forged = simulate_colluding_utrp_scan(
+        tag_ids, counters, stolen_mask, frame_size, seeds, budget
+    )
+    prediction = expected_utrp_bitstring(tag_ids, counters, frame_size, seeds)
+    return not np.array_equal(forged.bitstring, prediction.bitstring)
+
+
+def trp_mismatch_count_trials(
+    n: int,
+    missing: int,
+    frame_size: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mismatched-slot *counts* per TRP trial (alarm-policy studies).
+
+    A slot mismatches when at least one missing tag picked it and no
+    present tag did — the quantity
+    :func:`repro.core.estimation.estimate_missing_count` inverts.
+
+    Returns:
+        ``int64`` array, one mismatch count per trial.
+
+    Raises:
+        ValueError: if ``missing`` is outside ``[0, n]`` or ``trials``
+            is not positive.
+    """
+    if not 0 <= missing <= n:
+        raise ValueError("missing must be within [0, n]")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    counts = np.empty(trials, dtype=np.int64)
+    for t in range(trials):
+        ids = random_tag_ids(n, rng)
+        seed = int(rng.integers(0, _SEED_SPACE))
+        slots = slots_for_tags(ids, seed, frame_size)
+        present = np.bincount(slots[missing:], minlength=frame_size)
+        missing_slots = np.unique(slots[:missing])
+        counts[t] = int(np.sum(present[missing_slots] == 0))
+    return counts
+
+
+def trp_false_alarm_trials(
+    n: int,
+    frame_size: int,
+    miss_rate: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mismatch counts on an *intact* set over an unreliable channel.
+
+    Models the introduction's benign failure modes — scratched tags,
+    items physically blocking each other — as each tag independently
+    failing to answer with probability ``miss_rate``. Any resulting
+    mismatch is a false alarm under the paper's strict rule; the
+    Abl. G bench uses these counts to compare alarm policies.
+
+    Raises:
+        ValueError: if ``miss_rate`` is outside ``[0, 1]`` or
+            ``trials`` is not positive.
+    """
+    if not 0.0 <= miss_rate <= 1.0:
+        raise ValueError("miss_rate must be within [0, 1]")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    counts = np.empty(trials, dtype=np.int64)
+    for t in range(trials):
+        ids = random_tag_ids(n, rng)
+        seed = int(rng.integers(0, _SEED_SPACE))
+        slots = slots_for_tags(ids, seed, frame_size)
+        responded = rng.random(n) >= miss_rate
+        heard = np.bincount(slots[responded], minlength=frame_size)
+        expected_slots = np.unique(slots)
+        counts[t] = int(np.sum(heard[expected_slots] == 0))
+    return counts
+
+
+def utrp_collusion_detected(
+    tag_ids: np.ndarray,
+    counters: np.ndarray,
+    stolen_mask: np.ndarray,
+    frame_size: int,
+    seeds,
+    budget: int,
+) -> bool:
+    """Detection-only collusion kernel — one cascade walk, early exit.
+
+    Two structural facts make this equivalent to (and much faster than)
+    :func:`utrp_collusion_trial_detected`:
+
+    * while the pair stay synchronised, their merged bitstring equals
+      the server's prediction *by construction* (they behave as one
+      reader over the full set), so no comparison is needed there;
+    * after the budget runs out, the prediction and R1's solo cascade
+      stay aligned exactly until the first expected event whose
+      repliers are all stolen — R1 reports a 0 there and skips the
+      re-seed, so that slot is both the first divergence and a
+      guaranteed divergence.
+
+    Hence: walk the joint cascade; once solo, return True at the first
+    stolen-only event, False if the frame drains without one. The test
+    suite cross-validates this against the full bitstring comparison.
+    """
+    from ..rfid.hashing import slots_for_tags_with_counters
+
+    ids = np.asarray(tag_ids, dtype=np.uint64)
+    cts = np.asarray(counters, dtype=np.int64).copy()
+    stolen = np.asarray(stolen_mask, dtype=bool)
+    if not (ids.shape == cts.shape == stolen.shape):
+        raise ValueError("tag_ids, counters and stolen_mask must align")
+    if len(seeds) < frame_size:
+        raise ValueError(f"need {frame_size} seeds, got {len(seeds)}")
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+
+    active = np.ones(ids.shape, dtype=bool)
+    kept = ~stolen
+
+    def rehash(seed: int, sub_frame: int) -> np.ndarray:
+        full = np.full(ids.shape, _INF, dtype=np.int64)
+        if active.any():
+            full[active] = slots_for_tags_with_counters(
+                ids[active], seed, sub_frame, cts[active]
+            )
+        return full
+
+    cts += 1
+    seeds_used = 1
+    offset = 0
+    cursor = 0
+    budget_left = budget
+    solo = False
+    slots = rehash(int(seeds[0]), frame_size)
+
+    while offset + cursor < frame_size:
+        masked = np.where(active & (slots >= cursor), slots, _INF)
+        kept_slots = np.where(kept, masked, _INF)
+        next1 = int(kept_slots.min()) if masked.size else _INF
+        stolen_slots = np.where(stolen, masked, _INF)
+        next2 = int(stolen_slots.min()) if masked.size else _INF
+        event = min(next1, next2)
+        if event == _INF:
+            return False  # nothing will ever reply again: suffix all 0s
+        if not solo:
+            comms = (event - cursor) + (1 if next2 < next1 else 0)
+            if budget_left < comms:
+                cursor += budget_left
+                budget_left = 0
+                solo = True
+                continue
+            budget_left -= comms
+        elif next2 < next1:
+            return True  # stolen-only slot: server expects 1, R1 says 0
+        repliers = active & (slots == event)
+        active &= ~repliers
+        sub_frame = frame_size - (offset + event + 1)
+        if sub_frame <= 0:
+            return False
+        cts += 1
+        seeds_used += 1
+        offset = offset + event + 1
+        cursor = 0
+        slots = rehash(int(seeds[seeds_used - 1]), sub_frame)
+    return False
+
+
+def utrp_collusion_detection_trials(
+    n: int,
+    stolen: int,
+    frame_size: int,
+    budget: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Fig. 7 kernel: ``trials`` independent collusion attempts.
+
+    Each trial draws a fresh population, a fresh random split (the
+    adversary steals ``stolen`` random tags), and a fresh pre-committed
+    seed list.
+
+    Returns:
+        Boolean array, one entry per trial (True = attack detected).
+
+    Raises:
+        ValueError: if ``stolen`` is out of range or ``trials`` is not
+            positive.
+    """
+    if not 0 < stolen < n:
+        raise ValueError("stolen must be within (0, n)")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    detections = np.empty(trials, dtype=bool)
+    for t in range(trials):
+        ids = random_tag_ids(n, rng)
+        counters = np.zeros(n, dtype=np.int64)
+        mask = np.zeros(n, dtype=bool)
+        mask[rng.choice(n, size=stolen, replace=False)] = True
+        seeds = rng.integers(0, _SEED_SPACE, size=frame_size).tolist()
+        detections[t] = utrp_collusion_detected(
+            ids, counters, mask, frame_size, seeds, budget
+        )
+    return detections
+
+
+def collect_all_slots_trials(
+    n: int,
+    tolerance: int,
+    trials: int,
+    rng: np.random.Generator,
+    missing: int = 0,
+) -> np.ndarray:
+    """Fig. 4 kernel: slots used by *collect all* per trial.
+
+    Raises:
+        ValueError: if more tags are missing than the tolerance allows
+            (collect-all would never terminate).
+    """
+    if missing > tolerance:
+        raise ValueError("collect-all cannot terminate with missing > tolerance")
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    out = np.empty(trials, dtype=np.int64)
+    for t in range(trials):
+        ids = random_tag_ids(n, rng)
+        if missing:
+            keep = np.ones(n, dtype=bool)
+            keep[rng.choice(n, size=missing, replace=False)] = False
+            ids = ids[keep]
+        out[t] = simulate_collect_all_slots(ids, n, tolerance, rng)
+    return out

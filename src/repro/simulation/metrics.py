@@ -1,0 +1,92 @@
+"""Summary statistics for Monte Carlo outputs.
+
+Detection probabilities in Figs. 5 and 7 are binomial proportions over
+1000 trials; alongside the point estimate we report a Wilson score
+interval so EXPERIMENTS.md can state whether "above alpha" holds beyond
+sampling noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ProportionSummary", "summarize_detections", "wilson_interval"]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because detection rates sit
+    near 1.0, where the naive interval overshoots.
+
+    Raises:
+        ValueError: if ``trials`` is not positive or ``successes`` is
+            out of range.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = (phat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    # Clamp against floating-point droop so the interval always
+    # contains the point estimate (bites at phat = 0 or 1 exactly).
+    lo = min(max(0.0, centre - half), phat)
+    hi = max(min(1.0, centre + half), phat)
+    return (lo, hi)
+
+
+@dataclass(frozen=True)
+class ProportionSummary:
+    """A detection-rate estimate with its uncertainty.
+
+    Attributes:
+        rate: point estimate (successes / trials).
+        trials: sample size.
+        ci_low / ci_high: 95% Wilson bounds.
+    """
+
+    rate: float
+    trials: int
+    ci_low: float
+    ci_high: float
+
+    def exceeds(self, threshold: float) -> bool:
+        """Point estimate above the threshold (the paper's criterion)."""
+        return self.rate > threshold
+
+    def confidently_exceeds(self, threshold: float) -> bool:
+        """Entire interval above the threshold — stronger than the
+        paper's per-bar reading of Figs. 5 and 7."""
+        return self.ci_low > threshold
+
+
+def summarize_detections(detections: Sequence[bool]) -> ProportionSummary:
+    """Collapse per-trial booleans into a :class:`ProportionSummary`.
+
+    Raises:
+        ValueError: on an empty sequence.
+    """
+    flags = np.asarray(detections, dtype=bool)
+    if flags.size == 0:
+        raise ValueError("at least one trial is required")
+    successes = int(flags.sum())
+    low, high = wilson_interval(successes, flags.size)
+    return ProportionSummary(
+        rate=successes / flags.size,
+        trials=int(flags.size),
+        ci_low=low,
+        ci_high=high,
+    )

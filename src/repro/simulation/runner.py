@@ -1,0 +1,118 @@
+"""Generic Monte Carlo runner.
+
+Experiments are "run this trial function T times with independent
+generators and summarise". The runner owns seeding discipline
+(:mod:`.rng`), progress hooks, and summary construction so each
+experiment module stays a pure description of *what* a trial is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .metrics import ProportionSummary, summarize_detections
+from .rng import spawn_generators
+
+__all__ = ["TrialBatch", "MonteCarloRunner"]
+
+
+@dataclass
+class TrialBatch:
+    """Raw per-trial outcomes plus their summary.
+
+    Attributes:
+        outcomes: one float/bool per trial, in trial order.
+        summary: proportion summary when outcomes are boolean, else
+            ``None`` (numeric batches summarise via :attr:`mean`).
+    """
+
+    outcomes: np.ndarray
+    summary: Optional[ProportionSummary] = None
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.outcomes))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.outcomes))
+
+
+class MonteCarloRunner:
+    """Runs trial callables under reproducible per-trial generators."""
+
+    def __init__(
+        self,
+        master_seed: int,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        """Args:
+            master_seed: experiment-level seed; trials spawn from it.
+            progress: optional ``(done, total)`` callback, invoked
+                after every trial (CLI progress display).
+        """
+        self.master_seed = master_seed
+        self._progress = progress
+
+    def run_boolean(
+        self, trial: Callable[[np.random.Generator], bool], trials: int
+    ) -> TrialBatch:
+        """Run a detect/miss trial function; summarise as a proportion.
+
+        Raises:
+            ValueError: if ``trials`` is not positive.
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        gens = spawn_generators(self.master_seed, trials)
+        outcomes = np.empty(trials, dtype=bool)
+        for i, gen in enumerate(gens):
+            outcomes[i] = bool(trial(gen))
+            if self._progress is not None:
+                self._progress(i + 1, trials)
+        return TrialBatch(outcomes=outcomes, summary=summarize_detections(outcomes))
+
+    def run_numeric(
+        self, trial: Callable[[np.random.Generator], float], trials: int
+    ) -> TrialBatch:
+        """Run a cost-measuring trial function (e.g. slots used).
+
+        Raises:
+            ValueError: if ``trials`` is not positive.
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        gens = spawn_generators(self.master_seed, trials)
+        outcomes = np.empty(trials, dtype=np.float64)
+        for i, gen in enumerate(gens):
+            outcomes[i] = float(trial(gen))
+            if self._progress is not None:
+                self._progress(i + 1, trials)
+        return TrialBatch(outcomes=outcomes)
+
+    def run_vectorised(
+        self,
+        kernel: Callable[[int, np.random.Generator], np.ndarray],
+        trials: int,
+    ) -> TrialBatch:
+        """Hand the whole batch to a vectorised kernel.
+
+        The kernel receives ``(trials, generator)`` and returns one
+        outcome per trial; used by the fast paths where per-trial
+        generator spawning would dominate runtime.
+        """
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        gen = np.random.default_rng(np.random.SeedSequence(self.master_seed))
+        outcomes = np.asarray(kernel(trials, gen))
+        if outcomes.shape != (trials,):
+            raise ValueError(
+                f"kernel returned shape {outcomes.shape}, expected ({trials},)"
+            )
+        summary = (
+            summarize_detections(outcomes) if outcomes.dtype == bool else None
+        )
+        return TrialBatch(outcomes=outcomes, summary=summary)

@@ -1,0 +1,107 @@
+"""Prebuilt end-to-end scenarios.
+
+Small factories that assemble populations, servers and adversaries into
+the situations the paper (and the examples) reason about. They use the
+*protocol-level* machinery — real tags, channels and readers — so each
+scenario is also an integration test fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..adversary.collusion import ColludingUtrpPair
+from ..adversary.theft import TheftOutcome, worst_case_theft
+from ..core.monitor import MonitoringServer
+from ..core.parameters import MonitorRequirement
+from ..rfid.channel import SlottedChannel
+from ..rfid.population import TagPopulation
+
+__all__ = ["DeployedSet", "deploy", "deploy_with_theft", "deploy_with_collusion"]
+
+
+@dataclass
+class DeployedSet:
+    """A registered monitoring deployment ready to be checked.
+
+    Attributes:
+        server: the monitoring server, with the set registered.
+        population: the physical tags (mutate to model theft).
+        channel: the reader's view of the population.
+        theft: the theft that was applied, if any.
+        collusion: a colluding pair armed with the stolen tags, if the
+            scenario includes one.
+    """
+
+    server: MonitoringServer
+    population: TagPopulation
+    channel: SlottedChannel
+    theft: Optional[TheftOutcome] = None
+    collusion: Optional[ColludingUtrpPair] = None
+
+
+def deploy(
+    requirement: MonitorRequirement,
+    rng: np.random.Generator,
+    counter_tags: bool = True,
+    comm_budget: int = 20,
+) -> DeployedSet:
+    """Create a population and a server monitoring it, set intact."""
+    pop = TagPopulation.create(
+        requirement.population, uses_counter=counter_tags, rng=rng
+    )
+    server = MonitoringServer(
+        requirement, rng=rng, counter_tags=counter_tags, comm_budget=comm_budget
+    )
+    server.register(pop.ids.tolist())
+    return DeployedSet(
+        server=server, population=pop, channel=SlottedChannel(pop.tags)
+    )
+
+
+def deploy_with_theft(
+    requirement: MonitorRequirement,
+    rng: np.random.Generator,
+    counter_tags: bool = True,
+    stolen: Optional[int] = None,
+) -> DeployedSet:
+    """Deployment where ``stolen`` tags (default ``m + 1``) are gone.
+
+    The channel afterwards contains only the remaining tags — stolen
+    tags are out of reader range (Sec. 3's adversary model).
+    """
+    deployed = deploy(requirement, rng, counter_tags=counter_tags)
+    if stolen is None:
+        theft = worst_case_theft(deployed.population, requirement.tolerance, rng)
+    else:
+        from ..adversary.theft import steal_random_tags
+
+        theft = steal_random_tags(deployed.population, stolen, rng)
+    deployed.theft = theft
+    deployed.channel = SlottedChannel(deployed.population.tags)
+    return deployed
+
+
+def deploy_with_collusion(
+    requirement: MonitorRequirement,
+    rng: np.random.Generator,
+    comm_budget: int = 20,
+    stolen: Optional[int] = None,
+) -> DeployedSet:
+    """Deployment under the Sec. 5 adversary: the reader is dishonest
+    and a collaborator holds the stolen tags on a second channel."""
+    deployed = deploy_with_theft(
+        requirement, rng, counter_tags=True, stolen=stolen
+    )
+    assert deployed.theft is not None
+    stolen_channel = SlottedChannel(deployed.theft.stolen.tags)
+    deployed.collusion = ColludingUtrpPair(
+        remaining_channel=deployed.channel,
+        stolen_channel=stolen_channel,
+        budget=comm_budget,
+    )
+    deployed.server.comm_budget = comm_budget
+    return deployed

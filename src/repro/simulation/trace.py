@@ -1,0 +1,115 @@
+"""Protocol tracing: structured event logs of a scan.
+
+Wraps a :class:`~repro.rfid.channel.SlottedChannel` so every broadcast
+and slot poll is recorded as a typed event. Useful for debugging
+cascade mismatches (UTRP's re-seeding makes "which seed was live at
+slot 37?" a real question), for teaching, and for asserting protocol
+shape in tests without reaching into internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..rfid.channel import SlotObservation, SlottedChannel
+
+__all__ = ["TraceEventKind", "TraceEvent", "TracingChannel", "render_trace"]
+
+
+class TraceEventKind(enum.Enum):
+    POWER_CYCLE = "power-cycle"
+    BROADCAST = "broadcast"
+    POLL = "poll"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One on-air event.
+
+    Attributes:
+        kind: what happened.
+        frame_size: ``f`` for broadcasts, else None.
+        seed: ``r`` for broadcasts, else None.
+        slot: polled slot for polls, else None.
+        outcome: "empty" / "single" / "collision" for polls.
+        repliers: how many tags answered (simulation ground truth).
+    """
+
+    kind: TraceEventKind
+    frame_size: Optional[int] = None
+    seed: Optional[int] = None
+    slot: Optional[int] = None
+    outcome: Optional[str] = None
+    repliers: int = 0
+
+
+class TracingChannel(SlottedChannel):
+    """A :class:`SlottedChannel` that records everything it carries.
+
+    Drop-in: readers and protocol engines take it anywhere they take a
+    plain channel.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.events: List[TraceEvent] = []
+
+    def power_cycle(self) -> None:
+        self.events.append(TraceEvent(kind=TraceEventKind.POWER_CYCLE))
+        super().power_cycle()
+
+    def broadcast_seed(self, frame_size: int, seed: int) -> None:
+        self.events.append(
+            TraceEvent(
+                kind=TraceEventKind.BROADCAST,
+                frame_size=frame_size,
+                seed=seed,
+            )
+        )
+        super().broadcast_seed(frame_size, seed)
+
+    def poll_slot(self, slot: int, ids_on_air: bool = False) -> SlotObservation:
+        obs = super().poll_slot(slot, ids_on_air=ids_on_air)
+        self.events.append(
+            TraceEvent(
+                kind=TraceEventKind.POLL,
+                slot=slot,
+                outcome=obs.outcome.value,
+                repliers=len(obs.replies),
+            )
+        )
+        return obs
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def broadcasts(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is TraceEventKind.BROADCAST]
+
+    def polls(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is TraceEventKind.POLL]
+
+    def occupied_polls(self) -> List[TraceEvent]:
+        return [e for e in self.polls() if e.outcome != "empty"]
+
+
+def render_trace(events: List[TraceEvent], limit: int = 0) -> str:
+    """Human-readable trace listing (``limit`` > 0 truncates)."""
+    lines: List[str] = []
+    shown = events if limit <= 0 else events[:limit]
+    for i, e in enumerate(shown):
+        if e.kind is TraceEventKind.POWER_CYCLE:
+            lines.append(f"{i:>5}  power-cycle")
+        elif e.kind is TraceEventKind.BROADCAST:
+            lines.append(
+                f"{i:>5}  broadcast (f={e.frame_size}, r={e.seed:#x})"
+            )
+        else:
+            extra = f" x{e.repliers}" if e.repliers > 1 else ""
+            lines.append(f"{i:>5}  poll slot {e.slot}: {e.outcome}{extra}")
+    if limit > 0 and len(events) > limit:
+        lines.append(f"       ... {len(events) - limit} more events")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MonitorRequirement
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator; tests needing other streams seed their own."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_requirement():
+    """A small, fast-to-simulate monitoring requirement."""
+    return MonitorRequirement(population=60, tolerance=3, confidence=0.95)
+
+
+@pytest.fixture
+def plain_population(rng):
+    """60 TRP-grade tags (no counter)."""
+    return TagPopulation.create(60, uses_counter=False, rng=rng)
+
+
+@pytest.fixture
+def counter_population(rng):
+    """60 UTRP-grade tags (hardware counter)."""
+    return TagPopulation.create(60, uses_counter=True, rng=rng)
+
+
+@pytest.fixture
+def plain_channel(plain_population):
+    return SlottedChannel(plain_population.tags)
+
+
+@pytest.fixture
+def counter_channel(counter_population):
+    return SlottedChannel(counter_population.tags)

@@ -1,0 +1,111 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.grid import ExperimentGrid
+
+TINY = ExperimentGrid(
+    populations=(100, 300),
+    tolerances=(5,),
+    trials=40,
+    cost_trials=3,
+    master_seed=11,
+)
+
+
+class TestWallclock:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_wallclock(TINY)
+
+    def test_collect_all_much_slower(self, rows):
+        """Sec. 6: collect-all's real performance is worse than its slot
+        count because IDs are long; the advantage must exceed Fig. 4's
+        slot-count advantage."""
+        from repro.core.analysis import optimal_trp_frame_size
+        for row in rows:
+            assert row.speedup > 1.5
+
+    def test_positive_times(self, rows):
+        for row in rows:
+            assert row.collect_all_ms > 0 and row.trp_ms > 0
+
+    def test_formatting(self, rows):
+        assert "Abl. A" in ablations.format_wallclock(rows)
+
+
+class TestAlphaSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_alpha_sweep(
+            populations=(500,), tolerances=(5, 20), alphas=(0.9, 0.95, 0.99)
+        )
+
+    def test_monotone_in_alpha(self, rows):
+        for m in (5, 20):
+            series = [r.frame_size for r in rows if r.tolerance == m]
+            assert series == sorted(series)
+
+    def test_formatting(self, rows):
+        assert "Abl. B" in ablations.format_alpha_sweep(rows)
+
+
+class TestBudgetSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_comm_budget_sweep(
+            populations=(500,), budgets=(0, 20, 50)
+        )
+
+    def test_monotone_in_budget(self, rows):
+        series = [r.utrp_frame for r in rows]
+        assert series == sorted(series)
+
+    def test_overhead_non_negative(self, rows):
+        for r in rows:
+            assert r.overhead_slots >= 0
+
+    def test_formatting(self, rows):
+        assert "Abl. C" in ablations.format_comm_budget_sweep(rows)
+
+
+class TestAttackMatrix:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_attack_matrix(n=150, tolerance=5, trials=60)
+
+    def test_four_scenarios(self, rows):
+        assert len(rows) == 4
+
+    def test_plain_theft_caught(self, rows):
+        assert rows[0].detection_rate > 0.85
+
+    def test_trp_collusion_evades(self, rows):
+        assert rows[1].detection_rate == 0.0
+
+    def test_utrp_collusion_caught(self, rows):
+        assert rows[2].detection_rate > 0.85
+
+    def test_no_timer_evades(self, rows):
+        assert rows[3].detection_rate < 0.2
+
+    def test_formatting(self, rows):
+        assert "Abl. D" in ablations.format_attack_matrix(rows)
+
+
+class TestGfuncApproximation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_gfunc_approximation(populations=(100, 1000))
+
+    def test_paper_approximation_tight(self, rows):
+        for r in rows:
+            assert r.paper_error < 0.01
+
+    def test_poisson_reasonable(self, rows):
+        for r in rows:
+            assert r.poisson_error < 0.05
+
+    def test_formatting(self, rows):
+        assert "Abl. E" in ablations.format_gfunc_approximation(rows)

@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.analysis — Theorem 1, Lemma 1, Eq. 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    detection_probability,
+    detection_probability_poisson,
+    expected_empty_slots,
+    frame_size_for,
+    optimal_trp_frame_size,
+)
+from repro.core.parameters import MonitorRequirement
+
+
+class TestDetectionProbability:
+    def test_zero_missing_is_undetectable(self):
+        assert detection_probability(100, 0, 50) == 0.0
+
+    def test_all_missing_is_certain(self):
+        # With every tag gone the frame is empty; any tag would expose it.
+        assert detection_probability(50, 50, 60) > 0.999
+
+    def test_bounded_probability(self):
+        for n, x, f in [(10, 1, 5), (100, 3, 50), (1000, 11, 700), (5, 5, 1)]:
+            g = detection_probability(n, x, f)
+            assert 0.0 <= g <= 1.0
+
+    def test_lemma1_monotone_in_missing(self):
+        """Lemma 1: more missing tags are easier to detect."""
+        values = [detection_probability(200, x, 150) for x in range(1, 30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_frame_size(self):
+        values = [detection_probability(200, 6, f) for f in range(50, 800, 25)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_matches_monte_carlo(self):
+        """Theorem 1 against direct simulation of the slot process."""
+        n, x, f = 60, 4, 80
+        rng = np.random.default_rng(11)
+        hits = 0
+        trials = 30_000
+        for _ in range(trials):
+            slots = rng.integers(0, f, size=n)
+            present = np.bincount(slots[x:], minlength=f)
+            hits += bool(np.any(present[slots[:x]] == 0))
+        mc = hits / trials
+        assert abs(detection_probability(n, x, f) - mc) < 0.01
+
+    def test_exact_occupancy_close_to_paper_form(self):
+        paper = detection_probability(500, 6, 500)
+        exact = detection_probability(500, 6, 500, exact_occupancy=True)
+        assert abs(paper - exact) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_probability(10, 11, 5)
+        with pytest.raises(ValueError):
+            detection_probability(10, -1, 5)
+        with pytest.raises(ValueError):
+            detection_probability(10, 1, 0)
+
+
+class TestPoissonApproximation:
+    def test_bounded(self):
+        for n, x, f in [(100, 6, 100), (1000, 11, 700)]:
+            g = detection_probability_poisson(n, x, f)
+            assert 0.0 <= g <= 1.0
+
+    def test_close_to_exact_at_scale(self):
+        exact = detection_probability(1000, 11, 700)
+        approx = detection_probability_poisson(1000, 11, 700)
+        assert abs(exact - approx) < 0.02
+
+    def test_zero_missing(self):
+        assert detection_probability_poisson(100, 0, 50) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_probability_poisson(10, 11, 5)
+        with pytest.raises(ValueError):
+            detection_probability_poisson(10, 1, 0)
+
+
+class TestExpectedEmptySlots:
+    def test_formula(self):
+        import math
+
+        assert expected_empty_slots(100, 0, 50) == pytest.approx(
+            50 * math.exp(-2.0)
+        )
+
+    def test_more_missing_more_empties(self):
+        assert expected_empty_slots(100, 20, 50) > expected_empty_slots(100, 0, 50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_empty_slots(10, 0, 0)
+
+
+class TestOptimalFrameSize:
+    def test_satisfies_constraint(self):
+        for n, m in [(100, 5), (500, 10), (2000, 30)]:
+            f = optimal_trp_frame_size(n, m, 0.95)
+            assert detection_probability(n, m + 1, f) > 0.95
+
+    def test_minimality(self):
+        for n, m in [(100, 5), (500, 10), (2000, 30)]:
+            f = optimal_trp_frame_size(n, m, 0.95)
+            assert detection_probability(n, m + 1, f - 1) <= 0.95
+
+    def test_grows_with_population(self):
+        sizes = [optimal_trp_frame_size(n, 10, 0.95) for n in (100, 500, 1000, 2000)]
+        assert sizes == sorted(sizes)
+
+    def test_shrinks_with_tolerance(self):
+        sizes = [optimal_trp_frame_size(1000, m, 0.95) for m in (5, 10, 20, 30)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_grows_with_confidence(self):
+        sizes = [optimal_trp_frame_size(500, 10, a) for a in (0.9, 0.95, 0.99)]
+        assert sizes == sorted(sizes)
+
+    def test_known_paper_scale_values(self):
+        """Anchor the Eq. 2 solutions to the magnitudes in Figs. 4/6."""
+        assert 1900 < optimal_trp_frame_size(2000, 5, 0.95) < 2400
+        assert 600 < optimal_trp_frame_size(1000, 10, 0.95) < 800
+        assert 700 < optimal_trp_frame_size(2000, 30, 0.95) < 950
+
+    def test_validation_delegates_to_requirement(self):
+        with pytest.raises(ValueError):
+            optimal_trp_frame_size(10, 10, 0.95)
+        with pytest.raises(ValueError):
+            optimal_trp_frame_size(10, 1, 1.5)
+
+    def test_wrapper_matches(self):
+        req = MonitorRequirement(population=300, tolerance=5, confidence=0.95)
+        assert frame_size_for(req) == optimal_trp_frame_size(300, 5, 0.95)
+
+    def test_cache_consistency(self):
+        a = optimal_trp_frame_size(400, 7, 0.95)
+        b = optimal_trp_frame_size(400, 7, 0.95)
+        assert a == b

@@ -1,0 +1,129 @@
+"""Tests for repro.server.audit — the hash-chained event log."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.server.audit import AuditLog
+
+
+class TestChaining:
+    def test_empty_log_verifies(self):
+        assert AuditLog().verify_chain()
+
+    def test_entries_chain(self):
+        log = AuditLog()
+        a = log.record("x", v=1)
+        b = log.record("y", v=2)
+        assert b.prev_digest == a.digest
+        assert log.verify_chain()
+
+    def test_tampering_detected(self):
+        log = AuditLog()
+        log.record("x", v=1)
+        log.record("y", v=2)
+        # Forge the payload of the first entry in place.
+        from dataclasses import replace
+
+        log._entries[0] = replace(log._entries[0], payload={"v": 99})
+        assert not log.verify_chain()
+
+    def test_reordering_detected(self):
+        log = AuditLog()
+        log.record("x", v=1)
+        log.record("y", v=2)
+        log._entries.reverse()
+        assert not log.verify_chain()
+
+    def test_head_digest_advances(self):
+        log = AuditLog()
+        before = log.head_digest
+        log.record("x")
+        assert log.head_digest != before
+
+    def test_unserialisable_payload_rejected(self):
+        log = AuditLog()
+        with pytest.raises(TypeError):
+            log.record("x", blob=object())
+        # A failed record must not corrupt the chain.
+        assert log.verify_chain()
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        log = AuditLog(path)
+        log.record("challenge-issued", frame=100)
+        log.record("verdict", outcome="intact")
+        loaded = AuditLog.load(path)
+        assert len(loaded) == 2
+        assert loaded.entries[1].payload == {"outcome": "intact"}
+        assert loaded.verify_chain()
+
+    def test_on_disk_tampering_detected(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        log = AuditLog(path)
+        log.record("verdict", outcome="intact")
+        log.record("verdict", outcome="intact")
+        lines = open(path).read().splitlines()
+        doc = json.loads(lines[0])
+        doc["payload"]["outcome"] = "not-intact"
+        lines[0] = json.dumps(doc)
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            AuditLog.load(path)
+
+
+class TestQueries:
+    def test_of_kind(self):
+        log = AuditLog()
+        log.record("a")
+        log.record("b")
+        log.record("a")
+        assert len(log.of_kind("a")) == 2
+        assert len(log.of_kind("c")) == 0
+
+
+class TestMonitorIntegration:
+    def test_full_round_is_audited(self):
+        from repro.core.monitor import MonitoringServer
+        from repro.core.parameters import MonitorRequirement
+        from repro.rfid.channel import SlottedChannel
+        from repro.rfid.population import TagPopulation
+
+        rng = np.random.default_rng(0)
+        req = MonitorRequirement(population=40, tolerance=2, confidence=0.95)
+        pop = TagPopulation.create(40, uses_counter=True, rng=rng)
+        audit = AuditLog()
+        server = MonitoringServer(
+            req, rng=rng, counter_tags=True, audit=audit
+        )
+        server.register(pop.ids.tolist())
+        server.check_trp(SlottedChannel(pop.tags))
+        pop.remove_random(20, rng)
+        server.check_utrp(SlottedChannel(pop.tags))
+
+        kinds = [e.kind for e in audit.entries]
+        assert kinds[0] == "set-registered"
+        assert kinds.count("verdict") == 2
+        assert kinds.count("alert") == 1
+        assert audit.verify_chain()
+
+    def test_no_seeds_in_audit(self):
+        """The audit log must never contain challenge seeds."""
+        from repro.core.monitor import MonitoringServer
+        from repro.core.parameters import MonitorRequirement
+        from repro.rfid.channel import SlottedChannel
+        from repro.rfid.population import TagPopulation
+
+        rng = np.random.default_rng(1)
+        req = MonitorRequirement(population=30, tolerance=2, confidence=0.95)
+        pop = TagPopulation.create(30, uses_counter=True, rng=rng)
+        audit = AuditLog()
+        server = MonitoringServer(req, rng=rng, counter_tags=True, audit=audit)
+        server.register(pop.ids.tolist())
+        report = server.check_trp(SlottedChannel(pop.tags))
+        dumped = json.dumps([e.payload for e in audit.entries])
+        assert str(report.challenge.seed) not in dumped

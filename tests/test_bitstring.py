@@ -1,0 +1,84 @@
+"""Unit tests for repro.rfid.bitstring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.bitstring import (
+    bitstrings_equal,
+    bitwise_or,
+    differing_slots,
+    empty_bitstring,
+    format_bitstring,
+    from_slots,
+)
+
+
+class TestConstruction:
+    def test_empty_all_zero(self):
+        bs = empty_bitstring(10)
+        assert bs.dtype == np.uint8
+        assert bs.sum() == 0 and len(bs) == 10
+
+    def test_empty_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            empty_bitstring(0)
+
+    def test_from_slots(self):
+        bs = from_slots(6, [1, 4, 4])
+        assert bs.tolist() == [0, 1, 0, 0, 1, 0]
+
+    def test_from_slots_empty_iterable(self):
+        assert from_slots(3, []).tolist() == [0, 0, 0]
+
+    def test_from_slots_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_slots(3, [3])
+        with pytest.raises(ValueError):
+            from_slots(3, [-1])
+
+
+class TestComparison:
+    def test_equal(self):
+        assert bitstrings_equal(from_slots(4, [1]), from_slots(4, [1]))
+
+    def test_unequal_content(self):
+        assert not bitstrings_equal(from_slots(4, [1]), from_slots(4, [2]))
+
+    def test_unequal_length(self):
+        assert not bitstrings_equal(empty_bitstring(3), empty_bitstring(4))
+
+    def test_differing_slots(self):
+        diff = differing_slots(from_slots(5, [0, 2]), from_slots(5, [0, 3]))
+        assert diff == [2, 3]
+
+    def test_differing_slots_length_mismatch(self):
+        with pytest.raises(ValueError):
+            differing_slots(empty_bitstring(3), empty_bitstring(4))
+
+    def test_no_difference(self):
+        assert differing_slots(from_slots(5, [1]), from_slots(5, [1])) == []
+
+
+class TestMerge:
+    def test_bitwise_or(self):
+        merged = bitwise_or(from_slots(4, [0]), from_slots(4, [2]))
+        assert merged.tolist() == [1, 0, 1, 0]
+
+    def test_or_is_idempotent(self):
+        bs = from_slots(4, [1, 3])
+        assert bitstrings_equal(bitwise_or(bs, bs), bs)
+
+    def test_or_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitwise_or(empty_bitstring(3), empty_bitstring(4))
+
+
+class TestFormat:
+    def test_grouping(self):
+        text = format_bitstring(from_slots(10, [0, 9]), group=4)
+        assert text == "1000 0000 01"
+
+    def test_round_trip_content(self):
+        bs = from_slots(12, [2, 5, 11])
+        flat = format_bitstring(bs, group=100)
+        assert [int(c) for c in flat] == bs.tolist()

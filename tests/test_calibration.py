@@ -1,0 +1,52 @@
+"""Tests for repro.core.calibration — empirical frame sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import detection_probability, optimal_trp_frame_size
+from repro.core.calibration import calibrate_trp_frame_size
+
+
+class TestCalibration:
+    def test_agrees_with_eq2(self):
+        """Measurement and Theorem 1 must land in the same place."""
+        rng = np.random.default_rng(0)
+        result = calibrate_trp_frame_size(500, 10, 0.95, rng)
+        analytic = optimal_trp_frame_size(500, 10, 0.95)
+        # Monte Carlo bisection is fuzzy near the threshold; agreement
+        # within ~10% of the analytic frame validates both ends.
+        assert abs(result.frame_size - analytic) < 0.12 * analytic
+
+    def test_calibrated_frame_actually_detects(self):
+        rng = np.random.default_rng(1)
+        result = calibrate_trp_frame_size(300, 5, 0.95, rng)
+        g = detection_probability(300, 6, result.frame_size)
+        assert g > 0.93
+
+    def test_reports_measurement_with_ci(self):
+        rng = np.random.default_rng(2)
+        result = calibrate_trp_frame_size(200, 5, 0.95, rng)
+        assert result.ci_low <= result.measured_rate <= result.ci_high
+        assert result.trials_spent > 0
+        assert len(result.probes) >= 2
+
+    def test_reproducible_given_rng(self):
+        a = calibrate_trp_frame_size(200, 5, 0.95, np.random.default_rng(3))
+        b = calibrate_trp_frame_size(200, 5, 0.95, np.random.default_rng(3))
+        assert a.frame_size == b.frame_size
+
+    def test_higher_alpha_bigger_frame(self):
+        lo = calibrate_trp_frame_size(300, 5, 0.90, np.random.default_rng(4))
+        hi = calibrate_trp_frame_size(300, 5, 0.99, np.random.default_rng(4))
+        assert hi.frame_size > lo.frame_size
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            calibrate_trp_frame_size(10, 10, 0.95, rng)
+        with pytest.raises(ValueError):
+            calibrate_trp_frame_size(100, 5, 0.95, rng, trials_per_probe=0)
+        with pytest.raises(ValueError):
+            calibrate_trp_frame_size(
+                100, 5, 0.95, rng, confirmation_trials=0
+            )

@@ -1,0 +1,125 @@
+"""Unit tests for repro.rfid.channel — slot semantics and metering."""
+
+import pytest
+
+from repro.rfid.channel import ChannelStats, SlotOutcome, SlottedChannel
+from repro.rfid.tag import Tag, TagState
+
+
+def _channel_with_forced_slots(frame_size, slot_map):
+    """Build a channel whose tags land in prescribed slots by searching
+    seeds — keeps tests independent of hash internals."""
+    tags = [Tag(tid) for tid in slot_map]
+    channel = SlottedChannel(tags)
+    for seed in range(100_000):
+        channel.power_cycle()
+        channel.broadcast_seed(frame_size, seed)
+        if all(t.chosen_slot == s for t, s in zip(tags, slot_map.values())):
+            return channel
+    raise AssertionError("no seed realises the requested slot map")
+
+
+class TestOutcomes:
+    def test_empty_slot(self):
+        channel = SlottedChannel([Tag(1)])
+        channel.broadcast_seed(4, 0)
+        empty = next(s for s in range(4) if s != channel.tags[0].chosen_slot)
+        obs = channel.poll_slot(empty)
+        assert obs.outcome is SlotOutcome.EMPTY
+        assert not obs.outcome.occupied
+        assert obs.payload_bits is None and obs.decoded_id is None
+
+    def test_single_slot(self):
+        channel = SlottedChannel([Tag(1)])
+        channel.broadcast_seed(4, 0)
+        obs = channel.poll_slot(channel.tags[0].chosen_slot)
+        assert obs.outcome is SlotOutcome.SINGLE
+        assert obs.outcome.occupied
+        assert obs.payload_bits is not None
+        assert obs.decoded_id is None  # TRP mode never reveals IDs
+
+    def test_collision_slot(self):
+        channel = _channel_with_forced_slots(2, {1: 0, 2: 0})
+        obs = channel.poll_slot(0)
+        assert obs.outcome is SlotOutcome.COLLISION
+        assert obs.payload_bits is None
+        assert len(obs.replies) == 2
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedChannel([]).poll_slot(-1)
+
+
+class TestIdsOnAir:
+    def test_singleton_decodes_id(self):
+        channel = SlottedChannel([Tag(42)])
+        channel.broadcast_seed(4, 0)
+        obs = channel.poll_slot(channel.tags[0].chosen_slot, ids_on_air=True)
+        assert obs.decoded_id == 42
+
+    def test_collision_garbles_ids_but_rearms_tags(self):
+        channel = _channel_with_forced_slots(2, {1: 0, 2: 0})
+        obs = channel.poll_slot(0, ids_on_air=True)
+        assert obs.decoded_id is None
+        assert all(t.state is TagState.IDLE for t in channel.tags)
+
+    def test_collision_without_ids_keeps_tags_silent(self):
+        channel = _channel_with_forced_slots(2, {1: 0, 2: 0})
+        channel.poll_slot(0, ids_on_air=False)
+        assert all(t.state is TagState.SILENT for t in channel.tags)
+
+    def test_id_transmissions_metered(self):
+        channel = _channel_with_forced_slots(2, {1: 0, 2: 0})
+        channel.poll_slot(0, ids_on_air=True)
+        assert channel.stats.id_transmissions == 2
+
+
+class TestStats:
+    def test_slot_mix_accounting(self):
+        channel = _channel_with_forced_slots(3, {1: 0, 2: 0, 3: 2})
+        for s in range(3):
+            channel.poll_slot(s)
+        st = channel.stats
+        assert st.slots_polled == 3
+        assert st.collision_slots == 1
+        assert st.singleton_slots == 1
+        assert st.empty_slots == 1
+        assert st.seed_broadcasts >= 1
+
+    def test_payload_bits_counted_for_trp_singletons(self):
+        channel = SlottedChannel([Tag(1)])
+        channel.broadcast_seed(4, 0)
+        channel.poll_slot(channel.tags[0].chosen_slot)
+        assert channel.stats.reply_payload_bits == 16
+
+    def test_merge(self):
+        a = ChannelStats(seed_broadcasts=1, slots_polled=2, empty_slots=1)
+        b = ChannelStats(seed_broadcasts=3, slots_polled=4, collision_slots=2)
+        merged = a.merge(b)
+        assert merged.seed_broadcasts == 4
+        assert merged.slots_polled == 6
+        assert merged.empty_slots == 1
+        assert merged.collision_slots == 2
+
+    def test_power_cycle_resets_tags_not_stats(self):
+        channel = SlottedChannel([Tag(1)])
+        channel.broadcast_seed(4, 0)
+        channel.poll_slot(0)
+        polled = channel.stats.slots_polled
+        channel.power_cycle()
+        assert channel.tags[0].state is TagState.IDLE
+        assert channel.stats.slots_polled == polled
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_every_tag(self):
+        tags = [Tag(i) for i in range(5)]
+        channel = SlottedChannel(tags)
+        channel.broadcast_seed(8, 3)
+        assert all(t.state is TagState.SEEDED for t in tags)
+
+    def test_broadcast_counts(self):
+        channel = SlottedChannel([Tag(1)])
+        channel.broadcast_seed(8, 3)
+        channel.broadcast_seed(7, 4)
+        assert channel.stats.seed_broadcasts == 2

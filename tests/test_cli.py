@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_commands_accept_flags(self):
+        args = build_parser().parse_args(["fig5", "--trials", "9", "--full"])
+        assert args.command == "fig5"
+        assert args.trials == 9
+        assert args.full
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(
+            ["plan", "-n", "100", "-m", "5", "--alpha", "0.9", "-c", "7"]
+        )
+        assert (args.population, args.tolerance) == (100, 5)
+        assert args.alpha == 0.9 and args.comm_budget == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestMain:
+    def test_plan_output(self, capsys):
+        assert main(["plan", "-n", "200", "-m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "TRP" in out and "UTRP" in out and "n=200" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out and "UTRP slots" in out
+
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4", "--trials", "1", "--seed", "3"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_fig5_runs_small(self, capsys):
+        assert main(["fig5", "--trials", "5", "--seed", "3"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_list_enumerates_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig4", "fig7", "abl-A", "abl-K"):
+            assert exp_id in out
+
+    def test_plan_rounds_section(self, capsys):
+        assert main(["plan", "-n", "300", "-m", "5", "--rounds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-round" in out
+        assert "3 round(s)" in out
+
+    def test_plan_forensics_section(self, capsys):
+        assert main(
+            ["plan", "-n", "300", "-m", "5", "--identify-beta", "0.9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "forensics" in out and "0.9" in out
+
+    def test_plan_plain_has_no_extras(self, capsys):
+        assert main(["plan", "-n", "300", "-m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-round" not in out and "forensics" not in out

@@ -1,0 +1,116 @@
+"""Unit tests for the *collect all* baseline."""
+
+import numpy as np
+import pytest
+
+from repro.aloha.framed_slotted import (
+    CollectAllProtocol,
+    simulate_collect_all_slots,
+)
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+
+
+class TestProtocol:
+    def test_collects_every_tag(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        result = CollectAllProtocol(30).run(SlottedChannel(pop.tags), rng)
+        assert result.complete
+        assert sorted(result.collected_ids) == sorted(pop.ids.tolist())
+
+    def test_no_duplicates(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        result = CollectAllProtocol(30).run(SlottedChannel(pop.tags), rng)
+        assert len(result.collected_ids) == len(set(result.collected_ids))
+
+    def test_tolerance_stops_early(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        result = CollectAllProtocol(30, tolerance=5).run(
+            SlottedChannel(pop.tags), rng
+        )
+        assert result.complete
+        assert len(result.collected_ids) >= 25
+
+    def test_first_round_frame_is_n(self, rng):
+        pop = TagPopulation.create(20, rng=rng)
+        result = CollectAllProtocol(20).run(SlottedChannel(pop.tags), rng)
+        assert result.total_slots >= 20  # first frame alone costs n
+
+    def test_missing_tags_within_tolerance_still_complete(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        pop.remove_random(4, rng)
+        result = CollectAllProtocol(30, tolerance=5).run(
+            SlottedChannel(pop.tags), rng
+        )
+        assert result.complete
+        assert len(result.collected_ids) >= 25
+
+    def test_too_many_missing_reports_incomplete(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        pop.remove_random(10, rng)
+        result = CollectAllProtocol(30, tolerance=5).run(
+            SlottedChannel(pop.tags), rng
+        )
+        assert not result.complete
+        assert len(result.collected_ids) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollectAllProtocol(-1)
+        with pytest.raises(ValueError):
+            CollectAllProtocol(10, tolerance=11)
+
+    def test_empty_set(self, rng):
+        result = CollectAllProtocol(0).run(SlottedChannel([]), rng)
+        assert result.complete and result.collected_ids == []
+
+
+class TestVectorisedSimulation:
+    def test_slots_at_least_n(self, rng):
+        ids = TagPopulation.create(50, rng=rng).ids
+        assert simulate_collect_all_slots(ids, 50, 0, rng) >= 50
+
+    def test_matches_protocol_distribution(self):
+        """Mean slot cost of the two implementations must agree."""
+        n = 40
+        proto_costs, vec_costs = [], []
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            pop = TagPopulation.create(n, rng=rng)
+            proto_costs.append(
+                CollectAllProtocol(n).run(SlottedChannel(pop.tags), rng).total_slots
+            )
+            rng2 = np.random.default_rng(1000 + seed)
+            ids = TagPopulation.create(n, rng=rng2).ids
+            vec_costs.append(simulate_collect_all_slots(ids, n, 0, rng2))
+        # Both average near e*n; allow generous Monte Carlo slack.
+        assert abs(np.mean(proto_costs) - np.mean(vec_costs)) < 0.35 * n
+
+    def test_tolerance_reduces_cost(self, rng):
+        ids = TagPopulation.create(200, rng=rng).ids
+        strict = np.mean(
+            [simulate_collect_all_slots(ids, 200, 0, np.random.default_rng(s)) for s in range(10)]
+        )
+        loose = np.mean(
+            [simulate_collect_all_slots(ids, 200, 30, np.random.default_rng(s)) for s in range(10)]
+        )
+        assert loose < strict
+
+    def test_unreachable_target_raises(self, rng):
+        ids = TagPopulation.create(10, rng=rng).ids
+        with pytest.raises(ValueError):
+            simulate_collect_all_slots(ids[:5], 10, 2, rng)
+
+    def test_cost_scales_roughly_linearly(self, rng):
+        """Expected cost ~ e*n: double n, roughly double slots."""
+        cost = {}
+        for n in (100, 200):
+            ids = TagPopulation.create(n, rng=rng).ids
+            cost[n] = np.mean(
+                [
+                    simulate_collect_all_slots(ids, n, 0, np.random.default_rng(s))
+                    for s in range(20)
+                ]
+            )
+        ratio = cost[200] / cost[100]
+        assert 1.6 < ratio < 2.4

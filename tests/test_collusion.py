@@ -1,0 +1,125 @@
+"""Tests for repro.adversary.collusion — the Sec. 5 adversary."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.collusion import (
+    ColludingUtrpPair,
+    attack_trp_with_collusion,
+    simulate_colluding_utrp_scan,
+)
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.server.verifier import expected_trp_bitstring, expected_utrp_bitstring
+
+
+def _split_population(n, stolen, seed=1, uses_counter=True):
+    rng = np.random.default_rng(seed)
+    pop = TagPopulation.create(n, uses_counter=uses_counter, rng=rng)
+    all_ids = pop.ids.copy()
+    loot = pop.remove_random(stolen, rng)
+    return all_ids, pop, loot
+
+
+class TestTrpCollusion:
+    def test_alg4_always_passes_verification(self):
+        """The OR-merge equals the intact bitstring for every seed —
+        TRP's fundamental vulnerability (Fig. 1)."""
+        all_ids, remaining, loot = _split_population(40, 8, uses_counter=False)
+        for seed in range(25):
+            forged = attack_trp_with_collusion(
+                60, seed, SlottedChannel(remaining.tags), SlottedChannel(loot.tags)
+            )
+            expected = expected_trp_bitstring(all_ids, 60, seed)
+            assert np.array_equal(forged.bitstring, expected)
+
+
+class TestVectorisedUtrpCollusion:
+    def _scan(self, n, stolen, f, budget, seed=3):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 1 << 62, size=n).astype(np.uint64)
+        counters = np.zeros(n, dtype=np.int64)
+        mask = np.zeros(n, dtype=bool)
+        mask[rng.choice(n, stolen, replace=False)] = True
+        seeds = rng.integers(0, 1 << 62, size=f).tolist()
+        forged = simulate_colluding_utrp_scan(ids, counters, mask, f, seeds, budget)
+        prediction = expected_utrp_bitstring(ids, counters, f, seeds)
+        return forged, prediction
+
+    def test_unlimited_budget_is_a_perfect_forgery(self):
+        """With enough synchronisations the pair behave as one honest
+        reader: the forged bitstring equals the prediction exactly."""
+        for seed in range(10):
+            forged, prediction = self._scan(30, 6, 50, budget=10_000, seed=seed)
+            assert np.array_equal(forged.bitstring, prediction.bitstring)
+            assert not forged.went_solo
+
+    def test_zero_budget_usually_detected(self):
+        detected = 0
+        for seed in range(40):
+            forged, prediction = self._scan(40, 6, 60, budget=0, seed=seed)
+            detected += not np.array_equal(forged.bitstring, prediction.bitstring)
+        assert detected >= 35
+
+    def test_budget_never_exceeded(self):
+        for budget in (0, 3, 11):
+            forged, _ = self._scan(40, 6, 60, budget=budget)
+            assert forged.comms_used <= budget
+
+    def test_solo_flag_consistent_with_slot(self):
+        forged, _ = self._scan(40, 6, 60, budget=2)
+        assert forged.went_solo
+        assert 0 <= forged.solo_from_slot <= 60
+
+    def test_fully_synced_scan_reports_full_frame(self):
+        forged, _ = self._scan(10, 2, 30, budget=10_000)
+        assert forged.solo_from_slot == 30
+
+    def test_forged_prefix_matches_prediction(self):
+        """Up to the solo transition the forgery is exact."""
+        forged, prediction = self._scan(40, 6, 60, budget=5)
+        upto = forged.solo_from_slot
+        assert np.array_equal(
+            forged.bitstring[:upto], prediction.bitstring[:upto]
+        )
+
+    def test_validation(self):
+        ids = np.array([1, 2], dtype=np.uint64)
+        cts = np.zeros(2, dtype=np.int64)
+        mask = np.array([True, False])
+        with pytest.raises(ValueError):
+            simulate_colluding_utrp_scan(ids, cts, mask, 4, [1, 2], 5)  # few seeds
+        with pytest.raises(ValueError):
+            simulate_colluding_utrp_scan(ids, cts[:1], mask, 2, [1, 2], 5)
+        with pytest.raises(ValueError):
+            simulate_colluding_utrp_scan(ids, cts, mask, 2, [1, 2], -1)
+
+
+class TestChannelPairAgreesWithVectorised:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bitstrings_match(self, seed):
+        """The channel-faithful pair and the numpy kernel must forge the
+        identical bitstring for the identical situation."""
+        rng = np.random.default_rng(seed)
+        n, stolen_n, f, budget = 30, 5, 45, int(rng.integers(0, 12))
+        pop = TagPopulation.create(n, uses_counter=True, rng=rng)
+        ids = pop.ids.copy()
+        loot = pop.remove_random(stolen_n, rng)
+        stolen_mask = np.isin(ids, loot.ids)
+        seeds = rng.integers(0, 1 << 62, size=f).tolist()
+
+        pair = ColludingUtrpPair(
+            SlottedChannel(pop.tags), SlottedChannel(loot.tags), budget
+        )
+        via_channels = pair.scan(f, seeds)
+        via_numpy = simulate_colluding_utrp_scan(
+            ids, np.zeros(n, dtype=np.int64), stolen_mask, f, seeds, budget
+        )
+        assert np.array_equal(via_channels.bitstring, via_numpy.bitstring)
+
+    def test_pair_validation(self):
+        with pytest.raises(ValueError):
+            ColludingUtrpPair(SlottedChannel([]), SlottedChannel([]), -1)
+        pair = ColludingUtrpPair(SlottedChannel([]), SlottedChannel([]), 5)
+        with pytest.raises(ValueError):
+            pair.scan(10, [1, 2])

@@ -1,0 +1,87 @@
+"""Unit tests for repro.server.database."""
+
+import numpy as np
+import pytest
+
+from repro.server.database import TagDatabase, TagRecord
+
+
+class TestRegistration:
+    def test_register_and_size(self):
+        db = TagDatabase()
+        db.register_set([1, 2, 3])
+        assert db.size == 3
+
+    def test_ids_preserved(self):
+        db = TagDatabase()
+        db.register_set([5, 9, 2])
+        assert db.ids.tolist() == [5, 9, 2]
+
+    def test_double_registration_rejected(self):
+        db = TagDatabase()
+        db.register_set([1])
+        with pytest.raises(RuntimeError):
+            db.register_set([2])
+
+    def test_duplicates_rejected(self):
+        db = TagDatabase()
+        with pytest.raises(ValueError):
+            db.register_set([1, 1])
+
+    def test_labels(self):
+        db = TagDatabase()
+        db.register_set([1, 2], labels=["shirt", "shoe"])
+        assert db.record(2).label == "shoe"
+
+    def test_label_length_mismatch(self):
+        db = TagDatabase()
+        with pytest.raises(ValueError):
+            db.register_set([1, 2], labels=["only-one"])
+
+    def test_unknown_lookup(self):
+        db = TagDatabase()
+        db.register_set([1])
+        with pytest.raises(KeyError):
+            db.record(7)
+
+
+class TestCounters:
+    def test_initially_zero(self):
+        db = TagDatabase()
+        db.register_set([1, 2])
+        assert db.counters.tolist() == [0, 0]
+
+    def test_bump_all(self):
+        db = TagDatabase()
+        db.register_set([1, 2])
+        db.bump_counters(3)
+        assert db.counters.tolist() == [3, 3]
+
+    def test_bump_negative_rejected(self):
+        db = TagDatabase()
+        db.register_set([1])
+        with pytest.raises(ValueError):
+            db.bump_counters(-1)
+
+    def test_set_counters(self):
+        db = TagDatabase()
+        db.register_set([1, 2, 3])
+        db.set_counters(np.array([4, 5, 6]))
+        assert db.counters.tolist() == [4, 5, 6]
+
+    def test_set_counters_shape_checked(self):
+        db = TagDatabase()
+        db.register_set([1, 2])
+        with pytest.raises(ValueError):
+            db.set_counters(np.array([1]))
+
+    def test_counters_align_with_ids(self):
+        db = TagDatabase()
+        db.register_set([10, 20, 30])
+        db.set_counters(np.array([1, 2, 3]))
+        assert db.record(20).counter == 2
+
+
+class TestRecord:
+    def test_repr_includes_id(self):
+        assert "counter=4" in repr(TagRecord(7, 4))

@@ -1,0 +1,154 @@
+"""Tests for repro.core.estimation — missing-count estimation and
+alarm policies (the library's extension over the paper's strict rule)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    StrictAlarmPolicy,
+    ThresholdAlarmPolicy,
+    estimate_missing_count,
+    expected_mismatch_slots,
+)
+
+
+class TestExpectedMismatchSlots:
+    def test_zero_missing_zero_mismatches(self):
+        assert expected_mismatch_slots(100, 0, 50) == 0.0
+
+    def test_increasing_in_x(self):
+        values = [expected_mismatch_slots(500, x, 400) for x in range(0, 100, 5)]
+        assert values == sorted(values)
+
+    def test_matches_monte_carlo(self):
+        """The closed form against direct slot simulation."""
+        n, x, f = 200, 20, 250
+        rng = np.random.default_rng(8)
+        counts = []
+        for _ in range(3000):
+            slots = rng.integers(0, f, size=n)
+            present = np.bincount(slots[x:], minlength=f)
+            missing = np.bincount(slots[:x], minlength=f)
+            counts.append(int(np.sum((missing > 0) & (present == 0))))
+        assert abs(np.mean(counts) - expected_mismatch_slots(n, x, f)) < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_mismatch_slots(10, 11, 5)
+        with pytest.raises(ValueError):
+            expected_mismatch_slots(10, 1, 0)
+
+
+class TestEstimateMissingCount:
+    def test_zero_mismatches(self):
+        assert estimate_missing_count(0, 1000, 700) == 0.0
+
+    def test_round_trips_expected_value(self):
+        """estimate(E[mismatches | x]) ~ x."""
+        for x in (5, 11, 31, 80):
+            mism = expected_mismatch_slots(1000, x, 700)
+            est = estimate_missing_count(int(round(mism)), 1000, 700)
+            assert abs(est - x) < max(3.0, 0.15 * x)
+
+    def test_monotone_in_mismatches(self):
+        estimates = [estimate_missing_count(k, 1000, 700) for k in range(0, 30, 3)]
+        assert estimates == sorted(estimates)
+
+    def test_saturates_at_population(self):
+        assert estimate_missing_count(10_000, 100, 120) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_missing_count(-1, 100, 50)
+        with pytest.raises(ValueError):
+            estimate_missing_count(1, 100, 0)
+
+    def test_unbiased_on_simulated_thefts(self):
+        """End to end: estimate x from actual TRP mismatch counts."""
+        from repro.rfid.hashing import slots_for_tags
+        from repro.rfid.ids import random_tag_ids
+
+        n, x, f = 800, 25, 600
+        rng = np.random.default_rng(3)
+        estimates = []
+        for _ in range(300):
+            ids = random_tag_ids(n, rng)
+            slots = slots_for_tags(ids, int(rng.integers(0, 1 << 62)), f)
+            present = np.bincount(slots[x:], minlength=f)
+            missing_slots = slots[:x]
+            mismatches = int(np.sum(np.bincount(
+                missing_slots[present[missing_slots] == 0], minlength=f) > 0))
+            estimates.append(estimate_missing_count(mismatches, n, f))
+        assert abs(np.mean(estimates) - x) < 3.0
+
+
+class TestPolicies:
+    def test_strict_alarms_on_any_mismatch(self):
+        policy = StrictAlarmPolicy()
+        assert policy.should_alarm(1, 1000, 700)
+        assert not policy.should_alarm(0, 1000, 700)
+
+    def test_threshold_silent_below_tolerance(self):
+        policy = ThresholdAlarmPolicy(tolerance=10)
+        # one mismatched slot at n=1000, f=700 estimates ~2 missing
+        assert not policy.should_alarm(1, 1000, 700)
+
+    def test_threshold_alarms_above_tolerance(self):
+        policy = ThresholdAlarmPolicy(tolerance=10)
+        big = int(round(expected_mismatch_slots(1000, 40, 700)))
+        assert policy.should_alarm(big, 1000, 700)
+
+    def test_margin_shifts_the_bar(self):
+        mism = int(round(expected_mismatch_slots(1000, 12, 700)))
+        neutral = ThresholdAlarmPolicy(tolerance=10)
+        cautious = ThresholdAlarmPolicy(tolerance=10, margin=5.0)
+        assert neutral.should_alarm(mism, 1000, 700)
+        assert not cautious.should_alarm(mism, 1000, 700)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdAlarmPolicy(tolerance=-1)
+
+    def test_descriptions(self):
+        assert "strict" in StrictAlarmPolicy().describe()
+        assert "10" in ThresholdAlarmPolicy(tolerance=10).describe()
+
+
+class TestMonitorIntegration:
+    def test_threshold_policy_suppresses_small_loss_pages(self):
+        from repro.core.monitor import MonitoringServer
+        from repro.core.parameters import MonitorRequirement
+        from repro.rfid.channel import SlottedChannel
+        from repro.rfid.population import TagPopulation
+
+        rng = np.random.default_rng(12)
+        req = MonitorRequirement(population=400, tolerance=10, confidence=0.95)
+        pop = TagPopulation.create(400, uses_counter=True, rng=rng)
+        server = MonitoringServer(
+            req, rng=rng, counter_tags=True,
+            alarm_policy=ThresholdAlarmPolicy(tolerance=10),
+        )
+        server.register(pop.ids.tolist())
+        pop.remove_random(2, rng)  # well under tolerance
+        report = server.check_trp(SlottedChannel(pop.tags))
+        # The scan may be NOT_INTACT (a mismatch happened), but the
+        # threshold policy should keep the pager silent.
+        assert server.alerts == []
+
+    def test_threshold_policy_still_pages_big_theft(self):
+        from repro.core.monitor import MonitoringServer
+        from repro.core.parameters import MonitorRequirement
+        from repro.rfid.channel import SlottedChannel
+        from repro.rfid.population import TagPopulation
+
+        rng = np.random.default_rng(13)
+        req = MonitorRequirement(population=400, tolerance=10, confidence=0.95)
+        pop = TagPopulation.create(400, uses_counter=True, rng=rng)
+        server = MonitoringServer(
+            req, rng=rng, counter_tags=True,
+            alarm_policy=ThresholdAlarmPolicy(tolerance=10),
+        )
+        server.register(pop.ids.tolist())
+        pop.remove_random(60, rng)
+        server.check_trp(SlottedChannel(pop.tags))
+        assert len(server.alerts) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for repro.aloha.estimators — cardinality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.aloha.estimators import (
+    SingletonEstimator,
+    ZeroEstimator,
+    average_estimate,
+)
+from repro.aloha.frame import FrameOutcome, hash_frame
+from repro.rfid.population import TagPopulation
+
+
+def _avg_estimate(estimator, n, f, rounds=60, seed0=0):
+    ids = TagPopulation.create(n, rng=np.random.default_rng(42)).ids
+    values = []
+    for s in range(rounds):
+        try:
+            values.append(estimator.estimate(hash_frame(ids, f, seed0 + s)).estimate)
+        except ValueError:
+            continue
+    assert values, "estimator never produced a value"
+    return float(np.mean(values))
+
+
+class TestZeroEstimator:
+    def test_unbiased_at_moderate_load(self):
+        est = _avg_estimate(ZeroEstimator(), n=100, f=150)
+        assert abs(est - 100) < 12
+
+    def test_works_at_light_load(self):
+        est = _avg_estimate(ZeroEstimator(), n=20, f=200)
+        assert abs(est - 20) < 6
+
+    def test_saturated_frame_raises(self):
+        outcome = FrameOutcome(frame_size=2, slot_counts=np.array([3, 3]))
+        with pytest.raises(ValueError):
+            ZeroEstimator().estimate(outcome)
+
+    def test_empty_population_estimates_zero(self):
+        outcome = hash_frame(np.array([], dtype=np.uint64), 10, 1)
+        assert ZeroEstimator().estimate(outcome).estimate == 0.0
+
+    def test_result_carries_evidence(self):
+        outcome = hash_frame(np.arange(5, dtype=np.uint64), 20, 1)
+        res = ZeroEstimator().estimate(outcome)
+        assert res.frame_size == 20
+        assert res.observed == outcome.empty_slots
+
+
+class TestSingletonEstimator:
+    def test_unbiased_on_rising_branch(self):
+        est = _avg_estimate(SingletonEstimator(), n=60, f=150)
+        assert abs(est - 60) < 15
+
+    def test_zero_singletons_estimates_zero(self):
+        outcome = FrameOutcome(frame_size=4, slot_counts=np.array([0, 0, 2, 2]))
+        assert SingletonEstimator().estimate(outcome).estimate == 0.0
+
+    def test_infeasible_singleton_count_raises(self):
+        # 4 singletons in 4 slots exceeds the curve's max f/e ~ 1.47.
+        outcome = FrameOutcome(frame_size=4, slot_counts=np.array([1, 1, 1, 1]))
+        with pytest.raises(ValueError):
+            SingletonEstimator().estimate(outcome)
+
+
+class TestAverageEstimate:
+    def test_averaging_reduces_error(self):
+        ids = TagPopulation.create(80, rng=np.random.default_rng(3)).ids
+        avg = average_estimate(ZeroEstimator(), ids, 120, seeds=range(50))
+        assert abs(avg - 80) < 10
+
+    def test_requires_seeds(self):
+        ids = np.arange(5, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            average_estimate(ZeroEstimator(), ids, 10, seeds=[])

@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.grid."""
+
+import pytest
+
+from repro.experiments.grid import ExperimentGrid, grid_from_env, paper_grid, quick_grid
+
+
+class TestGrids:
+    def test_paper_grid_matches_sec6(self):
+        g = paper_grid()
+        assert g.populations == tuple(range(100, 2001, 100))
+        assert g.tolerances == (5, 10, 20, 30)
+        assert g.alpha == 0.95
+        assert g.trials == 1000
+        assert g.comm_budget == 20
+
+    def test_quick_grid_same_shape(self):
+        g = quick_grid()
+        assert g.tolerances == paper_grid().tolerances
+        assert g.alpha == paper_grid().alpha
+        assert max(g.populations) == 2000
+
+    def test_cells_enumeration(self):
+        g = ExperimentGrid(populations=(100, 200), tolerances=(5, 10))
+        assert g.cells == [(100, 5), (200, 5), (100, 10), (200, 10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(populations=())
+        with pytest.raises(ValueError):
+            ExperimentGrid(populations=(100,), tolerances=())
+        with pytest.raises(ValueError):
+            ExperimentGrid(populations=(100,), alpha=1.5)
+        with pytest.raises(ValueError):
+            ExperimentGrid(populations=(100,), trials=0)
+        with pytest.raises(ValueError):
+            ExperimentGrid(populations=(10,), tolerances=(30,))  # degenerate
+        with pytest.raises(ValueError):
+            ExperimentGrid(populations=(100,), comm_budget=-1)
+
+
+class TestEnv:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        assert grid_from_env().trials == quick_grid().trials
+
+    def test_full_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        assert grid_from_env().populations == paper_grid().populations
+
+    def test_trials_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_TRIALS", "37")
+        assert grid_from_env().trials == 37

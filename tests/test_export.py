@@ -1,0 +1,87 @@
+"""Tests for repro.experiments.export — CSV output."""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7
+from repro.experiments.export import figure_rows, rows_to_csv, write_csv
+from repro.experiments.grid import ExperimentGrid
+
+TINY = ExperimentGrid(
+    populations=(100,), tolerances=(5,), trials=20, cost_trials=2,
+    master_seed=3,
+)
+
+
+class TestRowsToCsv:
+    def test_header_and_rows(self):
+        text = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_quoting(self):
+        text = rows_to_csv(["x"], [["has,comma"]])
+        assert '"has,comma"' in text
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a", "b"], [[1]])
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ["n"], [[1], [2]])
+        assert open(path).read().splitlines() == ["n", "1", "2"]
+
+
+class TestFigureRows:
+    def test_fig4(self):
+        headers, rows = figure_rows(fig4.run(TINY))
+        assert headers[0] == "n" and "collect_all_slots" in headers
+        assert len(rows) == 1
+
+    def test_fig5(self):
+        headers, rows = figure_rows(fig5.run(TINY))
+        assert "detection_rate" in headers
+        assert 0.0 <= rows[0][3] <= 1.0
+
+    def test_fig6(self):
+        headers, rows = figure_rows(fig6.run(TINY))
+        assert "utrp_slots" in headers
+        assert rows[0][3] > rows[0][2]  # UTRP > TRP
+
+    def test_fig7(self):
+        headers, rows = figure_rows(fig7.run(TINY))
+        assert "trials" in headers
+        assert rows[0][6] == TINY.trials
+
+    def test_csv_round_trip(self):
+        import csv as csv_mod
+        import io
+
+        headers, rows = figure_rows(fig6.run(TINY))
+        text = rows_to_csv(headers, rows)
+        parsed = list(csv_mod.reader(io.StringIO(text)))
+        assert parsed[0] == list(headers)
+        assert len(parsed) == len(rows) + 1
+
+    def test_unexportable_rejected(self):
+        class Empty:
+            rows = []
+
+        with pytest.raises(TypeError):
+            figure_rows(Empty())
+
+        class Odd:
+            rows = [object()]
+
+        with pytest.raises(TypeError):
+            figure_rows(Odd())
+
+
+class TestCliCsv:
+    def test_fig6_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "fig6.csv")
+        assert main(["fig6", "--trials", "1", "--csv", path]) == 0
+        lines = open(path).read().splitlines()
+        assert lines[0].startswith("n,m,")
+        assert len(lines) > 1

@@ -1,0 +1,133 @@
+"""Tests for repro.simulation.fastpath — kernels vs the slow path.
+
+The fast kernels exist purely for speed; every one of them is checked
+here against the protocol-level machinery it replaces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MonitorRequirement
+from repro.core.trp import run_trp_round
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.server.database import TagDatabase
+from repro.server.seeds import SeedIssuer
+from repro.simulation.fastpath import (
+    collect_all_slots_trials,
+    trp_detection_trials,
+    trp_trial_detected,
+    utrp_collusion_detected,
+    utrp_collusion_detection_trials,
+    utrp_collusion_trial_detected,
+)
+
+
+class TestTrpKernel:
+    def test_single_trial_matches_protocol_round(self):
+        """Same ids, same theft, same seed → same verdict as the real
+        protocol round."""
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            pop = TagPopulation.create(40, rng=rng)
+            ids = pop.ids.copy()
+            db = TagDatabase()
+            db.register_set(ids.tolist())
+            loot = pop.remove_random(4, rng)
+            mask = np.isin(ids, loot.ids)
+            req = MonitorRequirement(population=40, tolerance=3, confidence=0.95)
+            issuer = SeedIssuer(np.random.default_rng(seed + 100))
+            report = run_trp_round(
+                db, issuer, req, SlottedChannel(pop.tags), frame_size=55
+            )
+            fast = trp_trial_detected(ids, mask, 55, report.challenge.seed)
+            assert fast == (not report.intact)
+
+    def test_no_theft_never_detected(self):
+        ids = np.arange(30, dtype=np.uint64)
+        mask = np.zeros(30, dtype=bool)
+        assert not trp_trial_detected(ids, mask, 40, 123)
+
+    def test_trials_shape_and_rate(self):
+        rng = np.random.default_rng(0)
+        d = trp_detection_trials(100, 6, 104, 300, rng)
+        assert d.shape == (300,)
+        assert 0.85 < d.mean() <= 1.0
+
+    def test_fixed_population_mode(self):
+        rng = np.random.default_rng(0)
+        d = trp_detection_trials(50, 3, 60, 100, rng, resample_population=False)
+        assert d.shape == (100,)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            trp_detection_trials(10, 11, 20, 5, rng)
+        with pytest.raises(ValueError):
+            trp_detection_trials(10, 1, 20, 0, rng)
+
+
+class TestCollusionKernels:
+    def test_fast_matches_slow_on_random_cases(self):
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            n = int(rng.integers(8, 50))
+            stolen_n = int(rng.integers(1, min(7, n - 1)))
+            f = int(rng.integers(max(4, n // 2), 2 * n))
+            budget = int(rng.integers(0, 12))
+            ids = rng.integers(0, 1 << 62, size=n).astype(np.uint64)
+            cts = rng.integers(0, 5, size=n).astype(np.int64)
+            mask = np.zeros(n, dtype=bool)
+            mask[rng.choice(n, stolen_n, replace=False)] = True
+            seeds = rng.integers(0, 1 << 62, size=f).tolist()
+            fast = utrp_collusion_detected(ids, cts, mask, f, seeds, budget)
+            slow = utrp_collusion_trial_detected(ids, cts, mask, f, seeds, budget)
+            assert fast == slow
+
+    def test_unlimited_budget_never_detected(self):
+        rng = np.random.default_rng(5)
+        ids = rng.integers(0, 1 << 62, size=25).astype(np.uint64)
+        cts = np.zeros(25, dtype=np.int64)
+        mask = np.zeros(25, dtype=bool)
+        mask[:5] = True
+        seeds = rng.integers(0, 1 << 62, size=40).tolist()
+        assert not utrp_collusion_detected(ids, cts, mask, 40, seeds, 10_000)
+
+    def test_trials_rate_above_alpha_at_eq3_frame(self):
+        from repro.core.utrp_analysis import optimal_utrp_frame_size
+
+        f = optimal_utrp_frame_size(200, 5, 0.95, 20)
+        rng = np.random.default_rng(0)
+        d = utrp_collusion_detection_trials(200, 6, f, 20, 150, rng)
+        assert d.mean() > 0.88
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            utrp_collusion_detection_trials(10, 0, 20, 5, 10, rng)
+        with pytest.raises(ValueError):
+            utrp_collusion_detection_trials(10, 10, 20, 5, 10, rng)
+        with pytest.raises(ValueError):
+            utrp_collusion_detection_trials(10, 2, 20, 5, 0, rng)
+
+
+class TestCollectAllKernel:
+    def test_cost_scale(self):
+        rng = np.random.default_rng(1)
+        costs = collect_all_slots_trials(100, 5, 10, rng)
+        # Dynamic framed ALOHA costs ~ e*n; allow wide tolerance.
+        assert 150 < costs.mean() < 400
+
+    def test_missing_within_tolerance(self):
+        rng = np.random.default_rng(1)
+        costs = collect_all_slots_trials(60, 5, 5, rng, missing=5)
+        assert (costs >= 60).all()
+
+    def test_missing_beyond_tolerance_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            collect_all_slots_trials(60, 5, 5, rng, missing=6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collect_all_slots_trials(10, 0, 0, np.random.default_rng(0))

@@ -1,0 +1,97 @@
+"""Tests for the mismatch-count and false-alarm kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import expected_mismatch_slots
+from repro.simulation.fastpath import (
+    trp_false_alarm_trials,
+    trp_mismatch_count_trials,
+)
+
+
+class TestMismatchCountKernel:
+    def test_zero_missing_zero_mismatches(self):
+        rng = np.random.default_rng(0)
+        counts = trp_mismatch_count_trials(100, 0, 120, 20, rng)
+        assert (counts == 0).all()
+
+    def test_mean_matches_closed_form(self):
+        n, x, f = 400, 20, 300
+        rng = np.random.default_rng(1)
+        counts = trp_mismatch_count_trials(n, x, f, 1500, rng)
+        assert abs(counts.mean() - expected_mismatch_slots(n, x, f)) < 0.3
+
+    def test_counts_bounded_by_missing(self):
+        rng = np.random.default_rng(2)
+        counts = trp_mismatch_count_trials(100, 7, 200, 100, rng)
+        assert (counts <= 7).all() and (counts >= 0).all()
+
+    def test_more_missing_more_mismatches(self):
+        rng = np.random.default_rng(3)
+        small = trp_mismatch_count_trials(300, 5, 250, 300, rng).mean()
+        big = trp_mismatch_count_trials(300, 40, 250, 300, rng).mean()
+        assert big > small
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            trp_mismatch_count_trials(10, 11, 20, 5, rng)
+        with pytest.raises(ValueError):
+            trp_mismatch_count_trials(10, 1, 20, 0, rng)
+
+
+class TestFalseAlarmKernel:
+    def test_perfect_channel_no_mismatches(self):
+        rng = np.random.default_rng(0)
+        counts = trp_false_alarm_trials(100, 120, 0.0, 20, rng)
+        assert (counts == 0).all()
+
+    def test_total_loss_mismatches_every_expected_slot(self):
+        """With every reply lost, every expected-occupied slot reads 0."""
+        rng = np.random.default_rng(1)
+        counts = trp_false_alarm_trials(50, 200, 1.0, 10, rng)
+        # ~50 tags in 200 slots: expected occupied slots close to 50
+        # (collisions shave a few), and every one mismatches.
+        assert (counts > 35).all()
+
+    def test_mismatches_scale_with_loss(self):
+        rng = np.random.default_rng(2)
+        low = trp_false_alarm_trials(500, 400, 0.005, 200, rng).mean()
+        high = trp_false_alarm_trials(500, 400, 0.05, 200, rng).mean()
+        assert high > low
+
+    def test_loss_rate_magnitude(self):
+        """~eps*n lost replies, most in singleton slots -> ~mismatches."""
+        rng = np.random.default_rng(3)
+        counts = trp_false_alarm_trials(1000, 700, 0.01, 400, rng)
+        assert 1.0 < counts.mean() < 10.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            trp_false_alarm_trials(10, 20, -0.1, 5, rng)
+        with pytest.raises(ValueError):
+            trp_false_alarm_trials(10, 20, 1.1, 5, rng)
+        with pytest.raises(ValueError):
+            trp_false_alarm_trials(10, 20, 0.5, 0, rng)
+
+
+class TestTimerDesignAblation:
+    def test_rows_and_monotonicity(self):
+        from repro.experiments.ablations import run_timer_design
+
+        rows = run_timer_design(
+            n=300, tolerance=5, comm_latencies_us=(1_000.0, 100_000.0)
+        )
+        assert len(rows) == 2
+        assert rows[0].budget > rows[1].budget
+        assert rows[0].utrp_frame >= rows[1].utrp_frame
+        for r in rows:
+            assert r.utrp_frame > r.trp_frame
+
+    def test_latency_validation(self):
+        from repro.experiments.ablations import run_timer_design
+
+        with pytest.raises(ValueError):
+            run_timer_design(comm_latencies_us=(0.0,))

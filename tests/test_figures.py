@@ -1,0 +1,151 @@
+"""Tests for the figure-regeneration modules (Figs. 4-7).
+
+Run on a deliberately tiny grid; each test asserts the *claims* the
+paper draws from the figure, not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7
+from repro.experiments.grid import ExperimentGrid
+
+TINY = ExperimentGrid(
+    populations=(100, 300),
+    tolerances=(5, 10),
+    alpha=0.95,
+    trials=60,
+    cost_trials=4,
+    comm_budget=20,
+    master_seed=7,
+)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(TINY)
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 4
+
+    def test_trp_always_cheaper(self, result):
+        for row in result.rows:
+            assert row.trp_slots < row.collect_all_slots
+
+    def test_gap_grows_with_n(self, result):
+        """The paper: 'TRP uses fewer slots, especially when the set
+        size is large.'"""
+        for m in TINY.tolerances:
+            panel = result.panel(m)
+            gaps = [r.collect_all_slots - r.trp_slots for r in panel]
+            assert gaps == sorted(gaps)
+
+    def test_trp_decreases_with_tolerance(self, result):
+        by_m = {m: result.panel(m)[0].trp_slots for m in TINY.tolerances}
+        assert by_m[10] < by_m[5]
+
+    def test_formatting(self, result):
+        text = fig4.format_result(result)
+        assert "Fig. 4" in text and "collect-all slots" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(TINY)
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 4
+
+    def test_detection_near_alpha(self, result):
+        """True rate is ~alpha by construction; with 60 trials allow a
+        wide noise band but catch gross failures."""
+        for row in result.rows:
+            assert row.detection.rate > 0.85
+
+    def test_frame_sizes_are_eq2(self, result):
+        from repro.core.analysis import optimal_trp_frame_size
+
+        for row in result.rows:
+            assert row.frame_size == optimal_trp_frame_size(
+                row.population, row.tolerance, TINY.alpha
+            )
+
+    def test_reproducible(self):
+        a = fig5.run(TINY)
+        b = fig5.run(TINY)
+        assert [r.detection.rate for r in a.rows] == [
+            r.detection.rate for r in b.rows
+        ]
+
+    def test_formatting(self, result):
+        text = fig5.format_result(result)
+        assert "Fig. 5" in text and "detect rate" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(TINY)
+
+    def test_utrp_exceeds_trp_everywhere(self, result):
+        for row in result.rows:
+            assert row.utrp_slots > row.trp_slots
+
+    def test_overhead_is_small_at_scale(self):
+        grid = ExperimentGrid(
+            populations=(1000, 2000), tolerances=(5,), trials=1, cost_trials=1
+        )
+        result = fig6.run(grid)
+        assert result.max_overhead_fraction < 0.10
+
+    def test_formatting(self, result):
+        assert "UTRP slots" in fig6.format_result(result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(TINY)
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 4
+
+    def test_detection_near_alpha(self, result):
+        for row in result.rows:
+            assert row.detection.rate > 0.85
+
+    def test_frame_sizes_are_eq3(self, result):
+        from repro.core.utrp_analysis import optimal_utrp_frame_size
+
+        for row in result.rows:
+            assert row.frame_size == optimal_utrp_frame_size(
+                row.population, row.tolerance, TINY.alpha, TINY.comm_budget
+            )
+
+    def test_formatting(self, result):
+        assert "Fig. 7" in fig7.format_result(result)
+
+
+class TestFig4Accounting:
+    def test_busy_slots_match_known_constants(self):
+        """Full frames cost ~e*n; busy slots ~0.632*e*n ~ 1.72n — the
+        accounting that reproduces the paper's drawn baseline."""
+        grid = ExperimentGrid(
+            populations=(1000,), tolerances=(5,), trials=1, cost_trials=10,
+            master_seed=99,
+        )
+        row = fig4.run(grid).rows[0]
+        assert 2.4 * 1000 < row.collect_all_slots < 3.0 * 1000
+        assert 1.55 * 1000 < row.collect_all_busy_slots < 1.95 * 1000
+        # Busy fraction of the frames is the ALOHA occupancy constant.
+        fraction = row.collect_all_busy_slots / row.collect_all_slots
+        assert 0.58 < fraction < 0.68
+
+    def test_busy_speedup_below_full_speedup(self):
+        grid = ExperimentGrid(
+            populations=(500,), tolerances=(10,), trials=1, cost_trials=4,
+        )
+        row = fig4.run(grid).rows[0]
+        assert row.busy_speedup < row.speedup
+        assert row.busy_speedup > 1.0  # TRP still wins

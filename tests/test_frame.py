@@ -1,0 +1,91 @@
+"""Unit tests for repro.aloha.frame — frame hashing and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.aloha.frame import FrameOutcome, expected_empty_fraction, hash_frame
+from repro.rfid.channel import SlotOutcome, SlottedChannel
+from repro.rfid.population import TagPopulation
+
+
+class TestHashFrame:
+    def test_slot_counts_sum_to_population(self, rng):
+        ids = TagPopulation.create(40, rng=rng).ids
+        outcome = hash_frame(ids, 64, 9)
+        assert outcome.slot_counts.sum() == 40
+
+    def test_partition_of_slots(self, rng):
+        ids = TagPopulation.create(40, rng=rng).ids
+        o = hash_frame(ids, 64, 9)
+        assert o.empty_slots + o.singleton_slots + o.collision_slots == 64
+
+    def test_matches_channel_simulation(self, rng):
+        """The vectorised frame must agree with polling real tags."""
+        pop = TagPopulation.create(25, rng=rng)
+        channel = SlottedChannel(pop.tags)
+        channel.broadcast_seed(30, 77)
+        outcome = hash_frame(pop.ids, 30, 77)
+        for slot in range(30):
+            obs = channel.poll_slot(slot)
+            count = int(outcome.slot_counts[slot])
+            if count == 0:
+                assert obs.outcome is SlotOutcome.EMPTY
+            elif count == 1:
+                assert obs.outcome is SlotOutcome.SINGLE
+            else:
+                assert obs.outcome is SlotOutcome.COLLISION
+
+    def test_singleton_ids_are_the_singletons(self, rng):
+        ids = TagPopulation.create(20, rng=rng).ids
+        outcome = hash_frame(ids, 25, 3)
+        from repro.rfid.hashing import slots_for_tags
+
+        slots = slots_for_tags(ids, 3, 25)
+        for sid in outcome.singleton_ids.tolist():
+            slot = slots[list(ids.tolist()).index(sid)]
+            assert outcome.slot_counts[slot] == 1
+        assert len(outcome.singleton_ids) == outcome.singleton_slots
+
+    def test_empty_population(self):
+        outcome = hash_frame(np.array([], dtype=np.uint64), 5, 1)
+        assert outcome.empty_slots == 5
+        assert len(outcome.singleton_ids) == 0
+
+    def test_occupancy_bitstring(self, rng):
+        ids = TagPopulation.create(10, rng=rng).ids
+        outcome = hash_frame(ids, 16, 5)
+        bs = outcome.occupancy_bitstring
+        assert np.array_equal(bs, (outcome.slot_counts > 0).astype(np.uint8))
+
+    def test_rejects_bad_frame(self):
+        with pytest.raises(ValueError):
+            hash_frame(np.array([1], dtype=np.uint64), 0, 1)
+
+
+class TestExpectedEmptyFraction:
+    def test_zero_tags_means_all_empty(self):
+        assert expected_empty_fraction(0, 10) == 1.0
+
+    def test_decreases_with_tags(self):
+        values = [expected_empty_fraction(k, 50) for k in (0, 10, 50, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_close_to_exponential_for_large_frames(self):
+        import math
+
+        exact = expected_empty_fraction(100, 1000)
+        approx = math.exp(-100 / 1000)
+        assert abs(exact - approx) < 5e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_empty_fraction(5, 0)
+        with pytest.raises(ValueError):
+            expected_empty_fraction(-1, 5)
+
+    def test_empirical_agreement(self, rng):
+        """Measured empty fraction across seeds matches the formula."""
+        ids = TagPopulation.create(100, rng=rng).ids
+        f = 150
+        empties = [hash_frame(ids, f, s).empty_slots / f for s in range(200)]
+        assert abs(np.mean(empties) - expected_empty_fraction(100, f)) < 0.01

@@ -1,0 +1,130 @@
+"""Unit tests for repro.rfid.hashing — the slot-selection primitive."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.hashing import (
+    MASK64,
+    slot_for_tag,
+    slots_for_tags,
+    slots_for_tags_with_counters,
+    splitmix64,
+    splitmix64_array,
+    tag_hash,
+    tag_hash_array,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_known_distinct_inputs_differ(self):
+        assert splitmix64(0) != splitmix64(1)
+
+    def test_output_in_64_bit_range(self):
+        for v in (0, 1, 2**63, MASK64, 17):
+            out = splitmix64(v)
+            assert 0 <= out <= MASK64
+
+    def test_inputs_reduced_modulo_64_bits(self):
+        assert splitmix64(MASK64 + 1 + 7) == splitmix64(7)
+
+    def test_avalanche_single_bit_flip(self):
+        """Flipping one input bit should flip roughly half the output bits."""
+        flips = []
+        for bit in range(0, 64, 7):
+            a = splitmix64(0xDEADBEEF)
+            b = splitmix64(0xDEADBEEF ^ (1 << bit))
+            flips.append(bin(a ^ b).count("1"))
+        assert all(16 <= f <= 48 for f in flips)
+
+    def test_array_matches_scalar(self):
+        values = np.array([0, 1, 99, 2**40, MASK64], dtype=np.uint64)
+        out = splitmix64_array(values)
+        for v, o in zip(values.tolist(), out.tolist()):
+            assert splitmix64(int(v)) == int(o)
+
+    def test_array_does_not_mutate_input(self):
+        values = np.array([5, 6], dtype=np.uint64)
+        copy = values.copy()
+        splitmix64_array(values)
+        assert np.array_equal(values, copy)
+
+
+class TestTagHash:
+    def test_counter_changes_hash(self):
+        assert tag_hash(10, 20, 0) != tag_hash(10, 20, 1)
+
+    def test_counter_zero_matches_trp_form(self):
+        assert tag_hash(10, 20) == splitmix64(10 ^ 20)
+
+    def test_xor_symmetry_of_id_and_seed(self):
+        """h(id XOR r) is symmetric in id and r by construction."""
+        assert tag_hash(3, 5) == tag_hash(5, 3)
+
+    def test_array_matches_scalar(self):
+        ids = np.array([1, 2, 3, 500], dtype=np.uint64)
+        out = tag_hash_array(ids, seed=777, counter=4)
+        for i, o in zip(ids.tolist(), out.tolist()):
+            assert tag_hash(int(i), 777, 4) == int(o)
+
+
+class TestSlotSelection:
+    def test_slot_in_range(self):
+        for f in (1, 2, 7, 100, 4096):
+            assert 0 <= slot_for_tag(0xABC, 0x123, f) < f
+
+    def test_deterministic_given_same_inputs(self):
+        assert slot_for_tag(1, 2, 50) == slot_for_tag(1, 2, 50)
+
+    def test_seed_changes_slot_distribution(self):
+        """Across many seeds a tag must not be stuck in one slot."""
+        slots = {slot_for_tag(42, seed, 16) for seed in range(200)}
+        assert len(slots) == 16
+
+    def test_frame_size_one_always_slot_zero(self):
+        assert slot_for_tag(99, 7, 1) == 0
+
+    def test_rejects_nonpositive_frame(self):
+        with pytest.raises(ValueError):
+            slot_for_tag(1, 2, 0)
+        with pytest.raises(ValueError):
+            slots_for_tags(np.array([1], dtype=np.uint64), 2, -5)
+
+    def test_vector_matches_scalar(self):
+        ids = np.arange(100, dtype=np.uint64)
+        slots = slots_for_tags(ids, seed=31337, frame_size=17)
+        for i, s in zip(ids.tolist(), slots.tolist()):
+            assert slot_for_tag(int(i), 31337, 17) == int(s)
+
+    def test_uniformity_chi_square(self):
+        """Sequential IDs (hardest case) must spread uniformly over slots."""
+        from scipy import stats
+
+        f = 64
+        ids = np.arange(64_000, dtype=np.uint64)
+        slots = slots_for_tags(ids, seed=9, frame_size=f)
+        counts = np.bincount(slots, minlength=f)
+        chi2 = ((counts - len(ids) / f) ** 2 / (len(ids) / f)).sum()
+        pvalue = stats.chi2.sf(chi2, df=f - 1)
+        assert pvalue > 1e-4  # not catastrophically non-uniform
+
+    def test_counter_vector_matches_scalar(self):
+        ids = np.array([11, 22, 33], dtype=np.uint64)
+        counters = np.array([0, 3, 9])
+        slots = slots_for_tags_with_counters(ids, 5, 13, counters)
+        for i, ct, s in zip(ids.tolist(), counters.tolist(), slots.tolist()):
+            assert slot_for_tag(int(i), 5, 13, int(ct)) == int(s)
+
+    def test_counter_vector_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            slots_for_tags_with_counters(
+                np.array([1, 2], dtype=np.uint64), 5, 13, np.array([0])
+            )
+
+    def test_counter_vector_rejects_bad_frame(self):
+        with pytest.raises(ValueError):
+            slots_for_tags_with_counters(
+                np.array([1], dtype=np.uint64), 5, 0, np.array([0])
+            )

@@ -1,0 +1,143 @@
+"""Tests for repro.core.identification — which tags are missing."""
+
+import numpy as np
+import pytest
+
+from repro.core.identification import (
+    MissingTagIdentifier,
+    confirmed_missing_in_round,
+    identification_probability,
+    rounds_to_identify,
+)
+from repro.rfid.hashing import slots_for_tags
+from repro.rfid.ids import random_tag_ids
+
+
+def _round(ids, present_mask, f, seed):
+    """Simulate one TRP round's observed bitstring."""
+    slots = slots_for_tags(ids, seed, f)
+    observed = np.zeros(f, dtype=np.uint8)
+    observed[np.unique(slots[present_mask])] = 1
+    return observed
+
+
+class TestSingleRound:
+    def test_no_theft_no_confirmations(self):
+        ids = random_tag_ids(50, np.random.default_rng(0))
+        present = np.ones(50, dtype=bool)
+        observed = _round(ids, present, 80, 7)
+        ev = confirmed_missing_in_round(ids, 80, 7, observed)
+        assert ev.confirmed_missing == set()
+        assert ev.suspicious_slots == []
+
+    def test_confirmations_are_actually_missing(self):
+        """Soundness: no present tag is ever condemned."""
+        rng = np.random.default_rng(1)
+        for seed in range(30):
+            ids = random_tag_ids(60, rng)
+            present = np.ones(60, dtype=bool)
+            present[rng.choice(60, 10, replace=False)] = False
+            observed = _round(ids, present, 90, seed)
+            ev = confirmed_missing_in_round(ids, 90, seed, observed)
+            missing_ids = set(int(i) for i in ids[~present])
+            assert ev.confirmed_missing <= missing_ids
+
+    def test_lone_missing_tag_in_empty_slot_is_confirmed(self):
+        """Completeness within a round: a missing tag alone in its slot
+        is condemned."""
+        rng = np.random.default_rng(2)
+        ids = random_tag_ids(40, rng)
+        present = np.ones(40, dtype=bool)
+        present[0] = False
+        f, seed = 400, 9  # huge frame: almost surely alone
+        slots = slots_for_tags(ids, seed, f)
+        if np.sum(slots == slots[0]) == 1:
+            observed = _round(ids, present, f, seed)
+            ev = confirmed_missing_in_round(ids, f, seed, observed)
+            assert int(ids[0]) in ev.confirmed_missing
+
+    def test_bitstring_length_checked(self):
+        ids = random_tag_ids(5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            confirmed_missing_in_round(ids, 10, 1, np.zeros(9, dtype=np.uint8))
+
+
+class TestIdentifier:
+    def test_accumulates_to_full_identification(self):
+        rng = np.random.default_rng(3)
+        n, x, f = 100, 8, 150
+        ids = random_tag_ids(n, rng)
+        present = np.ones(n, dtype=bool)
+        present[rng.choice(n, x, replace=False)] = False
+        missing_ids = set(int(i) for i in ids[~present])
+
+        identifier = MissingTagIdentifier(ids.tolist())
+        rounds = rounds_to_identify(n, x, f, beta=0.99)
+        for seed in range(rounds):
+            identifier.ingest(f, seed, _round(ids, present, f, seed))
+        # Soundness always; completeness with the planned confidence
+        # (the seed here is fixed, so this is deterministic-green).
+        assert identifier.confirmed_missing <= missing_ids
+        assert identifier.confirmed_missing == missing_ids
+
+    def test_rounds_counted(self):
+        ids = random_tag_ids(10, np.random.default_rng(4))
+        identifier = MissingTagIdentifier(ids.tolist())
+        identifier.ingest(20, 1, _round(ids, np.ones(10, dtype=bool), 20, 1))
+        assert identifier.rounds_observed == 1
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            MissingTagIdentifier([1, 1, 2])
+
+    def test_coverage_increases_with_rounds(self):
+        ids = random_tag_ids(50, np.random.default_rng(5))
+        identifier = MissingTagIdentifier(ids.tolist())
+        present = np.ones(50, dtype=bool)
+        cov = [identifier.coverage(5, 80)]
+        for seed in range(3):
+            identifier.ingest(80, seed, _round(ids, present, 80, seed))
+            cov.append(identifier.coverage(5, 80))
+        assert cov == sorted(cov)
+
+
+class TestAnalysis:
+    def test_probability_bounds(self):
+        assert identification_probability(100, 5, 150, 0) == 0.0
+        assert 0.0 < identification_probability(100, 5, 150, 1) < 1.0
+        assert identification_probability(100, 5, 150, 50) > 0.99
+
+    def test_matches_monte_carlo(self):
+        """Per-round confirmation probability against simulation."""
+        rng = np.random.default_rng(6)
+        n, x, f = 80, 6, 120
+        confirmed = 0
+        trials = 4000
+        for t in range(trials):
+            ids = random_tag_ids(n, rng)
+            present = np.ones(n, dtype=bool)
+            present[:x] = False
+            slots = slots_for_tags(ids, t, f)
+            # is missing tag 0 alone among *present* tags in its slot?
+            confirmed += not np.any(slots[present] == slots[0])
+        mc = confirmed / trials
+        analytic = identification_probability(n, x, f, 1)
+        assert abs(mc - analytic) < 0.03
+
+    def test_rounds_to_identify_monotone_in_beta(self):
+        r_low = rounds_to_identify(100, 5, 150, beta=0.9)
+        r_high = rounds_to_identify(100, 5, 150, beta=0.999)
+        assert r_high >= r_low
+
+    def test_rounds_to_identify_fewer_with_bigger_frames(self):
+        r_small = rounds_to_identify(100, 5, 120, beta=0.99)
+        r_big = rounds_to_identify(100, 5, 600, beta=0.99)
+        assert r_big <= r_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            identification_probability(10, 11, 5, 1)
+        with pytest.raises(ValueError):
+            rounds_to_identify(10, 0, 5)
+        with pytest.raises(ValueError):
+            rounds_to_identify(10, 5, 5, beta=1.0)

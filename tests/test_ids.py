@@ -1,0 +1,89 @@
+"""Unit tests for repro.rfid.ids — identifier generation."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.ids import TagId, TagIdGenerator, random_tag_ids, sequential_tag_ids
+
+
+class TestTagId:
+    def test_build_round_trips_fields(self):
+        tag = TagId.build(manager=0x1F, item_class=0xABCDE, serial=123456789)
+        assert tag.manager == 0x1F
+        assert tag.item_class == 0xABCDE
+        assert tag.serial == 123456789
+
+    def test_build_rejects_oversized_manager(self):
+        with pytest.raises(ValueError):
+            TagId.build(manager=256, item_class=0, serial=0)
+
+    def test_build_rejects_oversized_item_class(self):
+        with pytest.raises(ValueError):
+            TagId.build(manager=0, item_class=1 << 20, serial=0)
+
+    def test_build_rejects_oversized_serial(self):
+        with pytest.raises(ValueError):
+            TagId.build(manager=0, item_class=0, serial=1 << 36)
+
+    def test_build_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            TagId.build(manager=-1, item_class=0, serial=0)
+
+    def test_str_is_urn_like(self):
+        tag = TagId.build(manager=1, item_class=2, serial=3)
+        assert str(tag).startswith("urn:epc:")
+
+    def test_distinct_serials_distinct_values(self):
+        a = TagId.build(1, 1, 1)
+        b = TagId.build(1, 1, 2)
+        assert a.value != b.value
+
+
+class TestTagIdGenerator:
+    def test_sequential_ids_are_unique_and_ordered(self):
+        gen = TagIdGenerator(np.random.default_rng(0))
+        tags = gen.sequential(10)
+        serials = [t.serial for t in tags]
+        assert serials == list(range(10))
+
+    def test_sequential_continues_across_calls(self):
+        gen = TagIdGenerator(np.random.default_rng(0))
+        first = gen.sequential(3)
+        second = gen.sequential(3)
+        assert second[0].serial == first[-1].serial + 1
+
+    def test_random_ids_unique(self):
+        gen = TagIdGenerator(np.random.default_rng(0))
+        tags = gen.random(500)
+        assert len({t.value for t in tags}) == 500
+
+    def test_iterator_protocol(self):
+        gen = TagIdGenerator(np.random.default_rng(0))
+        it = iter(gen)
+        assert next(it).value != next(it).value
+
+
+class TestFastPaths:
+    def test_random_tag_ids_unique(self):
+        ids = random_tag_ids(1000, np.random.default_rng(1))
+        assert len(np.unique(ids)) == 1000
+
+    def test_random_tag_ids_dtype(self):
+        assert random_tag_ids(5, np.random.default_rng(1)).dtype == np.uint64
+
+    def test_random_tag_ids_reproducible(self):
+        a = random_tag_ids(50, np.random.default_rng(7))
+        b = random_tag_ids(50, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_sequential_tag_ids(self):
+        ids = sequential_tag_ids(5, start=10)
+        assert ids.tolist() == [10, 11, 12, 13, 14]
+
+    def test_sequential_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            sequential_tag_ids(-1)
+
+    def test_zero_counts(self):
+        assert len(random_tag_ids(0, np.random.default_rng(0))) == 0
+        assert len(sequential_tag_ids(0)) == 0

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the paper's story played out in full."""
+
+import numpy as np
+
+from repro.core.monitor import MonitoringServer
+from repro.core.parameters import MonitorRequirement
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import ScanResult
+from repro.simulation.scenarios import deploy_with_collusion
+
+
+class TestWarehouseStory:
+    """A warehouse monitors 120 tagged items over a week of checks."""
+
+    def test_full_lifecycle(self):
+        rng = np.random.default_rng(2024)
+        req = MonitorRequirement(population=120, tolerance=4, confidence=0.95)
+        pop = TagPopulation.create(120, uses_counter=True, rng=rng)
+        alerts = []
+        server = MonitoringServer(
+            req, rng=rng, counter_tags=True, on_alert=alerts.append
+        )
+        server.register(pop.ids.tolist())
+        channel = SlottedChannel(pop.tags)
+
+        # Day 1-3: routine checks, set intact — no alarms.
+        for _ in range(3):
+            assert server.check_trp(channel).intact
+        assert server.check_utrp(channel).intact
+        assert alerts == []
+
+        # Day 4: two items legitimately misplaced (within tolerance m=4)
+        # — monitoring may or may not see them; either way the operator
+        # is only alerted if the bitstring differs, which is the designed
+        # tolerance behaviour: mismatches at <= m missing are possible
+        # but the *guarantee* is about > m.
+        pop.remove_random(2, rng)
+        channel = SlottedChannel(pop.tags)
+        server.check_trp(channel)
+
+        # Day 5: a real theft pushes the loss beyond tolerance.
+        pop.remove_random(10, rng)
+        channel = SlottedChannel(pop.tags)
+        report = server.check_utrp(channel)
+        assert not report.intact
+        assert alerts and alerts[-1].protocol == "UTRP"
+
+    def test_detection_guarantee_over_many_deployments(self):
+        """> m missing must be caught in at least ~alpha of deployments."""
+        caught = 0
+        runs = 60
+        for seed in range(runs):
+            rng = np.random.default_rng(seed)
+            req = MonitorRequirement(population=80, tolerance=3, confidence=0.95)
+            pop = TagPopulation.create(80, uses_counter=True, rng=rng)
+            server = MonitoringServer(req, rng=rng, counter_tags=True)
+            server.register(pop.ids.tolist())
+            pop.remove_random(4, rng)  # m + 1
+            caught += not server.check_trp(SlottedChannel(pop.tags)).intact
+        assert caught / runs > 0.85
+
+
+class TestDishonestEmployeeStory:
+    """The Sec. 5 storyline: insider + collaborator versus UTRP."""
+
+    def test_collusion_is_usually_caught(self):
+        caught = 0
+        runs = 30
+        for seed in range(runs):
+            d = deploy_with_collusion(
+                MonitorRequirement(population=60, tolerance=2, confidence=0.95),
+                np.random.default_rng(seed),
+                comm_budget=5,
+            )
+
+            def attack(challenge):
+                forged = d.collusion.scan(
+                    challenge.frame_size, list(challenge.seeds)
+                )
+                return (
+                    ScanResult(
+                        bitstring=forged.bitstring,
+                        slots_used=challenge.frame_size,
+                        seeds_used=0,
+                    ),
+                    0.0,
+                )
+
+            report = d.server.check_utrp(d.channel, scan_fn=attack)
+            caught += not report.intact
+        assert caught / runs > 0.8
+
+    def test_unlimited_collusion_would_win(self):
+        """Without the timer the same attack is invisible — the reason
+        UTRP needs one."""
+        d = deploy_with_collusion(
+            MonitorRequirement(population=60, tolerance=2, confidence=0.95),
+            np.random.default_rng(99),
+            comm_budget=20,  # the server plans for c = 20 as usual...
+        )
+        d.collusion.budget = 10_000_000  # ...but nothing enforces it
+
+        def attack(challenge):
+            forged = d.collusion.scan(challenge.frame_size, list(challenge.seeds))
+            return (
+                ScanResult(
+                    bitstring=forged.bitstring,
+                    slots_used=challenge.frame_size,
+                    seeds_used=0,
+                ),
+                0.0,
+            )
+
+        report = d.server.check_utrp(d.channel, scan_fn=attack)
+        assert report.intact  # forged perfectly; only the timer stops this

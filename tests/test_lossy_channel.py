@@ -1,0 +1,115 @@
+"""Tests for the lossy-channel extension (reply loss on SlottedChannel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import MonitoringServer
+from repro.core.parameters import MonitorRequirement
+from repro.rfid.channel import SlotOutcome, SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.rfid.tag import Tag, TagState
+
+
+class TestConstruction:
+    def test_miss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            SlottedChannel([], miss_rate=-0.1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SlottedChannel([], miss_rate=1.1, rng=np.random.default_rng(0))
+
+    def test_lossy_channel_requires_rng(self):
+        with pytest.raises(ValueError):
+            SlottedChannel([], miss_rate=0.5)
+
+    def test_perfect_channel_needs_no_rng(self):
+        SlottedChannel([Tag(1)])  # must not raise
+
+
+class TestLossSemantics:
+    def test_total_loss_looks_empty(self):
+        tag = Tag(1)
+        channel = SlottedChannel(
+            [tag], miss_rate=1.0, rng=np.random.default_rng(0)
+        )
+        channel.broadcast_seed(4, 0)
+        obs = channel.poll_slot(tag.chosen_slot)
+        assert obs.outcome is SlotOutcome.EMPTY
+
+    def test_lost_reply_still_silences_tag(self):
+        """The tag transmitted; it cannot know the reader missed it."""
+        tag = Tag(1)
+        channel = SlottedChannel(
+            [tag], miss_rate=1.0, rng=np.random.default_rng(0)
+        )
+        channel.broadcast_seed(4, 0)
+        channel.poll_slot(tag.chosen_slot)
+        assert tag.state is TagState.SILENT
+
+    def test_zero_loss_identical_to_default(self):
+        pop_a = TagPopulation.create(20, rng=np.random.default_rng(1))
+        pop_b = TagPopulation.create(20, rng=np.random.default_rng(1))
+        a = SlottedChannel(pop_a.tags)
+        b = SlottedChannel(pop_b.tags, miss_rate=0.0, rng=np.random.default_rng(2))
+        from repro.rfid.reader import TrustedReader
+
+        sa = TrustedReader().scan_trp(a, 30, 7)
+        sb = TrustedReader().scan_trp(b, 30, 7)
+        assert np.array_equal(sa.bitstring, sb.bitstring)
+
+    def test_loss_rate_statistics(self):
+        """Roughly miss_rate of singleton slots go quiet."""
+        losses = 0
+        trials = 400
+        for seed in range(trials):
+            tag = Tag(seed + 10)
+            channel = SlottedChannel(
+                [tag], miss_rate=0.3, rng=np.random.default_rng(seed)
+            )
+            channel.broadcast_seed(8, 99)
+            obs = channel.poll_slot(tag.chosen_slot)
+            losses += obs.outcome is SlotOutcome.EMPTY
+        assert 0.2 < losses / trials < 0.4
+
+    def test_partial_collision_loss_decays_to_singleton(self):
+        """If one of two colliding replies fades, the reader decodes the
+        survivor — the capture effect."""
+        # Find two tags that collide under some seed.
+        found = None
+        for seed in range(3000):
+            t1, t2 = Tag(1), Tag(2)
+            t1.receive_seed(4, seed)
+            t2.receive_seed(4, seed)
+            if t1.chosen_slot == t2.chosen_slot:
+                found = seed
+                break
+        assert found is not None
+        outcomes = set()
+        for trial in range(200):
+            t1, t2 = Tag(1), Tag(2)
+            channel = SlottedChannel(
+                [t1, t2], miss_rate=0.5, rng=np.random.default_rng(trial)
+            )
+            channel.broadcast_seed(4, found)
+            outcomes.add(channel.poll_slot(t1.chosen_slot).outcome)
+        assert SlotOutcome.SINGLE in outcomes
+        assert SlotOutcome.COLLISION in outcomes
+        assert SlotOutcome.EMPTY in outcomes
+
+
+class TestMonitoringUnderLoss:
+    def test_lossy_intact_set_can_false_alarm(self):
+        """Strict policy + lossy channel: mismatches appear without any
+        theft — the Abl. G phenomenon at protocol level."""
+        rng = np.random.default_rng(3)
+        req = MonitorRequirement(population=200, tolerance=5, confidence=0.95)
+        pop = TagPopulation.create(200, uses_counter=True, rng=rng)
+        server = MonitoringServer(req, rng=rng, counter_tags=True)
+        server.register(pop.ids.tolist())
+        alarms = 0
+        for trial in range(20):
+            channel = SlottedChannel(
+                pop.tags, miss_rate=0.05, rng=np.random.default_rng(trial)
+            )
+            report = server.check_trp(channel)
+            alarms += not report.intact
+        assert alarms > 10  # 5% loss on 200 tags ~ 10 lost replies/scan

@@ -1,0 +1,72 @@
+"""Tests for the experiment manifest — the executable DESIGN.md index."""
+
+import os
+
+import pytest
+
+from repro.experiments.manifest import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    experiment,
+)
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        for fig in ("fig4", "fig5", "fig6", "fig7"):
+            assert fig in EXPERIMENTS
+
+    def test_every_bench_file_exists(self):
+        """The manifest must never point at a deleted bench."""
+        for exp in EXPERIMENTS.values():
+            path = os.path.join(REPO_ROOT, exp.bench)
+            assert os.path.isfile(path), f"{exp.experiment_id}: {exp.bench}"
+
+    def test_every_bench_file_is_registered(self):
+        """Conversely: every figure/ablation bench appears in the
+        manifest (micro-benches and validation excluded)."""
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        registered = {os.path.basename(e.bench) for e in EXPERIMENTS.values()}
+        exempt = {
+            "conftest.py",
+            "test_microbench_kernels.py",
+            "test_validation_fidelity.py",
+            "test_inventory_families.py",
+        }
+        for name in os.listdir(bench_dir):
+            if not name.startswith("test_"):
+                continue
+            assert name in registered or name in exempt, (
+                f"bench {name} missing from the manifest"
+            )
+
+    def test_runners_are_callable(self):
+        for exp in EXPERIMENTS.values():
+            assert callable(exp.runner)
+
+    def test_ids_sorted_and_unique(self):
+        ids = all_experiment_ids()
+        assert ids == sorted(set(ids))
+
+    def test_lookup(self):
+        assert experiment("fig5").paper_source == "Fig. 5"
+
+    def test_unknown_lookup_lists_known(self):
+        with pytest.raises(KeyError, match="fig4"):
+            experiment("fig99")
+
+    def test_grid_runners_run(self):
+        """Every grid-based runner accepts a tiny grid."""
+        from repro.experiments.grid import ExperimentGrid
+
+        tiny = ExperimentGrid(
+            populations=(100,), tolerances=(5,), trials=5, cost_trials=1
+        )
+        for exp in EXPERIMENTS.values():
+            if exp.grid_based:
+                result = exp.runner(tiny)
+                assert result is not None

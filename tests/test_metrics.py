@@ -1,0 +1,72 @@
+"""Tests for repro.simulation.metrics — proportion summaries."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import (
+    summarize_detections,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(80, 100)
+        assert lo < 0.8 < hi
+
+    def test_bounded_by_unit_interval(self):
+        for s, t in [(0, 10), (10, 10), (999, 1000)]:
+            lo, hi = wilson_interval(s, t)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_narrows_with_sample_size(self):
+        small = wilson_interval(9, 10)
+        large = wilson_interval(900, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi > 0.0
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0 and lo < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+
+
+class TestSummarize:
+    def test_rate(self):
+        s = summarize_detections([True, True, False, True])
+        assert s.rate == 0.75
+        assert s.trials == 4
+
+    def test_ci_ordered(self):
+        s = summarize_detections([True] * 90 + [False] * 10)
+        assert s.ci_low <= s.rate <= s.ci_high
+
+    def test_exceeds(self):
+        s = summarize_detections([True] * 96 + [False] * 4)
+        assert s.exceeds(0.95)
+        assert not s.exceeds(0.97)
+
+    def test_confidently_exceeds_is_stricter(self):
+        s = summarize_detections([True] * 96 + [False] * 4)
+        assert s.exceeds(0.95)
+        assert not s.confidently_exceeds(0.95)
+        big = summarize_detections([True] * 9900 + [False] * 100)
+        assert big.confidently_exceeds(0.95)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_detections([])
+
+    def test_accepts_numpy_array(self):
+        s = summarize_detections(np.array([True, False]))
+        assert s.rate == 0.5

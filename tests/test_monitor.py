@@ -1,0 +1,139 @@
+"""Tests for repro.core.monitor — the deployment-facing server object."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import Alert, MonitoringServer
+from repro.core.parameters import MonitorRequirement
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+
+
+def _deploy(n=60, m=3, counter_tags=True, seed=1, **kwargs):
+    rng = np.random.default_rng(seed)
+    req = MonitorRequirement(population=n, tolerance=m, confidence=0.95)
+    pop = TagPopulation.create(n, uses_counter=counter_tags, rng=rng)
+    server = MonitoringServer(req, rng=rng, counter_tags=counter_tags, **kwargs)
+    server.register(pop.ids.tolist())
+    return server, pop
+
+
+class TestRegistration:
+    def test_register_wrong_count(self):
+        req = MonitorRequirement(population=5, tolerance=1, confidence=0.9)
+        server = MonitoringServer(req)
+        with pytest.raises(ValueError):
+            server.register([1, 2, 3])
+
+    def test_register_once(self):
+        server, pop = _deploy()
+        with pytest.raises(RuntimeError):
+            server.register(pop.ids.tolist())
+
+
+class TestPlanning:
+    def test_frame_sizes_exposed(self):
+        server, _ = _deploy()
+        assert server.utrp_frame_size > server.trp_frame_size > 0
+
+
+class TestChecks:
+    def test_trp_intact_no_alert(self):
+        server, pop = _deploy()
+        report = server.check_trp(SlottedChannel(pop.tags))
+        assert report.intact
+        assert server.alerts == []
+
+    def test_utrp_intact_no_alert(self):
+        server, pop = _deploy()
+        report = server.check_utrp(SlottedChannel(pop.tags))
+        assert report.intact and not server.alerts
+
+    def test_mixed_schedule_stays_in_sync(self):
+        """Alternating TRP and UTRP on counter tags must keep verifying."""
+        server, pop = _deploy()
+        channel = SlottedChannel(pop.tags)
+        for i in range(6):
+            if i % 2:
+                assert server.check_utrp(channel).intact
+            else:
+                assert server.check_trp(channel).intact
+
+    def test_theft_raises_alert(self):
+        server, pop = _deploy()
+        pop.remove_random(20, np.random.default_rng(5))
+        report = server.check_trp(SlottedChannel(pop.tags))
+        assert not report.intact
+        assert len(server.alerts) == 1
+        assert server.alerts[0].protocol == "TRP"
+
+    def test_alert_callback_invoked(self):
+        seen = []
+        server, pop = _deploy(on_alert=seen.append)
+        pop.remove_random(20, np.random.default_rng(5))
+        server.check_utrp(SlottedChannel(pop.tags))
+        assert len(seen) == 1
+        assert isinstance(seen[0], Alert)
+        assert "not-intact" in seen[0].describe()
+
+    def test_rounds_counted(self):
+        server, pop = _deploy()
+        channel = SlottedChannel(pop.tags)
+        server.check_trp(channel)
+        server.check_utrp(channel)
+        assert server.rounds_run == 2
+
+    def test_alert_round_index(self):
+        server, pop = _deploy()
+        channel = SlottedChannel(pop.tags)
+        server.check_trp(channel)  # round 0, intact
+        pop.remove_random(20, np.random.default_rng(5))
+        server.check_trp(SlottedChannel(pop.tags))  # round 1, alarm
+        assert server.alerts[0].round_index == 1
+
+
+class TestCounterTagEnforcement:
+    def test_utrp_requires_counter_tags(self):
+        server, pop = _deploy(counter_tags=False)
+        with pytest.raises(RuntimeError):
+            server.check_utrp(SlottedChannel(pop.tags))
+
+    def test_plain_deployment_trp_works(self):
+        server, pop = _deploy(counter_tags=False)
+        assert server.check_trp(SlottedChannel(pop.tags)).intact
+
+
+class TestParameterPassThrough:
+    def test_utrp_timer_override(self):
+        server, pop = _deploy()
+        report = server.check_utrp(SlottedChannel(pop.tags), timer=1e-9)
+        assert report.result.verdict.value == "rejected-late"
+
+    def test_utrp_frame_override(self):
+        server, pop = _deploy()
+        report = server.check_utrp(SlottedChannel(pop.tags), frame_size=150)
+        assert report.challenge.frame_size == 150
+
+    def test_trp_frame_override(self):
+        server, pop = _deploy()
+        report = server.check_trp(SlottedChannel(pop.tags), frame_size=222)
+        assert report.challenge.frame_size == 222
+
+
+class TestGroupedThresholdPolicies:
+    def test_per_group_policy_suppresses_small_losses(self):
+        from repro.core.estimation import ThresholdAlarmPolicy
+        from repro.core.groups import GroupedMonitor
+
+        rng = np.random.default_rng(31)
+        monitor = GroupedMonitor(rng=rng)
+        pop = TagPopulation.create(300, uses_counter=True, rng=rng)
+        monitor.add_group(
+            "tolerant",
+            MonitorRequirement(population=300, tolerance=15, confidence=0.95),
+            pop.ids.tolist(),
+            alarm_policy=ThresholdAlarmPolicy(tolerance=15),
+        )
+        pop.remove_random(2, rng)  # well under tolerance
+        report = monitor.sweep({"tolerant": SlottedChannel(pop.tags)})
+        assert report.all_intact  # the policy kept the pager quiet

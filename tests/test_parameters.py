@@ -1,0 +1,48 @@
+"""Unit tests for repro.core.parameters."""
+
+import pytest
+
+from repro.core.parameters import MonitorRequirement
+
+
+class TestValidation:
+    def test_valid(self):
+        req = MonitorRequirement(population=100, tolerance=5, confidence=0.95)
+        assert req.population == 100
+
+    def test_population_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MonitorRequirement(population=0, tolerance=0, confidence=0.9)
+
+    def test_tolerance_below_population(self):
+        with pytest.raises(ValueError):
+            MonitorRequirement(population=10, tolerance=10, confidence=0.9)
+
+    def test_tolerance_non_negative(self):
+        with pytest.raises(ValueError):
+            MonitorRequirement(population=10, tolerance=-1, confidence=0.9)
+
+    def test_confidence_open_interval(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                MonitorRequirement(population=10, tolerance=1, confidence=bad)
+
+    def test_zero_tolerance_allowed(self):
+        req = MonitorRequirement(population=10, tolerance=0, confidence=0.99)
+        assert req.critical_missing == 1
+
+
+class TestDerived:
+    def test_critical_missing(self):
+        req = MonitorRequirement(population=100, tolerance=7, confidence=0.95)
+        assert req.critical_missing == 8
+
+    def test_describe_mentions_parameters(self):
+        req = MonitorRequirement(population=100, tolerance=7, confidence=0.95)
+        text = req.describe()
+        assert "100" in text and "7" in text and "0.95" in text
+
+    def test_frozen(self):
+        req = MonitorRequirement(population=100, tolerance=7, confidence=0.95)
+        with pytest.raises(AttributeError):
+            req.population = 5

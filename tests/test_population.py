@@ -1,0 +1,111 @@
+"""Unit tests for repro.rfid.population — the physical set T*."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.population import TagPopulation
+from repro.rfid.tag import Tag
+
+
+class TestCreation:
+    def test_create_size(self, rng):
+        assert len(TagPopulation.create(25, rng=rng)) == 25
+
+    def test_create_unique_ids(self, rng):
+        pop = TagPopulation.create(500, rng=rng)
+        assert len(np.unique(pop.ids)) == 500
+
+    def test_create_counter_flag(self, rng):
+        pop = TagPopulation.create(5, uses_counter=True, rng=rng)
+        assert all(t.uses_counter for t in pop)
+
+    def test_create_sequential(self, rng):
+        pop = TagPopulation.create(5, rng=rng, sequential=True)
+        assert pop.ids.tolist() == [0, 1, 2, 3, 4]
+
+    def test_create_zero(self, rng):
+        assert len(TagPopulation.create(0, rng=rng)) == 0
+
+    def test_create_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TagPopulation.create(-1, rng=rng)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TagPopulation([Tag(1), Tag(1)])
+
+
+class TestLookup:
+    def test_get_present(self, rng):
+        pop = TagPopulation.create(5, rng=rng, sequential=True)
+        assert pop.get(3).tag_id == 3
+
+    def test_get_absent(self, rng):
+        pop = TagPopulation.create(5, rng=rng, sequential=True)
+        with pytest.raises(KeyError):
+            pop.get(99)
+
+    def test_iteration_yields_tags(self, rng):
+        pop = TagPopulation.create(3, rng=rng)
+        assert all(isinstance(t, Tag) for t in pop)
+
+
+class TestRemoval:
+    def test_remove_specific(self, rng):
+        pop = TagPopulation.create(5, rng=rng, sequential=True)
+        taken = pop.remove([1, 3])
+        assert sorted(taken.ids.tolist()) == [1, 3]
+        assert sorted(pop.ids.tolist()) == [0, 2, 4]
+
+    def test_remove_absent_raises_and_leaves_intact(self, rng):
+        pop = TagPopulation.create(5, rng=rng, sequential=True)
+        with pytest.raises(KeyError):
+            pop.remove([1, 99])
+        assert len(pop) == 5
+
+    def test_remove_random_count(self, rng):
+        pop = TagPopulation.create(20, rng=rng)
+        stolen = pop.remove_random(6, rng)
+        assert len(stolen) == 6 and len(pop) == 14
+
+    def test_remove_random_disjoint(self, rng):
+        pop = TagPopulation.create(20, rng=rng)
+        stolen = pop.remove_random(6, rng)
+        assert not set(stolen.ids.tolist()) & set(pop.ids.tolist())
+
+    def test_remove_random_too_many(self, rng):
+        pop = TagPopulation.create(3, rng=rng)
+        with pytest.raises(ValueError):
+            pop.remove_random(4, rng)
+
+    def test_remove_random_is_random(self):
+        pop_ids = []
+        for seed in range(2):
+            pop = TagPopulation.create(50, rng=np.random.default_rng(0))
+            stolen = pop.remove_random(5, np.random.default_rng(seed))
+            pop_ids.append(tuple(sorted(stolen.ids.tolist())))
+        assert pop_ids[0] != pop_ids[1]
+
+
+class TestSplit:
+    def test_split_sizes(self, rng):
+        pop = TagPopulation.create(10, rng=rng)
+        a, b = pop.split(4)
+        assert len(a) == 4 and len(b) == 6
+        assert len(pop) == 0  # the original is fully consumed
+
+    def test_split_partition(self, rng):
+        pop = TagPopulation.create(10, rng=rng)
+        all_ids = set(pop.ids.tolist())
+        a, b = pop.split(4)
+        assert set(a.ids.tolist()) | set(b.ids.tolist()) == all_ids
+
+    def test_split_bounds(self, rng):
+        pop = TagPopulation.create(5, rng=rng)
+        with pytest.raises(ValueError):
+            pop.split(6)
+
+    def test_split_zero(self, rng):
+        pop = TagPopulation.create(5, rng=rng)
+        a, b = pop.split(0)
+        assert len(a) == 0 and len(b) == 5

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import detection_probability
+from repro.rfid.bitstring import bitwise_or, differing_slots, from_slots
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.hashing import MASK64, slot_for_tag, slots_for_tags, splitmix64
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import TrustedReader
+from repro.server.verifier import expected_trp_bitstring, expected_utrp_bitstring
+from repro.simulation.metrics import wilson_interval
+
+ids_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << 62)), min_size=1, max_size=40,
+    unique=True,
+)
+
+
+class TestHashProperties:
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_splitmix_stays_in_range(self, value):
+        assert 0 <= splitmix64(value) <= MASK64
+
+    @given(
+        st.integers(min_value=0, max_value=MASK64),
+        st.integers(min_value=0, max_value=MASK64),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_slot_in_frame(self, tag_id, seed, frame):
+        assert 0 <= slot_for_tag(tag_id, seed, frame) < frame
+
+    @given(ids_strategy, st.integers(min_value=0, max_value=MASK64),
+           st.integers(min_value=1, max_value=500))
+    def test_vector_scalar_agreement(self, ids, seed, frame):
+        arr = np.array(ids, dtype=np.uint64)
+        vec = slots_for_tags(arr, seed, frame)
+        for tid, s in zip(ids, vec.tolist()):
+            assert slot_for_tag(tid, seed, frame) == s
+
+
+class TestBitstringProperties:
+    slots_lists = st.lists(st.integers(min_value=0, max_value=29), max_size=30)
+
+    @given(slots_lists, slots_lists)
+    def test_or_commutative(self, a, b):
+        x, y = from_slots(30, a), from_slots(30, b)
+        assert np.array_equal(bitwise_or(x, y), bitwise_or(y, x))
+
+    @given(slots_lists, slots_lists)
+    def test_differing_slots_symmetric(self, a, b):
+        x, y = from_slots(30, a), from_slots(30, b)
+        assert differing_slots(x, y) == differing_slots(y, x)
+
+    @given(slots_lists)
+    def test_or_identity(self, a):
+        x = from_slots(30, a)
+        zero = from_slots(30, [])
+        assert np.array_equal(bitwise_or(x, zero), x)
+
+
+class TestDetectionProbabilityProperties:
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_in_unit_interval(self, n, x, f):
+        x = min(x, n)
+        g = detection_probability(n, x, f)
+        assert 0.0 <= g <= 1.0
+
+    @given(
+        st.integers(min_value=3, max_value=200),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_lemma1_random_spots(self, n, f):
+        """g is non-decreasing in x at arbitrary (n, f)."""
+        xs = sorted({1, n // 2 or 1, n})
+        values = [detection_probability(n, x, f) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestProtocolInvariants:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ids_strategy, st.integers(min_value=0, max_value=(1 << 62)),
+           st.integers(min_value=1, max_value=120))
+    def test_trp_honest_scan_always_verifies(self, ids, seed, frame):
+        """THE core soundness property: an intact set always verifies."""
+        pop = TagPopulation([__import__("repro.rfid.tag", fromlist=["Tag"]).Tag(i)
+                             for i in ids])
+        scan = TrustedReader().scan_trp(SlottedChannel(pop.tags), frame, seed)
+        pred = expected_trp_bitstring(np.array(ids, dtype=np.uint64), frame, seed)
+        assert np.array_equal(scan.bitstring, pred)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ids_strategy, st.integers(min_value=0, max_value=1000))
+    def test_utrp_honest_scan_always_verifies(self, ids, seed_base):
+        from repro.rfid.tag import Tag
+
+        frame = max(4, 2 * len(ids))
+        pop = TagPopulation([Tag(i, uses_counter=True) for i in ids])
+        seeds = [seed_base + 31 * k for k in range(frame)]
+        scan = TrustedReader().scan_utrp(SlottedChannel(pop.tags), frame, seeds)
+        pred = expected_utrp_bitstring(
+            np.array(ids, dtype=np.uint64),
+            np.zeros(len(ids), dtype=np.int64),
+            frame,
+            seeds,
+        )
+        assert np.array_equal(scan.bitstring, pred.bitstring)
+        assert pred.counters.tolist() == [t.counter for t in pop.tags]
+
+
+class TestWilsonProperties:
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=1, max_value=500))
+    def test_interval_valid(self, successes, trials):
+        successes = min(successes, trials)
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= successes / trials <= hi <= 1.0

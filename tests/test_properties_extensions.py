@@ -1,0 +1,115 @@
+"""Property-based tests over the extension modules."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import (
+    estimate_missing_count,
+    expected_mismatch_slots,
+)
+from repro.core.identification import identification_probability
+from repro.core.rounds import repeated_detection_probability
+from repro.aloha.tree_splitting import simulate_tree_splitting
+from repro.experiments.report import render_bar, render_table
+
+
+class TestEstimationProperties:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_expected_mismatches_bounded_by_x_and_f(self, n, x, f):
+        x = min(x, n)
+        val = expected_mismatch_slots(n, x, f)
+        assert 0.0 <= val <= min(x, f) + 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=400),
+        st.integers(min_value=1, max_value=2000),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_estimate_monotone_and_bounded(self, n, f, mism):
+        lo = estimate_missing_count(mism, n, f)
+        hi = estimate_missing_count(mism + 1, n, f)
+        assert 0.0 <= lo <= hi <= n
+
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=10, max_value=800),
+    )
+    def test_estimator_inverts_its_forward_model(self, n, x, f):
+        x = min(x, n)
+        forward = expected_mismatch_slots(n, x, f)
+        if 1.0 <= forward < expected_mismatch_slots(n, n, f):
+            back = estimate_missing_count(int(round(forward)), n, f)
+            # Rounding the forward value costs at most the local slope.
+            assert abs(back - x) <= max(4.0, 0.35 * x)
+
+
+class TestRoundsProperties:
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_repeated_probability_valid_and_monotone(self, n, x, f, r):
+        x = min(x, n)
+        p_r = repeated_detection_probability(n, x, f, r)
+        p_r1 = repeated_detection_probability(n, x, f, r + 1)
+        assert 0.0 <= p_r <= p_r1 <= 1.0
+
+
+class TestIdentificationProperties:
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=800),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_probability_valid_and_monotone_in_rounds(self, n, x, f, r):
+        x = min(x, n)
+        p = identification_probability(n, x, f, r)
+        p_next = identification_probability(n, x, f, r + 1)
+        assert 0.0 <= p <= p_next <= 1.0
+
+
+class TestTreeSplittingProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 62)),
+            min_size=0,
+            max_size=60,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=1 << 30),
+    )
+    def test_always_collects_exactly_the_population(self, ids, seed):
+        arr = np.array(ids, dtype=np.uint64)
+        result = simulate_tree_splitting(arr, np.random.default_rng(seed))
+        assert sorted(result.collected_ids) == sorted(ids)
+        assert result.total_slots >= max(1, len(ids))
+
+
+class TestReportProperties:
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False))
+    def test_bar_width_fixed(self, value):
+        bar = render_bar(value, 0.0, 1.0, width=12)
+        assert len(bar) == 12
+        assert set(bar) <= {"#", "."}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-10**6, 10**6), st.floats(0, 1, allow_nan=False)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_table_row_count(self, pairs):
+        text = render_table(["a", "b"], pairs)
+        assert len(text.splitlines()) == 2 + len(pairs)

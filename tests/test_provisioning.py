@@ -1,0 +1,103 @@
+"""Tests for repro.server.provisioning — pre-issued challenge books."""
+
+import numpy as np
+import pytest
+
+from repro.server.provisioning import BookVerifier, ChallengeBook
+from repro.server.seeds import SeedIssuer
+
+
+def _issue(count=5, frame=40, seed=0):
+    issuer = SeedIssuer(np.random.default_rng(seed))
+    return BookVerifier.issue(issuer, frame, count)
+
+
+class TestChallengeBook:
+    def test_consumes_in_order(self):
+        book, verifier = _issue()
+        first = book.next_challenge()
+        second = book.next_challenge()
+        assert first == verifier.challenges[0]
+        assert second == verifier.challenges[1]
+
+    def test_remaining_and_exhaustion(self):
+        book, _ = _issue(count=2)
+        assert book.remaining == 2 and not book.exhausted
+        book.next_challenge()
+        book.next_challenge()
+        assert book.exhausted
+        with pytest.raises(IndexError):
+            book.next_challenge()
+
+    def test_peek_index(self):
+        book, _ = _issue()
+        assert book.peek_index() == 0
+        book.next_challenge()
+        assert book.peek_index() == 1
+
+    def test_empty_book_rejected(self):
+        with pytest.raises(ValueError):
+            ChallengeBook([])
+
+
+class TestBookVerifier:
+    def test_accepts_in_order(self):
+        book, verifier = _issue()
+        for i in range(3):
+            challenge = book.next_challenge()
+            assert verifier.accept(i) == challenge
+
+    def test_rejects_replayed_index(self):
+        _, verifier = _issue()
+        verifier.accept(0)
+        with pytest.raises(ValueError):
+            verifier.accept(0)
+
+    def test_rejects_skipped_index(self):
+        _, verifier = _issue()
+        with pytest.raises(ValueError):
+            verifier.accept(2)
+
+    def test_remaining(self):
+        _, verifier = _issue(count=4)
+        verifier.accept(0)
+        assert verifier.remaining == 3
+
+    def test_issue_validation(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            BookVerifier.issue(issuer, 40, 0)
+        with pytest.raises(ValueError):
+            BookVerifier.issue(issuer, 0, 3)
+
+    def test_challenges_all_distinct_seeds(self):
+        _, verifier = _issue(count=50)
+        seeds = {c.seed for c in verifier.challenges}
+        assert len(seeds) == 50
+
+
+class TestEndToEnd:
+    def test_offline_reader_round_trip(self):
+        """A disconnected reader works through its book; the server
+        verifies each scan against the mirrored challenge."""
+        from repro.rfid.channel import SlottedChannel
+        from repro.rfid.population import TagPopulation
+        from repro.rfid.reader import TrustedReader
+        from repro.server.verifier import expected_trp_bitstring
+
+        rng = np.random.default_rng(3)
+        pop = TagPopulation.create(30, rng=rng)
+        issuer = SeedIssuer(rng)
+        book, verifier = BookVerifier.issue(issuer, 45, 4)
+        reader = TrustedReader()
+
+        for i in range(4):
+            challenge = book.next_challenge()
+            scan = reader.scan_trp(
+                SlottedChannel(pop.tags), challenge.frame_size, challenge.seed
+            )
+            accepted = verifier.accept(i)
+            expected = expected_trp_bitstring(
+                pop.ids, accepted.frame_size, accepted.seed
+            )
+            assert (scan.bitstring == expected).all()

@@ -1,0 +1,95 @@
+"""Unit tests for repro.rfid.reader — honest scan procedures."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.hashing import slots_for_tags
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import TrustedReader
+from repro.server.verifier import expected_utrp_bitstring
+
+
+class TestScanTrp:
+    def test_bitstring_matches_direct_hash(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        channel = SlottedChannel(pop.tags)
+        scan = TrustedReader().scan_trp(channel, 40, 1234)
+        expected_slots = set(slots_for_tags(pop.ids, 1234, 40).tolist())
+        assert set(np.nonzero(scan.bitstring)[0].tolist()) == expected_slots
+
+    def test_slots_and_seeds_accounting(self, rng):
+        pop = TagPopulation.create(10, rng=rng)
+        scan = TrustedReader().scan_trp(SlottedChannel(pop.tags), 25, 7)
+        assert scan.slots_used == 25
+        assert scan.seeds_used == 1
+
+    def test_empty_population_all_zero(self):
+        scan = TrustedReader().scan_trp(SlottedChannel([]), 12, 7)
+        assert scan.bitstring.sum() == 0
+
+    def test_rescans_power_cycle_tags(self, rng):
+        """A second scan must see every tag again, not leftover silence."""
+        pop = TagPopulation.create(20, rng=rng)
+        channel = SlottedChannel(pop.tags)
+        reader = TrustedReader()
+        first = reader.scan_trp(channel, 30, 1)
+        second = reader.scan_trp(channel, 30, 1)
+        assert np.array_equal(first.bitstring, second.bitstring)
+
+    def test_ones_bounded_by_population(self, rng):
+        pop = TagPopulation.create(15, rng=rng)
+        scan = TrustedReader().scan_trp(SlottedChannel(pop.tags), 100, 99)
+        assert 1 <= scan.bitstring.sum() <= 15
+
+
+class TestScanUtrp:
+    def _scan(self, n, f, seed_base=0, rng_seed=1):
+        rng = np.random.default_rng(rng_seed)
+        pop = TagPopulation.create(n, uses_counter=True, rng=rng)
+        channel = SlottedChannel(pop.tags)
+        seeds = [seed_base + i for i in range(f)]
+        scan = TrustedReader().scan_utrp(channel, f, seeds)
+        return pop, scan, seeds
+
+    def test_matches_verifier_prediction(self):
+        pop, scan, seeds = self._scan(20, 50)
+        pred = expected_utrp_bitstring(
+            pop.ids, np.zeros(len(pop), dtype=np.int64), 50, seeds
+        )
+        assert np.array_equal(scan.bitstring, pred.bitstring)
+
+    def test_counters_match_verifier(self):
+        pop, scan, seeds = self._scan(20, 50)
+        pred = expected_utrp_bitstring(
+            pop.ids, np.zeros(len(pop), dtype=np.int64), 50, seeds
+        )
+        assert [t.counter for t in pop.tags] == pred.counters.tolist()
+
+    def test_seed_usage_one_plus_occupied_unless_last(self):
+        pop, scan, _ = self._scan(25, 60)
+        ones = int(scan.bitstring.sum())
+        expected = 1 + ones - (1 if scan.bitstring[-1] else 0)
+        assert scan.seeds_used == expected
+
+    def test_requires_enough_seeds(self):
+        pop = TagPopulation.create(3, uses_counter=True, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            TrustedReader().scan_utrp(SlottedChannel(pop.tags), 10, [1, 2])
+
+    def test_every_tag_replies_exactly_once(self):
+        """All n tags are accounted for: total repliers equals n."""
+        rng = np.random.default_rng(5)
+        pop = TagPopulation.create(30, uses_counter=True, rng=rng)
+        channel = SlottedChannel(pop.tags)
+        TrustedReader().scan_utrp(channel, 80, list(range(80)))
+        occupied = channel.stats.singleton_slots + channel.stats.collision_slots
+        assert occupied == int(
+            np.sum([1 for t in pop.tags if t.state.value == "silent"]) > 0
+        ) * occupied
+        assert all(t.state.value == "silent" for t in pop.tags)
+
+    def test_empty_population(self):
+        scan = TrustedReader().scan_utrp(SlottedChannel([]), 10, list(range(10)))
+        assert scan.bitstring.sum() == 0
+        assert scan.seeds_used == 1

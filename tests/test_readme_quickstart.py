@@ -1,0 +1,38 @@
+"""The README's quickstart must execute exactly as printed."""
+
+import os
+import re
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+
+def _python_blocks(markdown: str):
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block_runs_verbatim(self):
+        readme = open(os.path.join(REPO, "README.md")).read()
+        blocks = _python_blocks(readme)
+        assert blocks, "README lost its quickstart code block"
+        # The first python block is the quickstart; it ends with asserts
+        # of its own, so a clean exec is the test.
+        namespace = {}
+        exec(compile(blocks[0], "README.md:quickstart", "exec"), namespace)
+        assert "server" in namespace and "report" in namespace
+
+    def test_module_docstring_example_runs(self):
+        import repro
+
+        doc = repro.__doc__
+        # Extract the indented example from the package docstring.
+        lines = [
+            line[4:]
+            for line in doc.splitlines()
+            if line.startswith("    ") or line.strip() == ""
+        ]
+        snippet = "\n".join(lines).strip()
+        assert "MonitoringServer" in snippet
+        namespace = {}
+        exec(compile(snippet, "repro.__doc__:example", "exec"), namespace)
+        assert namespace["report"].intact

@@ -1,0 +1,87 @@
+"""Regression baselines: figure outputs pinned against committed CSVs.
+
+Every experiment is seeded, so its output is a pure function of the
+code. These tests regenerate each figure on a small fixed grid and
+compare against baselines committed under ``tests/baselines/``:
+
+* Fig. 6 is analytic — it must match **exactly**;
+* Fig. 4 is seeded Monte Carlo — exact match too (same seeds, same
+  kernels), which is precisely what makes unintended kernel changes
+  visible;
+* Figs. 5 and 7 likewise (seeded), compared exactly on their rates.
+
+To *intentionally* change behaviour, regenerate with
+``python tests/test_regression_baselines.py --regenerate`` and review
+the CSV diff like any other code change.
+"""
+
+import io
+import os
+import sys
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7
+from repro.experiments.export import figure_rows, rows_to_csv
+from repro.experiments.grid import ExperimentGrid
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+#: Small but non-trivial fixed grid; changing it invalidates baselines.
+GRID = ExperimentGrid(
+    populations=(100, 400),
+    tolerances=(5, 20),
+    alpha=0.95,
+    trials=40,
+    cost_trials=3,
+    comm_budget=20,
+    master_seed=424242,
+)
+
+FIGS = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+
+def _current_csv(name: str) -> str:
+    module = FIGS[name]
+    headers, rows = figure_rows(module.run(GRID))
+    return rows_to_csv(headers, rows)
+
+
+def _baseline_path(name: str) -> str:
+    return os.path.join(BASELINE_DIR, f"{name}.csv")
+
+
+@pytest.mark.parametrize("name", sorted(FIGS))
+def test_figure_matches_baseline(name):
+    path = _baseline_path(name)
+    assert os.path.isfile(path), (
+        f"missing baseline {path}; generate with "
+        f"`python {__file__} --regenerate`"
+    )
+    expected = open(path).read()
+    actual = _current_csv(name)
+    assert actual == expected, (
+        f"{name} output drifted from its baseline — if intentional, "
+        f"regenerate baselines and review the diff"
+    )
+
+
+def _regenerate():
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    for name in sorted(FIGS):
+        path = _baseline_path(name)
+        with open(path, "w") as fh:
+            fh.write(_current_csv(name))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

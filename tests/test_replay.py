@@ -1,0 +1,76 @@
+"""Tests for repro.adversary.replay — the recorded-bitstring attack."""
+
+import numpy as np
+
+from repro.adversary.replay import ReplayAttacker
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.server.verifier import expected_trp_bitstring
+
+
+def _setup(n=40, seed=1):
+    rng = np.random.default_rng(seed)
+    pop = TagPopulation.create(n, rng=rng)
+    return pop, SlottedChannel(pop.tags)
+
+
+class TestRecording:
+    def test_record_returns_honest_scan(self):
+        pop, channel = _setup()
+        attacker = ReplayAttacker()
+        scan = attacker.record(channel, 60, 12345)
+        assert np.array_equal(
+            scan.bitstring, expected_trp_bitstring(pop.ids, 60, 12345)
+        )
+        assert attacker.recorded_challenges == 1
+
+
+class TestReplaySuccess:
+    def test_replay_beats_seed_reuse(self):
+        """If the server reuses (f, r), the stale recording verifies even
+        after a theft — the vulnerability of Sec. 5.1."""
+        pop, channel = _setup()
+        original_ids = pop.ids.copy()
+        attacker = ReplayAttacker()
+        attacker.record(channel, 60, 777)
+        pop.remove_random(10, np.random.default_rng(2))
+        replayed = attacker.replay(60, 777)
+        # The server reusing the same (f, r) would predict the original
+        # set's bitstring — which the replay matches exactly.
+        reused_expected = expected_trp_bitstring(original_ids, 60, 777)
+        assert np.array_equal(replayed.bitstring, reused_expected)
+
+
+class TestReplayFailure:
+    def test_fresh_seed_defeats_replay(self):
+        """With a fresh r the stale bitstring (almost surely) mismatches —
+        the paper's counter-measure."""
+        pop, channel = _setup()
+        attacker = ReplayAttacker()
+        attacker.record(channel, 60, 777)
+        fresh_expected = expected_trp_bitstring(pop.ids, 60, 778)
+        replayed = attacker.replay(60, 778)  # best effort: stale bitstring
+        assert replayed is not None
+        assert not np.array_equal(replayed.bitstring, fresh_expected)
+
+    def test_nothing_recorded_returns_none(self):
+        attacker = ReplayAttacker()
+        assert attacker.replay(60, 1) is None
+
+    def test_wrong_frame_size_returns_none(self):
+        pop, channel = _setup()
+        attacker = ReplayAttacker()
+        attacker.record(channel, 60, 777)
+        assert attacker.replay(61, 777) is None
+
+    def test_fresh_seed_defeat_rate_is_high(self):
+        """Across many fresh seeds, replay essentially never verifies."""
+        pop, channel = _setup()
+        attacker = ReplayAttacker()
+        attacker.record(channel, 80, 0)
+        hits = 0
+        for seed in range(1, 101):
+            expected = expected_trp_bitstring(pop.ids, 80, seed)
+            if np.array_equal(attacker.replay(80, seed).bitstring, expected):
+                hits += 1
+        assert hits == 0

@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.report — text rendering."""
+
+import pytest
+
+from repro.experiments.report import render_bar, render_series, render_table
+
+
+class TestTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [(1, 2), (30, 40)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        text = render_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(0.123456,)])
+        assert "0.1235" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_alignment(self):
+        text = render_table(["num"], [(5,), (500,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("5") and rows[1].endswith("500")
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert render_bar(1.0, 0.0, 1.0, width=10) == "#" * 10
+        assert render_bar(0.0, 0.0, 1.0, width=10) == "." * 10
+
+    def test_midpoint(self):
+        bar = render_bar(0.5, 0.0, 1.0, width=10)
+        assert bar.count("#") == 5
+
+    def test_clipping(self):
+        assert render_bar(2.0, 0.0, 1.0, width=4) == "####"
+        assert render_bar(-1.0, 0.0, 1.0, width=4) == "...."
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bar(0.5, 1.0, 1.0)
+
+
+class TestSeries:
+    def test_one_line_per_value(self):
+        text = render_series([100, 200], [0.95, 0.96], 0.9, 1.0)
+        assert len(text.splitlines()) == 2
+
+    def test_title_line(self):
+        text = render_series([1], [0.5], 0.0, 1.0, title="panel")
+        assert text.splitlines()[0] == "panel"
+
+    def test_values_printed(self):
+        text = render_series([1], [0.9512], 0.9, 1.0)
+        assert "0.9512" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1, 2], [0.5], 0.0, 1.0)

@@ -1,0 +1,56 @@
+"""Tests for repro.simulation.rng — seeding discipline."""
+
+import numpy as np
+
+from repro.simulation.rng import derive_seed, generator_for_trial, spawn_generators
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn_generators(1, 5)) == 5
+
+    def test_reproducible(self):
+        a = [g.integers(0, 100) for g in spawn_generators(42, 3)]
+        b = [g.integers(0, 100) for g in spawn_generators(42, 3)]
+        assert a == b
+
+    def test_streams_differ(self):
+        draws = [g.integers(0, 1 << 62) for g in spawn_generators(42, 10)]
+        assert len(set(int(d) for d in draws)) == 10
+
+    def test_zero(self):
+        assert spawn_generators(1, 0) == []
+
+    def test_negative_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+
+class TestGeneratorForTrial:
+    def test_matches_spawned_stream(self):
+        spawned = spawn_generators(7, 5)[3].integers(0, 1 << 62)
+        direct = generator_for_trial(7, 3).integers(0, 1 << 62)
+        assert int(spawned) == int(direct)
+
+    def test_negative_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            generator_for_trial(7, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_coordinates_matter(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+
+    def test_master_matters(self):
+        assert derive_seed(1, 2) != derive_seed(2, 2)
+
+    def test_fits_in_62_bits(self):
+        for coords in [(0,), (1, 2), (9, 9, 9)]:
+            assert 0 <= derive_seed(5, *coords) < (1 << 62)

@@ -1,0 +1,145 @@
+"""Failure-injection tests: malformed inputs and hostile edge cases.
+
+Verifies the library degrades loudly and safely — wrong-length proofs,
+garbage bitstrings, desynchronised counters, exhausted books — rather
+than silently accepting or crashing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import MonitoringServer
+from repro.core.parameters import MonitorRequirement
+from repro.core.verification import Verdict
+from repro.rfid.bitstring import empty_bitstring
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import ScanResult
+
+
+def _deploy(n=50, m=3, seed=0):
+    rng = np.random.default_rng(seed)
+    req = MonitorRequirement(population=n, tolerance=m, confidence=0.95)
+    pop = TagPopulation.create(n, uses_counter=True, rng=rng)
+    server = MonitoringServer(req, rng=rng, counter_tags=True)
+    server.register(pop.ids.tolist())
+    return server, pop
+
+
+class TestMalformedProofs:
+    def test_wrong_length_bitstring_rejected(self):
+        server, pop = _deploy()
+
+        def truncated(challenge):
+            return (
+                ScanResult(
+                    bitstring=empty_bitstring(challenge.frame_size - 3),
+                    slots_used=0,
+                    seeds_used=0,
+                ),
+                0.0,
+            )
+
+        report = server.check_utrp(SlottedChannel(pop.tags), scan_fn=truncated)
+        assert report.result.verdict is Verdict.REJECTED_MALFORMED
+        assert len(server.alerts) == 1
+
+    def test_all_ones_bitstring_rejected(self):
+        """Claiming every slot occupied cannot pass: the server expects
+        specific empties."""
+        server, pop = _deploy()
+
+        def all_ones(challenge):
+            bs = empty_bitstring(challenge.frame_size)
+            bs[:] = 1
+            return ScanResult(bitstring=bs, slots_used=0, seeds_used=0), 0.0
+
+        report = server.check_utrp(SlottedChannel(pop.tags), scan_fn=all_ones)
+        assert report.result.verdict is Verdict.NOT_INTACT
+
+    def test_random_bitstring_rejected(self):
+        server, pop = _deploy()
+        rng = np.random.default_rng(9)
+
+        def noise(challenge):
+            bs = rng.integers(0, 2, size=challenge.frame_size).astype(np.uint8)
+            return ScanResult(bitstring=bs, slots_used=0, seeds_used=0), 0.0
+
+        report = server.check_utrp(SlottedChannel(pop.tags), scan_fn=noise)
+        assert not report.intact
+
+    def test_late_and_wrong_rejected_as_late(self):
+        """Timer enforcement runs first: a garbage proof that is also
+        late is rejected for lateness (no content oracle leaks)."""
+        server, pop = _deploy()
+
+        def late_garbage(challenge):
+            return (
+                ScanResult(
+                    bitstring=empty_bitstring(challenge.frame_size),
+                    slots_used=0,
+                    seeds_used=0,
+                ),
+                challenge.timer + 1.0,
+            )
+
+        report = server.check_utrp(
+            SlottedChannel(pop.tags), scan_fn=late_garbage
+        )
+        assert report.result.verdict is Verdict.REJECTED_LATE
+
+
+class TestCounterDesync:
+    def test_out_of_band_scan_breaks_utrp(self):
+        """A foreign reader seeding the tags desynchronises the mirror;
+        the next UTRP round must fail loudly, not falsely verify."""
+        server, pop = _deploy()
+        channel = SlottedChannel(pop.tags)
+        assert server.check_utrp(channel).intact
+        # A rogue inventory gun sweeps the shelf:
+        channel.broadcast_seed(64, 0xBAD5EED)
+        report = server.check_utrp(channel)
+        assert not report.intact
+
+    def test_mirror_resync_recovers(self):
+        server, pop = _deploy()
+        channel = SlottedChannel(pop.tags)
+        channel.broadcast_seed(64, 0xBAD5EED)  # desync before first round
+        assert not server.check_utrp(channel).intact
+        # Operator re-provisions: align the mirror with ground truth.
+        server.database.set_counters(
+            np.array([t.counter for t in pop.tags], dtype=np.int64)
+        )
+        assert server.check_utrp(channel).intact
+
+
+class TestHostileInputs:
+    def test_population_of_one(self):
+        server, pop = _deploy(n=2, m=0)
+        assert server.check_trp(SlottedChannel(pop.tags)).intact
+
+    def test_huge_tolerance_tiny_frame(self):
+        rng = np.random.default_rng(2)
+        req = MonitorRequirement(population=100, tolerance=98, confidence=0.95)
+        pop = TagPopulation.create(100, uses_counter=True, rng=rng)
+        server = MonitoringServer(req, rng=rng, counter_tags=True)
+        server.register(pop.ids.tolist())
+        report = server.check_trp(SlottedChannel(pop.tags))
+        assert report.intact
+
+    def test_scan_of_someone_elses_tags(self):
+        """A channel full of unregistered tags must alarm (ghost
+        occupancy), not verify."""
+        server, _ = _deploy(n=50)
+        stranger_pop = TagPopulation.create(
+            50, uses_counter=True, rng=np.random.default_rng(77)
+        )
+        report = server.check_trp(SlottedChannel(stranger_pop.tags))
+        assert not report.intact
+
+    def test_empty_channel_scan(self):
+        """Everything stolen: maximal mismatch, certain detection."""
+        server, pop = _deploy(n=50)
+        report = server.check_trp(SlottedChannel([]))
+        assert not report.intact
+        assert report.scan.bitstring.sum() == 0

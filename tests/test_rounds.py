@@ -1,0 +1,93 @@
+"""Tests for repro.core.rounds — multi-round TRP planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import detection_probability, optimal_trp_frame_size
+from repro.core.rounds import (
+    optimal_repeated_frame_size,
+    plan_rounds,
+    repeated_detection_probability,
+)
+
+
+class TestRepeatedDetection:
+    def test_one_round_is_plain_g(self):
+        assert repeated_detection_probability(500, 11, 300, 1) == pytest.approx(
+            detection_probability(500, 11, 300)
+        )
+
+    def test_more_rounds_more_detection(self):
+        values = [
+            repeated_detection_probability(500, 11, 200, r) for r in (1, 2, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_compounding_formula(self):
+        g = detection_probability(500, 11, 200)
+        assert repeated_detection_probability(500, 11, 200, 3) == pytest.approx(
+            1 - (1 - g) ** 3
+        )
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            repeated_detection_probability(500, 11, 300, 0)
+
+    def test_matches_monte_carlo(self):
+        """Independence across rounds holds in the real protocol."""
+        from repro.simulation.fastpath import trp_trial_detected
+        from repro.rfid.ids import random_tag_ids
+
+        n, x, f, rounds = 200, 6, 150, 2
+        rng = np.random.default_rng(4)
+        hits = 0
+        trials = 3000
+        for _ in range(trials):
+            ids = random_tag_ids(n, rng)
+            mask = np.zeros(n, dtype=bool)
+            mask[rng.choice(n, x, replace=False)] = True
+            detected = any(
+                trp_trial_detected(ids, mask, f, int(rng.integers(0, 1 << 62)))
+                for _ in range(rounds)
+            )
+            hits += detected
+        mc = hits / trials
+        assert abs(mc - repeated_detection_probability(n, x, f, rounds)) < 0.02
+
+
+class TestOptimalRepeatedFrame:
+    def test_one_round_equals_eq2(self):
+        assert optimal_repeated_frame_size(500, 10, 0.95, 1) == (
+            optimal_trp_frame_size(500, 10, 0.95)
+        )
+
+    def test_satisfies_joint_constraint(self):
+        for r in (2, 3):
+            f = optimal_repeated_frame_size(500, 10, 0.95, r)
+            assert repeated_detection_probability(500, 11, f, r) > 0.95
+            assert repeated_detection_probability(500, 11, f - 1, r) <= 0.95
+
+    def test_per_round_frames_shrink(self):
+        frames = [optimal_repeated_frame_size(500, 10, 0.95, r) for r in (1, 2, 4)]
+        assert frames == sorted(frames, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_repeated_frame_size(500, 10, 0.95, 0)
+
+
+class TestPlans:
+    def test_plan_count(self):
+        assert len(plan_rounds(300, 5, 0.95, max_rounds=3)) == 3
+
+    def test_single_round_is_cheapest(self):
+        plans = plan_rounds(1000, 10, 0.95, max_rounds=4)
+        assert min(p.total_slots for p in plans) == plans[0].total_slots
+
+    def test_all_plans_clear_alpha(self):
+        for p in plan_rounds(300, 5, 0.95, max_rounds=3):
+            assert p.achieved_confidence > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_rounds(300, 5, 0.95, max_rounds=0)

@@ -1,0 +1,73 @@
+"""Tests for repro.simulation.runner — the Monte Carlo harness."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.runner import MonteCarloRunner
+
+
+class TestBooleanRuns:
+    def test_outcomes_and_summary(self):
+        runner = MonteCarloRunner(master_seed=1)
+        batch = runner.run_boolean(lambda g: bool(g.integers(0, 2)), trials=200)
+        assert batch.outcomes.shape == (200,)
+        assert batch.summary is not None
+        assert 0.3 < batch.summary.rate < 0.7
+
+    def test_reproducible(self):
+        a = MonteCarloRunner(5).run_boolean(lambda g: bool(g.integers(0, 2)), 50)
+        b = MonteCarloRunner(5).run_boolean(lambda g: bool(g.integers(0, 2)), 50)
+        assert np.array_equal(a.outcomes, b.outcomes)
+
+    def test_seed_changes_outcomes(self):
+        a = MonteCarloRunner(5).run_boolean(lambda g: bool(g.integers(0, 2)), 50)
+        b = MonteCarloRunner(6).run_boolean(lambda g: bool(g.integers(0, 2)), 50)
+        assert not np.array_equal(a.outcomes, b.outcomes)
+
+    def test_progress_callback(self):
+        calls = []
+        runner = MonteCarloRunner(1, progress=lambda d, t: calls.append((d, t)))
+        runner.run_boolean(lambda g: True, trials=5)
+        assert calls == [(i, 5) for i in range(1, 6)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(1).run_boolean(lambda g: True, 0)
+
+
+class TestNumericRuns:
+    def test_mean_and_std(self):
+        runner = MonteCarloRunner(3)
+        batch = runner.run_numeric(lambda g: float(g.normal(10, 1)), trials=500)
+        assert abs(batch.mean - 10) < 0.3
+        assert 0.7 < batch.std < 1.3
+        assert batch.summary is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(1).run_numeric(lambda g: 1.0, -3)
+
+
+class TestVectorisedRuns:
+    def test_boolean_kernel_summarised(self):
+        def kernel(trials, gen):
+            return gen.integers(0, 2, size=trials).astype(bool)
+
+        batch = MonteCarloRunner(2).run_vectorised(kernel, 100)
+        assert batch.summary is not None
+        assert batch.outcomes.shape == (100,)
+
+    def test_numeric_kernel_not_summarised(self):
+        def kernel(trials, gen):
+            return gen.normal(size=trials)
+
+        batch = MonteCarloRunner(2).run_vectorised(kernel, 10)
+        assert batch.summary is None
+
+    def test_shape_enforced(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(2).run_vectorised(lambda t, g: np.zeros(t + 1), 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(2).run_vectorised(lambda t, g: np.zeros(t), 0)

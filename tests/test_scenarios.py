@@ -1,0 +1,81 @@
+"""Tests for repro.simulation.scenarios — prebuilt deployments."""
+
+import numpy as np
+
+from repro.core.parameters import MonitorRequirement
+from repro.simulation.scenarios import deploy, deploy_with_collusion, deploy_with_theft
+
+
+def _req(n=50, m=3):
+    return MonitorRequirement(population=n, tolerance=m, confidence=0.95)
+
+
+class TestDeploy:
+    def test_intact_deployment_verifies(self):
+        d = deploy(_req(), np.random.default_rng(1))
+        assert d.server.check_trp(d.channel).intact
+        assert d.server.check_utrp(d.channel).intact
+
+    def test_population_matches_requirement(self):
+        d = deploy(_req(70, 5), np.random.default_rng(1))
+        assert len(d.population) == 70
+
+    def test_plain_tags_option(self):
+        d = deploy(_req(), np.random.default_rng(1), counter_tags=False)
+        assert not any(t.uses_counter for t in d.population)
+
+
+class TestDeployWithTheft:
+    def test_default_is_worst_case(self):
+        d = deploy_with_theft(_req(50, 3), np.random.default_rng(2))
+        assert d.theft is not None
+        assert d.theft.stolen_count == 4
+        assert len(d.population) == 46
+
+    def test_explicit_theft_size(self):
+        d = deploy_with_theft(_req(50, 3), np.random.default_rng(2), stolen=10)
+        assert d.theft.stolen_count == 10
+
+    def test_channel_excludes_stolen(self):
+        d = deploy_with_theft(_req(50, 3), np.random.default_rng(2))
+        channel_ids = {t.tag_id for t in d.channel.tags}
+        assert not channel_ids & set(d.theft.stolen.ids.tolist())
+
+    def test_big_theft_detected(self):
+        d = deploy_with_theft(_req(50, 3), np.random.default_rng(2), stolen=20)
+        assert not d.server.check_trp(d.channel).intact
+
+
+class TestDeployWithCollusion:
+    def test_pair_assembled(self):
+        d = deploy_with_collusion(_req(40, 3), np.random.default_rng(3))
+        assert d.collusion is not None
+        assert d.collusion.budget == 20
+
+    def test_custom_budget(self):
+        d = deploy_with_collusion(
+            _req(40, 3), np.random.default_rng(3), comm_budget=5
+        )
+        assert d.collusion.budget == 5
+        assert d.server.comm_budget == 5
+
+    def test_attack_round_trip(self):
+        """The colluding pair's forged proof goes through the server's
+        UTRP check via scan_fn; the verdict is a boolean either way."""
+        from repro.rfid.reader import ScanResult
+
+        d = deploy_with_collusion(_req(40, 3), np.random.default_rng(4))
+
+        def attack(challenge):
+            forged = d.collusion.scan(challenge.frame_size, list(challenge.seeds))
+            return (
+                ScanResult(
+                    bitstring=forged.bitstring,
+                    slots_used=challenge.frame_size,
+                    seeds_used=0,
+                ),
+                0.0,
+            )
+
+        report = d.server.check_utrp(d.channel, scan_fn=attack)
+        assert report.result.verdict.value in ("intact", "not-intact")

@@ -1,0 +1,70 @@
+"""Unit tests for repro.server.seeds — issuance and non-reuse."""
+
+import numpy as np
+import pytest
+
+from repro.server.seeds import SeedIssuer
+
+
+class TestTrpChallenges:
+    def test_fields(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        ch = issuer.trp_challenge(64)
+        assert ch.frame_size == 64
+        assert 0 <= ch.seed < (1 << 62)
+
+    def test_never_reuses_a_seed(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        seeds = {issuer.trp_challenge(10).seed for _ in range(2000)}
+        assert len(seeds) == 2000
+
+    def test_batch_issuance(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        batch = issuer.trp_challenge_batch(32, 50)
+        assert len(batch) == 50
+        assert len({c.seed for c in batch}) == 50
+        assert all(c.frame_size == 32 for c in batch)
+
+    def test_reproducible_given_rng(self):
+        a = SeedIssuer(np.random.default_rng(9)).trp_challenge(10).seed
+        b = SeedIssuer(np.random.default_rng(9)).trp_challenge(10).seed
+        assert a == b
+
+    def test_rejects_bad_frame(self):
+        with pytest.raises(ValueError):
+            SeedIssuer().trp_challenge(0)
+
+    def test_issued_count(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        issuer.trp_challenge(5)
+        issuer.trp_challenge_batch(5, 4)
+        assert issuer.issued_count == 5
+
+
+class TestUtrpChallenges:
+    def test_seed_list_length_equals_frame(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        ch = issuer.utrp_challenge(40, timer=100.0)
+        assert len(ch.seeds) == 40
+
+    def test_seed_list_all_distinct(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        ch = issuer.utrp_challenge(100, timer=100.0)
+        assert len(set(ch.seeds)) == 100
+
+    def test_distinct_across_challenges(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        a = issuer.utrp_challenge(30, timer=1.0)
+        b = issuer.utrp_challenge(30, timer=1.0)
+        assert not set(a.seeds) & set(b.seeds)
+
+    def test_timer_recorded(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        assert issuer.utrp_challenge(5, timer=77.0).timer == 77.0
+
+    def test_validation(self):
+        issuer = SeedIssuer()
+        with pytest.raises(ValueError):
+            issuer.utrp_challenge(0, timer=1.0)
+        with pytest.raises(ValueError):
+            issuer.utrp_challenge(5, timer=0.0)

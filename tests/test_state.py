@@ -1,0 +1,79 @@
+"""Tests for repro.server.state — persistence across restarts."""
+
+import numpy as np
+import pytest
+
+from repro.server.database import TagDatabase
+from repro.server.seeds import SeedIssuer
+from repro.server.state import export_state, import_state, load_state, save_state
+
+
+def _database(n=10, counters=None):
+    db = TagDatabase()
+    db.register_set(list(range(100, 100 + n)), labels=[f"item-{i}" for i in range(n)])
+    if counters is not None:
+        db.set_counters(np.asarray(counters))
+    return db
+
+
+class TestRoundTrip:
+    def test_ids_and_counters_survive(self):
+        db = _database(5, counters=[3, 1, 4, 1, 5])
+        restored, _ = import_state(export_state(db))
+        assert restored.ids.tolist() == db.ids.tolist()
+        assert restored.counters.tolist() == [3, 1, 4, 1, 5]
+
+    def test_labels_survive(self):
+        db = _database(3)
+        restored, _ = import_state(export_state(db))
+        assert restored.record(101).label == "item-1"
+
+    def test_issuer_history_survives(self):
+        db = _database()
+        issuer = SeedIssuer(np.random.default_rng(0))
+        seen = {issuer.trp_challenge(10).seed for _ in range(50)}
+        _, restored_issuer = import_state(export_state(db, issuer))
+        # The restored issuer must never re-issue a pre-restart seed.
+        fresh = {restored_issuer.trp_challenge(10).seed for _ in range(500)}
+        assert not (seen & fresh)
+
+    def test_document_is_json_clean(self):
+        import json
+
+        doc = export_state(_database(), SeedIssuer(np.random.default_rng(0)))
+        json.dumps(doc)  # must not raise
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        db = _database(4, counters=[7, 7, 7, 7])
+        path = str(tmp_path / "state.json")
+        save_state(path, db)
+        restored, _ = load_state(path)
+        assert restored.counters.tolist() == [7, 7, 7, 7]
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "state.json")
+        save_state(path, _database())
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestValidation:
+    def test_wrong_format(self):
+        with pytest.raises(ValueError):
+            import_state({"format": "something-else", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(ValueError):
+            import_state({"format": "repro-rfid-server-state", "version": 99})
+
+    def test_missing_tags(self):
+        with pytest.raises(ValueError):
+            import_state({"format": "repro-rfid-server-state", "version": 1})
+
+    def test_restored_database_is_sealed(self):
+        restored, _ = import_state(export_state(_database()))
+        with pytest.raises(RuntimeError):
+            restored.register_set([1])

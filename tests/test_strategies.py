@@ -1,0 +1,135 @@
+"""Tests for repro.adversary.strategies — pluggable collusion play."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.collusion import simulate_colluding_utrp_scan
+from repro.adversary.strategies import (
+    EagerStrategy,
+    RandomStrategy,
+    ReserveStrategy,
+    SpreadStrategy,
+    SyncContext,
+    simulate_strategy_collusion,
+)
+from repro.server.verifier import expected_utrp_bitstring
+
+
+def _case(n=40, stolen=6, f=60, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, 1 << 62, size=n).astype(np.uint64)
+    counters = np.zeros(n, dtype=np.int64)
+    mask = np.zeros(n, dtype=bool)
+    mask[rng.choice(n, stolen, replace=False)] = True
+    seeds = rng.integers(0, 1 << 62, size=f).tolist()
+    return ids, counters, mask, seeds
+
+
+class TestStrategyDecisions:
+    def _ctx(self, **kw):
+        defaults = dict(global_slot=0, frame_size=100, budget_left=5,
+                        empties_seen=0)
+        defaults.update(kw)
+        return SyncContext(**defaults)
+
+    def test_eager_spends_while_budget(self):
+        s = EagerStrategy()
+        assert s.spend(self._ctx(budget_left=1))
+        assert not s.spend(self._ctx(budget_left=0))
+
+    def test_spread_period(self):
+        s = SpreadStrategy(period=3)
+        assert s.spend(self._ctx(empties_seen=0))
+        assert not s.spend(self._ctx(empties_seen=1))
+        assert not s.spend(self._ctx(empties_seen=2))
+        assert s.spend(self._ctx(empties_seen=3))
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            SpreadStrategy(period=0)
+
+    def test_reserve_waits(self):
+        s = ReserveStrategy(start_fraction=0.5)
+        assert not s.spend(self._ctx(global_slot=10, frame_size=100))
+        assert s.spend(self._ctx(global_slot=60, frame_size=100))
+
+    def test_reserve_validation(self):
+        with pytest.raises(ValueError):
+            ReserveStrategy(start_fraction=1.0)
+
+    def test_random_extremes(self):
+        rng = np.random.default_rng(0)
+        always = RandomStrategy(1.0, rng)
+        never = RandomStrategy(0.0, rng)
+        assert always.spend(self._ctx())
+        assert not never.spend(self._ctx())
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(1.5, np.random.default_rng(0))
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_eager_reproduces_paper_kernel(self, seed):
+        """EagerStrategy must be bit-identical to the Sec. 5.4 kernel."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 50))
+        stolen = int(rng.integers(1, min(7, n - 1)))
+        f = int(rng.integers(n, 2 * n))
+        budget = int(rng.integers(0, 15))
+        ids, counters, mask, seeds = _case(n, stolen, f, seed + 100)
+        old = simulate_colluding_utrp_scan(ids, counters, mask, f, seeds, budget)
+        new = simulate_strategy_collusion(
+            ids, counters, mask, f, seeds, budget, EagerStrategy()
+        )
+        assert np.array_equal(old.bitstring, new.bitstring)
+        assert old.comms_used == new.comms_used
+
+    def test_unlimited_eager_is_perfect_forgery(self):
+        ids, counters, mask, seeds = _case()
+        forged = simulate_strategy_collusion(
+            ids, counters, mask, 60, seeds, 10_000, EagerStrategy()
+        )
+        pred = expected_utrp_bitstring(ids, counters, 60, seeds)
+        assert np.array_equal(forged.bitstring, pred.bitstring)
+
+    def test_budget_respected_by_all_strategies(self):
+        ids, counters, mask, seeds = _case()
+        rng = np.random.default_rng(1)
+        for strategy in (
+            EagerStrategy(),
+            SpreadStrategy(2),
+            ReserveStrategy(0.3),
+            RandomStrategy(0.5, rng),
+        ):
+            forged = simulate_strategy_collusion(
+                ids, counters, mask, 60, seeds, 7, strategy
+            )
+            assert forged.comms_used <= 7
+
+    def test_validation(self):
+        ids, counters, mask, seeds = _case()
+        with pytest.raises(ValueError):
+            simulate_strategy_collusion(
+                ids, counters, mask, 60, seeds[:10], 5, EagerStrategy()
+            )
+        with pytest.raises(ValueError):
+            simulate_strategy_collusion(
+                ids, counters, mask, 60, seeds, -1, EagerStrategy()
+            )
+        with pytest.raises(ValueError):
+            simulate_strategy_collusion(
+                ids, counters[:-1], mask, 60, seeds, 5, EagerStrategy()
+            )
+
+    def test_strategies_produce_different_forgeries(self):
+        """With a constrained budget, schedules genuinely differ."""
+        ids, counters, mask, seeds = _case(n=50, stolen=8, f=80, seed=5)
+        eager = simulate_strategy_collusion(
+            ids, counters, mask, 80, seeds, 5, EagerStrategy()
+        )
+        reserve = simulate_strategy_collusion(
+            ids, counters, mask, 80, seeds, 5, ReserveStrategy(0.5)
+        )
+        assert not np.array_equal(eager.bitstring, reserve.bitstring)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.rfid.tag — the tag state machine."""
+
+import pytest
+
+from repro.rfid.hashing import slot_for_tag
+from repro.rfid.tag import Tag, TagState
+
+
+class TestSeeding:
+    def test_starts_idle(self):
+        assert Tag(1).state is TagState.IDLE
+
+    def test_seed_moves_to_seeded(self):
+        tag = Tag(1)
+        tag.receive_seed(10, 99)
+        assert tag.state is TagState.SEEDED
+
+    def test_chosen_slot_matches_trp_hash(self):
+        tag = Tag(42)
+        tag.receive_seed(16, 7)
+        assert tag.chosen_slot == slot_for_tag(42, 7, 16)
+
+    def test_chosen_slot_matches_utrp_hash_with_counter(self):
+        tag = Tag(42, uses_counter=True, counter=5)
+        tag.receive_seed(16, 7)
+        # receive_seed increments before hashing (Alg. 7 line 1-2)
+        assert tag.chosen_slot == slot_for_tag(42, 7, 16, counter=6)
+
+    def test_chosen_slot_none_when_not_seeded(self):
+        assert Tag(1).chosen_slot is None
+
+    def test_reseed_changes_slot_choice(self):
+        tag = Tag(42)
+        tag.receive_seed(64, 1)
+        first = tag.chosen_slot
+        tag.receive_seed(64, 2)
+        assert tag.chosen_slot == slot_for_tag(42, 2, 64)
+        # (may rarely coincide, but must be recomputed, not cached)
+        assert tag.chosen_slot != first or slot_for_tag(42, 1, 64) == slot_for_tag(42, 2, 64)
+
+    def test_rejects_nonpositive_frame(self):
+        with pytest.raises(ValueError):
+            Tag(1).receive_seed(0, 5)
+
+
+class TestCounter:
+    def test_plain_tag_never_increments(self):
+        tag = Tag(1, uses_counter=False)
+        for _ in range(3):
+            tag.receive_seed(10, 1)
+        assert tag.counter == 0
+
+    def test_counter_tag_increments_every_seed(self):
+        tag = Tag(1, uses_counter=True)
+        for _ in range(3):
+            tag.receive_seed(10, 1)
+        assert tag.counter == 3
+
+    def test_silent_tag_still_increments(self):
+        """Silent tags hear broadcasts; the hardware still ticks (Sec. 5.3)."""
+        tag = Tag(1, uses_counter=True)
+        tag.receive_seed(10, 1)
+        tag.poll(tag.chosen_slot)
+        assert tag.state is TagState.SILENT
+        tag.receive_seed(9, 2)
+        assert tag.counter == 2
+
+    def test_counter_survives_power_cycle(self):
+        tag = Tag(1, uses_counter=True)
+        tag.receive_seed(10, 1)
+        tag.power_cycle()
+        assert tag.counter == 1
+        assert tag.state is TagState.IDLE
+
+
+class TestPolling:
+    def test_replies_only_in_chosen_slot(self):
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        chosen = tag.chosen_slot
+        for slot in range(8):
+            reply = tag.poll(slot)
+            if slot == chosen:
+                assert reply is not None and reply.tag_id == 7
+            else:
+                assert reply is None
+
+    def test_silent_after_reply(self):
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        assert tag.poll(tag.chosen_slot) is not None
+        assert tag.state is TagState.SILENT
+
+    def test_no_second_reply_even_same_slot(self):
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        chosen = tag.chosen_slot
+        tag.poll(chosen)
+        assert tag.poll(chosen) is None
+
+    def test_idle_tag_never_replies(self):
+        assert Tag(7).poll(0) is None
+
+    def test_silent_tag_ignores_reseed_slot_choice(self):
+        """A silent tag must not re-enter the frame on later seeds."""
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        tag.poll(tag.chosen_slot)
+        tag.receive_seed(8, 4)
+        assert tag.state is TagState.SILENT
+        assert all(tag.poll(s) is None for s in range(8))
+
+    def test_reply_bits_fit_width(self):
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        reply = tag.poll(tag.chosen_slot)
+        assert 0 <= reply.bits < (1 << 16)
+
+    def test_reply_bits_deterministic_per_seed(self):
+        a, b = Tag(7), Tag(7)
+        a.receive_seed(8, 3)
+        b.receive_seed(8, 3)
+        assert a.poll(a.chosen_slot).bits == b.poll(b.chosen_slot).bits
+
+    def test_reply_bits_vary_with_seed(self):
+        bits = set()
+        for seed in range(20):
+            tag = Tag(7)
+            tag.receive_seed(8, seed)
+            bits.add(tag.poll(tag.chosen_slot).bits)
+        assert len(bits) > 1
+
+
+class TestCollisionRearm:
+    def test_mark_collided_returns_to_idle(self):
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        tag.poll(tag.chosen_slot)
+        tag.mark_collided()
+        assert tag.state is TagState.IDLE
+
+    def test_rearmed_tag_reseeds_and_replies_again(self):
+        tag = Tag(7)
+        tag.receive_seed(8, 3)
+        tag.poll(tag.chosen_slot)
+        tag.mark_collided()
+        tag.receive_seed(8, 5)
+        assert tag.state is TagState.SEEDED
+        assert tag.poll(tag.chosen_slot) is not None

@@ -1,0 +1,45 @@
+"""Tests for repro.adversary.theft."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.theft import steal_random_tags, worst_case_theft
+from repro.rfid.population import TagPopulation
+
+
+class TestStealRandomTags:
+    def test_partition(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        before = set(pop.ids.tolist())
+        outcome = steal_random_tags(pop, 7, rng)
+        assert len(outcome.stolen) == 7
+        assert len(outcome.remaining) == 23
+        assert set(outcome.stolen.ids.tolist()) | set(
+            outcome.remaining.ids.tolist()
+        ) == before
+
+    def test_mutates_in_place(self, rng):
+        pop = TagPopulation.create(10, rng=rng)
+        outcome = steal_random_tags(pop, 3, rng)
+        assert outcome.remaining is pop
+        assert len(pop) == 7
+
+    def test_too_many(self, rng):
+        pop = TagPopulation.create(5, rng=rng)
+        with pytest.raises(ValueError):
+            steal_random_tags(pop, 6, rng)
+
+    def test_stolen_count_property(self, rng):
+        pop = TagPopulation.create(10, rng=rng)
+        assert steal_random_tags(pop, 4, rng).stolen_count == 4
+
+
+class TestWorstCase:
+    def test_steals_m_plus_one(self, rng):
+        pop = TagPopulation.create(30, rng=rng)
+        outcome = worst_case_theft(pop, tolerance=5, rng=rng)
+        assert outcome.stolen_count == 6
+
+    def test_zero_tolerance_steals_one(self, rng):
+        pop = TagPopulation.create(10, rng=rng)
+        assert worst_case_theft(pop, 0, rng).stolen_count == 1

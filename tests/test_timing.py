@@ -1,0 +1,60 @@
+"""Unit tests for repro.rfid.timing — the air-time model."""
+
+import pytest
+
+from repro.rfid.channel import ChannelStats
+from repro.rfid.timing import GEN2_TYPICAL, UNIT_SLOTS, LinkTiming
+
+
+class TestSessionCost:
+    def test_empty_session_costs_nothing(self):
+        assert GEN2_TYPICAL.session_us(ChannelStats()) == 0.0
+
+    def test_unit_slots_counts_slots_only(self):
+        stats = ChannelStats(
+            seed_broadcasts=5,
+            slots_polled=10,
+            empty_slots=6,
+            singleton_slots=3,
+            collision_slots=1,
+            reply_payload_bits=48,
+            id_transmissions=7,
+        )
+        # 6 empty + 4 occupied = 10 unit slots; broadcasts/bits free.
+        assert UNIT_SLOTS.session_us(stats) == 10.0
+
+    def test_id_transmissions_priced(self):
+        base = ChannelStats(empty_slots=1)
+        with_ids = ChannelStats(empty_slots=1, id_transmissions=2)
+        t = LinkTiming(bit_us=10.0, id_bits=96)
+        assert t.session_us(with_ids) - t.session_us(base) == 2 * 96 * 10.0
+
+    def test_payload_bits_priced(self):
+        t = LinkTiming(bit_us=2.0)
+        stats = ChannelStats(reply_payload_bits=16)
+        assert t.session_us(stats) == 32.0
+
+    def test_broadcast_priced(self):
+        t = LinkTiming(seed_broadcast_us=500.0)
+        assert t.session_us(ChannelStats(seed_broadcasts=3)) == 1500.0
+
+    def test_slots_equivalent_normalises_by_empty_slot(self):
+        t = LinkTiming(empty_slot_us=100.0)
+        stats = ChannelStats(empty_slots=4)
+        assert t.slots_equivalent(stats) == 4.0
+
+
+class TestModels:
+    def test_gen2_constants_positive(self):
+        assert GEN2_TYPICAL.empty_slot_us > 0
+        assert GEN2_TYPICAL.bit_us > 0
+        assert GEN2_TYPICAL.id_bits == 96
+
+    def test_unit_slots_is_pure_slot_count(self):
+        assert UNIT_SLOTS.bit_us == 0.0
+        assert UNIT_SLOTS.seed_broadcast_us == 0.0
+        assert UNIT_SLOTS.empty_slot_us == UNIT_SLOTS.reply_slot_us == 1.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GEN2_TYPICAL.bit_us = 1.0

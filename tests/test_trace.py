@@ -1,0 +1,80 @@
+"""Tests for repro.simulation.trace — protocol event recording."""
+
+import numpy as np
+
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import TrustedReader
+from repro.simulation.trace import (
+    TraceEventKind,
+    TracingChannel,
+    render_trace,
+)
+
+
+def _traced_trp(n=15, f=25, seed=7):
+    pop = TagPopulation.create(n, rng=np.random.default_rng(seed))
+    channel = TracingChannel(pop.tags)
+    scan = TrustedReader().scan_trp(channel, f, 1234)
+    return channel, scan
+
+
+def _traced_utrp(n=15, f=30, seed=7):
+    pop = TagPopulation.create(n, uses_counter=True, rng=np.random.default_rng(seed))
+    channel = TracingChannel(pop.tags)
+    seeds = list(range(100, 100 + f))
+    scan = TrustedReader().scan_utrp(channel, f, seeds)
+    return channel, scan
+
+
+class TestTrpTrace:
+    def test_one_broadcast(self):
+        channel, _ = _traced_trp()
+        assert len(channel.broadcasts()) == 1
+
+    def test_polls_cover_frame_in_order(self):
+        channel, _ = _traced_trp(f=25)
+        polls = channel.polls()
+        assert [e.slot for e in polls] == list(range(25))
+
+    def test_occupied_polls_match_bitstring(self):
+        channel, scan = _traced_trp()
+        assert len(channel.occupied_polls()) == int(scan.bitstring.sum())
+
+    def test_power_cycle_recorded_first(self):
+        channel, _ = _traced_trp()
+        assert channel.events[0].kind is TraceEventKind.POWER_CYCLE
+
+
+class TestUtrpTrace:
+    def test_broadcast_per_occupied_slot(self):
+        channel, scan = _traced_utrp()
+        ones = int(scan.bitstring.sum())
+        expected = 1 + ones - (1 if scan.bitstring[-1] else 0)
+        assert len(channel.broadcasts()) == expected
+
+    def test_broadcast_frames_shrink(self):
+        channel, _ = _traced_utrp()
+        frames = [e.frame_size for e in channel.broadcasts()]
+        assert frames == sorted(frames, reverse=True)
+        assert all(f > 0 for f in frames)
+
+    def test_repliers_accounted(self):
+        channel, _ = _traced_utrp(n=15)
+        assert sum(e.repliers for e in channel.polls()) == 15
+
+
+class TestRendering:
+    def test_render_mentions_events(self):
+        channel, _ = _traced_trp(n=5, f=8)
+        text = render_trace(channel.events)
+        assert "broadcast" in text and "poll slot" in text
+
+    def test_render_limit_truncates(self):
+        channel, _ = _traced_trp(n=5, f=8)
+        text = render_trace(channel.events, limit=3)
+        assert "more events" in text
+        assert len(text.splitlines()) == 4
+
+    def test_render_zero_limit_shows_all(self):
+        channel, _ = _traced_trp(n=5, f=8)
+        assert len(render_trace(channel.events).splitlines()) == len(channel.events)

@@ -1,0 +1,78 @@
+"""Tests for repro.aloha.tree_splitting — binary splitting inventory."""
+
+import numpy as np
+import pytest
+
+from repro.aloha.tree_splitting import simulate_tree_splitting
+from repro.rfid.ids import random_tag_ids, sequential_tag_ids
+
+
+class TestCorrectness:
+    def test_collects_every_tag(self):
+        ids = random_tag_ids(100, np.random.default_rng(0))
+        result = simulate_tree_splitting(ids, np.random.default_rng(1))
+        assert sorted(result.collected_ids) == sorted(ids.tolist())
+
+    def test_no_duplicates(self):
+        ids = random_tag_ids(80, np.random.default_rng(2))
+        result = simulate_tree_splitting(ids, np.random.default_rng(3))
+        assert len(result.collected_ids) == len(set(result.collected_ids))
+
+    def test_sequential_ids_also_resolve(self):
+        """Adjacent IDs stress the per-level hash coins."""
+        ids = sequential_tag_ids(64)
+        result = simulate_tree_splitting(ids, np.random.default_rng(4))
+        assert sorted(result.collected_ids) == ids.tolist()
+
+    def test_empty_population(self):
+        result = simulate_tree_splitting(
+            np.array([], dtype=np.uint64), np.random.default_rng(0)
+        )
+        assert result.collected_ids == []
+        assert result.total_slots == 1  # the initial probe slot
+
+    def test_single_tag(self):
+        result = simulate_tree_splitting(
+            np.array([42], dtype=np.uint64), np.random.default_rng(0)
+        )
+        assert result.collected_ids == [42]
+        assert result.total_slots == 1
+
+
+class TestCost:
+    def test_cost_close_to_theory(self):
+        """Binary splitting costs ~2.9 slots per tag on average."""
+        rng = np.random.default_rng(5)
+        costs = []
+        for seed in range(30):
+            ids = random_tag_ids(200, np.random.default_rng(seed))
+            costs.append(
+                simulate_tree_splitting(ids, np.random.default_rng(seed)).total_slots
+            )
+        per_tag = np.mean(costs) / 200
+        assert 2.3 < per_tag < 3.5
+
+    def test_depth_is_logarithmic_plus_slack(self):
+        ids = random_tag_ids(256, np.random.default_rng(6))
+        result = simulate_tree_splitting(ids, np.random.default_rng(7))
+        assert result.max_depth < 40  # ~log2(256) + collision slack
+
+    def test_cost_grows_linearly(self):
+        cost = {}
+        for n in (100, 200):
+            samples = [
+                simulate_tree_splitting(
+                    random_tag_ids(n, np.random.default_rng(s)),
+                    np.random.default_rng(100 + s),
+                ).total_slots
+                for s in range(15)
+            ]
+            cost[n] = np.mean(samples)
+        assert 1.6 < cost[200] / cost[100] < 2.4
+
+    def test_deterministic_given_rngs(self):
+        ids = random_tag_ids(50, np.random.default_rng(8))
+        a = simulate_tree_splitting(ids, np.random.default_rng(9))
+        b = simulate_tree_splitting(ids, np.random.default_rng(9))
+        assert a.total_slots == b.total_slots
+        assert a.collected_ids == b.collected_ids

@@ -1,0 +1,109 @@
+"""Protocol-level tests for TRP (Algs. 1-3 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import frame_size_for
+from repro.core.parameters import MonitorRequirement
+from repro.core.trp import run_trp_round
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.server.database import TagDatabase
+from repro.server.seeds import SeedIssuer
+
+
+def _setup(n=60, m=3, counter_tags=False, seed=1):
+    rng = np.random.default_rng(seed)
+    req = MonitorRequirement(population=n, tolerance=m, confidence=0.95)
+    pop = TagPopulation.create(n, uses_counter=counter_tags, rng=rng)
+    db = TagDatabase()
+    db.register_set(pop.ids.tolist())
+    issuer = SeedIssuer(rng)
+    return req, pop, db, issuer
+
+
+class TestIntactRounds:
+    def test_intact_set_verifies(self):
+        req, pop, db, issuer = _setup()
+        report = run_trp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert report.intact
+
+    def test_intact_set_verifies_repeatedly(self):
+        req, pop, db, issuer = _setup()
+        channel = SlottedChannel(pop.tags)
+        for _ in range(5):
+            assert run_trp_round(db, issuer, req, channel).intact
+
+    def test_frame_size_defaults_to_eq2(self):
+        req, pop, db, issuer = _setup()
+        report = run_trp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert report.challenge.frame_size == frame_size_for(req)
+        assert report.slots_used == frame_size_for(req)
+
+    def test_frame_size_override(self):
+        req, pop, db, issuer = _setup()
+        report = run_trp_round(
+            db, issuer, req, SlottedChannel(pop.tags), frame_size=200
+        )
+        assert report.challenge.frame_size == 200
+
+    def test_fresh_seed_every_round(self):
+        req, pop, db, issuer = _setup()
+        channel = SlottedChannel(pop.tags)
+        seeds = {run_trp_round(db, issuer, req, channel).challenge.seed
+                 for _ in range(10)}
+        assert len(seeds) == 10
+
+    def test_counter_tags_with_counter_aware_round(self):
+        req, pop, db, issuer = _setup(counter_tags=True)
+        channel = SlottedChannel(pop.tags)
+        for _ in range(3):
+            report = run_trp_round(
+                db, issuer, req, channel, counter_aware=True
+            )
+            assert report.intact
+        assert db.counters.tolist() == [3] * 60
+
+    def test_counter_tags_without_counter_awareness_false_alarm(self):
+        """The misconfiguration guard: counter tags under a plain TRP
+        prediction desynchronise immediately."""
+        req, pop, db, issuer = _setup(counter_tags=True)
+        report = run_trp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert not report.intact
+
+
+class TestTheftDetection:
+    def test_large_theft_always_detected(self):
+        req, pop, db, issuer = _setup()
+        pop.remove_random(30, np.random.default_rng(2))
+        report = run_trp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert not report.intact
+        assert report.result.mismatched_slots
+
+    def test_worst_case_theft_detected_at_expected_rate(self):
+        """m + 1 theft must be caught in > ~alpha of rounds."""
+        detected = 0
+        rounds = 120
+        for seed in range(rounds):
+            req, pop, db, issuer = _setup(seed=seed)
+            pop.remove_random(req.tolerance + 1, np.random.default_rng(seed + 999))
+            report = run_trp_round(db, issuer, req, SlottedChannel(pop.tags))
+            detected += not report.intact
+        assert detected / rounds > 0.88  # 0.95 minus Monte Carlo slack
+
+    def test_mismatches_only_where_expected_ones(self):
+        """Theft can only erase occupancy: every mismatched slot is a
+        slot the server expected to be 1."""
+        req, pop, db, issuer = _setup()
+        pop.remove_random(20, np.random.default_rng(3))
+        report = run_trp_round(db, issuer, req, SlottedChannel(pop.tags))
+        for slot in report.result.mismatched_slots:
+            assert report.scan.bitstring[slot] == 0
+
+
+class TestValidation:
+    def test_population_mismatch(self):
+        req, pop, db, issuer = _setup()
+        wrong_req = MonitorRequirement(population=61, tolerance=3, confidence=0.95)
+        with pytest.raises(ValueError):
+            run_trp_round(db, issuer, wrong_req, SlottedChannel(pop.tags))

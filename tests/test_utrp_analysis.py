@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.utrp_analysis — Theorems 3-5, Eq. 3."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import detection_probability, optimal_trp_frame_size
+from repro.core.utrp_analysis import (
+    DEFAULT_SLACK_SLOTS,
+    CollusionBudget,
+    expected_sync_slots,
+    optimal_utrp_frame_size,
+    utrp_detection_probability,
+)
+
+
+class TestCollusionBudget:
+    def test_direct(self):
+        assert CollusionBudget(20).sync_slots == 20
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CollusionBudget(-1)
+
+    def test_from_timing(self):
+        b = CollusionBudget.from_timing(timer=100.0, min_scan_time=40.0, comm_time=3.0)
+        assert b.sync_slots == 20
+
+    def test_from_timing_timer_too_short(self):
+        with pytest.raises(ValueError):
+            CollusionBudget.from_timing(timer=10.0, min_scan_time=40.0, comm_time=3.0)
+
+    def test_from_timing_bad_comm(self):
+        with pytest.raises(ValueError):
+            CollusionBudget.from_timing(timer=100.0, min_scan_time=40.0, comm_time=0.0)
+
+
+class TestExpectedSyncSlots:
+    def test_theorem3_formula(self):
+        n, m, f, c = 500, 10, 400, 20
+        p = math.exp(-(n - m - 1) / f)
+        assert expected_sync_slots(n, m, f, c) == pytest.approx(c / p)
+
+    def test_capped_at_frame(self):
+        # Tiny frame, dense set: c/p blows past f and must clamp.
+        assert expected_sync_slots(1000, 5, 50, 40) == 50.0
+
+    def test_zero_budget(self):
+        assert expected_sync_slots(500, 10, 400, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_sync_slots(100, 5, 0, 20)
+        with pytest.raises(ValueError):
+            expected_sync_slots(100, 5, 50, -1)
+
+
+class TestDetectionProbability:
+    def test_bounded(self):
+        for f in (100, 300, 600):
+            g = utrp_detection_probability(500, 10, f, 20)
+            assert 0.0 <= g <= 1.0
+
+    def test_zero_when_fully_synchronised(self):
+        """Budget covering the whole frame means a perfect forgery."""
+        assert utrp_detection_probability(100, 5, 120, 100_000) == 0.0
+
+    def test_zero_budget_close_to_trp(self):
+        """With c = 0 the adversary has no collaborator information, so
+        detection should approach TRP's g at the same frame size."""
+        n, m, f = 500, 10, 400
+        utrp = utrp_detection_probability(n, m, f, 0)
+        trp = detection_probability(n, m + 1, f)
+        assert abs(utrp - trp) < 0.05
+
+    def test_decreases_with_budget(self):
+        n, m, f = 500, 10, 400
+        values = [utrp_detection_probability(n, m, f, c) for c in (0, 10, 20, 50)]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_increases_with_frame(self):
+        values = [
+            utrp_detection_probability(500, 10, f, 20) for f in (350, 450, 600, 900)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utrp_detection_probability(10, 9, 50, 20)  # m + 1 >= n
+        with pytest.raises(ValueError):
+            utrp_detection_probability(100, 5, 0, 20)
+        with pytest.raises(ValueError):
+            utrp_detection_probability(100, 5, 50, -1)
+
+
+class TestOptimalFrameSize:
+    def test_satisfies_eq3(self):
+        for n, m in [(100, 5), (500, 10), (1000, 20)]:
+            f = optimal_utrp_frame_size(n, m, 0.95, 20, slack=0)
+            assert utrp_detection_probability(n, m, f, 20) > 0.95
+
+    def test_minimality_without_slack(self):
+        for n, m in [(100, 5), (500, 10)]:
+            f = optimal_utrp_frame_size(n, m, 0.95, 20, slack=0)
+            assert utrp_detection_probability(n, m, f - 1, 20) <= 0.95
+
+    def test_slack_added(self):
+        base = optimal_utrp_frame_size(500, 10, 0.95, 20, slack=0)
+        padded = optimal_utrp_frame_size(500, 10, 0.95, 20)
+        assert padded == base + DEFAULT_SLACK_SLOTS
+
+    def test_exceeds_trp_frame(self):
+        """Fig. 6's claim: UTRP needs somewhat more slots than TRP."""
+        for n, m in [(100, 5), (500, 10), (1000, 20), (2000, 30)]:
+            trp = optimal_trp_frame_size(n, m, 0.95)
+            utrp = optimal_utrp_frame_size(n, m, 0.95, 20)
+            assert utrp > trp
+            assert utrp - trp < 150  # "the overhead of UTRP over TRP is small"
+
+    def test_grows_with_budget(self):
+        frames = [optimal_utrp_frame_size(500, 10, 0.95, c) for c in (0, 20, 50)]
+        assert frames == sorted(frames)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_utrp_frame_size(10, 9, 0.95, 20)
+        with pytest.raises(ValueError):
+            optimal_utrp_frame_size(100, 5, 0.95, 20, slack=-1)

@@ -1,0 +1,133 @@
+"""Protocol-level tests for UTRP (Algs. 5-7 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MonitorRequirement
+from repro.core.utrp import estimate_scan_time_bounds, run_utrp_round
+from repro.core.verification import Verdict
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import ScanResult
+from repro.rfid.bitstring import empty_bitstring
+from repro.server.database import TagDatabase
+from repro.server.seeds import SeedIssuer
+
+
+def _setup(n=50, m=3, seed=1):
+    rng = np.random.default_rng(seed)
+    req = MonitorRequirement(population=n, tolerance=m, confidence=0.95)
+    pop = TagPopulation.create(n, uses_counter=True, rng=rng)
+    db = TagDatabase()
+    db.register_set(pop.ids.tolist())
+    return req, pop, db, SeedIssuer(rng)
+
+
+class TestIntactRounds:
+    def test_intact_set_verifies(self):
+        req, pop, db, issuer = _setup()
+        report = run_utrp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert report.intact
+
+    def test_repeated_rounds_stay_in_sync(self):
+        """Counters tick every round; mirror and hardware must agree."""
+        req, pop, db, issuer = _setup()
+        channel = SlottedChannel(pop.tags)
+        for _ in range(4):
+            assert run_utrp_round(db, issuer, req, channel).intact
+        assert db.counters.tolist() == [t.counter for t in pop.tags]
+
+    def test_counters_committed_after_round(self):
+        req, pop, db, issuer = _setup()
+        report = run_utrp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert db.counters[0] == report.seeds_consumed_expected
+
+    def test_seed_list_covers_frame(self):
+        req, pop, db, issuer = _setup()
+        report = run_utrp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert len(report.challenge.seeds) == report.challenge.frame_size
+
+    def test_frame_override(self):
+        req, pop, db, issuer = _setup()
+        report = run_utrp_round(
+            db, issuer, req, SlottedChannel(pop.tags), frame_size=140
+        )
+        assert report.challenge.frame_size == 140
+
+
+class TestTheftDetection:
+    def test_large_theft_detected(self):
+        req, pop, db, issuer = _setup()
+        pop.remove_random(25, np.random.default_rng(4))
+        report = run_utrp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert report.result.verdict is Verdict.NOT_INTACT
+
+    def test_worst_case_theft_detected_at_expected_rate(self):
+        detected = 0
+        rounds = 80
+        for seed in range(rounds):
+            req, pop, db, issuer = _setup(seed=seed)
+            pop.remove_random(req.tolerance + 1, np.random.default_rng(seed + 7))
+            report = run_utrp_round(db, issuer, req, SlottedChannel(pop.tags))
+            detected += report.result.verdict is Verdict.NOT_INTACT
+        assert detected / rounds > 0.88
+
+
+class TestTimer:
+    def test_late_proof_rejected(self):
+        req, pop, db, issuer = _setup()
+        report = run_utrp_round(
+            db, issuer, req, SlottedChannel(pop.tags), timer=1e-9
+        )
+        assert report.result.verdict is Verdict.REJECTED_LATE
+
+    def test_default_timer_admits_honest_reader(self):
+        req, pop, db, issuer = _setup()
+        report = run_utrp_round(db, issuer, req, SlottedChannel(pop.tags))
+        assert report.result.elapsed <= report.challenge.timer
+
+    def test_scan_fn_injection_with_forged_elapsed(self):
+        """A dishonest scan_fn that answers garbage quickly is caught by
+        content, not timing."""
+        req, pop, db, issuer = _setup()
+
+        def forge(challenge):
+            return (
+                ScanResult(
+                    bitstring=empty_bitstring(challenge.frame_size),
+                    slots_used=0,
+                    seeds_used=0,
+                ),
+                0.0,
+            )
+
+        report = run_utrp_round(
+            db, issuer, req, SlottedChannel(pop.tags), scan_fn=forge
+        )
+        assert report.result.verdict is Verdict.NOT_INTACT
+
+
+class TestScanTimeBounds:
+    def test_min_below_max(self):
+        st_min, st_max = estimate_scan_time_bounds(100, 50)
+        assert st_min <= st_max
+
+    def test_min_is_empty_frame(self):
+        from repro.rfid.timing import UNIT_SLOTS
+
+        st_min, _ = estimate_scan_time_bounds(100, 50, UNIT_SLOTS)
+        assert st_min == 100.0  # unit model: f empty slots, free broadcast
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_scan_time_bounds(0, 10)
+        with pytest.raises(ValueError):
+            estimate_scan_time_bounds(10, -1)
+
+
+class TestValidation:
+    def test_population_mismatch(self):
+        req, pop, db, issuer = _setup()
+        wrong = MonitorRequirement(population=51, tolerance=3, confidence=0.95)
+        with pytest.raises(ValueError):
+            run_utrp_round(db, issuer, wrong, SlottedChannel(pop.tags))

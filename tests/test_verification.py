@@ -1,0 +1,47 @@
+"""Unit tests for repro.core.verification — the server's decision rule."""
+
+from repro.core.verification import Verdict, compare_bitstrings
+from repro.rfid.bitstring import from_slots, empty_bitstring
+
+
+class TestCompare:
+    def test_match_is_intact(self):
+        a = from_slots(6, [1, 3])
+        res = compare_bitstrings(a, a.copy(), frame_size=6)
+        assert res.verdict is Verdict.INTACT
+        assert res.intact
+        assert res.mismatched_slots == []
+
+    def test_mismatch_is_not_intact(self):
+        expected = from_slots(6, [1, 3])
+        observed = from_slots(6, [1])
+        res = compare_bitstrings(expected, observed, frame_size=6)
+        assert res.verdict is Verdict.NOT_INTACT
+        assert res.mismatched_slots == [3]
+        assert not res.intact
+
+    def test_extra_bits_also_flagged(self):
+        """A 1 where the server expects 0 is just as alarming (ghost
+        replies indicate tampering)."""
+        expected = from_slots(6, [1])
+        observed = from_slots(6, [1, 5])
+        res = compare_bitstrings(expected, observed, frame_size=6)
+        assert res.verdict is Verdict.NOT_INTACT
+        assert res.mismatched_slots == [5]
+
+    def test_wrong_length_is_malformed(self):
+        res = compare_bitstrings(empty_bitstring(6), empty_bitstring(5), 6)
+        assert res.verdict is Verdict.REJECTED_MALFORMED
+
+    def test_elapsed_recorded(self):
+        a = empty_bitstring(4)
+        res = compare_bitstrings(a, a.copy(), 4, elapsed=12.5)
+        assert res.elapsed == 12.5
+
+
+class TestVerdict:
+    def test_alarm_semantics(self):
+        assert not Verdict.INTACT.alarm
+        assert Verdict.NOT_INTACT.alarm
+        assert Verdict.REJECTED_LATE.alarm
+        assert Verdict.REJECTED_MALFORMED.alarm

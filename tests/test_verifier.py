@@ -1,0 +1,135 @@
+"""Unit tests for repro.server.verifier — bitstring prediction.
+
+The load-bearing invariant of the whole system: for an *intact* set the
+server's prediction must equal what an honest reader scans, bit for
+bit, for every protocol variant. These tests sweep populations, frame
+sizes and counter states against the real tag machines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.population import TagPopulation
+from repro.rfid.reader import TrustedReader
+from repro.server.verifier import (
+    expected_trp_bitstring,
+    expected_trp_bitstring_with_counters,
+    expected_utrp_bitstring,
+)
+
+
+class TestTrpPrediction:
+    @pytest.mark.parametrize("n,f", [(1, 5), (10, 10), (30, 17), (50, 200)])
+    def test_matches_honest_scan(self, n, f):
+        pop = TagPopulation.create(n, rng=np.random.default_rng(n))
+        scan = TrustedReader().scan_trp(SlottedChannel(pop.tags), f, 4242)
+        pred = expected_trp_bitstring(pop.ids, f, 4242)
+        assert np.array_equal(scan.bitstring, pred)
+
+    def test_empty_set(self):
+        pred = expected_trp_bitstring(np.array([], dtype=np.uint64), 8, 1)
+        assert pred.sum() == 0
+
+    def test_rejects_bad_frame(self):
+        with pytest.raises(ValueError):
+            expected_trp_bitstring(np.array([1], dtype=np.uint64), 0, 1)
+
+    def test_missing_tag_only_clears_bits(self):
+        """Removing tags can only turn 1s into 0s, never add 1s."""
+        pop = TagPopulation.create(40, rng=np.random.default_rng(2))
+        full = expected_trp_bitstring(pop.ids, 60, 9)
+        partial = expected_trp_bitstring(pop.ids[:-5], 60, 9)
+        assert np.all(partial <= full)
+
+
+class TestTrpPredictionWithCounters:
+    @pytest.mark.parametrize("start_ct", [0, 3])
+    def test_matches_counter_tag_scan(self, start_ct):
+        pop = TagPopulation.create(25, uses_counter=True, rng=np.random.default_rng(5))
+        for tag in pop:
+            tag.counter = start_ct
+        scan = TrustedReader().scan_trp(SlottedChannel(pop.tags), 40, 31)
+        counters = np.full(25, start_ct, dtype=np.int64)
+        pred, new_cts = expected_trp_bitstring_with_counters(pop.ids, counters, 40, 31)
+        assert np.array_equal(scan.bitstring, pred)
+        assert new_cts.tolist() == [start_ct + 1] * 25
+        assert [t.counter for t in pop.tags] == new_cts.tolist()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_trp_bitstring_with_counters(
+                np.array([1, 2], dtype=np.uint64), np.array([0]), 8, 1
+            )
+
+
+class TestUtrpPrediction:
+    @pytest.mark.parametrize("n,f,seed", [(1, 6, 0), (5, 12, 1), (20, 30, 2),
+                                          (30, 30, 3), (40, 120, 4), (60, 70, 5)])
+    def test_matches_honest_scan(self, n, f, seed):
+        rng = np.random.default_rng(seed)
+        pop = TagPopulation.create(n, uses_counter=True, rng=rng)
+        seeds = rng.integers(0, 1 << 62, size=f).tolist()
+        scan = TrustedReader().scan_utrp(SlottedChannel(pop.tags), f, seeds)
+        pred = expected_utrp_bitstring(
+            pop.ids, np.zeros(n, dtype=np.int64), f, seeds
+        )
+        assert np.array_equal(scan.bitstring, pred.bitstring)
+        assert [t.counter for t in pop.tags] == pred.counters.tolist()
+
+    def test_nonzero_starting_counters(self):
+        rng = np.random.default_rng(9)
+        pop = TagPopulation.create(15, uses_counter=True, rng=rng)
+        start = rng.integers(0, 10, size=15)
+        for tag, ct in zip(pop.tags, start.tolist()):
+            tag.counter = ct
+        seeds = rng.integers(0, 1 << 62, size=40).tolist()
+        scan = TrustedReader().scan_utrp(SlottedChannel(pop.tags), 40, seeds)
+        pred = expected_utrp_bitstring(pop.ids, start.astype(np.int64), 40, seeds)
+        assert np.array_equal(scan.bitstring, pred.bitstring)
+        assert [t.counter for t in pop.tags] == pred.counters.tolist()
+
+    def test_empty_set(self):
+        pred = expected_utrp_bitstring(
+            np.array([], dtype=np.uint64), np.array([], dtype=np.int64), 6,
+            list(range(6)),
+        )
+        assert pred.bitstring.sum() == 0
+        assert pred.seeds_used == 1
+
+    def test_counter_uniformity(self):
+        """All tags hear the same broadcasts, so counters advance by the
+        same amount for every tag."""
+        rng = np.random.default_rng(13)
+        pop = TagPopulation.create(20, uses_counter=True, rng=rng)
+        seeds = rng.integers(0, 1 << 62, size=50).tolist()
+        pred = expected_utrp_bitstring(pop.ids, np.zeros(20, dtype=np.int64), 50, seeds)
+        assert len(set(pred.counters.tolist())) == 1
+        assert pred.counters[0] == pred.seeds_used
+
+    def test_seed_shortage(self):
+        with pytest.raises(ValueError):
+            expected_utrp_bitstring(
+                np.array([1], dtype=np.uint64), np.array([0]), 10, [1, 2, 3]
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_utrp_bitstring(
+                np.array([1, 2], dtype=np.uint64), np.array([0]), 4, [1, 2, 3, 4]
+            )
+
+    def test_wrong_seed_order_changes_prediction(self):
+        """The reader must consume seeds strictly in order (Sec. 5.3);
+        a permuted list yields a different cascade."""
+        rng = np.random.default_rng(21)
+        pop = TagPopulation.create(25, uses_counter=True, rng=rng)
+        seeds = rng.integers(0, 1 << 62, size=40).tolist()
+        forward = expected_utrp_bitstring(
+            pop.ids, np.zeros(25, dtype=np.int64), 40, seeds
+        )
+        shuffled = [seeds[0]] + seeds[:0:-1]
+        backward = expected_utrp_bitstring(
+            pop.ids, np.zeros(25, dtype=np.int64), 40, shuffled
+        )
+        assert not np.array_equal(forward.bitstring, backward.bitstring)
