@@ -8,9 +8,11 @@ Usage::
     python -m repro fig7            # UTRP accuracy under collusion
     python -m repro ablations       # all five ablations
     python -m repro plan -n 1000 -m 10 --alpha 0.95   # frame planning
+    python -m repro fleet --groups 8 --rounds 5 --jobs 4   # fleet campaign
 
-Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid and
-``--trials K`` to override the Monte Carlo sample size.
+Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
+``--trials K`` to override the Monte Carlo sample size, and ``--jobs N``
+on the figure commands to run grid cells concurrently.
 """
 
 from __future__ import annotations
@@ -54,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--csv", default=None, metavar="PATH",
                 help="also write the figure's rows as CSV",
             )
+            p.add_argument(
+                "--jobs", type=int, default=1, metavar="N",
+                help="run grid cells on N threads; 0 = all cores "
+                "(results are independent of N)",
+            )
 
     plan = sub.add_parser("plan", help="frame-size planning for a deployment")
     plan.add_argument("-n", "--population", type=int, required=True)
@@ -67,6 +74,47 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--identify-beta", type=float, default=None, metavar="BETA",
         help="also plan forensic rounds to name all missing tags w.p. BETA",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-group monitoring campaign",
+        description=(
+            "Simulate a fleet of monitored tag groups: per-group TRP/UTRP "
+            "rounds with retries over lossy channels, escalation to "
+            "identification on repeated alarms, and a deterministic "
+            "journal (same seed => same digest, whatever --jobs is)."
+        ),
+    )
+    fleet.add_argument(
+        "--groups", type=int, default=4, metavar="G",
+        help="number of groups in the built-in scenario (default 4)",
+    )
+    fleet.add_argument(
+        "--rounds", type=int, default=5, metavar="T",
+        help="scheduler ticks to run (default 5)",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent rounds; 0 = all cores (default 1 = serial)",
+    )
+    fleet.add_argument("--seed", type=int, default=None, help="master seed")
+    fleet.add_argument(
+        "--scenario", default=None, metavar="PATH",
+        help="load the roster + theft timeline from a scenario JSON file",
+    )
+    fleet.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="also write the round journal as JSON lines",
+    )
+    fleet.add_argument(
+        "--time-scale", type=float, default=8.0, metavar="K",
+        help="simulate reader air time at K x real speed "
+        "(0 = no pacing; default 8)",
+    )
+    fleet.add_argument(
+        "--diag-trials", type=int, default=0, metavar="K",
+        help="per-round empirical-detection diagnostic trials (default 0)",
     )
 
     sub.add_parser("list", help="list every reproducible experiment")
@@ -116,6 +164,37 @@ def _run_plan(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_fleet(args: argparse.Namespace) -> str:
+    from .fleet import (
+        CampaignConfig,
+        FleetScenario,
+        default_scenario,
+        format_campaign_result,
+        run_campaign,
+    )
+    from .experiments.grid import DEFAULT_SEED
+
+    if args.scenario is not None:
+        scenario = FleetScenario.load(args.scenario)
+    else:
+        scenario = default_scenario(groups=args.groups)
+    from .fleet.executor import resolve_jobs
+
+    config = CampaignConfig(
+        ticks=args.rounds,
+        jobs=resolve_jobs(args.jobs),
+        master_seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        time_scale=args.time_scale,
+        diagnostic_trials=args.diag_trials,
+    )
+    result = run_campaign(scenario, config)
+    report = format_campaign_result(result)
+    if args.journal is not None:
+        result.journal.dump(args.journal)
+        report += f"\njournal written to {args.journal}"
+    return report
+
+
 def _run_list() -> str:
     from .experiments.manifest import EXPERIMENTS
 
@@ -137,13 +216,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         print(_run_list())
         return 0
+    if args.command == "fleet":
+        print(_run_fleet(args))
+        return 0
 
     grid = _grid(args)
     if args.command in ("fig4", "fig5", "fig6", "fig7"):
         module = {"fig4": fig4, "fig5": fig5, "fig6": fig6, "fig7": fig7}[
             args.command
         ]
-        result = module.run(grid)
+        from .fleet.executor import resolve_jobs
+
+        result = module.run(grid, jobs=resolve_jobs(args.jobs))
         print(module.format_result(result))
         if args.csv:
             from .experiments.export import figure_rows, write_csv

@@ -73,30 +73,33 @@ class Fig4Result:
         return [r for r in self.rows if r.tolerance == tolerance]
 
 
-def run(grid: ExperimentGrid) -> Fig4Result:
-    """Regenerate Fig. 4's data over ``grid``."""
+def _cell(grid: ExperimentGrid, n: int, m: int) -> Fig4Row:
+    """One (n, m) cell, seeded independently so cells parallelise."""
     from .ablations import _collect_all_stats
 
-    rows: List[Fig4Row] = []
-    for m in grid.tolerances:
-        for n in grid.populations:
-            rng = np.random.default_rng(derive_seed(grid.master_seed, 4, n, m))
-            totals = []
-            busies = []
-            for _ in range(grid.cost_trials):
-                total, stats = _collect_all_stats(n, m, rng)
-                totals.append(total)
-                busies.append(stats.singleton_slots + stats.collision_slots)
-            trp = optimal_trp_frame_size(n, m, grid.alpha)
-            rows.append(
-                Fig4Row(
-                    population=n,
-                    tolerance=m,
-                    collect_all_slots=float(np.mean(totals)),
-                    collect_all_busy_slots=float(np.mean(busies)),
-                    trp_slots=trp,
-                )
-            )
+    rng = np.random.default_rng(derive_seed(grid.master_seed, 4, n, m))
+    totals = []
+    busies = []
+    for _ in range(grid.cost_trials):
+        total, stats = _collect_all_stats(n, m, rng)
+        totals.append(total)
+        busies.append(stats.singleton_slots + stats.collision_slots)
+    return Fig4Row(
+        population=n,
+        tolerance=m,
+        collect_all_slots=float(np.mean(totals)),
+        collect_all_busy_slots=float(np.mean(busies)),
+        trp_slots=optimal_trp_frame_size(n, m, grid.alpha),
+    )
+
+
+def run(grid: ExperimentGrid, jobs: int = 1) -> Fig4Result:
+    """Regenerate Fig. 4's data over ``grid``, ``jobs`` cells at a time."""
+    from ..fleet.executor import ParallelExecutor
+
+    rows = ParallelExecutor(jobs).map(
+        lambda cell: _cell(grid, *cell), grid.cells
+    )
     return Fig4Result(grid=grid, rows=rows)
 
 

@@ -56,22 +56,26 @@ class Fig5Result:
         return sum(1 for r in self.rows if r.clears(self.grid.alpha))
 
 
-def run(grid: ExperimentGrid) -> Fig5Result:
-    """Regenerate Fig. 5's data over ``grid``."""
-    rows: List[Fig5Row] = []
-    for m in grid.tolerances:
-        for n in grid.populations:
-            f = optimal_trp_frame_size(n, m, grid.alpha)
-            rng = np.random.default_rng(derive_seed(grid.master_seed, 5, n, m))
-            detections = trp_detection_trials(n, m + 1, f, grid.trials, rng)
-            rows.append(
-                Fig5Row(
-                    population=n,
-                    tolerance=m,
-                    frame_size=f,
-                    detection=summarize_detections(detections),
-                )
-            )
+def _cell(grid: ExperimentGrid, n: int, m: int) -> Fig5Row:
+    """One (n, m) cell, seeded independently so cells parallelise."""
+    f = optimal_trp_frame_size(n, m, grid.alpha)
+    rng = np.random.default_rng(derive_seed(grid.master_seed, 5, n, m))
+    detections = trp_detection_trials(n, m + 1, f, grid.trials, rng)
+    return Fig5Row(
+        population=n,
+        tolerance=m,
+        frame_size=f,
+        detection=summarize_detections(detections),
+    )
+
+
+def run(grid: ExperimentGrid, jobs: int = 1) -> Fig5Result:
+    """Regenerate Fig. 5's data over ``grid``, ``jobs`` cells at a time."""
+    from ..fleet.executor import ParallelExecutor
+
+    rows = ParallelExecutor(jobs).map(
+        lambda cell: _cell(grid, *cell), grid.cells
+    )
     return Fig5Result(grid=grid, rows=rows)
 
 

@@ -56,21 +56,23 @@ class Fig6Result:
         return max(r.overhead_fraction for r in self.rows)
 
 
-def run(grid: ExperimentGrid) -> Fig6Result:
-    """Regenerate Fig. 6's data over ``grid``."""
-    rows: List[Fig6Row] = []
-    for m in grid.tolerances:
-        for n in grid.populations:
-            rows.append(
-                Fig6Row(
-                    population=n,
-                    tolerance=m,
-                    trp_slots=optimal_trp_frame_size(n, m, grid.alpha),
-                    utrp_slots=optimal_utrp_frame_size(
-                        n, m, grid.alpha, grid.comm_budget
-                    ),
-                )
-            )
+def _cell(grid: ExperimentGrid, n: int, m: int) -> Fig6Row:
+    """One (n, m) cell (purely analytic; no randomness)."""
+    return Fig6Row(
+        population=n,
+        tolerance=m,
+        trp_slots=optimal_trp_frame_size(n, m, grid.alpha),
+        utrp_slots=optimal_utrp_frame_size(n, m, grid.alpha, grid.comm_budget),
+    )
+
+
+def run(grid: ExperimentGrid, jobs: int = 1) -> Fig6Result:
+    """Regenerate Fig. 6's data over ``grid``, ``jobs`` cells at a time."""
+    from ..fleet.executor import ParallelExecutor
+
+    rows = ParallelExecutor(jobs).map(
+        lambda cell: _cell(grid, *cell), grid.cells
+    )
     return Fig6Result(grid=grid, rows=rows)
 
 

@@ -57,24 +57,28 @@ class Fig7Result:
         return sum(1 for r in self.rows if r.clears(self.grid.alpha))
 
 
-def run(grid: ExperimentGrid) -> Fig7Result:
-    """Regenerate Fig. 7's data over ``grid``."""
-    rows: List[Fig7Row] = []
-    for m in grid.tolerances:
-        for n in grid.populations:
-            f = optimal_utrp_frame_size(n, m, grid.alpha, grid.comm_budget)
-            rng = np.random.default_rng(derive_seed(grid.master_seed, 7, n, m))
-            detections = utrp_collusion_detection_trials(
-                n, m + 1, f, grid.comm_budget, grid.trials, rng
-            )
-            rows.append(
-                Fig7Row(
-                    population=n,
-                    tolerance=m,
-                    frame_size=f,
-                    detection=summarize_detections(detections),
-                )
-            )
+def _cell(grid: ExperimentGrid, n: int, m: int) -> Fig7Row:
+    """One (n, m) cell, seeded independently so cells parallelise."""
+    f = optimal_utrp_frame_size(n, m, grid.alpha, grid.comm_budget)
+    rng = np.random.default_rng(derive_seed(grid.master_seed, 7, n, m))
+    detections = utrp_collusion_detection_trials(
+        n, m + 1, f, grid.comm_budget, grid.trials, rng
+    )
+    return Fig7Row(
+        population=n,
+        tolerance=m,
+        frame_size=f,
+        detection=summarize_detections(detections),
+    )
+
+
+def run(grid: ExperimentGrid, jobs: int = 1) -> Fig7Result:
+    """Regenerate Fig. 7's data over ``grid``, ``jobs`` cells at a time."""
+    from ..fleet.executor import ParallelExecutor
+
+    rows = ParallelExecutor(jobs).map(
+        lambda cell: _cell(grid, *cell), grid.cells
+    )
     return Fig7Result(grid=grid, rows=rows)
 
 

@@ -1,0 +1,80 @@
+"""repro.fleet — multi-group monitoring orchestration.
+
+The protocol engines in :mod:`repro.core` monitor one tag population.
+A deployment monitors many: per-zone groups with their own ``(n, m,
+alpha)`` requirements, reader trust levels and channel quality. This
+package runs such fleets as *campaigns* — a registry of groups, a
+priority scheduler, a thread-pool executor that overlaps reader air
+time, a resilience layer (retry transient failures, escalate repeated
+alarms all the way to tag identification) and a metrics/journal pair
+that makes every campaign reproducible: same seed, same journal
+digest, regardless of the ``jobs`` setting.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    FleetAlert,
+    GroupRuntime,
+    format_campaign_result,
+    run_campaign,
+)
+from .executor import ParallelExecutor, resolve_jobs
+from .journal import FleetJournal, RoundRecord
+from .metrics import CostSummary, FleetMetrics, GroupMetrics, render_metrics_table
+from .registry import (
+    FleetRegistry,
+    FleetScenario,
+    GroupSpec,
+    TheftEvent,
+    default_scenario,
+)
+from .resilience import (
+    EscalationLevel,
+    EscalationPolicy,
+    RetryExhausted,
+    RetryPolicy,
+    run_with_retry,
+)
+from .rounds import (
+    AirTimeModel,
+    RoundTimeout,
+    SimulatedRound,
+    detection_diagnostic,
+    run_simulated_round,
+)
+from .scheduler import RoundScheduler, ScheduledRound
+
+__all__ = [
+    "AirTimeModel",
+    "CampaignConfig",
+    "CampaignResult",
+    "CostSummary",
+    "EscalationLevel",
+    "EscalationPolicy",
+    "FleetAlert",
+    "FleetJournal",
+    "FleetMetrics",
+    "FleetRegistry",
+    "FleetScenario",
+    "GroupMetrics",
+    "GroupRuntime",
+    "GroupSpec",
+    "ParallelExecutor",
+    "RetryExhausted",
+    "RetryPolicy",
+    "RoundRecord",
+    "RoundScheduler",
+    "RoundTimeout",
+    "ScheduledRound",
+    "SimulatedRound",
+    "TheftEvent",
+    "default_scenario",
+    "detection_diagnostic",
+    "format_campaign_result",
+    "render_metrics_table",
+    "resolve_jobs",
+    "run_campaign",
+    "run_simulated_round",
+    "run_with_retry",
+]

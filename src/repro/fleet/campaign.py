@@ -1,0 +1,466 @@
+"""Campaign execution: the fleet's main loop.
+
+A campaign takes a :class:`~repro.fleet.registry.FleetScenario` and a
+:class:`CampaignConfig` and runs the scenario's timeline tick by tick:
+scripted thefts apply, the scheduler nominates the due groups, the
+executor runs their rounds (in parallel when ``jobs > 1``), and every
+outcome lands in the metrics and the journal.
+
+Determinism is the design invariant. Each group owns a generator
+derived from ``(master_seed, group_index)`` and *only that group's
+round* ever draws from it; thefts apply on the campaign thread before
+rounds launch; the executor returns results in scheduling order; and
+aggregation happens serially on the campaign thread. Consequently the
+journal — alarms, escalations, named tags, everything — is identical
+across runs and across ``jobs`` settings, and
+:meth:`~repro.fleet.journal.FleetJournal.digest` proves it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.analysis import optimal_trp_frame_size
+from ..core.estimation import (
+    AlarmPolicy,
+    StrictAlarmPolicy,
+    ThresholdAlarmPolicy,
+    estimate_missing_count,
+)
+from ..core.identification import MissingTagIdentifier
+from ..core.utrp_analysis import optimal_utrp_frame_size
+from ..rfid.channel import ChannelOutage
+from ..rfid.ids import random_tag_ids
+from ..rfid.timing import GEN2_TYPICAL, LinkTiming
+from ..simulation.rng import derive_seed
+from .executor import ParallelExecutor
+from .journal import FleetJournal, RoundRecord
+from .metrics import FleetMetrics, render_metrics_table
+from .registry import FleetScenario, GroupSpec
+from .resilience import (
+    EscalationLevel,
+    EscalationPolicy,
+    RetryExhausted,
+    RetryPolicy,
+    run_with_retry,
+)
+from .rounds import (
+    AirTimeModel,
+    RoundTimeout,
+    SimulatedRound,
+    detection_diagnostic,
+    run_simulated_round,
+)
+from .scheduler import RoundScheduler, ScheduledRound
+
+__all__ = [
+    "CampaignConfig",
+    "FleetAlert",
+    "CampaignResult",
+    "GroupRuntime",
+    "run_campaign",
+    "format_campaign_result",
+]
+
+_SEED_SPACE = 1 << 62
+#: Dimension tag separating fleet seed derivation from the figure
+#: experiments' (which use their figure numbers).
+_FLEET_DIMENSION = 99
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs for one campaign run.
+
+    Attributes:
+        ticks: how many scheduler ticks to run.
+        jobs: concurrent rounds (1 = serial).
+        master_seed: campaign-level seed; every group derives from it.
+        time_scale: air-time pacing — ``0`` runs as fast as the CPU
+            allows (tests), ``k > 0`` sleeps each round's air time at
+            ``k``x real speed so concurrency is observable.
+        diagnostic_trials: per-round Monte Carlo trials for the
+            empirical-detection diagnostic (0 = skip).
+        retry: backoff schedule for transient failures.
+        escalation: repeated-alarm escalation policy.
+        round_timeout_us: abort any round whose air time exceeds this
+            (``None`` = no timeout).
+        timing: link budget for air-time accounting.
+    """
+
+    ticks: int = 5
+    jobs: int = 1
+    master_seed: int = 20080617
+    time_scale: float = 0.0
+    diagnostic_trials: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    escalation: EscalationPolicy = field(default_factory=EscalationPolicy)
+    round_timeout_us: Optional[float] = None
+    timing: LinkTiming = GEN2_TYPICAL
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ValueError("ticks must be >= 1")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.diagnostic_trials < 0:
+            raise ValueError("diagnostic_trials must be >= 0")
+        if self.round_timeout_us is not None and self.round_timeout_us <= 0:
+            raise ValueError("round_timeout_us must be positive")
+
+
+@dataclass(frozen=True)
+class FleetAlert:
+    """An operator page, qualified with its group and tick."""
+
+    group: str
+    tick: int
+    protocol: str
+    estimated_missing: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.group}] tick {self.tick} ({self.protocol.upper()}): "
+            f"~{self.estimated_missing:.1f} tags estimated missing"
+        )
+
+
+class GroupRuntime:
+    """One group's live state across a campaign.
+
+    Owns the group's IDs, presence mask, generator, counter mirror,
+    escalation state and identification accumulator. All methods are
+    called either on the campaign thread (thefts, between ticks) or by
+    exactly one executor worker at a time (the group's own round), so
+    no locking is needed.
+    """
+
+    def __init__(self, spec: GroupSpec, config: CampaignConfig, index: int):
+        self.spec = spec
+        self.config = config
+        self.rng = np.random.default_rng(
+            derive_seed(config.master_seed, _FLEET_DIMENSION, index)
+        )
+        self.ids = random_tag_ids(spec.population, self.rng)
+        self.present = np.ones(spec.population, dtype=bool)
+        self.counter = 0
+        self.base_level = (
+            EscalationLevel.TRP
+            if spec.trusted_reader
+            else EscalationLevel.UTRP
+        )
+        self.level = self.base_level
+        self.consecutive_alarms = 0
+        self.stolen_total = 0
+        self.identifier: Optional[MissingTagIdentifier] = None
+        self.alarm_policy: AlarmPolicy = (
+            ThresholdAlarmPolicy(tolerance=spec.tolerance)
+            if spec.tolerant_alarms
+            else StrictAlarmPolicy()
+        )
+        self.trp_frame = optimal_trp_frame_size(
+            spec.population, spec.tolerance, spec.confidence
+        )
+        self.utrp_frame = optimal_utrp_frame_size(
+            spec.population, spec.tolerance, spec.confidence, spec.comm_budget
+        )
+        self.air_model = AirTimeModel(
+            timing=config.timing, time_scale=config.time_scale
+        )
+
+    # ------------------------------------------------------------------
+    # timeline events (campaign thread)
+    # ------------------------------------------------------------------
+
+    def apply_theft(self, count: int) -> int:
+        """Steal up to ``count`` random present tags; returns the take."""
+        present_idx = np.nonzero(self.present)[0]
+        take = min(count, present_idx.size)
+        if take:
+            chosen = self.rng.choice(present_idx, size=take, replace=False)
+            self.present[chosen] = False
+            self.stolen_total += take
+        return take
+
+    # ------------------------------------------------------------------
+    # round execution (one executor worker)
+    # ------------------------------------------------------------------
+
+    def _frame_for(self, level: EscalationLevel) -> int:
+        # Identification runs forensic TRP-style sweeps at the TRP frame.
+        return self.utrp_frame if level is EscalationLevel.UTRP else self.trp_frame
+
+    def run_round(self, tick: int) -> RoundRecord:
+        """Execute one scheduled round, retries and escalation included."""
+        level = self.level
+        frame = self._frame_for(level)
+        spec = self.spec
+
+        def attempt(index: int) -> SimulatedRound:
+            if spec.outage_rate > 0.0 and self.rng.random() < spec.outage_rate:
+                raise ChannelOutage(
+                    f"{spec.name}: session lost (attempt {index + 1})"
+                )
+            seed = int(self.rng.integers(0, _SEED_SPACE))
+            # Identification replays must be counter-free so the
+            # core identifier can re-derive the slot map; operational
+            # TRP/UTRP rounds on counter tags tick the shared counter.
+            if spec.counter_tags and level is not EscalationLevel.IDENTIFY:
+                counter = self.counter + 1
+            else:
+                counter = 0
+            outcome = run_simulated_round(
+                self.ids,
+                self.present,
+                frame,
+                seed,
+                counter=counter,
+                miss_rate=spec.miss_rate,
+                rng=self.rng,
+                air_model=self.air_model,
+            )
+            timeout = self.config.round_timeout_us
+            if timeout is not None and outcome.air_us > timeout:
+                raise RoundTimeout(
+                    f"{spec.name}: round air time {outcome.air_us:.0f}us "
+                    f"exceeds budget {timeout:.0f}us"
+                )
+            if spec.counter_tags and level is not EscalationLevel.IDENTIFY:
+                self.counter = counter
+            pause = self.air_model.wall_seconds(outcome.air_us)
+            if pause > 0:
+                time.sleep(pause)
+            return outcome
+
+        try:
+            outcome, attempts, backoff_us = run_with_retry(
+                attempt, self.config.retry
+            )
+        except RetryExhausted as error:
+            # The round is abandoned; the schedule moves on.
+            self.consecutive_alarms = 0
+            return RoundRecord(
+                tick=tick,
+                group=spec.name,
+                protocol=level.value,
+                verdict="failed",
+                attempts=error.attempts,
+                backoff_us=backoff_us_of(self.config.retry, error.attempts),
+                failure=str(error.last_error),
+            )
+        return self._conclude(tick, level, outcome, attempts, backoff_us)
+
+    def _conclude(
+        self,
+        tick: int,
+        level: EscalationLevel,
+        outcome: SimulatedRound,
+        attempts: int,
+        backoff_us: float,
+    ) -> RoundRecord:
+        spec = self.spec
+        n, f = spec.population, outcome.frame_size
+        mismatches = outcome.mismatches
+        estimate = estimate_missing_count(mismatches, n, f)
+        alarmed = outcome.result.verdict.alarm and self.alarm_policy.should_alarm(
+            mismatches, n, f
+        )
+
+        named: List[int] = []
+        if level is EscalationLevel.IDENTIFY:
+            if self.identifier is None:
+                self.identifier = MissingTagIdentifier(self.ids)
+            before = self.identifier.confirmed_missing
+            self.identifier.ingest(f, outcome.seed, outcome.observed)
+            named = sorted(self.identifier.confirmed_missing - before)
+
+        escalated_to: Optional[str] = None
+        if alarmed:
+            self.consecutive_alarms += 1
+            if (
+                self.config.escalation.should_escalate(self.consecutive_alarms)
+                and self.level is not EscalationLevel.IDENTIFY
+            ):
+                self.level = self.config.escalation.next_level(
+                    self.level, spec.counter_tags
+                )
+                escalated_to = self.level.value
+                self.consecutive_alarms = 0
+        else:
+            self.consecutive_alarms = 0
+            self.level = self.base_level
+
+        diagnostic: Optional[float] = None
+        if self.config.diagnostic_trials > 0:
+            diagnostic = detection_diagnostic(
+                self.ids,
+                f,
+                spec.tolerance + 1,
+                self.config.diagnostic_trials,
+                self.rng,
+            )
+
+        return RoundRecord(
+            tick=tick,
+            group=spec.name,
+            protocol=level.value,
+            verdict=outcome.result.verdict.value,
+            frame_size=f,
+            seed=outcome.seed,
+            mismatches=mismatches,
+            estimated_missing=round(estimate, 3),
+            alarmed=alarmed,
+            attempts=attempts,
+            backoff_us=backoff_us,
+            air_us=outcome.air_us,
+            escalated_to=escalated_to,
+            confirmed_missing=[int(t) for t in named],
+            empirical_detection=diagnostic,
+        )
+
+
+def backoff_us_of(policy: RetryPolicy, attempts: int) -> float:
+    """Total simulated backoff a fully-exhausted round accumulated."""
+    return sum(policy.backoff_us(i) for i in range(max(0, attempts - 1)))
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced.
+
+    Attributes:
+        journal: the full round journal (deterministic under the seed).
+        metrics: per-group counters and cost summaries.
+        alerts: operator pages, in journal order.
+        wall_seconds: host wall-clock the campaign took (excluded from
+            the journal digest — it varies with jobs and host).
+        config: the configuration that ran.
+        group_names: roster, in registration order.
+    """
+
+    journal: FleetJournal
+    metrics: FleetMetrics
+    alerts: List[FleetAlert]
+    wall_seconds: float
+    config: CampaignConfig
+    group_names: List[str]
+
+
+def run_campaign(
+    scenario: FleetScenario,
+    config: CampaignConfig,
+    on_alert: Optional[Callable[[FleetAlert], None]] = None,
+) -> CampaignResult:
+    """Run a scenario to completion.
+
+    Args:
+        scenario: roster + theft timeline.
+        config: execution knobs.
+        on_alert: optional callback fired (on the campaign thread, in
+            journal order) for every page; exceptions propagate.
+
+    Raises:
+        ValueError: on an invalid scenario.
+    """
+    scenario.validate()
+    runtimes: Dict[str, GroupRuntime] = {}
+    scheduler = RoundScheduler()
+    for index, spec in enumerate(scenario.registry):
+        runtimes[spec.name] = GroupRuntime(spec, config, index)
+        scheduler.add_group(
+            spec.name, interval=spec.interval, priority=spec.priority
+        )
+
+    executor = ParallelExecutor(config.jobs)
+    journal = FleetJournal()
+    metrics = FleetMetrics()
+    alerts: List[FleetAlert] = []
+
+    start = time.perf_counter()
+    for tick in range(config.ticks):
+        for event in scenario.events_at(tick):
+            runtimes[event.group].apply_theft(event.count)
+        due = scheduler.due(tick)
+        records = executor.map(
+            lambda item: runtimes[item.group].run_round(item.tick), due
+        )
+        for record in records:
+            journal.append(record)
+            _aggregate(metrics, record)
+            if record.alarmed:
+                alert = FleetAlert(
+                    group=record.group,
+                    tick=record.tick,
+                    protocol=record.protocol,
+                    estimated_missing=record.estimated_missing,
+                )
+                alerts.append(alert)
+                if on_alert is not None:
+                    on_alert(alert)
+    wall = time.perf_counter() - start
+
+    return CampaignResult(
+        journal=journal,
+        metrics=metrics,
+        alerts=alerts,
+        wall_seconds=wall,
+        config=config,
+        group_names=scenario.registry.names,
+    )
+
+
+def _aggregate(metrics: FleetMetrics, record: RoundRecord) -> None:
+    gm = metrics.group(record.group)
+    gm.retries += max(0, record.attempts - 1)
+    if record.failure is not None:
+        gm.rounds_failed += 1
+        return
+    gm.rounds_completed += 1
+    gm.slot_costs.append(float(record.frame_size))
+    gm.air_us.append(record.air_us + record.backoff_us)
+    if record.alarmed:
+        gm.alarms += 1
+    if record.escalated_to is not None:
+        gm.escalations += 1
+    if record.protocol == EscalationLevel.IDENTIFY.value:
+        gm.identification_rounds += 1
+    gm.confirmed_missing += len(record.confirmed_missing)
+
+
+def format_campaign_result(result: CampaignResult) -> str:
+    """The operator-facing campaign report."""
+    cfg = result.config
+    lines = [
+        f"fleet campaign: {len(result.group_names)} group(s), "
+        f"{cfg.ticks} tick(s), jobs={cfg.jobs}, seed={cfg.master_seed}",
+        f"wall clock: {result.wall_seconds:.2f}s "
+        f"(time_scale={cfg.time_scale:g})",
+        "",
+        render_metrics_table(result.metrics),
+    ]
+    if result.alerts:
+        lines.append("")
+        lines.append(f"operator pages ({len(result.alerts)}):")
+        lines.extend(f"  {alert.describe()}" for alert in result.alerts)
+    escalations = result.journal.escalations()
+    if escalations:
+        lines.append("")
+        lines.append("escalations:")
+        lines.extend(
+            f"  [{r.group}] tick {r.tick}: {r.protocol} -> {r.escalated_to}"
+            for r in escalations
+        )
+    named = [
+        r for r in result.journal.records if r.confirmed_missing
+    ]
+    if named:
+        total = sum(len(r.confirmed_missing) for r in named)
+        lines.append("")
+        lines.append(f"identification named {total} missing tag(s)")
+    lines.append("")
+    lines.append(f"journal digest: {result.journal.digest()}")
+    return "\n".join(lines)

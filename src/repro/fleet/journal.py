@@ -1,0 +1,133 @@
+"""The append-only round journal: a campaign's forensic record.
+
+Every round — completed, alarmed, escalated or abandoned — appends one
+structured record. The journal is the campaign's source of truth for
+post-hoc questions ("when did group-03 first alarm?", "what did
+identification name?") and for the determinism guarantee: two runs of
+the same scenario under the same seed must produce byte-identical
+journals, which :meth:`FleetJournal.digest` makes checkable in one
+comparison. Wall-clock quantities are deliberately excluded from the
+digest — simulated time is part of the experiment, host speed is not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+__all__ = ["RoundRecord", "FleetJournal"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One round's journal entry.
+
+    Attributes:
+        tick: scheduler tick the round ran at.
+        group: group checked.
+        protocol: "trp", "utrp" or "identify".
+        verdict: the verdict value, or "failed" when retries ran out.
+        frame_size: ``f`` used (0 for failed rounds).
+        seed: challenge seed (0 for failed rounds).
+        mismatches: mismatched slot count.
+        estimated_missing: missing-count estimate from the mismatches.
+        alarmed: whether this round paged the operator.
+        attempts: attempts the round took (1 = clean first try).
+        backoff_us: simulated backoff spent on retries.
+        air_us: simulated air time (successful attempt only).
+        escalated_to: new level when this round triggered escalation.
+        confirmed_missing: tag IDs newly named by identification.
+        empirical_detection: measured ``g(n, m+1, f)`` diagnostic for
+            the round's frame, when the campaign runs diagnostics.
+        failure: the final transient error for abandoned rounds.
+    """
+
+    tick: int
+    group: str
+    protocol: str
+    verdict: str
+    frame_size: int = 0
+    seed: int = 0
+    mismatches: int = 0
+    estimated_missing: float = 0.0
+    alarmed: bool = False
+    attempts: int = 1
+    backoff_us: float = 0.0
+    air_us: float = 0.0
+    escalated_to: Optional[str] = None
+    confirmed_missing: List[int] = field(default_factory=list)
+    empirical_detection: Optional[float] = None
+    failure: Optional[str] = None
+
+
+class FleetJournal:
+    """Append-only, digestible sequence of :class:`RoundRecord`."""
+
+    def __init__(self) -> None:
+        self._records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[RoundRecord]:
+        return list(self._records)
+
+    def for_group(self, group: str) -> List[RoundRecord]:
+        return [r for r in self._records if r.group == group]
+
+    def alarms(self) -> List[RoundRecord]:
+        return [r for r in self._records if r.alarmed]
+
+    def escalations(self) -> List[RoundRecord]:
+        return [r for r in self._records if r.escalated_to is not None]
+
+    def failures(self) -> List[RoundRecord]:
+        return [r for r in self._records if r.failure is not None]
+
+    # ------------------------------------------------------------------
+    # determinism / persistence
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of every record, in order.
+
+        Two campaigns replayed under the same seed — whatever their
+        ``jobs`` setting or host speed — must produce equal digests.
+        """
+        payload = json.dumps(
+            [asdict(r) for r in self._records], sort_keys=True
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def dump(self, path: str) -> None:
+        """Write the journal as JSON lines (one record per line)."""
+        with open(path, "w") as fh:
+            for record in self._records:
+                fh.write(json.dumps(asdict(record), sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FleetJournal":
+        """Rebuild a journal from its JSONL file.
+
+        Raises:
+            ValueError: on malformed lines.
+        """
+        journal = cls()
+        with open(path) as fh:
+            for lineno, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    journal.append(RoundRecord(**json.loads(line)))
+                except (TypeError, json.JSONDecodeError) as error:
+                    raise ValueError(
+                        f"{path}:{lineno + 1}: bad journal line ({error})"
+                    ) from error
+        return journal

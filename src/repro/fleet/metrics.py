@@ -1,0 +1,171 @@
+"""Per-group counters and cost histograms for a campaign.
+
+Metrics answer the operator's dashboard questions — how many rounds,
+how many alarms, how much air time, where did the retries go — while
+the journal (:mod:`repro.fleet.journal`) answers the forensic ones.
+Counters are plain integers aggregated on the campaign thread (round
+results come back through the executor in deterministic order), so the
+table a campaign prints is identical run-to-run under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["CostSummary", "GroupMetrics", "FleetMetrics", "render_metrics_table"]
+
+
+@dataclass
+class CostSummary:
+    """Order statistics over one cost series (slots, air time, ...)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "CostSummary":
+        """Summarise a series; empty series summarise to zeros."""
+        if not len(values):
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, max=0.0)
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class GroupMetrics:
+    """Everything the fleet counts about one group.
+
+    Attributes:
+        rounds_completed: rounds that produced a verdict.
+        rounds_failed: rounds abandoned after retry exhaustion.
+        alarms: rounds whose verdict paged (per the group's policy).
+        retries: extra attempts spent on transient failures.
+        escalations: level changes triggered by repeated alarms.
+        identification_rounds: rounds run in identification mode.
+        confirmed_missing: distinct tags named by identification.
+        slot_costs: per-round frame sizes (completed rounds).
+        air_us: per-round simulated air time including backoff.
+    """
+
+    rounds_completed: int = 0
+    rounds_failed: int = 0
+    alarms: int = 0
+    retries: int = 0
+    escalations: int = 0
+    identification_rounds: int = 0
+    confirmed_missing: int = 0
+    slot_costs: List[float] = field(default_factory=list)
+    air_us: List[float] = field(default_factory=list)
+
+    @property
+    def slot_summary(self) -> CostSummary:
+        return CostSummary.of(self.slot_costs)
+
+    @property
+    def air_summary(self) -> CostSummary:
+        return CostSummary.of(self.air_us)
+
+
+class FleetMetrics:
+    """Per-group metrics, keyed by group name."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, GroupMetrics] = {}
+
+    def group(self, name: str) -> GroupMetrics:
+        """The group's metrics, created on first touch."""
+        if name not in self._groups:
+            self._groups[name] = GroupMetrics()
+        return self._groups[name]
+
+    @property
+    def groups(self) -> Dict[str, GroupMetrics]:
+        return dict(self._groups)
+
+    def totals(self) -> GroupMetrics:
+        """Fleet-wide roll-up of every counter."""
+        total = GroupMetrics()
+        for gm in self._groups.values():
+            total.rounds_completed += gm.rounds_completed
+            total.rounds_failed += gm.rounds_failed
+            total.alarms += gm.alarms
+            total.retries += gm.retries
+            total.escalations += gm.escalations
+            total.identification_rounds += gm.identification_rounds
+            total.confirmed_missing += gm.confirmed_missing
+            total.slot_costs.extend(gm.slot_costs)
+            total.air_us.extend(gm.air_us)
+        return total
+
+
+def render_metrics_table(metrics: FleetMetrics) -> str:
+    """The per-group campaign table the fleet CLI prints."""
+    headers = [
+        "group",
+        "rounds",
+        "failed",
+        "alarms",
+        "retries",
+        "escal.",
+        "named",
+        "slots p50",
+        "slots p95",
+        "air ms p50",
+    ]
+    rows = []
+    for name in sorted(metrics.groups):
+        gm = metrics.groups[name]
+        slots = gm.slot_summary
+        air = gm.air_summary
+        rows.append(
+            [
+                name,
+                str(gm.rounds_completed),
+                str(gm.rounds_failed),
+                str(gm.alarms),
+                str(gm.retries),
+                str(gm.escalations),
+                str(gm.confirmed_missing),
+                f"{slots.p50:.0f}",
+                f"{slots.p95:.0f}",
+                f"{air.p50 / 1000:.1f}",
+            ]
+        )
+    total = metrics.totals()
+    rows.append(
+        [
+            "TOTAL",
+            str(total.rounds_completed),
+            str(total.rounds_failed),
+            str(total.alarms),
+            str(total.retries),
+            str(total.escalations),
+            str(total.confirmed_missing),
+            f"{total.slot_summary.p50:.0f}",
+            f"{total.slot_summary.p95:.0f}",
+            f"{total.air_summary.p50 / 1000:.1f}",
+        ]
+    )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)

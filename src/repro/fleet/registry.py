@@ -1,0 +1,298 @@
+"""The fleet registry: named groups and the campaign scenario format.
+
+A *fleet* is many independently-policied tag groups monitored by one
+server — the shelves, pallets and stockrooms of Sec. 1's deployment
+story, each with its own ``(n, m, alpha)`` requirement, reader-trust
+level and channel quality. :class:`GroupSpec` is the declarative
+description of one such group; :class:`FleetScenario` bundles the
+group roster with a deterministic event timeline (thefts at known
+ticks) so an entire campaign is reproducible from one JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..core.parameters import MonitorRequirement
+
+__all__ = [
+    "GroupSpec",
+    "TheftEvent",
+    "FleetRegistry",
+    "FleetScenario",
+    "default_scenario",
+]
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Declarative description of one monitored group.
+
+    Attributes:
+        name: unique label; appears in alerts, metrics and the journal.
+        population: ``n`` — registered tags in the group.
+        tolerance: ``m`` — acceptable missing count.
+        confidence: ``alpha`` — required detection probability.
+        trusted_reader: True runs TRP rounds; False runs UTRP-grade
+            rounds from the start (the group's reader is not trusted).
+        counter_tags: whether the group's tags carry the UTRP hardware
+            counter. Required for untrusted readers and for TRP→UTRP
+            escalation.
+        comm_budget: collusion budget ``c`` assumed when sizing UTRP
+            frames for this group.
+        miss_rate: per-reply benign loss probability on this group's
+            channel (scratched tags, blocking items).
+        outage_rate: per-attempt probability the whole session drops
+            (:class:`~repro.rfid.channel.ChannelOutage`); the
+            resilience layer retries these.
+        interval: ticks between successive rounds on this group.
+        priority: lower numbers are scheduled first within a tick
+            (high-value stockrooms before overflow shelving).
+        tolerant_alarms: use the missing-count-estimating
+            :class:`~repro.core.estimation.ThresholdAlarmPolicy`
+            instead of the paper's strict any-mismatch rule.
+    """
+
+    name: str
+    population: int
+    tolerance: int
+    confidence: float = 0.95
+    trusted_reader: bool = True
+    counter_tags: bool = True
+    comm_budget: int = 20
+    miss_rate: float = 0.0
+    outage_rate: float = 0.0
+    interval: int = 1
+    priority: int = 0
+    tolerant_alarms: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("group name must be non-empty")
+        # Delegate (n, m, alpha) validation to the policy object.
+        MonitorRequirement(self.population, self.tolerance, self.confidence)
+        if not self.trusted_reader and not self.counter_tags:
+            raise ValueError(
+                f"group {self.name!r}: an untrusted reader needs counter tags"
+            )
+        if self.comm_budget < 0:
+            raise ValueError("comm_budget must be >= 0")
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ValueError("miss_rate must be within [0, 1)")
+        if not 0.0 <= self.outage_rate < 1.0:
+            raise ValueError("outage_rate must be within [0, 1)")
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1 tick")
+
+    @property
+    def requirement(self) -> MonitorRequirement:
+        """The group's ``(n, m, alpha)`` policy object."""
+        return MonitorRequirement(
+            self.population, self.tolerance, self.confidence
+        )
+
+
+@dataclass(frozen=True)
+class TheftEvent:
+    """A scripted theft: ``count`` random tags vanish before ``tick``.
+
+    Attributes:
+        group: which group loses tags.
+        tick: the scheduler tick the loss precedes (the next round on
+            the group can detect it).
+        count: how many tags are stolen.
+    """
+
+    group: str
+    tick: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError("tick must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+class FleetRegistry:
+    """Ordered collection of :class:`GroupSpec`, keyed by name."""
+
+    def __init__(self, specs: Optional[List[GroupSpec]] = None):
+        self._specs: Dict[str, GroupSpec] = {}
+        for spec in specs or []:
+            self.add(spec)
+
+    def add(self, spec: GroupSpec) -> GroupSpec:
+        """Register a group.
+
+        Raises:
+            ValueError: on a duplicate name.
+        """
+        if spec.name in self._specs:
+            raise ValueError(f"group {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> GroupSpec:
+        """Look up a group.
+
+        Raises:
+            KeyError: on an unknown name.
+        """
+        return self._specs[name]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[GroupSpec]:
+        return iter(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    @property
+    def total_population(self) -> int:
+        return sum(s.population for s in self._specs.values())
+
+
+@dataclass
+class FleetScenario:
+    """A complete, reproducible campaign description.
+
+    Attributes:
+        registry: the group roster.
+        events: the theft timeline (sorted on access by tick, then
+            group name, so application order never depends on how the
+            scenario was authored).
+    """
+
+    registry: FleetRegistry
+    events: List[TheftEvent] = field(default_factory=list)
+
+    def events_at(self, tick: int) -> List[TheftEvent]:
+        """The thefts to apply just before ``tick``'s rounds run."""
+        hits = [e for e in self.events if e.tick == tick]
+        return sorted(hits, key=lambda e: e.group)
+
+    def validate(self) -> None:
+        """Cross-check events against the roster.
+
+        Raises:
+            ValueError: if an event names an unknown group.
+        """
+        for event in self.events:
+            if event.group not in self.registry:
+                raise ValueError(
+                    f"event at tick {event.tick} names unknown group "
+                    f"{event.group!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # serialisation (the scenario-file format)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "groups": [asdict(spec) for spec in self.registry],
+            "events": [asdict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FleetScenario":
+        """Rebuild a scenario from its JSON document.
+
+        Raises:
+            ValueError: on malformed documents or dangling event
+                references.
+        """
+        if "groups" not in doc:
+            raise ValueError("scenario document lacks a 'groups' list")
+        registry = FleetRegistry(
+            [GroupSpec(**group) for group in doc["groups"]]
+        )
+        events = [TheftEvent(**event) for event in doc.get("events", [])]
+        scenario = cls(registry=registry, events=events)
+        scenario.validate()
+        return scenario
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FleetScenario":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def default_scenario(groups: int = 4) -> FleetScenario:
+    """A synthetic-but-plausible fleet for demos and the CLI.
+
+    Group shapes cycle through four archetypes (big trusted stockroom,
+    lossy shelf, untrusted dock reader, small high-priority vault) and
+    the event timeline stages both a sub-tolerance loss (absorbed by
+    ``m``) and super-tolerance thefts (alarm, then escalation as the
+    alarms repeat). Everything downstream is derived from the campaign
+    seed, so the same ``groups`` count always produces the same
+    scenario structure.
+
+    Raises:
+        ValueError: if ``groups`` is not positive.
+    """
+    if groups < 1:
+        raise ValueError("groups must be >= 1")
+    specs: List[GroupSpec] = []
+    events: List[TheftEvent] = []
+    for i in range(groups):
+        archetype = i % 4
+        name = f"group-{i:02d}"
+        if archetype == 0:  # large trusted stockroom, clean channel
+            spec = GroupSpec(
+                name=name,
+                population=2000 + 250 * (i // 4),
+                tolerance=20,
+                trusted_reader=True,
+                priority=1,
+            )
+            # Repeated super-tolerance theft: alarm on tick 1's round,
+            # again on tick 2's -> escalates TRP -> UTRP -> identify.
+            events.append(TheftEvent(group=name, tick=1, count=35))
+            events.append(TheftEvent(group=name, tick=2, count=15))
+        elif archetype == 1:  # lossy shelf, tolerant alarms, flaky link
+            spec = GroupSpec(
+                name=name,
+                population=1200 + 200 * (i // 4),
+                tolerance=30,
+                miss_rate=0.004,
+                outage_rate=0.25,
+                tolerant_alarms=True,
+                priority=2,
+            )
+            # Sub-tolerance loss: the whole point of m is to absorb it.
+            events.append(TheftEvent(group=name, tick=2, count=8))
+        elif archetype == 2:  # dock door with an untrusted reader
+            spec = GroupSpec(
+                name=name,
+                population=1500 + 200 * (i // 4),
+                tolerance=10,
+                trusted_reader=False,
+                interval=2,
+                priority=3,
+            )
+            events.append(TheftEvent(group=name, tick=2, count=25))
+        else:  # small high-value vault, checked first every tick
+            spec = GroupSpec(
+                name=name,
+                population=600 + 100 * (i // 4),
+                tolerance=5,
+                priority=0,
+            )
+        specs.append(spec)
+    return FleetScenario(registry=FleetRegistry(specs), events=events)

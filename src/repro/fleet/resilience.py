@@ -1,0 +1,170 @@
+"""Retries, backoff and protocol escalation.
+
+Two distinct failure ladders meet here:
+
+* **transient link failures** — a session outage or a round timeout
+  yields no bitstring at all. The right response is to retry the same
+  round with capped exponential backoff (in *simulated* time: backoff
+  is charged to the round's latency accounting, never slept raw), and
+  to give up after a bounded number of attempts rather than wedge the
+  fleet on one dead reader;
+* **repeated alarms** — a round that *does* verify and says NOT-INTACT
+  is not a failure but evidence. When the evidence repeats, the fleet
+  escalates scrutiny: a trusted-reader group's TRP rounds are upgraded
+  to UTRP-grade checks (the reader may be the thief — Sec. 5's threat
+  model), and if alarms persist the group enters identification mode
+  (:mod:`repro.core.identification`) to *name* the missing tags.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Tuple, TypeVar
+
+from ..rfid.channel import ChannelOutage
+from .rounds import RoundTimeout
+
+__all__ = [
+    "RetryPolicy",
+    "RetryExhausted",
+    "run_with_retry",
+    "EscalationLevel",
+    "EscalationPolicy",
+    "TRANSIENT_FAILURES",
+]
+
+R = TypeVar("R")
+
+#: Exception types the retry layer absorbs; anything else propagates.
+TRANSIENT_FAILURES = (ChannelOutage, RoundTimeout)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for transient round failures.
+
+    Attributes:
+        max_attempts: total tries per round (first attempt included).
+        base_backoff_us: simulated wait before the first retry.
+        multiplier: backoff growth factor per retry.
+        max_backoff_us: ceiling on any single wait.
+    """
+
+    max_attempts: int = 3
+    base_backoff_us: float = 50_000.0
+    multiplier: float = 2.0
+    max_backoff_us: float = 400_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def backoff_us(self, retry_index: int) -> float:
+        """Simulated wait before retry number ``retry_index`` (0-based).
+
+        Raises:
+            ValueError: if ``retry_index`` is negative.
+        """
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        return min(
+            self.base_backoff_us * self.multiplier**retry_index,
+            self.max_backoff_us,
+        )
+
+
+class RetryExhausted(RuntimeError):
+    """Every attempt a :class:`RetryPolicy` allows failed transiently.
+
+    Attributes:
+        attempts: how many attempts were made.
+        last_error: the final transient failure.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        super().__init__(
+            f"round failed after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def run_with_retry(
+    attempt: Callable[[int], R], policy: RetryPolicy
+) -> Tuple[R, int, float]:
+    """Run ``attempt`` until it succeeds or the policy is exhausted.
+
+    Args:
+        attempt: callable receiving the 0-based attempt index.
+        policy: the backoff schedule.
+
+    Returns:
+        ``(result, attempts_used, total_backoff_us)``. The backoff
+        total is *simulated* time for the caller's latency accounting.
+
+    Raises:
+        RetryExhausted: when all attempts fail transiently.
+        Exception: non-transient errors propagate from the first
+            attempt that raises one.
+    """
+    total_backoff = 0.0
+    for index in range(policy.max_attempts):
+        try:
+            return attempt(index), index + 1, total_backoff
+        except TRANSIENT_FAILURES as error:
+            if index + 1 >= policy.max_attempts:
+                raise RetryExhausted(index + 1, error) from error
+            total_backoff += policy.backoff_us(index)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class EscalationLevel(enum.Enum):
+    """How much scrutiny a group is currently under."""
+
+    TRP = "trp"
+    UTRP = "utrp"
+    IDENTIFY = "identify"
+
+    @property
+    def rank(self) -> int:
+        return {"trp": 0, "utrp": 1, "identify": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """When and how repeated alarms raise the scrutiny level.
+
+    Attributes:
+        alarm_streak: consecutive alarming rounds needed to escalate
+            one level. An intact round resets both the streak and the
+            level (back to the group's base protocol).
+    """
+
+    alarm_streak: int = 2
+
+    def __post_init__(self) -> None:
+        if self.alarm_streak < 1:
+            raise ValueError("alarm_streak must be >= 1")
+
+    def next_level(
+        self, level: EscalationLevel, counter_tags: bool
+    ) -> EscalationLevel:
+        """The level one step up from ``level``.
+
+        TRP escalates to UTRP only when the tags carry the hardware
+        counter UTRP needs; otherwise the only sharper tool is
+        identification.
+        """
+        if level is EscalationLevel.TRP:
+            return (
+                EscalationLevel.UTRP if counter_tags else EscalationLevel.IDENTIFY
+            )
+        return EscalationLevel.IDENTIFY
+
+    def should_escalate(self, consecutive_alarms: int) -> bool:
+        return consecutive_alarms >= self.alarm_streak

@@ -1,0 +1,264 @@
+"""Simulated monitoring rounds, sized for fleet-scale campaigns.
+
+The protocol engines in :mod:`repro.core` walk per-tag state machines
+— the right fidelity for protocol tests, far too slow to run thousands
+of rounds across a fleet. This module is the campaign-grade path: one
+round is a handful of vectorised numpy operations (hash registered
+IDs, hash present IDs, drop lost replies, compare occupancy), the same
+detection model the cross-validated fast path in
+:mod:`repro.simulation.fastpath` uses.
+
+Two deliberate simplifications versus the slow path, both
+detection-equivalent for occupancy bitstrings:
+
+* UTRP rounds are modelled as counter-hashed occupancy scans at the
+  Eq. 3 frame size rather than a full per-slot re-seeding cascade; the
+  defence-relevant quantities the fleet tracks (frame cost, counter
+  sync, detection probability) are preserved.
+* collisions are not distinguished from singletons — the protocols
+  only ever consume the occupied/empty bit.
+
+The module also owns the two *failure* models a campaign exercises —
+session outages (re-raised from :mod:`repro.rfid.channel`) and round
+timeouts — and the :class:`AirTimeModel` that converts a round's slot
+accounting into simulated reader air time. Air time is what the
+parallel executor overlaps across groups: each group has its own
+reader, so while group A's reader walks its frame, group B's can too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.verification import VerificationResult, compare_bitstrings
+from ..rfid.channel import ChannelOutage
+from ..rfid.hashing import splitmix64_array, slots_for_tags
+from ..rfid.timing import GEN2_TYPICAL, LinkTiming
+
+__all__ = [
+    "RoundTimeout",
+    "AirTimeModel",
+    "SimulatedRound",
+    "run_simulated_round",
+    "detection_diagnostic",
+]
+
+_SEED_SPACE = 1 << 62
+
+
+class RoundTimeout(RuntimeError):
+    """The round's air time exceeded the operator's per-round budget.
+
+    Transient in the same sense as an outage: the round produced no
+    trustworthy bitstring (a reader that overruns its window may have
+    been stalled by interference or tampering), so the resilience layer
+    retries it.
+    """
+
+
+@dataclass(frozen=True)
+class AirTimeModel:
+    """Converts slot accounting into (scaled) wall-clock seconds.
+
+    Attributes:
+        timing: the link budget (defaults to the Gen2-flavoured one).
+        time_scale: how many times faster than real time the simulation
+            runs. ``8`` means one second of air time costs 125 ms of
+            wall clock; ``0`` disables sleeping entirely (tests, and
+            any caller that only wants the accounting).
+    """
+
+    timing: LinkTiming = GEN2_TYPICAL
+    time_scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+
+    def round_air_us(self, frame_size: int, occupied_slots: int) -> float:
+        """Air time of one occupancy round, in simulated microseconds.
+
+        Occupied slots carry the 16-bit random burst TRP replies with;
+        empty slots cost only the polling overhead.
+        """
+        empty = frame_size - occupied_slots
+        return (
+            self.timing.seed_broadcast_us
+            + empty * self.timing.empty_slot_us
+            + occupied_slots * (self.timing.reply_slot_us + 16 * self.timing.bit_us)
+        )
+
+    def wall_seconds(self, air_us: float) -> float:
+        """Wall-clock seconds this much air time should occupy."""
+        if self.time_scale == 0:
+            return 0.0
+        return air_us / 1e6 / self.time_scale
+
+
+@dataclass
+class SimulatedRound:
+    """Everything one simulated round produced.
+
+    Attributes:
+        result: the server's verdict (the same
+            :class:`~repro.core.verification.VerificationResult` the
+            protocol engines emit).
+        observed: the occupancy bitstring the reader returned.
+        expected: the server's predicted bitstring.
+        frame_size: ``f`` used.
+        seed: the challenge seed ``r``.
+        occupied_slots: occupied count in the observed bitstring.
+        air_us: simulated air time of the scan.
+        lost_replies: replies dropped by the lossy channel this round.
+    """
+
+    result: VerificationResult
+    observed: np.ndarray
+    expected: np.ndarray
+    frame_size: int
+    seed: int
+    occupied_slots: int
+    air_us: float
+    lost_replies: int
+
+    @property
+    def mismatches(self) -> int:
+        return len(self.result.mismatched_slots)
+
+
+def run_simulated_round(
+    registered_ids: np.ndarray,
+    present_mask: np.ndarray,
+    frame_size: int,
+    seed: int,
+    counter: int = 0,
+    miss_rate: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    air_model: Optional[AirTimeModel] = None,
+) -> SimulatedRound:
+    """One occupancy round: prediction, scan, verdict.
+
+    Args:
+        registered_ids: the server's full ID set (defines the
+            prediction).
+        present_mask: boolean mask over ``registered_ids`` — which tags
+            are physically in the reader's field.
+        frame_size: the round's ``f``.
+        seed: the round's ``r``.
+        counter: the group-wide tag counter folded into the hash
+            (0 for plain TRP tags; counter tags tick every round).
+        miss_rate: per-reply benign loss probability.
+        rng: required when ``miss_rate > 0``.
+        air_model: optional air-time accounting (no sleeping here —
+            the campaign owns pacing; this only fills ``air_us``).
+
+    Raises:
+        ValueError: on shape mismatches or a missing rng.
+    """
+    ids = np.asarray(registered_ids, dtype=np.uint64)
+    mask = np.asarray(present_mask, dtype=bool)
+    if ids.shape != mask.shape:
+        raise ValueError("registered_ids and present_mask must align")
+    if miss_rate > 0.0 and rng is None:
+        raise ValueError("a lossy round needs an rng")
+
+    slots = slots_for_tags(ids, seed, frame_size, counter=counter)
+    expected_counts = np.bincount(slots, minlength=frame_size)
+    expected = (expected_counts > 0).astype(np.uint8)
+
+    present_slots = slots[mask]
+    lost = 0
+    if miss_rate > 0.0 and present_slots.size:
+        kept = rng.random(present_slots.size) >= miss_rate
+        lost = int(present_slots.size - kept.sum())
+        present_slots = present_slots[kept]
+    observed_counts = np.bincount(present_slots, minlength=frame_size)
+    observed = (observed_counts > 0).astype(np.uint8)
+
+    result = compare_bitstrings(expected, observed, frame_size)
+    occupied = int(np.count_nonzero(observed))
+    model = air_model if air_model is not None else AirTimeModel()
+    air_us = model.round_air_us(frame_size, occupied)
+    return SimulatedRound(
+        result=result,
+        observed=observed,
+        expected=expected,
+        frame_size=frame_size,
+        seed=seed,
+        occupied_slots=occupied,
+        air_us=air_us,
+        lost_replies=lost,
+    )
+
+
+def detection_diagnostic(
+    registered_ids: np.ndarray,
+    frame_size: int,
+    critical_missing: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Empirical ``g(n, m+1, f)`` for *this* group's actual IDs.
+
+    Eq. 2 sizes frames assuming a uniform hash; this diagnostic
+    measures the detection probability the deployed ID set really
+    achieves at the critical theft size, so each journal entry carries
+    evidence the group still clears its ``alpha``. It is also the
+    campaign's CPU-heavy verification work, implemented as single large
+    array operations (a ``(trials, n)`` hash matrix and one fleet-wide
+    ``bincount``) — numpy releases the GIL inside them, which is what
+    makes thread-level round parallelism worthwhile on multi-core
+    hosts.
+
+    Args:
+        registered_ids: the group's ID set.
+        frame_size: the frame to evaluate.
+        critical_missing: theft size per trial (``m + 1`` is the
+            paper's worst case).
+        trials: Monte Carlo sample size.
+        rng: the group's generator (draws ``trials`` seeds + thefts).
+
+    Returns:
+        Fraction of trials in which the theft produced a mismatch.
+
+    Raises:
+        ValueError: on invalid sizes.
+    """
+    ids = np.asarray(registered_ids, dtype=np.uint64)
+    n = ids.size
+    if not 0 < critical_missing <= n:
+        raise ValueError("critical_missing must be within (0, n]")
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+
+    seeds = rng.integers(0, _SEED_SPACE, size=trials, dtype=np.uint64)
+    # (trials, n) slot matrix in one vectorised hash.
+    words = ids[None, :] ^ seeds[:, None]
+    slot_matrix = (splitmix64_array(words) % np.uint64(frame_size)).astype(
+        np.int64
+    )
+
+    # Exactly `critical_missing` stolen per trial: threshold each row's
+    # uniforms at its x-th smallest value.
+    u = rng.random((trials, n))
+    kth = np.partition(u, critical_missing - 1, axis=1)[
+        :, critical_missing - 1 : critical_missing
+    ]
+    stolen = u <= kth
+
+    # Per-trial occupancy via one offset bincount over all trials.
+    offsets = np.arange(trials, dtype=np.int64)[:, None] * frame_size
+    flat = slot_matrix + offsets
+    present_counts = np.bincount(
+        flat[~stolen], minlength=trials * frame_size
+    )
+    # Row-major boolean indexing yields each row's x stolen slots
+    # contiguously, so the (trials, x) reshape is exact.
+    stolen_exposed = present_counts[flat[stolen]] == 0
+    detected = stolen_exposed.reshape(trials, critical_missing).any(axis=1)
+    return float(detected.mean())

@@ -1,0 +1,116 @@
+"""Round scheduling: which groups get checked at each tick.
+
+Time in a campaign is a virtual integer clock ("ticks"); each group
+declares an ``interval`` (check every k ticks) and a ``priority``
+(order within a tick). The scheduler is a priority heap over
+``(due_tick, priority, insertion_seq)`` — deterministic by
+construction: two runs that add the same groups in the same order pop
+the same rounds in the same order, which is what lets the campaign
+journal replay bit-for-bit under a fixed seed.
+
+The scheduler knows nothing about protocols or channels; it only
+answers "who is due now?" and "when is someone next due?". Failure
+handling (retries, escalation) happens *within* a round and never
+perturbs the timeline — a group that exhausts its retries simply keeps
+its next slot, which keeps scheduling decisions independent of round
+outcomes and therefore trivially reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ScheduledRound", "RoundScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduledRound:
+    """One due round, as popped from the scheduler.
+
+    Attributes:
+        tick: the tick it became due.
+        group: the group to check.
+        priority: the group's priority (kept for display/auditing).
+    """
+
+    tick: int
+    group: str
+    priority: int
+
+
+class RoundScheduler:
+    """Interval + priority scheduler over a virtual tick clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, str]] = []
+        self._intervals: Dict[str, int] = {}
+        self._priorities: Dict[str, int] = {}
+        self._seq = 0
+
+    def add_group(
+        self,
+        name: str,
+        interval: int = 1,
+        priority: int = 0,
+        first_tick: int = 0,
+    ) -> None:
+        """Start scheduling a group.
+
+        Args:
+            name: unique group name.
+            interval: ticks between rounds (>= 1).
+            priority: lower runs first within a tick.
+            first_tick: when the group's first round is due.
+
+        Raises:
+            ValueError: on a duplicate group or a non-positive interval.
+        """
+        if name in self._intervals:
+            raise ValueError(f"group {name!r} already scheduled")
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        if first_tick < 0:
+            raise ValueError("first_tick must be >= 0")
+        self._intervals[name] = interval
+        self._priorities[name] = priority
+        self._push(first_tick, name)
+
+    def _push(self, tick: int, name: str) -> None:
+        heapq.heappush(
+            self._heap, (tick, self._priorities[name], self._seq, name)
+        )
+        self._seq += 1
+
+    @property
+    def groups(self) -> List[str]:
+        return list(self._intervals)
+
+    def next_due_tick(self) -> Optional[int]:
+        """The earliest tick with work pending, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def due(self, tick: int) -> List[ScheduledRound]:
+        """Pop every round due at or before ``tick``, priority-ordered.
+
+        Each popped group is immediately rescheduled at
+        ``tick + interval``, so the cadence is anchored to when the
+        round *ran*, not when it was nominally due — a stalled campaign
+        does not come back to a thundering herd of make-up rounds.
+
+        Raises:
+            ValueError: if ``tick`` is negative.
+        """
+        if tick < 0:
+            raise ValueError("tick must be >= 0")
+        popped: List[Tuple[int, int, int, str]] = []
+        while self._heap and self._heap[0][0] <= tick:
+            popped.append(heapq.heappop(self._heap))
+        rounds = [
+            ScheduledRound(tick=tick, group=name, priority=priority)
+            for (_due, priority, _seq, name) in popped
+        ]
+        for item in rounds:
+            self._push(tick + self._intervals[item.group], item.group)
+        return rounds

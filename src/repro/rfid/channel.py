@@ -19,7 +19,14 @@ from typing import List, Optional, Sequence
 
 from .tag import Tag, TagReply
 
-__all__ = ["SlotOutcome", "SlotObservation", "ChannelStats", "SlottedChannel"]
+__all__ = [
+    "SlotOutcome",
+    "SlotObservation",
+    "ChannelStats",
+    "SlottedChannel",
+    "ChannelOutage",
+    "FlakyChannel",
+]
 
 
 class SlotOutcome(enum.Enum):
@@ -82,6 +89,18 @@ class ChannelStats:
             reply_payload_bits=self.reply_payload_bits + other.reply_payload_bits,
             id_transmissions=self.id_transmissions + other.id_transmissions,
         )
+
+
+class ChannelOutage(RuntimeError):
+    """The reader lost its link for the whole session.
+
+    Raised by :class:`FlakyChannel` when a session-level outage strikes
+    (reader knocked out of range, interference burst, power brownout).
+    Unlike per-reply losses (``miss_rate``), an outage aborts the round
+    before any slot is observed, so the server learns *nothing* — the
+    correct reaction is to retry the round, which is what the
+    :mod:`repro.fleet` resilience layer does.
+    """
 
 
 class SlottedChannel:
@@ -173,3 +192,48 @@ class SlottedChannel:
                 if tag.tag_id in colliders:
                     tag.mark_collided()
         return SlotObservation(SlotOutcome.COLLISION, None, None, replies)
+
+
+class FlakyChannel(SlottedChannel):
+    """A channel whose whole *session* can drop, not just single replies.
+
+    ``outage_rate`` is the probability that any given session (the span
+    from one seed broadcast to the end of its frame) is unusable. The
+    outage surfaces as :class:`ChannelOutage` on the seed broadcast —
+    the earliest point a real reader would notice it cannot raise the
+    field — leaving the tags untouched, so a retried round starts from
+    a clean state.
+
+    Both failure axes compose: a session that survives the outage draw
+    still loses individual replies at ``miss_rate``.
+    """
+
+    def __init__(
+        self,
+        tags: Sequence[Tag],
+        outage_rate: float = 0.0,
+        miss_rate: float = 0.0,
+        rng=None,
+    ):
+        if not 0.0 <= outage_rate <= 1.0:
+            raise ValueError(
+                f"outage_rate must be within [0, 1], got {outage_rate}"
+            )
+        if outage_rate > 0.0 and rng is None:
+            raise ValueError("an outage-prone channel needs an rng")
+        super().__init__(tags, miss_rate=miss_rate, rng=rng)
+        self._outage_rate = outage_rate
+        self.outages = 0
+
+    def broadcast_seed(self, frame_size: int, seed: int) -> None:
+        """Deliver the ``(f, r)`` broadcast, or lose the whole session.
+
+        Raises:
+            ChannelOutage: with probability ``outage_rate`` per call.
+        """
+        if self._outage_rate > 0.0 and self._rng.random() < self._outage_rate:
+            self.outages += 1
+            raise ChannelOutage(
+                f"session lost before seed broadcast (outage #{self.outages})"
+            )
+        super().broadcast_seed(frame_size, seed)

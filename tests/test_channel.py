@@ -123,3 +123,54 @@ class TestBroadcast:
         channel.broadcast_seed(8, 3)
         channel.broadcast_seed(7, 4)
         assert channel.stats.seed_broadcasts == 2
+
+
+class TestFlakyChannel:
+    def test_certain_outage_always_raises(self):
+        import numpy as np
+
+        from repro.rfid.channel import ChannelOutage, FlakyChannel
+
+        channel = FlakyChannel(
+            [Tag(1)], outage_rate=1.0, rng=np.random.default_rng(0)
+        )
+        for _ in range(3):
+            with pytest.raises(ChannelOutage):
+                channel.broadcast_seed(8, 3)
+        assert channel.outages == 3
+        # The outage struck before the field came up: tags untouched.
+        assert channel.tags[0].state is TagState.IDLE
+        assert channel.stats.seed_broadcasts == 0
+
+    def test_zero_rate_behaves_like_plain_channel(self):
+        from repro.rfid.channel import FlakyChannel
+
+        channel = FlakyChannel([Tag(1), Tag(2)], outage_rate=0.0)
+        channel.broadcast_seed(8, 3)
+        assert all(t.state is TagState.SEEDED for t in channel.tags)
+        assert channel.outages == 0
+
+    def test_outage_rate_validated(self):
+        from repro.rfid.channel import FlakyChannel
+
+        with pytest.raises(ValueError):
+            FlakyChannel([Tag(1)], outage_rate=1.5)
+        with pytest.raises(ValueError):
+            FlakyChannel([Tag(1)], outage_rate=0.5)  # needs an rng
+
+    def test_surviving_session_still_loses_replies(self):
+        import numpy as np
+
+        from repro.rfid.channel import FlakyChannel
+
+        rng = np.random.default_rng(1)
+        channel = FlakyChannel(
+            [Tag(i) for i in range(40)],
+            outage_rate=0.0,
+            miss_rate=1.0,
+            rng=rng,
+        )
+        channel.broadcast_seed(4, 0)
+        assert all(
+            not channel.poll_slot(s).outcome.occupied for s in range(4)
+        )

@@ -27,6 +27,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_fig_commands_accept_jobs(self):
+        args = build_parser().parse_args(["fig5", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["fig7"]).jobs == 1
+
+    def test_fleet_args(self):
+        args = build_parser().parse_args(
+            ["fleet", "--groups", "8", "--rounds", "5", "--jobs", "4",
+             "--time-scale", "0", "--seed", "9"]
+        )
+        assert args.command == "fleet"
+        assert (args.groups, args.rounds, args.jobs) == (8, 5, 4)
+        assert args.time_scale == 0.0
+        assert args.seed == 9
+
 
 class TestMain:
     def test_plan_output(self, capsys):
@@ -46,6 +61,56 @@ class TestMain:
     def test_fig5_runs_small(self, capsys):
         assert main(["fig5", "--trials", "5", "--seed", "3"]) == 0
         assert "Fig. 5" in capsys.readouterr().out
+
+
+class TestFleetCommand:
+    def test_fleet_runs_and_prints_metrics(self, capsys):
+        assert main(
+            ["fleet", "--groups", "3", "--rounds", "2", "--jobs", "2",
+             "--time-scale", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet campaign: 3 group(s)" in out
+        assert "journal digest:" in out
+        assert "TOTAL" in out
+
+    def test_fleet_is_seed_deterministic(self, capsys):
+        def lines(out):
+            # Everything but the wall-clock line is seed-determined.
+            return [l for l in out.splitlines() if "wall clock" not in l]
+
+        argv = ["fleet", "--groups", "2", "--rounds", "2",
+                "--time-scale", "0", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert lines(capsys.readouterr().out) == lines(first)
+
+    def test_fleet_writes_journal(self, tmp_path, capsys):
+        path = tmp_path / "journal.jsonl"
+        assert main(
+            ["fleet", "--groups", "2", "--rounds", "2", "--time-scale", "0",
+             "--journal", str(path)]
+        ) == 0
+        assert "journal written to" in capsys.readouterr().out
+        from repro.fleet import FleetJournal
+
+        assert len(FleetJournal.load(str(path))) > 0
+
+    def test_fleet_loads_scenario_file(self, tmp_path, capsys):
+        from repro.fleet import default_scenario
+
+        path = tmp_path / "scenario.json"
+        default_scenario(groups=2).save(str(path))
+        assert main(
+            ["fleet", "--scenario", str(path), "--rounds", "2",
+             "--time-scale", "0"]
+        ) == 0
+        assert "2 group(s)" in capsys.readouterr().out
+
+    def test_fig6_with_jobs(self, capsys):
+        assert main(["fig6", "--trials", "1", "--jobs", "2"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
 
 
 class TestNewCommands:

@@ -1,0 +1,252 @@
+"""Tests for repro.fleet.campaign — determinism, escalation, failure paths."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    CampaignConfig,
+    EscalationLevel,
+    FleetRegistry,
+    FleetScenario,
+    GroupSpec,
+    RetryPolicy,
+    TheftEvent,
+    default_scenario,
+    format_campaign_result,
+    run_campaign,
+)
+from repro.fleet.campaign import GroupRuntime
+
+
+def _one_group_scenario(**spec_kwargs):
+    kwargs = dict(name="zone", population=400, tolerance=5)
+    kwargs.update(spec_kwargs)
+    return FleetScenario(registry=FleetRegistry([GroupSpec(**kwargs)]))
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(ticks=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(jobs=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(diagnostic_trials=-1)
+        with pytest.raises(ValueError):
+            CampaignConfig(round_timeout_us=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        scenario = default_scenario(groups=5)
+        config = CampaignConfig(ticks=4, master_seed=11)
+        a = run_campaign(scenario, config)
+        b = run_campaign(scenario, config)
+        assert a.journal.digest() == b.journal.digest()
+        assert len(a.journal) > 0
+
+    def test_jobs_do_not_change_the_journal(self):
+        scenario = default_scenario(groups=6)
+        serial = run_campaign(
+            scenario, CampaignConfig(ticks=4, jobs=1, master_seed=11)
+        )
+        threaded = run_campaign(
+            scenario, CampaignConfig(ticks=4, jobs=3, master_seed=11)
+        )
+        assert serial.journal.records == threaded.journal.records
+        assert serial.journal.digest() == threaded.journal.digest()
+
+    def test_different_seeds_diverge(self):
+        scenario = default_scenario(groups=4)
+        a = run_campaign(scenario, CampaignConfig(ticks=3, master_seed=1))
+        b = run_campaign(scenario, CampaignConfig(ticks=3, master_seed=2))
+        assert a.journal.digest() != b.journal.digest()
+
+
+class TestEscalation:
+    def test_repeated_theft_walks_the_ladder(self):
+        """TRP alarms -> UTRP rounds -> identification rounds."""
+        scenario = _one_group_scenario()
+        scenario.events.append(TheftEvent(group="zone", tick=1, count=60))
+        scenario.events.append(TheftEvent(group="zone", tick=2, count=20))
+        result = run_campaign(
+            scenario, CampaignConfig(ticks=7, master_seed=3)
+        )
+        protocols = [r.protocol for r in result.journal.for_group("zone")]
+        assert protocols[0] == "trp"
+        assert "utrp" in protocols
+        assert "identify" in protocols
+        # The ladder only moves forward while alarms persist.
+        ranks = [
+            EscalationLevel(p).rank for p in protocols
+        ]
+        assert ranks == sorted(ranks)
+
+    def test_intact_group_never_alarms_or_escalates(self):
+        result = run_campaign(
+            _one_group_scenario(), CampaignConfig(ticks=5, master_seed=3)
+        )
+        assert result.alerts == []
+        assert result.journal.escalations() == []
+        assert all(r.protocol == "trp" for r in result.journal.records)
+
+    def test_sub_tolerance_loss_stays_silent_with_tolerant_policy(self):
+        scenario = _one_group_scenario(
+            tolerance=30, tolerant_alarms=True
+        )
+        scenario.events.append(TheftEvent(group="zone", tick=1, count=3))
+        result = run_campaign(
+            scenario, CampaignConfig(ticks=4, master_seed=3)
+        )
+        assert result.alerts == []
+
+    def test_identification_names_only_stolen_tags(self):
+        spec = GroupSpec(name="vault", population=300, tolerance=4)
+        runtime = GroupRuntime(spec, CampaignConfig(ticks=1, master_seed=5), 0)
+        runtime.apply_theft(30)
+        stolen = {int(t) for t in runtime.ids[~runtime.present]}
+        assert len(stolen) == 30
+        runtime.level = EscalationLevel.IDENTIFY
+        named = set()
+        for tick in range(6):
+            record = runtime.run_round(tick)
+            assert record.protocol == "identify"
+            named.update(record.confirmed_missing)
+        assert named  # forensics made progress
+        assert named <= stolen  # and never accused a present tag
+
+
+class TestFailurePaths:
+    def test_round_timeout_exhausts_retries(self):
+        scenario = _one_group_scenario()
+        config = CampaignConfig(
+            ticks=3,
+            master_seed=3,
+            round_timeout_us=1.0,  # everything overruns
+            retry=RetryPolicy(max_attempts=3),
+        )
+        result = run_campaign(scenario, config)
+        records = result.journal.for_group("zone")
+        assert len(records) == 3
+        assert all(r.verdict == "failed" for r in records)
+        assert all(r.attempts == 3 for r in records)
+        assert all("exceeds budget" in r.failure for r in records)
+        gm = result.metrics.group("zone")
+        assert gm.rounds_failed == 3
+        assert gm.rounds_completed == 0
+        assert gm.retries == 6  # two extra attempts per round
+
+    def test_failed_rounds_charge_backoff(self):
+        scenario = _one_group_scenario()
+        policy = RetryPolicy(max_attempts=2, base_backoff_us=123.0)
+        result = run_campaign(
+            scenario,
+            CampaignConfig(
+                ticks=1, master_seed=3, round_timeout_us=1.0, retry=policy
+            ),
+        )
+        (record,) = result.journal.records
+        assert record.backoff_us == policy.backoff_us(0)
+
+    def test_outages_retry_and_recover(self):
+        """A flaky link costs attempts, not rounds, at moderate rates."""
+        scenario = _one_group_scenario(outage_rate=0.4)
+        result = run_campaign(
+            scenario, CampaignConfig(ticks=6, master_seed=3)
+        )
+        gm = result.metrics.group("zone")
+        assert gm.retries > 0
+        assert gm.rounds_completed > 0
+
+    def test_schedule_survives_failures(self):
+        """A group that keeps failing still gets its next slot."""
+        scenario = _one_group_scenario(interval=2)
+        result = run_campaign(
+            scenario,
+            CampaignConfig(ticks=6, master_seed=3, round_timeout_us=1.0),
+        )
+        assert [r.tick for r in result.journal.records] == [0, 2, 4]
+
+
+class TestAlerts:
+    def test_callback_order_matches_journal(self):
+        scenario = default_scenario(groups=4)
+        seen = []
+        result = run_campaign(
+            scenario,
+            CampaignConfig(ticks=4, jobs=2, master_seed=11),
+            on_alert=seen.append,
+        )
+        assert seen == result.alerts
+        assert [
+            (a.group, a.tick) for a in seen
+        ] == [(r.group, r.tick) for r in result.journal.alarms()]
+
+
+class TestPersistence:
+    def test_scenario_roundtrip(self, tmp_path):
+        scenario = default_scenario(groups=5)
+        path = tmp_path / "scenario.json"
+        scenario.save(str(path))
+        loaded = FleetScenario.load(str(path))
+        assert loaded.to_dict() == scenario.to_dict()
+        config = CampaignConfig(ticks=3, master_seed=11)
+        assert (
+            run_campaign(loaded, config).journal.digest()
+            == run_campaign(scenario, config).journal.digest()
+        )
+
+    def test_scenario_rejects_unknown_group_events(self):
+        scenario = _one_group_scenario()
+        scenario.events.append(TheftEvent(group="ghost", tick=0, count=1))
+        with pytest.raises(ValueError, match="ghost"):
+            run_campaign(scenario, CampaignConfig(ticks=1))
+
+    def test_journal_roundtrip(self, tmp_path):
+        from repro.fleet import FleetJournal
+
+        result = run_campaign(
+            default_scenario(groups=3), CampaignConfig(ticks=3, master_seed=11)
+        )
+        path = tmp_path / "journal.jsonl"
+        result.journal.dump(str(path))
+        loaded = FleetJournal.load(str(path))
+        assert loaded.digest() == result.journal.digest()
+
+    def test_journal_load_reports_bad_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"not": "a record"}\n')
+        from repro.fleet import FleetJournal
+
+        with pytest.raises(ValueError, match="journal.jsonl:1"):
+            FleetJournal.load(str(path))
+
+
+class TestReporting:
+    def test_report_contains_table_and_digest(self):
+        result = run_campaign(
+            default_scenario(groups=4), CampaignConfig(ticks=4, master_seed=11)
+        )
+        report = format_campaign_result(result)
+        assert "fleet campaign: 4 group(s)" in report
+        assert "journal digest:" in report
+        assert "TOTAL" in report
+
+    def test_diagnostics_recorded_when_requested(self):
+        result = run_campaign(
+            _one_group_scenario(),
+            CampaignConfig(ticks=2, master_seed=3, diagnostic_trials=64),
+        )
+        rates = [
+            r.empirical_detection
+            for r in result.journal.records
+            if r.failure is None
+        ]
+        assert rates and all(0.0 <= rate <= 1.0 for rate in rates)
+
+    def test_theft_clamps_to_population(self):
+        spec = GroupSpec(name="tiny", population=50, tolerance=3)
+        runtime = GroupRuntime(spec, CampaignConfig(), 0)
+        assert runtime.apply_theft(80) == 50
+        assert runtime.apply_theft(1) == 0
+        assert not runtime.present.any()

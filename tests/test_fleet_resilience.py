@@ -1,0 +1,117 @@
+"""Tests for repro.fleet.resilience — retries, backoff and escalation."""
+
+import pytest
+
+from repro.fleet.resilience import (
+    EscalationLevel,
+    EscalationPolicy,
+    RetryExhausted,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.fleet.rounds import RoundTimeout
+from repro.rfid.channel import ChannelOutage
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        p = RetryPolicy(
+            max_attempts=5,
+            base_backoff_us=100.0,
+            multiplier=2.0,
+            max_backoff_us=350.0,
+        )
+        assert [p.backoff_us(i) for i in range(4)] == [
+            100.0,
+            200.0,
+            350.0,
+            350.0,
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_us=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_us(-1)
+
+
+class TestRunWithRetry:
+    def test_clean_first_attempt(self):
+        result, attempts, backoff = run_with_retry(
+            lambda i: "ok", RetryPolicy()
+        )
+        assert (result, attempts, backoff) == ("ok", 1, 0.0)
+
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky(i):
+            calls.append(i)
+            if i < 2:
+                raise ChannelOutage("link down")
+            return "recovered"
+
+        policy = RetryPolicy(max_attempts=4, base_backoff_us=10.0)
+        result, attempts, backoff = run_with_retry(flaky, policy)
+        assert result == "recovered"
+        assert attempts == 3
+        assert calls == [0, 1, 2]
+        assert backoff == policy.backoff_us(0) + policy.backoff_us(1)
+
+    def test_timeout_is_transient_too(self):
+        attempts_seen = []
+
+        def slow(i):
+            attempts_seen.append(i)
+            raise RoundTimeout("frame overran")
+
+        with pytest.raises(RetryExhausted) as exc:
+            run_with_retry(slow, RetryPolicy(max_attempts=3))
+        assert exc.value.attempts == 3
+        assert isinstance(exc.value.last_error, RoundTimeout)
+        assert attempts_seen == [0, 1, 2]
+
+    def test_non_transient_propagates_immediately(self):
+        def broken(i):
+            raise KeyError("not a link problem")
+
+        with pytest.raises(KeyError):
+            run_with_retry(broken, RetryPolicy(max_attempts=5))
+
+
+class TestEscalation:
+    def test_ladder_with_counter_tags(self):
+        p = EscalationPolicy()
+        lvl = EscalationLevel.TRP
+        lvl = p.next_level(lvl, counter_tags=True)
+        assert lvl is EscalationLevel.UTRP
+        lvl = p.next_level(lvl, counter_tags=True)
+        assert lvl is EscalationLevel.IDENTIFY
+
+    def test_plain_tags_skip_utrp(self):
+        p = EscalationPolicy()
+        assert (
+            p.next_level(EscalationLevel.TRP, counter_tags=False)
+            is EscalationLevel.IDENTIFY
+        )
+
+    def test_identify_is_terminal_rank(self):
+        assert (
+            EscalationLevel.TRP.rank
+            < EscalationLevel.UTRP.rank
+            < EscalationLevel.IDENTIFY.rank
+        )
+
+    def test_streak_threshold(self):
+        p = EscalationPolicy(alarm_streak=2)
+        assert not p.should_escalate(1)
+        assert p.should_escalate(2)
+        assert p.should_escalate(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EscalationPolicy(alarm_streak=0)

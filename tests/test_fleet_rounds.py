@@ -1,0 +1,131 @@
+"""Tests for repro.fleet.rounds — the vectorised campaign round model."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.rounds import (
+    AirTimeModel,
+    detection_diagnostic,
+    run_simulated_round,
+)
+from repro.rfid.hashing import slots_for_tags
+from repro.rfid.ids import random_tag_ids
+from repro.rfid.timing import GEN2_TYPICAL
+
+
+def _population(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return random_tag_ids(n, rng), rng
+
+
+class TestRunSimulatedRound:
+    def test_intact_set_verifies(self):
+        ids, _ = _population()
+        outcome = run_simulated_round(
+            ids, np.ones(ids.size, bool), frame_size=512, seed=42
+        )
+        assert outcome.result.intact
+        assert outcome.mismatches == 0
+        np.testing.assert_array_equal(outcome.observed, outcome.expected)
+
+    def test_matches_reference_hash(self):
+        """The expected bitstring is exactly the core slot mapping."""
+        ids, _ = _population(50)
+        outcome = run_simulated_round(
+            ids, np.ones(ids.size, bool), frame_size=128, seed=9, counter=3
+        )
+        slots = slots_for_tags(ids, 9, 128, counter=3)
+        reference = (np.bincount(slots, minlength=128) > 0).astype(np.uint8)
+        np.testing.assert_array_equal(outcome.expected, reference)
+
+    def test_missing_tags_usually_detected(self):
+        """At the paper's sizing, a lone-slot theft shows as a mismatch."""
+        ids, rng = _population(300)
+        present = np.ones(ids.size, bool)
+        present[:40] = False  # large theft, generous frame
+        detected = 0
+        for seed in range(20):
+            outcome = run_simulated_round(ids, present, 1024, seed)
+            detected += outcome.mismatches > 0
+        assert detected >= 19
+
+    def test_shape_mismatch_rejected(self):
+        ids, _ = _population(10)
+        with pytest.raises(ValueError):
+            run_simulated_round(ids, np.ones(5, bool), 64, 1)
+
+    def test_lossy_round_needs_rng(self):
+        ids, _ = _population(10)
+        with pytest.raises(ValueError):
+            run_simulated_round(
+                ids, np.ones(ids.size, bool), 64, 1, miss_rate=0.1
+            )
+
+    def test_lost_replies_counted(self):
+        ids, rng = _population(400)
+        outcome = run_simulated_round(
+            ids,
+            np.ones(ids.size, bool),
+            1024,
+            7,
+            miss_rate=0.5,
+            rng=rng,
+        )
+        assert outcome.lost_replies > 0
+        # Benign losses surface as mismatches, same as the slow path.
+        assert outcome.mismatches > 0
+
+
+class TestAirTimeModel:
+    def test_accounting(self):
+        model = AirTimeModel(timing=GEN2_TYPICAL)
+        air = model.round_air_us(frame_size=10, occupied_slots=4)
+        t = GEN2_TYPICAL
+        assert air == (
+            t.seed_broadcast_us
+            + 6 * t.empty_slot_us
+            + 4 * (t.reply_slot_us + 16 * t.bit_us)
+        )
+
+    def test_zero_scale_never_sleeps(self):
+        assert AirTimeModel(time_scale=0.0).wall_seconds(1e9) == 0.0
+
+    def test_scaled_wall_clock(self):
+        model = AirTimeModel(time_scale=10.0)
+        assert model.wall_seconds(2_000_000) == pytest.approx(0.2)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            AirTimeModel(time_scale=-1.0)
+
+
+class TestDetectionDiagnostic:
+    def test_generous_frame_detects_reliably(self):
+        ids, rng = _population(100)
+        rate = detection_diagnostic(
+            ids, frame_size=4096, critical_missing=6, trials=200, rng=rng
+        )
+        assert rate > 0.95
+
+    def test_tiny_frame_detects_poorly(self):
+        ids, rng = _population(100)
+        rate = detection_diagnostic(
+            ids, frame_size=2, critical_missing=1, trials=200, rng=rng
+        )
+        assert rate < 0.5
+
+    def test_rate_is_a_probability(self):
+        ids, rng = _population(64)
+        rate = detection_diagnostic(ids, 256, 3, 50, rng)
+        assert 0.0 <= rate <= 1.0
+
+    def test_validation(self):
+        ids, rng = _population(10)
+        with pytest.raises(ValueError):
+            detection_diagnostic(ids, 64, 0, 10, rng)
+        with pytest.raises(ValueError):
+            detection_diagnostic(ids, 64, 11, 10, rng)
+        with pytest.raises(ValueError):
+            detection_diagnostic(ids, 64, 1, 0, rng)
+        with pytest.raises(ValueError):
+            detection_diagnostic(ids, 0, 1, 10, rng)

@@ -1,0 +1,106 @@
+"""Tests for repro.fleet.scheduler — the interval/priority tick clock."""
+
+import pytest
+
+from repro.fleet.scheduler import RoundScheduler, ScheduledRound
+
+
+def _names(rounds):
+    return [r.group for r in rounds]
+
+
+class TestAddGroup:
+    def test_duplicate_rejected(self):
+        s = RoundScheduler()
+        s.add_group("a")
+        with pytest.raises(ValueError):
+            s.add_group("a")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RoundScheduler().add_group("a", interval=0)
+
+    def test_bad_first_tick_rejected(self):
+        with pytest.raises(ValueError):
+            RoundScheduler().add_group("a", first_tick=-1)
+
+    def test_groups_listed(self):
+        s = RoundScheduler()
+        s.add_group("a")
+        s.add_group("b")
+        assert s.groups == ["a", "b"]
+
+
+class TestDue:
+    def test_all_due_at_tick_zero(self):
+        s = RoundScheduler()
+        s.add_group("a")
+        s.add_group("b")
+        assert _names(s.due(0)) == ["a", "b"]
+
+    def test_priority_orders_within_tick(self):
+        s = RoundScheduler()
+        s.add_group("overflow", priority=5)
+        s.add_group("vault", priority=0)
+        s.add_group("shelf", priority=2)
+        assert _names(s.due(0)) == ["vault", "shelf", "overflow"]
+
+    def test_interval_skips_ticks(self):
+        s = RoundScheduler()
+        s.add_group("hourly", interval=1)
+        s.add_group("daily", interval=2)
+        assert _names(s.due(0)) == ["hourly", "daily"]
+        assert _names(s.due(1)) == ["hourly"]
+        # Within equal priority, order follows scheduling sequence.
+        assert sorted(_names(s.due(2))) == ["daily", "hourly"]
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            RoundScheduler().due(-1)
+
+    def test_reschedule_anchored_to_run_tick(self):
+        """A late round's next occurrence counts from when it ran."""
+        s = RoundScheduler()
+        s.add_group("a", interval=3)
+        s.due(0)
+        # Skip straight to tick 5; the round runs late...
+        assert _names(s.due(5)) == ["a"]
+        # ...and is next due at 5 + 3, not at the nominal 6.
+        assert s.next_due_tick() == 8
+        assert _names(s.due(7)) == []
+
+    def test_no_thundering_herd(self):
+        """Missing several due ticks yields one make-up round, not many."""
+        s = RoundScheduler()
+        s.add_group("a", interval=1)
+        s.due(0)
+        assert len(s.due(10)) == 1
+
+    def test_round_carries_metadata(self):
+        s = RoundScheduler()
+        s.add_group("a", priority=7)
+        (item,) = s.due(4)
+        assert item == ScheduledRound(tick=4, group="a", priority=7)
+
+
+class TestNextDueTick:
+    def test_empty_scheduler(self):
+        assert RoundScheduler().next_due_tick() is None
+
+    def test_earliest_pending(self):
+        s = RoundScheduler()
+        s.add_group("a", first_tick=3)
+        s.add_group("b", first_tick=1)
+        assert s.next_due_tick() == 1
+
+    def test_determinism_across_instances(self):
+        def build():
+            s = RoundScheduler()
+            s.add_group("x", interval=2, priority=1)
+            s.add_group("y", interval=1, priority=1)
+            s.add_group("z", interval=3, priority=0)
+            return [
+                (tick, _names(s.due(tick))) for tick in range(6)
+            ]
+
+        assert build() == build()

@@ -92,6 +92,42 @@ class TestChecks:
         assert server.alerts[0].round_index == 1
 
 
+class TestAlertCallbackEdgeCases:
+    def test_raising_callback_propagates_but_alert_is_kept(self):
+        """A broken pager must not lose the alarm itself."""
+
+        def explode(alert):
+            raise RuntimeError("pager gateway down")
+
+        server, pop = _deploy(on_alert=explode)
+        pop.remove_random(20, np.random.default_rng(5))
+        with pytest.raises(RuntimeError, match="pager gateway down"):
+            server.check_trp(SlottedChannel(pop.tags))
+        # The alert was recorded before the callback fired.
+        assert len(server.alerts) == 1
+
+    def test_check_before_register_rejected(self):
+        """Zero registered tags is a configuration error, not 'intact'."""
+        rng = np.random.default_rng(1)
+        req = MonitorRequirement(population=10, tolerance=1, confidence=0.9)
+        server = MonitoringServer(req, rng=rng)
+        pop = TagPopulation.create(10, uses_counter=False, rng=rng)
+        with pytest.raises(ValueError):
+            server.check_trp(SlottedChannel(pop.tags))
+        assert server.alerts == []
+        assert server.rounds_run == 0
+
+    def test_repeated_alarms_each_fire_with_distinct_rounds(self):
+        seen = []
+        server, pop = _deploy(on_alert=seen.append)
+        pop.remove_random(20, np.random.default_rng(5))
+        for _ in range(3):
+            server.check_trp(SlottedChannel(pop.tags))
+        assert len(seen) == 3
+        assert [a.round_index for a in seen] == [0, 1, 2]
+        assert seen == server.alerts
+
+
 class TestCounterTagEnforcement:
     def test_utrp_requires_counter_tags(self):
         server, pop = _deploy(counter_tags=False)
