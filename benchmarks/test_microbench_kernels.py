@@ -4,12 +4,20 @@ Unlike the figure benches (one-shot macro runs), these exercise the
 hot inner loops repeatedly so pytest-benchmark's statistics are
 meaningful — useful when optimising the hash, the frame tally or the
 cascade replay.
+
+Every run also emits ``BENCH_microbench.json`` (repo root, obs perf-
+record schema — see :mod:`repro.obs.bench`) so the bench trajectory
+accumulates a machine-readable record per PR alongside the human
+tables.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.aloha.frame import hash_frame
+from repro.obs.bench import make_bench_record, write_bench_record
 from repro.core.analysis import detection_probability, optimal_trp_frame_size
 from repro.core.utrp_analysis import utrp_detection_probability
 from repro.rfid.hashing import slots_for_tags
@@ -19,6 +27,47 @@ from repro.simulation.fastpath import (
     trp_trial_detected,
     utrp_collusion_detected,
 )
+
+
+_TIMINGS = []
+_REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+
+@pytest.fixture(autouse=True)
+def _collect_kernel_timing(benchmark, request):
+    """Harvest each benchmark's stats into the obs perf-record shape."""
+    yield
+    meta = getattr(benchmark, "stats", None)
+    if meta is None:  # benchmarking disabled for this run
+        return
+    stats = getattr(meta, "stats", meta)
+    data = [float(v) for v in (getattr(stats, "data", None) or [])]
+    if not data:
+        return
+    _TIMINGS.append(
+        {
+            "name": f"microbench.{request.node.name}",
+            "kind": "microbench-kernel",
+            "reps": len(data),
+            "wall_s_total": sum(data),
+            "wall_s_mean": sum(data) / len(data),
+            "wall_s_min": min(data),
+            "wall_s_max": max(data),
+            "sim_air_us_total": 0.0,
+        }
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_microbench_record():
+    """After the module, write the harvested timings as one record."""
+    yield
+    if not _TIMINGS:
+        return
+    record = make_bench_record(list(_TIMINGS), label="microbench")
+    write_bench_record(
+        record, os.path.join(_REPO_ROOT, "BENCH_microbench.json")
+    )
 
 
 @pytest.fixture(scope="module")

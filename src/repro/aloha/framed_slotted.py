@@ -25,6 +25,7 @@ from typing import List, Set
 
 import numpy as np
 
+from ..obs.profiling import NULL_PROFILER
 from ..rfid.channel import SlotOutcome, SlottedChannel
 from .frame import hash_frame
 
@@ -116,6 +117,7 @@ def simulate_collect_all_slots(
     expected_count: int,
     tolerance: int,
     rng: np.random.Generator,
+    profiler=NULL_PROFILER,
 ) -> int:
     """Vectorised collect-all: return the total slots used.
 
@@ -138,21 +140,23 @@ def simulate_collect_all_slots(
     collected = 0
     total_slots = 0
     rounds = 0
-    while collected < target:
-        rounds += 1
-        if rounds > MAX_ROUNDS:
-            raise RuntimeError("collect-all failed to converge")
-        frame_size = max(expected_count - collected, 1)
-        seed = int(rng.integers(0, 1 << 62))
-        total_slots += frame_size
-        outcome = hash_frame(outstanding, frame_size, seed)
-        resolved = outcome.singleton_ids
-        take = min(len(resolved), target - collected)
-        collected += len(resolved)
-        if take < len(resolved):
-            # Target hit mid-frame; later singletons were still polled
-            # (the frame runs to completion), so the slot cost stands.
-            collected = target
-        mask = ~np.isin(outstanding, resolved)
-        outstanding = outstanding[mask]
+    with profiler.timer("aloha.collect_all"):
+        while collected < target:
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("collect-all failed to converge")
+            frame_size = max(expected_count - collected, 1)
+            seed = int(rng.integers(0, 1 << 62))
+            total_slots += frame_size
+            outcome = hash_frame(outstanding, frame_size, seed)
+            resolved = outcome.singleton_ids
+            take = min(len(resolved), target - collected)
+            collected += len(resolved)
+            if take < len(resolved):
+                # Target hit mid-frame; later singletons were still
+                # polled (the frame runs to completion), so the slot
+                # cost stands.
+                collected = target
+            mask = ~np.isin(outstanding, resolved)
+            outstanding = outstanding[mask]
     return total_slots

@@ -9,10 +9,13 @@ Usage::
     python -m repro ablations       # all five ablations
     python -m repro plan -n 1000 -m 10 --alpha 0.95   # frame planning
     python -m repro fleet --groups 8 --rounds 5 --jobs 4   # fleet campaign
+    python -m repro bench --quick   # obs perf record -> BENCH_obs.json
 
 Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
 ``--trials K`` to override the Monte Carlo sample size, and ``--jobs N``
-on the figure commands to run grid cells concurrently.
+on the figure commands to run grid cells concurrently. The figure and
+fleet commands take ``--trace-out`` / ``--metrics-out`` to export obs
+events (deterministic JSONL) and metrics (Prometheus text).
 """
 
 from __future__ import annotations
@@ -60,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "--jobs", type=int, default=1, metavar="N",
                 help="run grid cells on N threads; 0 = all cores "
                 "(results are independent of N)",
+            )
+            p.add_argument(
+                "--trace-out", default=None, metavar="PATH",
+                help="write the sweep's obs events as JSONL "
+                "(deterministic under --seed)",
+            )
+            p.add_argument(
+                "--metrics-out", default=None, metavar="PATH",
+                help="write an obs metrics snapshot "
+                "(Prometheus text format)",
             )
 
     plan = sub.add_parser("plan", help="frame-size planning for a deployment")
@@ -116,6 +129,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--diag-trials", type=int, default=0, metavar="K",
         help="per-round empirical-detection diagnostic trials (default 0)",
     )
+    fleet.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the campaign's obs events as JSONL (digest is "
+        "identical across --jobs under a fixed seed)",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the campaign's metrics as a Prometheus text snapshot",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the hot paths; write a BENCH_obs.json perf record",
+        description=(
+            "Profile the fastpath Monte Carlo kernels and a fleet "
+            "campaign's round execution, then write a schema-valid "
+            "perf record (repro.obs.bench/v1) for the bench trajectory."
+        ),
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test sizes (the CI gate)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_obs.json", metavar="PATH",
+        help="where to write the perf record (default BENCH_obs.json)",
+    )
+    bench.add_argument("--seed", type=int, default=None, help="master seed")
 
     sub.add_parser("list", help="list every reproducible experiment")
     return parser
@@ -164,6 +205,32 @@ def _run_plan(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _obs_context(args: argparse.Namespace):
+    """An ObsContext when any obs output was requested, else None."""
+    if getattr(args, "trace_out", None) is None and getattr(
+        args, "metrics_out", None
+    ) is None:
+        return None
+    from .obs import ObsContext
+
+    return ObsContext()
+
+
+def _write_obs_outputs(obs, args: argparse.Namespace) -> List[str]:
+    """Write requested exports; returns report lines."""
+    lines: List[str] = []
+    if obs is None:
+        return lines
+    if args.trace_out is not None:
+        digest = obs.write_trace(args.trace_out)
+        lines.append(f"trace written to {args.trace_out}")
+        lines.append(f"trace digest: {digest}")
+    if args.metrics_out is not None:
+        obs.write_metrics(args.metrics_out)
+        lines.append(f"metrics written to {args.metrics_out}")
+    return lines
+
+
 def _run_fleet(args: argparse.Namespace) -> str:
     from .fleet import (
         CampaignConfig,
@@ -187,12 +254,31 @@ def _run_fleet(args: argparse.Namespace) -> str:
         time_scale=args.time_scale,
         diagnostic_trials=args.diag_trials,
     )
-    result = run_campaign(scenario, config)
+    obs = _obs_context(args)
+    result = run_campaign(scenario, config, obs=obs)
     report = format_campaign_result(result)
     if args.journal is not None:
         result.journal.dump(args.journal)
         report += f"\njournal written to {args.journal}"
+    for line in _write_obs_outputs(obs, args):
+        report += f"\n{line}"
     return report
+
+
+def _run_bench(args: argparse.Namespace) -> str:
+    from .experiments.grid import DEFAULT_SEED
+    from .obs import format_bench_record, run_bench, write_bench_record
+
+    record = run_bench(
+        quick=args.quick,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+    )
+    write_bench_record(record, args.out)
+    mode = "quick" if args.quick else "full"
+    return (
+        f"bench ({mode}) perf record written to {args.out}\n\n"
+        + format_bench_record(record)
+    )
 
 
 def _run_list() -> str:
@@ -219,6 +305,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fleet":
         print(_run_fleet(args))
         return 0
+    if args.command == "bench":
+        print(_run_bench(args))
+        return 0
 
     grid = _grid(args)
     if args.command in ("fig4", "fig5", "fig6", "fig7"):
@@ -227,7 +316,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ]
         from .fleet.executor import resolve_jobs
 
-        result = module.run(grid, jobs=resolve_jobs(args.jobs))
+        obs = _obs_context(args)
+        if obs is not None:
+            with obs.profiler.timer("experiment.run"):
+                result = module.run(grid, jobs=resolve_jobs(args.jobs))
+            from .experiments.observe import publish_figure_result
+
+            publish_figure_result(obs, args.command, result)
+        else:
+            result = module.run(grid, jobs=resolve_jobs(args.jobs))
         print(module.format_result(result))
         if args.csv:
             from .experiments.export import figure_rows, write_csv
@@ -235,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             headers, rows = figure_rows(result)
             write_csv(args.csv, headers, rows)
             print(f"\nCSV written to {args.csv}")
+        for line in _write_obs_outputs(obs, args):
+            print(line)
     elif args.command == "ablations":
         print(ablations.format_wallclock(ablations.run_wallclock(grid)))
         print()

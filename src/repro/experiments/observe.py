@@ -1,0 +1,55 @@
+"""Publish figure-sweep results into an obs context.
+
+The figure modules stay pure computations; this adapter turns any of
+their results (anything following the ``rows`` convention
+:func:`repro.experiments.export.figure_rows` relies on) into obs
+events and metrics. Rows are published on the caller's thread in row
+order — row order is grid order, which is seed-independent — so the
+resulting trace digest is deterministic whatever ``--jobs`` the sweep
+ran with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+
+__all__ = ["publish_figure_result"]
+
+
+def publish_figure_result(obs, experiment_id: str, result) -> None:
+    """Emit one ``experiment.row`` event per result row.
+
+    Also increments ``repro_experiment_rows_total{experiment=...}`` and
+    emits a closing ``experiment.complete`` event carrying the grid
+    parameters, so a trace alone identifies what was swept.
+
+    Raises:
+        TypeError: if the result carries no ``rows``.
+    """
+    rows = getattr(result, "rows", None)
+    if rows is None:
+        raise TypeError(f"{type(result).__name__} has no publishable rows")
+    scope = f"experiment/{experiment_id}"
+    counter = obs.registry.counter(
+        "repro_experiment_rows_total",
+        "figure/ablation result rows published",
+        labelnames=("experiment",),
+    ).labels(experiment=experiment_id)
+    for row in rows:
+        fields = asdict(row) if is_dataclass(row) else dict(row)
+        obs.bus.emit("experiment.row", scope=scope, **fields)
+        counter.inc()
+    grid = getattr(result, "grid", None)
+    grid_fields = {}
+    if grid is not None and is_dataclass(grid):
+        grid_fields = {
+            k: v for k, v in asdict(grid).items()
+            if isinstance(v, (int, float, str, bool, list, tuple))
+        }
+    obs.bus.emit(
+        "experiment.complete",
+        scope=scope,
+        experiment=experiment_id,
+        rows=len(rows),
+        **grid_fields,
+    )

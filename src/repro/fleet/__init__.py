@@ -21,7 +21,13 @@ from .campaign import (
 )
 from .executor import ParallelExecutor, resolve_jobs
 from .journal import FleetJournal, RoundRecord
-from .metrics import CostSummary, FleetMetrics, GroupMetrics, render_metrics_table
+from .metrics import (
+    CostSummary,
+    FleetMetrics,
+    GroupMetrics,
+    MetricsTotals,
+    render_metrics_table,
+)
 from .registry import (
     FleetRegistry,
     FleetScenario,
@@ -60,6 +66,7 @@ __all__ = [
     "GroupMetrics",
     "GroupRuntime",
     "GroupSpec",
+    "MetricsTotals",
     "ParallelExecutor",
     "RetryExhausted",
     "RetryPolicy",

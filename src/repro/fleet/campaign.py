@@ -35,6 +35,7 @@ from ..core.identification import MissingTagIdentifier
 from ..core.utrp_analysis import optimal_utrp_frame_size
 from ..rfid.channel import ChannelOutage
 from ..rfid.ids import random_tag_ids
+from ..obs.profiling import NULL_PROFILER
 from ..rfid.timing import GEN2_TYPICAL, LinkTiming
 from ..simulation.rng import derive_seed
 from .executor import ParallelExecutor
@@ -354,6 +355,7 @@ def run_campaign(
     scenario: FleetScenario,
     config: CampaignConfig,
     on_alert: Optional[Callable[[FleetAlert], None]] = None,
+    obs=None,
 ) -> CampaignResult:
     """Run a scenario to completion.
 
@@ -362,6 +364,13 @@ def run_campaign(
         config: execution knobs.
         on_alert: optional callback fired (on the campaign thread, in
             journal order) for every page; exceptions propagate.
+        obs: optional :class:`repro.obs.ObsContext`. When given, fleet
+            counters land in ``obs.registry``, round/theft events are
+            published to ``obs.bus`` (on the campaign thread, in
+            journal order — so the trace digest is ``jobs``-invariant
+            like the journal digest), and per-round wall clock
+            accumulates in ``obs.profiler`` under the ``fleet.round``
+            phase.
 
     Raises:
         ValueError: on an invalid scenario.
@@ -377,20 +386,58 @@ def run_campaign(
 
     executor = ParallelExecutor(config.jobs)
     journal = FleetJournal()
-    metrics = FleetMetrics()
+    metrics = FleetMetrics(registry=obs.registry if obs is not None else None)
     alerts: List[FleetAlert] = []
+    profiler = obs.profiler if obs is not None else NULL_PROFILER
 
+    def run_one(item: ScheduledRound) -> RoundRecord:
+        with profiler.timer("fleet.round") as timer:
+            record = runtimes[item.group].run_round(item.tick)
+            timer.sim_air_us = record.air_us + record.backoff_us
+        return record
+
+    if obs is not None:
+        obs.bus.emit(
+            "fleet.campaign.begin",
+            scope="fleet",
+            groups=list(scenario.registry.names),
+            ticks=config.ticks,
+            master_seed=config.master_seed,
+        )
     start = time.perf_counter()
     for tick in range(config.ticks):
+        scope = f"fleet/tick:{tick:06d}"
         for event in scenario.events_at(tick):
-            runtimes[event.group].apply_theft(event.count)
+            taken = runtimes[event.group].apply_theft(event.count)
+            if obs is not None:
+                obs.bus.emit(
+                    "fleet.theft",
+                    scope=scope,
+                    group=event.group,
+                    requested=event.count,
+                    taken=taken,
+                )
         due = scheduler.due(tick)
-        records = executor.map(
-            lambda item: runtimes[item.group].run_round(item.tick), due
-        )
+        records = executor.map(run_one, due)
         for record in records:
             journal.append(record)
             _aggregate(metrics, record)
+            if obs is not None:
+                obs.bus.emit(
+                    "fleet.round",
+                    scope=scope,
+                    group=record.group,
+                    protocol=record.protocol,
+                    verdict=record.verdict,
+                    frame_size=record.frame_size,
+                    seed=record.seed,
+                    mismatches=record.mismatches,
+                    estimated_missing=record.estimated_missing,
+                    alarmed=record.alarmed,
+                    attempts=record.attempts,
+                    escalated_to=record.escalated_to,
+                    confirmed_missing=record.confirmed_missing,
+                )
             if record.alarmed:
                 alert = FleetAlert(
                     group=record.group,
@@ -402,6 +449,14 @@ def run_campaign(
                 if on_alert is not None:
                     on_alert(alert)
     wall = time.perf_counter() - start
+    if obs is not None:
+        obs.bus.emit(
+            "fleet.campaign.end",
+            scope="fleet",
+            rounds=len(journal),
+            alerts=len(alerts),
+            journal_digest=journal.digest(),
+        )
 
     return CampaignResult(
         journal=journal,
@@ -415,20 +470,21 @@ def run_campaign(
 
 def _aggregate(metrics: FleetMetrics, record: RoundRecord) -> None:
     gm = metrics.group(record.group)
-    gm.retries += max(0, record.attempts - 1)
+    gm.record_retries(max(0, record.attempts - 1))
     if record.failure is not None:
-        gm.rounds_failed += 1
+        gm.record_failed_round()
         return
-    gm.rounds_completed += 1
-    gm.slot_costs.append(float(record.frame_size))
-    gm.air_us.append(record.air_us + record.backoff_us)
+    gm.record_completed_round(
+        slots=float(record.frame_size),
+        air_us=record.air_us + record.backoff_us,
+    )
     if record.alarmed:
-        gm.alarms += 1
+        gm.record_alarm()
     if record.escalated_to is not None:
-        gm.escalations += 1
+        gm.record_escalation()
     if record.protocol == EscalationLevel.IDENTIFY.value:
-        gm.identification_rounds += 1
-    gm.confirmed_missing += len(record.confirmed_missing)
+        gm.record_identification_round()
+    gm.record_confirmed_missing(len(record.confirmed_missing))
 
 
 def format_campaign_result(result: CampaignResult) -> str:

@@ -3,19 +3,48 @@
 Metrics answer the operator's dashboard questions — how many rounds,
 how many alarms, how much air time, where did the retries go — while
 the journal (:mod:`repro.fleet.journal`) answers the forensic ones.
-Counters are plain integers aggregated on the campaign thread (round
-results come back through the executor in deterministic order), so the
-table a campaign prints is identical run-to-run under a fixed seed.
+
+Since the obs layer landed, the numbers live in a
+:class:`repro.obs.metrics.MetricsRegistry` (labelled counters and
+fixed-bucket histograms) instead of ad-hoc integers:
+:class:`GroupMetrics` is now a per-group *view* over that registry, so
+the same campaign that prints the operator table can export a
+Prometheus snapshot or fold into a digest without a second set of
+books. Aggregation still happens on the campaign thread in
+deterministic record order, and histograms retain raw samples, so the
+printed table is byte-identical to the pre-registry one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CostSummary", "GroupMetrics", "FleetMetrics", "render_metrics_table"]
+from ..obs.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "CostSummary",
+    "GroupMetrics",
+    "MetricsTotals",
+    "FleetMetrics",
+    "render_metrics_table",
+    "SLOT_COST_BUCKETS",
+    "AIR_US_BUCKETS",
+]
+
+#: Fixed frame-size buckets (slots): powers of two spanning the Eq. 2 /
+#: Eq. 3 frames any plausible deployment sizes.
+SLOT_COST_BUCKETS: Tuple[float, ...] = tuple(
+    float(1 << e) for e in range(4, 17)
+)
+
+#: Fixed air-time buckets (simulated microseconds), 1-2-5 decades from
+#: 100us to 1000s.
+AIR_US_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0 ** e for e in range(2, 9) for m in (1.0, 2.0, 5.0)
+)
 
 
 @dataclass
@@ -43,21 +72,133 @@ class CostSummary:
         )
 
 
-@dataclass
 class GroupMetrics:
-    """Everything the fleet counts about one group.
+    """One group's view over the fleet's metrics registry.
 
-    Attributes:
-        rounds_completed: rounds that produced a verdict.
-        rounds_failed: rounds abandoned after retry exhaustion.
-        alarms: rounds whose verdict paged (per the group's policy).
-        retries: extra attempts spent on transient failures.
-        escalations: level changes triggered by repeated alarms.
-        identification_rounds: rounds run in identification mode.
-        confirmed_missing: distinct tags named by identification.
-        slot_costs: per-round frame sizes (completed rounds).
-        air_us: per-round simulated air time including backoff.
+    Reads (``rounds_completed``, ``slot_costs``, summaries) keep the
+    pre-obs attribute API; writes go through the ``record_*`` methods
+    the campaign's aggregator calls.
     """
+
+    def __init__(self, registry: MetricsRegistry, group: str):
+        self.group = group
+
+        def counter(suffix: str, help: str):
+            return registry.counter(
+                f"repro_fleet_{suffix}", help, labelnames=("group",)
+            ).labels(group=group)
+
+        self._rounds_completed = counter(
+            "rounds_completed_total", "rounds that produced a verdict"
+        )
+        self._rounds_failed = counter(
+            "rounds_failed_total", "rounds abandoned after retry exhaustion"
+        )
+        self._alarms = counter(
+            "alarms_total", "rounds whose verdict paged the operator"
+        )
+        self._retries = counter(
+            "retries_total", "extra attempts spent on transient failures"
+        )
+        self._escalations = counter(
+            "escalations_total", "level changes triggered by repeated alarms"
+        )
+        self._identification_rounds = counter(
+            "identification_rounds_total", "rounds run in identification mode"
+        )
+        self._confirmed_missing = counter(
+            "confirmed_missing_total", "distinct tags named by identification"
+        )
+        self._slot_costs = registry.histogram(
+            "repro_fleet_round_slots",
+            "per-round frame sizes (completed rounds)",
+            labelnames=("group",),
+            buckets=SLOT_COST_BUCKETS,
+        ).labels(group=group)
+        self._air_us = registry.histogram(
+            "repro_fleet_round_air_us",
+            "per-round simulated air time including backoff",
+            labelnames=("group",),
+            buckets=AIR_US_BUCKETS,
+        ).labels(group=group)
+
+    # -- writes (campaign thread, record order) ------------------------
+
+    def record_retries(self, count: int) -> None:
+        if count:
+            self._retries.inc(count)
+
+    def record_failed_round(self) -> None:
+        self._rounds_failed.inc()
+
+    def record_completed_round(self, slots: float, air_us: float) -> None:
+        self._rounds_completed.inc()
+        self._slot_costs.observe(slots)
+        self._air_us.observe(air_us)
+
+    def record_alarm(self) -> None:
+        self._alarms.inc()
+
+    def record_escalation(self) -> None:
+        self._escalations.inc()
+
+    def record_identification_round(self) -> None:
+        self._identification_rounds.inc()
+
+    def record_confirmed_missing(self, count: int) -> None:
+        if count:
+            self._confirmed_missing.inc(count)
+
+    # -- reads (the pre-obs attribute API) -----------------------------
+
+    @property
+    def rounds_completed(self) -> int:
+        return int(self._rounds_completed.value)
+
+    @property
+    def rounds_failed(self) -> int:
+        return int(self._rounds_failed.value)
+
+    @property
+    def alarms(self) -> int:
+        return int(self._alarms.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def escalations(self) -> int:
+        return int(self._escalations.value)
+
+    @property
+    def identification_rounds(self) -> int:
+        return int(self._identification_rounds.value)
+
+    @property
+    def confirmed_missing(self) -> int:
+        return int(self._confirmed_missing.value)
+
+    @property
+    def slot_costs(self) -> List[float]:
+        return list(self._slot_costs.samples)
+
+    @property
+    def air_us(self) -> List[float]:
+        return list(self._air_us.samples)
+
+    @property
+    def slot_summary(self) -> CostSummary:
+        return CostSummary.of(self.slot_costs)
+
+    @property
+    def air_summary(self) -> CostSummary:
+        return CostSummary.of(self.air_us)
+
+
+@dataclass
+class MetricsTotals:
+    """Fleet-wide roll-up snapshot (same read attributes as a group)."""
 
     rounds_completed: int = 0
     rounds_failed: int = 0
@@ -79,24 +220,30 @@ class GroupMetrics:
 
 
 class FleetMetrics:
-    """Per-group metrics, keyed by group name."""
+    """Per-group metrics, keyed by group name, over one obs registry.
 
-    def __init__(self) -> None:
+    Supply a registry to co-locate fleet metrics with the rest of an
+    :class:`repro.obs.ObsContext`; by default each instance owns a
+    private one (the pre-obs behaviour).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._groups: Dict[str, GroupMetrics] = {}
 
     def group(self, name: str) -> GroupMetrics:
-        """The group's metrics, created on first touch."""
+        """The group's metrics view, created on first touch."""
         if name not in self._groups:
-            self._groups[name] = GroupMetrics()
+            self._groups[name] = GroupMetrics(self.registry, name)
         return self._groups[name]
 
     @property
     def groups(self) -> Dict[str, GroupMetrics]:
         return dict(self._groups)
 
-    def totals(self) -> GroupMetrics:
+    def totals(self) -> MetricsTotals:
         """Fleet-wide roll-up of every counter."""
-        total = GroupMetrics()
+        total = MetricsTotals()
         for gm in self._groups.values():
             total.rounds_completed += gm.rounds_completed
             total.rounds_failed += gm.rounds_failed

@@ -1,0 +1,94 @@
+"""repro.obs — unified tracing, metrics and profiling.
+
+The paper's claims are cost/accuracy trade-offs, so every layer of the
+reproduction needs to be *measurable*: which slots a round used, how
+long a kernel took, how detection probability moved with alpha. Before
+this package each layer invented its own event shapes
+(:mod:`repro.simulation.trace`, :mod:`repro.fleet.journal`,
+ad-hoc counters in :mod:`repro.fleet.metrics`); ``repro.obs`` gives
+them one spine:
+
+* :class:`EventBus` — typed, deterministically ordered events that the
+  tracing channel, the fleet campaign loop, the Monte Carlo runner and
+  the experiment sweeps all publish into;
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms with deterministic digests and a Prometheus text export;
+* :class:`Profiler` — lightweight context-manager timers around hot
+  paths, attributing both host wall clock and simulated air time;
+* exporters — deterministic JSONL trace dumps (same seed => same
+  digest, whatever ``--jobs`` is), Prometheus snapshots, and the
+  ``BENCH_obs.json`` perf records ``python -m repro bench`` writes.
+
+The determinism contract mirrors :meth:`repro.fleet.journal.
+FleetJournal.digest`: everything derived from the seed is digestable;
+wall-clock quantities live in excluded fields.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    format_bench_record,
+    make_bench_record,
+    run_bench,
+    validate_bench_record,
+    write_bench_record,
+)
+from .events import EventBus, ObsEvent
+from .exporters import (
+    prometheus_text,
+    trace_digest,
+    write_events_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiling import NULL_PROFILER, PhaseStats, Profiler
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PROFILER",
+    "ObsContext",
+    "ObsEvent",
+    "PhaseStats",
+    "Profiler",
+    "format_bench_record",
+    "make_bench_record",
+    "prometheus_text",
+    "run_bench",
+    "trace_digest",
+    "validate_bench_record",
+    "write_bench_record",
+    "write_events_jsonl",
+    "write_prometheus",
+]
+
+
+class ObsContext:
+    """One observability scope: a bus, a registry and a profiler.
+
+    Everything that instruments itself takes one of these (or its
+    parts); everything that exports reads from one. Creating a context
+    is cheap — CLI commands build one per invocation.
+    """
+
+    def __init__(self) -> None:
+        self.bus = EventBus()
+        self.registry = MetricsRegistry()
+        self.profiler = Profiler()
+
+    def write_trace(self, path: str) -> str:
+        """Dump the bus as deterministic JSONL; returns the digest."""
+        write_events_jsonl(self.bus.events(), path)
+        return trace_digest(self.bus.events())
+
+    def write_metrics(self, path: str) -> None:
+        """Dump the registry as a Prometheus text-format snapshot."""
+        write_prometheus(self.registry, path)

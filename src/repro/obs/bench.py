@@ -1,0 +1,218 @@
+"""Performance records: the ``BENCH_obs.json`` schema and runner.
+
+Every optimisation claim on the ROADMAP needs a before/after number,
+so this module defines one machine-readable perf-record shape and a
+``python -m repro bench`` runner that fills it from the two hottest
+layers: the vectorised Monte Carlo kernels in
+:mod:`repro.simulation.fastpath` (kind ``fastpath-kernel``) and the
+fleet campaign's round execution (kind ``fleet-round``). The micro
+bench suite (`benchmarks/test_microbench_kernels.py`) emits the same
+schema into ``BENCH_microbench.json``, so one trajectory of records
+accumulates PR over PR.
+
+Wall-clock numbers are host-dependent by nature; the *schema* is the
+deterministic part (validated by :func:`validate_bench_record`), and
+every record also carries the simulated air time its workload stood
+for, so slots-per-second throughput is derivable from any record.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from .profiling import Profiler
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "make_bench_record",
+    "validate_bench_record",
+    "write_bench_record",
+    "run_bench",
+    "format_bench_record",
+]
+
+#: Schema identifier embedded in (and required of) every record.
+BENCH_SCHEMA = "repro.obs.bench/v1"
+
+_TIMING_REQUIRED = {
+    "name": str,
+    "kind": str,
+    "reps": int,
+    "wall_s_total": (int, float),
+    "wall_s_mean": (int, float),
+    "wall_s_min": (int, float),
+    "wall_s_max": (int, float),
+    "sim_air_us_total": (int, float),
+}
+
+
+def _kind_of(phase: str) -> str:
+    """Map a profiler phase to its bench-record kind."""
+    if phase.startswith("fastpath."):
+        return "fastpath-kernel"
+    if phase.startswith("fleet.round"):
+        return "fleet-round"
+    if phase.startswith("aloha."):
+        return "aloha-inventory"
+    return phase.split(".", 1)[0]
+
+
+def host_info() -> Dict[str, str]:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def make_bench_record(
+    timings: List[dict],
+    quick: bool = False,
+    label: str = "bench",
+    created_unix: Optional[float] = None,
+) -> dict:
+    """Assemble (and validate) a perf record from timing dicts."""
+    record = {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "quick": bool(quick),
+        "created_unix": (
+            float(created_unix) if created_unix is not None else time.time()
+        ),
+        "host": host_info(),
+        "timings": timings,
+    }
+    validate_bench_record(record)
+    return record
+
+
+def validate_bench_record(record: object) -> None:
+    """Schema check; raises ``ValueError`` with the first violation."""
+    if not isinstance(record, dict):
+        raise ValueError("bench record must be a JSON object")
+    if record.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"schema must be {BENCH_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    for key, kind in [
+        ("label", str),
+        ("quick", bool),
+        ("created_unix", (int, float)),
+        ("host", dict),
+        ("timings", list),
+    ]:
+        if key not in record:
+            raise ValueError(f"missing key {key!r}")
+        if not isinstance(record[key], kind):
+            raise ValueError(f"{key!r} has wrong type {type(record[key]).__name__}")
+    if not record["timings"]:
+        raise ValueError("timings must be non-empty")
+    for i, timing in enumerate(record["timings"]):
+        if not isinstance(timing, dict):
+            raise ValueError(f"timings[{i}] must be an object")
+        for key, kind in _TIMING_REQUIRED.items():
+            if key not in timing:
+                raise ValueError(f"timings[{i}] missing {key!r}")
+            if isinstance(timing[key], bool) or not isinstance(timing[key], kind):
+                raise ValueError(f"timings[{i}].{key} has wrong type")
+        if timing["reps"] < 1:
+            raise ValueError(f"timings[{i}].reps must be >= 1")
+        for key in ("wall_s_total", "wall_s_mean", "wall_s_min", "wall_s_max"):
+            if timing[key] < 0:
+                raise ValueError(f"timings[{i}].{key} must be >= 0")
+
+
+def write_bench_record(record: dict, path: str) -> None:
+    """Validate, then write the record as pretty JSON."""
+    validate_bench_record(record)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def run_bench(quick: bool = False, seed: int = 20080617) -> dict:
+    """Time the hot paths; return a schema-valid perf record.
+
+    ``quick`` shrinks every workload to smoke-test size (the CI gate);
+    the full run is sized for stable means on a laptop-class host.
+
+    Imports are deferred so ``import repro.obs`` stays light and free
+    of cycles — the bench reaches *down* into the layers it measures.
+    """
+    import numpy as np
+
+    from ..fleet import CampaignConfig, default_scenario, run_campaign
+    from ..simulation.fastpath import (
+        collect_all_slots_trials,
+        trp_detection_trials,
+        trp_mismatch_count_trials,
+        utrp_collusion_detection_trials,
+    )
+
+    profiler = Profiler()
+    rng = np.random.default_rng(seed)
+
+    trials = 20 if quick else 200
+    # The kernels carry their own phase timers; the bench just hands
+    # them a live profiler instead of NULL_PROFILER.
+    trp_detection_trials(2000, 11, 1391, trials, rng, profiler=profiler)
+    trp_mismatch_count_trials(2000, 11, 1391, trials, rng, profiler=profiler)
+    collect_all_slots_trials(
+        1000, 10, max(2, trials // 10), rng, profiler=profiler
+    )
+    utrp_collusion_detection_trials(
+        1000, 11, 757, 20, max(2, trials // 10), rng, profiler=profiler
+    )
+
+    from . import ObsContext
+
+    obs = ObsContext()
+    obs.profiler = profiler  # fleet rounds land in the same phase table
+    scenario = default_scenario(groups=2 if quick else 4)
+    config = CampaignConfig(
+        ticks=2 if quick else 5,
+        jobs=2,
+        master_seed=seed,
+        time_scale=0.0,
+    )
+    run_campaign(scenario, config, obs=obs)
+
+    return make_bench_record(
+        profiler.as_records(kind_of=_kind_of),
+        quick=quick,
+        label="repro-bench",
+    )
+
+
+def format_bench_record(record: dict) -> str:
+    """Human-readable timing table for the CLI."""
+    headers = ["phase", "kind", "reps", "total s", "mean ms", "sim air s"]
+    rows = [
+        [
+            t["name"],
+            t["kind"],
+            str(t["reps"]),
+            f"{t['wall_s_total']:.3f}",
+            f"{t['wall_s_mean'] * 1e3:.2f}",
+            f"{t['sim_air_us_total'] / 1e6:.2f}",
+        ]
+        for t in record["timings"]
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)) for row in rows
+    )
+    return "\n".join(lines)

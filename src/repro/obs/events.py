@@ -1,0 +1,157 @@
+"""The obs event bus: typed, deterministically ordered events.
+
+Publishers run on whatever thread does the work — fleet rounds on
+executor workers, figure cells on pool threads, protocol scans on the
+caller — so arrival order at the bus is racy. Determinism therefore
+cannot come from arrival order; it comes from the *data*: every event
+carries a ``scope`` (a logical stream only one thread ever publishes
+into, e.g. one fleet tick, one grid cell, one traced channel) and an
+``index`` (its position within that scope). The canonical event order
+is ``(scope, index)``, which is a pure function of the seed, so two
+runs of the same scenario produce identical traces whatever the
+``--jobs`` setting — the same argument
+:mod:`repro.fleet.campaign` makes for its journal.
+
+Wall-clock time is recorded (``wall_ns``) but excluded from the
+deterministic export and digest, exactly like
+:meth:`repro.fleet.journal.FleetJournal.digest` excludes it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["ObsEvent", "EventBus"]
+
+#: The scope used when a publisher does not name one (single-threaded
+#: publishers — scripts, tests, the Monte Carlo runner).
+DEFAULT_SCOPE = "main"
+
+
+def _jsonify(value):
+    """Coerce a field value to something ``json.dumps`` accepts.
+
+    numpy scalars and arrays leak into fields naturally (slot counts,
+    bitstring sums); exporters must never crash on them.
+    """
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One published event.
+
+    Attributes:
+        name: dotted event type ("fleet.round", "channel.poll", ...).
+        scope: ordering stream the event belongs to. Canonical trace
+            order sorts by ``(scope, index)``; only one thread may
+            publish into a given scope.
+        index: position within the scope, assigned by the bus.
+        fields: JSON-safe payload (coerced at publish time).
+        wall_ns: host wall clock at publish (``time.monotonic_ns``) —
+            excluded from deterministic exports and digests.
+    """
+
+    name: str
+    scope: str
+    index: int
+    fields: Mapping[str, object] = field(default_factory=dict)
+    wall_ns: int = 0
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The digest-relevant projection (no wall clock)."""
+        return {
+            "name": self.name,
+            "scope": self.scope,
+            "index": self.index,
+            "fields": dict(self.fields),
+        }
+
+
+class EventBus:
+    """Append-only event sink with per-scope deterministic ordering.
+
+    Thread-safe: ``emit`` may be called from any thread. Subscribers
+    are invoked synchronously on the publishing thread (keep them
+    cheap; they exist so legacy sinks like
+    :class:`~repro.simulation.trace.TracingChannel` can mirror events
+    without a second source of truth).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[ObsEvent] = []
+        self._scope_counters: Dict[str, int] = {}
+        self._subscribers: List[Callable[[ObsEvent], None]] = []
+
+    def emit(
+        self,
+        name: str,
+        scope: str = DEFAULT_SCOPE,
+        **fields,
+    ) -> ObsEvent:
+        """Publish one event; returns it (index assigned)."""
+        clean = {k: _jsonify(v) for k, v in fields.items()}
+        with self._lock:
+            index = self._scope_counters.get(scope, 0)
+            self._scope_counters[scope] = index + 1
+            event = ObsEvent(
+                name=name,
+                scope=scope,
+                index=index,
+                fields=clean,
+                wall_ns=time.monotonic_ns(),
+            )
+            self._events.append(event)
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            fn(event)
+        return event
+
+    def subscribe(self, fn: Callable[[ObsEvent], None]) -> None:
+        """Register a synchronous per-event callback."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def events(self, name: Optional[str] = None) -> List[ObsEvent]:
+        """Events in canonical ``(scope, index)`` order.
+
+        Args:
+            name: restrict to one event type.
+        """
+        with self._lock:
+            snapshot = list(self._events)
+        if name is not None:
+            snapshot = [e for e in snapshot if e.name == name]
+        return sorted(snapshot, key=lambda e: (e.scope, e.index))
+
+    def scopes(self) -> List[str]:
+        """Every scope that has published, sorted."""
+        with self._lock:
+            return sorted(self._scope_counters)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._scope_counters.clear()

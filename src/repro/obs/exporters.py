@@ -1,0 +1,176 @@
+"""Exporters: deterministic JSONL traces and Prometheus snapshots.
+
+Two output formats, two different contracts:
+
+* the **JSONL trace** is part of the determinism story — events are
+  written in canonical ``(scope, index)`` order and
+  :func:`trace_digest` hashes them with the wall-clock field removed,
+  so two runs under one seed produce equal digests whatever the
+  ``--jobs`` setting (the fleet's journal-digest guarantee, extended to
+  every publisher);
+* the **Prometheus text format** is an operational snapshot — it
+  follows the exposition format (escaping, ``_bucket``/``_sum``/
+  ``_count`` expansion, ``+Inf``) so real scrape tooling parses it, and
+  its ordering is deterministic (sorted metric names, sorted label
+  values) even though nobody digests it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Iterable, List, Sequence, Union
+
+from .events import EventBus, ObsEvent
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _HistogramSeries,
+)
+
+__all__ = [
+    "events_to_jsonl",
+    "write_events_jsonl",
+    "trace_digest",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+
+def _event_list(events: Union[EventBus, Sequence[ObsEvent]]) -> List[ObsEvent]:
+    if isinstance(events, EventBus):
+        return events.events()
+    return sorted(events, key=lambda e: (e.scope, e.index))
+
+
+def events_to_jsonl(
+    events: Union[EventBus, Sequence[ObsEvent]],
+    include_wall: bool = True,
+) -> str:
+    """Render events as JSON lines in canonical order.
+
+    ``include_wall=False`` yields exactly the digested byte stream.
+    """
+    lines = []
+    for event in _event_list(events):
+        payload = event.deterministic_dict()
+        if include_wall:
+            payload["wall_ns"] = event.wall_ns
+        lines.append(json.dumps(payload, sort_keys=True))
+    return "\n".join(lines)
+
+
+def write_events_jsonl(
+    events: Union[EventBus, Sequence[ObsEvent]],
+    path: str,
+    include_wall: bool = True,
+) -> None:
+    """Dump the trace to ``path`` (one event per line)."""
+    text = events_to_jsonl(events, include_wall=include_wall)
+    with open(path, "w") as fh:
+        if text:
+            fh.write(text + "\n")
+
+
+def trace_digest(events: Union[EventBus, Sequence[ObsEvent]]) -> str:
+    """SHA-256 of the canonical trace, wall clock excluded.
+
+    Equal across runs of the same seeded scenario, whatever the thread
+    count — the property the acceptance check compares.
+    """
+    text = events_to_jsonl(events, include_wall=False)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def load_events_jsonl(path: str) -> List[dict]:
+    """Parse a dumped trace back into plain dicts.
+
+    Raises:
+        ValueError: on malformed lines.
+    """
+    out = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno + 1}: bad trace line ({error})"
+                ) from error
+    return out
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames, labelvalues, extra=()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry as a Prometheus exposition-format snapshot."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for labelvalues, series in metric.series():
+            if isinstance(series, _HistogramSeries):
+                cumulative = series.cumulative_counts()
+                bounds = [*series.buckets, float("inf")]
+                for bound, count in zip(bounds, cumulative):
+                    labels = _labels_text(
+                        metric.labelnames,
+                        labelvalues,
+                        extra=[("le", _format_value(bound))],
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {count}")
+                base = _labels_text(metric.labelnames, labelvalues)
+                lines.append(
+                    f"{metric.name}_sum{base} {_format_value(series.sum)}"
+                )
+                lines.append(f"{metric.name}_count{base} {series.count}")
+            else:
+                labels = _labels_text(metric.labelnames, labelvalues)
+                lines.append(
+                    f"{metric.name}{labels} {_format_value(series.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Write the snapshot to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(registry))

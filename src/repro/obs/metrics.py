@@ -1,0 +1,364 @@
+"""The obs metrics registry: counters, gauges, fixed-bucket histograms.
+
+Shapes follow the Prometheus data model (metric name + label set ->
+series) so the text exporter in :mod:`repro.obs.exporters` is a direct
+rendering, but two reproduction-specific constraints drive the design:
+
+* **determinism** — histogram bucket boundaries are fixed at
+  registration, never derived from the data, so a digest over bucket
+  counts is stable run-to-run; and every collection iterates series in
+  sorted order;
+* **exact quantiles** — the fleet's operator table prints p50/p95 of
+  slot and air-time series, which fixed buckets cannot reproduce
+  byte-identically, so histograms also retain their raw samples
+  (``keep_samples``) and compute exact percentiles from them. At
+  fleet-campaign scale (thousands of observations) the memory cost is
+  negligible; callers tracking unbounded streams can switch it off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: 1-2-5 decades: a deterministic general-purpose ladder that covers
+#: slot counts (10^1..10^4) and microsecond air times (10^2..10^7).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0 ** e for e in range(0, 8) for m in (1.0, 2.0, 5.0)
+)
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labelnames: Sequence[str], labels: Dict[str, str]) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared {sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Shared machinery: a family of series keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _new_series(self):  # pragma: no cover - subclasses override
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        """The child series for this label combination (create on first
+        touch)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            if key not in self._series:
+                self._series[key] = self._new_series()
+            return self._series[key]
+
+    def _default(self):
+        """The single unlabelled series (only when no labels declared)."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} declares labels; use .labels()")
+        return self.labels()
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs in sorted label order."""
+        with self._lock:
+            return sorted(self._series.items(), key=lambda kv: kv[0])
+
+
+class _CounterSeries:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (rounds run, alarms paged...)."""
+
+    kind = "counter"
+
+    def _new_series(self) -> _CounterSeries:
+        return _CounterSeries()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class _GaugeSeries:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Metric):
+    """A value that goes both ways (groups registered, level in force)."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> _GaugeSeries:
+        return _GaugeSeries()
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class _HistogramSeries:
+    def __init__(self, buckets: Tuple[float, ...], keep_samples: bool):
+        self._lock = threading.Lock()
+        self.buckets = buckets
+        self.keep_samples = keep_samples
+        self.bucket_counts = [0] * (len(buckets) + 1)  # +Inf last
+        self.count = 0
+        self.sum = 0.0
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        with self._lock:
+            # First bucket whose upper bound admits the value; +Inf
+            # catches the rest.
+            for i, bound in enumerate(self.buckets):
+                if v <= bound:
+                    self.bucket_counts[i] += 1
+                    break
+            else:
+                self.bucket_counts[-1] += 1
+            self.count += 1
+            self.sum += v
+            if self.keep_samples:
+                self.samples.append(v)
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative per-``le`` counts (+Inf last)."""
+        with self._lock:
+            out: List[int] = []
+            running = 0
+            for c in self.bucket_counts:
+                running += c
+                out.append(running)
+            return out
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile from retained samples (0 when empty).
+
+        Raises:
+            RuntimeError: if samples were not retained.
+        """
+        if not self.keep_samples:
+            raise RuntimeError("histogram was created with keep_samples=False")
+        with self._lock:
+            if not self.samples:
+                return 0.0
+            return float(np.percentile(np.asarray(self.samples), q))
+
+
+class Histogram(_Metric):
+    """Distribution with fixed, registration-time bucket boundaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        keep_samples: bool = True,
+    ):
+        """Raises:
+            ValueError: on unsorted, empty or non-finite buckets.
+        """
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.buckets = bounds
+        self.keep_samples = keep_samples
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(self.buckets, self.keep_samples)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def percentile(self, q: float) -> float:
+        return self._default().percentile(q)
+
+    @property
+    def count(self) -> int:
+        return self._default().count
+
+    @property
+    def sum(self) -> float:
+        return self._default().sum
+
+
+class MetricsRegistry:
+    """One namespace of metrics; idempotent registration.
+
+    ``counter("x", ...)`` twice returns the same object; re-registering
+    a name as a different kind (or a histogram with different buckets)
+    raises, because silent shape drift is how dashboards rot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"{name} already registered as {existing.kind}"
+                    )
+                if tuple(labelnames) != existing.labelnames:
+                    raise ValueError(
+                        f"{name} already registered with labels "
+                        f"{existing.labelnames}"
+                    )
+                if (
+                    isinstance(existing, Histogram)
+                    and "buckets" in kwargs
+                    and tuple(float(b) for b in kwargs["buckets"])
+                    != existing.buckets
+                ):
+                    raise ValueError(
+                        f"{name} already registered with different buckets"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        keep_samples: bool = True,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram,
+            name,
+            help,
+            labelnames,
+            buckets=buckets,
+            keep_samples=keep_samples,
+        )
+
+    def collect(self) -> List[_Metric]:
+        """Every registered metric, sorted by name (deterministic)."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def digest(self) -> str:
+        """SHA-256 over the registry's deterministic state.
+
+        Counter/gauge values, histogram bucket counts, counts and sums
+        — everything seed-derived; no wall clock is ever a metric value
+        in this codebase's instrumentation.
+        """
+        state = []
+        for metric in self.collect():
+            for key, series in metric.series():
+                if isinstance(series, _HistogramSeries):
+                    value = {
+                        "buckets": series.cumulative_counts(),
+                        "count": series.count,
+                        "sum": series.sum,
+                    }
+                else:
+                    value = series.value
+                state.append(
+                    {
+                        "name": metric.name,
+                        "kind": metric.kind,
+                        "labels": list(key),
+                        "value": value,
+                    }
+                )
+        payload = json.dumps(state, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()

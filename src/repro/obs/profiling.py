@@ -1,0 +1,170 @@
+"""Profiling hooks: phase timers with wall-clock + air-time accounting.
+
+A simulation has two clocks. *Wall clock* is what the optimisation
+work on the ROADMAP cares about ("as fast as the hardware allows");
+*simulated air time* is what the paper's cost model counts. One timer
+records both: wrap a hot path in :meth:`Profiler.timer` and it
+accumulates host seconds; set ``sim_air_us`` on the handle (or pass it
+up front) and the phase also accumulates the simulated cost it stood
+for. The bench exporter then reports, per phase, how much hardware
+time bought how much simulated protocol work.
+
+Timers are deliberately cheap — one ``perf_counter`` pair and a locked
+accumulate — and :data:`NULL_PROFILER` makes instrumentation free to
+leave in place: hot paths take ``profiler=NULL_PROFILER`` and pay a
+no-op context manager when nobody is measuring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PhaseStats", "TimerHandle", "Profiler", "NULL_PROFILER"]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one profiled phase.
+
+    Attributes:
+        count: completed timer runs.
+        wall_s_total: summed host wall-clock seconds.
+        wall_s_min / wall_s_max: extremes over runs.
+        sim_air_us_total: summed simulated air time attributed to the
+            phase (0 when the phase has no protocol meaning).
+    """
+
+    count: int = 0
+    wall_s_total: float = 0.0
+    wall_s_min: float = float("inf")
+    wall_s_max: float = 0.0
+    sim_air_us_total: float = 0.0
+
+    @property
+    def wall_s_mean(self) -> float:
+        return self.wall_s_total / self.count if self.count else 0.0
+
+    def add(self, wall_s: float, sim_air_us: float = 0.0) -> None:
+        self.count += 1
+        self.wall_s_total += wall_s
+        self.wall_s_min = min(self.wall_s_min, wall_s)
+        self.wall_s_max = max(self.wall_s_max, wall_s)
+        self.sim_air_us_total += sim_air_us
+
+
+class TimerHandle:
+    """Context manager for one timed run.
+
+    The body may attribute simulated cost by assigning
+    ``handle.sim_air_us`` before exit.
+    """
+
+    def __init__(self, profiler: "Profiler", phase: str, sim_air_us: float = 0.0):
+        self._profiler = profiler
+        self._phase = phase
+        self.sim_air_us = sim_air_us
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - (self._start or time.perf_counter())
+        # Failed runs still count: a timeout-prone path is exactly the
+        # one an operator wants wall-clock evidence about.
+        self._profiler.record(self._phase, wall, self.sim_air_us)
+
+
+class Profiler:
+    """Thread-safe accumulator of :class:`PhaseStats` by phase name."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phases: Dict[str, PhaseStats] = {}
+
+    def timer(self, phase: str, sim_air_us: float = 0.0) -> TimerHandle:
+        """A context manager that accumulates into ``phase`` on exit."""
+        return TimerHandle(self, phase, sim_air_us)
+
+    def record(self, phase: str, wall_s: float, sim_air_us: float = 0.0) -> None:
+        """Accumulate one completed run directly (no timing)."""
+        with self._lock:
+            if phase not in self._phases:
+                self._phases[phase] = PhaseStats()
+            self._phases[phase].add(wall_s, sim_air_us)
+
+    def stats(self) -> Dict[str, PhaseStats]:
+        """Phase -> accumulated stats, sorted by phase name."""
+        with self._lock:
+            return {k: self._phases[k] for k in sorted(self._phases)}
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's phases into this one."""
+        for phase, st in other.stats().items():
+            with self._lock:
+                if phase not in self._phases:
+                    self._phases[phase] = PhaseStats()
+                mine = self._phases[phase]
+                mine.count += st.count
+                mine.wall_s_total += st.wall_s_total
+                mine.wall_s_min = min(mine.wall_s_min, st.wall_s_min)
+                mine.wall_s_max = max(mine.wall_s_max, st.wall_s_max)
+                mine.sim_air_us_total += st.sim_air_us_total
+
+    def as_records(self, kind_of=None) -> List[dict]:
+        """Phase stats as JSON-ready timing records (bench schema).
+
+        Args:
+            kind_of: optional ``phase -> kind`` mapping function; the
+                default takes everything before the first dot
+                ("fastpath.trp" -> "fastpath").
+        """
+        records = []
+        for phase, st in self.stats().items():
+            kind = (
+                kind_of(phase) if kind_of is not None
+                else phase.split(".", 1)[0]
+            )
+            records.append(
+                {
+                    "name": phase,
+                    "kind": kind,
+                    "reps": st.count,
+                    "wall_s_total": st.wall_s_total,
+                    "wall_s_mean": st.wall_s_mean,
+                    "wall_s_min": st.wall_s_min if st.count else 0.0,
+                    "wall_s_max": st.wall_s_max,
+                    "sim_air_us_total": st.sim_air_us_total,
+                }
+            )
+        return records
+
+
+class _NullTimer:
+    sim_air_us = 0.0
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class _NullProfiler(Profiler):
+    """Profiler that measures nothing; default for instrumented paths."""
+
+    _NULL_TIMER = _NullTimer()
+
+    def timer(self, phase: str, sim_air_us: float = 0.0):  # type: ignore[override]
+        return self._NULL_TIMER
+
+    def record(self, phase: str, wall_s: float, sim_air_us: float = 0.0) -> None:
+        return None
+
+
+#: Shared no-op profiler: safe default argument for hot paths.
+NULL_PROFILER = _NullProfiler()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..adversary.collusion import simulate_colluding_utrp_scan
+from ..obs.profiling import NULL_PROFILER
 from ..aloha.framed_slotted import simulate_collect_all_slots
 from ..rfid.hashing import slots_for_tags
 from ..rfid.ids import random_tag_ids
@@ -64,6 +65,7 @@ def trp_detection_trials(
     trials: int,
     rng: np.random.Generator,
     resample_population: bool = True,
+    profiler=NULL_PROFILER,
 ) -> np.ndarray:
     """Fig. 5 kernel: ``trials`` independent TRP rounds, fresh seed and
     fresh random theft each time.
@@ -90,14 +92,15 @@ def trp_detection_trials(
     if trials <= 0:
         raise ValueError("trials must be positive")
     detections = np.empty(trials, dtype=bool)
-    ids = random_tag_ids(n, rng)
-    for t in range(trials):
-        if resample_population and t:
-            ids = random_tag_ids(n, rng)
-        mask = np.zeros(n, dtype=bool)
-        mask[rng.choice(n, size=missing, replace=False)] = True
-        seed = int(rng.integers(0, _SEED_SPACE))
-        detections[t] = trp_trial_detected(ids, mask, frame_size, seed)
+    with profiler.timer("fastpath.trp_detection_trials"):
+        ids = random_tag_ids(n, rng)
+        for t in range(trials):
+            if resample_population and t:
+                ids = random_tag_ids(n, rng)
+            mask = np.zeros(n, dtype=bool)
+            mask[rng.choice(n, size=missing, replace=False)] = True
+            seed = int(rng.integers(0, _SEED_SPACE))
+            detections[t] = trp_trial_detected(ids, mask, frame_size, seed)
     return detections
 
 
@@ -127,6 +130,7 @@ def trp_mismatch_count_trials(
     frame_size: int,
     trials: int,
     rng: np.random.Generator,
+    profiler=NULL_PROFILER,
 ) -> np.ndarray:
     """Mismatched-slot *counts* per TRP trial (alarm-policy studies).
 
@@ -146,13 +150,14 @@ def trp_mismatch_count_trials(
     if trials <= 0:
         raise ValueError("trials must be positive")
     counts = np.empty(trials, dtype=np.int64)
-    for t in range(trials):
-        ids = random_tag_ids(n, rng)
-        seed = int(rng.integers(0, _SEED_SPACE))
-        slots = slots_for_tags(ids, seed, frame_size)
-        present = np.bincount(slots[missing:], minlength=frame_size)
-        missing_slots = np.unique(slots[:missing])
-        counts[t] = int(np.sum(present[missing_slots] == 0))
+    with profiler.timer("fastpath.trp_mismatch_count_trials"):
+        for t in range(trials):
+            ids = random_tag_ids(n, rng)
+            seed = int(rng.integers(0, _SEED_SPACE))
+            slots = slots_for_tags(ids, seed, frame_size)
+            present = np.bincount(slots[missing:], minlength=frame_size)
+            missing_slots = np.unique(slots[:missing])
+            counts[t] = int(np.sum(present[missing_slots] == 0))
     return counts
 
 
@@ -287,6 +292,7 @@ def utrp_collusion_detection_trials(
     budget: int,
     trials: int,
     rng: np.random.Generator,
+    profiler=NULL_PROFILER,
 ) -> np.ndarray:
     """Fig. 7 kernel: ``trials`` independent collusion attempts.
 
@@ -306,15 +312,16 @@ def utrp_collusion_detection_trials(
     if trials <= 0:
         raise ValueError("trials must be positive")
     detections = np.empty(trials, dtype=bool)
-    for t in range(trials):
-        ids = random_tag_ids(n, rng)
-        counters = np.zeros(n, dtype=np.int64)
-        mask = np.zeros(n, dtype=bool)
-        mask[rng.choice(n, size=stolen, replace=False)] = True
-        seeds = rng.integers(0, _SEED_SPACE, size=frame_size).tolist()
-        detections[t] = utrp_collusion_detected(
-            ids, counters, mask, frame_size, seeds, budget
-        )
+    with profiler.timer("fastpath.utrp_collusion_detection_trials"):
+        for t in range(trials):
+            ids = random_tag_ids(n, rng)
+            counters = np.zeros(n, dtype=np.int64)
+            mask = np.zeros(n, dtype=bool)
+            mask[rng.choice(n, size=stolen, replace=False)] = True
+            seeds = rng.integers(0, _SEED_SPACE, size=frame_size).tolist()
+            detections[t] = utrp_collusion_detected(
+                ids, counters, mask, frame_size, seeds, budget
+            )
     return detections
 
 
@@ -324,6 +331,7 @@ def collect_all_slots_trials(
     trials: int,
     rng: np.random.Generator,
     missing: int = 0,
+    profiler=NULL_PROFILER,
 ) -> np.ndarray:
     """Fig. 4 kernel: slots used by *collect all* per trial.
 
@@ -336,11 +344,14 @@ def collect_all_slots_trials(
     if trials <= 0:
         raise ValueError("trials must be positive")
     out = np.empty(trials, dtype=np.int64)
-    for t in range(trials):
-        ids = random_tag_ids(n, rng)
-        if missing:
-            keep = np.ones(n, dtype=bool)
-            keep[rng.choice(n, size=missing, replace=False)] = False
-            ids = ids[keep]
-        out[t] = simulate_collect_all_slots(ids, n, tolerance, rng)
+    with profiler.timer("fastpath.collect_all_slots_trials"):
+        for t in range(trials):
+            ids = random_tag_ids(n, rng)
+            if missing:
+                keep = np.ones(n, dtype=bool)
+                keep[rng.choice(n, size=missing, replace=False)] = False
+                ids = ids[keep]
+            out[t] = simulate_collect_all_slots(
+                ids, n, tolerance, rng, profiler=profiler
+            )
     return out

@@ -4,6 +4,12 @@ Experiments are "run this trial function T times with independent
 generators and summarise". The runner owns seeding discipline
 (:mod:`.rng`), progress hooks, and summary construction so each
 experiment module stays a pure description of *what* a trial is.
+
+The runner is also an obs publisher: give it an
+:class:`repro.obs.ObsContext` and every batch emits one ``mc.batch``
+event (trials, outcome kind, seed-deterministic mean) and accumulates
+wall clock under the ``mc.batch`` profiler phase — so a figure sweep's
+trace shows where its Monte Carlo budget went.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs.profiling import NULL_PROFILER
 from .metrics import ProportionSummary, summarize_detections
 from .rng import spawn_generators
 
@@ -48,14 +55,29 @@ class MonteCarloRunner:
         self,
         master_seed: int,
         progress: Optional[Callable[[int, int], None]] = None,
+        obs=None,
     ):
         """Args:
             master_seed: experiment-level seed; trials spawn from it.
             progress: optional ``(done, total)`` callback, invoked
                 after every trial (CLI progress display).
+            obs: optional :class:`repro.obs.ObsContext`; batches are
+                published to its bus/profiler.
         """
         self.master_seed = master_seed
         self._progress = progress
+        self._obs = obs
+
+    def _publish(self, kind: str, batch: TrialBatch) -> None:
+        if self._obs is None:
+            return
+        self._obs.bus.emit(
+            "mc.batch",
+            scope=f"mc/seed:{self.master_seed}",
+            kind=kind,
+            trials=int(batch.outcomes.size),
+            mean=batch.mean,
+        )
 
     def run_boolean(
         self, trial: Callable[[np.random.Generator], bool], trials: int
@@ -67,13 +89,17 @@ class MonteCarloRunner:
         """
         if trials <= 0:
             raise ValueError("trials must be positive")
+        profiler = self._obs.profiler if self._obs is not None else NULL_PROFILER
         gens = spawn_generators(self.master_seed, trials)
         outcomes = np.empty(trials, dtype=bool)
-        for i, gen in enumerate(gens):
-            outcomes[i] = bool(trial(gen))
-            if self._progress is not None:
-                self._progress(i + 1, trials)
-        return TrialBatch(outcomes=outcomes, summary=summarize_detections(outcomes))
+        with profiler.timer("mc.batch"):
+            for i, gen in enumerate(gens):
+                outcomes[i] = bool(trial(gen))
+                if self._progress is not None:
+                    self._progress(i + 1, trials)
+        batch = TrialBatch(outcomes=outcomes, summary=summarize_detections(outcomes))
+        self._publish("boolean", batch)
+        return batch
 
     def run_numeric(
         self, trial: Callable[[np.random.Generator], float], trials: int
@@ -85,13 +111,17 @@ class MonteCarloRunner:
         """
         if trials <= 0:
             raise ValueError("trials must be positive")
+        profiler = self._obs.profiler if self._obs is not None else NULL_PROFILER
         gens = spawn_generators(self.master_seed, trials)
         outcomes = np.empty(trials, dtype=np.float64)
-        for i, gen in enumerate(gens):
-            outcomes[i] = float(trial(gen))
-            if self._progress is not None:
-                self._progress(i + 1, trials)
-        return TrialBatch(outcomes=outcomes)
+        with profiler.timer("mc.batch"):
+            for i, gen in enumerate(gens):
+                outcomes[i] = float(trial(gen))
+                if self._progress is not None:
+                    self._progress(i + 1, trials)
+        batch = TrialBatch(outcomes=outcomes)
+        self._publish("numeric", batch)
+        return batch
 
     def run_vectorised(
         self,
@@ -106,8 +136,10 @@ class MonteCarloRunner:
         """
         if trials <= 0:
             raise ValueError("trials must be positive")
+        profiler = self._obs.profiler if self._obs is not None else NULL_PROFILER
         gen = np.random.default_rng(np.random.SeedSequence(self.master_seed))
-        outcomes = np.asarray(kernel(trials, gen))
+        with profiler.timer("mc.batch"):
+            outcomes = np.asarray(kernel(trials, gen))
         if outcomes.shape != (trials,):
             raise ValueError(
                 f"kernel returned shape {outcomes.shape}, expected ({trials},)"
@@ -115,4 +147,6 @@ class MonteCarloRunner:
         summary = (
             summarize_detections(outcomes) if outcomes.dtype == bool else None
         )
-        return TrialBatch(outcomes=outcomes, summary=summary)
+        batch = TrialBatch(outcomes=outcomes, summary=summary)
+        self._publish("vectorised", batch)
+        return batch

@@ -5,6 +5,16 @@ and slot poll is recorded as a typed event. Useful for debugging
 cascade mismatches (UTRP's re-seeding makes "which seed was live at
 slot 37?" a real question), for teaching, and for asserting protocol
 shape in tests without reaching into internals.
+
+.. deprecated:: the private ``events`` list is retained for backwards
+   compatibility, but :class:`TracingChannel` is now an *adapter* over
+   the unified observability layer: pass ``bus=`` (an
+   :class:`repro.obs.EventBus`) and every on-air event is also
+   published as a ``channel.*`` obs event, which is what the JSONL
+   exporter, the trace digest and ``--trace-out`` consume. New code
+   that only needs machine-readable traces should attach a bus and
+   read it back through :mod:`repro.obs.exporters` rather than walking
+   ``TracingChannel.events``.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..obs.events import EventBus
 from ..rfid.channel import SlotObservation, SlottedChannel
 
 __all__ = ["TraceEventKind", "TraceEvent", "TracingChannel", "render_trace"]
@@ -49,15 +60,29 @@ class TracingChannel(SlottedChannel):
     """A :class:`SlottedChannel` that records everything it carries.
 
     Drop-in: readers and protocol engines take it anywhere they take a
-    plain channel.
+    plain channel. With ``bus=`` the channel doubles as an obs
+    publisher: each recorded :class:`TraceEvent` is mirrored as a
+    ``channel.power_cycle`` / ``channel.broadcast`` / ``channel.poll``
+    event under ``scope`` (one scope per channel — a channel is driven
+    by one reader thread, which is exactly the obs ordering contract).
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(
+        self,
+        *args,
+        bus: Optional[EventBus] = None,
+        scope: str = "channel",
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         self.events: List[TraceEvent] = []
+        self.bus = bus
+        self.scope = scope
 
     def power_cycle(self) -> None:
         self.events.append(TraceEvent(kind=TraceEventKind.POWER_CYCLE))
+        if self.bus is not None:
+            self.bus.emit("channel.power_cycle", scope=self.scope)
         super().power_cycle()
 
     def broadcast_seed(self, frame_size: int, seed: int) -> None:
@@ -68,6 +93,13 @@ class TracingChannel(SlottedChannel):
                 seed=seed,
             )
         )
+        if self.bus is not None:
+            self.bus.emit(
+                "channel.broadcast",
+                scope=self.scope,
+                frame_size=frame_size,
+                seed=seed,
+            )
         super().broadcast_seed(frame_size, seed)
 
     def poll_slot(self, slot: int, ids_on_air: bool = False) -> SlotObservation:
@@ -80,6 +112,14 @@ class TracingChannel(SlottedChannel):
                 repliers=len(obs.replies),
             )
         )
+        if self.bus is not None:
+            self.bus.emit(
+                "channel.poll",
+                scope=self.scope,
+                slot=slot,
+                outcome=obs.outcome.value,
+                repliers=len(obs.replies),
+            )
         return obs
 
     # ------------------------------------------------------------------

@@ -1,0 +1,158 @@
+"""Tests for repro.obs.bench and the obs-facing CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    format_bench_record,
+    make_bench_record,
+    run_bench,
+    validate_bench_record,
+    write_bench_record,
+)
+
+
+def _timing(**overrides):
+    timing = {
+        "name": "fastpath.trp_detection_trials",
+        "kind": "fastpath-kernel",
+        "reps": 3,
+        "wall_s_total": 0.3,
+        "wall_s_mean": 0.1,
+        "wall_s_min": 0.05,
+        "wall_s_max": 0.2,
+        "sim_air_us_total": 1000.0,
+    }
+    timing.update(overrides)
+    return timing
+
+
+class TestValidation:
+    def test_accepts_well_formed_record(self):
+        record = make_bench_record([_timing()], quick=True, created_unix=0.0)
+        validate_bench_record(record)  # no raise
+        assert record["schema"] == BENCH_SCHEMA
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_bench_record([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        record = make_bench_record([_timing()], created_unix=0.0)
+        record["schema"] = "repro.obs.bench/v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_record(record)
+
+    def test_rejects_empty_timings(self):
+        record = make_bench_record([_timing()], created_unix=0.0)
+        record["timings"] = []
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_bench_record(record)
+
+    @pytest.mark.parametrize(
+        "key", ["name", "kind", "reps", "wall_s_total", "sim_air_us_total"]
+    )
+    def test_rejects_missing_timing_key(self, key):
+        timing = _timing()
+        del timing[key]
+        with pytest.raises(ValueError, match=f"missing {key!r}"):
+            make_bench_record([timing], created_unix=0.0)
+
+    def test_rejects_bool_as_number(self):
+        with pytest.raises(ValueError, match="wrong type"):
+            make_bench_record(
+                [_timing(wall_s_total=True)], created_unix=0.0
+            )
+
+    def test_rejects_zero_reps_and_negative_wall(self):
+        with pytest.raises(ValueError, match="reps"):
+            make_bench_record([_timing(reps=0)], created_unix=0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            make_bench_record([_timing(wall_s_min=-1.0)], created_unix=0.0)
+
+    def test_write_validates_before_writing(self, tmp_path):
+        path = tmp_path / "bench.json"
+        with pytest.raises(ValueError):
+            write_bench_record({"schema": BENCH_SCHEMA}, str(path))
+        assert not path.exists()
+
+
+class TestRunBench:
+    def test_quick_record_covers_required_kinds(self):
+        record = run_bench(quick=True)
+        validate_bench_record(record)
+        kinds = {t["kind"] for t in record["timings"]}
+        assert "fastpath-kernel" in kinds
+        assert "fleet-round" in kinds
+        names = {t["name"] for t in record["timings"]}
+        assert "fastpath.trp_detection_trials" in names
+        assert all(t["reps"] >= 1 for t in record["timings"])
+
+    def test_fleet_round_carries_simulated_air_time(self):
+        record = run_bench(quick=True)
+        fleet = [t for t in record["timings"] if t["kind"] == "fleet-round"]
+        assert fleet and fleet[0]["sim_air_us_total"] > 0
+
+    def test_format_renders_every_timing(self):
+        record = make_bench_record([_timing()], created_unix=0.0)
+        text = format_bench_record(record)
+        assert "fastpath.trp_detection_trials" in text
+        assert "phase" in text.splitlines()[0]
+
+
+class TestCli:
+    def test_bench_quick_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        record = json.loads(out.read_text())
+        validate_bench_record(record)
+        assert record["quick"] is True
+        assert "perf record written" in capsys.readouterr().out
+
+    def test_fleet_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "fleet", "--groups", "2", "--rounds", "2", "--seed", "7",
+            "--time-scale", "0",
+            "--trace-out", str(trace), "--metrics-out", str(prom),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace digest: " in out
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        names = {e["name"] for e in lines}
+        assert {"fleet.campaign.begin", "fleet.round", "fleet.campaign.end"} <= names
+        prom_text = prom.read_text()
+        assert "# TYPE repro_fleet_rounds_completed_total counter" in prom_text
+
+    def test_fleet_trace_digest_matches_across_jobs(self, tmp_path, capsys):
+        digests = []
+        for jobs in ("1", "3"):
+            trace = tmp_path / f"trace-{jobs}.jsonl"
+            assert main([
+                "fleet", "--groups", "3", "--rounds", "2", "--seed", "5",
+                "--jobs", jobs, "--time-scale", "0",
+                "--trace-out", str(trace),
+            ]) == 0
+            out = capsys.readouterr().out
+            digest_lines = [
+                l for l in out.splitlines() if l.startswith("trace digest: ")
+            ]
+            assert len(digest_lines) == 1
+            digests.append(digest_lines[0])
+        assert digests[0] == digests[1]
+
+    def test_fig4_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "fig4.jsonl"
+        assert main([
+            "fig4", "--trials", "1", "--seed", "3",
+            "--trace-out", str(trace),
+        ]) == 0
+        assert "trace digest: " in capsys.readouterr().out
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        names = [e["name"] for e in lines]
+        assert "experiment.row" in names
+        assert "experiment.complete" in names

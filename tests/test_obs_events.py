@@ -1,0 +1,114 @@
+"""Tests for repro.obs.events — the typed event bus."""
+
+import threading
+
+import numpy as np
+
+from repro.obs.events import EventBus, ObsEvent
+
+
+class TestEmit:
+    def test_assigns_per_scope_indices(self):
+        bus = EventBus()
+        bus.emit("a", scope="s1")
+        bus.emit("b", scope="s1")
+        bus.emit("c", scope="s2")
+        indices = {(e.scope, e.index) for e in bus.events()}
+        assert indices == {("s1", 0), ("s1", 1), ("s2", 0)}
+
+    def test_default_scope(self):
+        bus = EventBus()
+        event = bus.emit("tick")
+        assert event.scope == "main"
+        assert event.index == 0
+
+    def test_fields_survive(self):
+        bus = EventBus()
+        event = bus.emit("round", scope="s", group="g1", frame=128)
+        assert event.fields == {"group": "g1", "frame": 128}
+
+    def test_numpy_fields_coerced_to_builtin(self):
+        bus = EventBus()
+        event = bus.emit(
+            "x",
+            count=np.int64(3),
+            rate=np.float64(0.5),
+            flag=np.bool_(True),
+            arr=np.array([1, 2]),
+        )
+        assert event.fields["count"] == 3 and type(event.fields["count"]) is int
+        assert type(event.fields["rate"]) is float
+        assert type(event.fields["flag"]) is bool
+        assert event.fields["arr"] == [1, 2]
+
+    def test_wall_clock_recorded(self):
+        bus = EventBus()
+        assert bus.emit("x").wall_ns > 0
+
+
+class TestOrdering:
+    def test_canonical_order_is_scope_then_index(self):
+        bus = EventBus()
+        bus.emit("late", scope="zz")
+        bus.emit("early", scope="aa")
+        bus.emit("late2", scope="zz")
+        names = [e.name for e in bus.events()]
+        assert names == ["early", "late", "late2"]
+
+    def test_concurrent_publishers_get_deterministic_order(self):
+        # Each thread owns one scope (the obs contract); whatever the
+        # interleaving, the canonical order is identical.
+        def run_once():
+            bus = EventBus()
+
+            def publish(scope):
+                for i in range(50):
+                    bus.emit("e", scope=scope, i=i)
+
+            threads = [
+                threading.Thread(target=publish, args=(f"s{k}",))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return [(e.scope, e.index, e.fields["i"]) for e in bus.events()]
+
+        assert run_once() == run_once()
+
+    def test_filter_by_name(self):
+        bus = EventBus()
+        bus.emit("keep", scope="s")
+        bus.emit("drop", scope="s")
+        bus.emit("keep", scope="s")
+        assert [e.index for e in bus.events("keep")] == [0, 2]
+
+
+class TestSubscribe:
+    def test_subscriber_sees_every_event(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.name))
+        bus.emit("a")
+        bus.emit("b")
+        assert seen == ["a", "b"]
+
+    def test_len_and_clear(self):
+        bus = EventBus()
+        bus.emit("a")
+        bus.emit("b", scope="other")
+        assert len(bus) == 2
+        assert bus.scopes() == ["main", "other"]
+        bus.clear()
+        assert len(bus) == 0
+        # Scope counters reset too: indices restart at zero.
+        assert bus.emit("a").index == 0
+
+
+class TestDeterministicDict:
+    def test_excludes_wall_clock(self):
+        event = ObsEvent(name="x", scope="s", index=0, fields={"a": 1}, wall_ns=99)
+        payload = event.deterministic_dict()
+        assert "wall_ns" not in payload
+        assert payload == {"name": "x", "scope": "s", "index": 0, "fields": {"a": 1}}

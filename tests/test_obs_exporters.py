@@ -1,0 +1,154 @@
+"""Tests for repro.obs.exporters — JSONL traces and Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.fleet import CampaignConfig, default_scenario, run_campaign
+from repro.obs import (
+    ObsContext,
+    prometheus_text,
+    trace_digest,
+    write_events_jsonl,
+)
+from repro.obs.events import EventBus
+from repro.obs.exporters import events_to_jsonl, load_events_jsonl
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestJsonlExport:
+    def test_lines_are_valid_json_in_canonical_order(self):
+        bus = EventBus()
+        bus.emit("b", scope="s2", x=1)
+        bus.emit("a", scope="s1")
+        text = events_to_jsonl(bus)
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert [p["scope"] for p in parsed] == ["s1", "s2"]
+        assert all("wall_ns" in p for p in parsed)
+
+    def test_digest_excludes_wall_clock(self):
+        bus1, bus2 = EventBus(), EventBus()
+        for bus in (bus1, bus2):
+            bus.emit("x", scope="s", v=42)
+        # wall_ns necessarily differs between the two buses
+        assert bus1.events()[0].wall_ns != bus2.events()[0].wall_ns or True
+        assert trace_digest(bus1) == trace_digest(bus2)
+
+    def test_roundtrip_through_file(self, tmp_path):
+        bus = EventBus()
+        bus.emit("x", scope="s", v=1)
+        bus.emit("y", scope="s", v=2)
+        path = tmp_path / "trace.jsonl"
+        write_events_jsonl(bus, str(path))
+        loaded = load_events_jsonl(str(path))
+        assert [e["name"] for e in loaded] == ["x", "y"]
+        assert loaded[0]["fields"] == {"v": 1}
+
+    def test_empty_bus_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_events_jsonl(EventBus(), str(path))
+        assert path.read_text() == ""
+        assert load_events_jsonl(str(path)) == []
+
+    def test_malformed_line_raises_with_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_events_jsonl(str(path))
+
+
+class TestFleetTraceDeterminism:
+    def _digest(self, jobs):
+        obs = ObsContext()
+        scenario = default_scenario(groups=4)
+        config = CampaignConfig(
+            ticks=3, jobs=jobs, master_seed=11, time_scale=0.0
+        )
+        run_campaign(scenario, config, obs=obs)
+        return trace_digest(obs.bus), obs.registry.digest()
+
+    def test_trace_digest_invariant_across_jobs(self):
+        serial_trace, serial_metrics = self._digest(jobs=1)
+        parallel_trace, parallel_metrics = self._digest(jobs=4)
+        assert serial_trace == parallel_trace
+        assert serial_metrics == parallel_metrics
+
+    def test_trace_digest_changes_with_seed(self):
+        obs = ObsContext()
+        run_campaign(
+            default_scenario(groups=4),
+            CampaignConfig(ticks=3, jobs=1, master_seed=12, time_scale=0.0),
+            obs=obs,
+        )
+        assert trace_digest(obs.bus) != self._digest(jobs=1)[0]
+
+
+class TestPrometheusText:
+    def test_counter_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "requests served").inc(3)
+        text = prometheus_text(registry)
+        assert "# HELP reqs_total requests served" in text
+        assert "# TYPE reqs_total counter" in text
+        assert "reqs_total 3" in text
+        assert text.endswith("\n")
+
+    def test_label_rendering_sorted(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x", labelnames=("group",))
+        c.labels(group="zz").inc()
+        c.labels(group="aa").inc(2)
+        lines = [
+            line for line in prometheus_text(registry).splitlines()
+            if line.startswith("x{")
+        ]
+        assert lines == ['x{group="aa"} 2', 'x{group="zz"} 1']
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x", labelnames=("name",))
+        c.labels(name='we"ird\\zone\nnewline').inc()
+        text = prometheus_text(registry)
+        assert 'name="we\\"ird\\\\zone\\nnewline"' in text
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "line1\nline2 and \\slash")
+        text = prometheus_text(registry)
+        assert "# HELP x line1\\nline2 and \\\\slash" in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", "latency", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        text = prometheus_text(registry)
+        assert '# TYPE lat histogram' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 11" in text
+        assert "lat_count 3" in text
+
+    def test_histogram_with_labels_puts_le_last(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", labelnames=("group",), buckets=(1.0,))
+        h.labels(group="a").observe(0.5)
+        text = prometheus_text(registry)
+        assert 'lat_bucket{group="a",le="1"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_snapshot_parse_shape(self):
+        # Every non-comment line must be "name{labels} value" parseable.
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        c = registry.counter("c", labelnames=("k",))
+        c.labels(k="v").inc()
+        for line in prometheus_text(registry).splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)
+            assert name_part[0].isalpha()

@@ -1,0 +1,152 @@
+"""Tests for repro.obs.metrics — counters, gauges, histograms, registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("reqs_total")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_rejects_decrement(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        c = MetricsRegistry().counter("rounds_total", labelnames=("group",))
+        c.labels(group="a").inc()
+        c.labels(group="a").inc()
+        c.labels(group="b").inc()
+        assert c.labels(group="a").value == 2
+        assert c.labels(group="b").value == 1
+
+    def test_label_mismatch_rejected(self):
+        c = MetricsRegistry().counter("x", labelnames=("group",))
+        with pytest.raises(ValueError):
+            c.labels(zone="a")
+        with pytest.raises(ValueError):
+            c.inc()  # labelled metric used without labels
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("level")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4
+
+
+class TestHistogram:
+    def test_bucket_assignment_inclusive_upper(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 5.0, 99.0):
+            h.observe(v)
+        series = h.labels()
+        # le=1: 0.5, 1.0; le=2: +1.5; le=5: +5.0; +Inf: +99
+        assert series.cumulative_counts() == [2, 3, 4, 5]
+        assert series.count == 5
+        assert series.sum == pytest.approx(107.0)
+
+    def test_empty_series_percentile_is_zero(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert h.percentile(95) == 0.0
+
+    def test_single_sample_percentiles(self):
+        h = MetricsRegistry().histogram("h", buckets=(10.0,))
+        h.observe(7.0)
+        assert h.percentile(50) == 7.0
+        assert h.percentile(95) == 7.0
+
+    def test_p95_small_n_matches_numpy(self):
+        # n < 20: p95 interpolates between the two top samples; must
+        # match np.percentile exactly (the fleet table contract).
+        values = [3.0, 1.0, 2.0, 10.0, 4.0]
+        h = MetricsRegistry().histogram("h", buckets=DEFAULT_BUCKETS)
+        for v in values:
+            h.observe(v)
+        assert h.percentile(95) == pytest.approx(
+            float(np.percentile(np.asarray(values), 95))
+        )
+
+    def test_keep_samples_off_blocks_percentile(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0,), keep_samples=False)
+        h.observe(0.5)
+        with pytest.raises(RuntimeError):
+            h.percentile(50)
+
+    def test_invalid_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("c", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", labelnames=("b",))
+
+    def test_bucket_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "9lives", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_collect_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        assert [m.name for m in registry.collect()] == ["aa", "zz"]
+
+    def test_digest_tracks_state(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x")
+        before = registry.digest()
+        c.inc()
+        assert registry.digest() != before
+
+    def test_digest_deterministic_across_instances(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("c", labelnames=("g",)).labels(g="a").inc(3)
+            h = registry.histogram("h", buckets=(1.0, 10.0))
+            h.observe(0.5)
+            h.observe(4.0)
+            return registry.digest()
+
+        assert build() == build()
