@@ -1,0 +1,85 @@
+"""CI gate: the batched kernels must not regress below their scalar twins.
+
+Reads a ``BENCH_microbench.json`` perf record (written by
+``pytest benchmarks/test_microbench_kernels.py``), pairs every
+``*_scalar`` timing with its ``*_batched`` counterpart at the 1k-trial
+configuration, and exits non-zero if any batched kernel fails the
+minimum speedup::
+
+    python benchmarks/check_batched_speedup.py BENCH_microbench.json
+    python benchmarks/check_batched_speedup.py --min-speedup 2.0 BENCH_microbench.json
+
+The default threshold is 1.0 — "batched is never slower than scalar" —
+which holds with a wide margin on any hardware; locally the detection
+kernel runs ~5-7x faster (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (scalar timing name, batched timing name) pairs the gate enforces.
+KERNEL_PAIRS = [
+    (
+        "microbench.test_bench_trp_detection_trials_1k_scalar",
+        "microbench.test_bench_trp_detection_trials_1k_batched",
+    ),
+    (
+        "microbench.test_bench_trp_mismatch_trials_1k_scalar",
+        "microbench.test_bench_trp_mismatch_trials_1k_batched",
+    ),
+    (
+        "microbench.test_bench_trp_false_alarm_trials_1k_scalar",
+        "microbench.test_bench_trp_false_alarm_trials_1k_batched",
+    ),
+]
+
+
+def check(record: dict, min_speedup: float) -> int:
+    """Print the pairing table; return the number of failing pairs."""
+    timings = {t["name"]: t for t in record.get("timings", [])}
+    failures = 0
+    for scalar_name, batched_name in KERNEL_PAIRS:
+        scalar = timings.get(scalar_name)
+        batched = timings.get(batched_name)
+        if scalar is None or batched is None:
+            print(f"MISSING  {scalar_name} / {batched_name}")
+            failures += 1
+            continue
+        # Compare best-of-reps: robust to CI noise, which only ever
+        # slows a rep down.
+        speedup = scalar["wall_s_min"] / batched["wall_s_min"]
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(
+            f"{verdict:<8} {batched_name.split('.')[-1]}: "
+            f"scalar {scalar['wall_s_min'] * 1e3:.1f} ms, "
+            f"batched {batched['wall_s_min'] * 1e3:.1f} ms "
+            f"-> {speedup:.2f}x (need >= {min_speedup:.2f}x)"
+        )
+        if speedup < min_speedup:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", help="path to BENCH_microbench.json")
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.0, metavar="X",
+        help="fail any batched kernel slower than scalar/X (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.record) as fh:
+        record = json.load(fh)
+    failures = check(record, args.min_speedup)
+    if failures:
+        print(f"{failures} batched kernel(s) below the speedup floor")
+        return 1
+    print("all batched kernels clear the speedup floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,11 +19,19 @@ import pytest
 from repro.aloha.frame import hash_frame
 from repro.obs.bench import make_bench_record, write_bench_record
 from repro.core.analysis import detection_probability, optimal_trp_frame_size
-from repro.core.utrp_analysis import utrp_detection_probability
+from repro.core.utrp_analysis import optimal_utrp_frame_size, utrp_detection_probability
 from repro.rfid.hashing import slots_for_tags
 from repro.rfid.ids import random_tag_ids
 from repro.server.verifier import expected_utrp_bitstring
+from repro.simulation.batched import (
+    trp_detection_trials_batched,
+    trp_false_alarm_trials_batched,
+    trp_mismatch_count_trials_batched,
+)
 from repro.simulation.fastpath import (
+    trp_detection_trials,
+    trp_false_alarm_trials,
+    trp_mismatch_count_trials,
     trp_trial_detected,
     utrp_collusion_detected,
 )
@@ -31,6 +39,16 @@ from repro.simulation.fastpath import (
 
 _TIMINGS = []
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+#: REPRO_BENCH_QUICK=1 (the CI gate) trims the trials-kernel benches to
+#: the fewest rounds that still yield a stable scalar/batched ratio.
+_QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+_TRIALS_ROUNDS = 2 if _QUICK else 5
+
+# The paper's 1k-trial configuration (n=1000, m=10 -> steal 11, Eq. 2
+# frame): the scalar/batched pairs below are what the CI speedup gate
+# (benchmarks/check_batched_speedup.py) compares.
+_N_1K, _MISS_1K, _FRAME_1K, _TRIALS_1K = 1000, 11, 694, 1000
 
 
 @pytest.fixture(autouse=True)
@@ -124,3 +142,82 @@ def test_bench_collusion_trial_1k(benchmark, ids_1k):
     mask[:11] = True
     seeds = np.random.default_rng(3).integers(0, 1 << 62, size=760).tolist()
     benchmark(utrp_collusion_detected, ids_1k, counters, mask, 757, seeds, 20)
+
+
+# ---------------------------------------------------------------------------
+# scalar vs batched trials kernels (the CI speedup gate's inputs)
+# ---------------------------------------------------------------------------
+
+
+def _pedantic(benchmark, fn):
+    benchmark.pedantic(fn, rounds=_TRIALS_ROUNDS, iterations=1, warmup_rounds=1)
+
+
+def test_bench_trp_detection_trials_1k_scalar(benchmark):
+    _pedantic(
+        benchmark,
+        lambda: trp_detection_trials(
+            _N_1K, _MISS_1K, _FRAME_1K, _TRIALS_1K, np.random.default_rng(7)
+        ),
+    )
+
+
+def test_bench_trp_detection_trials_1k_batched(benchmark):
+    _pedantic(
+        benchmark,
+        lambda: trp_detection_trials_batched(
+            _N_1K, _MISS_1K, _FRAME_1K, _TRIALS_1K, 7
+        ),
+    )
+
+
+def test_bench_trp_mismatch_trials_1k_scalar(benchmark):
+    _pedantic(
+        benchmark,
+        lambda: trp_mismatch_count_trials(
+            _N_1K, _MISS_1K, _FRAME_1K, _TRIALS_1K, np.random.default_rng(7)
+        ),
+    )
+
+
+def test_bench_trp_mismatch_trials_1k_batched(benchmark):
+    _pedantic(
+        benchmark,
+        lambda: trp_mismatch_count_trials_batched(
+            _N_1K, _MISS_1K, _FRAME_1K, _TRIALS_1K, 7
+        ),
+    )
+
+
+def test_bench_trp_false_alarm_trials_1k_scalar(benchmark):
+    _pedantic(
+        benchmark,
+        lambda: trp_false_alarm_trials(
+            _N_1K, _FRAME_1K, 0.02, _TRIALS_1K, np.random.default_rng(7)
+        ),
+    )
+
+
+def test_bench_trp_false_alarm_trials_1k_batched(benchmark):
+    _pedantic(
+        benchmark,
+        lambda: trp_false_alarm_trials_batched(
+            _N_1K, _FRAME_1K, 0.02, _TRIALS_1K, 7
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# plan-cache warm lookups (cold solves are test_bench_eq2_frame_sizing
+# and the multi-second Eq. 3 search)
+# ---------------------------------------------------------------------------
+
+
+def test_bench_plan_cache_warm_trp(benchmark):
+    optimal_trp_frame_size(2000, 10, 0.95)  # prime
+    benchmark(optimal_trp_frame_size, 2000, 10, 0.95)
+
+
+def test_bench_plan_cache_warm_utrp(benchmark):
+    optimal_utrp_frame_size(400, 10, 0.95, 20)  # prime
+    benchmark(optimal_utrp_frame_size, 400, 10, 0.95, 20)

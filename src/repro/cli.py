@@ -16,6 +16,9 @@ Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
 on the figure commands to run grid cells concurrently. The figure and
 fleet commands take ``--trace-out`` / ``--metrics-out`` to export obs
 events (deterministic JSONL) and metrics (Prometheus text).
+``--batch-size B`` bounds the batched kernels' chunk memory (results
+are identical for any B); ``--plan-cache PATH`` persists Eq. 2/Eq. 3
+frame plans to a JSON file so warm reruns skip the solvers.
 """
 
 from __future__ import annotations
@@ -54,6 +57,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--full", action="store_true", help="use the paper's exact grid")
         p.add_argument("--trials", type=int, default=None, help="override trial count")
         p.add_argument("--seed", type=int, default=None, help="override master seed")
+        p.add_argument(
+            "--batch-size", type=int, default=None, metavar="B",
+            help="trials per chunk in the batched Monte Carlo kernels "
+            "(memory knob; results are identical for any B)",
+        )
+        p.add_argument(
+            "--plan-cache", default=None, metavar="PATH",
+            help="persist Eq. 2/Eq. 3 frame plans to this JSON file "
+            "(warm runs skip the solvers)",
+        )
         if name.startswith("fig"):
             p.add_argument(
                 "--csv", default=None, metavar="PATH",
@@ -87,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument(
         "--identify-beta", type=float, default=None, metavar="BETA",
         help="also plan forensic rounds to name all missing tags w.p. BETA",
+    )
+    plan.add_argument(
+        "--plan-cache", default=None, metavar="PATH",
+        help="persist the computed frame plans to this JSON file",
     )
 
     fleet = sub.add_parser(
@@ -138,6 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the campaign's metrics as a Prometheus text snapshot",
     )
+    fleet.add_argument(
+        "--plan-cache", default=None, metavar="PATH",
+        help="persist Eq. 2/Eq. 3 frame plans to this JSON file "
+        "(a warm fleet skips frame sizing entirely)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -169,10 +191,23 @@ def _grid(args: argparse.Namespace) -> ExperimentGrid:
         grid = replace(grid, trials=args.trials)
     if args.seed is not None:
         grid = replace(grid, master_seed=args.seed)
+    if getattr(args, "batch_size", None) is not None:
+        grid = replace(grid, batch_size=args.batch_size)
     return grid
 
 
+def _configure_plan_cache(args: argparse.Namespace, obs=None) -> None:
+    """Install the on-disk plan cache (and obs counters) if requested."""
+    from .core.plancache import configure_default_cache, default_cache
+
+    if getattr(args, "plan_cache", None) is not None:
+        configure_default_cache(path=args.plan_cache)
+    if obs is not None:
+        default_cache().bind_metrics(obs.registry)
+
+
 def _run_plan(args: argparse.Namespace) -> str:
+    _configure_plan_cache(args)
     n, m, alpha, c = args.population, args.tolerance, args.alpha, args.comm_budget
     f_trp = optimal_trp_frame_size(n, m, alpha)
     f_utrp = optimal_utrp_frame_size(n, m, alpha, c)
@@ -255,6 +290,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
         diagnostic_trials=args.diag_trials,
     )
     obs = _obs_context(args)
+    _configure_plan_cache(args, obs)
     result = run_campaign(scenario, config, obs=obs)
     report = format_campaign_result(result)
     if args.journal is not None:
@@ -317,6 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .fleet.executor import resolve_jobs
 
         obs = _obs_context(args)
+        _configure_plan_cache(args, obs)
         if obs is not None:
             with obs.profiler.timer("experiment.run"):
                 result = module.run(grid, jobs=resolve_jobs(args.jobs))
@@ -335,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in _write_obs_outputs(obs, args):
             print(line)
     elif args.command == "ablations":
+        _configure_plan_cache(args)
         print(ablations.format_wallclock(ablations.run_wallclock(grid)))
         print()
         print(ablations.format_alpha_sweep(ablations.run_alpha_sweep()))

@@ -21,6 +21,7 @@ from .utrp_analysis import (
     optimal_utrp_frame_size,
     utrp_detection_probability,
 )
+from .plancache import PlanCache, configure_default_cache, default_cache
 from .verification import Verdict, VerificationResult, compare_bitstrings
 from .trp import TrpRoundReport, run_trp_round
 from .utrp import UtrpRoundReport, estimate_scan_time_bounds, run_utrp_round
@@ -58,6 +59,9 @@ __all__ = [
     "CollusionBudget",
     "expected_sync_slots",
     "optimal_utrp_frame_size",
+    "PlanCache",
+    "configure_default_cache",
+    "default_cache",
     "utrp_detection_probability",
     "Verdict",
     "VerificationResult",

@@ -24,12 +24,11 @@ is provided for the approximation-quality ablation.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
-from typing import Tuple
 
 import numpy as np
 from scipy import stats
 
+from .numerics import binom_mass_window
 from .parameters import MonitorRequirement
 
 __all__ = [
@@ -48,17 +47,6 @@ _TAIL_EPS = 1e-12
 #: Upper bound for the frame-size search; Eq. 2 solutions for the
 #: paper's whole grid sit below 10^4, so hitting this indicates misuse.
 _MAX_FRAME = 1 << 26
-
-
-def _binom_window(f: int, p: float) -> Tuple[int, int]:
-    """Index window of Binomial(f, p) holding all but ``_TAIL_EPS`` mass."""
-    if p <= 0.0:
-        return 0, 0
-    if p >= 1.0:
-        return f, f
-    lo = int(stats.binom.ppf(_TAIL_EPS / 2, f, p))
-    hi = int(stats.binom.ppf(1 - _TAIL_EPS / 2, f, p))
-    return max(lo, 0), min(hi, f)
 
 
 def _occupancy_p(present: int, f: int, exact_occupancy: bool) -> float:
@@ -100,7 +88,7 @@ def detection_probability(
         return 0.0
     present = n - x
     p = _occupancy_p(present, f, exact_occupancy)
-    lo, hi = _binom_window(f, p)
+    lo, hi = binom_mass_window(f, p, _TAIL_EPS)
     i = np.arange(lo, hi + 1)
     pmf = stats.binom.pmf(i, f, p)
     escape = (1.0 - i / f) ** x
@@ -138,23 +126,10 @@ def expected_empty_slots(n: int, x: int, f: int) -> float:
     return f * math.exp(-(n - x) / f)
 
 
-@lru_cache(maxsize=4096)
-def optimal_trp_frame_size(
+def _solve_trp_frame_size(
     n: int, m: int, alpha: float, exact_occupancy: bool = False
 ) -> int:
-    """Eq. 2 — ``f* = min { f : g(n, m+1, f) > alpha }``.
-
-    ``g`` is monotone non-decreasing in ``f`` at the scales of interest
-    (more slots mean more empty slots for a missing tag to expose
-    itself in), so the minimum is found with exponential bracketing and
-    binary search; a final local scan guards against discreteness
-    wiggles at very small frames.
-
-    Raises:
-        ValueError: on invalid ``(n, m, alpha)`` (delegated to
-            :class:`MonitorRequirement`) or if no frame below the
-            internal cap satisfies the requirement.
-    """
+    """Uncached Eq. 2 solver (exponential bracketing + binary search)."""
     req = MonitorRequirement(population=n, tolerance=m, confidence=alpha)
     x = req.critical_missing
 
@@ -181,6 +156,41 @@ def optimal_trp_frame_size(
     while hi > 1 and ok(hi - 1):
         hi -= 1
     return hi
+
+
+def optimal_trp_frame_size(
+    n: int, m: int, alpha: float, exact_occupancy: bool = False
+) -> int:
+    """Eq. 2 — ``f* = min { f : g(n, m+1, f) > alpha }``.
+
+    ``g`` is monotone non-decreasing in ``f`` at the scales of interest
+    (more slots mean more empty slots for a missing tag to expose
+    itself in), so the minimum is found with exponential bracketing and
+    binary search; a final local scan guards against discreteness
+    wiggles at very small frames.
+
+    Results are memoised (and optionally persisted) by the shared
+    :mod:`repro.core.plancache` default cache — identical plans across
+    groups, figure cells and CLI invocations solve once.
+
+    Raises:
+        ValueError: on invalid ``(n, m, alpha)`` (delegated to
+            :class:`MonitorRequirement`) or if no frame below the
+            internal cap satisfies the requirement.
+    """
+    from .plancache import default_cache
+
+    return default_cache().trp_frame_size(n, m, alpha, exact_occupancy)
+
+
+def _clear_plan_cache() -> None:
+    from .plancache import default_cache
+
+    default_cache().clear_memory()
+
+
+#: lru_cache-compatible knob (the microbench cold-sizing loop uses it).
+optimal_trp_frame_size.cache_clear = _clear_plan_cache
 
 
 def frame_size_for(req: MonitorRequirement, exact_occupancy: bool = False) -> int:

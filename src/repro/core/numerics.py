@@ -1,0 +1,49 @@
+"""Shared numerical helpers for the analysis modules.
+
+Both Eq. 2 (TRP sizing, :mod:`repro.core.analysis`) and Eq. 3 (UTRP
+sizing, :mod:`repro.core.utrp_analysis`) evaluate binomial expectations
+over a truncated support window; the truncation logic lives here so the
+two analyses cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from scipy import stats
+
+__all__ = ["binom_mass_window"]
+
+
+def binom_mass_window(count: int, p: float, tail_eps: float) -> Tuple[int, int]:
+    """Index window of Binomial(``count``, ``p``) holding all but
+    ``tail_eps`` probability mass.
+
+    The window is symmetric in mass: at most ``tail_eps / 2`` is dropped
+    from each tail, so every term outside ``[lo, hi]`` contributes less
+    than ``tail_eps`` to any expectation of a ``[0, 1]``-bounded
+    function.
+
+    Args:
+        count: number of Bernoulli draws (``f`` slots, ``n`` tags, ...).
+        p: per-draw success probability.
+        tail_eps: total probability mass allowed outside the window.
+
+    Returns:
+        Inclusive ``(lo, hi)`` indices, clipped to ``[0, count]``.
+
+    Raises:
+        ValueError: if ``count`` is negative or ``tail_eps`` is outside
+            ``(0, 1)``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 0.0 < tail_eps < 1.0:
+        raise ValueError(f"tail_eps must be in (0, 1), got {tail_eps}")
+    if p <= 0.0:
+        return 0, 0
+    if p >= 1.0:
+        return count, count
+    lo = int(stats.binom.ppf(tail_eps / 2, count, p))
+    hi = int(stats.binom.ppf(1 - tail_eps / 2, count, p))
+    return max(lo, 0), min(hi, count)

@@ -1,0 +1,292 @@
+"""Two-level frame-plan cache for the Eq. 2 / Eq. 3 sizing solvers.
+
+Frame planning is the analytic hot spot of every sweep: a single Eq. 3
+evaluation costs tens of milliseconds and the binary search runs a few
+dozen of them, yet fleets of groups and repeated figure reruns keep
+asking for the *same* ``(protocol, n, m, alpha, ...)`` plans. This
+module answers those lookups from two layers:
+
+* an in-memory LRU (shared process-wide via :func:`default_cache`),
+  which `repro.core.analysis.optimal_trp_frame_size` and
+  `repro.core.utrp_analysis.optimal_utrp_frame_size` route through —
+  so *every* caller (figures, fleet, CLI ``plan``) hits it without
+  opting in;
+* an optional on-disk JSON store (``--plan-cache PATH`` on the CLI),
+  schema-versioned, so warm plans survive across processes — a fleet
+  campaign or a fig4–fig7 rerun starts with yesterday's plans solved.
+
+Corrupted files, stale schemas and malformed entries are never fatal:
+they count against :attr:`PlanCache.stats` and the plan is recomputed
+(and rewritten) instead. Hit/miss counters can be published live into
+an obs :class:`~repro.obs.metrics.MetricsRegistry` via
+:meth:`PlanCache.bind_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .utrp_analysis import DEFAULT_SLACK_SLOTS
+
+__all__ = [
+    "PLAN_CACHE_SCHEMA",
+    "PlanCache",
+    "default_cache",
+    "configure_default_cache",
+]
+
+#: Schema tag written to (and required of) on-disk plan caches. Bump on
+#: any change to key format or entry semantics; files carrying another
+#: tag are ignored wholesale and rebuilt.
+PLAN_CACHE_SCHEMA = "repro.plancache/v1"
+
+#: Default in-memory LRU width. Plans are a dozen bytes each; 64k
+#: entries cover the paper's full grid hundreds of times over while
+#: bounding adversarial key churn.
+DEFAULT_MAX_ENTRIES = 1 << 16
+
+
+def _trp_key(n: int, m: int, alpha: float, exact_occupancy: bool) -> str:
+    return f"trp:n={n}:m={m}:alpha={alpha!r}:exact={int(exact_occupancy)}"
+
+
+def _utrp_key(n: int, m: int, alpha: float, c: int, slack: int) -> str:
+    return f"utrp:n={n}:m={m}:alpha={alpha!r}:c={c}:slack={slack}"
+
+
+class PlanCache:
+    """Memory-LRU + optional JSON-file cache of optimal frame sizes.
+
+    Thread-safe; the solvers themselves run outside the lock so a slow
+    Eq. 3 search never blocks unrelated lookups.
+
+    Attributes:
+        path: the disk store location (``None`` = memory only).
+        stats: monotonic counters — ``memory_hits``, ``disk_hits``,
+            ``misses``, ``disk_errors`` (corrupt/stale files),
+            ``invalid_entries`` (malformed values inside a valid file).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        autosave: bool = True,
+    ):
+        """Raises:
+            ValueError: if ``max_entries`` is not positive.
+        """
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.path = path
+        self.autosave = autosave
+        self._max_entries = max_entries
+        self._lock = threading.RLock()
+        self._memory: "OrderedDict[str, int]" = OrderedDict()
+        self._disk: Dict[str, int] = {}
+        self._registry = None
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "disk_errors": 0,
+            "invalid_entries": 0,
+        }
+        if path is not None:
+            self._load_disk()
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+
+    def _load_disk(self) -> None:
+        """Best-effort load; any corruption degrades to an empty store."""
+        if self.path is None or not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self._count("disk_errors")
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != PLAN_CACHE_SCHEMA
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            self._count("disk_errors")
+            return
+        for key, value in payload["entries"].items():
+            if isinstance(key, str) and isinstance(value, int) and value >= 1:
+                self._disk[key] = value
+            else:
+                self._count("invalid_entries")
+
+    def save(self) -> None:
+        """Atomically persist the disk layer (no-op when memory-only)."""
+        if self.path is None:
+            return
+        with self._lock:
+            payload = {
+                "schema": PLAN_CACHE_SCHEMA,
+                "entries": dict(sorted(self._disk.items())),
+            }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    # lookup machinery
+    # ------------------------------------------------------------------
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        with self._lock:
+            self.stats[event] += amount
+            registry = self._registry
+        if registry is not None:
+            self._publish_event(registry, event, amount)
+
+    @staticmethod
+    def _publish_event(registry, event: str, amount: int) -> None:
+        if event in ("memory_hits", "disk_hits"):
+            registry.counter(
+                "plancache_hits_total",
+                "frame-plan cache hits by layer",
+                labelnames=("level",),
+            ).labels(level=event.split("_")[0]).inc(amount)
+        elif event == "misses":
+            registry.counter(
+                "plancache_misses_total", "frame plans solved from scratch"
+            ).inc(amount)
+        else:
+            registry.counter(
+                "plancache_errors_total",
+                "corrupt/stale plan-cache files and entries",
+                labelnames=("kind",),
+            ).labels(kind=event).inc(amount)
+
+    def bind_metrics(self, registry) -> None:
+        """Publish counters into an obs registry, live from now on.
+
+        Current totals are back-filled at bind time so the registry
+        reflects the cache's whole life, not just post-bind traffic.
+        """
+        with self._lock:
+            self._registry = registry
+            snapshot = dict(self.stats)
+        for event, total in snapshot.items():
+            if total:
+                self._publish_event(registry, event, total)
+
+    def _remember(self, key: str, frame: int) -> None:
+        with self._lock:
+            self._memory[key] = frame
+            self._memory.move_to_end(key)
+            while len(self._memory) > self._max_entries:
+                self._memory.popitem(last=False)
+
+    def _lookup(self, key: str, solve) -> int:
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                frame = self._memory[key]
+                hit = "memory_hits"
+            elif key in self._disk:
+                frame = self._disk[key]
+                hit = "disk_hits"
+            else:
+                frame = None
+                hit = None
+        if frame is not None:
+            self._count(hit)
+            if hit == "disk_hits":
+                self._remember(key, frame)
+            return frame
+        frame = int(solve())
+        self._count("misses")
+        self._remember(key, frame)
+        if self.path is not None:
+            with self._lock:
+                self._disk[key] = frame
+            if self.autosave:
+                self.save()
+        return frame
+
+    # ------------------------------------------------------------------
+    # public plan lookups
+    # ------------------------------------------------------------------
+
+    def trp_frame_size(
+        self, n: int, m: int, alpha: float, exact_occupancy: bool = False
+    ) -> int:
+        """Eq. 2 optimal frame size, cached."""
+        from . import analysis
+
+        return self._lookup(
+            _trp_key(n, m, alpha, exact_occupancy),
+            lambda: analysis._solve_trp_frame_size(n, m, alpha, exact_occupancy),
+        )
+
+    def utrp_frame_size(
+        self,
+        n: int,
+        m: int,
+        alpha: float,
+        c: int,
+        slack: int = DEFAULT_SLACK_SLOTS,
+    ) -> int:
+        """Eq. 3 (+ slack) optimal frame size, cached."""
+        from . import utrp_analysis
+
+        return self._lookup(
+            _utrp_key(n, m, alpha, c, slack),
+            lambda: utrp_analysis._solve_utrp_frame_size(n, m, alpha, c, slack),
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the LRU layer (the disk layer, if any, stays warm)."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+
+_default_lock = threading.Lock()
+_default: PlanCache = PlanCache()
+
+
+def default_cache() -> PlanCache:
+    """The process-wide cache behind the public sizing functions."""
+    with _default_lock:
+        return _default
+
+
+def configure_default_cache(
+    path: Optional[str] = None,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    autosave: bool = True,
+) -> PlanCache:
+    """Replace the process-wide default cache (e.g. CLI ``--plan-cache``).
+
+    Returns:
+        The newly installed cache.
+    """
+    global _default
+    cache = PlanCache(path=path, max_entries=max_entries, autosave=autosave)
+    with _default_lock:
+        _default = cache
+    return cache

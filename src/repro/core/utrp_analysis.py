@@ -25,12 +25,11 @@ empty slots, after which R1 must finish alone. The analysis quantities:
 from __future__ import annotations
 
 import math
-from functools import lru_cache
-from typing import Tuple
 
 import numpy as np
 from scipy import stats
 
+from .numerics import binom_mass_window
 from .parameters import MonitorRequirement
 
 __all__ = [
@@ -102,16 +101,6 @@ def expected_sync_slots(n: int, m: int, f: int, c: int) -> float:
     return min(float(f), c / p_empty)
 
 
-def _binom_window(count: int, p: float) -> Tuple[int, int]:
-    if p <= 0.0:
-        return 0, 0
-    if p >= 1.0:
-        return count, count
-    lo = int(stats.binom.ppf(_TAIL_EPS / 2, count, p))
-    hi = int(stats.binom.ppf(1 - _TAIL_EPS / 2, count, p))
-    return max(lo, 0), min(hi, count)
-
-
 def utrp_detection_probability(n: int, m: int, f: int, c: int) -> float:
     """Eq. 3's left-hand side — detection probability under collusion.
 
@@ -146,7 +135,7 @@ def utrp_detection_probability(n: int, m: int, f: int, c: int) -> float:
     i_vals = np.arange(0, stolen + 1)
     px = stats.binom.pmf(i_vals, stolen, q)
 
-    j_lo, j_hi = _binom_window(kept, q)
+    j_lo, j_hi = binom_mass_window(kept, q, _TAIL_EPS)
     j_vals = np.arange(j_lo, j_hi + 1)
     py = stats.binom.pmf(j_vals, kept, q)
 
@@ -155,7 +144,7 @@ def utrp_detection_probability(n: int, m: int, f: int, c: int) -> float:
         if pj < 1e-15:
             continue
         p_empty = math.exp(-j / f_eff)
-        k_lo, k_hi = _binom_window(f_eff, p_empty)
+        k_lo, k_hi = binom_mass_window(f_eff, p_empty, _TAIL_EPS)
         k = np.arange(k_lo, k_hi + 1)
         pmf_k = stats.binom.pmf(k, f_eff, p_empty)
         # escape[i, k] = (1 - k/f_eff)^i. A saturated frame (k = f_eff)
@@ -169,20 +158,10 @@ def utrp_detection_probability(n: int, m: int, f: int, c: int) -> float:
     return float(min(max(total, 0.0), 1.0))
 
 
-@lru_cache(maxsize=2048)
-def optimal_utrp_frame_size(
+def _solve_utrp_frame_size(
     n: int, m: int, alpha: float, c: int, slack: int = DEFAULT_SLACK_SLOTS
 ) -> int:
-    """Minimal ``f`` satisfying Eq. 3, plus the paper's slack slots.
-
-    Search mirrors :func:`repro.core.analysis.optimal_trp_frame_size`:
-    exponential bracketing, binary search, then a local scan to absorb
-    discreteness in ``c'`` rounding.
-
-    Raises:
-        ValueError: on invalid parameters or when no frame below the
-            internal cap satisfies the requirement.
-    """
+    """Uncached Eq. 3 solver (exponential bracketing + binary search)."""
     MonitorRequirement(population=n, tolerance=m, confidence=alpha)
     if m + 1 >= n:
         raise ValueError("UTRP analysis needs m + 1 < n (a non-empty kept set)")
@@ -210,3 +189,33 @@ def optimal_utrp_frame_size(
     while hi > 1 and ok(hi - 1):
         hi -= 1
     return hi + slack
+
+
+def optimal_utrp_frame_size(
+    n: int, m: int, alpha: float, c: int, slack: int = DEFAULT_SLACK_SLOTS
+) -> int:
+    """Minimal ``f`` satisfying Eq. 3, plus the paper's slack slots.
+
+    Search mirrors :func:`repro.core.analysis.optimal_trp_frame_size`:
+    exponential bracketing, binary search, then a local scan to absorb
+    discreteness in ``c'`` rounding. Eq. 3 evaluations cost tens of
+    milliseconds each, so results are memoised (and optionally
+    persisted) by the shared :mod:`repro.core.plancache` default cache.
+
+    Raises:
+        ValueError: on invalid parameters or when no frame below the
+            internal cap satisfies the requirement.
+    """
+    from .plancache import default_cache
+
+    return default_cache().utrp_frame_size(n, m, alpha, c, slack)
+
+
+def _clear_plan_cache() -> None:
+    from .plancache import default_cache
+
+    default_cache().clear_memory()
+
+
+#: lru_cache-compatible knob (mirrors the TRP sizing function).
+optimal_utrp_frame_size.cache_clear = _clear_plan_cache

@@ -12,10 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from ..core.analysis import optimal_trp_frame_size
-from ..simulation.fastpath import trp_detection_trials
+from ..simulation.batched import trp_detection_trials_batched
 from ..simulation.metrics import ProportionSummary, summarize_detections
 from ..simulation.rng import derive_seed
 from .grid import ExperimentGrid
@@ -59,8 +57,14 @@ class Fig5Result:
 def _cell(grid: ExperimentGrid, n: int, m: int) -> Fig5Row:
     """One (n, m) cell, seeded independently so cells parallelise."""
     f = optimal_trp_frame_size(n, m, grid.alpha)
-    rng = np.random.default_rng(derive_seed(grid.master_seed, 5, n, m))
-    detections = trp_detection_trials(n, m + 1, f, grid.trials, rng)
+    detections = trp_detection_trials_batched(
+        n,
+        m + 1,
+        f,
+        grid.trials,
+        derive_seed(grid.master_seed, 5, n, m),
+        batch_size=grid.batch_size,
+    )
     return Fig5Row(
         population=n,
         tolerance=m,

@@ -13,10 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
-
 from ..core.utrp_analysis import optimal_utrp_frame_size
-from ..simulation.fastpath import utrp_collusion_detection_trials
+from ..simulation.batched import utrp_collusion_detection_trials_batched
 from ..simulation.metrics import ProportionSummary, summarize_detections
 from ..simulation.rng import derive_seed
 from .grid import ExperimentGrid
@@ -60,9 +58,14 @@ class Fig7Result:
 def _cell(grid: ExperimentGrid, n: int, m: int) -> Fig7Row:
     """One (n, m) cell, seeded independently so cells parallelise."""
     f = optimal_utrp_frame_size(n, m, grid.alpha, grid.comm_budget)
-    rng = np.random.default_rng(derive_seed(grid.master_seed, 7, n, m))
-    detections = utrp_collusion_detection_trials(
-        n, m + 1, f, grid.comm_budget, grid.trials, rng
+    detections = utrp_collusion_detection_trials_batched(
+        n,
+        m + 1,
+        f,
+        grid.comm_budget,
+        grid.trials,
+        derive_seed(grid.master_seed, 7, n, m),
+        batch_size=grid.batch_size,
     )
     return Fig7Row(
         population=n,

@@ -16,6 +16,8 @@ import os
 from dataclasses import dataclass, replace
 from typing import Tuple
 
+from ..simulation.batched import DEFAULT_BATCH_SIZE
+
 __all__ = ["ExperimentGrid", "paper_grid", "quick_grid", "grid_from_env"]
 
 #: Default master seed: the paper's publication date, so runs are
@@ -36,6 +38,9 @@ class ExperimentGrid:
             variance is far smaller than detection-rate variance.
         comm_budget: UTRP's collusion budget ``c`` (paper: 20).
         master_seed: experiment-level seed for reproducibility.
+        batch_size: trials per chunk in the batched Monte Carlo
+            kernels — a memory/throughput knob only; results are
+            bit-identical for any value.
     """
 
     populations: Tuple[int, ...]
@@ -45,6 +50,7 @@ class ExperimentGrid:
     cost_trials: int = 20
     comm_budget: int = 20
     master_seed: int = DEFAULT_SEED
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if not self.populations:
@@ -57,6 +63,8 @@ class ExperimentGrid:
             raise ValueError("trial counts must be positive")
         if self.comm_budget < 0:
             raise ValueError("comm_budget must be >= 0")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         for n in self.populations:
             for m in self.tolerances:
                 if m + 1 >= n:

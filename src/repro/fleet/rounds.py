@@ -37,6 +37,7 @@ from ..core.verification import VerificationResult, compare_bitstrings
 from ..rfid.channel import ChannelOutage
 from ..rfid.hashing import splitmix64_array, slots_for_tags
 from ..rfid.timing import GEN2_TYPICAL, LinkTiming
+from ..simulation.batched import batched_theft_detected
 
 __all__ = [
     "RoundTimeout",
@@ -251,14 +252,7 @@ def detection_diagnostic(
     ]
     stolen = u <= kth
 
-    # Per-trial occupancy via one offset bincount over all trials.
-    offsets = np.arange(trials, dtype=np.int64)[:, None] * frame_size
-    flat = slot_matrix + offsets
-    present_counts = np.bincount(
-        flat[~stolen], minlength=trials * frame_size
+    detected = batched_theft_detected(
+        slot_matrix, stolen, frame_size, critical_missing
     )
-    # Row-major boolean indexing yields each row's x stolen slots
-    # contiguously, so the (trials, x) reshape is exact.
-    stolen_exposed = present_counts[flat[stolen]] == 0
-    detected = stolen_exposed.reshape(trials, critical_missing).any(axis=1)
     return float(detected.mean())

@@ -1,5 +1,13 @@
 """Monte Carlo engine: seeding, runners, metrics, fast kernels, scenarios."""
 
+from .batched import (
+    DEFAULT_BATCH_SIZE,
+    collect_all_slots_trials_batched,
+    trp_detection_trials_batched,
+    trp_false_alarm_trials_batched,
+    trp_mismatch_count_trials_batched,
+    utrp_collusion_detection_trials_batched,
+)
 from .fastpath import (
     collect_all_slots_trials,
     trp_detection_trials,
@@ -8,16 +16,22 @@ from .fastpath import (
     utrp_collusion_trial_detected,
 )
 from .metrics import ProportionSummary, summarize_detections, wilson_interval
-from .rng import derive_seed, generator_for_trial, spawn_generators
+from .rng import derive_seed, generator_for_trial, spawn_generators, trial_seed_stream
 from .runner import MonteCarloRunner, TrialBatch
 from .scenarios import DeployedSet, deploy, deploy_with_collusion, deploy_with_theft
 from .trace import TraceEvent, TraceEventKind, TracingChannel, render_trace
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "collect_all_slots_trials",
+    "collect_all_slots_trials_batched",
     "trp_detection_trials",
+    "trp_detection_trials_batched",
+    "trp_false_alarm_trials_batched",
+    "trp_mismatch_count_trials_batched",
     "trp_trial_detected",
     "utrp_collusion_detection_trials",
+    "utrp_collusion_detection_trials_batched",
     "utrp_collusion_trial_detected",
     "ProportionSummary",
     "summarize_detections",
@@ -25,6 +39,7 @@ __all__ = [
     "derive_seed",
     "generator_for_trial",
     "spawn_generators",
+    "trial_seed_stream",
     "MonteCarloRunner",
     "TrialBatch",
     "DeployedSet",

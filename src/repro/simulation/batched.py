@@ -1,0 +1,495 @@
+"""Trial-batched Monte Carlo kernels.
+
+The scalar kernels in :mod:`repro.simulation.fastpath` run a Python
+loop of one ``random_tag_ids`` + ``slots_for_tags`` + ``bincount`` per
+trial; at figure-sweep scale (1000 trials per grid cell, dozens of
+cells) the loop overhead dwarfs the array work. The kernels here batch
+the **trials axis** instead: a ``(trials, n)`` ID matrix is hashed in
+one vectorised pass, per-trial occupancy falls out of a single
+offset-``bincount`` (``slot + trial_index * frame_size``), and trials
+execute in memory-bounded chunks of ``batch_size``.
+
+Randomness is *counter-based*: every trial's population, theft, channel
+losses and challenge seeds are pure functions of its entry in
+:func:`repro.simulation.rng.trial_seed_stream` (splitmix64 streams in
+counter mode). Consequences the test suite relies on:
+
+* results are **independent of** ``batch_size`` — chunk boundaries
+  never touch the random stream;
+* any single trial's inputs can be reconstructed exactly
+  (:func:`trp_trial_inputs`, :func:`utrp_trial_inputs`) and replayed
+  through the scalar kernels, which remain the cross-validation
+  oracle.
+
+The scalar kernels draw from a sequential ``numpy`` generator, so the
+batched kernels match them **distributionally** (same model, different
+stream), not sample-for-sample; `tests/test_batched_kernels.py` checks
+both contracts.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from ..obs.profiling import NULL_PROFILER
+from ..rfid.hashing import MASK64, splitmix64_array
+from .rng import trial_seed_stream
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "batched_theft_detected",
+    "trp_detection_trials_batched",
+    "trp_mismatch_count_trials_batched",
+    "trp_false_alarm_trials_batched",
+    "utrp_collusion_detection_trials_batched",
+    "collect_all_slots_trials_batched",
+    "trp_trial_inputs",
+    "utrp_trial_inputs",
+]
+
+#: Default trials per chunk. A chunk materialises a few
+#: ``(batch_size, n)`` uint64/float64 matrices plus a
+#: ``(batch_size, frame_size)`` count grid — at the paper's largest
+#: cell (n = 2000, f ≈ 1400) that is ~4 MB per 64-trial chunk, small
+#: enough to stay L2/L3-resident (measurably faster than wider chunks;
+#: results are identical either way).
+DEFAULT_BATCH_SIZE = 64
+
+_SEED_SPACE = 1 << 62
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+
+#: Domain-separation salts: each per-trial random stream (IDs, theft,
+#: challenge seed, loss pattern, pre-committed UTRP seeds, nested
+#: generator) hashes its trial seed against a distinct constant, so the
+#: streams are independent splitmix64 sequences.
+_DOM_IDS = np.uint64(0x1D5D31F2A3C94E01)
+_DOM_THEFT = np.uint64(0x2A8F0C64D1B73503)
+_DOM_FRAME_SEED = np.uint64(0x3C41E98B72D6A105)
+_DOM_LOSS = np.uint64(0x4B93A75E08C1F207)
+_DOM_UTRP_SEEDS = np.uint64(0x5E07B2D94A68C309)
+_DOM_SUBRNG = np.uint64(0x6F15D8A3B0427C0B)
+
+
+def _stream(trial_seeds: np.ndarray, count: int, domain: np.uint64) -> np.ndarray:
+    """``(len(trial_seeds), count)`` uint64 splitmix64 counter stream."""
+    base = splitmix64_array(trial_seeds ^ domain)
+    steps = (np.arange(1, count + 1, dtype=np.uint64)) * _GAMMA
+    with np.errstate(over="ignore"):
+        return splitmix64_array(base[:, None] + steps[None, :])
+
+
+def _scalar_stream_word(trial_seeds: np.ndarray, domain: np.uint64) -> np.ndarray:
+    """One uint64 word per trial (a length-1 stream, squeezed)."""
+    return _stream(trial_seeds, 1, domain)[:, 0]
+
+
+def _uniforms(trial_seeds: np.ndarray, count: int, domain: np.uint64) -> np.ndarray:
+    """``(trials, count)`` float64 uniforms in [0, 1) from the stream."""
+    return (_stream(trial_seeds, count, domain) >> np.uint64(11)) * 2.0**-53
+
+
+def _trial_tag_ids(trial_seeds: np.ndarray, n: int) -> np.ndarray:
+    """``(trials, n)`` tag-ID matrix, entries uniform over [0, 2^63).
+
+    Matches :func:`repro.rfid.ids.random_tag_ids`'s value range.
+    Within-row duplicates are possible in principle but astronomically
+    unlikely (< n^2 / 2^64 per trial) — the same odds the scalar path's
+    re-draw loop guards against and never hits.
+    """
+    return _stream(trial_seeds, n, _DOM_IDS) >> np.uint64(1)
+
+
+def _trial_frame_seeds(trial_seeds: np.ndarray) -> np.ndarray:
+    """One 62-bit challenge seed ``r`` per trial."""
+    return _scalar_stream_word(trial_seeds, _DOM_FRAME_SEED) >> np.uint64(2)
+
+
+def _theft_masks(trial_seeds: np.ndarray, n: int, missing: int) -> np.ndarray:
+    """Boolean ``(trials, n)`` masks with exactly ``missing`` True/row.
+
+    Each row thresholds its uniforms at their ``missing``-th smallest
+    value — a uniformly random ``missing``-subset of the population.
+    """
+    if missing == 0:
+        return np.zeros((trial_seeds.size, n), dtype=bool)
+    u = _uniforms(trial_seeds, n, _DOM_THEFT)
+    kth = np.partition(u, missing - 1, axis=1)[:, missing - 1 : missing]
+    return u <= kth
+
+
+def _slot_matrix(
+    ids: np.ndarray, frame_seeds: np.ndarray, frame_size: int
+) -> np.ndarray:
+    """Vectorised ``h(id XOR r) mod f`` over a whole chunk of trials."""
+    hashes = splitmix64_array(ids ^ frame_seeds[:, None])
+    return (hashes % np.uint64(frame_size)).astype(np.int64)
+
+
+def _occupancy_counts(
+    slot_matrix: np.ndarray, select: np.ndarray, frame_size: int
+) -> np.ndarray:
+    """Per-trial slot occupancy of the selected tags, via one
+    offset-``bincount`` over the whole chunk.
+
+    Args:
+        slot_matrix: ``(trials, n)`` slot picks.
+        select: boolean ``(trials, n)`` — which tags reply.
+        frame_size: ``f``.
+
+    Returns:
+        ``(trials, frame_size)`` reply counts.
+    """
+    trials = slot_matrix.shape[0]
+    offsets = np.arange(trials, dtype=np.int64)[:, None] * frame_size
+    flat = slot_matrix + offsets
+    counts = np.bincount(flat[select], minlength=trials * frame_size)
+    return counts.reshape(trials, frame_size)
+
+
+def batched_theft_detected(
+    slot_matrix: np.ndarray,
+    stolen: np.ndarray,
+    frame_size: int,
+    stolen_per_trial: int,
+) -> np.ndarray:
+    """Per-trial TRP verdicts from a chunk's slot picks.
+
+    A theft is detected iff at least one stolen tag's slot receives no
+    reply from any present tag — evaluated for every trial at once with
+    an offset-``bincount`` and one gather.
+
+    Args:
+        slot_matrix: ``(trials, n)`` slot picks.
+        stolen: boolean ``(trials, n)``; each row must have exactly
+            ``stolen_per_trial`` True entries.
+        frame_size: ``f``.
+        stolen_per_trial: thefts per trial (constant across the chunk).
+
+    Returns:
+        Boolean array of ``trials`` verdicts.
+
+    Raises:
+        ValueError: on shape mismatch or an inconsistent theft count.
+    """
+    if slot_matrix.shape != stolen.shape:
+        raise ValueError("slot_matrix and stolen must align")
+    trials = slot_matrix.shape[0]
+    if stolen_per_trial == 0:
+        return np.zeros(trials, dtype=bool)
+    offsets = np.arange(trials, dtype=np.int64)[:, None] * frame_size
+    flat = slot_matrix + offsets
+    # Row-major boolean indexing yields each row's stolen slots
+    # contiguously, so the (trials, stolen_per_trial) reshape is exact.
+    stolen_flat = flat[stolen]
+    if stolen_flat.size != trials * stolen_per_trial:
+        raise ValueError("every trial must steal exactly stolen_per_trial tags")
+    # present = all - stolen, sparing the big ~stolen gather copy.
+    total = trials * frame_size
+    present_counts = np.bincount(flat.ravel(), minlength=total)
+    present_counts -= np.bincount(stolen_flat, minlength=total)
+    exposed = present_counts[stolen_flat] == 0
+    return exposed.reshape(trials, stolen_per_trial).any(axis=1)
+
+
+def _chunks(trials: int, batch_size: int):
+    for lo in range(0, trials, batch_size):
+        yield lo, min(lo + batch_size, trials)
+
+
+def _check_batched_args(trials: int, batch_size: int) -> None:
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+
+
+def trp_detection_trials_batched(
+    n: int,
+    missing: int,
+    frame_size: int,
+    trials: int,
+    master_seed: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    profiler=NULL_PROFILER,
+) -> np.ndarray:
+    """Batched Fig. 5 kernel — the trials-axis twin of
+    :func:`repro.simulation.fastpath.trp_detection_trials`.
+
+    Every trial draws a fresh population, theft and challenge seed from
+    its own counter-based stream, so the returned array is a pure
+    function of ``(master_seed, n, missing, frame_size, trials)`` —
+    ``batch_size`` only bounds peak memory.
+
+    Args:
+        n: population size.
+        missing: tags stolen per trial.
+        frame_size: TRP frame (Eq. 2 in the paper's setup).
+        trials: Monte Carlo sample size.
+        master_seed: root of the per-trial seed stream.
+        batch_size: trials per chunk (memory/throughput trade-off).
+
+    Returns:
+        Boolean array, one entry per trial (True = theft detected).
+
+    Raises:
+        ValueError: if ``missing`` is outside ``[0, n]``, or ``trials``
+            / ``batch_size`` is not positive.
+    """
+    if not 0 <= missing <= n:
+        raise ValueError("missing must be within [0, n]")
+    _check_batched_args(trials, batch_size)
+    seeds = trial_seed_stream(master_seed, trials)
+    detections = np.zeros(trials, dtype=bool)
+    if missing == 0:
+        return detections
+    with profiler.timer("batched.trp_detection_trials"):
+        for lo, hi in _chunks(trials, batch_size):
+            chunk = seeds[lo:hi]
+            slots = _slot_matrix(
+                _trial_tag_ids(chunk, n), _trial_frame_seeds(chunk), frame_size
+            )
+            stolen = _theft_masks(chunk, n, missing)
+            detections[lo:hi] = batched_theft_detected(
+                slots, stolen, frame_size, missing
+            )
+    return detections
+
+
+def trp_mismatch_count_trials_batched(
+    n: int,
+    missing: int,
+    frame_size: int,
+    trials: int,
+    master_seed: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    profiler=NULL_PROFILER,
+) -> np.ndarray:
+    """Batched mismatch-count kernel (alarm-policy studies).
+
+    A slot mismatches when at least one missing tag picked it and no
+    present tag did; the per-trial count is the conjunction of two
+    offset-``bincount`` grids.
+
+    Returns:
+        ``int64`` array, one mismatch count per trial.
+
+    Raises:
+        ValueError: if ``missing`` is outside ``[0, n]`` or ``trials``
+            / ``batch_size`` is not positive.
+    """
+    if not 0 <= missing <= n:
+        raise ValueError("missing must be within [0, n]")
+    _check_batched_args(trials, batch_size)
+    seeds = trial_seed_stream(master_seed, trials)
+    counts = np.zeros(trials, dtype=np.int64)
+    if missing == 0:
+        return counts
+    with profiler.timer("batched.trp_mismatch_count_trials"):
+        for lo, hi in _chunks(trials, batch_size):
+            chunk = seeds[lo:hi]
+            slots = _slot_matrix(
+                _trial_tag_ids(chunk, n), _trial_frame_seeds(chunk), frame_size
+            )
+            stolen = _theft_masks(chunk, n, missing)
+            present = _occupancy_counts(slots, ~stolen, frame_size)
+            gone = _occupancy_counts(slots, stolen, frame_size)
+            counts[lo:hi] = ((present == 0) & (gone > 0)).sum(axis=1)
+    return counts
+
+
+def trp_false_alarm_trials_batched(
+    n: int,
+    frame_size: int,
+    miss_rate: float,
+    trials: int,
+    master_seed: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    profiler=NULL_PROFILER,
+) -> np.ndarray:
+    """Batched false-alarm kernel: mismatch counts on an *intact* set
+    over an unreliable channel (each reply lost independently with
+    probability ``miss_rate``).
+
+    Returns:
+        ``int64`` array, one false-alarm mismatch count per trial.
+
+    Raises:
+        ValueError: if ``miss_rate`` is outside ``[0, 1]`` or
+            ``trials`` / ``batch_size`` is not positive.
+    """
+    if not 0.0 <= miss_rate <= 1.0:
+        raise ValueError("miss_rate must be within [0, 1]")
+    _check_batched_args(trials, batch_size)
+    seeds = trial_seed_stream(master_seed, trials)
+    counts = np.empty(trials, dtype=np.int64)
+    with profiler.timer("batched.trp_false_alarm_trials"):
+        for lo, hi in _chunks(trials, batch_size):
+            chunk = seeds[lo:hi]
+            slots = _slot_matrix(
+                _trial_tag_ids(chunk, n), _trial_frame_seeds(chunk), frame_size
+            )
+            responded = _uniforms(chunk, n, _DOM_LOSS) >= miss_rate
+            heard = _occupancy_counts(slots, responded, frame_size)
+            expected = _occupancy_counts(
+                slots, np.ones_like(responded), frame_size
+            )
+            counts[lo:hi] = ((expected > 0) & (heard == 0)).sum(axis=1)
+    return counts
+
+
+def utrp_collusion_detection_trials_batched(
+    n: int,
+    stolen: int,
+    frame_size: int,
+    budget: int,
+    trials: int,
+    master_seed: int,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    profiler=NULL_PROFILER,
+) -> np.ndarray:
+    """Batched Fig. 7 kernel.
+
+    The cascade walk itself is inherently sequential per trial (every
+    occupied slot re-seeds the remainder of the frame), so each verdict
+    still calls the scalar
+    :func:`repro.simulation.fastpath.utrp_collusion_detected`; what is
+    batched is everything around it — populations, theft splits and the
+    pre-committed seed lists are drawn as whole-chunk matrices from the
+    per-trial streams.
+
+    Returns:
+        Boolean array, one entry per trial (True = attack detected).
+
+    Raises:
+        ValueError: if ``stolen`` is out of range or ``trials`` /
+            ``batch_size`` is not positive.
+    """
+    from .fastpath import utrp_collusion_detected
+
+    if not 0 < stolen < n:
+        raise ValueError("stolen must be within (0, n)")
+    _check_batched_args(trials, batch_size)
+    seeds = trial_seed_stream(master_seed, trials)
+    detections = np.empty(trials, dtype=bool)
+    counters = np.zeros(n, dtype=np.int64)
+    with profiler.timer("batched.utrp_collusion_detection_trials"):
+        for lo, hi in _chunks(trials, batch_size):
+            chunk = seeds[lo:hi]
+            ids = _trial_tag_ids(chunk, n)
+            masks = _theft_masks(chunk, n, stolen)
+            seed_lists = (
+                _stream(chunk, frame_size, _DOM_UTRP_SEEDS) >> np.uint64(2)
+            ).astype(np.int64)
+            for t in range(hi - lo):
+                detections[lo + t] = utrp_collusion_detected(
+                    ids[t], counters, masks[t], frame_size, seed_lists[t], budget
+                )
+    return detections
+
+
+def collect_all_slots_trials_batched(
+    n: int,
+    tolerance: int,
+    trials: int,
+    master_seed: int,
+    missing: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    profiler=NULL_PROFILER,
+) -> np.ndarray:
+    """Batched Fig. 4 kernel: slots used by *collect all* per trial.
+
+    Populations and thefts are sampled as whole-chunk matrices; the
+    multi-round inventory walk stays per trial (each round's frame size
+    depends on the previous round's collisions), driven by a nested
+    generator derived from the trial's seed.
+
+    Raises:
+        ValueError: if more tags are missing than the tolerance allows
+            (collect-all would never terminate) or ``trials`` /
+            ``batch_size`` is not positive.
+    """
+    from ..aloha.framed_slotted import simulate_collect_all_slots
+
+    if missing > tolerance:
+        raise ValueError("collect-all cannot terminate with missing > tolerance")
+    _check_batched_args(trials, batch_size)
+    seeds = trial_seed_stream(master_seed, trials)
+    out = np.empty(trials, dtype=np.int64)
+    with profiler.timer("batched.collect_all_slots_trials"):
+        for lo, hi in _chunks(trials, batch_size):
+            chunk = seeds[lo:hi]
+            ids = _trial_tag_ids(chunk, n)
+            keep = ~_theft_masks(chunk, n, missing)
+            sub_seeds = _scalar_stream_word(chunk, _DOM_SUBRNG)
+            for t in range(hi - lo):
+                rng = np.random.default_rng(int(sub_seeds[t]))
+                out[lo + t] = simulate_collect_all_slots(
+                    ids[t][keep[t]], n, tolerance, rng, profiler=profiler
+                )
+    return out
+
+
+class TrpTrialInputs(NamedTuple):
+    """One batched TRP trial's reconstructed inputs."""
+
+    tag_ids: np.ndarray
+    stolen_mask: np.ndarray
+    frame_seed: int
+
+
+def trp_trial_inputs(
+    master_seed: int, trial: int, n: int, missing: int
+) -> TrpTrialInputs:
+    """Reconstruct trial ``trial``'s exact inputs to the TRP kernels.
+
+    Feeding these to the scalar
+    :func:`repro.simulation.fastpath.trp_trial_detected` reproduces the
+    batched kernel's verdict bit-for-bit — the exact-equality leg of
+    the cross-validation suite.
+
+    Raises:
+        ValueError: if ``trial`` is negative or ``missing`` is out of
+            range.
+    """
+    if trial < 0:
+        raise ValueError("trial must be >= 0")
+    if not 0 <= missing <= n:
+        raise ValueError("missing must be within [0, n]")
+    seed = trial_seed_stream(master_seed, trial + 1)[trial : trial + 1]
+    return TrpTrialInputs(
+        tag_ids=_trial_tag_ids(seed, n)[0],
+        stolen_mask=_theft_masks(seed, n, missing)[0],
+        frame_seed=int(_trial_frame_seeds(seed)[0]),
+    )
+
+
+class UtrpTrialInputs(NamedTuple):
+    """One batched UTRP collusion trial's reconstructed inputs."""
+
+    tag_ids: np.ndarray
+    stolen_mask: np.ndarray
+    seeds: np.ndarray
+
+
+def utrp_trial_inputs(
+    master_seed: int, trial: int, n: int, stolen: int, frame_size: int
+) -> UtrpTrialInputs:
+    """Reconstruct trial ``trial``'s exact inputs to the batched UTRP
+    collusion kernel (IDs, theft split, pre-committed seed list).
+
+    Raises:
+        ValueError: if ``trial`` is negative or ``stolen`` out of range.
+    """
+    if trial < 0:
+        raise ValueError("trial must be >= 0")
+    if not 0 < stolen < n:
+        raise ValueError("stolen must be within (0, n)")
+    seed = trial_seed_stream(master_seed, trial + 1)[trial : trial + 1]
+    return UtrpTrialInputs(
+        tag_ids=_trial_tag_ids(seed, n)[0],
+        stolen_mask=_theft_masks(seed, n, stolen)[0],
+        seeds=(_stream(seed, frame_size, _DOM_UTRP_SEEDS) >> np.uint64(2))
+        .astype(np.int64)[0],
+    )

@@ -167,6 +167,7 @@ def trp_false_alarm_trials(
     miss_rate: float,
     trials: int,
     rng: np.random.Generator,
+    profiler=NULL_PROFILER,
 ) -> np.ndarray:
     """Mismatch counts on an *intact* set over an unreliable channel.
 
@@ -185,14 +186,15 @@ def trp_false_alarm_trials(
     if trials <= 0:
         raise ValueError("trials must be positive")
     counts = np.empty(trials, dtype=np.int64)
-    for t in range(trials):
-        ids = random_tag_ids(n, rng)
-        seed = int(rng.integers(0, _SEED_SPACE))
-        slots = slots_for_tags(ids, seed, frame_size)
-        responded = rng.random(n) >= miss_rate
-        heard = np.bincount(slots[responded], minlength=frame_size)
-        expected_slots = np.unique(slots)
-        counts[t] = int(np.sum(heard[expected_slots] == 0))
+    with profiler.timer("fastpath.trp_false_alarm_trials"):
+        for t in range(trials):
+            ids = random_tag_ids(n, rng)
+            seed = int(rng.integers(0, _SEED_SPACE))
+            slots = slots_for_tags(ids, seed, frame_size)
+            responded = rng.random(n) >= miss_rate
+            heard = np.bincount(slots[responded], minlength=frame_size)
+            expected_slots = np.unique(slots)
+            counts[t] = int(np.sum(heard[expected_slots] == 0))
     return counts
 
 
@@ -233,6 +235,8 @@ def utrp_collusion_detected(
         raise ValueError(f"need {frame_size} seeds, got {len(seeds)}")
     if budget < 0:
         raise ValueError("budget must be >= 0")
+    if ids.size == 0:
+        return False  # no tags: prediction and forgery are both all-0s
 
     active = np.ones(ids.shape, dtype=bool)
     kept = ~stolen
@@ -255,10 +259,8 @@ def utrp_collusion_detected(
 
     while offset + cursor < frame_size:
         masked = np.where(active & (slots >= cursor), slots, _INF)
-        kept_slots = np.where(kept, masked, _INF)
-        next1 = int(kept_slots.min()) if masked.size else _INF
-        stolen_slots = np.where(stolen, masked, _INF)
-        next2 = int(stolen_slots.min()) if masked.size else _INF
+        next1 = int(np.where(kept, masked, _INF).min())
+        next2 = int(np.where(stolen, masked, _INF).min())
         event = min(next1, next2)
         if event == _INF:
             return False  # nothing will ever reply again: suffix all 0s

@@ -14,7 +14,12 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["spawn_generators", "generator_for_trial", "derive_seed"]
+__all__ = [
+    "spawn_generators",
+    "generator_for_trial",
+    "derive_seed",
+    "trial_seed_stream",
+]
 
 
 def spawn_generators(master_seed: int, count: int) -> List[np.random.Generator]:
@@ -38,6 +43,26 @@ def generator_for_trial(master_seed: int, trial_index: int) -> np.random.Generat
     seq = np.random.SeedSequence(master_seed)
     child = seq.spawn(trial_index + 1)[trial_index]
     return np.random.default_rng(child)
+
+
+def trial_seed_stream(master_seed: int, trials: int) -> np.ndarray:
+    """One 62-bit sub-seed per trial, as a ``uint64`` array.
+
+    The whole stream is a pure function of ``(master_seed, trial
+    index)``, generated in a single vectorised
+    :class:`numpy.random.SeedSequence` expansion — the batched Monte
+    Carlo kernels (:mod:`repro.simulation.batched`) derive *all* of a
+    trial's randomness from its entry, which is what makes their
+    results independent of ``batch_size`` chunking and trivially
+    re-runnable per trial.
+
+    Raises:
+        ValueError: if ``trials`` is not positive.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    seq = np.random.SeedSequence(master_seed)
+    return seq.generate_state(trials, dtype=np.uint64) >> np.uint64(2)
 
 
 def derive_seed(master_seed: int, *coordinates: int) -> int:

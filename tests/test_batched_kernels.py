@@ -1,0 +1,268 @@
+"""Cross-validation of the trial-batched Monte Carlo kernels.
+
+Two contracts, per the module's design:
+
+* **exact** — a batched trial's inputs can be reconstructed and
+  replayed through the scalar kernels bit-for-bit (the scalar path is
+  the oracle);
+* **distributional** — at matched parameters the batched and scalar
+  kernels estimate the same quantity (checked against each other and,
+  where the paper gives one, against the analytic value).
+
+Plus the operational guarantee the experiments lean on: results are
+invariant to ``batch_size``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import detection_probability
+from repro.simulation import batched, fastpath
+
+SEED = 20080617
+
+
+class TestTrpExactEquality:
+    def test_every_trial_matches_the_scalar_oracle(self):
+        n, missing, f, trials = 150, 6, 120, 64
+        verdicts = batched.trp_detection_trials_batched(
+            n, missing, f, trials, SEED, batch_size=16
+        )
+        for t in range(trials):
+            inputs = batched.trp_trial_inputs(SEED, t, n, missing)
+            assert inputs.tag_ids.shape == (n,)
+            assert int(inputs.stolen_mask.sum()) == missing
+            oracle = fastpath.trp_trial_detected(
+                inputs.tag_ids, inputs.stolen_mask, f, inputs.frame_seed
+            )
+            assert bool(verdicts[t]) == oracle
+
+    def test_reconstruction_is_stable(self):
+        a = batched.trp_trial_inputs(SEED, 9, 50, 3)
+        b = batched.trp_trial_inputs(SEED, 9, 50, 3)
+        assert np.array_equal(a.tag_ids, b.tag_ids)
+        assert np.array_equal(a.stolen_mask, b.stolen_mask)
+        assert a.frame_seed == b.frame_seed
+
+    def test_trials_are_mutually_independent_streams(self):
+        a = batched.trp_trial_inputs(SEED, 0, 50, 3)
+        b = batched.trp_trial_inputs(SEED, 1, 50, 3)
+        assert not np.array_equal(a.tag_ids, b.tag_ids)
+        assert a.frame_seed != b.frame_seed
+
+
+class TestUtrpExactEquality:
+    def test_every_trial_matches_the_scalar_oracle(self):
+        n, stolen, f, budget, trials = 80, 4, 70, 10, 32
+        verdicts = batched.utrp_collusion_detection_trials_batched(
+            n, stolen, f, budget, trials, SEED, batch_size=8
+        )
+        counters = np.zeros(n, dtype=np.int64)
+        for t in range(trials):
+            inputs = batched.utrp_trial_inputs(SEED, t, n, stolen, f)
+            assert inputs.seeds.shape == (f,)
+            oracle = fastpath.utrp_collusion_detected(
+                inputs.tag_ids,
+                counters,
+                inputs.stolen_mask,
+                f,
+                inputs.seeds,
+                budget,
+            )
+            assert bool(verdicts[t]) == oracle
+
+
+class TestBatchSizeInvariance:
+    def test_trp_detection(self):
+        ref = batched.trp_detection_trials_batched(100, 5, 80, 70, SEED)
+        for bs in (1, 3, 64, 70, 1000):
+            out = batched.trp_detection_trials_batched(
+                100, 5, 80, 70, SEED, batch_size=bs
+            )
+            assert np.array_equal(ref, out)
+
+    def test_trp_mismatch_counts(self):
+        ref = batched.trp_mismatch_count_trials_batched(100, 5, 80, 50, SEED)
+        for bs in (7, 50, 256):
+            out = batched.trp_mismatch_count_trials_batched(
+                100, 5, 80, 50, SEED, batch_size=bs
+            )
+            assert np.array_equal(ref, out)
+
+    def test_trp_false_alarms(self):
+        ref = batched.trp_false_alarm_trials_batched(100, 80, 0.05, 50, SEED)
+        for bs in (7, 50, 256):
+            out = batched.trp_false_alarm_trials_batched(
+                100, 80, 0.05, 50, SEED, batch_size=bs
+            )
+            assert np.array_equal(ref, out)
+
+    def test_utrp_collusion(self):
+        ref = batched.utrp_collusion_detection_trials_batched(
+            60, 3, 50, 8, 30, SEED
+        )
+        for bs in (1, 13, 30):
+            out = batched.utrp_collusion_detection_trials_batched(
+                60, 3, 50, 8, 30, SEED, batch_size=bs
+            )
+            assert np.array_equal(ref, out)
+
+    def test_collect_all(self):
+        ref = batched.collect_all_slots_trials_batched(
+            60, 4, 20, SEED, missing=2
+        )
+        for bs in (1, 7, 64):
+            out = batched.collect_all_slots_trials_batched(
+                60, 4, 20, SEED, missing=2, batch_size=bs
+            )
+            assert np.array_equal(ref, out)
+
+
+class TestDistributionalAgreement:
+    """Batched and scalar kernels sample the same model from different
+    streams; with the trial counts below, the acceptance thresholds sit
+    beyond four standard errors of the true gaps (deterministic seeds,
+    so these never flake)."""
+
+    def test_trp_detection_rate_matches_theorem_1(self):
+        n, m, trials = 400, 10, 3000
+        f = 300
+        g = detection_probability(n, m + 1, f)
+        rate = batched.trp_detection_trials_batched(
+            n, m + 1, f, trials, SEED
+        ).mean()
+        sigma = np.sqrt(g * (1 - g) / trials)
+        assert abs(rate - g) < 5 * sigma
+
+    def test_trp_detection_rate_matches_scalar(self):
+        n, missing, f, trials = 300, 8, 200, 3000
+        rate_b = batched.trp_detection_trials_batched(
+            n, missing, f, trials, SEED
+        ).mean()
+        rate_s = fastpath.trp_detection_trials(
+            n, missing, f, trials, np.random.default_rng(SEED)
+        ).mean()
+        assert abs(rate_b - rate_s) < 0.05
+
+    def test_mismatch_count_distribution_matches_scalar(self):
+        n, missing, f, trials = 300, 10, 200, 2000
+        counts_b = batched.trp_mismatch_count_trials_batched(
+            n, missing, f, trials, SEED
+        )
+        counts_s = fastpath.trp_mismatch_count_trials(
+            n, missing, f, trials, np.random.default_rng(SEED)
+        )
+        assert abs(counts_b.mean() - counts_s.mean()) < 0.25
+        # KS-style check over the (small, discrete) support.
+        hi = int(max(counts_b.max(), counts_s.max())) + 1
+        cdf_b = np.cumsum(np.bincount(counts_b, minlength=hi)) / trials
+        cdf_s = np.cumsum(np.bincount(counts_s, minlength=hi)) / trials
+        assert np.max(np.abs(cdf_b - cdf_s)) < 0.05
+
+    def test_false_alarm_distribution_matches_scalar(self):
+        n, f, rate, trials = 300, 200, 0.03, 2000
+        counts_b = batched.trp_false_alarm_trials_batched(
+            n, f, rate, trials, SEED
+        )
+        counts_s = fastpath.trp_false_alarm_trials(
+            n, f, rate, trials, np.random.default_rng(SEED)
+        )
+        assert abs(counts_b.mean() - counts_s.mean()) < 0.3
+
+    def test_utrp_detection_rate_matches_scalar(self):
+        n, stolen, f, budget, trials = 100, 5, 90, 15, 800
+        rate_b = batched.utrp_collusion_detection_trials_batched(
+            n, stolen, f, budget, trials, SEED
+        ).mean()
+        rate_s = fastpath.utrp_collusion_detection_trials(
+            n, stolen, f, budget, trials, np.random.default_rng(SEED)
+        ).mean()
+        assert abs(rate_b - rate_s) < 0.08
+
+    def test_collect_all_cost_matches_scalar(self):
+        n, tol, trials = 200, 5, 300
+        slots_b = batched.collect_all_slots_trials_batched(
+            n, tol, trials, SEED
+        )
+        slots_s = fastpath.collect_all_slots_trials(
+            n, tol, trials, np.random.default_rng(SEED)
+        )
+        assert abs(slots_b.mean() - slots_s.mean()) / slots_s.mean() < 0.05
+
+
+class TestEdgeCasesAndValidation:
+    def test_no_theft_is_never_detected(self):
+        out = batched.trp_detection_trials_batched(50, 0, 40, 20, SEED)
+        assert not out.any()
+        counts = batched.trp_mismatch_count_trials_batched(
+            50, 0, 40, 20, SEED
+        )
+        assert (counts == 0).all()
+
+    def test_perfect_channel_never_false_alarms(self):
+        counts = batched.trp_false_alarm_trials_batched(
+            100, 80, 0.0, 30, SEED
+        )
+        assert (counts == 0).all()
+
+    def test_dead_channel_mismatches_every_expected_slot(self):
+        counts = batched.trp_false_alarm_trials_batched(
+            100, 80, 1.0, 10, SEED
+        )
+        assert (counts > 0).all()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            batched.trp_detection_trials_batched(10, 11, 8, 5, SEED)
+        with pytest.raises(ValueError):
+            batched.trp_detection_trials_batched(10, 2, 8, 0, SEED)
+        with pytest.raises(ValueError):
+            batched.trp_detection_trials_batched(10, 2, 8, 5, SEED, batch_size=0)
+        with pytest.raises(ValueError):
+            batched.trp_false_alarm_trials_batched(10, 8, 1.5, 5, SEED)
+        with pytest.raises(ValueError):
+            batched.utrp_collusion_detection_trials_batched(
+                10, 10, 8, 2, 5, SEED
+            )
+        with pytest.raises(ValueError):
+            batched.collect_all_slots_trials_batched(10, 2, 5, SEED, missing=3)
+        with pytest.raises(ValueError):
+            batched.trp_trial_inputs(SEED, -1, 10, 2)
+        with pytest.raises(ValueError):
+            batched.utrp_trial_inputs(SEED, -1, 10, 2, 8)
+
+    def test_batched_theft_detected_validates_shapes(self):
+        slots = np.zeros((4, 6), dtype=np.int64)
+        with pytest.raises(ValueError):
+            batched.batched_theft_detected(
+                slots, np.zeros((4, 5), dtype=bool), 8, 1
+            )
+        ragged = np.zeros((4, 6), dtype=bool)
+        ragged[0, :2] = True  # trial 0 steals 2, others steal 0
+        with pytest.raises(ValueError):
+            batched.batched_theft_detected(slots, ragged, 8, 1)
+
+    def test_seed_stream_prefix_stability(self):
+        from repro.simulation.rng import trial_seed_stream
+
+        long = trial_seed_stream(SEED, 100)
+        short = trial_seed_stream(SEED, 10)
+        assert np.array_equal(long[:10], short)
+        assert (long < (1 << 62)).all()
+        with pytest.raises(ValueError):
+            trial_seed_stream(SEED, 0)
+
+
+class TestFleetDiagnosticSharedHelper:
+    def test_detection_diagnostic_uses_batched_helper(self):
+        """The fleet diagnostic rides the same verified detection math."""
+        from repro.fleet.rounds import detection_diagnostic
+
+        ids = np.random.default_rng(3).integers(
+            0, 1 << 63, size=120, dtype=np.uint64
+        )
+        rate = detection_diagnostic(
+            ids, 100, 6, 400, np.random.default_rng(11)
+        )
+        g = detection_probability(120, 6, 100)
+        assert abs(rate - g) < 0.12

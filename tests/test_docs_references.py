@@ -21,6 +21,7 @@ DOC_FILES = [
     "CONTRIBUTING.md",
     os.path.join("docs", "PROTOCOLS.md"),
     os.path.join("docs", "API.md"),
+    os.path.join("docs", "PERFORMANCE.md"),
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")

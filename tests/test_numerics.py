@@ -1,0 +1,72 @@
+"""Unit tests for the shared numeric helpers in repro.core.numerics."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.numerics import binom_mass_window
+
+
+class TestBinomMassWindow:
+    def test_window_captures_requested_mass(self):
+        for count, p, eps in [
+            (100, 0.3, 1e-9),
+            (2000, 0.95, 1e-12),
+            (50, 0.02, 1e-6),
+            (1, 0.5, 1e-4),
+        ]:
+            lo, hi = binom_mass_window(count, p, eps)
+            inside = stats.binom.cdf(hi, count, p) - stats.binom.cdf(
+                lo - 1, count, p
+            )
+            assert inside >= 1.0 - 4 * eps
+
+    def test_bounds_stay_within_support(self):
+        lo, hi = binom_mass_window(10, 0.5, 0.2)
+        assert 0 <= lo <= hi <= 10
+
+    def test_degenerate_probabilities(self):
+        assert binom_mass_window(7, 0.0, 1e-9) == (0, 0)
+        assert binom_mass_window(7, -0.5, 1e-9) == (0, 0)
+        assert binom_mass_window(7, 1.0, 1e-9) == (7, 7)
+        assert binom_mass_window(7, 1.5, 1e-9) == (7, 7)
+
+    def test_zero_count(self):
+        assert binom_mass_window(0, 0.4, 1e-9) == (0, 0)
+
+    def test_narrower_eps_widens_window(self):
+        tight = binom_mass_window(1000, 0.4, 1e-3)
+        wide = binom_mass_window(1000, 0.4, 1e-12)
+        assert wide[0] <= tight[0] and wide[1] >= tight[1]
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            binom_mass_window(-1, 0.5, 1e-9)
+        with pytest.raises(ValueError):
+            binom_mass_window(10, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            binom_mass_window(10, 0.5, 1.0)
+
+    def test_shared_by_both_analysis_modules(self):
+        """The dedup target: one helper, no module-local copies left."""
+        import repro.core.analysis as analysis
+        import repro.core.utrp_analysis as utrp_analysis
+
+        assert not hasattr(analysis, "_binom_window")
+        assert not hasattr(utrp_analysis, "_binom_window")
+        assert analysis.binom_mass_window is binom_mass_window
+        assert utrp_analysis.binom_mass_window is binom_mass_window
+
+    def test_analysis_results_unchanged_by_dedup(self):
+        """Spot-check a Theorem 1 value against direct summation."""
+        from repro.core.analysis import detection_probability
+
+        n, x, f = 80, 4, 90
+        p = np.exp(-(n - x) / f)
+        k = np.arange(0, f + 1)
+        pmf = stats.binom.pmf(k, f, p)
+        with np.errstate(divide="ignore"):
+            escape = np.where(k < f, (1.0 - k / f) ** x, 0.0 if x else 1.0)
+        brute = float(np.sum(pmf * (1.0 - escape)))
+        assert detection_probability(n, x, f) == pytest.approx(brute, abs=1e-9)

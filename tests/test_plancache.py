@@ -1,0 +1,241 @@
+"""Tests for the two-level frame-plan cache (repro.core.plancache)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import analysis, utrp_analysis
+from repro.core.plancache import (
+    PLAN_CACHE_SCHEMA,
+    PlanCache,
+    configure_default_cache,
+    default_cache,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_cache():
+    """Isolate every test from the process-wide default cache."""
+    configure_default_cache()
+    yield
+    configure_default_cache()
+
+
+class TestMemoryLayer:
+    def test_second_lookup_skips_the_solver(self):
+        cache = PlanCache()
+        calls = []
+
+        def solve():
+            calls.append(1)
+            return 123
+
+        assert cache._lookup("k", solve) == 123
+        assert cache._lookup("k", solve) == 123
+        assert len(calls) == 1
+        assert cache.stats["misses"] == 1
+        assert cache.stats["memory_hits"] == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = PlanCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache._lookup(key, lambda: 1)
+        assert len(cache) == 2
+        cache._lookup("a", lambda: 2)  # 'a' was evicted: re-solved
+        assert cache.stats["misses"] == 4
+
+    def test_lru_touch_refreshes_recency(self):
+        cache = PlanCache(max_entries=2)
+        cache._lookup("a", lambda: 1)
+        cache._lookup("b", lambda: 1)
+        cache._lookup("a", lambda: 1)  # touch: 'b' is now the oldest
+        cache._lookup("c", lambda: 1)
+        cache._lookup("a", lambda: 9)  # still cached
+        assert cache.stats["memory_hits"] == 2
+
+    def test_clear_memory(self):
+        cache = PlanCache()
+        cache._lookup("k", lambda: 5)
+        cache.clear_memory()
+        assert len(cache) == 0
+        cache._lookup("k", lambda: 5)
+        assert cache.stats["misses"] == 2
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestDiskLayer:
+    def test_round_trip_across_instances(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        first = PlanCache(path=path)
+        first._lookup("k", lambda: 77)
+
+        second = PlanCache(path=path)
+        value = second._lookup("k", lambda: pytest.fail("solver re-ran"))
+        assert value == 77
+        assert second.stats["disk_hits"] == 1
+        # A disk hit is promoted into memory: third lookup is a memory hit.
+        second._lookup("k", lambda: pytest.fail("solver re-ran"))
+        assert second.stats["memory_hits"] == 1
+
+    def test_file_carries_schema_tag(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        PlanCache(path=path)._lookup("k", lambda: 9)
+        payload = json.load(open(path))
+        assert payload["schema"] == PLAN_CACHE_SCHEMA
+        assert payload["entries"] == {"k": 9}
+
+    def test_corrupt_file_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("{not json")
+        cache = PlanCache(path=str(path))
+        assert cache.stats["disk_errors"] == 1
+        assert cache._lookup("k", lambda: 3) == 3  # still functional
+        # ... and the rewrite leaves a valid file behind.
+        assert json.load(open(path))["entries"] == {"k": 3}
+
+    def test_stale_schema_is_ignored_wholesale(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(
+            json.dumps({"schema": "repro.plancache/v0", "entries": {"k": 5}})
+        )
+        cache = PlanCache(path=str(path))
+        assert cache.stats["disk_errors"] == 1
+        assert cache._lookup("k", lambda: 8) == 8  # v0 value not trusted
+
+    def test_malformed_entries_are_dropped_individually(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": PLAN_CACHE_SCHEMA,
+                    "entries": {"good": 11, "zero": 0, "str": "12", "neg": -3},
+                }
+            )
+        )
+        cache = PlanCache(path=str(path))
+        assert cache.stats["invalid_entries"] == 3
+        assert cache._lookup("good", lambda: pytest.fail("dropped")) == 11
+
+    def test_autosave_off_defers_writes(self, tmp_path):
+        path = tmp_path / "plans.json"
+        cache = PlanCache(path=str(path), autosave=False)
+        cache._lookup("k", lambda: 4)
+        assert not path.exists()
+        cache.save()
+        assert json.load(open(path))["entries"] == {"k": 4}
+
+
+class TestMetricsBinding:
+    def test_live_counters(self):
+        cache = PlanCache()
+        registry = MetricsRegistry()
+        cache.bind_metrics(registry)
+        cache._lookup("k", lambda: 1)
+        cache._lookup("k", lambda: 1)
+        hits = registry.counter(
+            "plancache_hits_total",
+            "frame-plan cache hits by layer",
+            labelnames=("level",),
+        )
+        misses = registry.counter(
+            "plancache_misses_total", "frame plans solved from scratch"
+        )
+        assert hits.labels(level="memory").value == 1
+        assert misses.value == 1
+
+    def test_bind_backfills_prior_traffic(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("garbage")
+        cache = PlanCache(path=str(path))
+        cache._lookup("k", lambda: 1)
+        registry = MetricsRegistry()
+        cache.bind_metrics(registry)
+        errors = registry.counter(
+            "plancache_errors_total",
+            "corrupt/stale plan-cache files and entries",
+            labelnames=("kind",),
+        )
+        misses = registry.counter(
+            "plancache_misses_total", "frame plans solved from scratch"
+        )
+        assert errors.labels(kind="disk_errors").value == 1
+        assert misses.value == 1
+
+
+class TestSolverRouting:
+    def test_trp_sizing_solves_once(self, monkeypatch):
+        calls = []
+        real = analysis._solve_trp_frame_size
+
+        def counting(*a, **kw):
+            calls.append(a)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(analysis, "_solve_trp_frame_size", counting)
+        f1 = analysis.optimal_trp_frame_size(200, 10, 0.95)
+        f2 = analysis.optimal_trp_frame_size(200, 10, 0.95)
+        assert f1 == f2 == real(200, 10, 0.95)
+        assert len(calls) == 1
+
+    def test_utrp_sizing_solves_once(self, monkeypatch):
+        calls = []
+
+        def fake(*a, **kw):
+            calls.append(a)
+            return 333
+
+        monkeypatch.setattr(utrp_analysis, "_solve_utrp_frame_size", fake)
+        assert utrp_analysis.optimal_utrp_frame_size(200, 10, 0.95, 20) == 333
+        assert utrp_analysis.optimal_utrp_frame_size(200, 10, 0.95, 20) == 333
+        assert len(calls) == 1
+
+    def test_distinct_parameters_get_distinct_keys(self, monkeypatch):
+        monkeypatch.setattr(
+            analysis, "_solve_trp_frame_size", lambda n, m, a, e: n + m
+        )
+        assert analysis.optimal_trp_frame_size(100, 5, 0.95) == 105
+        assert analysis.optimal_trp_frame_size(100, 6, 0.95) == 106
+        assert (
+            analysis.optimal_trp_frame_size(100, 5, 0.95, exact_occupancy=True)
+            == 105
+        )
+        assert default_cache().stats["misses"] == 3
+
+    def test_cache_clear_compat_shim(self):
+        f = analysis.optimal_trp_frame_size(150, 5, 0.95)
+        analysis.optimal_trp_frame_size.cache_clear()
+        assert len(default_cache()) == 0
+        assert analysis.optimal_trp_frame_size(150, 5, 0.95) == f
+        utrp_analysis.optimal_utrp_frame_size.cache_clear()
+        assert len(default_cache()) == 0
+
+    def test_configure_default_cache_swaps_instance(self, tmp_path):
+        old = default_cache()
+        new = configure_default_cache(path=str(tmp_path / "p.json"))
+        assert default_cache() is new
+        assert new is not old
+        assert new.path is not None
+
+
+class TestConcurrency:
+    def test_parallel_lookups_agree(self):
+        cache = PlanCache()
+        results = []
+
+        def worker(i):
+            results.append(cache._lookup(f"k{i % 4}", lambda: i % 4 + 100))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(32)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 32
+        assert len(cache) == 4
