@@ -9,6 +9,8 @@ Usage::
     python -m repro ablations       # all five ablations
     python -m repro plan -n 1000 -m 10 --alpha 0.95   # frame planning
     python -m repro fleet --groups 8 --rounds 5 --jobs 4   # fleet campaign
+    python -m repro chaos           # fault-injection campaign, defences on
+    python -m repro chaos --sweep   # false-alarm rate vs burstiness
     python -m repro bench --quick   # obs perf record -> BENCH_obs.json
 
 Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
@@ -160,6 +162,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist Eq. 2/Eq. 3 frame plans to this JSON file "
         "(a warm fleet skips frame sizing entirely)",
     )
+    fleet.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="inject faults from this fault-plan JSON file "
+        "(see repro.faults; same seed => same injections, whatever --jobs)",
+    )
+    fleet.add_argument(
+        "--vote", nargs=2, type=int, default=None, metavar=("K", "R"),
+        help="page only when K of the last R rounds alarm "
+        "(k-of-r confirmation; default: page on every alarm)",
+    )
+    fleet.add_argument(
+        "--salvage", action="store_true",
+        help="verify crash-truncated frames at their achieved "
+        "confidence instead of rejecting them",
+    )
+    fleet.add_argument(
+        "--resync", action="store_true",
+        help="run the bounded counter-resync handshake after "
+        "counter-tag alarms (withdraws desync-only alarms)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign with graceful degradation on",
+        description=(
+            "Run a fleet campaign under a declarative fault plan with "
+            "every degradation defence enabled by default: k-of-r alarm "
+            "confirmation, partial-frame salvage and counter resync. "
+            "With --sweep, run the burstiness experiment instead "
+            "(false-alarm rate vs Gilbert-Elliott burst length, with "
+            "and without voting)."
+        ),
+    )
+    chaos.add_argument(
+        "--groups", type=int, default=4, metavar="G",
+        help="groups in the built-in scenario (default 4)",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=8, metavar="T",
+        help="scheduler ticks to run (default 8)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent rounds; 0 = all cores (default 1)",
+    )
+    chaos.add_argument("--seed", type=int, default=None, help="master seed")
+    chaos.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="fault plan JSON (default: the bundled example plan)",
+    )
+    chaos.add_argument(
+        "--vote", nargs=2, type=int, default=(2, 3), metavar=("K", "R"),
+        help="k-of-r confirmation vote (default 2 of 3)",
+    )
+    chaos.add_argument(
+        "--no-vote", action="store_true",
+        help="page on every raw alarm (disable the confirmation vote)",
+    )
+    chaos.add_argument(
+        "--no-salvage", action="store_true",
+        help="reject crash-truncated frames instead of salvaging them",
+    )
+    chaos.add_argument(
+        "--no-resync", action="store_true",
+        help="skip the counter-resync handshake after alarms",
+    )
+    chaos.add_argument(
+        "--verdicts-out", default=None, metavar="PATH",
+        help="write the per-round verdict sequence (one line per "
+        "round; byte-stable under a fixed seed — the CI chaos gate)",
+    )
+    chaos.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="also write the round journal as JSON lines",
+    )
+    chaos.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the campaign's obs events as JSONL",
+    )
+    chaos.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the campaign's metrics as a Prometheus snapshot",
+    )
+    chaos.add_argument(
+        "--sweep", action="store_true",
+        help="run the burstiness false-alarm sweep instead of a campaign",
+    )
+    chaos.add_argument(
+        "--trials", type=int, default=None, metavar="K",
+        help="rounds per sweep cell (sweep mode only; default 2000)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -282,17 +375,115 @@ def _run_fleet(args: argparse.Namespace) -> str:
         scenario = default_scenario(groups=args.groups)
     from .fleet.executor import resolve_jobs
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+    vote = args.vote if args.vote is not None else (0, 0)
     config = CampaignConfig(
         ticks=args.rounds,
         jobs=resolve_jobs(args.jobs),
         master_seed=args.seed if args.seed is not None else DEFAULT_SEED,
         time_scale=args.time_scale,
         diagnostic_trials=args.diag_trials,
+        fault_plan=fault_plan,
+        vote_quorum=vote[0],
+        vote_window=vote[1],
+        salvage_partial=args.salvage,
+        auto_resync=args.resync,
     )
     obs = _obs_context(args)
     _configure_plan_cache(args, obs)
     result = run_campaign(scenario, config, obs=obs)
     report = format_campaign_result(result)
+    if args.journal is not None:
+        result.journal.dump(args.journal)
+        report += f"\njournal written to {args.journal}"
+    for line in _write_obs_outputs(obs, args):
+        report += f"\n{line}"
+    return report
+
+
+def _verdict_lines(journal) -> List[str]:
+    """One stable line per round — the CI chaos gate's byte contract."""
+    lines = []
+    for r in journal.records:
+        tags = []
+        if r.alarmed:
+            tags.append("ALARM")
+        if r.vote_suppressed:
+            tags.append("SUPPRESSED")
+        if r.salvaged:
+            tags.append("SALVAGED")
+        if r.degraded:
+            tags.append("DEGRADED")
+        if r.resync_recovered or r.resync_unresolved:
+            tags.append(
+                f"resync={r.resync_recovered}/{r.resync_unresolved}"
+            )
+        if r.injected:
+            tags.append("faults=" + ",".join(r.injected))
+        line = f"{r.tick:03d} {r.group} {r.protocol:<8} {r.verdict:<18}"
+        lines.append((line + " " + " ".join(tags)).rstrip() if tags else line.rstrip())
+    return lines
+
+
+def _run_chaos(args: argparse.Namespace) -> str:
+    from .experiments.grid import DEFAULT_SEED
+
+    if args.sweep:
+        from dataclasses import replace as dc_replace
+
+        from .experiments.chaos import (
+            ChaosConfig,
+            format_chaos_result,
+            run_chaos,
+        )
+
+        cfg = ChaosConfig()
+        if args.trials is not None:
+            cfg = dc_replace(cfg, trials=args.trials)
+        if args.seed is not None:
+            cfg = dc_replace(cfg, master_seed=args.seed)
+        return format_chaos_result(run_chaos(cfg))
+
+    from .faults import FaultPlan, example_plan
+    from .fleet import (
+        CampaignConfig,
+        default_scenario,
+        format_campaign_result,
+        run_campaign,
+    )
+    from .fleet.executor import resolve_jobs
+
+    plan = (
+        FaultPlan.load(args.fault_plan)
+        if args.fault_plan is not None
+        else example_plan()
+    )
+    config = CampaignConfig(
+        ticks=args.rounds,
+        jobs=resolve_jobs(args.jobs),
+        master_seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        time_scale=0.0,
+        fault_plan=plan,
+        vote_quorum=0 if args.no_vote else args.vote[0],
+        vote_window=0 if args.no_vote else args.vote[1],
+        salvage_partial=not args.no_salvage,
+        auto_resync=not args.no_resync,
+    )
+    obs = _obs_context(args)
+    _configure_plan_cache(args, obs)
+    scenario = default_scenario(groups=args.groups)
+    result = run_campaign(scenario, config, obs=obs)
+    report = format_campaign_result(result)
+    verdicts = _verdict_lines(result.journal)
+    report += "\n\nverdict sequence:\n" + "\n".join(verdicts)
+    if args.verdicts_out is not None:
+        with open(args.verdicts_out, "w") as fh:
+            fh.write("\n".join(verdicts) + "\n")
+        report += f"\nverdicts written to {args.verdicts_out}"
     if args.journal is not None:
         result.journal.dump(args.journal)
         report += f"\njournal written to {args.journal}"
@@ -340,6 +531,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "fleet":
         print(_run_fleet(args))
+        return 0
+    if args.command == "chaos":
+        print(_run_chaos(args))
         return 0
     if args.command == "bench":
         print(_run_bench(args))

@@ -34,6 +34,7 @@ from .parameters import MonitorRequirement
 __all__ = [
     "detection_probability",
     "detection_probability_poisson",
+    "partial_detection_probability",
     "expected_empty_slots",
     "optimal_trp_frame_size",
     "frame_size_for",
@@ -91,6 +92,45 @@ def detection_probability(
     lo, hi = binom_mass_window(f, p, _TAIL_EPS)
     i = np.arange(lo, hi + 1)
     pmf = stats.binom.pmf(i, f, p)
+    escape = (1.0 - i / f) ** x
+    return float(1.0 - np.dot(pmf, escape))
+
+
+def partial_detection_probability(
+    n: int, x: int, f: int, polled: int, exact_occupancy: bool = False
+) -> float:
+    """``g`` restricted to a polled prefix — the salvage confidence.
+
+    When a reader crashes after polling only the first ``polled`` of
+    ``f`` slots, the returned prefix is still evidence: a missing tag
+    is caught iff it hashed into a polled slot that no present tag
+    occupies. Conditioning on the number of empty-of-present slots
+    *within the prefix* (Binomial(``polled``, p) with the same per-slot
+    emptiness ``p`` as Theorem 1) gives the exact analogue of Theorem 1::
+
+        g_partial = 1 - sum_i C(polled,i) p^i (1-p)^{polled-i} (1 - i/f)^x
+
+    At ``polled == f`` this reduces to :func:`detection_probability`;
+    for shorter prefixes it is the *achieved* confidence the server
+    reports for a salvaged round instead of discarding it.
+
+    Raises:
+        ValueError: if ``x`` is outside ``[0, n]``, ``f < 1`` or
+            ``polled`` is outside ``[0, f]``.
+    """
+    if not 0 <= x <= n:
+        raise ValueError(f"x must be in [0, n]; got x={x}, n={n}")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if not 0 <= polled <= f:
+        raise ValueError(f"polled must be in [0, f]; got {polled}, f={f}")
+    if x == 0 or polled == 0:
+        return 0.0
+    present = n - x
+    p = _occupancy_p(present, f, exact_occupancy)
+    lo, hi = binom_mass_window(polled, p, _TAIL_EPS)
+    i = np.arange(lo, hi + 1)
+    pmf = stats.binom.pmf(i, polled, p)
     escape = (1.0 - i / f) ** x
     return float(1.0 - np.dot(pmf, escape))
 

@@ -26,9 +26,9 @@ from .analysis import frame_size_for
 from .estimation import AlarmPolicy, StrictAlarmPolicy
 from .parameters import MonitorRequirement
 from .trp import TrpRoundReport, run_trp_round
-from .utrp import UtrpRoundReport, run_utrp_round
+from .utrp import ResyncReport, UtrpRoundReport, run_counter_resync, run_utrp_round
 from .utrp_analysis import optimal_utrp_frame_size
-from .verification import Verdict, VerificationResult
+from .verification import AlarmConfirmation, Verdict, VerificationResult
 
 __all__ = ["Alert", "MonitoringServer"]
 
@@ -72,6 +72,8 @@ class MonitoringServer:
         counter_tags: bool = False,
         alarm_policy: Optional[AlarmPolicy] = None,
         audit: Optional[AuditLog] = None,
+        confirmation: Optional[AlarmConfirmation] = None,
+        salvage_partial: bool = False,
     ):
         """Args:
             requirement: the ``(n, m, alpha)`` policy.
@@ -95,6 +97,13 @@ class MonitoringServer:
                 registration, verdict and alert in it (seed values are
                 deliberately never logged — a leaked log must not
                 enable replay).
+            confirmation: optional k-of-r alarm-confirmation vote.
+                NOT_INTACT verdicts feed the vote and page only when
+                the quorum is met, suppressing channel-induced false
+                alarms; rejected proofs (late / malformed) bypass the
+                vote — they indicate reader misbehaviour, not loss.
+            salvage_partial: verify crashed readers' partial frames at
+                their achieved confidence instead of rejecting them.
         """
         self.requirement = requirement
         self.database = TagDatabase()
@@ -106,6 +115,8 @@ class MonitoringServer:
             alarm_policy if alarm_policy is not None else StrictAlarmPolicy()
         )
         self.audit = audit
+        self.confirmation = confirmation
+        self.salvage_partial = salvage_partial
         self.alerts: List[Alert] = []
         self._on_alert = on_alert
         self._rounds = 0
@@ -174,6 +185,7 @@ class MonitoringServer:
             reader=reader,
             frame_size=frame_size,
             counter_aware=self.counter_tags,
+            salvage_partial=self.salvage_partial,
         )
         self._register_outcome("TRP", report.result)
         return report
@@ -213,6 +225,48 @@ class MonitoringServer:
         self._register_outcome("UTRP", report.result)
         return report
 
+    def resync_counters(
+        self,
+        channel: SlottedChannel,
+        max_offset: int = 8,
+        max_rounds: int = 8,
+        frame_size: Optional[int] = None,
+        reader=None,
+    ) -> ResyncReport:
+        """Recover a desynchronised counter population (see
+        :func:`~repro.core.utrp.run_counter_resync`).
+
+        Clears the alarm-confirmation window on success — the alarms
+        the vote was accumulating were symptoms of the desync, not of a
+        theft — and audits the handshake either way.
+
+        Raises:
+            RuntimeError: for a deployment without counter tags
+                (nothing to resync).
+        """
+        if not self.counter_tags:
+            raise RuntimeError("resync only applies to counter-tag deployments")
+        report = run_counter_resync(
+            self.database,
+            self.issuer,
+            channel,
+            max_offset=max_offset,
+            max_rounds=max_rounds,
+            frame_size=frame_size,
+            reader=reader,
+        )
+        if report.complete and self.confirmation is not None:
+            self.confirmation.reset()
+        if self.audit is not None:
+            self.audit.record(
+                "counter-resync",
+                rounds=report.rounds_run,
+                recovered=len(report.recovered),
+                unresolved=len(report.unresolved),
+                ambiguous=len(report.ambiguous),
+            )
+        return report
+
     def _register_outcome(self, protocol: str, result: VerificationResult) -> None:
         round_index = self._rounds
         self._rounds += 1
@@ -226,13 +280,30 @@ class MonitoringServer:
                 mismatched_slots=len(result.mismatched_slots),
             )
         if not result.verdict.alarm:
+            if self.confirmation is not None:
+                self.confirmation.observe(False)
             return
         if result.verdict is Verdict.NOT_INTACT and not self.alarm_policy.should_alarm(
             len(result.mismatched_slots),
             self.requirement.population,
             result.frame_size,
         ):
+            if self.confirmation is not None:
+                self.confirmation.observe(False)
             return  # sub-threshold loss under a tolerant policy
+        # Rejected proofs bypass the vote: lateness and malformed
+        # payloads are reader misbehaviour, not channel noise.
+        if self.confirmation is not None and result.verdict is Verdict.NOT_INTACT:
+            if not self.confirmation.observe(True):
+                if self.audit is not None:
+                    self.audit.record(
+                        "alarm-suppressed",
+                        round=round_index,
+                        protocol=protocol,
+                        votes=self.confirmation.votes,
+                        quorum=self.confirmation.quorum,
+                    )
+                return
         alert = Alert(round_index, protocol, result)
         self.alerts.append(alert)
         if self.audit is not None:

@@ -30,7 +30,11 @@ from ..server.verifier import (
 )
 from .analysis import frame_size_for
 from .parameters import MonitorRequirement
-from .verification import VerificationResult, compare_bitstrings
+from .verification import (
+    VerificationResult,
+    compare_bitstrings,
+    salvage_partial_scan,
+)
 
 __all__ = ["TrpRoundReport", "run_trp_round"]
 
@@ -66,6 +70,7 @@ def run_trp_round(
     reader: Optional[TrustedReader] = None,
     frame_size: Optional[int] = None,
     counter_aware: bool = False,
+    salvage_partial: bool = False,
 ) -> TrpRoundReport:
     """Run one honest TRP round end to end.
 
@@ -82,6 +87,11 @@ def run_trp_round(
             (counter) tags — the prediction then folds each tag's
             ticked counter into the hash and commits the bump, keeping
             mixed TRP/UTRP schedules on one set in sync.
+        salvage_partial: when the reader crashes mid-frame and returns
+            a prefix, verify the polled slots at their achieved
+            confidence (:func:`~repro.core.verification.
+            salvage_partial_scan`) instead of rejecting the round as
+            malformed.
 
     Raises:
         ValueError: if the requirement's population does not match the
@@ -105,7 +115,18 @@ def run_trp_round(
             database.ids, challenge.frame_size, challenge.seed
         )
         new_counters = None
-    result = compare_bitstrings(expected, scan.bitstring, challenge.frame_size)
+    if salvage_partial and scan.bitstring.size < challenge.frame_size:
+        result = salvage_partial_scan(
+            expected,
+            scan.bitstring,
+            challenge.frame_size,
+            requirement.population,
+            requirement.critical_missing,
+        )
+    else:
+        result = compare_bitstrings(
+            expected, scan.bitstring, challenge.frame_size
+        )
     if new_counters is not None:
         database.set_counters(new_counters)
     return TrpRoundReport(challenge=challenge, scan=scan, result=result)

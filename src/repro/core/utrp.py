@@ -21,10 +21,13 @@ intervention, surfaced as ``REJECTED_LATE``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from ..rfid.channel import SlottedChannel
+from ..rfid.hashing import slots_for_tags_with_counters
 from ..rfid.reader import ScanResult, TrustedReader
 from ..rfid.timing import LinkTiming, UNIT_SLOTS
 from ..server.database import TagDatabase
@@ -34,7 +37,13 @@ from .parameters import MonitorRequirement
 from .utrp_analysis import optimal_utrp_frame_size
 from .verification import Verdict, VerificationResult, compare_bitstrings
 
-__all__ = ["UtrpRoundReport", "run_utrp_round", "estimate_scan_time_bounds"]
+__all__ = [
+    "UtrpRoundReport",
+    "run_utrp_round",
+    "estimate_scan_time_bounds",
+    "ResyncReport",
+    "run_counter_resync",
+]
 
 
 def estimate_scan_time_bounds(
@@ -166,3 +175,134 @@ def run_utrp_round(
         result=result,
         seeds_consumed_expected=prediction.seeds_used,
     )
+
+
+# ----------------------------------------------------------------------
+# counter resynchronisation (graceful recovery from lost broadcasts)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ResyncReport:
+    """Outcome of one bounded counter-resync handshake.
+
+    Attributes:
+        rounds_run: probe rounds actually executed (early exit once
+            every tag's offset is pinned down).
+        frame_size: probe frame used (sparse by design so wrong
+            hypotheses die quickly).
+        recovered: tag IDs whose counter offset was uniquely resolved,
+            mapped to the offset (broadcasts the tag had missed).
+        unresolved: tag IDs with no surviving hypothesis — tags that
+            never answered a probe, i.e. genuinely missing or faded.
+        ambiguous: tag IDs with more than one surviving hypothesis
+            after the round budget (their mirror is committed with the
+            smallest surviving offset; rerun with more rounds to pin).
+    """
+
+    rounds_run: int
+    frame_size: int
+    recovered: Dict[int, int] = field(default_factory=dict)
+    unresolved: List[int] = field(default_factory=list)
+    ambiguous: List[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every registered tag resolved to one offset."""
+        return not self.unresolved and not self.ambiguous
+
+
+def run_counter_resync(
+    database: TagDatabase,
+    issuer: SeedIssuer,
+    channel: SlottedChannel,
+    max_offset: int = 8,
+    max_rounds: int = 8,
+    frame_size: Optional[int] = None,
+    reader: Optional[TrustedReader] = None,
+) -> ResyncReport:
+    """Recover a desynchronised UTRP population's counters.
+
+    A tag that misses a re-seed broadcast (burst interference, power
+    fade) stops ticking while the server's mirror keeps advancing, so
+    its physical counter sits *below* the mirror by its personal offset
+    ``d``. Sec. 5's design has no recovery path — every later round
+    mismatches forever. This handshake restores sync without trusting
+    the reader with IDs:
+
+    1. the server assumes every tag's offset lies in ``[0, max_offset]``
+       (the bound: how many broadcasts a tag could plausibly miss);
+    2. each probe round issues a fresh seed over a deliberately sparse
+       frame and polls the whole frame. Every surviving hypothesis
+       ``d`` predicts a specific slot for its tag; hypotheses pointing
+       at slots observed *empty* are eliminated (a powered tag always
+       answers its own slot);
+    3. after at most ``max_rounds`` probes (stopping early once every
+       tag is pinned), the mirror is committed to the physically-heard
+       count ``mirror + rounds - d``.
+
+    A wrong hypothesis survives a probe only by pointing at a slot some
+    other tag occupied — probability roughly ``1 - e^{-n/f}`` per round
+    — so the sparse default frame (8 slots per tag) resolves a
+    population in a handful of rounds. Tags with *no* surviving
+    hypothesis never answered a probe: they are reported unresolved and
+    their mirror is left at the no-missed-broadcast commitment, so an
+    actually-missing tag keeps alarming instead of being silently
+    absorbed by the recovery.
+
+    Raises:
+        ValueError: on a non-positive bound/budget or an empty database.
+    """
+    if max_offset < 0:
+        raise ValueError("max_offset must be >= 0")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    n = database.size
+    if n == 0:
+        raise ValueError("cannot resync an empty database")
+    f = frame_size if frame_size is not None else max(64, 8 * n)
+    scanner = reader if reader is not None else TrustedReader()
+    ids = np.asarray(database.ids, dtype=np.uint64)
+    mirror = np.asarray(database.counters, dtype=np.int64)
+
+    # alive[i, d] — can tag i still plausibly have missed d broadcasts?
+    alive = np.ones((n, max_offset + 1), dtype=bool)
+
+    rounds_run = 0
+    for probe in range(1, max_rounds + 1):
+        challenge = issuer.trp_challenge(f)
+        scan = scanner.scan_trp(channel, f, challenge.seed)
+        rounds_run = probe
+        occupied = scan.bitstring.astype(bool)
+        for d in range(max_offset + 1):
+            column = alive[:, d]
+            if not column.any():
+                continue
+            # A tag that missed d broadcasts replies with counter
+            # mirror - d + probe (it heard this probe's broadcast too).
+            slots = slots_for_tags_with_counters(
+                ids[column], challenge.seed, f, mirror[column] - d + probe
+            )
+            alive[column, d] &= occupied[slots]
+        if (alive.sum(axis=1) <= 1).all():
+            break
+
+    survivors = alive.sum(axis=1)
+    # Commit: unique offset where resolved; smallest surviving offset
+    # when ambiguous; d = 0 (no missed broadcasts) when nothing
+    # survived, so a genuinely missing tag keeps mismatching loudly.
+    best = np.where(
+        survivors > 0, np.argmax(alive, axis=1), 0
+    ).astype(np.int64)
+    database.set_counters(mirror + rounds_run - best)
+
+    report = ResyncReport(rounds_run=rounds_run, frame_size=f)
+    for i in range(n):
+        tag = int(ids[i])
+        if survivors[i] == 0:
+            report.unresolved.append(tag)
+        elif survivors[i] == 1:
+            report.recovered[tag] = int(best[i])
+        else:
+            report.ambiguous.append(tag)
+    return report

@@ -4,19 +4,46 @@ The server's decision rule is exact equality (Sec. 4.1: "a match will
 indicate that the set is intact"). :class:`VerificationResult` keeps
 the evidence — which slots disagreed — because examples and the
 adversary analyses want to show *where* a theft surfaced.
+
+Two graceful-degradation extensions live alongside the paper's rule:
+
+* **partial-frame salvage** — a reader that crashes mid-frame returns
+  only a prefix of the bitstring. Instead of rejecting the round as
+  malformed, :func:`salvage_partial_scan` verifies the polled prefix
+  and reports the confidence it *actually* achieved, computed with the
+  Eq. 2 machinery restricted to the prefix
+  (:func:`repro.core.analysis.partial_detection_probability`);
+* **k-of-r alarm confirmation** — real channels produce bursty reply
+  loss, and every lost reply of an intact set looks exactly like a
+  missing tag. :class:`AlarmConfirmation` pages the operator only when
+  k of the last r rounds alarmed, and the companion probability
+  helpers compute (not guess) what that vote does to the false-alarm
+  and detection rates.
 """
 
 from __future__ import annotations
 
 import enum
+import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List
+from typing import Deque, List, Optional
 
 import numpy as np
+from scipy import stats
 
 from ..rfid.bitstring import differing_slots
 
-__all__ = ["Verdict", "VerificationResult", "compare_bitstrings"]
+__all__ = [
+    "Verdict",
+    "VerificationResult",
+    "compare_bitstrings",
+    "salvage_partial_scan",
+    "channel_false_alarm_probability",
+    "vote_false_alarm_probability",
+    "vote_detection_probability",
+    "AlarmConfirmation",
+]
 
 
 class Verdict(enum.Enum):
@@ -44,16 +71,33 @@ class VerificationResult:
         frame_size: ``f`` used for the scan.
         elapsed: reader's response latency as measured by the server
             (only meaningful for UTRP, where the timer applies).
+        polled_slots: slots actually observed. Equals ``frame_size``
+            for a full scan; smaller for a salvaged partial frame.
+        achieved_confidence: detection probability the scan actually
+            delivered at the critical theft size — ``None`` for full
+            scans (they achieve the planned confidence by
+            construction), filled in by :func:`salvage_partial_scan`.
     """
 
     verdict: Verdict
     mismatched_slots: List[int] = field(default_factory=list)
     frame_size: int = 0
     elapsed: float = 0.0
+    polled_slots: int = 0
+    achieved_confidence: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.polled_slots == 0:
+            self.polled_slots = self.frame_size
 
     @property
     def intact(self) -> bool:
         return self.verdict is Verdict.INTACT
+
+    @property
+    def salvaged(self) -> bool:
+        """True when the verdict rests on a partial frame."""
+        return 0 < self.polled_slots < self.frame_size
 
 
 def compare_bitstrings(
@@ -68,3 +112,194 @@ def compare_bitstrings(
     if diff:
         return VerificationResult(Verdict.NOT_INTACT, diff, frame_size, elapsed)
     return VerificationResult(Verdict.INTACT, [], frame_size, elapsed)
+
+
+def salvage_partial_scan(
+    expected: np.ndarray,
+    observed_prefix: np.ndarray,
+    frame_size: int,
+    population: int,
+    critical_missing: int,
+    elapsed: float = 0.0,
+) -> VerificationResult:
+    """Verify the polled prefix of a crashed scan at its real confidence.
+
+    A reader crash mid-frame (power loss, firmware fault, operator
+    yanking the cable) returns ``observed_prefix`` covering slots
+    ``0..len(prefix)-1`` of the planned ``frame_size``-slot frame. The
+    paper's rule would reject the round as malformed and discard the
+    evidence; salvage compares the prefix against the matching slice of
+    the prediction and reports the detection probability the prefix
+    actually bought via
+    :func:`~repro.core.analysis.partial_detection_probability`.
+
+    Args:
+        expected: the full predicted bitstring (length ``frame_size``).
+        observed_prefix: the slots the reader managed to poll.
+        frame_size: the planned ``f``.
+        population: registered ``n`` (for the confidence computation).
+        critical_missing: the theft size the confidence is quoted at
+            (``m + 1`` is the planning convention).
+        elapsed: reader latency, passed through to the result.
+
+    Raises:
+        ValueError: if the prefix is longer than the frame.
+    """
+    from .analysis import partial_detection_probability
+
+    polled = int(np.asarray(observed_prefix).size)
+    if polled > frame_size:
+        raise ValueError(
+            f"prefix of {polled} slots exceeds frame size {frame_size}"
+        )
+    confidence = partial_detection_probability(
+        population, critical_missing, frame_size, polled
+    )
+    diff = differing_slots(
+        np.asarray(expected)[:polled], np.asarray(observed_prefix)
+    )
+    verdict = Verdict.NOT_INTACT if diff else Verdict.INTACT
+    return VerificationResult(
+        verdict,
+        diff,
+        frame_size,
+        elapsed,
+        polled_slots=polled,
+        achieved_confidence=confidence,
+    )
+
+
+# ----------------------------------------------------------------------
+# k-of-r alarm-confirmation voting
+# ----------------------------------------------------------------------
+
+
+def channel_false_alarm_probability(n: int, f: int, loss_rate: float) -> float:
+    """Per-round probability reply loss alone flips >= 1 expected slot.
+
+    Under Poisson occupancy (rate ``n/f`` tags per slot) an
+    expected-occupied slot reads empty iff *every* reply it would carry
+    is lost — probability ``loss_rate^k`` for a ``k``-tag slot. The
+    expected number of flipped slots is therefore::
+
+        mu = f * (e^{-lambda (1 - eps)} - e^{-lambda}),   lambda = n/f
+
+    and with slot flips approximately independent the round false-alarms
+    (under the paper's strict any-mismatch rule) with probability
+    ``1 - e^{-mu}``. This is the per-round ``q`` the voting math
+    composes; for a bursty channel use the *marginal* loss rate.
+
+    Raises:
+        ValueError: on an invalid population, frame or rate.
+    """
+    if n < 0:
+        raise ValueError("population must be >= 0")
+    if f < 1:
+        raise ValueError(f"frame size must be >= 1, got {f}")
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be within [0, 1], got {loss_rate}")
+    if n == 0 or loss_rate == 0.0:
+        return 0.0
+    lam = n / f
+    mu = f * (math.exp(-lam * (1.0 - loss_rate)) - math.exp(-lam))
+    return float(1.0 - math.exp(-mu))
+
+
+def _validate_vote(k: int, r: int) -> None:
+    if r < 1:
+        raise ValueError(f"vote window r must be >= 1, got {r}")
+    if not 1 <= k <= r:
+        raise ValueError(f"vote quorum k must be in [1, r]; got k={k}, r={r}")
+
+
+def vote_false_alarm_probability(per_round: float, k: int, r: int) -> float:
+    """P(>= k of r independent rounds false-alarm) — the vote's q.
+
+    ``per_round`` is the single-round channel-induced false-alarm
+    probability (e.g. from :func:`channel_false_alarm_probability`).
+    Rounds use independent seeds and, in simulation, independent
+    channel states, so the vote outcome is Binomial: the suppression
+    factor the fleet buys is ``per_round / this``.
+
+    Raises:
+        ValueError: on an out-of-range probability or quorum.
+    """
+    if not 0.0 <= per_round <= 1.0:
+        raise ValueError(f"per_round must be within [0, 1], got {per_round}")
+    _validate_vote(k, r)
+    return float(stats.binom.sf(k - 1, r, per_round))
+
+
+def vote_detection_probability(per_round: float, k: int, r: int) -> float:
+    """P(a sustained theft is confirmed within the r-round window).
+
+    The flip side of :func:`vote_false_alarm_probability`: with the
+    theft present throughout the window each round alarms independently
+    with probability ``per_round`` (at least ``g(n, m+1, f)``, Theorem
+    1 — reply loss only *adds* mismatches), so confirmation is again a
+    Binomial tail. Planners check this stays above the deployment's
+    ``alpha`` before enabling a vote.
+
+    Raises:
+        ValueError: on an out-of-range probability or quorum.
+    """
+    if not 0.0 <= per_round <= 1.0:
+        raise ValueError(f"per_round must be within [0, 1], got {per_round}")
+    _validate_vote(k, r)
+    return float(stats.binom.sf(k - 1, r, per_round))
+
+
+@dataclass
+class AlarmConfirmation:
+    """Stateful k-of-r vote over one group's recent round outcomes.
+
+    Feed every round's raw alarm bit through :meth:`observe`; the
+    return value says whether the operator should actually be paged
+    *this* round. A page fires exactly on the round that completes the
+    quorum (k alarming rounds among the last r), so a sustained theft
+    pages once promptly while an isolated burst-loss round is absorbed.
+
+    Attributes:
+        quorum: ``k`` — alarming rounds required within the window.
+        window: ``r`` — rounds the vote looks back over.
+        suppressed: raw alarms the vote has absorbed so far.
+    """
+
+    quorum: int = 2
+    window: int = 3
+    suppressed: int = 0
+    _history: Deque[bool] = field(default_factory=deque, repr=False)
+    _paged: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_vote(self.quorum, self.window)
+
+    @property
+    def votes(self) -> int:
+        """Alarming rounds currently inside the window."""
+        return sum(self._history)
+
+    def observe(self, alarmed: bool) -> bool:
+        """Record one round's raw alarm bit; True when the vote pages.
+
+        The vote re-arms once the quorum lapses (alarming rounds age
+        out of the window or an intact streak clears them), so distinct
+        incidents page distinctly.
+        """
+        self._history.append(bool(alarmed))
+        if len(self._history) > self.window:
+            self._history.popleft()
+        confirmed = self.votes >= self.quorum
+        if confirmed and not self._paged:
+            self._paged = True
+            return True
+        if not confirmed:
+            self._paged = False
+        if alarmed:
+            self.suppressed += 1
+        return False
+
+    def reset(self) -> None:
+        """Clear the window (e.g. after maintenance on the group)."""
+        self._history.clear()
+        self._paged = False

@@ -1,0 +1,33 @@
+"""repro.faults — deterministic fault injection for monitoring fleets.
+
+Three layers, data-driven end to end:
+
+* :mod:`repro.faults.models` — the physics: a Gilbert–Elliott bursty
+  channel and its protocol-level :class:`BurstLossChannel` wrapper;
+* :mod:`repro.faults.plan` — the policy: declarative, JSON-serialisable
+  :class:`FaultPlan` documents scoping failure modes to groups/rounds;
+* :mod:`repro.faults.inject` — the mechanism: a :class:`FaultInjector`
+  turning plan + coordinates into concrete :class:`RoundFaults`, with
+  every draw derived from ``(master_seed, group, tick, attempt)`` so
+  campaigns replay byte-for-byte at any ``--jobs``.
+
+The graceful-degradation counterparts (partial-frame salvage, k-of-r
+alarm confirmation, counter resync) live with the verification and
+protocol code in :mod:`repro.core`; this package only breaks things.
+"""
+
+from .inject import FAULT_DIMENSION, FaultInjector, RoundFaults
+from .models import BurstLossChannel, GilbertElliott
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec, example_plan
+
+__all__ = [
+    "FAULT_DIMENSION",
+    "FAULT_KINDS",
+    "BurstLossChannel",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "GilbertElliott",
+    "RoundFaults",
+    "example_plan",
+]

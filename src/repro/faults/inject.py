@@ -1,0 +1,161 @@
+"""Turning a declarative plan into concrete per-round fault draws.
+
+Determinism is the whole point. Every draw the injector makes — does a
+stochastic spec fire this round? which slots does the burst erase?
+which tags miss the downlink? — comes from a generator seeded purely by
+``(master_seed, fault dimension, group, tick, attempt)`` via
+:func:`repro.simulation.rng.derive_seed`. Consequences:
+
+* the same plan + seed injects byte-identical faults regardless of
+  ``--jobs`` (no shared generator state across workers);
+* fault randomness never touches the *group's* generator, so adding a
+  fault plan cannot perturb the fault-free parts of a campaign — and a
+  campaign with no plan is bit-identical to one that never imported
+  this package;
+* a retry (``attempt`` bump) re-rolls the faults, as a real retry
+  re-rolls the weather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..simulation.rng import derive_seed
+from .models import GilbertElliott
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["RoundFaults", "FaultInjector", "FAULT_DIMENSION"]
+
+# Seed-space dimension reserved for fault draws. The fleet reserves 99
+# for group generators; 7 keeps the two streams provably disjoint.
+FAULT_DIMENSION = 7
+
+
+@dataclass
+class RoundFaults:
+    """The concrete faults one round must suffer.
+
+    Attributes:
+        injected: names of the specs that fired, in plan order — the
+            journal records exactly this list.
+        outage: the whole session is lost before the broadcast.
+        loss_mask: per-slot erasure mask (burst loss); a present tag
+            whose slot is masked goes unheard.
+        seed_loss: per-tag mask of tags that missed this round's seed
+            broadcast — silent this round, counter one behind after it.
+        crash_fraction: fraction of the frame the reader polls before
+            dying; ``None`` = no crash.
+        fade_after: per-tag slot index from which the tag is silent
+            (brown-out); entries >= ``frame_size`` mean no fade.
+    """
+
+    injected: List[str] = field(default_factory=list)
+    outage: bool = False
+    loss_mask: Optional[np.ndarray] = None
+    seed_loss: Optional[np.ndarray] = None
+    crash_fraction: Optional[float] = None
+    fade_after: Optional[np.ndarray] = None
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing fired — the round runs the fault-free path."""
+        return not self.injected
+
+    def polled_slots(self, frame_size: int) -> int:
+        """Slots the reader actually returns given any crash."""
+        if self.crash_fraction is None:
+            return frame_size
+        return max(1, min(frame_size, int(self.crash_fraction * frame_size)))
+
+
+class FaultInjector:
+    """Materialises a :class:`~repro.faults.plan.FaultPlan` per round."""
+
+    def __init__(self, plan: FaultPlan, master_seed: int):
+        self.plan = plan
+        self.master_seed = int(master_seed)
+
+    def rng_for(self, group_index: int, tick: int, attempt: int) -> np.random.Generator:
+        """The round's private fault generator (pure coordinates)."""
+        return np.random.default_rng(
+            derive_seed(
+                self.master_seed, FAULT_DIMENSION, group_index, tick, attempt
+            )
+        )
+
+    def faults_for(
+        self,
+        group_name: str,
+        group_index: int,
+        tick: int,
+        attempt: int,
+        frame_size: int,
+        population: int,
+    ) -> RoundFaults:
+        """All faults striking one ``(group, tick, attempt)``.
+
+        Specs are evaluated in plan order with a fixed draw schedule,
+        so inserting a spec at the end of a plan never changes what the
+        earlier specs do.
+
+        Raises:
+            ValueError: on a non-positive frame or population.
+        """
+        if frame_size < 1:
+            raise ValueError(f"frame_size must be >= 1, got {frame_size}")
+        if population < 0:
+            raise ValueError(f"population must be >= 0, got {population}")
+        faults = RoundFaults()
+        specs = self.plan.specs_for(group_name, tick)
+        if not specs:
+            return faults
+        rng = self.rng_for(group_index, tick, attempt)
+        for spec in specs:
+            # One gate draw per in-scope spec, unconditionally, keeps
+            # the draw schedule independent of which specs fire.
+            gate = rng.random()
+            if gate >= spec.probability:
+                continue
+            self._apply(spec, faults, rng, frame_size, population)
+        return faults
+
+    @staticmethod
+    def _apply(
+        spec: FaultSpec,
+        faults: RoundFaults,
+        rng: np.random.Generator,
+        frame_size: int,
+        population: int,
+    ) -> None:
+        if spec.fault == "outage":
+            faults.outage = True
+        elif spec.fault == "burst-loss":
+            model = GilbertElliott.from_burst(spec.intensity, spec.burst_length)
+            mask = model.loss_mask(frame_size, rng)
+            if faults.loss_mask is None:
+                faults.loss_mask = mask
+            else:
+                faults.loss_mask |= mask
+        elif spec.fault == "seed-loss":
+            missed = rng.random(population) < spec.intensity
+            if faults.seed_loss is None:
+                faults.seed_loss = missed
+            else:
+                faults.seed_loss |= missed
+        elif spec.fault == "reader-crash":
+            fraction = spec.intensity
+            if faults.crash_fraction is not None:
+                fraction = min(fraction, faults.crash_fraction)
+            faults.crash_fraction = fraction
+        elif spec.fault == "tag-fade":
+            fades = np.full(population, frame_size, dtype=np.int64)
+            struck = rng.random(population) < spec.intensity
+            fades[struck] = rng.integers(0, max(1, frame_size), size=int(struck.sum()))
+            if faults.fade_after is None:
+                faults.fade_after = fades
+            else:
+                faults.fade_after = np.minimum(faults.fade_after, fades)
+        faults.injected.append(spec.fault)

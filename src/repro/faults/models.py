@@ -1,0 +1,259 @@
+"""Correlated failure models for the air interface.
+
+The benign losses :class:`~repro.rfid.channel.SlottedChannel` already
+models (``miss_rate``) are i.i.d. — each reply flips its own coin. Real
+RFID channels fail in *bursts*: a forklift drives through the field, a
+motor brushes start arcing, and every reply for a stretch of slots is
+gone at once. Correlation matters because the monitoring math does not
+see it: Theorem 1's false-alarm behaviour under i.i.d. loss and under
+bursty loss at the *same marginal rate* differ sharply, which is
+exactly what the ``chaos`` experiment measures.
+
+The canonical correlated model is the Gilbert–Elliott two-state Markov
+channel: a GOOD state with (near-)zero loss and a BAD state with heavy
+loss, with geometric sojourns in each. :class:`GilbertElliott` holds
+the parameters and the closed-form marginals;
+:class:`BurstLossChannel` wires it into the protocol-level channel so
+every existing reader/server path can run over a bursty medium
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..rfid.channel import SlotObservation, SlotOutcome, SlottedChannel
+from ..rfid.tag import Tag
+
+__all__ = ["GilbertElliott", "BurstLossChannel"]
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov burst-loss channel (Gilbert 1960, Elliott 1963).
+
+    Attributes:
+        p_good_to_bad: per-slot probability of entering the BAD state.
+        p_bad_to_good: per-slot probability of leaving it (mean burst
+            length is ``1 / p_bad_to_good`` slots).
+        loss_good: per-reply erasure probability while GOOD.
+        loss_bad: per-reply erasure probability while BAD.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be within (0, 1], got {value}")
+        for name in ("loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of slots spent in the BAD state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+    @property
+    def marginal_loss(self) -> float:
+        """Long-run per-reply erasure probability (state-averaged).
+
+        This is the rate an i.i.d. channel would need to lose the same
+        *number* of replies — the quantity held fixed when sweeping
+        burstiness so the comparison isolates correlation.
+        """
+        pi_bad = self.stationary_bad
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected BAD-sojourn length in slots."""
+        return 1.0 / self.p_bad_to_good
+
+    @classmethod
+    def from_burst(
+        cls,
+        marginal_loss: float,
+        burst_length: float,
+        loss_bad: float = 1.0,
+    ) -> "GilbertElliott":
+        """The GE channel with a given marginal loss and burst length.
+
+        Holding ``marginal_loss`` fixed while sweeping ``burst_length``
+        is the chaos experiment's x-axis: same number of lost replies,
+        increasingly clumped. With ``loss_good = 0`` the stationary BAD
+        probability must be ``marginal_loss / loss_bad``, which pins
+        ``p_good_to_bad`` once ``p_bad_to_good = 1 / burst_length``.
+
+        Raises:
+            ValueError: when the marginal is unreachable (exceeds
+                ``loss_bad``) or the burst length is shorter than the
+                marginal allows.
+        """
+        if not 0.0 < marginal_loss < 1.0:
+            raise ValueError(
+                f"marginal_loss must be within (0, 1), got {marginal_loss}"
+            )
+        if burst_length < 1.0:
+            raise ValueError(f"burst_length must be >= 1, got {burst_length}")
+        if marginal_loss >= loss_bad:
+            raise ValueError(
+                f"marginal_loss {marginal_loss} unreachable with "
+                f"loss_bad {loss_bad}"
+            )
+        p_bg = 1.0 / burst_length
+        pi_bad = marginal_loss / loss_bad
+        p_gb = p_bg * pi_bad / (1.0 - pi_bad)
+        if p_gb > 1.0:
+            raise ValueError(
+                f"burst_length {burst_length} too short for marginal "
+                f"{marginal_loss}: implied p_good_to_bad {p_gb:.3f} > 1"
+            )
+        return cls(p_good_to_bad=p_gb, p_bad_to_good=p_bg, loss_bad=loss_bad)
+
+    def state_sequence(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Boolean BAD-state indicator for ``num_slots`` slots.
+
+        Generated sojourn-by-sojourn (geometric run lengths) rather
+        than slot-by-slot, so long frames cost O(transitions) draws.
+        The initial state is drawn from the stationary distribution —
+        a round starts at a random point of the interference process.
+
+        Raises:
+            ValueError: if ``num_slots`` is negative.
+        """
+        if num_slots < 0:
+            raise ValueError(f"num_slots must be >= 0, got {num_slots}")
+        states = np.empty(num_slots, dtype=bool)
+        bad = bool(rng.random() < self.stationary_bad)
+        position = 0
+        while position < num_slots:
+            p_leave = self.p_bad_to_good if bad else self.p_good_to_bad
+            run = int(rng.geometric(p_leave))
+            run = min(run, num_slots - position)
+            states[position : position + run] = bad
+            position += run
+            bad = not bad
+        return states
+
+    def loss_mask(self, num_slots: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-slot erasure mask: True where a reply in that slot is lost.
+
+        Combines the hidden state sequence with the per-state loss
+        probabilities. All replies sharing a slot share its fate — the
+        interference is on the medium, not per tag.
+        """
+        bad = self.state_sequence(num_slots, rng)
+        p = np.where(bad, self.loss_bad, self.loss_good)
+        return rng.random(num_slots) < p
+
+
+class BurstLossChannel(SlottedChannel):
+    """A protocol-level channel with Gilbert–Elliott correlated loss.
+
+    Two coupled failure axes, both driven by one explicit generator so
+    runs replay bit-for-bit:
+
+    * **reply erasure** — each polled slot advances the hidden GE state
+      once; while BAD, every reply in the slot is erased with
+      ``loss_bad`` (GOOD: ``loss_good``). Erasures land in
+      ``stats.replies_lost`` like any other lost burst.
+    * **seed-broadcast loss** — with ``seed_loss_rate`` per tag per
+      broadcast, a tag misses the ``(f, r)`` downlink entirely. The tag
+      keeps its previous session state and — crucially for UTRP — does
+      **not** tick its counter, which is the desynchronisation the
+      bounded resync handshake exists to repair. Missed deliveries are
+      counted in :attr:`seed_losses`.
+    """
+
+    def __init__(
+        self,
+        tags: Sequence[Tag],
+        model: GilbertElliott,
+        rng: np.random.Generator,
+        seed_loss_rate: float = 0.0,
+        miss_rate: float = 0.0,
+    ):
+        if rng is None:
+            raise ValueError("a bursty channel needs an rng")
+        if not 0.0 <= seed_loss_rate <= 1.0:
+            raise ValueError(
+                f"seed_loss_rate must be within [0, 1], got {seed_loss_rate}"
+            )
+        super().__init__(tags, miss_rate=miss_rate, rng=rng)
+        self.model = model
+        self._seed_loss_rate = seed_loss_rate
+        self._bad = bool(rng.random() < model.stationary_bad)
+        self.seed_losses = 0
+
+    def _advance_state(self) -> float:
+        """One slot tick of the hidden chain; returns this slot's loss prob."""
+        if self._bad:
+            if self._rng.random() < self.model.p_bad_to_good:
+                self._bad = False
+        else:
+            if self._rng.random() < self.model.p_good_to_bad:
+                self._bad = True
+        return self.model.loss_bad if self._bad else self.model.loss_good
+
+    def broadcast_seed(self, frame_size: int, seed: int) -> None:
+        """Deliver the downlink, losing it per tag at ``seed_loss_rate``."""
+        if self._seed_loss_rate <= 0.0:
+            super().broadcast_seed(frame_size, seed)
+            return
+        self.stats.seed_broadcasts += 1
+        for tag in self._tags:
+            if self._rng.random() < self._seed_loss_rate:
+                self.seed_losses += 1
+                continue
+            tag.receive_seed(frame_size, seed)
+
+    def poll_slot(self, slot: int, ids_on_air: bool = False):
+        loss_p = self._advance_state()
+        if loss_p <= 0.0:
+            return super().poll_slot(slot, ids_on_air=ids_on_air)
+        # Collect replies ourselves so the erasure applies on top of
+        # whatever benign miss_rate the base class would also charge.
+        if slot < 0:
+            raise ValueError(f"slot must be non-negative, got {slot}")
+        saved_tags = self._tags
+        replies = [r for r in (tag.poll(slot) for tag in saved_tags) if r is not None]
+        kept = [r for r in replies if self._rng.random() >= loss_p]
+        self.stats.replies_lost += len(replies) - len(kept)
+        # Hand the survivors to the base class via a transient shim: the
+        # base poll re-polls tags, and a polled tag has already gone
+        # silent, so we inline the resolution instead.
+        self.stats.slots_polled += 1
+        if self._miss_rate > 0.0 and kept:
+            survivors = [r for r in kept if self._rng.random() >= self._miss_rate]
+            self.stats.replies_lost += len(kept) - len(survivors)
+            kept = survivors
+        if ids_on_air:
+            self.stats.id_transmissions += len(kept)
+        if not kept:
+            self.stats.empty_slots += 1
+            return SlotObservation(SlotOutcome.EMPTY, None, None, [])
+        if len(kept) == 1:
+            self.stats.singleton_slots += 1
+            decoded = kept[0].tag_id if ids_on_air else None
+            if not ids_on_air:
+                self.stats.reply_payload_bits += 16
+            return SlotObservation(SlotOutcome.SINGLE, kept[0].bits, decoded, kept)
+        self.stats.collision_slots += 1
+        if ids_on_air:
+            colliders = {r.tag_id for r in kept}
+            for tag in saved_tags:
+                if tag.tag_id in colliders:
+                    tag.mark_collided()
+        return SlotObservation(SlotOutcome.COLLISION, None, None, kept)

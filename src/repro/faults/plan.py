@@ -1,0 +1,232 @@
+"""Declarative fault plans: *what* to break, *where*, and *when*.
+
+A :class:`FaultPlan` is data, not code — a JSON document an operator
+can version alongside a fleet scenario and replay byte-for-byte. Each
+:class:`FaultSpec` names one failure mode, scopes it to groups and
+rounds, and sets its intensity; the
+:class:`~repro.faults.inject.FaultInjector` turns the plan into
+concrete per-round fault draws with seeds derived purely from
+``(master_seed, group, tick, attempt)`` coordinates, so a plan injects
+the *same* faults whether the campaign runs on 1 worker or 8.
+
+Fault kinds:
+
+===============  =====================================================
+``burst-loss``   Gilbert–Elliott reply erasure over the frame.
+                 ``intensity`` = marginal loss rate, ``burst_length``
+                 = mean BAD sojourn in slots.
+``seed-loss``    Each tag misses the round's seed broadcast with
+                 probability ``intensity`` (UTRP: counter desync).
+``reader-crash`` The reader dies mid-frame having polled an
+                 ``intensity`` fraction of the slots; the server sees
+                 a partial bitstring.
+``tag-fade``     An ``intensity`` fraction of present tags browns out
+                 at a uniform slot and stays silent from there on.
+``outage``       The whole session is lost before the seed broadcast
+                 (the retry path exercises, nothing is polled).
+===============  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "example_plan"]
+
+FAULT_KINDS = ("burst-loss", "seed-loss", "reader-crash", "tag-fade", "outage")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scoped failure mode inside a plan.
+
+    Attributes:
+        fault: one of :data:`FAULT_KINDS`.
+        intensity: the fault's magnitude (meaning per kind — see the
+            module table). Unused for ``outage``.
+        groups: group names the spec applies to; ``None`` = every group.
+        at_tick: scripted trigger — apply exactly at this round index.
+            ``None`` makes the spec stochastic, firing each round with
+            ``probability``.
+        probability: per-round firing probability for stochastic specs
+            (also gates a scripted spec, default: always fires).
+        burst_length: mean burst length in slots (``burst-loss`` only).
+    """
+
+    fault: str
+    intensity: float = 0.0
+    groups: Optional[Sequence[str]] = None
+    at_tick: Optional[int] = None
+    probability: float = 1.0
+    burst_length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.fault!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(
+                f"intensity must be within [0, 1], got {self.intensity}"
+            )
+        if self.fault != "outage" and self.intensity == 0.0:
+            raise ValueError(f"{self.fault} needs a positive intensity")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be within [0, 1], got {self.probability}"
+            )
+        if self.at_tick is not None and self.at_tick < 0:
+            raise ValueError(f"at_tick must be >= 0, got {self.at_tick}")
+        if self.burst_length < 1.0:
+            raise ValueError(
+                f"burst_length must be >= 1, got {self.burst_length}"
+            )
+        if self.groups is not None:
+            object.__setattr__(self, "groups", tuple(self.groups))
+
+    def applies_to(self, group_name: str, tick: int) -> bool:
+        """Whether this spec is in scope for ``(group, tick)``.
+
+        Scope only — the stochastic ``probability`` draw happens in the
+        injector, where it has deterministic coordinates.
+        """
+        if self.groups is not None and group_name not in self.groups:
+            return False
+        if self.at_tick is not None and tick != self.at_tick:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        doc = {"fault": self.fault, "intensity": self.intensity}
+        if self.groups is not None:
+            doc["groups"] = list(self.groups)
+        if self.at_tick is not None:
+            doc["at_tick"] = self.at_tick
+        if self.probability != 1.0:
+            doc["probability"] = self.probability
+        if self.burst_length != 1.0:
+            doc["burst_length"] = self.burst_length
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSpec":
+        """Parse one spec, rejecting unknown keys (typo'd plans should
+        fail loudly, not silently not-inject).
+
+        Raises:
+            ValueError: on unknown keys or invalid field values.
+        """
+        known = {
+            "fault",
+            "intensity",
+            "groups",
+            "at_tick",
+            "probability",
+            "burst_length",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-spec keys: {', '.join(sorted(unknown))}"
+            )
+        if "fault" not in doc:
+            raise ValueError("fault spec missing the 'fault' key")
+        return cls(
+            fault=doc["fault"],
+            intensity=float(doc.get("intensity", 0.0)),
+            groups=doc.get("groups"),
+            at_tick=doc.get("at_tick"),
+            probability=float(doc.get("probability", 1.0)),
+            burst_length=float(doc.get("burst_length", 1.0)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A named, serialisable collection of fault specs.
+
+    Attributes:
+        name: plan identifier (recorded in the campaign journal).
+        description: operator-facing note on what the plan exercises.
+        specs: the failure modes, applied independently each round.
+    """
+
+    name: str = "fault-plan"
+    description: str = ""
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def specs_for(self, group_name: str, tick: int) -> List[FaultSpec]:
+        """The specs in scope for one ``(group, tick)``, in plan order."""
+        return [s for s in self.specs if s.applies_to(group_name, tick)]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "repro-fault-plan",
+            "version": 1,
+            "name": self.name,
+            "description": self.description,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        """Parse a plan document.
+
+        Raises:
+            ValueError: on a wrong format marker or malformed specs.
+        """
+        if doc.get("format") != "repro-fault-plan":
+            raise ValueError("not a repro fault-plan document")
+        if doc.get("version") != 1:
+            raise ValueError(
+                f"unsupported fault-plan version {doc.get('version')!r}"
+            )
+        return cls(
+            name=str(doc.get("name", "fault-plan")),
+            description=str(doc.get("description", "")),
+            specs=[FaultSpec.from_dict(s) for s in doc.get("specs", [])],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+def example_plan() -> FaultPlan:
+    """The bundled chaos plan the CLI and CI smoke test run.
+
+    Deliberately exercises every fault kind at least once, mixing
+    scripted triggers (reproducible incident timeline) with a
+    stochastic burst-loss background.
+    """
+    return FaultPlan(
+        name="example-chaos",
+        description=(
+            "Background bursty reply loss on every group, a scripted "
+            "outage, a mid-campaign reader crash, a seed-broadcast "
+            "loss episode and a tag brown-out."
+        ),
+        specs=[
+            FaultSpec("burst-loss", intensity=0.05, probability=0.5,
+                      burst_length=8.0),
+            FaultSpec("outage", at_tick=1),
+            FaultSpec("reader-crash", intensity=0.6, at_tick=3),
+            FaultSpec("seed-loss", intensity=0.02, at_tick=4),
+            FaultSpec("tag-fade", intensity=0.05, at_tick=6),
+        ],
+    )

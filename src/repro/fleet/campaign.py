@@ -33,7 +33,11 @@ from ..core.estimation import (
 )
 from ..core.identification import MissingTagIdentifier
 from ..core.utrp_analysis import optimal_utrp_frame_size
+from ..core.verification import AlarmConfirmation, Verdict
+from ..faults.inject import FaultInjector
+from ..faults.plan import FaultPlan
 from ..rfid.channel import ChannelOutage
+from ..rfid.hashing import slots_for_tags_with_counters
 from ..rfid.ids import random_tag_ids
 from ..obs.profiling import NULL_PROFILER
 from ..rfid.timing import GEN2_TYPICAL, LinkTiming
@@ -91,6 +95,22 @@ class CampaignConfig:
         round_timeout_us: abort any round whose air time exceeds this
             (``None`` = no timeout).
         timing: link budget for air-time accounting.
+        fault_plan: optional declarative fault plan
+            (:class:`~repro.faults.plan.FaultPlan`); faults draw from
+            their own seed dimension, so ``None`` leaves the campaign
+            byte-identical to a build without the faults package.
+        vote_quorum: ``k`` of the k-of-r alarm-confirmation vote
+            (0 disables voting — every raw alarm pages, the paper's
+            behaviour).
+        vote_window: ``r`` of the vote (must be >= ``vote_quorum``).
+        salvage_partial: verify crash-truncated frames at achieved
+            confidence instead of rejecting them as malformed.
+        auto_resync: after a counter-tag group's alarm, run the bounded
+            counter-resync handshake; an alarm fully explained by
+            recovered desync is withdrawn.
+        resync_max_offset: largest per-tag broadcast deficit the resync
+            hypothesis search considers.
+        resync_max_rounds: probe-round budget per resync handshake.
     """
 
     ticks: int = 5
@@ -102,6 +122,13 @@ class CampaignConfig:
     escalation: EscalationPolicy = field(default_factory=EscalationPolicy)
     round_timeout_us: Optional[float] = None
     timing: LinkTiming = GEN2_TYPICAL
+    fault_plan: Optional[FaultPlan] = None
+    vote_quorum: int = 0
+    vote_window: int = 0
+    salvage_partial: bool = False
+    auto_resync: bool = False
+    resync_max_offset: int = 8
+    resync_max_rounds: int = 6
 
     def __post_init__(self) -> None:
         if self.ticks < 1:
@@ -112,6 +139,16 @@ class CampaignConfig:
             raise ValueError("diagnostic_trials must be >= 0")
         if self.round_timeout_us is not None and self.round_timeout_us <= 0:
             raise ValueError("round_timeout_us must be positive")
+        if self.vote_quorum < 0 or self.vote_window < 0:
+            raise ValueError("vote parameters must be >= 0")
+        if (self.vote_quorum == 0) != (self.vote_window == 0):
+            raise ValueError("set both vote_quorum and vote_window, or neither")
+        if self.vote_quorum > self.vote_window:
+            raise ValueError("vote_quorum must be <= vote_window")
+        if self.resync_max_offset < 0:
+            raise ValueError("resync_max_offset must be >= 0")
+        if self.resync_max_rounds < 1:
+            raise ValueError("resync_max_rounds must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -140,15 +177,35 @@ class GroupRuntime:
     no locking is needed.
     """
 
-    def __init__(self, spec: GroupSpec, config: CampaignConfig, index: int):
+    def __init__(
+        self,
+        spec: GroupSpec,
+        config: CampaignConfig,
+        index: int,
+        injector: Optional[FaultInjector] = None,
+    ):
         self.spec = spec
         self.config = config
+        self.index = index
+        self.injector = injector
         self.rng = np.random.default_rng(
             derive_seed(config.master_seed, _FLEET_DIMENSION, index)
         )
         self.ids = random_tag_ids(spec.population, self.rng)
         self.present = np.ones(spec.population, dtype=bool)
         self.counter = 0
+        # Physical vs learned counter deficits. ``counter_lag`` is
+        # simulation ground truth — broadcasts each tag actually missed;
+        # ``mirror_lag`` is what the server has recovered via resync.
+        # The group is in sync when the two agree.
+        self.counter_lag = np.zeros(spec.population, dtype=np.int64)
+        self.mirror_lag = np.zeros(spec.population, dtype=np.int64)
+        self.confirmation: Optional[AlarmConfirmation] = (
+            AlarmConfirmation(quorum=config.vote_quorum, window=config.vote_window)
+            if config.vote_quorum > 0
+            else None
+        )
+        self.degraded = False
         self.base_level = (
             EscalationLevel.TRP
             if spec.trusted_reader
@@ -200,8 +257,20 @@ class GroupRuntime:
         level = self.level
         frame = self._frame_for(level)
         spec = self.spec
+        retry_errors: List[str] = []
+        injected_on_failure: List[str] = []
 
         def attempt(index: int) -> SimulatedRound:
+            faults = None
+            if self.injector is not None:
+                faults = self.injector.faults_for(
+                    spec.name, self.index, tick, index, frame, spec.population
+                )
+                if faults.outage:
+                    injected_on_failure.extend(faults.injected)
+                    raise ChannelOutage(
+                        f"{spec.name}: injected outage (attempt {index + 1})"
+                    )
             if spec.outage_rate > 0.0 and self.rng.random() < spec.outage_rate:
                 raise ChannelOutage(
                     f"{spec.name}: session lost (attempt {index + 1})"
@@ -210,10 +279,8 @@ class GroupRuntime:
             # Identification replays must be counter-free so the
             # core identifier can re-derive the slot map; operational
             # TRP/UTRP rounds on counter tags tick the shared counter.
-            if spec.counter_tags and level is not EscalationLevel.IDENTIFY:
-                counter = self.counter + 1
-            else:
-                counter = 0
+            counter_round = spec.counter_tags and level is not EscalationLevel.IDENTIFY
+            counter = self.counter + 1 if counter_round else 0
             outcome = run_simulated_round(
                 self.ids,
                 self.present,
@@ -223,6 +290,11 @@ class GroupRuntime:
                 miss_rate=spec.miss_rate,
                 rng=self.rng,
                 air_model=self.air_model,
+                faults=faults,
+                counter_lag=self.counter_lag if counter_round else None,
+                mirror_lag=self.mirror_lag if counter_round else None,
+                salvage_partial=self.config.salvage_partial,
+                critical_missing=spec.tolerance + 1,
             )
             timeout = self.config.round_timeout_us
             if timeout is not None and outcome.air_us > timeout:
@@ -230,20 +302,33 @@ class GroupRuntime:
                     f"{spec.name}: round air time {outcome.air_us:.0f}us "
                     f"exceeds budget {timeout:.0f}us"
                 )
-            if spec.counter_tags and level is not EscalationLevel.IDENTIFY:
+            if counter_round:
                 self.counter = counter
+                if faults is not None and faults.seed_loss is not None:
+                    # Present tags that missed this broadcast fall one
+                    # further behind the mirror — the UTRP desync the
+                    # resync handshake exists to repair.
+                    deaf = faults.seed_loss & self.present
+                    self.counter_lag[deaf] += 1
             pause = self.air_model.wall_seconds(outcome.air_us)
             if pause > 0:
                 time.sleep(pause)
             return outcome
 
+        def note_retry(index: int, error: BaseException, charged_us: float) -> None:
+            retry_errors.append(str(error))
+
         try:
             outcome, attempts, backoff_us = run_with_retry(
-                attempt, self.config.retry
+                attempt, self.config.retry, on_retry=note_retry
             )
         except RetryExhausted as error:
-            # The round is abandoned; the schedule moves on.
+            # The round is abandoned and the group marked degraded; the
+            # schedule moves on — one dead reader never stalls the fleet.
             self.consecutive_alarms = 0
+            newly_degraded = not self.degraded
+            self.degraded = True
+            retry_errors.append(str(error.last_error))
             return RoundRecord(
                 tick=tick,
                 group=spec.name,
@@ -252,8 +337,14 @@ class GroupRuntime:
                 attempts=error.attempts,
                 backoff_us=backoff_us_of(self.config.retry, error.attempts),
                 failure=str(error.last_error),
+                injected=sorted(set(injected_on_failure)),
+                degraded=newly_degraded,
+                retry_errors=retry_errors,
             )
-        return self._conclude(tick, level, outcome, attempts, backoff_us)
+        self.degraded = False
+        return self._conclude(
+            tick, level, outcome, attempts, backoff_us, retry_errors
+        )
 
     def _conclude(
         self,
@@ -262,14 +353,45 @@ class GroupRuntime:
         outcome: SimulatedRound,
         attempts: int,
         backoff_us: float,
+        retry_errors: Optional[List[str]] = None,
     ) -> RoundRecord:
         spec = self.spec
         n, f = spec.population, outcome.frame_size
         mismatches = outcome.mismatches
         estimate = estimate_missing_count(mismatches, n, f)
-        alarmed = outcome.result.verdict.alarm and self.alarm_policy.should_alarm(
+        raw_alarmed = outcome.result.verdict.alarm and self.alarm_policy.should_alarm(
             mismatches, n, f
         )
+        alarmed = raw_alarmed
+        vote_suppressed = False
+        # k-of-r confirmation: occupancy verdicts feed the vote; the
+        # rejected-* verdicts (malformed frames without salvage) bypass
+        # it — they indicate reader misbehaviour, not channel noise.
+        if self.confirmation is not None and outcome.result.verdict in (
+            Verdict.INTACT,
+            Verdict.NOT_INTACT,
+        ):
+            paged = self.confirmation.observe(raw_alarmed)
+            if raw_alarmed:
+                alarmed = paged
+                vote_suppressed = not paged
+
+        resync_recovered = 0
+        resync_unresolved = 0
+        resync_air = 0.0
+        if (
+            alarmed
+            and self.config.auto_resync
+            and spec.counter_tags
+            and level is not EscalationLevel.IDENTIFY
+        ):
+            resync_recovered, resync_unresolved, resync_air = self._run_resync()
+            if resync_recovered and resync_unresolved == 0:
+                # Every mismatch traced back to recovered desync: the
+                # set is intact, the page is withdrawn.
+                alarmed = False
+                if self.confirmation is not None:
+                    self.confirmation.reset()
 
         named: List[int] = []
         if level is EscalationLevel.IDENTIFY:
@@ -317,11 +439,82 @@ class GroupRuntime:
             alarmed=alarmed,
             attempts=attempts,
             backoff_us=backoff_us,
-            air_us=outcome.air_us,
+            air_us=outcome.air_us + resync_air,
             escalated_to=escalated_to,
             confirmed_missing=[int(t) for t in named],
             empirical_detection=diagnostic,
+            injected=list(outcome.injected or []),
+            replies_lost=outcome.lost_replies,
+            polled_slots=outcome.result.polled_slots,
+            salvaged=outcome.result.salvaged,
+            achieved_confidence=(
+                round(outcome.result.achieved_confidence, 6)
+                if outcome.result.achieved_confidence is not None
+                else None
+            ),
+            vote_suppressed=vote_suppressed,
+            resync_recovered=resync_recovered,
+            resync_unresolved=resync_unresolved,
+            retry_errors=list(retry_errors or []),
         )
+
+    def _run_resync(self) -> "tuple[int, int, float]":
+        """Bounded counter-resync over sparse probe frames.
+
+        The fleet-scale analogue of
+        :func:`repro.core.utrp.run_counter_resync`: hypothesis
+        elimination over per-tag broadcast deficits ``d`` in
+        ``[0, resync_max_offset]``. Probe frames are sparse (8 slots
+        per tag) so a wrong hypothesis survives a probe only with
+        probability about ``1 - e^{-n/f}``; a handful of rounds pins
+        every answering tag. Tags that never answer stay unresolved —
+        a genuinely stolen tag cannot be absorbed by recovery.
+
+        Returns:
+            ``(recovered, unresolved, air_us)`` — offsets newly
+            learned, tags unaccounted for, and the probes' air cost.
+        """
+        n = self.ids.size
+        max_offset = self.config.resync_max_offset
+        f = max(64, 8 * n)
+        mirror = self.counter - self.mirror_lag
+        alive = np.ones((n, max_offset + 1), dtype=bool)
+        air_us = 0.0
+        rounds_run = 0
+        for probe in range(1, self.config.resync_max_rounds + 1):
+            seed = int(self.rng.integers(0, _SEED_SPACE))
+            rounds_run = probe
+            # Physical truth: every present tag hears the probe and
+            # replies with its own counter. Probes are short sparse
+            # frames run back to back; they are modelled loss-free.
+            physical = (self.counter - self.counter_lag + probe)[self.present]
+            present_slots = slots_for_tags_with_counters(
+                self.ids[self.present], seed, f, physical
+            )
+            occupied = np.zeros(f, dtype=bool)
+            occupied[present_slots] = True
+            air_us += self.air_model.round_air_us(f, int(occupied.sum()))
+            for d in range(max_offset + 1):
+                column = alive[:, d]
+                if not column.any():
+                    continue
+                hypothesis = slots_for_tags_with_counters(
+                    self.ids[column], seed, f, mirror[column] + probe - d
+                )
+                alive[column, d] &= occupied[hypothesis]
+            if (alive.sum(axis=1) <= 1).all():
+                break
+        survivors = alive.sum(axis=1)
+        best = np.where(survivors > 0, np.argmax(alive, axis=1), 0).astype(
+            np.int64
+        )
+        recovered = int(((survivors >= 1) & (best > 0)).sum())
+        unresolved = int((survivors == 0).sum())
+        # Commit: the probes ticked every tag, and the server now knows
+        # each answering tag's deficit.
+        self.counter += rounds_run
+        self.mirror_lag = self.mirror_lag + best
+        return recovered, unresolved, air_us
 
 
 def backoff_us_of(policy: RetryPolicy, attempts: int) -> float:
@@ -376,10 +569,15 @@ def run_campaign(
         ValueError: on an invalid scenario.
     """
     scenario.validate()
+    injector = (
+        FaultInjector(config.fault_plan, config.master_seed)
+        if config.fault_plan is not None
+        else None
+    )
     runtimes: Dict[str, GroupRuntime] = {}
     scheduler = RoundScheduler()
     for index, spec in enumerate(scenario.registry):
-        runtimes[spec.name] = GroupRuntime(spec, config, index)
+        runtimes[spec.name] = GroupRuntime(spec, config, index, injector=injector)
         scheduler.add_group(
             spec.name, interval=spec.interval, priority=spec.priority
         )
@@ -423,6 +621,31 @@ def run_campaign(
             journal.append(record)
             _aggregate(metrics, record)
             if obs is not None:
+                # All emission happens here, on the campaign thread in
+                # journal order, so traces stay jobs-invariant.
+                for attempt_index, error in enumerate(record.retry_errors):
+                    final = attempt_index == len(record.retry_errors) - 1
+                    obs.bus.emit(
+                        "fleet.retry",
+                        scope=scope,
+                        group=record.group,
+                        attempt=attempt_index + 1,
+                        backoff_us=(
+                            0.0
+                            if record.failure is not None and final
+                            else config.retry.backoff_us(attempt_index)
+                        ),
+                        error=error,
+                        exhausted=record.failure is not None and final,
+                    )
+                if record.injected:
+                    obs.bus.emit(
+                        "fleet.fault",
+                        scope=scope,
+                        group=record.group,
+                        injected=record.injected,
+                        replies_lost=record.replies_lost,
+                    )
                 obs.bus.emit(
                     "fleet.round",
                     scope=scope,
@@ -438,6 +661,44 @@ def run_campaign(
                     escalated_to=record.escalated_to,
                     confirmed_missing=record.confirmed_missing,
                 )
+                if record.salvaged:
+                    obs.bus.emit(
+                        "fleet.salvage",
+                        scope=scope,
+                        group=record.group,
+                        polled_slots=record.polled_slots,
+                        frame_size=record.frame_size,
+                        achieved_confidence=record.achieved_confidence,
+                    )
+                if record.vote_suppressed:
+                    obs.bus.emit(
+                        "fleet.alarm.suppressed",
+                        scope=scope,
+                        group=record.group,
+                        mismatches=record.mismatches,
+                    )
+                if record.resync_recovered or record.resync_unresolved:
+                    obs.bus.emit(
+                        "fleet.resync",
+                        scope=scope,
+                        group=record.group,
+                        recovered=record.resync_recovered,
+                        unresolved=record.resync_unresolved,
+                    )
+                if record.escalated_to is not None:
+                    obs.bus.emit(
+                        "fleet.escalation",
+                        scope=scope,
+                        group=record.group,
+                        escalated_to=record.escalated_to,
+                    )
+                if record.degraded:
+                    obs.bus.emit(
+                        "fleet.group.degraded",
+                        scope=scope,
+                        group=record.group,
+                        failure=record.failure,
+                    )
             if record.alarmed:
                 alert = FleetAlert(
                     group=record.group,
@@ -471,6 +732,7 @@ def run_campaign(
 def _aggregate(metrics: FleetMetrics, record: RoundRecord) -> None:
     gm = metrics.group(record.group)
     gm.record_retries(max(0, record.attempts - 1))
+    gm.record_faults_injected(len(record.injected))
     if record.failure is not None:
         gm.record_failed_round()
         return
@@ -478,6 +740,12 @@ def _aggregate(metrics: FleetMetrics, record: RoundRecord) -> None:
         slots=float(record.frame_size),
         air_us=record.air_us + record.backoff_us,
     )
+    gm.record_replies_lost(record.replies_lost)
+    if record.salvaged:
+        gm.record_salvaged_round()
+    if record.vote_suppressed:
+        gm.record_suppressed_alarm()
+    gm.record_tags_resynced(record.resync_recovered)
     if record.alarmed:
         gm.record_alarm()
     if record.escalated_to is not None:
@@ -517,6 +785,24 @@ def format_campaign_result(result: CampaignResult) -> str:
         total = sum(len(r.confirmed_missing) for r in named)
         lines.append("")
         lines.append(f"identification named {total} missing tag(s)")
+    faulted = result.journal.faulted()
+    if faulted:
+        total_injected = sum(len(r.injected) for r in faulted)
+        resynced = sum(r.resync_recovered for r in result.journal.records)
+        lines.append("")
+        lines.append(
+            f"fault injection: {total_injected} fault(s) across "
+            f"{len(faulted)} round(s); "
+            f"{len(result.journal.salvages())} frame(s) salvaged, "
+            f"{len(result.journal.suppressed())} alarm(s) voted down, "
+            f"{resynced} counter offset(s) resynced"
+        )
+    degraded = [r.group for r in result.journal.records if r.degraded]
+    if degraded:
+        lines.append("")
+        lines.append(
+            "degraded groups: " + ", ".join(sorted(set(degraded)))
+        )
     lines.append("")
     lines.append(f"journal digest: {result.journal.digest()}")
     return "\n".join(lines)

@@ -42,6 +42,24 @@ class RoundRecord:
         empirical_detection: measured ``g(n, m+1, f)`` diagnostic for
             the round's frame, when the campaign runs diagnostics.
         failure: the final transient error for abandoned rounds.
+        injected: fault names the plan injected into this round.
+        replies_lost: replies the channel swallowed this round.
+        polled_slots: slots the reader actually returned (equals
+            ``frame_size`` except for salvaged partial frames).
+        salvaged: the verdict rests on a crash-truncated frame.
+        achieved_confidence: detection probability a salvaged frame
+            actually delivered (``None`` for full frames).
+        vote_suppressed: a raw alarm the k-of-r confirmation absorbed.
+        resync_recovered: tags whose counter offset a resync handshake
+            pinned down after this round.
+        resync_unresolved: tags a resync could not account for (they
+            never answered a probe — genuinely missing candidates).
+        degraded: the group entered degraded mode on this round
+            (retries exhausted; schedule continues without it failing
+            the campaign).
+        retry_errors: transient error messages, one per attempt that
+            failed (the obs bus replays these as ``fleet.retry``
+            events in journal order).
     """
 
     tick: int
@@ -60,6 +78,16 @@ class RoundRecord:
     confirmed_missing: List[int] = field(default_factory=list)
     empirical_detection: Optional[float] = None
     failure: Optional[str] = None
+    injected: List[str] = field(default_factory=list)
+    replies_lost: int = 0
+    polled_slots: int = 0
+    salvaged: bool = False
+    achieved_confidence: Optional[float] = None
+    vote_suppressed: bool = False
+    resync_recovered: int = 0
+    resync_unresolved: int = 0
+    degraded: bool = False
+    retry_errors: List[str] = field(default_factory=list)
 
 
 class FleetJournal:
@@ -89,6 +117,15 @@ class FleetJournal:
 
     def failures(self) -> List[RoundRecord]:
         return [r for r in self._records if r.failure is not None]
+
+    def faulted(self) -> List[RoundRecord]:
+        return [r for r in self._records if r.injected]
+
+    def suppressed(self) -> List[RoundRecord]:
+        return [r for r in self._records if r.vote_suppressed]
+
+    def salvages(self) -> List[RoundRecord]:
+        return [r for r in self._records if r.salvaged]
 
     # ------------------------------------------------------------------
     # determinism / persistence

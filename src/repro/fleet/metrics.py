@@ -109,6 +109,21 @@ class GroupMetrics:
         self._confirmed_missing = counter(
             "confirmed_missing_total", "distinct tags named by identification"
         )
+        self._replies_lost = counter(
+            "replies_lost_total", "tag replies the channel swallowed"
+        )
+        self._faults_injected = counter(
+            "faults_injected_total", "fault-plan injections applied to rounds"
+        )
+        self._rounds_salvaged = counter(
+            "rounds_salvaged_total", "crash-truncated rounds verified partially"
+        )
+        self._alarms_suppressed = counter(
+            "alarms_suppressed_total", "raw alarms absorbed by k-of-r voting"
+        )
+        self._tags_resynced = counter(
+            "tags_resynced_total", "counter offsets recovered by resync"
+        )
         self._slot_costs = registry.histogram(
             "repro_fleet_round_slots",
             "per-round frame sizes (completed rounds)",
@@ -149,6 +164,24 @@ class GroupMetrics:
         if count:
             self._confirmed_missing.inc(count)
 
+    def record_replies_lost(self, count: int) -> None:
+        if count:
+            self._replies_lost.inc(count)
+
+    def record_faults_injected(self, count: int) -> None:
+        if count:
+            self._faults_injected.inc(count)
+
+    def record_salvaged_round(self) -> None:
+        self._rounds_salvaged.inc()
+
+    def record_suppressed_alarm(self) -> None:
+        self._alarms_suppressed.inc()
+
+    def record_tags_resynced(self, count: int) -> None:
+        if count:
+            self._tags_resynced.inc(count)
+
     # -- reads (the pre-obs attribute API) -----------------------------
 
     @property
@@ -180,6 +213,26 @@ class GroupMetrics:
         return int(self._confirmed_missing.value)
 
     @property
+    def replies_lost(self) -> int:
+        return int(self._replies_lost.value)
+
+    @property
+    def faults_injected(self) -> int:
+        return int(self._faults_injected.value)
+
+    @property
+    def rounds_salvaged(self) -> int:
+        return int(self._rounds_salvaged.value)
+
+    @property
+    def alarms_suppressed(self) -> int:
+        return int(self._alarms_suppressed.value)
+
+    @property
+    def tags_resynced(self) -> int:
+        return int(self._tags_resynced.value)
+
+    @property
     def slot_costs(self) -> List[float]:
         return list(self._slot_costs.samples)
 
@@ -207,6 +260,11 @@ class MetricsTotals:
     escalations: int = 0
     identification_rounds: int = 0
     confirmed_missing: int = 0
+    replies_lost: int = 0
+    faults_injected: int = 0
+    rounds_salvaged: int = 0
+    alarms_suppressed: int = 0
+    tags_resynced: int = 0
     slot_costs: List[float] = field(default_factory=list)
     air_us: List[float] = field(default_factory=list)
 
@@ -252,6 +310,11 @@ class FleetMetrics:
             total.escalations += gm.escalations
             total.identification_rounds += gm.identification_rounds
             total.confirmed_missing += gm.confirmed_missing
+            total.replies_lost += gm.replies_lost
+            total.faults_injected += gm.faults_injected
+            total.rounds_salvaged += gm.rounds_salvaged
+            total.alarms_suppressed += gm.alarms_suppressed
+            total.tags_resynced += gm.tags_resynced
             total.slot_costs.extend(gm.slot_costs)
             total.air_us.extend(gm.air_us)
         return total
@@ -264,9 +327,11 @@ def render_metrics_table(metrics: FleetMetrics) -> str:
         "rounds",
         "failed",
         "alarms",
+        "suppr.",
         "retries",
         "escal.",
         "named",
+        "lost",
         "slots p50",
         "slots p95",
         "air ms p50",
@@ -282,9 +347,11 @@ def render_metrics_table(metrics: FleetMetrics) -> str:
                 str(gm.rounds_completed),
                 str(gm.rounds_failed),
                 str(gm.alarms),
+                str(gm.alarms_suppressed),
                 str(gm.retries),
                 str(gm.escalations),
                 str(gm.confirmed_missing),
+                str(gm.replies_lost),
                 f"{slots.p50:.0f}",
                 f"{slots.p95:.0f}",
                 f"{air.p50 / 1000:.1f}",
@@ -297,9 +364,11 @@ def render_metrics_table(metrics: FleetMetrics) -> str:
             str(total.rounds_completed),
             str(total.rounds_failed),
             str(total.alarms),
+            str(total.alarms_suppressed),
             str(total.retries),
             str(total.escalations),
             str(total.confirmed_missing),
+            str(total.replies_lost),
             f"{total.slot_summary.p50:.0f}",
             f"{total.slot_summary.p95:.0f}",
             f"{total.air_summary.p50 / 1000:.1f}",

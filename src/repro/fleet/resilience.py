@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Tuple, TypeVar
+from typing import Callable, Optional, Tuple, TypeVar
 
 from ..rfid.channel import ChannelOutage
 from .rounds import RoundTimeout
@@ -95,20 +95,30 @@ class RetryExhausted(RuntimeError):
 
 
 def run_with_retry(
-    attempt: Callable[[int], R], policy: RetryPolicy
+    attempt: Callable[[int], R],
+    policy: RetryPolicy,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
 ) -> Tuple[R, int, float]:
     """Run ``attempt`` until it succeeds or the policy is exhausted.
 
     Args:
         attempt: callable receiving the 0-based attempt index.
         policy: the backoff schedule.
+        on_retry: observer invoked once per *absorbed* failure with
+            ``(attempt_index, error, charged_backoff_us)`` — the hook
+            the fleet uses to surface retries on the obs bus. Not
+            called for the final failure (that one raises). Observer
+            exceptions propagate: a broken observer is a bug, not a
+            transient.
 
     Returns:
         ``(result, attempts_used, total_backoff_us)``. The backoff
         total is *simulated* time for the caller's latency accounting.
 
     Raises:
-        RetryExhausted: when all attempts fail transiently.
+        RetryExhausted: when all attempts fail transiently. The final
+            transient failure is chained as ``__cause__`` and kept on
+            ``last_error``.
         Exception: non-transient errors propagate from the first
             attempt that raises one.
     """
@@ -119,7 +129,10 @@ def run_with_retry(
         except TRANSIENT_FAILURES as error:
             if index + 1 >= policy.max_attempts:
                 raise RetryExhausted(index + 1, error) from error
-            total_backoff += policy.backoff_us(index)
+            charged = policy.backoff_us(index)
+            total_backoff += charged
+            if on_retry is not None:
+                on_retry(index, error, charged)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -29,13 +29,21 @@ reader, so while group A's reader walks its frame, group B's can too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from ..core.verification import VerificationResult, compare_bitstrings
+from ..core.verification import (
+    VerificationResult,
+    compare_bitstrings,
+    salvage_partial_scan,
+)
 from ..rfid.channel import ChannelOutage
-from ..rfid.hashing import splitmix64_array, slots_for_tags
+from ..rfid.hashing import (
+    slots_for_tags_with_counters,
+    splitmix64_array,
+    slots_for_tags,
+)
 from ..rfid.timing import GEN2_TYPICAL, LinkTiming
 from ..simulation.batched import batched_theft_detected
 
@@ -113,7 +121,10 @@ class SimulatedRound:
         seed: the challenge seed ``r``.
         occupied_slots: occupied count in the observed bitstring.
         air_us: simulated air time of the scan.
-        lost_replies: replies dropped by the lossy channel this round.
+        lost_replies: replies dropped by the lossy channel this round
+            (benign ``miss_rate``, burst erasures and fades combined).
+        injected: fault names applied to this round (journal evidence).
+        seed_losses: tags that missed this round's seed broadcast.
     """
 
     result: VerificationResult
@@ -124,6 +135,8 @@ class SimulatedRound:
     occupied_slots: int
     air_us: float
     lost_replies: int
+    injected: Optional[List[str]] = None
+    seed_losses: int = 0
 
     @property
     def mismatches(self) -> int:
@@ -139,6 +152,11 @@ def run_simulated_round(
     miss_rate: float = 0.0,
     rng: Optional[np.random.Generator] = None,
     air_model: Optional[AirTimeModel] = None,
+    faults=None,
+    counter_lag: Optional[np.ndarray] = None,
+    mirror_lag: Optional[np.ndarray] = None,
+    salvage_partial: bool = False,
+    critical_missing: int = 1,
 ) -> SimulatedRound:
     """One occupancy round: prediction, scan, verdict.
 
@@ -155,6 +173,19 @@ def run_simulated_round(
         rng: required when ``miss_rate > 0``.
         air_model: optional air-time accounting (no sleeping here —
             the campaign owns pacing; this only fills ``air_us``).
+        faults: optional :class:`~repro.faults.inject.RoundFaults` to
+            apply — pre-drawn by the injector, so passing ``None`` (or
+            an empty one) leaves this function's rng consumption and
+            output bit-identical to the fault-free path.
+        counter_lag: per-tag count of seed broadcasts each *physical*
+            tag has missed so far — a lagging tag hashes with
+            ``counter - lag`` and lands in the wrong slot.
+        mirror_lag: per-tag lag the *server* has learned (via resync);
+            the prediction hashes with ``counter - mirror_lag``.
+        salvage_partial: verify a crash-truncated frame at its achieved
+            confidence instead of rejecting it as malformed.
+        critical_missing: theft size the salvaged confidence is quoted
+            at (``m + 1`` by the planning convention).
 
     Raises:
         ValueError: on shape mismatches or a missing rng.
@@ -166,23 +197,74 @@ def run_simulated_round(
     if miss_rate > 0.0 and rng is None:
         raise ValueError("a lossy round needs an rng")
 
-    slots = slots_for_tags(ids, seed, frame_size, counter=counter)
+    if mirror_lag is not None and np.any(mirror_lag):
+        mirror_counters = np.full(ids.shape, counter, dtype=np.int64) - mirror_lag
+        slots = slots_for_tags_with_counters(ids, seed, frame_size, mirror_counters)
+    else:
+        slots = slots_for_tags(ids, seed, frame_size, counter=counter)
     expected_counts = np.bincount(slots, minlength=frame_size)
     expected = (expected_counts > 0).astype(np.uint8)
 
-    present_slots = slots[mask]
+    # Physical reality: a lagging tag replies in the slot its *own*
+    # counter selects, not the one the mirror predicts.
+    if counter_lag is not None and np.any(counter_lag):
+        physical_counters = np.full(ids.shape, counter, dtype=np.int64) - counter_lag
+        physical_slots = slots_for_tags_with_counters(
+            ids, seed, frame_size, physical_counters
+        )
+    else:
+        physical_slots = slots
+    present_slots = physical_slots[mask]
     lost = 0
+    seed_losses = 0
+
+    # Tag-side faults, aligned to the present-tag axis: a tag that
+    # missed the seed broadcast never joins the frame; a faded tag is
+    # silent from its brown-out slot onward.
+    if faults is not None and not faults.empty:
+        silent = np.zeros(present_slots.size, dtype=bool)
+        if faults.seed_loss is not None:
+            deaf = faults.seed_loss[mask]
+            seed_losses = int(deaf.sum())
+            silent |= deaf
+        if faults.fade_after is not None:
+            faded = present_slots >= faults.fade_after[mask]
+            lost += int((faded & ~silent).sum())
+            silent |= faded
+        if silent.any():
+            present_slots = present_slots[~silent]
+
     if miss_rate > 0.0 and present_slots.size:
         kept = rng.random(present_slots.size) >= miss_rate
-        lost = int(present_slots.size - kept.sum())
+        lost += int(present_slots.size - kept.sum())
         present_slots = present_slots[kept]
+
+    # Medium-side burst erasure: every surviving reply in a masked slot
+    # is swallowed at once.
+    if faults is not None and faults.loss_mask is not None and present_slots.size:
+        survived = ~faults.loss_mask[present_slots]
+        lost += int(present_slots.size - survived.sum())
+        present_slots = present_slots[survived]
+
     observed_counts = np.bincount(present_slots, minlength=frame_size)
     observed = (observed_counts > 0).astype(np.uint8)
 
-    result = compare_bitstrings(expected, observed, frame_size)
+    polled = frame_size
+    if faults is not None and faults.crash_fraction is not None:
+        polled = faults.polled_slots(frame_size)
+        observed = observed[:polled]
+    if polled < frame_size:
+        if salvage_partial:
+            result = salvage_partial_scan(
+                expected, observed, frame_size, ids.size, critical_missing
+            )
+        else:
+            result = compare_bitstrings(expected, observed, frame_size)
+    else:
+        result = compare_bitstrings(expected, observed, frame_size)
     occupied = int(np.count_nonzero(observed))
     model = air_model if air_model is not None else AirTimeModel()
-    air_us = model.round_air_us(frame_size, occupied)
+    air_us = model.round_air_us(polled, occupied)
     return SimulatedRound(
         result=result,
         observed=observed,
@@ -192,6 +274,8 @@ def run_simulated_round(
         occupied_slots=occupied,
         air_us=air_us,
         lost_replies=lost,
+        injected=list(faults.injected) if faults is not None else None,
+        seed_losses=seed_losses,
     )
 
 

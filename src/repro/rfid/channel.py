@@ -68,7 +68,14 @@ class SlotObservation:
 
 @dataclass
 class ChannelStats:
-    """Air-interface counters accumulated over a session."""
+    """Air-interface counters accumulated over a session.
+
+    ``replies_lost`` counts tag bursts the channel swallowed (benign
+    ``miss_rate`` fading and burst-loss faults alike) and ``outages``
+    counts whole sessions dropped before the seed broadcast — both
+    failure axes are first-class stats so :meth:`merge` never loses
+    them when sessions are combined.
+    """
 
     seed_broadcasts: int = 0
     slots_polled: int = 0
@@ -77,6 +84,8 @@ class ChannelStats:
     collision_slots: int = 0
     reply_payload_bits: int = 0
     id_transmissions: int = 0
+    replies_lost: int = 0
+    outages: int = 0
 
     def merge(self, other: "ChannelStats") -> "ChannelStats":
         """Combine counters from two sessions (e.g. colluding readers)."""
@@ -88,6 +97,8 @@ class ChannelStats:
             collision_slots=self.collision_slots + other.collision_slots,
             reply_payload_bits=self.reply_payload_bits + other.reply_payload_bits,
             id_transmissions=self.id_transmissions + other.id_transmissions,
+            replies_lost=self.replies_lost + other.replies_lost,
+            outages=self.outages + other.outages,
         )
 
 
@@ -169,9 +180,9 @@ class SlottedChannel:
         if self._miss_rate > 0.0 and replies:
             # Fading/blocking: each burst is lost independently. The tag
             # transmitted regardless, so it stays silent afterwards.
-            replies = [
-                r for r in replies if self._rng.random() >= self._miss_rate
-            ]
+            kept = [r for r in replies if self._rng.random() >= self._miss_rate]
+            self.stats.replies_lost += len(replies) - len(kept)
+            replies = kept
         if ids_on_air:
             self.stats.id_transmissions += len(replies)
         if not replies:
@@ -223,7 +234,16 @@ class FlakyChannel(SlottedChannel):
             raise ValueError("an outage-prone channel needs an rng")
         super().__init__(tags, miss_rate=miss_rate, rng=rng)
         self._outage_rate = outage_rate
-        self.outages = 0
+
+    @property
+    def outages(self) -> int:
+        """Sessions dropped so far — an alias of ``stats.outages``.
+
+        Kept as an attribute-style accessor for callers that predate
+        outages living inside :class:`ChannelStats`; the stats object
+        is the source of truth so ``merge()`` carries outages along.
+        """
+        return self.stats.outages
 
     def broadcast_seed(self, frame_size: int, seed: int) -> None:
         """Deliver the ``(f, r)`` broadcast, or lose the whole session.
@@ -232,7 +252,7 @@ class FlakyChannel(SlottedChannel):
             ChannelOutage: with probability ``outage_rate`` per call.
         """
         if self._outage_rate > 0.0 and self._rng.random() < self._outage_rate:
-            self.outages += 1
+            self.stats.outages += 1
             raise ChannelOutage(
                 f"session lost before seed broadcast (outage #{self.outages})"
             )

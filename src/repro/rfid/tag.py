@@ -74,10 +74,16 @@ class Tag:
     _frame_size: int = field(default=0, repr=False)
     _seed: int = field(default=0, repr=False)
     _slot: int = field(default=-1, repr=False)
+    _faded: bool = field(default=False, repr=False)
 
     @property
     def state(self) -> TagState:
         return self._state
+
+    @property
+    def faded(self) -> bool:
+        """True while the tag's power has faded out of the field."""
+        return self._faded
 
     @property
     def chosen_slot(self) -> Optional[int]:
@@ -88,11 +94,25 @@ class Tag:
         """Start a new scan session (tag re-enters the reader field).
 
         Volatile state clears; the hardware counter does *not* reset.
+        A faded tag re-enters the field on the next power-up — power
+        fade is a property of the session, not of the silicon.
         """
         self._state = TagState.IDLE
         self._frame_size = 0
         self._seed = 0
         self._slot = -1
+        self._faded = False
+
+    def power_fade(self) -> None:
+        """The tag drops out of the reader's powered field mid-session.
+
+        A faded tag neither hears broadcasts nor replies for the rest
+        of the session — the fault-injection layer uses this to model a
+        tag at the edge of the field losing harvest power after slot
+        ``k``. Importantly a faded *counter* tag stops ticking ``ct``,
+        which is one of the ways a UTRP population desynchronises.
+        """
+        self._faded = True
 
     def receive_seed(self, frame_size: int, seed: int) -> None:
         """Handle a broadcast ``(f, r)`` pair (Alg. 2 line 1 / Alg. 7 lines 1, 6-8).
@@ -107,6 +127,8 @@ class Tag:
         """
         if frame_size <= 0:
             raise ValueError(f"frame_size must be positive, got {frame_size}")
+        if self._faded:
+            return
         if self.uses_counter:
             self.counter = (self.counter + 1) & MASK64
         if self._state is TagState.SILENT:
@@ -124,7 +146,7 @@ class Tag:
         otherwise ``None``. After replying the tag keeps silent for the
         rest of the session.
         """
-        if self._state is not TagState.SEEDED or slot != self._slot:
+        if self._faded or self._state is not TagState.SEEDED or slot != self._slot:
             return None
         self._state = TagState.SILENT
         return TagReply(tag_id=self.tag_id, bits=self._reply_bits())

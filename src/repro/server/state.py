@@ -6,6 +6,13 @@ losing the counter mirror bricks every UTRP tag until re-provisioning,
 and forgetting issued seeds reopens the replay hole. This module
 serialises that state to a plain JSON document (no pickle: the state
 file crosses trust boundaries in practice).
+
+Version 2 adds an optional ``resync`` block: when a counter-resync
+handshake (:func:`repro.core.utrp.run_counter_resync`) ends with
+unresolved or ambiguous tags, the partial outcome is part of the
+server's operational state — a restarted server must know recovery was
+mid-flight rather than re-alarm from scratch. Version 1 documents load
+unchanged (the block is simply absent).
 """
 
 from __future__ import annotations
@@ -18,14 +25,33 @@ import numpy as np
 from .database import TagDatabase
 from .seeds import SeedIssuer
 
-__all__ = ["export_state", "import_state", "save_state", "load_state"]
+__all__ = [
+    "export_state",
+    "import_state",
+    "import_resync",
+    "save_state",
+    "load_state",
+]
 
 _FORMAT = "repro-rfid-server-state"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def export_state(database: TagDatabase, issuer: Optional[SeedIssuer] = None) -> dict:
-    """Serialise a database (and optionally an issuer's history)."""
+def export_state(
+    database: TagDatabase,
+    issuer: Optional[SeedIssuer] = None,
+    resync=None,
+) -> dict:
+    """Serialise a database (and optionally issuer history + resync).
+
+    Args:
+        database: the ID/counter mirror.
+        issuer: include issued-seed history to preserve never-reuse
+            across restarts.
+        resync: an in-flight :class:`~repro.core.utrp.ResyncReport`
+            (or ``None``); persisted only when it left work behind.
+    """
     doc = {
         "format": _FORMAT,
         "version": _VERSION,
@@ -42,6 +68,17 @@ def export_state(database: TagDatabase, issuer: Optional[SeedIssuer] = None) -> 
     }
     if issuer is not None:
         doc["issued_seeds"] = sorted(int(s) for s in issuer._issued)
+    if resync is not None and not resync.complete:
+        doc["resync"] = {
+            "rounds_run": int(resync.rounds_run),
+            "frame_size": int(resync.frame_size),
+            "recovered": {
+                str(tag): int(offset)
+                for tag, offset in sorted(resync.recovered.items())
+            },
+            "unresolved": sorted(int(t) for t in resync.unresolved),
+            "ambiguous": sorted(int(t) for t in resync.ambiguous),
+        }
     return doc
 
 
@@ -57,7 +94,7 @@ def import_state(doc: dict) -> "tuple[TagDatabase, SeedIssuer]":
     """
     if doc.get("format") != _FORMAT:
         raise ValueError("not a repro server-state document")
-    if doc.get("version") != _VERSION:
+    if doc.get("version") not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported state version {doc.get('version')!r}")
     tags = doc.get("tags")
     if not isinstance(tags, list):
@@ -75,11 +112,43 @@ def import_state(doc: dict) -> "tuple[TagDatabase, SeedIssuer]":
     return database, issuer
 
 
+def import_resync(doc: dict):
+    """The persisted in-flight resync, or ``None``.
+
+    Returns a :class:`~repro.core.utrp.ResyncReport` carrying the
+    unresolved/ambiguous tag lists a restarted operator must chase.
+
+    Raises:
+        ValueError: on a malformed resync block.
+    """
+    block = doc.get("resync")
+    if block is None:
+        return None
+    from ..core.utrp import ResyncReport
+
+    try:
+        return ResyncReport(
+            rounds_run=int(block["rounds_run"]),
+            frame_size=int(block["frame_size"]),
+            recovered={
+                int(tag): int(offset)
+                for tag, offset in block.get("recovered", {}).items()
+            },
+            unresolved=[int(t) for t in block.get("unresolved", [])],
+            ambiguous=[int(t) for t in block.get("ambiguous", [])],
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"malformed resync block: {error}") from error
+
+
 def save_state(
-    path: str, database: TagDatabase, issuer: Optional[SeedIssuer] = None
+    path: str,
+    database: TagDatabase,
+    issuer: Optional[SeedIssuer] = None,
+    resync=None,
 ) -> None:
     """Write the state document to ``path`` atomically."""
-    doc = export_state(database, issuer)
+    doc = export_state(database, issuer, resync=resync)
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fh:
         json.dump(doc, fh, indent=1)
@@ -90,6 +159,9 @@ def save_state(
 
 def load_state(path: str) -> "tuple[TagDatabase, SeedIssuer]":
     """Read a state document back.
+
+    Use :func:`import_resync` on the raw document when the deployment
+    also tracks in-flight counter recovery.
 
     Raises:
         ValueError: on malformed content (via :func:`import_state`).

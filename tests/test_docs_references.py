@@ -22,6 +22,7 @@ DOC_FILES = [
     os.path.join("docs", "PROTOCOLS.md"),
     os.path.join("docs", "API.md"),
     os.path.join("docs", "PERFORMANCE.md"),
+    os.path.join("docs", "ROBUSTNESS.md"),
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")

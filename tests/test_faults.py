@@ -1,0 +1,450 @@
+"""Tests for repro.faults — models, plans, injector determinism — and
+the degradation primitives they drive (tag fade, channel stats,
+salvage, voting, retry chaining, state v2 resync persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.verification import (
+    AlarmConfirmation,
+    Verdict,
+    channel_false_alarm_probability,
+    salvage_partial_scan,
+    vote_detection_probability,
+    vote_false_alarm_probability,
+)
+from repro.faults import (
+    FAULT_DIMENSION,
+    BurstLossChannel,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    GilbertElliott,
+    RoundFaults,
+    example_plan,
+)
+from repro.fleet.resilience import RetryExhausted, RetryPolicy, run_with_retry
+from repro.rfid.channel import ChannelOutage, ChannelStats, FlakyChannel
+from repro.rfid.population import TagPopulation
+
+
+class TestGilbertElliott:
+    def test_closed_forms(self):
+        model = GilbertElliott(p_good_to_bad=0.02, p_bad_to_good=0.25)
+        pi = 0.02 / 0.27
+        assert model.stationary_bad == pytest.approx(pi)
+        assert model.marginal_loss == pytest.approx(pi)  # loss_bad = 1
+        assert model.mean_burst_length == pytest.approx(4.0)
+
+    def test_from_burst_round_trips(self):
+        model = GilbertElliott.from_burst(0.01, 8.0)
+        assert model.marginal_loss == pytest.approx(0.01)
+        assert model.mean_burst_length == pytest.approx(8.0)
+
+    def test_from_burst_rejects_unreachable_marginal(self):
+        with pytest.raises(ValueError):
+            GilbertElliott.from_burst(0.6, 4.0, loss_bad=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliott.from_burst(0.01, 0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.0, p_bad_to_good=0.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.5, p_bad_to_good=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(0.1, 0.1, loss_bad=1.2)
+
+    def test_state_sequence_deterministic_and_sized(self):
+        model = GilbertElliott.from_burst(0.05, 8.0)
+        a = model.state_sequence(500, np.random.default_rng(3))
+        b = model.state_sequence(500, np.random.default_rng(3))
+        assert a.shape == (500,)
+        assert np.array_equal(a, b)
+
+    def test_loss_mask_hits_the_marginal(self):
+        model = GilbertElliott.from_burst(0.05, 8.0)
+        rng = np.random.default_rng(0)
+        mask = model.loss_mask(200_000, rng)
+        assert mask.mean() == pytest.approx(0.05, abs=0.01)
+
+    def test_bursts_are_longer_than_iid_at_same_marginal(self):
+        rng = np.random.default_rng(1)
+        bursty = GilbertElliott.from_burst(0.05, 16.0).state_sequence(
+            100_000, rng
+        )
+        runs = np.diff(np.flatnonzero(np.diff(bursty.astype(int))))
+        # Mean BAD sojourn should be far above the i.i.d. value of ~1.
+        bad_runs = runs[::2] if bursty[0] else runs[1::2]
+        assert bad_runs.mean() > 4.0
+
+
+class TestBurstLossChannel:
+    def _scan(self, channel, frame_size, seed=42):
+        channel.power_cycle()
+        channel.broadcast_seed(frame_size, seed)
+        for slot in range(frame_size):
+            channel.poll_slot(slot)
+
+    def test_erasures_charge_replies_lost(self):
+        tags = TagPopulation.create(200, rng=np.random.default_rng(5))
+        model = GilbertElliott.from_burst(0.3, 8.0)
+        channel = BurstLossChannel(
+            tags.tags, model, np.random.default_rng(7)
+        )
+        self._scan(channel, 128)
+        assert channel.stats.replies_lost > 0
+        heard = (
+            channel.stats.singleton_slots + channel.stats.collision_slots
+        )
+        assert heard < 128  # something was actually erased
+
+    def test_seed_loss_freezes_the_counter(self):
+        tags = TagPopulation.create(
+            50, uses_counter=True, rng=np.random.default_rng(5)
+        )
+        before = [tag.counter for tag in tags.tags]
+        model = GilbertElliott.from_burst(0.01, 2.0)
+        channel = BurstLossChannel(
+            tags.tags, model, np.random.default_rng(11), seed_loss_rate=0.3
+        )
+        channel.power_cycle()
+        channel.broadcast_seed(64, 9)
+        assert channel.seed_losses > 0
+        ticked = sum(
+            tag.counter == b + 1 for tag, b in zip(tags.tags, before)
+        )
+        assert ticked == 50 - channel.seed_losses
+
+    def test_replay_is_bit_identical(self):
+        def run():
+            tags = TagPopulation.create(80, rng=np.random.default_rng(5))
+            model = GilbertElliott.from_burst(0.2, 4.0)
+            channel = BurstLossChannel(
+                tags.tags, model, np.random.default_rng(13)
+            )
+            self._scan(channel, 64)
+            return channel.stats
+
+        assert run() == run()
+
+
+class TestTagFade:
+    def test_faded_tag_is_deaf_and_counter_frozen(self):
+        tags = TagPopulation.create(
+            1, uses_counter=True, rng=np.random.default_rng(5)
+        )
+        tag = tags.tags[0]
+        before = tag.counter
+        tag.power_fade()
+        assert tag.faded
+        tag.receive_seed(32, 1)
+        assert tag.counter == before
+        assert tag.poll(tag.chosen_slot or 0) is None
+
+    def test_power_cycle_clears_the_fade(self):
+        tags = TagPopulation.create(1, rng=np.random.default_rng(5))
+        tag = tags.tags[0]
+        tag.power_fade()
+        tag.power_cycle()
+        assert not tag.faded
+
+
+class TestChannelStats:
+    def test_merge_carries_the_failure_axes(self):
+        a = ChannelStats(replies_lost=3, outages=1, slots_polled=10)
+        b = ChannelStats(replies_lost=4, outages=2, slots_polled=5)
+        merged = a.merge(b)
+        assert merged.replies_lost == 7
+        assert merged.outages == 3
+        assert merged.slots_polled == 15
+
+    def test_flaky_channel_outages_live_in_stats(self):
+        tags = TagPopulation.create(5, rng=np.random.default_rng(5))
+        channel = FlakyChannel(
+            tags.tags, outage_rate=1.0, rng=np.random.default_rng(1)
+        )
+        with pytest.raises(ChannelOutage):
+            channel.broadcast_seed(16, 1)
+        assert channel.outages == 1
+        assert channel.stats.outages == 1
+
+    def test_outage_leaves_tags_clean_for_the_retry(self):
+        """An aborted session must not leak state into the next one."""
+        tags = TagPopulation.create(
+            10, uses_counter=True, rng=np.random.default_rng(5)
+        )
+        counters = [tag.counter for tag in tags.tags]
+        channel = FlakyChannel(
+            tags.tags, outage_rate=1.0, rng=np.random.default_rng(1)
+        )
+        channel.power_cycle()
+        with pytest.raises(ChannelOutage):
+            channel.broadcast_seed(16, 1)
+        for tag, before in zip(tags.tags, counters):
+            assert tag.counter == before  # outage precedes the downlink
+            assert tag.chosen_slot is None
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("gamma-rays", intensity=0.1)
+        with pytest.raises(ValueError):
+            FaultSpec("burst-loss")  # needs a positive intensity
+        with pytest.raises(ValueError):
+            FaultSpec("burst-loss", intensity=0.1, probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("burst-loss", intensity=0.1, at_tick=-1)
+        FaultSpec("outage")  # outage needs no intensity
+
+    def test_scoping(self):
+        spec = FaultSpec(
+            "seed-loss", intensity=0.1, groups=["a"], at_tick=3
+        )
+        assert spec.applies_to("a", 3)
+        assert not spec.applies_to("b", 3)
+        assert not spec.applies_to("a", 2)
+        everywhere = FaultSpec("outage")
+        assert everywhere.applies_to("anything", 99)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultSpec.from_dict({"fault": "outage", "intensty": 0.5})
+        with pytest.raises(ValueError, match="'fault'"):
+            FaultSpec.from_dict({"intensity": 0.5})
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self, tmp_path):
+        plan = example_plan()
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        loaded = FaultPlan.load(str(path))
+        assert loaded.name == plan.name
+        assert loaded.specs == plan.specs
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(
+                json.dumps({"format": "repro-fault-plan", "version": 9})
+            )
+
+    def test_specs_for_preserves_plan_order(self):
+        plan = example_plan()
+        in_scope = plan.specs_for("group-00", 3)
+        kinds = [s.fault for s in in_scope]
+        assert kinds == ["burst-loss", "reader-crash"]
+
+
+class TestFaultInjector:
+    def test_same_coordinates_same_faults(self):
+        injector = FaultInjector(example_plan(), master_seed=99)
+        a = injector.faults_for("g", 0, 3, 0, frame_size=256, population=100)
+        b = injector.faults_for("g", 0, 3, 0, frame_size=256, population=100)
+        assert a.injected == b.injected
+        assert np.array_equal(a.loss_mask, b.loss_mask) or (
+            a.loss_mask is None and b.loss_mask is None
+        )
+        assert a.crash_fraction == b.crash_fraction
+
+    def test_attempt_bump_rerolls(self):
+        plan = FaultPlan(
+            specs=[FaultSpec("burst-loss", intensity=0.2, burst_length=4.0)]
+        )
+        injector = FaultInjector(plan, master_seed=99)
+        a = injector.faults_for("g", 0, 0, 0, frame_size=512, population=10)
+        b = injector.faults_for("g", 0, 0, 1, frame_size=512, population=10)
+        assert not np.array_equal(a.loss_mask, b.loss_mask)
+
+    def test_out_of_scope_rounds_are_fault_free(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("outage", at_tick=5)]), master_seed=1
+        )
+        faults = injector.faults_for("g", 0, 4, 0, frame_size=8, population=1)
+        assert faults.empty
+        assert not faults.outage
+
+    def test_fault_dimension_is_disjoint_from_the_fleet(self):
+        assert FAULT_DIMENSION != 99
+
+    def test_crash_polled_slots_bounds(self):
+        faults = RoundFaults(injected=["reader-crash"], crash_fraction=0.0)
+        assert faults.polled_slots(100) == 1  # never zero slots
+        faults.crash_fraction = 1.0
+        assert faults.polled_slots(100) == 100
+        assert RoundFaults().polled_slots(64) == 64
+
+    def test_appending_a_spec_keeps_earlier_draws(self):
+        base = FaultPlan(
+            specs=[FaultSpec("burst-loss", intensity=0.2, burst_length=4.0)]
+        )
+        extended = FaultPlan(
+            specs=base.specs
+            + [FaultSpec("tag-fade", intensity=0.5)]
+        )
+        a = FaultInjector(base, 7).faults_for("g", 0, 0, 0, 256, 50)
+        b = FaultInjector(extended, 7).faults_for("g", 0, 0, 0, 256, 50)
+        assert np.array_equal(a.loss_mask, b.loss_mask)
+        assert b.fade_after is not None
+
+
+class TestSalvage:
+    def test_partial_prefix_verifies_at_reduced_confidence(self):
+        frame = 64
+        expected = np.zeros(frame, dtype=np.uint8)
+        expected[[3, 10, 40]] = 1
+        observed = expected[:32].copy()
+        result = salvage_partial_scan(expected, observed, frame, 100, 5)
+        assert result.verdict is Verdict.INTACT
+        assert result.salvaged
+        assert result.polled_slots == 32
+        assert 0.0 < result.achieved_confidence < 1.0
+
+    def test_mismatch_in_the_prefix_still_alarms(self):
+        frame = 64
+        expected = np.zeros(frame, dtype=np.uint8)
+        expected[5] = 1
+        observed = np.zeros(16, dtype=np.uint8)
+        result = salvage_partial_scan(expected, observed, frame, 100, 5)
+        assert result.verdict is Verdict.NOT_INTACT
+        assert result.mismatched_slots == [5]
+
+    def test_prefix_longer_than_frame_rejected(self):
+        with pytest.raises(ValueError):
+            salvage_partial_scan(
+                np.zeros(8, dtype=np.uint8),
+                np.zeros(9, dtype=np.uint8),
+                8,
+                10,
+                1,
+            )
+
+
+class TestVotingMath:
+    def test_vote_probability_is_the_binomial_tail(self):
+        q = 0.12
+        assert vote_false_alarm_probability(q, 3, 4) == pytest.approx(
+            float(sps.binom.sf(2, 4, q))
+        )
+        assert vote_detection_probability(0.97, 3, 4) == pytest.approx(
+            float(sps.binom.sf(2, 4, 0.97))
+        )
+
+    def test_vote_suppresses_fa_but_keeps_detection(self):
+        fa = vote_false_alarm_probability(0.1, 3, 4)
+        det = vote_detection_probability(0.97, 3, 4)
+        assert fa < 0.1 / 10  # >= 10x suppression at this point
+        assert det > 0.95
+
+    def test_channel_false_alarm_edges(self):
+        assert channel_false_alarm_probability(0, 100, 0.5) == 0.0
+        assert channel_false_alarm_probability(100, 100, 0.0) == 0.0
+        mid = channel_false_alarm_probability(1000, 694, 0.002)
+        assert 0.0 < mid < 1.0
+        with pytest.raises(ValueError):
+            channel_false_alarm_probability(10, 0, 0.1)
+        with pytest.raises(ValueError):
+            vote_false_alarm_probability(0.5, 0, 3)
+        with pytest.raises(ValueError):
+            vote_false_alarm_probability(0.5, 4, 3)
+
+    def test_confirmation_pages_on_quorum_and_rearms(self):
+        vote = AlarmConfirmation(quorum=2, window=3)
+        assert vote.observe(True) is False  # 1 of 3
+        assert vote.suppressed == 1
+        assert vote.observe(True) is True  # quorum met -> page once
+        assert vote.observe(True) is False  # still confirmed, no re-page
+        vote.observe(False)
+        vote.observe(False)
+        vote.observe(False)  # window cleared -> re-armed
+        vote.observe(True)
+        assert vote.observe(True) is True  # distinct incident re-pages
+
+
+class TestRetryChaining:
+    def test_exhaustion_chains_the_last_error(self):
+        def always_fails(index):
+            raise ChannelOutage(f"attempt {index}")
+
+        with pytest.raises(RetryExhausted) as info:
+            run_with_retry(always_fails, RetryPolicy(max_attempts=3))
+        exc = info.value
+        assert exc.attempts == 3
+        assert exc.__cause__ is exc.last_error
+        assert "attempt 2" in str(exc.last_error)
+
+    def test_on_retry_sees_each_absorbed_failure(self):
+        seen = []
+
+        def flaky(index):
+            if index < 2:
+                raise ChannelOutage(f"attempt {index}")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_backoff_us=100.0)
+        result, attempts, backoff = run_with_retry(
+            flaky, policy, on_retry=lambda i, e, b: seen.append((i, b))
+        )
+        assert result == "ok"
+        assert attempts == 3
+        assert seen == [(0, 100.0), (1, 200.0)]
+        assert backoff == 300.0
+
+
+class TestStateV2Resync:
+    def test_resync_block_round_trips(self, tmp_path):
+        from repro.core.utrp import ResyncReport
+        from repro.server.state import (
+            export_state,
+            import_resync,
+            import_state,
+        )
+        from repro.server.database import TagDatabase
+
+        database = TagDatabase()
+        database.register_set([1, 2, 3])
+        report = ResyncReport(
+            rounds_run=2,
+            frame_size=64,
+            recovered={1: 2},
+            unresolved=[3],
+            ambiguous=[2],
+        )
+        doc = export_state(database, resync=report)
+        assert doc["version"] == 2
+        loaded = import_resync(doc)
+        assert loaded.recovered == {1: 2}
+        assert loaded.unresolved == [3]
+        assert loaded.ambiguous == [2]
+        # The main state import still works on the same document.
+        restored, _ = import_state(doc)
+        assert sorted(restored.ids) == [1, 2, 3]
+
+    def test_complete_resync_is_not_persisted(self):
+        from repro.core.utrp import ResyncReport
+        from repro.server.state import export_state
+        from repro.server.database import TagDatabase
+
+        done = ResyncReport(rounds_run=1, frame_size=8, recovered={5: 1})
+        database = TagDatabase()
+        database.register_set([5])
+        doc = export_state(database, resync=done)
+        assert "resync" not in doc
+
+    def test_version_1_documents_still_import(self):
+        from repro.server.state import export_state, import_state
+        from repro.server.database import TagDatabase
+
+        database = TagDatabase()
+        database.register_set([7, 8])
+        doc = export_state(database)
+        doc["version"] = 1
+        doc.pop("resync", None)
+        restored, issuer = import_state(doc)
+        assert sorted(restored.ids) == [7, 8]

@@ -1,0 +1,326 @@
+"""Campaign-level fault-injection tests: determinism under faults,
+degraded groups instead of aborts, salvage/vote/resync end to end, and
+the CLI chaos gate."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan, FaultSpec, example_plan
+from repro.fleet import (
+    CampaignConfig,
+    FleetRegistry,
+    FleetScenario,
+    GroupSpec,
+    TheftEvent,
+    default_scenario,
+    run_campaign,
+)
+from repro.obs import ObsContext
+from repro.obs.exporters import trace_digest
+
+
+def _one_group_scenario(**spec_kwargs):
+    kwargs = dict(name="zone", population=400, tolerance=5)
+    kwargs.update(spec_kwargs)
+    return FleetScenario(registry=FleetRegistry([GroupSpec(**kwargs)]))
+
+
+def _chaos_config(**overrides):
+    kwargs = dict(
+        ticks=6,
+        master_seed=17,
+        fault_plan=example_plan(),
+        vote_quorum=2,
+        vote_window=3,
+        salvage_partial=True,
+        auto_resync=True,
+    )
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+class TestConfigValidation:
+    def test_vote_params_must_come_together(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(vote_quorum=2)
+        with pytest.raises(ValueError):
+            CampaignConfig(vote_window=3)
+        with pytest.raises(ValueError):
+            CampaignConfig(vote_quorum=4, vote_window=3)
+        CampaignConfig(vote_quorum=3, vote_window=3)
+
+
+class TestFaultedDeterminism:
+    def test_jobs_do_not_change_the_faulted_journal(self):
+        scenario = default_scenario(groups=5)
+        serial = run_campaign(scenario, _chaos_config(jobs=1))
+        threaded = run_campaign(scenario, _chaos_config(jobs=4))
+        assert serial.journal.records == threaded.journal.records
+        assert serial.journal.digest() == threaded.journal.digest()
+        assert serial.journal.faulted()  # the plan actually fired
+
+    def test_jobs_do_not_change_the_faulted_trace(self):
+        scenario = default_scenario(groups=4)
+        digests = []
+        for jobs in (1, 3):
+            obs = ObsContext()
+            run_campaign(scenario, _chaos_config(jobs=jobs), obs=obs)
+            digests.append(trace_digest(obs.bus.events()))
+        assert digests[0] == digests[1]
+
+    def test_out_of_scope_plan_leaves_the_campaign_untouched(self):
+        """An attached-but-dormant injector must not perturb anything."""
+        scenario = default_scenario(groups=4)
+        bare = run_campaign(
+            scenario, CampaignConfig(ticks=4, master_seed=23)
+        )
+        dormant_plan = FaultPlan(
+            specs=[FaultSpec("outage", at_tick=10_000)]
+        )
+        dormant = run_campaign(
+            scenario,
+            CampaignConfig(
+                ticks=4, master_seed=23, fault_plan=dormant_plan
+            ),
+        )
+        assert bare.journal.digest() == dormant.journal.digest()
+
+    def test_fault_events_replay_on_the_obs_bus(self):
+        obs = ObsContext()
+        result = run_campaign(
+            default_scenario(groups=4), _chaos_config(), obs=obs
+        )
+        kinds = {e.name for e in obs.bus.events()}
+        assert "fleet.fault" in kinds
+        assert "fleet.retry" in kinds
+        faults_in_journal = len(result.journal.faulted())
+        fault_events = [
+            e for e in obs.bus.events() if e.name == "fleet.fault"
+        ]
+        assert len(fault_events) == faults_in_journal
+
+
+class TestDegradedGroups:
+    def test_exhausted_retries_degrade_instead_of_aborting(self):
+        """Composed failure axes: outages + reply loss + a real fleet."""
+        scenario = FleetScenario(
+            registry=FleetRegistry(
+                [
+                    GroupSpec(
+                        name="doomed",
+                        population=300,
+                        tolerance=5,
+                        outage_rate=0.97,
+                        miss_rate=0.01,
+                    ),
+                    GroupSpec(name="fine", population=300, tolerance=5),
+                ]
+            )
+        )
+        result = run_campaign(
+            scenario, CampaignConfig(ticks=5, master_seed=2)
+        )
+        doomed = result.journal.for_group("doomed")
+        failed = [r for r in doomed if r.verdict == "failed"]
+        assert failed, "expected retry exhaustion under 97% outage rate"
+        # The group is marked degraded on the transition, exactly once
+        # per unbroken failure streak, and the campaign kept running.
+        assert failed[0].degraded
+        assert failed[0].failure is not None
+        assert failed[0].retry_errors
+        fine = result.journal.for_group("fine")
+        assert len(fine) == 5
+        assert all(r.verdict == "intact" for r in fine)
+
+    def test_degraded_clears_on_recovery(self):
+        plan = FaultPlan(
+            specs=[
+                FaultSpec("outage", at_tick=1),
+                FaultSpec("outage", at_tick=2),
+            ]
+        )
+        scenario = _one_group_scenario()
+        result = run_campaign(
+            scenario,
+            CampaignConfig(
+                ticks=5, master_seed=3, fault_plan=plan
+            ),
+        )
+        records = result.journal.for_group("zone")
+        verdicts = [r.verdict for r in records]
+        assert verdicts.count("failed") == 2
+        # Only the first failure of the streak flags the transition.
+        flagged = [r.tick for r in records if r.degraded]
+        assert flagged == [1]
+        assert records[-1].verdict == "intact"
+
+
+class TestGracefulDegradation:
+    def test_salvage_and_suppression_reach_the_journal(self):
+        result = run_campaign(
+            default_scenario(groups=4), _chaos_config(ticks=8)
+        )
+        salvaged = result.journal.salvages()
+        assert salvaged
+        for record in salvaged:
+            assert 0 < record.polled_slots < record.frame_size
+            assert record.achieved_confidence is not None
+            assert 0.0 < record.achieved_confidence < 1.0
+        assert result.journal.suppressed()
+        totals = result.metrics.totals()
+        assert totals.rounds_salvaged == len(salvaged)
+        assert totals.alarms_suppressed == len(
+            result.journal.suppressed()
+        )
+        assert totals.faults_injected >= len(result.journal.faulted())
+        assert totals.replies_lost > 0
+
+    def test_vote_suppresses_pages_but_keeps_sustained_theft(self):
+        scenario = _one_group_scenario(tolerant_alarms=True)
+        scenario.events.append(TheftEvent(group="zone", tick=1, count=40))
+        voted = run_campaign(
+            scenario,
+            CampaignConfig(
+                ticks=5, master_seed=5, vote_quorum=2, vote_window=3
+            ),
+        )
+        records = voted.journal.for_group("zone")
+        # Sustained theft: raw alarms every round from tick 1; the vote
+        # pages on the quorum round, not the first.
+        assert not records[0].alarmed
+        assert records[1].vote_suppressed
+        assert any(r.alarmed for r in records)
+
+    def test_seed_loss_desync_is_resynced_and_alarm_withdrawn(self):
+        """A desync-only alarm should be explained away, not paged."""
+        plan = FaultPlan(
+            specs=[FaultSpec("seed-loss", intensity=0.15, at_tick=1)]
+        )
+        scenario = _one_group_scenario(trusted_reader=False)
+        result = run_campaign(
+            scenario,
+            CampaignConfig(
+                ticks=5,
+                master_seed=7,
+                fault_plan=plan,
+                auto_resync=True,
+            ),
+        )
+        records = result.journal.for_group("zone")
+        struck = records[1]
+        assert struck.seed is not None
+        resynced = [r for r in records if r.resync_recovered > 0]
+        assert resynced, "expected the handshake to recover offsets"
+        for r in resynced:
+            assert r.resync_unresolved == 0
+            assert not r.alarmed  # fully explained -> page withdrawn
+        # Once the mirror learned the lag, later rounds verify clean.
+        assert records[-1].verdict == "intact"
+        assert not records[-1].alarmed
+
+    def test_real_theft_survives_the_resync(self):
+        """Resync must never absorb genuinely missing tags."""
+        scenario = _one_group_scenario(trusted_reader=False)
+        scenario.events.append(TheftEvent(group="zone", tick=1, count=30))
+        result = run_campaign(
+            scenario,
+            CampaignConfig(ticks=3, master_seed=9, auto_resync=True),
+        )
+        alarming = [
+            r for r in result.journal.for_group("zone") if r.alarmed
+        ]
+        assert alarming
+        for record in alarming:
+            assert record.resync_unresolved > 0
+
+
+class TestChaosExperiment:
+    def _config(self, **overrides):
+        from repro.experiments.chaos import ChaosConfig
+
+        kwargs = dict(
+            population=200,
+            tolerance=5,
+            theft_size=12,
+            trials=80,
+            burst_lengths=(1.0, 8.0),
+        )
+        kwargs.update(overrides)
+        return ChaosConfig(**kwargs)
+
+    def test_sweep_structure_and_determinism(self):
+        from repro.experiments.chaos import format_chaos_result, run_chaos
+
+        a = run_chaos(self._config())
+        b = run_chaos(self._config())
+        assert [p.__dict__ for p in a.points] == [
+            p.__dict__ for p in b.points
+        ]
+        assert len(a.points) == 2
+        for point in a.points:
+            assert 0.0 <= point.per_round_fa <= 1.0
+            assert point.voted_fa_binomial <= point.per_round_fa + 1e-12
+            assert point.voted_detection >= point.per_round_detection - 0.2
+        table = format_chaos_result(a)
+        assert "burst" in table and "det voted" in table
+
+    def test_config_validation(self):
+        from repro.experiments.chaos import ChaosConfig
+
+        with pytest.raises(ValueError):
+            ChaosConfig(marginal_loss=0.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(vote_quorum=5, vote_window=4)
+        with pytest.raises(ValueError):
+            ChaosConfig(theft_size=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(trials=2, vote_window=4)
+
+
+class TestChaosCli:
+    def test_verdict_sequence_matches_the_checked_in_baseline(
+        self, tmp_path, capsys
+    ):
+        """The CI chaos gate, runnable locally: default seed, bundled
+        plan, byte-for-byte verdict sequence."""
+        import os
+
+        out = tmp_path / "verdicts.txt"
+        assert main(["chaos", "--verdicts-out", str(out)]) == 0
+        capsys.readouterr()
+        baseline = os.path.join(
+            os.path.dirname(__file__), "baselines", "chaos_verdicts.txt"
+        )
+        assert out.read_bytes() == open(baseline, "rb").read()
+
+    def test_fleet_accepts_a_fault_plan_file(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        example_plan().save(str(path))
+        code = main(
+            [
+                "fleet",
+                "--groups",
+                "2",
+                "--rounds",
+                "3",
+                "--seed",
+                "5",
+                "--time-scale",
+                "0",
+                "--fault-plan",
+                str(path),
+                "--vote",
+                "2",
+                "3",
+                "--salvage",
+                "--resync",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "fault injection:" in printed
+
+    def test_chaos_sweep_smoke(self, capsys):
+        assert main(["chaos", "--sweep", "--trials", "24"]) == 0
+        printed = capsys.readouterr().out
+        assert "burstiness" in printed
