@@ -12,6 +12,8 @@ Usage::
     python -m repro chaos           # fault-injection campaign, defences on
     python -m repro chaos --sweep   # false-alarm rate vs burstiness
     python -m repro bench --quick   # obs perf record -> BENCH_obs.json
+    python -m repro serve --port 7780 --groups 4        # monitoring service
+    python -m repro loadgen --groups 8 --rounds 3       # load it, BENCH_serve.json
 
 Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
 ``--trials K`` to override the Monte Carlo sample size, and ``--jobs N``
@@ -273,6 +275,115 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=None, help="master seed")
 
+    serve = sub.add_parser(
+        "serve",
+        help="host the monitoring service for remote readers",
+        description=(
+            "Start the asyncio monitoring service (repro.serve/v1): one "
+            "MonitoringServer per group behind a single listener, timer "
+            "enforcement, backpressure, per-session degradation. Groups "
+            "are seeded deterministically so clients can rebuild the "
+            "matching populations from the same --seed."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7780, metavar="P",
+        help="listen port (0 = ephemeral; default 7780)",
+    )
+    serve.add_argument(
+        "--groups", type=int, default=4, metavar="G",
+        help="tag groups to host, named group-000.. (default 4)",
+    )
+    serve.add_argument(
+        "--population", type=int, default=100, metavar="N",
+        help="tags per group (default 100)",
+    )
+    serve.add_argument(
+        "--tolerance", type=int, default=2, metavar="M",
+        help="missing-tag tolerance per group (default 2)",
+    )
+    serve.add_argument(
+        "--alpha", type=float, default=0.9, help="detection confidence"
+    )
+    serve.add_argument("--seed", type=int, default=None, help="master seed")
+    serve.add_argument(
+        "--rounds-limit", type=int, default=None, metavar="K",
+        help="exit after K verdicts service-wide (default: run until "
+        "interrupted; the CI smoke step uses this)",
+    )
+    serve.add_argument(
+        "--timer-scale", type=float, default=0.0, metavar="US_PER_S",
+        help="enforce the UTRP timer as a wall-clock deadline at this "
+        "many simulated us per wall second (0 = trust reported air "
+        "time; default 0)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive reader sessions at the service; write BENCH_serve.json",
+        description=(
+            "Open-loop load generation: sessions of scripted reader "
+            "rounds against a monitoring service (self-hosted on "
+            "loopback unless --connect-host is given), reporting "
+            "throughput, latency percentiles and error counts as a "
+            "repro.obs.bench/v1 perf record."
+        ),
+    )
+    loadgen.add_argument(
+        "--connect-host", default=None, metavar="HOST",
+        help="aim at an already-running service (default: self-host)",
+    )
+    loadgen.add_argument(
+        "--connect-port", type=int, default=7780, metavar="P",
+        help="port of the running service (with --connect-host)",
+    )
+    loadgen.add_argument(
+        "--groups", type=int, default=8, metavar="G",
+        help="groups to load (default 8)",
+    )
+    loadgen.add_argument(
+        "--rounds", type=int, default=3, metavar="T",
+        help="rounds per session (default 3)",
+    )
+    loadgen.add_argument(
+        "--sessions", type=int, default=None, metavar="S",
+        help="total sessions (default: one per group)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=8, metavar="C",
+        help="sessions in flight at once (default 8)",
+    )
+    loadgen.add_argument(
+        "--arrival-rate", type=float, default=0.0, metavar="RPS",
+        help="session arrivals per second (0 = all at once)",
+    )
+    loadgen.add_argument(
+        "--population", type=int, default=100, metavar="N",
+        help="tags per group (default 100)",
+    )
+    loadgen.add_argument(
+        "--tolerance", type=int, default=2, metavar="M",
+        help="missing-tag tolerance per group (default 2)",
+    )
+    loadgen.add_argument(
+        "--alpha", type=float, default=0.9, help="detection confidence"
+    )
+    loadgen.add_argument(
+        "--protocol", choices=("trp", "utrp"), default="trp",
+        help="round protocol (utrp pins one session per group)",
+    )
+    loadgen.add_argument("--seed", type=int, default=None, help="master seed")
+    loadgen.add_argument(
+        "--group-prefix", default=None, metavar="PFX",
+        help="group naming: PFX-000.. (default: 'group' when connecting "
+        "to a running service, 'load' when self-hosting)",
+    )
+    loadgen.add_argument(
+        "--out", default="BENCH_serve.json", metavar="PATH",
+        help="where to write the perf record (default BENCH_serve.json)",
+    )
+
     sub.add_parser("list", help="list every reproducible experiment")
     return parser
 
@@ -508,6 +619,95 @@ def _run_bench(args: argparse.Namespace) -> str:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from .experiments.grid import DEFAULT_SEED
+    from .serve import MonitoringService, SessionConfig
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    session_config = SessionConfig(wall_us_per_s=args.timer_scale)
+
+    async def _serve() -> str:
+        service = MonitoringService(session_config=session_config)
+        for i in range(args.groups):
+            service.create_group(
+                f"group-{i:03d}",
+                args.population,
+                args.tolerance,
+                args.alpha,
+                seed=seed + i,
+                counter_tags=True,
+            )
+        await service.start(host=args.host, port=args.port)
+        print(
+            f"serving {args.groups} group(s) on {args.host}:{service.port} "
+            f"(seed {seed}; group-000..group-{args.groups - 1:03d})",
+            flush=True,
+        )
+
+        def _verdicts() -> int:
+            return sum(
+                len(g.reports) + g.timeouts
+                for g in service.groups.values()
+            )
+
+        try:
+            while args.rounds_limit is None or _verdicts() < args.rounds_limit:
+                await asyncio.sleep(0.05)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.close()
+        return (
+            f"served {_verdicts()} verdict(s) across "
+            f"{service.sessions_served} session(s); "
+            f"{service.sessions_refused} refused"
+        )
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return "interrupted"
+
+
+def _run_loadgen(args: argparse.Namespace) -> str:
+    from .experiments.grid import DEFAULT_SEED
+    from .obs.bench import write_bench_record
+    from .serve import LoadgenConfig, format_loadgen_result, run_loadgen
+
+    config = LoadgenConfig(
+        groups=args.groups,
+        rounds=args.rounds,
+        sessions=args.sessions,
+        concurrency=args.concurrency,
+        arrival_rate=args.arrival_rate,
+        population=args.population,
+        tolerance=args.tolerance,
+        confidence=args.alpha,
+        protocol=args.protocol,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        group_prefix=(
+            args.group_prefix
+            if args.group_prefix is not None
+            else ("group" if args.connect_host is not None else "load")
+        ),
+        # `python -m repro serve` hosts counter-tag groups, so remote
+        # campaigns must field counter-tag populations to match.
+        counter_tags=True if args.connect_host is not None else None,
+    )
+    result = run_loadgen(
+        config,
+        host=args.connect_host,
+        port=args.connect_port if args.connect_host is not None else None,
+    )
+    write_bench_record(result.record, args.out)
+    return (
+        format_loadgen_result(result)
+        + f"\nperf record written to {args.out}"
+    )
+
+
 def _run_list() -> str:
     from .experiments.manifest import EXPERIMENTS
 
@@ -537,6 +737,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench":
         print(_run_bench(args))
+        return 0
+    if args.command == "serve":
+        print(_run_serve(args))
+        return 0
+    if args.command == "loadgen":
+        print(_run_loadgen(args))
         return 0
 
     grid = _grid(args)

@@ -24,7 +24,12 @@ from .utrp_analysis import (
 from .plancache import PlanCache, configure_default_cache, default_cache
 from .verification import Verdict, VerificationResult, compare_bitstrings
 from .trp import TrpRoundReport, run_trp_round
-from .utrp import UtrpRoundReport, estimate_scan_time_bounds, run_utrp_round
+from .utrp import (
+    UtrpRoundReport,
+    default_timer,
+    estimate_scan_time_bounds,
+    run_utrp_round,
+)
 from .estimation import (
     StrictAlarmPolicy,
     ThresholdAlarmPolicy,
@@ -71,6 +76,7 @@ __all__ = [
     "UtrpRoundReport",
     "estimate_scan_time_bounds",
     "run_utrp_round",
+    "default_timer",
     "Alert",
     "MonitoringServer",
     "StrictAlarmPolicy",

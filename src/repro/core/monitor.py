@@ -172,11 +172,19 @@ class MonitoringServer:
 
     def check_trp(
         self,
-        channel: SlottedChannel,
+        channel: Optional[SlottedChannel],
         reader: Optional[TrustedReader] = None,
         frame_size: Optional[int] = None,
+        challenge=None,
+        scan_fn=None,
     ) -> TrpRoundReport:
-        """Run a trusted-reader check against a physical population."""
+        """Run a trusted-reader check against a physical population.
+
+        ``challenge`` / ``scan_fn`` support remote operation (the serve
+        layer issues the challenge over the wire, then verifies the
+        returned bitstring through this path); ``channel`` may be
+        ``None`` when ``scan_fn`` supplies the scan.
+        """
         report = run_trp_round(
             self.database,
             self.issuer,
@@ -186,20 +194,25 @@ class MonitoringServer:
             frame_size=frame_size,
             counter_aware=self.counter_tags,
             salvage_partial=self.salvage_partial,
+            challenge=challenge,
+            scan_fn=scan_fn,
         )
         self._register_outcome("TRP", report.result)
         return report
 
     def check_utrp(
         self,
-        channel: SlottedChannel,
+        channel: Optional[SlottedChannel],
         reader: Optional[TrustedReader] = None,
         frame_size: Optional[int] = None,
         timer: Optional[float] = None,
         scan_fn=None,
+        challenge=None,
     ) -> UtrpRoundReport:
         """Run an untrusted-reader check; ``scan_fn`` lets tests inject
-        a dishonest reader in place of the honest scan.
+        a dishonest reader in place of the honest scan, and
+        ``challenge`` verifies against a pre-issued challenge (the
+        serve layer's remote rounds).
 
         Raises:
             RuntimeError: if the deployment's tags lack the hardware
@@ -221,6 +234,7 @@ class MonitoringServer:
             timer=timer,
             scan_fn=scan_fn,
             timing=self.timing,
+            challenge=challenge,
         )
         self._register_outcome("UTRP", report.result)
         return report
@@ -266,6 +280,26 @@ class MonitoringServer:
                 ambiguous=len(report.ambiguous),
             )
         return report
+
+    def register_remote_timeout(
+        self, protocol: str, frame_size: int, elapsed: float = 0.0
+    ) -> VerificationResult:
+        """Record a remote round whose proof never arrived in time.
+
+        The serve layer's Theorem-5 path: when a networked reader blows
+        the challenge deadline entirely (no bitstring at all), the
+        round's verdict is ``REJECTED_LATE`` and the operator is paged
+        through the same alert machinery as any in-process rejection.
+        The counter mirror is deliberately *not* advanced — the server
+        cannot know whether the broadcasts ever reached the tags, and a
+        set that did hear them is later repaired by
+        :meth:`resync_counters`.
+        """
+        result = VerificationResult(
+            Verdict.REJECTED_LATE, [], frame_size, elapsed
+        )
+        self._register_outcome(protocol, result)
+        return result
 
     def _register_outcome(self, protocol: str, result: VerificationResult) -> None:
         round_index = self._rounds

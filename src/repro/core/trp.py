@@ -18,7 +18,7 @@ this path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..rfid.channel import SlottedChannel
 from ..rfid.reader import ScanResult, TrustedReader
@@ -66,11 +66,13 @@ def run_trp_round(
     database: TagDatabase,
     issuer: SeedIssuer,
     requirement: MonitorRequirement,
-    channel: SlottedChannel,
+    channel: Optional[SlottedChannel],
     reader: Optional[TrustedReader] = None,
     frame_size: Optional[int] = None,
     counter_aware: bool = False,
     salvage_partial: bool = False,
+    challenge: Optional[TrpChallenge] = None,
+    scan_fn: Optional[Callable[[TrpChallenge], ScanResult]] = None,
 ) -> TrpRoundReport:
     """Run one honest TRP round end to end.
 
@@ -92,6 +94,13 @@ def run_trp_round(
             confidence (:func:`~repro.core.verification.
             salvage_partial_scan`) instead of rejecting the round as
             malformed.
+        challenge: a pre-issued ``(f, r)`` to verify against instead of
+            issuing a fresh one (the serve layer sends its challenge
+            over the wire before the scan exists).
+        scan_fn: alternative scan procedure returning a
+            :class:`~repro.rfid.reader.ScanResult`; when given, the
+            channel is never touched (the bitstring arrived from a
+            remote reader).
 
     Raises:
         ValueError: if the requirement's population does not match the
@@ -102,10 +111,14 @@ def run_trp_round(
             f"requirement says n={requirement.population} but database "
             f"holds {database.size} tags"
         )
-    f = frame_size if frame_size is not None else frame_size_for(requirement)
-    challenge = issuer.trp_challenge(f)
-    scanner = reader if reader is not None else TrustedReader()
-    scan = scanner.scan_trp(channel, challenge.frame_size, challenge.seed)
+    if challenge is None:
+        f = frame_size if frame_size is not None else frame_size_for(requirement)
+        challenge = issuer.trp_challenge(f)
+    if scan_fn is not None:
+        scan = scan_fn(challenge)
+    else:
+        scanner = reader if reader is not None else TrustedReader()
+        scan = scanner.scan_trp(channel, challenge.frame_size, challenge.seed)
     if counter_aware:
         expected, new_counters = expected_trp_bitstring_with_counters(
             database.ids, database.counters, challenge.frame_size, challenge.seed

@@ -41,6 +41,7 @@ __all__ = [
     "UtrpRoundReport",
     "run_utrp_round",
     "estimate_scan_time_bounds",
+    "default_timer",
     "ResyncReport",
     "run_counter_resync",
 ]
@@ -68,6 +69,26 @@ def estimate_scan_time_bounds(
         + (1 + occupied) * timing.seed_broadcast_us
     )
     return (st_min, max(st_min, st_max))
+
+
+def default_timer(
+    frame_size: int, population: int, timing: LinkTiming = UNIT_SLOTS
+) -> float:
+    """The server's default UTRP timer: STmax for the issued frame.
+
+    Alg. 5 line 5 arms the timer against the *slowest honest* scan, so
+    the deadline is the dense-cascade bound of
+    :func:`estimate_scan_time_bounds`. Every deployment path — the
+    in-process :func:`run_utrp_round` and the networked
+    :mod:`repro.serve` session — must compute the deadline through this
+    one helper so a remote round is held to exactly the budget an
+    in-process round would be (pinned by a test).
+
+    Raises:
+        ValueError: via :func:`estimate_scan_time_bounds` on a
+            non-positive frame or negative population.
+    """
+    return estimate_scan_time_bounds(frame_size, population, timing)[1]
 
 
 @dataclass
@@ -100,13 +121,14 @@ def run_utrp_round(
     database: TagDatabase,
     issuer: SeedIssuer,
     requirement: MonitorRequirement,
-    channel: SlottedChannel,
+    channel: Optional[SlottedChannel],
     comm_budget: int = 20,
     reader: Optional[TrustedReader] = None,
     frame_size: Optional[int] = None,
     timer: Optional[float] = None,
     scan_fn: Optional[Callable[[UtrpChallenge], tuple]] = None,
     timing: LinkTiming = UNIT_SLOTS,
+    challenge: Optional[UtrpChallenge] = None,
 ) -> UtrpRoundReport:
     """Run one UTRP round end to end.
 
@@ -118,12 +140,16 @@ def run_utrp_round(
         comm_budget: the ``c`` Eq. 3 defends against (paper: 20).
         reader: honest reader used when ``scan_fn`` is not given.
         frame_size: explicit override of the Eq. 3 frame size.
-        timer: explicit timer override; defaults to STmax for the
-            issued frame.
+        timer: explicit timer override; defaults to
+            :func:`default_timer` for the issued frame.
         scan_fn: alternative scan procedure — adversaries inject their
             attack here; must return ``(ScanResult, elapsed)``.
         timing: link timing model used for the default timer and for
             the honest reader's reported elapsed time.
+        challenge: a pre-issued challenge to verify against instead of
+            issuing a fresh one — the serve layer issues its challenge
+            over the wire *before* the bitstring exists, then verifies
+            through this path so both halves share one verdict rule.
 
     Raises:
         ValueError: if the requirement population does not match the
@@ -134,18 +160,23 @@ def run_utrp_round(
             f"requirement says n={requirement.population} but database "
             f"holds {database.size} tags"
         )
-    f = (
-        frame_size
-        if frame_size is not None
-        else optimal_utrp_frame_size(
-            requirement.population,
-            requirement.tolerance,
-            requirement.confidence,
-            comm_budget,
+    if challenge is None:
+        f = (
+            frame_size
+            if frame_size is not None
+            else optimal_utrp_frame_size(
+                requirement.population,
+                requirement.tolerance,
+                requirement.confidence,
+                comm_budget,
+            )
         )
-    )
-    st_min, st_max = estimate_scan_time_bounds(f, requirement.population, timing)
-    challenge = issuer.utrp_challenge(f, timer if timer is not None else st_max)
+        challenge = issuer.utrp_challenge(
+            f,
+            timer
+            if timer is not None
+            else default_timer(f, requirement.population, timing),
+        )
 
     if scan_fn is not None:
         scan, elapsed = scan_fn(challenge)

@@ -57,6 +57,10 @@ def _kind_of(phase: str) -> str:
         return "fleet-round"
     if phase.startswith("aloha."):
         return "aloha-inventory"
+    if phase.startswith("serve.loadgen"):
+        return "serve-loadgen"
+    if phase.startswith("serve."):
+        return "serve-round"
     return phase.split(".", 1)[0]
 
 

@@ -1,0 +1,67 @@
+"""repro.serve — the networked monitoring service.
+
+Everything before this package checks tag sets in-process: the channel,
+the reader and the :class:`~repro.core.monitor.MonitoringServer` live in
+one interpreter. This package splits them across a wire the way the
+paper's deployment picture does — the server keeps the secrets (IDs,
+seeds, counters, verdict rule, Alg. 5 timer) and remote readers hold
+only the physical channel — without changing a single verdict:
+networked rounds verify through the exact same ``run_trp_round`` /
+``run_utrp_round`` code paths, so for identical ``(master_seed, group,
+f, r)`` the wire and in-process paths produce the same challenge seeds,
+bitstrings and verdicts.
+
+Layout:
+
+* :mod:`~repro.serve.protocol` — the ``repro.serve/v1`` length-prefixed
+  JSON wire format (CHALLENGE / BITSTRING / RESEED / VERDICT / ERROR);
+* :mod:`~repro.serve.session` — per-connection state machine, timer
+  enforcement, per-session degradation;
+* :mod:`~repro.serve.server` — the asyncio service: group hosting,
+  backpressure, obs wiring;
+* :mod:`~repro.serve.client` — the reader-side client;
+* :mod:`~repro.serve.netfaults` — Gilbert–Elliott frame loss/delay;
+* :mod:`~repro.serve.loadgen` — open-loop load generation emitting
+  ``repro.obs.bench/v1`` records (``BENCH_serve.json``).
+"""
+
+from .client import ReaderClient, RoundOutcome
+from .loadgen import (
+    LoadgenConfig,
+    LoadgenResult,
+    format_loadgen_result,
+    run_loadgen,
+)
+from .netfaults import FrameAction, FrameFaultInjector
+from .protocol import (
+    Frame,
+    MAX_FRAME_BYTES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from .server import HostedGroup, MonitoringService
+from .session import ServeSession, SessionConfig, SessionStats
+
+__all__ = [
+    "Frame",
+    "FrameAction",
+    "FrameFaultInjector",
+    "HostedGroup",
+    "LoadgenConfig",
+    "LoadgenResult",
+    "MAX_FRAME_BYTES",
+    "MonitoringService",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "ReaderClient",
+    "RoundOutcome",
+    "ServeSession",
+    "SessionConfig",
+    "SessionStats",
+    "decode_frame",
+    "encode_frame",
+    "format_loadgen_result",
+    "run_loadgen",
+]

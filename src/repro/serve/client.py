@@ -1,0 +1,220 @@
+"""Reader-side client for the monitoring service.
+
+:class:`ReaderClient` is the honest remote reader of the paper's
+deployment picture: it owns a physical channel (the tags actually in
+its field), asks the server to reseed it, executes the challenge with
+the stock :class:`~repro.rfid.reader.TrustedReader`, and ships the
+occupancy bitstring back with its measured air time. It is usable both
+as a library (drive one warehouse reader) and as the unit the load
+generator (:mod:`repro.serve.loadgen`) multiplies into a simulated
+fleet.
+
+Two knobs exist purely to exercise the server's defences:
+
+* ``extra_delay_us`` — a slow reader; its reported air time grows by
+  this much per round, so a sufficiently slow UTRP scan trips the
+  Alg. 5 timer and earns ``rejected-late`` (Theorem 5);
+* ``fault_injector`` — a :class:`~repro.serve.netfaults.
+  FrameFaultInjector`; dropped BITSTRING frames leave the server
+  waiting into its deadline, delayed ones add wire latency on top of
+  the scan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rfid.channel import SlottedChannel
+from ..rfid.reader import TrustedReader
+from ..rfid.timing import LinkTiming, UNIT_SLOTS
+from . import protocol
+from .protocol import Frame, ProtocolError
+
+__all__ = ["RoundOutcome", "ReaderClient"]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What one wire round produced, as seen from the reader.
+
+    Attributes:
+        group: group the round ran against.
+        round_index: server-assigned round number.
+        verdict: the VERDICT frame's verdict string, or ``"dropped"``
+            when the fault injector swallowed our proof and the server
+            answered with its deadline verdict instead.
+        alarm: whether the server raised an operator alarm.
+        frame_size: the challenge's ``f``.
+        elapsed_us: air time we reported (0 when the proof was dropped).
+        mismatched_slots: server-counted disagreeing slots.
+    """
+
+    group: str
+    round_index: int
+    verdict: str
+    alarm: bool
+    frame_size: int
+    elapsed_us: float
+    mismatched_slots: int = 0
+
+
+class ReaderClient:
+    """One remote reader speaking ``repro.serve/v1``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        channel: SlottedChannel,
+        reader: Optional[TrustedReader] = None,
+        timing: LinkTiming = UNIT_SLOTS,
+        extra_delay_us: float = 0.0,
+        fault_injector=None,
+    ):
+        """Args:
+            host, port: where the service listens.
+            channel: the physical population in this reader's field —
+                the one thing the reader owns in the trust model.
+            reader: scan implementation (honest by default).
+            timing: link model used to report elapsed air time; must
+                match the server's for timer parity.
+            extra_delay_us: additional reported latency per round.
+            fault_injector: optional frame-level fault source (see
+                :mod:`repro.serve.netfaults`).
+        """
+        if extra_delay_us < 0:
+            raise ValueError("extra_delay_us must be >= 0")
+        self.host = host
+        self.port = port
+        self.channel = channel
+        self.reader = reader if reader is not None else TrustedReader()
+        self.timing = timing
+        self.extra_delay_us = extra_delay_us
+        self.fault_injector = fault_injector
+        self._stream: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+
+    async def connect(self) -> None:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self._stream = (reader, writer)
+
+    async def close(self) -> None:
+        if self._stream is not None:
+            self._stream[1].close()
+            try:
+                await self._stream[1].wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._stream = None
+
+    async def __aenter__(self) -> "ReaderClient":
+        if self._stream is None:
+            await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _send(self, frame: Frame) -> None:
+        await protocol.write_frame(self._stream[1], frame)
+
+    async def _recv(self) -> Frame:
+        frame = await protocol.read_frame(self._stream[0])
+        if frame is None:
+            raise ConnectionError("server closed the connection")
+        return frame
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+
+    async def run_round(self, group: str, proto: str = "trp") -> RoundOutcome:
+        """One RESEED -> CHALLENGE -> scan -> BITSTRING -> VERDICT.
+
+        Raises:
+            ProtocolError: if the server answers with an ERROR frame or
+                an out-of-protocol frame.
+            ConnectionError: if the server hangs up mid-round.
+        """
+        if self._stream is None:
+            await self.connect()
+        await self._send(protocol.reseed(group, proto))
+        challenge = await self._recv()
+        if challenge.type == "ERROR":
+            raise ProtocolError(challenge["code"], challenge["detail"])
+        if challenge.type != "CHALLENGE":
+            raise ProtocolError(
+                "unexpected-frame", f"wanted CHALLENGE, got {challenge.type}"
+            )
+
+        frame_size = challenge["frame_size"]
+        seeds = challenge["seeds"]
+        air_before = self.timing.session_us(self.channel.stats)
+        if challenge["protocol"] == "utrp":
+            scan = self.reader.scan_utrp(self.channel, frame_size, seeds)
+        else:
+            scan = self.reader.scan_trp(self.channel, frame_size, seeds[0])
+        elapsed_us = (
+            self.timing.session_us(self.channel.stats)
+            - air_before
+            + self.extra_delay_us
+        )
+
+        if self.fault_injector is not None:
+            action = self.fault_injector.on_frame("BITSTRING")
+            if action.dropped:
+                # The proof never leaves the reader; the server's
+                # deadline fires and its verdict arrives unprompted.
+                verdict = await self._recv()
+                if verdict.type != "VERDICT":
+                    raise ProtocolError(
+                        "unexpected-frame",
+                        f"wanted deadline VERDICT, got {verdict.type}",
+                    )
+                return RoundOutcome(
+                    group=group,
+                    round_index=verdict["round"],
+                    verdict=verdict["verdict"],
+                    alarm=verdict["alarm"],
+                    frame_size=frame_size,
+                    elapsed_us=0.0,
+                    mismatched_slots=verdict["mismatched_slots"],
+                )
+            elapsed_us += action.delay_us
+
+        await self._send(
+            protocol.bitstring_frame(
+                group,
+                challenge["round"],
+                scan.bitstring,
+                elapsed_us,
+                scan.seeds_used,
+            )
+        )
+        verdict = await self._recv()
+        if verdict.type == "ERROR":
+            raise ProtocolError(verdict["code"], verdict["detail"])
+        if verdict.type != "VERDICT":
+            raise ProtocolError(
+                "unexpected-frame", f"wanted VERDICT, got {verdict.type}"
+            )
+        return RoundOutcome(
+            group=group,
+            round_index=verdict["round"],
+            verdict=verdict["verdict"],
+            alarm=verdict["alarm"],
+            frame_size=verdict["frame_size"],
+            elapsed_us=elapsed_us,
+            mismatched_slots=verdict["mismatched_slots"],
+        )
+
+    async def run_rounds(
+        self, group: str, rounds: int, proto: str = "trp"
+    ) -> list:
+        """``rounds`` sequential rounds on one group."""
+        return [await self.run_round(group, proto) for _ in range(rounds)]

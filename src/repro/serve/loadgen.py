@@ -1,0 +1,335 @@
+"""Open-loop load generation against the monitoring service.
+
+The ROADMAP's north star is a serving system, and serving claims need
+numbers: how many monitoring rounds per second one service instance
+sustains, and what a round's latency distribution looks like under
+concurrency. :func:`run_loadgen` drives a fleet of
+:class:`~repro.serve.client.ReaderClient` sessions — optionally
+self-hosting a service on loopback — and reports throughput,
+p50/p95/p99 round latency, timeout and error counts as a
+``repro.obs.bench/v1`` record (the same schema every other perf
+trajectory in this repo accumulates), conventionally written to
+``BENCH_serve.json``.
+
+Session shape: ``sessions`` independent connections (default one per
+group) each run ``rounds`` sequential rounds against their group.
+Arrivals are open-loop at ``arrival_rate`` sessions/second (0 = all at
+once) with ``concurrency`` capping how many are in flight — so the
+generator can model both a thundering herd and a steady drizzle.
+
+Load groups default to plain (counter-free) TRP tags so any number of
+sessions can share a group: counter-tag populations are stateful and
+two readers holding separate copies of one group would desynchronise
+the mirror. UTRP load therefore pins one session per group.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..obs.bench import make_bench_record
+from ..rfid.channel import SlottedChannel
+from .client import ReaderClient
+from .protocol import ProtocolError
+from .server import MonitoringService
+from .session import SessionConfig
+
+__all__ = ["LoadgenConfig", "LoadgenResult", "run_loadgen", "format_loadgen_result"]
+
+#: Default master seed, matching the experiment grid's.
+DEFAULT_SEED = 20080617
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation campaign's shape.
+
+    Attributes:
+        groups: hosted tag groups (only used when self-hosting).
+        rounds: rounds each session runs.
+        sessions: total sessions; default one per group.
+        concurrency: max sessions in flight at once.
+        arrival_rate: session arrivals per second; 0 = all at once.
+        population / tolerance / confidence: per-group ``(n, m, alpha)``.
+        protocol: ``"trp"`` (default) or ``"utrp"``; UTRP forces one
+            session per group (stateful counters).
+        seed: master seed — group populations and issuers derive from
+            it, so two runs against the same config agree on verdicts.
+        group_prefix: group names are ``{prefix}-{index:03d}``; use
+            ``"group"`` to aim at a ``python -m repro serve`` instance.
+
+    Raises:
+        ValueError: on non-positive shape parameters or a UTRP session
+            count exceeding the group count.
+    """
+
+    groups: int = 8
+    rounds: int = 3
+    sessions: Optional[int] = None
+    concurrency: int = 8
+    arrival_rate: float = 0.0
+    population: int = 100
+    tolerance: int = 2
+    confidence: float = 0.9
+    protocol: str = "trp"
+    seed: int = DEFAULT_SEED
+    group_prefix: str = "load"
+    counter_tags: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        for name in ("groups", "rounds", "concurrency", "population"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be >= 0")
+        if self.protocol not in ("trp", "utrp"):
+            raise ValueError("protocol must be 'trp' or 'utrp'")
+        if self.sessions is not None and self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if self.effective_counter_tags and self.total_sessions > self.groups:
+            raise ValueError(
+                "counter-tag load needs one session per group at most "
+                "(counter-tag populations are stateful)"
+            )
+
+    @property
+    def total_sessions(self) -> int:
+        return self.sessions if self.sessions is not None else self.groups
+
+    @property
+    def effective_counter_tags(self) -> bool:
+        """Whether the load populations carry the UTRP counter.
+
+        Defaults to "only for UTRP" (stateless TRP groups let any
+        number of sessions share a group); set ``counter_tags=True``
+        when aiming at a service whose groups were created with
+        counters — e.g. ``python -m repro serve``.
+        """
+        if self.counter_tags is not None:
+            return self.counter_tags
+        return self.protocol == "utrp"
+
+
+@dataclass
+class LoadgenResult:
+    """Everything one campaign measured.
+
+    ``record`` is the schema-valid ``repro.obs.bench/v1`` dict; the
+    scalar fields are conveniences for assertions and the CLI report.
+    """
+
+    rounds_completed: int
+    verdict_counts: Dict[str, int]
+    protocol_errors: int
+    timeouts: int
+    wall_s_total: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    record: dict = field(default_factory=dict)
+
+    @property
+    def intact_rounds(self) -> int:
+        return self.verdict_counts.get("intact", 0)
+
+
+def _group_name(cfg: LoadgenConfig, index: int) -> str:
+    return f"{cfg.group_prefix}-{index:03d}"
+
+
+async def _run_session(
+    cfg: LoadgenConfig,
+    host: str,
+    port: int,
+    session_index: int,
+    gate: asyncio.Semaphore,
+    start_at: float,
+    t0: float,
+    latencies: List[float],
+    air_us: List[float],
+    verdicts: Dict[str, int],
+    errors: List[str],
+) -> None:
+    delay = start_at - (time.perf_counter() - t0)
+    if delay > 0:
+        await asyncio.sleep(delay)
+    group_index = session_index % cfg.groups
+    population = MonitoringService.build_population_for(
+        cfg.population,
+        seed=cfg.seed + group_index,
+        counter_tags=cfg.effective_counter_tags,
+    )
+    channel = SlottedChannel(population.tags)
+    async with gate:
+        client = ReaderClient(host, port, channel)
+        try:
+            async with client:
+                for _ in range(cfg.rounds):
+                    began = time.perf_counter()
+                    outcome = await client.run_round(
+                        _group_name(cfg, group_index), cfg.protocol
+                    )
+                    latencies.append(time.perf_counter() - began)
+                    air_us.append(outcome.elapsed_us)
+                    verdicts[outcome.verdict] = (
+                        verdicts.get(outcome.verdict, 0) + 1
+                    )
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            errors.append(f"session {session_index}: {exc}")
+
+
+async def _run_loadgen_async(
+    cfg: LoadgenConfig,
+    host: Optional[str],
+    port: Optional[int],
+    obs=None,
+    session_config: Optional[SessionConfig] = None,
+) -> LoadgenResult:
+    service: Optional[MonitoringService] = None
+    if host is None:
+        service = MonitoringService(
+            session_config=session_config,
+            max_sessions=max(256, cfg.total_sessions + 8),
+            max_inflight=max(64, cfg.concurrency),
+            obs=obs,
+        )
+        for i in range(cfg.groups):
+            service.create_group(
+                _group_name(cfg, i),
+                cfg.population,
+                cfg.tolerance,
+                cfg.confidence,
+                seed=cfg.seed + i,
+                counter_tags=cfg.effective_counter_tags,
+            )
+        await service.start()
+        host, port = "127.0.0.1", service.port
+
+    latencies: List[float] = []
+    air_us: List[float] = []
+    verdicts: Dict[str, int] = {}
+    errors: List[str] = []
+    gate = asyncio.Semaphore(cfg.concurrency)
+    t0 = time.perf_counter()
+    spacing = 1.0 / cfg.arrival_rate if cfg.arrival_rate > 0 else 0.0
+    try:
+        await asyncio.gather(
+            *(
+                _run_session(
+                    cfg, host, port, i, gate, i * spacing, t0,
+                    latencies, air_us, verdicts, errors,
+                )
+                for i in range(cfg.total_sessions)
+            )
+        )
+    finally:
+        wall_total = time.perf_counter() - t0
+        if service is not None:
+            await service.close()
+
+    lat = np.asarray(latencies, dtype=float)
+    p50, p95, p99 = (
+        (float(np.percentile(lat, q)) for q in (50, 95, 99))
+        if lat.size
+        else (0.0, 0.0, 0.0)
+    )
+    timeouts = verdicts.get("rejected-late", 0)
+    timings = [
+        {
+            "name": "serve.loadgen.round",
+            "kind": "serve-loadgen",
+            "reps": max(1, int(lat.size)),
+            "wall_s_total": float(lat.sum()),
+            "wall_s_mean": float(lat.mean()) if lat.size else 0.0,
+            "wall_s_min": float(lat.min()) if lat.size else 0.0,
+            "wall_s_max": float(lat.max()) if lat.size else 0.0,
+            "sim_air_us_total": float(sum(air_us)),
+            "wall_s_p50": p50,
+            "wall_s_p95": p95,
+            "wall_s_p99": p99,
+        },
+        {
+            "name": "serve.loadgen.campaign",
+            "kind": "serve-loadgen",
+            "reps": 1,
+            "wall_s_total": wall_total,
+            "wall_s_mean": wall_total,
+            "wall_s_min": wall_total,
+            "wall_s_max": wall_total,
+            "sim_air_us_total": float(sum(air_us)),
+            "sessions": cfg.total_sessions,
+            "concurrency": cfg.concurrency,
+            "rounds_per_session": cfg.rounds,
+            "protocol": cfg.protocol,
+            "throughput_rps": (len(latencies) / wall_total)
+            if wall_total > 0
+            else 0.0,
+            "verdicts": dict(sorted(verdicts.items())),
+            "timeouts": timeouts,
+            "protocol_errors": len(errors),
+            "error_samples": errors[:5],
+        },
+    ]
+    record = make_bench_record(timings, quick=False, label="serve-loadgen")
+    return LoadgenResult(
+        rounds_completed=len(latencies),
+        verdict_counts=dict(verdicts),
+        protocol_errors=len(errors),
+        timeouts=timeouts,
+        wall_s_total=wall_total,
+        throughput_rps=(len(latencies) / wall_total) if wall_total > 0 else 0.0,
+        latency_p50_ms=p50 * 1e3,
+        latency_p95_ms=p95 * 1e3,
+        latency_p99_ms=p99 * 1e3,
+        record=record,
+    )
+
+
+def run_loadgen(
+    config: Optional[LoadgenConfig] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    obs=None,
+    session_config: Optional[SessionConfig] = None,
+) -> LoadgenResult:
+    """Run one load campaign; self-hosts on loopback when no host given.
+
+    Args:
+        config: campaign shape (defaults to :class:`LoadgenConfig`).
+        host, port: an already-running service to aim at; when ``host``
+            is ``None`` a service is created, loaded with the config's
+            groups, and torn down afterwards.
+        obs: optional obs context for the self-hosted service.
+        session_config: session behaviour for the self-hosted service.
+    """
+    cfg = config if config is not None else LoadgenConfig()
+    return asyncio.run(
+        _run_loadgen_async(cfg, host, port, obs=obs, session_config=session_config)
+    )
+
+
+def format_loadgen_result(result: LoadgenResult) -> str:
+    """Human-readable campaign summary for the CLI."""
+    verdicts = ", ".join(
+        f"{k}={v}" for k, v in sorted(result.verdict_counts.items())
+    ) or "none"
+    return "\n".join(
+        [
+            f"rounds completed : {result.rounds_completed}",
+            f"verdicts         : {verdicts}",
+            f"protocol errors  : {result.protocol_errors}",
+            f"deadline timeouts: {result.timeouts}",
+            f"wall time        : {result.wall_s_total:.3f} s",
+            f"throughput       : {result.throughput_rps:.1f} rounds/s",
+            "latency          : "
+            f"p50 {result.latency_p50_ms:.2f} ms  "
+            f"p95 {result.latency_p95_ms:.2f} ms  "
+            f"p99 {result.latency_p99_ms:.2f} ms",
+        ]
+    )

@@ -1,0 +1,101 @@
+"""Network-fault adapter: Gilbert–Elliott loss applied to wire frames.
+
+:mod:`repro.faults.models` models the *air* interface's correlated
+failures; serving adds a second lossy hop — the network between reader
+and server. The same two-state machinery transfers directly: a GOOD
+state where frames flow, a BAD state (congestion burst, Wi-Fi handoff,
+backhaul flap) where frames are dropped or delayed for a stretch.
+
+:class:`FrameFaultInjector` advances one hidden
+:class:`~repro.faults.models.GilbertElliott` chain per frame offered and
+returns a :class:`FrameAction`: deliver, drop, or delay. Dropped
+BITSTRING frames are the interesting case — the server hears nothing,
+its Alg. 5 deadline fires, and the round takes the Theorem-5
+``rejected-late`` path, which is exactly the behaviour the chaos tests
+pin. Everything is driven by one explicit generator, so a seeded run
+replays its fault schedule bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..faults.models import GilbertElliott
+
+__all__ = ["FrameAction", "FrameFaultInjector"]
+
+
+@dataclass(frozen=True)
+class FrameAction:
+    """The adapter's decision for one frame.
+
+    Attributes:
+        dropped: the frame never reaches the peer.
+        delay_us: extra latency charged to the frame (0 when clean).
+    """
+
+    dropped: bool = False
+    delay_us: float = 0.0
+
+
+_DELIVER = FrameAction()
+
+
+class FrameFaultInjector:
+    """Per-frame fault source over a hidden Gilbert–Elliott chain.
+
+    While the chain sits in its BAD state, each offered frame is
+    dropped with the model's ``loss_bad`` (``loss_good`` while GOOD);
+    a frame that survives a BAD state is delayed by ``delay_us``
+    instead (the burst is congestion, and queues drain slowly).
+
+    Attributes:
+        frames_seen / frames_dropped / frames_delayed: counters for
+            assertions and reports.
+    """
+
+    def __init__(
+        self,
+        model: GilbertElliott,
+        rng: np.random.Generator,
+        delay_us: float = 0.0,
+    ):
+        """Args:
+            model: the burst process; ``loss_*`` act per frame here.
+            rng: explicit generator — seeded runs replay exactly.
+            delay_us: latency added to surviving frames in BAD state.
+
+        Raises:
+            ValueError: on a negative delay or a missing generator.
+        """
+        if rng is None:
+            raise ValueError("a fault injector needs an rng")
+        if delay_us < 0:
+            raise ValueError("delay_us must be >= 0")
+        self.model = model
+        self.delay_us = delay_us
+        self._rng = rng
+        self._bad = bool(rng.random() < model.stationary_bad)
+        self.frames_seen = 0
+        self.frames_dropped = 0
+        self.frames_delayed = 0
+
+    def on_frame(self, frame_type: str) -> FrameAction:
+        """Advance the chain one step and rule on this frame."""
+        self.frames_seen += 1
+        if self._bad:
+            if self._rng.random() < self.model.p_bad_to_good:
+                self._bad = False
+        else:
+            if self._rng.random() < self.model.p_good_to_bad:
+                self._bad = True
+        loss_p = self.model.loss_bad if self._bad else self.model.loss_good
+        if loss_p > 0.0 and self._rng.random() < loss_p:
+            self.frames_dropped += 1
+            return FrameAction(dropped=True)
+        if self._bad and self.delay_us > 0.0:
+            self.frames_delayed += 1
+            return FrameAction(delay_us=self.delay_us)
+        return _DELIVER

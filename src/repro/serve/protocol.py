@@ -1,0 +1,398 @@
+"""The ``repro.serve/v1`` wire protocol.
+
+The paper's deployment model is networked: the server issues ``(f, r)``
+challenges to remote (possibly untrusted) readers and judges their
+bitstring replies against a wall-clock deadline. This module pins that
+conversation down as a versioned, length-prefixed JSON protocol small
+enough to audit by hand:
+
+``frame := uint32 big-endian length | <length> bytes of UTF-8 JSON``
+
+Every JSON body is an object carrying ``v`` (the schema tag) and
+``type`` (one of the five frame types); the remaining keys are the
+frame's payload, validated strictly — unknown types, missing fields,
+wrong field types and undeclared extra fields are all
+:class:`ProtocolError`, never silent acceptance. Frames are capped at
+:data:`MAX_FRAME_BYTES` so a hostile peer cannot balloon the server's
+receive buffer.
+
+Frame types (client C, server S):
+
+======== ===== ==========================================================
+type     dir   meaning
+======== ===== ==========================================================
+RESEED   C->S  request a fresh challenge for one group ("reseed me")
+CHALLENGE S->C the pre-committed ``(f, r)`` (TRP) or ``(f, r_1..r_f,
+               timer)`` (UTRP) for the round
+BITSTRING C->S the scan proof: slot occupancy plus the reader's elapsed
+               air time
+VERDICT  S->C  the server's conclusion (intact / not-intact /
+               rejected-late / rejected-malformed)
+ERROR    both  protocol-level failure; carries a machine code + detail
+======== ===== ==========================================================
+
+The bitstring crosses the wire as a ``0``/``1`` character string — a
+frame of 10 000 slots costs 10 KB, far under the frame cap, and stays
+human-readable in captures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "FRAME_TYPES",
+    "ProtocolError",
+    "Frame",
+    "encode_frame",
+    "decode_frame",
+    "decode_body",
+    "read_frame",
+    "write_frame",
+    "reseed",
+    "challenge_frame",
+    "bitstring_frame",
+    "verdict_frame",
+    "error_frame",
+    "bits_to_array",
+    "array_to_bits",
+]
+
+#: Schema tag carried by (and required of) every frame.
+PROTOCOL_SCHEMA = "repro.serve/v1"
+
+#: Hard cap on one frame's JSON body. A UTRP challenge for ``f`` slots
+#: carries ``f`` seeds of ~20 digits; 4 MiB covers frames beyond 10^5
+#: slots while bounding a hostile peer's buffer demand.
+MAX_FRAME_BYTES = 4 << 20
+
+#: ``type`` -> required payload fields and their JSON types. ``None``
+#: in an ``Optional`` position means the field may be absent entirely.
+_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "RESEED": {
+        "group": (str,),
+        "protocol": (str,),
+    },
+    "CHALLENGE": {
+        "group": (str,),
+        "protocol": (str,),
+        "round": (int,),
+        "frame_size": (int,),
+        "seeds": (list,),
+        "timer_us": (int, float, type(None)),
+    },
+    "BITSTRING": {
+        "group": (str,),
+        "round": (int,),
+        "bits": (str,),
+        "elapsed_us": (int, float),
+        "seeds_used": (int,),
+    },
+    "VERDICT": {
+        "group": (str,),
+        "round": (int,),
+        "verdict": (str,),
+        "frame_size": (int,),
+        "mismatched_slots": (int,),
+        "elapsed_us": (int, float),
+        "alarm": (bool,),
+    },
+    "ERROR": {
+        "code": (str,),
+        "detail": (str,),
+    },
+}
+
+FRAME_TYPES = frozenset(_SCHEMAS)
+
+#: Payload fields that may be omitted (treated as ``None`` on decode).
+_OPTIONAL = {("CHALLENGE", "timer_us")}
+
+
+class ProtocolError(ValueError):
+    """A frame violated ``repro.serve/v1``.
+
+    Attributes:
+        code: short machine-readable cause, mirrored into the ERROR
+            frame the receiving side answers with.
+    """
+
+    def __init__(self, code: str, detail: str):
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame: its type plus validated payload."""
+
+    type: str
+    payload: Mapping[str, object]
+
+    def __getitem__(self, key: str):
+        return self.payload[key]
+
+    def get(self, key: str, default=None):
+        return self.payload.get(key, default)
+
+
+# ----------------------------------------------------------------------
+# encode / decode
+# ----------------------------------------------------------------------
+
+
+def _validate(frame_type: str, payload: Mapping[str, object]) -> None:
+    schema = _SCHEMAS.get(frame_type)
+    if schema is None:
+        raise ProtocolError("unknown-type", f"unknown frame type {frame_type!r}")
+    for field, kinds in schema.items():
+        if field not in payload:
+            if (frame_type, field) in _OPTIONAL:
+                continue
+            raise ProtocolError(
+                "missing-field", f"{frame_type} frame missing {field!r}"
+            )
+        value = payload[field]
+        # bool is an int subclass; only accept it where bool is listed.
+        if isinstance(value, bool) and bool not in kinds:
+            raise ProtocolError(
+                "bad-field", f"{frame_type}.{field} has wrong type bool"
+            )
+        if not isinstance(value, kinds):
+            raise ProtocolError(
+                "bad-field",
+                f"{frame_type}.{field} has wrong type "
+                f"{type(value).__name__}",
+            )
+    extras = set(payload) - set(schema)
+    if extras:
+        raise ProtocolError(
+            "unknown-field",
+            f"{frame_type} frame carries undeclared fields {sorted(extras)}",
+        )
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise one frame to its length-prefixed wire form.
+
+    Raises:
+        ProtocolError: if the frame fails its own schema or exceeds
+            :data:`MAX_FRAME_BYTES`.
+    """
+    _validate(frame.type, frame.payload)
+    body = dict(frame.payload)
+    body["v"] = PROTOCOL_SCHEMA
+    body["type"] = frame.type
+    data = json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "oversize", f"frame body is {len(data)} bytes (cap {MAX_FRAME_BYTES})"
+        )
+    return len(data).to_bytes(4, "big") + data
+
+
+def decode_body(data: bytes) -> Frame:
+    """Decode one frame body (the bytes after the length prefix).
+
+    Strict by construction: must be valid UTF-8 JSON, must be an
+    object, must carry the exact schema tag, a known type, every
+    required field with the right JSON type, and nothing else.
+
+    Raises:
+        ProtocolError: with a machine code naming the first violation.
+    """
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "oversize", f"frame body is {len(data)} bytes (cap {MAX_FRAME_BYTES})"
+        )
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad-json", str(exc)) from exc
+    if not isinstance(body, dict):
+        raise ProtocolError("bad-json", "frame body must be a JSON object")
+    if body.get("v") != PROTOCOL_SCHEMA:
+        raise ProtocolError(
+            "bad-schema",
+            f"expected schema {PROTOCOL_SCHEMA!r}, got {body.get('v')!r}",
+        )
+    frame_type = body.get("type")
+    if not isinstance(frame_type, str):
+        raise ProtocolError("unknown-type", "frame carries no type")
+    payload = {k: v for k, v in body.items() if k not in ("v", "type")}
+    _validate(frame_type, payload)
+    return Frame(frame_type, payload)
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete wire frame (length prefix + body).
+
+    Raises:
+        ProtocolError: on a short buffer, a length/body mismatch, or
+            any body-level violation.
+    """
+    if len(data) < 4:
+        raise ProtocolError("truncated", f"frame shorter than its prefix: {len(data)}")
+    length = int.from_bytes(data[:4], "big")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "oversize", f"declared length {length} exceeds cap {MAX_FRAME_BYTES}"
+        )
+    if len(data) - 4 != length:
+        raise ProtocolError(
+            "truncated", f"declared {length} bytes, got {len(data) - 4}"
+        )
+    return decode_body(data[4:])
+
+
+# ----------------------------------------------------------------------
+# asyncio stream helpers
+# ----------------------------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Frame]:
+    """Read one frame from a stream; ``None`` on clean EOF.
+
+    The length prefix is validated *before* the body is buffered, so an
+    oversize declaration costs four bytes of reading, not ``max_bytes``.
+
+    Raises:
+        ProtocolError: on an oversize declaration, a mid-frame EOF, or
+            a body-level violation.
+    """
+    prefix = await reader.read(4)
+    if not prefix:
+        return None
+    while len(prefix) < 4:
+        more = await reader.read(4 - len(prefix))
+        if not more:
+            raise ProtocolError("truncated", "EOF inside length prefix")
+        prefix += more
+    length = int.from_bytes(prefix, "big")
+    if length > max_bytes:
+        raise ProtocolError(
+            "oversize", f"declared length {length} exceeds cap {max_bytes}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("truncated", "EOF inside frame body") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
+    """Serialise and flush one frame."""
+    writer.write(encode_frame(frame))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# frame constructors
+# ----------------------------------------------------------------------
+
+
+def reseed(group: str, protocol: str) -> Frame:
+    """Client request: issue me a fresh challenge for ``group``."""
+    return Frame("RESEED", {"group": group, "protocol": protocol})
+
+
+def challenge_frame(
+    group: str,
+    protocol: str,
+    round_index: int,
+    frame_size: int,
+    seeds,
+    timer_us: Optional[float] = None,
+) -> Frame:
+    """Server challenge. TRP sends one seed; UTRP sends the whole
+    pre-committed list plus the Alg. 5 timer."""
+    payload = {
+        "group": group,
+        "protocol": protocol,
+        "round": int(round_index),
+        "frame_size": int(frame_size),
+        "seeds": [int(s) for s in seeds],
+    }
+    if timer_us is not None:
+        payload["timer_us"] = float(timer_us)
+    return Frame("CHALLENGE", payload)
+
+
+def bitstring_frame(
+    group: str,
+    round_index: int,
+    bitstring: np.ndarray,
+    elapsed_us: float,
+    seeds_used: int,
+) -> Frame:
+    """Client proof: the scan's occupancy string plus air time."""
+    return Frame(
+        "BITSTRING",
+        {
+            "group": group,
+            "round": int(round_index),
+            "bits": array_to_bits(bitstring),
+            "elapsed_us": float(elapsed_us),
+            "seeds_used": int(seeds_used),
+        },
+    )
+
+
+def verdict_frame(
+    group: str,
+    round_index: int,
+    verdict: str,
+    frame_size: int,
+    mismatched_slots: int,
+    elapsed_us: float,
+    alarm: bool,
+) -> Frame:
+    """Server conclusion for one round."""
+    return Frame(
+        "VERDICT",
+        {
+            "group": group,
+            "round": int(round_index),
+            "verdict": verdict,
+            "frame_size": int(frame_size),
+            "mismatched_slots": int(mismatched_slots),
+            "elapsed_us": float(elapsed_us),
+            "alarm": bool(alarm),
+        },
+    )
+
+
+def error_frame(code: str, detail: str) -> Frame:
+    """Protocol-level failure notice (either direction)."""
+    return Frame("ERROR", {"code": code, "detail": detail})
+
+
+# ----------------------------------------------------------------------
+# bitstring codec
+# ----------------------------------------------------------------------
+
+
+def array_to_bits(bitstring: np.ndarray) -> str:
+    """Occupancy vector -> ``"0101..."`` wire string."""
+    return "".join("1" if b else "0" for b in np.asarray(bitstring).tolist())
+
+
+def bits_to_array(bits: str) -> np.ndarray:
+    """Wire string -> occupancy vector.
+
+    Raises:
+        ProtocolError: if any character is not ``0`` or ``1``.
+    """
+    if bits.strip("01"):
+        raise ProtocolError("bad-field", "bits must contain only 0/1")
+    return np.frombuffer(bits.encode("ascii"), dtype=np.uint8) - ord("0")

@@ -1,0 +1,340 @@
+"""Per-connection session state machine for the monitoring service.
+
+One session is one reader connection. Its lifecycle is a strict
+alternation the server enforces frame by frame::
+
+    WAIT_REQUEST --RESEED--> CHALLENGED --BITSTRING--> WAIT_REQUEST
+         |                        |
+         |  (malformed frame)     |  (deadline expires)
+         +--> ERROR, stay         +--> VERDICT rejected-late (Thm. 5)
+
+Degradation is *per session*: a malformed or out-of-order frame earns
+an ERROR reply and resets the round, never an unhandled exception; only
+transport-level desync (a garbled length prefix, an oversize
+declaration, EOF mid-frame) or an exhausted error budget closes the
+connection, because after those the byte stream can no longer be
+re-framed safely.
+
+Timer enforcement is the paper's Alg. 5 line 5 made real: the UTRP
+challenge's ``timer`` (simulated microseconds of air time) maps to an
+``asyncio`` deadline on the BITSTRING read via
+:attr:`SessionConfig.wall_us_per_s`, and a proof that misses the
+deadline — or arrives carrying more elapsed air time than the timer —
+takes the Theorem-5 path: verdict ``rejected-late``, operator alarm.
+The clock is injectable so the deadline logic is testable without
+sleeping against the host's scheduler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..rfid.reader import ScanResult
+from . import protocol
+from .protocol import Frame, ProtocolError
+
+__all__ = ["SessionConfig", "SessionStats", "ServeSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Knobs governing one session's patience and strictness.
+
+    Attributes:
+        reply_timeout_s: transport guard — hard wall-clock ceiling on
+            waiting for a BITSTRING, whatever the protocol timer says.
+        idle_timeout_s: how long to wait for the next RESEED before
+            evicting an idle client (``None`` = forever).
+        max_frame_bytes: per-session receive cap, defaulting to the
+            protocol-wide :data:`~repro.serve.protocol.MAX_FRAME_BYTES`.
+        max_errors: recoverable protocol errors tolerated before the
+            session is evicted as hostile or hopelessly confused.
+        wall_us_per_s: conversion from wall seconds to simulated
+            microseconds. When positive, the UTRP timer becomes a real
+            ``asyncio`` deadline (``timer_us / wall_us_per_s`` seconds)
+            and the wall-clock wait contributes to the elapsed time the
+            verdict judges. When 0 (default) the server trusts the
+            reader's self-reported air time — the deterministic
+            loopback mode the equivalence tests pin.
+        clock: monotonic time source, injectable for deterministic
+            timer tests.
+    """
+
+    reply_timeout_s: float = 30.0
+    idle_timeout_s: Optional[float] = None
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    max_errors: int = 5
+    wall_us_per_s: float = 0.0
+    clock: Callable[[], float] = time.monotonic
+
+
+@dataclass
+class SessionStats:
+    """Counters one session accumulates (mirrored into obs metrics)."""
+
+    rounds: int = 0
+    verdicts: int = 0
+    timeouts: int = 0
+    protocol_errors: int = 0
+    frames_in: int = 0
+    frames_out: int = 0
+
+
+class SessionClosed(Exception):
+    """Internal: the session must terminate (transport desync or
+    exhausted error budget)."""
+
+
+class ServeSession:
+    """Drives one reader connection against the hosted groups.
+
+    The service (``repro.serve.server``) owns group state and
+    backpressure primitives; the session owns only conversation state,
+    so a crashed session never corrupts a group.
+    """
+
+    def __init__(
+        self,
+        service,
+        session_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        config: Optional[SessionConfig] = None,
+    ):
+        self.service = service
+        self.session_id = session_id
+        self.reader = reader
+        self.writer = writer
+        self.config = config if config is not None else SessionConfig()
+        self.stats = SessionStats()
+        self.scope = f"serve/session-{session_id:05d}"
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+    # ------------------------------------------------------------------
+
+    async def _send(self, frame: Frame) -> None:
+        await protocol.write_frame(self.writer, frame)
+        self.stats.frames_out += 1
+        self.service.observe_frame(self, frame.type, "out")
+
+    async def _recv(self, timeout: Optional[float]) -> Optional[Frame]:
+        """One frame, or ``None`` on EOF.
+
+        Raises:
+            SessionClosed: when the stream can no longer be re-framed.
+            asyncio.TimeoutError: when ``timeout`` expires.
+        """
+        try:
+            frame = await asyncio.wait_for(
+                protocol.read_frame(self.reader, self.config.max_frame_bytes),
+                timeout=timeout,
+            )
+        except ProtocolError as exc:
+            # Length-prefix level damage: the stream is desynced, no
+            # later frame boundary can be trusted. Tell the peer, then
+            # hang up.
+            self.stats.protocol_errors += 1
+            self.service.observe_error(self, exc.code)
+            try:
+                await self._send(protocol.error_frame(exc.code, exc.detail))
+            except (ConnectionError, ProtocolError):
+                pass
+            raise SessionClosed(exc.code) from exc
+        if frame is not None:
+            self.stats.frames_in += 1
+            self.service.observe_frame(self, frame.type, "in")
+        return frame
+
+    async def _recoverable_error(self, code: str, detail: str) -> None:
+        """ERROR reply for a violation with intact framing; evict after
+        ``max_errors`` of them."""
+        self.stats.protocol_errors += 1
+        self.service.observe_error(self, code)
+        await self._send(protocol.error_frame(code, detail))
+        if self.stats.protocol_errors >= self.config.max_errors:
+            raise SessionClosed("error-budget")
+
+    # ------------------------------------------------------------------
+    # the conversation
+    # ------------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve frames until EOF, eviction, or transport desync."""
+        self.service.observe_session(self, "open")
+        try:
+            while True:
+                try:
+                    frame = await self._recv(self.config.idle_timeout_s)
+                except asyncio.TimeoutError:
+                    await self._send(
+                        protocol.error_frame("idle-timeout", "no request in time")
+                    )
+                    break
+                if frame is None:
+                    break
+                if frame.type == "RESEED":
+                    await self._serve_round(frame)
+                elif frame.type == "ERROR":
+                    # A peer-side complaint; log and carry on.
+                    self.service.observe_error(self, f"peer:{frame['code']}")
+                else:
+                    await self._recoverable_error(
+                        "unexpected-frame",
+                        f"{frame.type} is not valid while awaiting a request",
+                    )
+        except SessionClosed:
+            pass
+        except ConnectionError:
+            pass
+        finally:
+            self.service.observe_session(self, "close")
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_round(self, request: Frame) -> None:
+        """One RESEED -> CHALLENGE -> BITSTRING -> VERDICT exchange."""
+        group_name = request["group"]
+        proto = request["protocol"]
+        group = self.service.groups.get(group_name)
+        if group is None:
+            await self._recoverable_error(
+                "unknown-group", f"no group named {group_name!r}"
+            )
+            return
+        if proto not in ("trp", "utrp"):
+            await self._recoverable_error(
+                "bad-field", f"protocol must be 'trp' or 'utrp', got {proto!r}"
+            )
+            return
+        if proto == "utrp" and not group.monitor.counter_tags:
+            await self._recoverable_error(
+                "unknown-group",
+                f"group {group_name!r} has no counter tags; UTRP unavailable",
+            )
+            return
+
+        # Rounds on one group serialise (seed issuance and counter
+        # commits are one atomic step per round); total in-flight
+        # rounds are bounded service-wide.
+        async with group.lock, self.service.inflight:
+            await self._challenged_round(group, proto)
+
+    async def _challenged_round(self, group, proto: str) -> None:
+        cfg = self.config
+        monitor = group.monitor
+        round_index = group.rounds_issued
+        group.rounds_issued += 1
+        self.stats.rounds += 1
+
+        if proto == "trp":
+            challenge = monitor.issuer.trp_challenge(group.trp_frame_size)
+            seeds = [challenge.seed]
+            timer_us = None
+        else:
+            frame_size, timer_us = group.utrp_plan()
+            challenge = monitor.issuer.utrp_challenge(frame_size, timer_us)
+            seeds = list(challenge.seeds)
+        await self._send(
+            protocol.challenge_frame(
+                group.name, proto, round_index, challenge.frame_size, seeds, timer_us
+            )
+        )
+        issued_at = cfg.clock()
+
+        # The paper's timer as a real deadline: the BITSTRING must land
+        # within the scaled timer (UTRP) and the transport guard (both).
+        deadline = cfg.reply_timeout_s
+        if timer_us is not None and cfg.wall_us_per_s > 0.0:
+            deadline = min(deadline, timer_us / cfg.wall_us_per_s)
+        try:
+            reply = await self._recv(deadline)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            result = monitor.register_remote_timeout(
+                proto.upper(),
+                challenge.frame_size,
+                elapsed=(cfg.clock() - issued_at) * max(cfg.wall_us_per_s, 1.0),
+            )
+            self.stats.verdicts += 1
+            self.service.observe_verdict(group, proto, result, timed_out=True)
+            try:
+                await self._send(
+                    protocol.verdict_frame(
+                        group.name,
+                        round_index,
+                        result.verdict.value,
+                        challenge.frame_size,
+                        0,
+                        result.elapsed,
+                        result.verdict.alarm,
+                    )
+                )
+            finally:
+                group.timeouts += 1
+            return
+        if reply is None:
+            raise SessionClosed("eof-mid-round")
+        if (
+            reply.type != "BITSTRING"
+            or reply["group"] != group.name
+            or reply["round"] != round_index
+        ):
+            await self._recoverable_error(
+                "unexpected-frame",
+                f"expected BITSTRING for {group.name!r} round {round_index}, "
+                f"got {reply.type}",
+            )
+            return
+
+        try:
+            bits = protocol.bits_to_array(reply["bits"])
+        except ProtocolError as exc:
+            await self._recoverable_error(exc.code, exc.detail)
+            return
+        elapsed_us = float(reply["elapsed_us"])
+        if cfg.wall_us_per_s > 0.0:
+            wall_us = (cfg.clock() - issued_at) * cfg.wall_us_per_s
+            elapsed_us = max(elapsed_us, wall_us)
+        scan = ScanResult(
+            bitstring=bits,
+            slots_used=int(bits.size),
+            seeds_used=int(reply["seeds_used"]),
+        )
+        if proto == "trp":
+            report = monitor.check_trp(
+                None, challenge=challenge, scan_fn=lambda _c: scan
+            )
+        else:
+            report = monitor.check_utrp(
+                None,
+                challenge=challenge,
+                scan_fn=lambda _c: (scan, elapsed_us),
+            )
+        result = report.result
+        self.stats.verdicts += 1
+        self.service.observe_verdict(group, proto, result)
+        # Record the report only once the VERDICT frame is flushed (or
+        # the send failed for good): pollers treat the report count as
+        # "verdicts delivered" and must not observe a round whose reply
+        # is still in the socket buffer.
+        try:
+            await self._send(
+                protocol.verdict_frame(
+                    group.name,
+                    round_index,
+                    result.verdict.value,
+                    result.frame_size,
+                    len(result.mismatched_slots),
+                    result.elapsed,
+                    result.verdict.alarm,
+                )
+            )
+        finally:
+            group.reports.append(report)

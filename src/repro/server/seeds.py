@@ -10,6 +10,7 @@ an audit trail so tests can assert the guarantee.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
@@ -102,10 +103,15 @@ class SeedIssuer:
 
         Raises:
             ValueError: if ``frame_size`` is not positive or the timer
-                is not positive.
+                is not a positive finite number (an ``inf`` timer would
+                disarm Alg. 5's deadline entirely; ``nan`` compares
+                false against every elapsed time, accepting arbitrarily
+                late proofs).
         """
         if frame_size <= 0:
             raise ValueError(f"frame_size must be positive, got {frame_size}")
+        if not math.isfinite(timer):
+            raise ValueError(f"timer must be finite, got {timer}")
         if timer <= 0:
             raise ValueError(f"timer must be positive, got {timer}")
         return UtrpChallenge(

@@ -23,6 +23,7 @@ DOC_FILES = [
     os.path.join("docs", "API.md"),
     os.path.join("docs", "PERFORMANCE.md"),
     os.path.join("docs", "ROBUSTNESS.md"),
+    os.path.join("docs", "SERVING.md"),
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")

@@ -23,6 +23,7 @@ CASES = [
     ("missing_tag_forensics.py", "confirmed missing items"),
     ("protocol_trace_walkthrough.py", "tag counters after the scan"),
     ("dishonest_reader_audit.py", "forged UTRP proofs caught"),
+    ("warehouse_remote_readers.py", "UTRP timer alarms: 1 of 3 docks"),
 ]
 
 

@@ -68,3 +68,40 @@ class TestUtrpChallenges:
             issuer.utrp_challenge(0, timer=1.0)
         with pytest.raises(ValueError):
             issuer.utrp_challenge(5, timer=0.0)
+
+
+class TestTimerFiniteness:
+    """A non-finite timer would make Alg. 5's deadline meaningless:
+    ``inf`` never expires and ``nan`` poisons every comparison. The
+    issuer rejects both at the source."""
+
+    def test_infinite_timer_rejected(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="finite"):
+            issuer.utrp_challenge(5, timer=float("inf"))
+
+    def test_negative_infinite_timer_rejected(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="finite"):
+            issuer.utrp_challenge(5, timer=float("-inf"))
+
+    def test_nan_timer_rejected(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        with pytest.raises(ValueError, match="finite"):
+            issuer.utrp_challenge(5, timer=float("nan"))
+
+    def test_rejection_consumes_no_seeds(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        before = issuer.issued_count
+        with pytest.raises(ValueError):
+            issuer.utrp_challenge(5, timer=float("nan"))
+        assert issuer.issued_count == before
+        # ... so the seed sequence is unchanged for the next round.
+        witness = SeedIssuer(np.random.default_rng(0))
+        assert issuer.utrp_challenge(5, timer=1.0).seeds == (
+            witness.utrp_challenge(5, timer=1.0).seeds
+        )
+
+    def test_finite_timer_still_accepted(self):
+        issuer = SeedIssuer(np.random.default_rng(0))
+        assert issuer.utrp_challenge(5, timer=2.5).timer == 2.5

@@ -1,0 +1,189 @@
+"""Wire-path vs in-process equivalence (the serve layer's core claim).
+
+Moving a round onto the network must change *nothing* about its
+cryptographic content: for identical ``(master_seed, group, f, r)`` the
+networked path and the in-process path must issue the same challenge
+seeds, elicit the same bitstrings, and reach the same verdicts. These
+tests build twin deployments — one driven through a loopback
+``MonitoringService`` + ``ReaderClient``, one through the classic
+``MonitoringServer.check_*`` calls — and compare round by round.
+
+Also pinned here (the companion refactor): the serve layer's UTRP
+deadline comes from :func:`repro.core.utrp.default_timer`, the *same*
+helper the in-process path now uses, so the two paths cannot drift.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.core import MonitoringServer, MonitorRequirement, default_timer
+from repro.core.utrp import UNIT_SLOTS, estimate_scan_time_bounds
+from repro.rfid.channel import SlottedChannel
+from repro.serve import MonitoringService, ReaderClient
+
+POP = 60
+TOL = 2
+ALPHA = 0.9
+SEED = 21
+
+
+def _inprocess_rounds(protocol: str, rounds: int):
+    """The classic single-interpreter deployment, round by round."""
+    requirement = MonitorRequirement(POP, TOL, ALPHA)
+    monitor = MonitoringServer(
+        requirement,
+        rng=np.random.default_rng(SEED + 1),
+        counter_tags=True,
+        comm_budget=20,
+    )
+    from repro.rfid.population import TagPopulation
+
+    tags = TagPopulation.create(
+        POP, uses_counter=True, rng=np.random.default_rng(SEED)
+    )
+    monitor.register(tags.ids.tolist())
+    channel = SlottedChannel(tags.tags)
+    reports = []
+    for _ in range(rounds):
+        if protocol == "trp":
+            reports.append(monitor.check_trp(channel))
+        else:
+            reports.append(monitor.check_utrp(channel))
+    return reports
+
+
+def _wire_rounds(protocol: str, rounds: int):
+    """The same deployment split across a loopback wire."""
+
+    async def scenario():
+        svc = MonitoringService()
+        svc.create_group("g", POP, TOL, ALPHA, seed=SEED, counter_tags=True)
+        async with svc:
+            population = MonitoringService.build_population_for(
+                POP, seed=SEED, counter_tags=True
+            )
+            channel = SlottedChannel(population.tags)
+            async with ReaderClient("127.0.0.1", svc.port, channel) as client:
+                outcomes = await client.run_rounds("g", rounds, protocol)
+            return outcomes, list(svc.groups["g"].reports)
+
+    return asyncio.run(scenario())
+
+
+class TestTrpEquivalence:
+    def test_verdicts_seeds_and_bitstrings_match(self):
+        rounds = 4
+        local = _inprocess_rounds("trp", rounds)
+        outcomes, remote = _wire_rounds("trp", rounds)
+        assert len(remote) == rounds
+        for lo, ro in zip(local, remote):
+            assert ro.challenge.seed == lo.challenge.seed
+            assert ro.challenge.frame_size == lo.challenge.frame_size
+            np.testing.assert_array_equal(ro.scan.bitstring, lo.scan.bitstring)
+            assert ro.result.verdict == lo.result.verdict
+            assert ro.result.mismatched_slots == lo.result.mismatched_slots
+        for outcome, lo in zip(outcomes, local):
+            assert outcome.verdict == lo.result.verdict.value
+
+
+class TestUtrpEquivalence:
+    def test_verdicts_seeds_and_bitstrings_match(self):
+        rounds = 3
+        local = _inprocess_rounds("utrp", rounds)
+        outcomes, remote = _wire_rounds("utrp", rounds)
+        assert len(remote) == rounds
+        for lo, ro in zip(local, remote):
+            assert tuple(ro.challenge.seeds) == tuple(lo.challenge.seeds)
+            assert ro.challenge.frame_size == lo.challenge.frame_size
+            np.testing.assert_array_equal(ro.scan.bitstring, lo.scan.bitstring)
+            assert ro.result.verdict == lo.result.verdict
+            assert ro.scan.seeds_used == lo.scan.seeds_used
+        for outcome, lo in zip(outcomes, local):
+            assert outcome.verdict == lo.result.verdict.value
+
+    def test_theft_detected_identically(self):
+        # Same theft on both sides: same mismatched slot sets.
+        def steal(population):
+            population.remove_random(
+                5, rng=np.random.default_rng(123)
+            )
+
+        requirement = MonitorRequirement(POP, TOL, ALPHA)
+        monitor = MonitoringServer(
+            requirement,
+            rng=np.random.default_rng(SEED + 1),
+            counter_tags=True,
+        )
+        from repro.rfid.population import TagPopulation
+
+        tags = TagPopulation.create(
+            POP, uses_counter=True, rng=np.random.default_rng(SEED)
+        )
+        monitor.register(tags.ids.tolist())
+        steal(tags)
+        local = monitor.check_utrp(SlottedChannel(tags.tags))
+
+        async def scenario():
+            svc = MonitoringService()
+            svc.create_group("g", POP, TOL, ALPHA, seed=SEED, counter_tags=True)
+            async with svc:
+                population = MonitoringService.build_population_for(
+                    POP, seed=SEED, counter_tags=True
+                )
+                steal(population)
+                channel = SlottedChannel(population.tags)
+                async with ReaderClient("127.0.0.1", svc.port, channel) as c:
+                    await c.run_round("g", "utrp")
+                return svc.groups["g"].reports[0]
+
+        remote = asyncio.run(scenario())
+        assert remote.result.verdict == local.result.verdict
+        assert remote.result.verdict.value == "not-intact"
+        assert (
+            remote.result.mismatched_slots == local.result.mismatched_slots
+        )
+
+
+class TestTimerParity:
+    """Satellite pin: the serve path and the in-process path compute
+    the UTRP deadline with the same helper, for the same population."""
+
+    def test_default_timer_is_the_stmax_upper_bound(self):
+        for f, n in [(50, 30), (137, 50), (400, 200)]:
+            assert default_timer(f, n) == (
+                estimate_scan_time_bounds(f, n, UNIT_SLOTS)[1]
+            )
+
+    def test_wire_challenge_timer_equals_default_timer(self):
+        async def scenario():
+            from repro.serve import protocol
+
+            svc = MonitoringService()
+            svc.create_group("g", POP, TOL, ALPHA, seed=SEED, counter_tags=True)
+            group = svc.groups["g"]
+            async with svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await protocol.write_frame(writer, protocol.reseed("g", "utrp"))
+                challenge = await protocol.read_frame(reader)
+                writer.close()
+            return challenge, group
+
+        challenge, group = asyncio.run(scenario())
+        assert challenge.type == "CHALLENGE"
+        expected = default_timer(
+            group.monitor.utrp_frame_size,
+            POP,
+            group.monitor.timing,
+        )
+        assert challenge["timer_us"] == expected
+
+    def test_in_process_round_uses_default_timer(self):
+        # The refactor's contract: run_utrp_round with no explicit
+        # timer issues exactly default_timer(f, n).
+        local = _inprocess_rounds("utrp", 1)[0]
+        assert local.challenge.timer == default_timer(
+            local.challenge.frame_size, POP
+        )

@@ -1,0 +1,149 @@
+"""Tests for the serve load generator (repro.serve.loadgen)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import BENCH_SCHEMA, validate_bench_record
+from repro.serve import LoadgenConfig, format_loadgen_result, run_loadgen
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_shape(self):
+        for kwargs in (
+            {"groups": 0},
+            {"rounds": 0},
+            {"concurrency": 0},
+            {"population": 0},
+            {"sessions": 0},
+            {"arrival_rate": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                LoadgenConfig(**kwargs)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(protocol="quantum")
+
+    def test_utrp_pins_one_session_per_group(self):
+        with pytest.raises(ValueError, match="stateful"):
+            LoadgenConfig(groups=2, sessions=5, protocol="utrp")
+
+    def test_counter_tags_default_tracks_protocol(self):
+        assert LoadgenConfig(protocol="trp").effective_counter_tags is False
+        assert LoadgenConfig(protocol="utrp").effective_counter_tags is True
+        assert LoadgenConfig(counter_tags=True).effective_counter_tags is True
+
+
+class TestSmallCampaigns:
+    def test_trp_campaign_clean(self):
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=4, rounds=2, concurrency=4, population=30, seed=3
+            )
+        )
+        assert result.protocol_errors == 0
+        assert result.timeouts == 0
+        assert result.rounds_completed == 8
+        assert result.verdict_counts == {"intact": 8}
+        assert result.intact_rounds == 8
+        assert result.throughput_rps > 0
+
+    def test_utrp_campaign_clean(self):
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=3, rounds=2, concurrency=3, population=30,
+                protocol="utrp", seed=3,
+            )
+        )
+        assert result.protocol_errors == 0
+        assert result.verdict_counts == {"intact": 6}
+
+    def test_more_sessions_than_groups_share_groups(self):
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=2, sessions=6, rounds=1, concurrency=6,
+                population=30, seed=3,
+            )
+        )
+        assert result.protocol_errors == 0
+        assert result.rounds_completed == 6
+
+    def test_open_loop_arrivals(self):
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=3, rounds=1, concurrency=3, population=30,
+                arrival_rate=200.0, seed=3,
+            )
+        )
+        assert result.protocol_errors == 0
+        assert result.rounds_completed == 3
+
+
+class TestBenchRecord:
+    def test_record_is_schema_valid_and_json_serialisable(self):
+        result = run_loadgen(
+            LoadgenConfig(groups=2, rounds=2, population=30, seed=5)
+        )
+        validate_bench_record(result.record)  # raises on violation
+        assert result.record["schema"] == BENCH_SCHEMA
+        json.dumps(result.record)  # BENCH_serve.json must be writable
+        names = [t["name"] for t in result.record["timings"]]
+        assert names == ["serve.loadgen.round", "serve.loadgen.campaign"]
+        for timing in result.record["timings"]:
+            assert timing["kind"] == "serve-loadgen"
+
+    def test_campaign_entry_carries_the_load_shape(self):
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=2, rounds=3, concurrency=2, population=30, seed=5
+            )
+        )
+        campaign = result.record["timings"][1]
+        assert campaign["sessions"] == 2
+        assert campaign["concurrency"] == 2
+        assert campaign["rounds_per_session"] == 3
+        assert campaign["protocol"] == "trp"
+        assert campaign["protocol_errors"] == 0
+        assert campaign["verdicts"] == {"intact": 6}
+
+    def test_round_entry_carries_percentiles(self):
+        result = run_loadgen(
+            LoadgenConfig(groups=2, rounds=2, population=30, seed=5)
+        )
+        entry = result.record["timings"][0]
+        assert entry["reps"] == 4
+        assert 0 <= entry["wall_s_p50"] <= entry["wall_s_p95"]
+        assert entry["wall_s_p95"] <= entry["wall_s_p99"]
+        assert entry["wall_s_p99"] <= entry["wall_s_max"]
+
+    def test_format_mentions_the_numbers(self):
+        result = run_loadgen(
+            LoadgenConfig(groups=2, rounds=1, population=30, seed=5)
+        )
+        text = format_loadgen_result(result)
+        assert "rounds completed : 2" in text
+        assert "intact=2" in text
+        assert "p95" in text
+
+
+class TestConcurrencyAtScale:
+    def test_hundred_concurrent_sessions_no_errors(self):
+        # The acceptance bar: >= 100 concurrent loopback sessions with
+        # zero protocol errors. Stateless TRP groups let 100 sessions
+        # share 20 groups; concurrency=100 means they are all in
+        # flight at once.
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=20,
+                sessions=100,
+                rounds=1,
+                concurrency=100,
+                population=25,
+                seed=9,
+            )
+        )
+        assert result.protocol_errors == 0
+        assert result.timeouts == 0
+        assert result.rounds_completed == 100
+        assert result.verdict_counts == {"intact": 100}

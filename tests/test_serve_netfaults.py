@@ -1,0 +1,158 @@
+"""Tests for the network-fault adapter (repro.serve.netfaults)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.faults.models import GilbertElliott
+from repro.serve import (
+    FrameAction,
+    FrameFaultInjector,
+    MonitoringService,
+    ReaderClient,
+    SessionConfig,
+)
+from repro.rfid.channel import SlottedChannel
+
+POP = 30
+SEED = 13
+
+
+def _always_bad(loss: float = 1.0) -> GilbertElliott:
+    """A chain glued to its BAD state with the given per-frame loss."""
+    return GilbertElliott(
+        p_good_to_bad=1.0, p_bad_to_good=1e-12, loss_bad=loss, loss_good=0.0
+    )
+
+
+def _always_good() -> GilbertElliott:
+    """A chain that (to any realisable precision) never goes BAD."""
+    return GilbertElliott(
+        p_good_to_bad=1e-12, p_bad_to_good=1.0, loss_bad=0.0, loss_good=0.0
+    )
+
+
+class TestInjectorMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameFaultInjector(_always_bad(), None)
+        with pytest.raises(ValueError):
+            FrameFaultInjector(
+                _always_bad(), np.random.default_rng(0), delay_us=-1.0
+            )
+
+    def test_clean_channel_delivers_everything(self):
+        inj = FrameFaultInjector(_always_good(), np.random.default_rng(0))
+        actions = [inj.on_frame("BITSTRING") for _ in range(50)]
+        assert all(a == FrameAction() for a in actions)
+        assert inj.frames_dropped == 0
+        assert inj.frames_seen == 50
+
+    def test_bad_state_drops_at_loss_bad(self):
+        inj = FrameFaultInjector(_always_bad(1.0), np.random.default_rng(0))
+        actions = [inj.on_frame("BITSTRING") for _ in range(20)]
+        assert all(a.dropped for a in actions)
+        assert inj.frames_dropped == 20
+
+    def test_bad_state_survivors_are_delayed(self):
+        inj = FrameFaultInjector(
+            _always_bad(0.0), np.random.default_rng(0), delay_us=500.0
+        )
+        action = inj.on_frame("BITSTRING")
+        assert not action.dropped
+        assert action.delay_us == 500.0
+        assert inj.frames_delayed == 1
+
+    def test_seeded_schedule_replays(self):
+        model = GilbertElliott(
+            p_good_to_bad=0.3, p_bad_to_good=0.4, loss_bad=0.8, loss_good=0.05
+        )
+        a = FrameFaultInjector(model, np.random.default_rng(42), delay_us=10.0)
+        b = FrameFaultInjector(model, np.random.default_rng(42), delay_us=10.0)
+        actions_a = [a.on_frame("x") for _ in range(200)]
+        actions_b = [b.on_frame("x") for _ in range(200)]
+        assert actions_a == actions_b
+        assert a.frames_dropped > 0  # the schedule actually bites
+
+
+class TestFaultsOverTheWire:
+    def test_dropped_proof_triggers_deadline_alarm(self):
+        # A burst swallows the BITSTRING: the server's deadline fires,
+        # the round takes the Theorem-5 path, the reader receives the
+        # unprompted rejected-late verdict.
+        config = SessionConfig(reply_timeout_s=0.05)
+
+        async def scenario():
+            svc = MonitoringService(session_config=config)
+            svc.create_group("g", POP, 2, 0.9, seed=SEED, counter_tags=True)
+            async with svc:
+                population = MonitoringService.build_population_for(
+                    POP, seed=SEED, counter_tags=True
+                )
+                injector = FrameFaultInjector(
+                    _always_bad(1.0), np.random.default_rng(0)
+                )
+                client = ReaderClient(
+                    "127.0.0.1",
+                    svc.port,
+                    SlottedChannel(population.tags),
+                    fault_injector=injector,
+                )
+                async with client:
+                    outcome = await client.run_round("g", "utrp")
+                return outcome, injector, svc.groups["g"].monitor.alerts
+
+        outcome, injector, alerts = asyncio.run(scenario())
+        assert injector.frames_dropped == 1
+        assert outcome.verdict == "rejected-late"
+        assert outcome.alarm is True
+        assert len(alerts) == 1
+
+    def test_delayed_proof_past_timer_is_rejected_late(self):
+        # The frame survives but the burst's queueing delay lands it
+        # beyond the UTRP timer.
+        async def scenario():
+            svc = MonitoringService()
+            svc.create_group("g", POP, 2, 0.9, seed=SEED, counter_tags=True)
+            async with svc:
+                population = MonitoringService.build_population_for(
+                    POP, seed=SEED, counter_tags=True
+                )
+                injector = FrameFaultInjector(
+                    _always_bad(0.0),
+                    np.random.default_rng(0),
+                    delay_us=1.0e6,
+                )
+                client = ReaderClient(
+                    "127.0.0.1",
+                    svc.port,
+                    SlottedChannel(population.tags),
+                    fault_injector=injector,
+                )
+                async with client:
+                    return await client.run_round("g", "utrp")
+
+        outcome = asyncio.run(scenario())
+        assert outcome.verdict == "rejected-late"
+
+    def test_clean_network_unaffected_by_adapter(self):
+        async def scenario():
+            svc = MonitoringService()
+            svc.create_group("g", POP, 2, 0.9, seed=SEED, counter_tags=True)
+            async with svc:
+                population = MonitoringService.build_population_for(
+                    POP, seed=SEED, counter_tags=True
+                )
+                client = ReaderClient(
+                    "127.0.0.1",
+                    svc.port,
+                    SlottedChannel(population.tags),
+                    fault_injector=FrameFaultInjector(
+                        _always_good(), np.random.default_rng(0)
+                    ),
+                )
+                async with client:
+                    return await client.run_round("g", "trp")
+
+        assert asyncio.run(scenario()).verdict == "intact"

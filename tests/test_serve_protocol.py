@@ -1,0 +1,248 @@
+"""Tests for the repro.serve/v1 wire protocol (repro.serve.protocol)."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Frame,
+    MAX_FRAME_BYTES,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    array_to_bits,
+    bits_to_array,
+    decode_body,
+    decode_frame,
+    encode_frame,
+)
+
+
+def _body(frame: Frame) -> dict:
+    """The JSON object a frame puts on the wire."""
+    return json.loads(encode_frame(frame)[4:].decode())
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            protocol.reseed("g0", "trp"),
+            protocol.challenge_frame("g0", "trp", 0, 77, [123456789]),
+            protocol.challenge_frame(
+                "g0", "utrp", 3, 137, list(range(137)), timer_us=137.0
+            ),
+            protocol.bitstring_frame(
+                "g0", 0, np.array([1, 0, 1, 1], dtype=np.uint8), 4.0, 4
+            ),
+            protocol.verdict_frame("g0", 0, "intact", 77, 0, 77.0, False),
+            protocol.error_frame("bad-json", "what even was that"),
+        ],
+        ids=lambda f: f.type,
+    )
+    def test_encode_decode_identity(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.type == frame.type
+        # Encoding normalises values (int seeds, float timers); decoding
+        # the encoded form must be a fixed point.
+        assert decode_frame(encode_frame(decoded)) == decoded
+
+    def test_wire_form_is_length_prefixed_json(self):
+        data = encode_frame(protocol.reseed("g0", "trp"))
+        length = int.from_bytes(data[:4], "big")
+        assert length == len(data) - 4
+        body = json.loads(data[4:].decode())
+        assert body["v"] == PROTOCOL_SCHEMA
+        assert body["type"] == "RESEED"
+
+    def test_trp_challenge_omits_timer(self):
+        body = _body(protocol.challenge_frame("g", "trp", 0, 10, [1]))
+        assert "timer_us" not in body
+        frame = decode_body(json.dumps(body).encode())
+        assert frame.get("timer_us") is None
+
+    def test_utrp_challenge_carries_timer(self):
+        frame = decode_frame(
+            encode_frame(
+                protocol.challenge_frame("g", "utrp", 0, 3, [1, 2, 3], 99.0)
+            )
+        )
+        assert frame["timer_us"] == 99.0
+        assert frame["seeds"] == [1, 2, 3]
+
+
+class TestStrictness:
+    def _raw(self, body: dict) -> bytes:
+        return json.dumps(body).encode()
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(b"{not json")
+        assert err.value.code == "bad-json"
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(b"[1, 2]")
+        assert err.value.code == "bad-json"
+
+    def test_wrong_schema_tag_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(
+                self._raw({"v": "repro.serve/v0", "type": "RESEED",
+                           "group": "g", "protocol": "trp"})
+            )
+        assert err.value.code == "bad-schema"
+
+    def test_missing_schema_tag_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(
+                self._raw({"type": "RESEED", "group": "g", "protocol": "trp"})
+            )
+        assert err.value.code == "bad-schema"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(self._raw({"v": PROTOCOL_SCHEMA, "type": "GOSSIP"}))
+        assert err.value.code == "unknown-type"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(
+                self._raw({"v": PROTOCOL_SCHEMA, "type": "RESEED", "group": "g"})
+            )
+        assert err.value.code == "missing-field"
+
+    def test_wrong_field_type_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(
+                self._raw(
+                    {"v": PROTOCOL_SCHEMA, "type": "RESEED",
+                     "group": 7, "protocol": "trp"}
+                )
+            )
+        assert err.value.code == "bad-field"
+
+    def test_bool_is_not_an_int(self):
+        # JSON true would pass isinstance(_, int); the schema must not.
+        with pytest.raises(ProtocolError) as err:
+            decode_body(
+                self._raw(
+                    {"v": PROTOCOL_SCHEMA, "type": "BITSTRING", "group": "g",
+                     "round": True, "bits": "01", "elapsed_us": 1.0,
+                     "seeds_used": 1}
+                )
+            )
+        assert err.value.code == "bad-field"
+
+    def test_undeclared_extra_field_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(
+                self._raw(
+                    {"v": PROTOCOL_SCHEMA, "type": "RESEED", "group": "g",
+                     "protocol": "trp", "surprise": 1}
+                )
+            )
+        assert err.value.code == "unknown-field"
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(b"\x00\x00")
+        assert err.value.code == "truncated"
+
+    def test_length_body_mismatch_rejected(self):
+        data = encode_frame(protocol.reseed("g", "trp"))
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(data[:-1])
+        assert err.value.code == "truncated"
+
+    def test_oversize_declaration_rejected(self):
+        data = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(data + b"x")
+        assert err.value.code == "oversize"
+
+    def test_encode_validates_too(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame("RESEED", {"group": "g"}))  # missing protocol
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame("NOPE", {}))
+
+
+class TestStreamHelpers:
+    def _pipe(self):
+        reader = asyncio.StreamReader()
+        return reader
+
+    def test_read_back_what_was_written(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(protocol.reseed("g", "trp")))
+            reader.feed_data(
+                encode_frame(protocol.error_frame("bad-json", "x"))
+            )
+            reader.feed_eof()
+            first = await protocol.read_frame(reader)
+            second = await protocol.read_frame(reader)
+            third = await protocol.read_frame(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert first.type == "RESEED"
+        assert second.type == "ERROR"
+        assert third is None  # clean EOF
+
+    def test_eof_mid_prefix_is_truncated(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")
+            reader.feed_eof()
+            await protocol.read_frame(reader)
+
+        with pytest.raises(ProtocolError) as err:
+            asyncio.run(scenario())
+        assert err.value.code == "truncated"
+
+    def test_eof_mid_body_is_truncated(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(protocol.reseed("g", "trp"))[:-3])
+            reader.feed_eof()
+            await protocol.read_frame(reader)
+
+        with pytest.raises(ProtocolError) as err:
+            asyncio.run(scenario())
+        assert err.value.code == "truncated"
+
+    def test_oversize_declaration_read_without_buffering(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            # Four prefix bytes declaring 1 GiB; no body ever arrives.
+            reader.feed_data((1 << 30).to_bytes(4, "big"))
+            await protocol.read_frame(reader, max_bytes=1024)
+
+        with pytest.raises(ProtocolError) as err:
+            asyncio.run(scenario())
+        assert err.value.code == "oversize"
+
+
+class TestBitstringCodec:
+    def test_round_trip(self):
+        bits = np.array([0, 1, 1, 0, 1], dtype=np.uint8)
+        wire = array_to_bits(bits)
+        assert wire == "01101"
+        back = bits_to_array(wire)
+        assert back.dtype == np.uint8
+        np.testing.assert_array_equal(back, bits)
+
+    def test_empty_round_trip(self):
+        np.testing.assert_array_equal(
+            bits_to_array(array_to_bits(np.array([], dtype=np.uint8))),
+            np.array([], dtype=np.uint8),
+        )
+
+    def test_non_binary_characters_rejected(self):
+        for junk in ("012", "1 0", "ab", "0\n1"):
+            with pytest.raises(ProtocolError):
+                bits_to_array(junk)

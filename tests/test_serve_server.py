@@ -1,0 +1,362 @@
+"""Loopback tests for the asyncio monitoring service (repro.serve)."""
+
+import asyncio
+
+import pytest
+
+from repro.rfid.channel import SlottedChannel
+from repro.serve import (
+    MonitoringService,
+    ProtocolError,
+    ReaderClient,
+    SessionConfig,
+    protocol,
+)
+
+POP = 40
+SEED = 7
+
+
+def _service(session_config=None, **kwargs) -> MonitoringService:
+    svc = MonitoringService(session_config=session_config, **kwargs)
+    svc.create_group("g0", POP, 2, 0.9, seed=SEED, counter_tags=True)
+    return svc
+
+
+def _channel(missing: int = 0) -> SlottedChannel:
+    population = MonitoringService.build_population_for(
+        POP, seed=SEED, counter_tags=True
+    )
+    if missing:
+        population.remove_random(missing)
+    return SlottedChannel(population.tags)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRounds:
+    def test_trp_intact(self):
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    return await c.run_round("g0", "trp")
+
+        outcome = run(scenario())
+        assert outcome.verdict == "intact"
+        assert outcome.alarm is False
+        assert outcome.mismatched_slots == 0
+
+    def test_trp_theft_not_intact_and_alarmed(self):
+        async def scenario():
+            async with _service() as svc:
+                ch = _channel(missing=5)
+                async with ReaderClient("127.0.0.1", svc.port, ch) as c:
+                    outcome = await c.run_round("g0", "trp")
+                group = svc.groups["g0"]
+                return outcome, group.monitor.alerts
+
+        outcome, alerts = run(scenario())
+        assert outcome.verdict == "not-intact"
+        assert outcome.alarm is True
+        assert outcome.mismatched_slots > 0
+        assert len(alerts) == 1  # the operator was paged server-side
+
+    def test_utrp_intact(self):
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    return await c.run_round("g0", "utrp")
+
+        outcome = run(scenario())
+        assert outcome.verdict == "intact"
+
+    def test_round_indices_increment_across_sessions(self):
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    first = await c.run_round("g0", "trp")
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    second = await c.run_round("g0", "trp")
+                return first, second
+
+        first, second = run(scenario())
+        assert (first.round_index, second.round_index) == (0, 1)
+
+    def test_reports_accumulate_on_the_group(self):
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    await c.run_rounds("g0", 3, "trp")
+                return len(svc.groups["g0"].reports)
+
+        assert run(scenario()) == 3
+
+
+class TestTimerEnforcement:
+    def test_slow_utrp_reader_is_rejected_late(self):
+        # The reader's reported air time exceeds the challenge timer by
+        # one microsecond: Theorem 5 says reject, alarm.
+        async def scenario():
+            async with _service() as svc:
+                client = ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), extra_delay_us=1.0
+                )
+                async with client:
+                    outcome = await client.run_round("g0", "utrp")
+                return outcome, svc.groups["g0"].monitor.alerts
+
+        outcome, alerts = run(scenario())
+        assert outcome.verdict == "rejected-late"
+        assert outcome.alarm is True
+        assert len(alerts) == 1
+
+    def test_wall_clock_enforcement_with_injected_clock(self):
+        # The injectable clock advances a full simulated second between
+        # challenge and proof; under wall enforcement that dwarfs the
+        # timer, whatever the reader *claims* its air time was.
+        ticks = iter([0.0, 1.0, 1.0, 1.0])
+        config = SessionConfig(wall_us_per_s=1.0e6, clock=lambda: next(ticks))
+
+        async def scenario():
+            async with _service(session_config=config) as svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    return await c.run_round("g0", "utrp")
+
+        outcome = run(scenario())
+        assert outcome.verdict == "rejected-late"
+
+    def test_silent_reader_gets_deadline_verdict(self):
+        # RESEED, then never send the proof: the server's deadline
+        # fires and an unprompted rejected-late VERDICT comes back.
+        config = SessionConfig(reply_timeout_s=0.05)
+
+        async def scenario():
+            async with _service(session_config=config) as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await protocol.write_frame(writer, protocol.reseed("g0", "utrp"))
+                challenge = await protocol.read_frame(reader)
+                verdict = await protocol.read_frame(reader)
+                writer.close()
+                group = svc.groups["g0"]
+                return challenge, verdict, group.monitor.alerts, group.reports
+
+        challenge, verdict, alerts, reports = run(scenario())
+        assert challenge.type == "CHALLENGE"
+        assert verdict.type == "VERDICT"
+        assert verdict["verdict"] == "rejected-late"
+        assert verdict["alarm"] is True
+        assert len(alerts) == 1
+        # No bitstring ever arrived: nothing to append as a report, and
+        # the counter mirror must not have been advanced.
+        assert reports == []
+
+    def test_counters_not_committed_on_pure_timeout(self):
+        # After a pure timeout the mirror is unchanged, so an honest
+        # reader's next UTRP round still verifies intact.
+        config = SessionConfig(reply_timeout_s=0.05)
+
+        async def scenario():
+            async with _service(session_config=config) as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await protocol.write_frame(writer, protocol.reseed("g0", "utrp"))
+                await protocol.read_frame(reader)  # CHALLENGE
+                await protocol.read_frame(reader)  # deadline VERDICT
+                writer.close()
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    return await c.run_round("g0", "utrp")
+
+        assert run(scenario()).verdict == "intact"
+
+
+class TestDegradation:
+    def test_unknown_group_is_recoverable(self):
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await protocol.write_frame(
+                    writer, protocol.reseed("nope", "trp")
+                )
+                error = await protocol.read_frame(reader)
+                # Same connection, valid request: the session recovered.
+                ch = _channel()
+                client = ReaderClient("127.0.0.1", svc.port, ch)
+                client._stream = (reader, writer)
+                outcome = await client.run_round("g0", "trp")
+                await client.close()
+                return error, outcome
+
+        error, outcome = run(scenario())
+        assert error.type == "ERROR"
+        assert error["code"] == "unknown-group"
+        assert outcome.verdict == "intact"
+
+    def test_bad_protocol_name_is_recoverable(self):
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await protocol.write_frame(
+                    writer, protocol.reseed("g0", "quantum")
+                )
+                error = await protocol.read_frame(reader)
+                writer.close()
+                return error
+
+        error = run(scenario())
+        assert error["code"] == "bad-field"
+
+    def test_unexpected_bitstring_is_recoverable(self):
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                import numpy as np
+
+                await protocol.write_frame(
+                    writer,
+                    protocol.bitstring_frame(
+                        "g0", 0, np.array([1], dtype=np.uint8), 1.0, 1
+                    ),
+                )
+                error = await protocol.read_frame(reader)
+                writer.close()
+                return error
+
+        error = run(scenario())
+        assert error["code"] == "unexpected-frame"
+
+    def test_malformed_body_closes_that_session_only(self):
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                body = b"{definitely not json"
+                writer.write(len(body).to_bytes(4, "big") + body)
+                await writer.drain()
+                error = await protocol.read_frame(reader)
+                eof = await protocol.read_frame(reader)  # server hung up
+                writer.close()
+                # The service survives: a fresh session still works.
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    outcome = await c.run_round("g0", "trp")
+                return error, eof, outcome
+
+        error, eof, outcome = run(scenario())
+        assert error.type == "ERROR"
+        assert error["code"] == "bad-json"
+        assert eof is None
+        assert outcome.verdict == "intact"
+
+    def test_error_budget_evicts_repeat_offenders(self):
+        config = SessionConfig(max_errors=2)
+
+        async def scenario():
+            async with _service(session_config=config) as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                for _ in range(2):
+                    await protocol.write_frame(
+                        writer, protocol.reseed("nope", "trp")
+                    )
+                    frame = await protocol.read_frame(reader)
+                    assert frame["code"] == "unknown-group"
+                eof = await protocol.read_frame(reader)
+                writer.close()
+                return eof
+
+        assert run(scenario()) is None  # evicted after the budget
+
+    def test_client_raises_on_error_reply(self):
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    await c.run_round("missing-group", "trp")
+
+        with pytest.raises(ProtocolError) as err:
+            run(scenario())
+        assert err.value.code == "unknown-group"
+
+
+class TestBackpressure:
+    def test_server_busy_refusal(self):
+        async def scenario():
+            async with _service(max_sessions=1) as svc:
+                first_reader, first_writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                # Nudge the accept loop so the first session registers.
+                await asyncio.sleep(0.01)
+                second_reader, second_writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                refusal = await protocol.read_frame(second_reader)
+                eof = await protocol.read_frame(second_reader)
+                first_writer.close()
+                second_writer.close()
+                return refusal, eof, svc.sessions_refused
+
+        refusal, eof, refused = run(scenario())
+        assert refusal.type == "ERROR"
+        assert refusal["code"] == "server-busy"
+        assert eof is None
+        assert refused == 1
+
+    def test_inflight_semaphore_serialises_rounds(self):
+        # With max_inflight=1, two concurrent clients on two groups
+        # still both complete (they just take turns).
+        async def scenario():
+            svc = MonitoringService(max_inflight=1)
+            svc.create_group("g0", POP, 2, 0.9, seed=SEED, counter_tags=True)
+            svc.create_group("g1", POP, 2, 0.9, seed=SEED + 1, counter_tags=True)
+            async with svc:
+                async def one(group, seed):
+                    population = MonitoringService.build_population_for(
+                        POP, seed=seed, counter_tags=True
+                    )
+                    ch = SlottedChannel(population.tags)
+                    async with ReaderClient("127.0.0.1", svc.port, ch) as c:
+                        return await c.run_rounds(group, 2, "trp")
+
+                results = await asyncio.gather(
+                    one("g0", SEED), one("g1", SEED + 1)
+                )
+            return [o.verdict for outcomes in results for o in outcomes]
+
+        assert run(scenario()) == ["intact"] * 4
+
+
+class TestObsWiring:
+    def test_metrics_and_events_are_published(self):
+        from repro.obs import ObsContext
+
+        obs = ObsContext()
+
+        async def scenario():
+            svc = MonitoringService(obs=obs)
+            svc.create_group("g0", POP, 2, 0.9, seed=SEED, counter_tags=True)
+            async with svc:
+                async with ReaderClient("127.0.0.1", svc.port, _channel()) as c:
+                    await c.run_round("g0", "trp")
+
+        run(scenario())
+        from repro.obs import prometheus_text
+
+        text = prometheus_text(obs.registry)
+        assert "serve_sessions_total" in text
+        assert "serve_frames_total" in text
+        assert 'verdict="intact"' in text
+        kinds = {e.name for e in obs.bus.events()}
+        assert "serve.session.open" in kinds
+        assert "serve.verdict" in kinds
