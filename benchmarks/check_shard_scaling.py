@@ -1,0 +1,112 @@
+"""CI gate: sharded serving must scale with the cores it is given.
+
+Reads a ``BENCH_shard.json`` perf record (written by ``python -m repro
+shard --bench``), finds the ``shard.scaling`` entry, and exits non-zero
+when the N-worker/1-worker throughput ratio falls below the floor::
+
+    python benchmarks/check_shard_scaling.py BENCH_shard.json
+    python benchmarks/check_shard_scaling.py --min-ratio 2.5 BENCH_shard.json
+
+The floor is **core-aware** (the ``check_batched_speedup`` philosophy:
+the gate must hold on any hardware): ``--min-ratio`` states the target
+on a host with at least ``workers`` cores, and the effective floor
+scales down with ``min(workers, cpu_count)``. On a 1-core container a
+4-worker cluster cannot beat 1 worker — there the gate only demands the
+sharded path is not a regression (ratio >= ``--min-floor``, default
+0.5, i.e. the gateway + multi-process overhead never *halves* throughput). The
+``cpu_count`` recorded *at bench time* is used, not the checker host's.
+The gate also fails on any protocol error recorded during either
+campaign — throughput bought with dropped rounds does not count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def effective_floor(
+    min_ratio: float, min_floor: float, workers: int, cpu_count: int
+) -> float:
+    """The floor this host can honestly be held to.
+
+    Linear-scaling share: with ``k = min(workers, cpu_count)`` usable
+    cores, ideal throughput is ``k/workers`` of the ``min_ratio``
+    target. Never below ``min_floor`` (the no-regression bar), never
+    above ``min_ratio`` (extra cores don't raise the target).
+    """
+    usable = max(1, min(workers, cpu_count))
+    if usable == 1:
+        # No parallelism available at all: only the no-regression bar
+        # is a meaningful demand.
+        return min(min_ratio, min_floor)
+    scaled = min_ratio * usable / max(1, workers)
+    return max(min_floor, min(min_ratio, scaled))
+
+
+def check(record: dict, min_ratio: float, min_floor: float) -> int:
+    """Print the verdict table; return the number of failures."""
+    scaling = next(
+        (
+            t
+            for t in record.get("timings", [])
+            if t.get("kind") == "shard-scaling"
+        ),
+        None,
+    )
+    if scaling is None:
+        print("MISSING  no shard-scaling entry in the record")
+        return 1
+
+    workers = int(scaling["workers"])
+    cpu_count = int(scaling["cpu_count"])
+    speedup = float(scaling["speedup"])
+    errors = int(scaling.get("protocol_errors", 0))
+    floor = effective_floor(min_ratio, min_floor, workers, cpu_count)
+
+    failures = 0
+    verdict = "ok" if speedup >= floor else "FAIL"
+    print(
+        f"{verdict:<8} scaling: {scaling['throughput_baseline_rps']:.1f} -> "
+        f"{scaling['throughput_sharded_rps']:.1f} rounds/s with "
+        f"{workers} workers on {cpu_count} core(s) "
+        f"-> {speedup:.2f}x (need >= {floor:.2f}x; "
+        f"target {min_ratio:.2f}x at >= {workers} cores)"
+    )
+    if speedup < floor:
+        failures += 1
+    if errors:
+        print(f"FAIL     {errors} protocol error(s) during the bench")
+        failures += 1
+    else:
+        print("ok       zero protocol errors")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", help="path to BENCH_shard.json")
+    parser.add_argument(
+        "--min-ratio", type=float, default=2.5, metavar="X",
+        help="required N-worker/1-worker ratio on a host with >= N "
+        "cores (default 2.5)",
+    )
+    parser.add_argument(
+        "--min-floor", type=float, default=0.5, metavar="X",
+        help="absolute floor on core-starved hosts (default 0.5: the "
+        "sharded path never halves throughput)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.record) as fh:
+        record = json.load(fh)
+    failures = check(record, args.min_ratio, args.min_floor)
+    if failures:
+        print("shard scaling gate FAILED")
+        return 1
+    print("shard scaling gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

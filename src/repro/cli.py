@@ -14,6 +14,9 @@ Usage::
     python -m repro bench --quick   # obs perf record -> BENCH_obs.json
     python -m repro serve --port 7780 --groups 4        # monitoring service
     python -m repro loadgen --groups 8 --rounds 3       # load it, BENCH_serve.json
+    python -m repro shard --workers 4 --groups 16       # sharded gateway
+    python -m repro shard --drill                       # kill-a-worker drill
+    python -m repro shard --bench                       # scaling, BENCH_shard.json
 
 Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
 ``--trials K`` to override the Monte Carlo sample size, and ``--jobs N``
@@ -184,6 +187,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the bounded counter-resync handshake after "
         "counter-tag alarms (withdraws desync-only alarms)",
     )
+    fleet.add_argument(
+        "--connect-host", default=None, metavar="HOST",
+        help="drive a remote serve/shard endpoint instead of the "
+        "in-process simulation (repro.fleet.remote)",
+    )
+    fleet.add_argument(
+        "--connect-port", type=int, default=7780, metavar="P",
+        help="port of the remote endpoint (with --connect-host)",
+    )
+    fleet.add_argument(
+        "--protocol", choices=("trp", "utrp"), default="trp",
+        help="round protocol for remote campaigns (default trp)",
+    )
+    fleet.add_argument(
+        "--population", type=int, default=100, metavar="N",
+        help="tags per remote group (default 100)",
+    )
+    fleet.add_argument(
+        "--tolerance", type=int, default=2, metavar="M",
+        help="missing-tag tolerance per remote group (default 2)",
+    )
+    fleet.add_argument(
+        "--alpha", type=float, default=0.9,
+        help="detection confidence for remote groups",
+    )
+    fleet.add_argument(
+        "--counter-tags", action="store_true",
+        help="field counter-mode populations in remote campaigns "
+        "(default: only for utrp)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -339,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="port of the running service (with --connect-host)",
     )
     loadgen.add_argument(
+        "--endpoint", action="append", default=None, metavar="HOST:PORT",
+        help="aim at several running services, round-robining sessions "
+        "across them (repeatable; overrides --connect-host)",
+    )
+    loadgen.add_argument(
+        "--reader", choices=("honest", "null"), default="honest",
+        help="reader model: 'honest' scans the real population, 'null' "
+        "answers instantly (server-side benchmarking; default honest)",
+    )
+    loadgen.add_argument(
         "--groups", type=int, default=8, metavar="G",
         help="groups to load (default 8)",
     )
@@ -382,6 +425,87 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--out", default="BENCH_serve.json", metavar="PATH",
         help="where to write the perf record (default BENCH_serve.json)",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="multi-process sharded serving: gateway + worker pool",
+        description=(
+            "Run the repro.serve/v1 protocol across a pool of worker "
+            "processes behind one gateway (repro.shard): a consistent-"
+            "hash ring shards groups over workers, per-verdict snapshots "
+            "make worker death survivable, and failover re-shards a dead "
+            "worker's groups onto survivors without losing a verdict. "
+            "Default mode serves until --rounds-limit verdicts; --drill "
+            "runs the kill-a-worker acceptance drill; --bench measures "
+            "1-worker vs N-worker scaling into BENCH_shard.json."
+        ),
+    )
+    shard.add_argument("--host", default="127.0.0.1", help="gateway bind address")
+    shard.add_argument(
+        "--port", type=int, default=7781, metavar="P",
+        help="gateway listen port (0 = ephemeral; default 7781)",
+    )
+    shard.add_argument(
+        "--workers", type=int, default=4, metavar="W",
+        help="worker processes (default 4)",
+    )
+    shard.add_argument(
+        "--groups", type=int, default=8, metavar="G",
+        help="tag groups to host, named group-000.. (default 8)",
+    )
+    shard.add_argument(
+        "--population", type=int, default=100, metavar="N",
+        help="tags per group (default 100)",
+    )
+    shard.add_argument(
+        "--tolerance", type=int, default=2, metavar="M",
+        help="missing-tag tolerance per group (default 2)",
+    )
+    shard.add_argument(
+        "--alpha", type=float, default=0.9, help="detection confidence"
+    )
+    shard.add_argument("--seed", type=int, default=None, help="master seed")
+    shard.add_argument(
+        "--counter-tags", action="store_true",
+        help="host counter-mode groups (serve mode only; the drill "
+        "forces counter-free groups for its bit-identity check)",
+    )
+    shard.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="snapshot directory (default: a fresh temp dir)",
+    )
+    shard.add_argument(
+        "--rounds-limit", type=int, default=None, metavar="K",
+        help="serve mode: exit after K verdicts cluster-wide "
+        "(default: run until interrupted)",
+    )
+    shard.add_argument(
+        "--drill", action="store_true",
+        help="run the kill-a-worker drill instead of serving "
+        "(exit 1 unless zero verdicts were lost)",
+    )
+    shard.add_argument(
+        "--rounds", type=int, default=3, metavar="T",
+        help="drill/bench rounds per group (default 3)",
+    )
+    shard.add_argument(
+        "--kill-fraction", type=float, default=0.25, metavar="F",
+        help="drill: kill a worker after this fraction of expected "
+        "verdicts (default 0.25)",
+    )
+    shard.add_argument(
+        "--concurrency", type=int, default=8, metavar="C",
+        help="drill/bench reader sessions in flight (default 8)",
+    )
+    shard.add_argument(
+        "--bench", action="store_true",
+        help="measure 1-worker vs --workers scaling and write --out",
+    )
+    shard.add_argument(
+        "--out", default="BENCH_shard.json", metavar="PATH",
+        help="bench mode: where to write the perf record "
+        "(default BENCH_shard.json)",
     )
 
     sub.add_parser("list", help="list every reproducible experiment")
@@ -470,7 +594,33 @@ def _write_obs_outputs(obs, args: argparse.Namespace) -> List[str]:
     return lines
 
 
+def _run_fleet_remote(args: argparse.Namespace) -> str:
+    from .experiments.grid import DEFAULT_SEED
+    from .fleet import (
+        RemoteCampaignConfig,
+        drive_remote_campaign,
+        format_remote_campaign,
+    )
+
+    config = RemoteCampaignConfig(
+        host=args.connect_host,
+        port=args.connect_port,
+        groups=args.groups,
+        rounds=args.rounds,
+        protocol=args.protocol,
+        population=args.population,
+        tolerance=args.tolerance,
+        confidence=args.alpha,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        counter_tags=True if args.counter_tags else None,
+        jobs=args.jobs,
+    )
+    return format_remote_campaign(drive_remote_campaign(config))
+
+
 def _run_fleet(args: argparse.Namespace) -> str:
+    if args.connect_host is not None:
+        return _run_fleet_remote(args)
     from .fleet import (
         CampaignConfig,
         FleetScenario,
@@ -671,11 +821,27 @@ def _run_serve(args: argparse.Namespace) -> str:
         return "interrupted"
 
 
+def _parse_endpoint(value: str) -> tuple:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"--endpoint must be HOST:PORT, got {value!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"--endpoint port must be an integer, got {value!r}")
+
+
 def _run_loadgen(args: argparse.Namespace) -> str:
     from .experiments.grid import DEFAULT_SEED
     from .obs.bench import write_bench_record
     from .serve import LoadgenConfig, format_loadgen_result, run_loadgen
 
+    endpoints = (
+        [_parse_endpoint(e) for e in args.endpoint]
+        if args.endpoint
+        else None
+    )
+    remote = endpoints is not None or args.connect_host is not None
     config = LoadgenConfig(
         groups=args.groups,
         rounds=args.rounds,
@@ -690,22 +856,114 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         group_prefix=(
             args.group_prefix
             if args.group_prefix is not None
-            else ("group" if args.connect_host is not None else "load")
+            else ("group" if remote else "load")
         ),
-        # `python -m repro serve` hosts counter-tag groups, so remote
-        # campaigns must field counter-tag populations to match.
+        # `python -m repro serve` hosts counter-tag groups, so
+        # --connect-host campaigns field counter-tag populations to
+        # match; --endpoint lists (shard gateways/workers, counter-free
+        # by default) keep the protocol-tracking default.
         counter_tags=True if args.connect_host is not None else None,
+        reader=args.reader,
     )
     result = run_loadgen(
         config,
-        host=args.connect_host,
-        port=args.connect_port if args.connect_host is not None else None,
+        host=args.connect_host if endpoints is None else None,
+        port=(
+            args.connect_port
+            if endpoints is None and args.connect_host is not None
+            else None
+        ),
+        endpoints=endpoints,
     )
     write_bench_record(result.record, args.out)
     return (
         format_loadgen_result(result)
         + f"\nperf record written to {args.out}"
     )
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .experiments.grid import DEFAULT_SEED
+    from .shard import ShardConfig
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+
+    if args.bench:
+        from .obs.bench import write_bench_record
+        from .shard import ShardBenchConfig, format_shard_bench, run_shard_bench
+
+        bench = ShardBenchConfig(
+            workers=args.workers,
+            groups=args.groups,
+            rounds=args.rounds,
+            concurrency=args.concurrency,
+            population=args.population,
+            tolerance=args.tolerance,
+            confidence=args.alpha,
+            seed=seed,
+        )
+        result = run_shard_bench(bench)
+        write_bench_record(result.record, args.out)
+        print(format_shard_bench(result))
+        print(f"perf record written to {args.out}")
+        return 0
+
+    config = ShardConfig(
+        workers=args.workers,
+        groups=args.groups,
+        host=args.host,
+        port=args.port,
+        population=args.population,
+        tolerance=args.tolerance,
+        confidence=args.alpha,
+        seed=seed,
+        counter_tags=args.counter_tags,
+        state_dir=args.state_dir,
+    )
+
+    if args.drill:
+        from .shard import format_drill_result, run_drill
+
+        result = run_drill(
+            config,
+            rounds=args.rounds,
+            kill_fraction=args.kill_fraction,
+            concurrency=args.concurrency,
+        )
+        print(format_drill_result(result))
+        return 0 if result.ok else 1
+
+    from .shard import ShardCluster
+
+    async def _serve() -> str:
+        async with ShardCluster(config) as cluster:
+            print(
+                f"sharded gateway on {config.host}:{cluster.port} — "
+                f"{config.workers} worker(s), {config.groups} group(s) "
+                f"(seed {seed}; snapshots in {cluster.state_dir})",
+                flush=True,
+            )
+            try:
+                while (
+                    args.rounds_limit is None
+                    or cluster.verdicts_delivered < args.rounds_limit
+                ):
+                    await asyncio.sleep(0.05)
+            except asyncio.CancelledError:
+                pass
+            return (
+                f"proxied {cluster.verdicts_delivered} verdict(s) across "
+                f"{cluster.gateway.sessions_served} session(s); "
+                f"{cluster.supervisor.failovers} failover(s)"
+            )
+
+    try:
+        print(asyncio.run(_serve()))
+    except KeyboardInterrupt:
+        print("interrupted")
+    return 0
 
 
 def _run_list() -> str:
@@ -744,6 +1002,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "loadgen":
         print(_run_loadgen(args))
         return 0
+    if args.command == "shard":
+        return _run_shard(args)
 
     grid = _grid(args)
     if args.command in ("fig4", "fig5", "fig6", "fig7"):

@@ -35,6 +35,14 @@ from .registry import (
     TheftEvent,
     default_scenario,
 )
+from .remote import (
+    RemoteCampaignConfig,
+    RemoteCampaignResult,
+    RemoteRound,
+    drive_remote_campaign,
+    drive_remote_campaign_async,
+    format_remote_campaign,
+)
 from .resilience import (
     EscalationLevel,
     EscalationPolicy,
@@ -68,6 +76,9 @@ __all__ = [
     "GroupSpec",
     "MetricsTotals",
     "ParallelExecutor",
+    "RemoteCampaignConfig",
+    "RemoteCampaignResult",
+    "RemoteRound",
     "RetryExhausted",
     "RetryPolicy",
     "RoundRecord",
@@ -78,7 +89,10 @@ __all__ = [
     "TheftEvent",
     "default_scenario",
     "detection_diagnostic",
+    "drive_remote_campaign",
+    "drive_remote_campaign_async",
     "format_campaign_result",
+    "format_remote_campaign",
     "render_metrics_table",
     "resolve_jobs",
     "run_campaign",

@@ -1,0 +1,215 @@
+"""Drive a *remote* monitoring service as a fleet campaign.
+
+:mod:`repro.fleet.campaign` orchestrates in-process monitors; this
+module points the same campaign idea at a network endpoint — a plain
+``python -m repro serve`` instance or the sharded gateway
+(:mod:`repro.shard`), which speak the identical ``repro.serve/v1``
+protocol. Each group gets one :class:`~repro.serve.ReaderClient`
+session running its rounds sequentially; sessions overlap up to the
+resolved concurrency (``jobs`` resolves exactly like the fleet
+executor's ``--jobs``), so the campaign shape matches the local fleet's
+while the verdicts come off the wire.
+
+Populations are rebuilt reader-side from ``seed + group_index`` — the
+shared convention of ``serve``, ``shard`` and ``loadgen`` — so the
+remote server and this driver agree on which tags exist without any
+out-of-band exchange.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..rfid.channel import SlottedChannel
+from ..serve.client import ReaderClient
+from ..serve.protocol import ProtocolError
+from ..serve.server import MonitoringService
+from .executor import resolve_jobs
+
+__all__ = [
+    "RemoteCampaignConfig",
+    "RemoteRound",
+    "RemoteCampaignResult",
+    "drive_remote_campaign",
+    "drive_remote_campaign_async",
+    "format_remote_campaign",
+]
+
+#: Default master seed, matching the experiment grid's.
+DEFAULT_SEED = 20080617
+
+
+@dataclass(frozen=True)
+class RemoteCampaignConfig:
+    """Shape of one campaign against a remote endpoint.
+
+    Attributes:
+        host / port: the service (or gateway) to drive.
+        groups: group sessions to run; group ``i`` is named
+            ``{group_prefix}-{i:03d}`` and rebuilt from ``seed + i``.
+        rounds: sequential rounds per group.
+        protocol: ``"trp"`` or ``"utrp"``.
+        counter_tags: population counter mode; defaults to "only for
+            UTRP", the loadgen convention.
+        jobs: fleet-style parallelism knob; ``None`` defers to
+            ``concurrency``, otherwise :func:`~repro.fleet.executor.
+            resolve_jobs` decides (0 = one per CPU).
+
+    Raises:
+        ValueError: on non-positive shape values or a bad protocol.
+    """
+
+    host: str
+    port: int
+    groups: int = 8
+    rounds: int = 3
+    protocol: str = "trp"
+    population: int = 100
+    tolerance: int = 2
+    confidence: float = 0.9
+    seed: int = DEFAULT_SEED
+    counter_tags: Optional[bool] = None
+    group_prefix: str = "group"
+    concurrency: int = 8
+    jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("groups", "rounds", "population", "concurrency"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.protocol not in ("trp", "utrp"):
+            raise ValueError("protocol must be 'trp' or 'utrp'")
+        if self.port < 1 or self.port > 65535:
+            raise ValueError(f"port must be in [1, 65535], got {self.port}")
+
+    @property
+    def effective_counter_tags(self) -> bool:
+        if self.counter_tags is not None:
+            return self.counter_tags
+        return self.protocol == "utrp"
+
+    @property
+    def effective_concurrency(self) -> int:
+        if self.jobs is None:
+            return self.concurrency
+        return resolve_jobs(self.jobs)
+
+    def group_name(self, index: int) -> str:
+        return f"{self.group_prefix}-{index:03d}"
+
+
+@dataclass(frozen=True)
+class RemoteRound:
+    """One wire round's verdict, as the campaign recorded it."""
+
+    group: str
+    round_index: int
+    verdict: str
+    alarm: bool
+    frame_size: int
+    mismatched_slots: int
+    elapsed_us: float
+
+
+@dataclass
+class RemoteCampaignResult:
+    """Everything one remote campaign produced."""
+
+    per_group: Dict[str, List[RemoteRound]]
+    protocol_errors: List[str] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def rounds_completed(self) -> int:
+        return sum(len(rounds) for rounds in self.per_group.values())
+
+    @property
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rounds in self.per_group.values():
+            for record in rounds:
+                counts[record.verdict] = counts.get(record.verdict, 0) + 1
+        return counts
+
+    def verdict_sequence(self, group: str) -> List[str]:
+        return [r.verdict for r in self.per_group.get(group, [])]
+
+
+async def drive_remote_campaign_async(
+    config: RemoteCampaignConfig,
+    on_round: Optional[Callable[[RemoteRound], None]] = None,
+) -> RemoteCampaignResult:
+    """Run the campaign inside an existing event loop.
+
+    ``on_round`` fires after every completed round — the shard drill
+    uses it to time its mid-campaign worker kill.
+    """
+    per_group: Dict[str, List[RemoteRound]] = {
+        config.group_name(i): [] for i in range(config.groups)
+    }
+    errors: List[str] = []
+    gate = asyncio.Semaphore(config.effective_concurrency)
+
+    async def run_group(index: int) -> None:
+        name = config.group_name(index)
+        population = MonitoringService.build_population_for(
+            config.population,
+            seed=config.seed + index,
+            counter_tags=config.effective_counter_tags,
+        )
+        channel = SlottedChannel(population.tags)
+        async with gate:
+            try:
+                client = ReaderClient(config.host, config.port, channel)
+                async with client:
+                    for _ in range(config.rounds):
+                        outcome = await client.run_round(name, config.protocol)
+                        record = RemoteRound(
+                            group=name,
+                            round_index=outcome.round_index,
+                            verdict=outcome.verdict,
+                            alarm=outcome.alarm,
+                            frame_size=outcome.frame_size,
+                            mismatched_slots=outcome.mismatched_slots,
+                            elapsed_us=outcome.elapsed_us,
+                        )
+                        per_group[name].append(record)
+                        if on_round is not None:
+                            on_round(record)
+            except (ProtocolError, ConnectionError, OSError) as exc:
+                errors.append(f"group {name}: {exc}")
+
+    started = time.perf_counter()
+    await asyncio.gather(*(run_group(i) for i in range(config.groups)))
+    return RemoteCampaignResult(
+        per_group=per_group,
+        protocol_errors=errors,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def drive_remote_campaign(
+    config: RemoteCampaignConfig,
+    on_round: Optional[Callable[[RemoteRound], None]] = None,
+) -> RemoteCampaignResult:
+    """Blocking wrapper around :func:`drive_remote_campaign_async`."""
+    return asyncio.run(drive_remote_campaign_async(config, on_round=on_round))
+
+
+def format_remote_campaign(result: RemoteCampaignResult) -> str:
+    """Human-readable campaign summary for the CLI."""
+    verdicts = ", ".join(
+        f"{k}={v}" for k, v in sorted(result.verdict_counts.items())
+    ) or "none"
+    lines = [
+        f"groups driven    : {len(result.per_group)}",
+        f"rounds completed : {result.rounds_completed}",
+        f"verdicts         : {verdicts}",
+        f"protocol errors  : {len(result.protocol_errors)}",
+        f"wall time        : {result.wall_s:.3f} s",
+    ]
+    lines.extend(f"  {err}" for err in result.protocol_errors[:5])
+    return "\n".join(lines)

@@ -28,12 +28,14 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..obs.bench import make_bench_record
+from ..rfid.bitstring import empty_bitstring
 from ..rfid.channel import SlottedChannel
+from ..rfid.reader import ScanResult
 from .client import ReaderClient
 from .protocol import ProtocolError
 from .server import MonitoringService
@@ -62,6 +64,11 @@ class LoadgenConfig:
             it, so two runs against the same config agree on verdicts.
         group_prefix: group names are ``{prefix}-{index:03d}``; use
             ``"group"`` to aim at a ``python -m repro serve`` instance.
+        reader: ``"honest"`` (default) simulates the physical scan;
+            ``"null"`` skips population building and answers every
+            challenge with an all-zeros bitstring immediately — a
+            benchmarking mode that makes the *server side* the measured
+            work (the shard scaling bench uses it).
 
     Raises:
         ValueError: on non-positive shape parameters or a UTRP session
@@ -80,6 +87,7 @@ class LoadgenConfig:
     seed: int = DEFAULT_SEED
     group_prefix: str = "load"
     counter_tags: Optional[bool] = None
+    reader: str = "honest"
 
     def __post_init__(self) -> None:
         for name in ("groups", "rounds", "concurrency", "population"):
@@ -89,6 +97,8 @@ class LoadgenConfig:
             raise ValueError("arrival_rate must be >= 0")
         if self.protocol not in ("trp", "utrp"):
             raise ValueError("protocol must be 'trp' or 'utrp'")
+        if self.reader not in ("honest", "null"):
+            raise ValueError("reader must be 'honest' or 'null'")
         if self.sessions is not None and self.sessions < 1:
             raise ValueError("sessions must be >= 1")
         if self.effective_counter_tags and self.total_sessions > self.groups:
@@ -133,6 +143,7 @@ class LoadgenResult:
     latency_p95_ms: float
     latency_p99_ms: float
     record: dict = field(default_factory=dict)
+    per_endpoint: List[dict] = field(default_factory=list)
 
     @property
     def intact_rounds(self) -> int:
@@ -143,31 +154,83 @@ def _group_name(cfg: LoadgenConfig, index: int) -> str:
     return f"{cfg.group_prefix}-{index:03d}"
 
 
+class _NullReader:
+    """A reader that answers instantly with an all-zeros bitstring.
+
+    The benchmarking counterpart of :class:`~repro.rfid.reader.
+    TrustedReader`: no slot is polled, so client-side cost per round is
+    one array allocation and the wire — the measured work is the
+    server's.
+    """
+
+    name = "null-reader"
+
+    def scan_trp(self, channel, frame_size: int, seed: int) -> ScanResult:
+        return ScanResult(
+            bitstring=empty_bitstring(frame_size),
+            slots_used=frame_size,
+            seeds_used=1,
+        )
+
+    def scan_utrp(self, channel, frame_size: int, seeds) -> ScanResult:
+        return ScanResult(
+            bitstring=empty_bitstring(frame_size),
+            slots_used=frame_size,
+            seeds_used=1,
+        )
+
+
+@dataclass
+class _EndpointStats:
+    """Per-endpoint accumulation, merged after the campaign."""
+
+    host: str
+    port: int
+    latencies: List[float] = field(default_factory=list)
+    air_us: List[float] = field(default_factory=list)
+    verdicts: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    sessions: int = 0
+
+    def summary(self) -> dict:
+        wall = float(sum(self.latencies))
+        return {
+            "host": self.host,
+            "port": self.port,
+            "sessions": self.sessions,
+            "rounds": len(self.latencies),
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "protocol_errors": len(self.errors),
+            "round_wall_s_total": wall,
+        }
+
+
 async def _run_session(
     cfg: LoadgenConfig,
-    host: str,
-    port: int,
+    stats: "_EndpointStats",
     session_index: int,
     gate: asyncio.Semaphore,
     start_at: float,
     t0: float,
-    latencies: List[float],
-    air_us: List[float],
-    verdicts: Dict[str, int],
-    errors: List[str],
 ) -> None:
     delay = start_at - (time.perf_counter() - t0)
     if delay > 0:
         await asyncio.sleep(delay)
     group_index = session_index % cfg.groups
-    population = MonitoringService.build_population_for(
-        cfg.population,
-        seed=cfg.seed + group_index,
-        counter_tags=cfg.effective_counter_tags,
-    )
-    channel = SlottedChannel(population.tags)
+    if cfg.reader == "null":
+        channel = SlottedChannel([])
+        reader = _NullReader()
+    else:
+        population = MonitoringService.build_population_for(
+            cfg.population,
+            seed=cfg.seed + group_index,
+            counter_tags=cfg.effective_counter_tags,
+        )
+        channel = SlottedChannel(population.tags)
+        reader = None
     async with gate:
-        client = ReaderClient(host, port, channel)
+        stats.sessions += 1
+        client = ReaderClient(stats.host, stats.port, channel, reader=reader)
         try:
             async with client:
                 for _ in range(cfg.rounds):
@@ -175,13 +238,13 @@ async def _run_session(
                     outcome = await client.run_round(
                         _group_name(cfg, group_index), cfg.protocol
                     )
-                    latencies.append(time.perf_counter() - began)
-                    air_us.append(outcome.elapsed_us)
-                    verdicts[outcome.verdict] = (
-                        verdicts.get(outcome.verdict, 0) + 1
+                    stats.latencies.append(time.perf_counter() - began)
+                    stats.air_us.append(outcome.elapsed_us)
+                    stats.verdicts[outcome.verdict] = (
+                        stats.verdicts.get(outcome.verdict, 0) + 1
                     )
         except (ProtocolError, ConnectionError, OSError) as exc:
-            errors.append(f"session {session_index}: {exc}")
+            stats.errors.append(f"session {session_index}: {exc}")
 
 
 async def _run_loadgen_async(
@@ -190,9 +253,12 @@ async def _run_loadgen_async(
     port: Optional[int],
     obs=None,
     session_config: Optional[SessionConfig] = None,
+    endpoints: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> LoadgenResult:
+    if endpoints is not None and host is not None:
+        raise ValueError("pass either host/port or endpoints, not both")
     service: Optional[MonitoringService] = None
-    if host is None:
+    if endpoints is None and host is None:
         service = MonitoringService(
             session_config=session_config,
             max_sessions=max(256, cfg.total_sessions + 8),
@@ -210,11 +276,15 @@ async def _run_loadgen_async(
             )
         await service.start()
         host, port = "127.0.0.1", service.port
+    if endpoints is None:
+        endpoints = [(host, port)]
+    if not endpoints:
+        raise ValueError("endpoints must be non-empty")
 
-    latencies: List[float] = []
-    air_us: List[float] = []
-    verdicts: Dict[str, int] = {}
-    errors: List[str] = []
+    # One stats bucket per endpoint; session i round-robins onto
+    # endpoint i % len(endpoints), and the campaign totals are the
+    # merge of the buckets.
+    targets = [_EndpointStats(host=h, port=p) for h, p in endpoints]
     gate = asyncio.Semaphore(cfg.concurrency)
     t0 = time.perf_counter()
     spacing = 1.0 / cfg.arrival_rate if cfg.arrival_rate > 0 else 0.0
@@ -222,8 +292,7 @@ async def _run_loadgen_async(
         await asyncio.gather(
             *(
                 _run_session(
-                    cfg, host, port, i, gate, i * spacing, t0,
-                    latencies, air_us, verdicts, errors,
+                    cfg, targets[i % len(targets)], i, gate, i * spacing, t0
                 )
                 for i in range(cfg.total_sessions)
             )
@@ -232,6 +301,18 @@ async def _run_loadgen_async(
         wall_total = time.perf_counter() - t0
         if service is not None:
             await service.close()
+
+    latencies: List[float] = []
+    air_us: List[float] = []
+    verdicts: Dict[str, int] = {}
+    errors: List[str] = []
+    for stats in targets:
+        latencies.extend(stats.latencies)
+        air_us.extend(stats.air_us)
+        for verdict, count in stats.verdicts.items():
+            verdicts[verdict] = verdicts.get(verdict, 0) + count
+        errors.extend(stats.errors)
+    per_endpoint = [stats.summary() for stats in targets]
 
     lat = np.asarray(latencies, dtype=float)
     p50, p95, p99 = (
@@ -276,6 +357,8 @@ async def _run_loadgen_async(
             "error_samples": errors[:5],
         },
     ]
+    if len(per_endpoint) > 1:
+        timings[1]["endpoints"] = per_endpoint
     record = make_bench_record(timings, quick=False, label="serve-loadgen")
     return LoadgenResult(
         rounds_completed=len(latencies),
@@ -288,6 +371,7 @@ async def _run_loadgen_async(
         latency_p95_ms=p95 * 1e3,
         latency_p99_ms=p99 * 1e3,
         record=record,
+        per_endpoint=per_endpoint,
     )
 
 
@@ -297,20 +381,32 @@ def run_loadgen(
     port: Optional[int] = None,
     obs=None,
     session_config: Optional[SessionConfig] = None,
+    endpoints: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> LoadgenResult:
     """Run one load campaign; self-hosts on loopback when no host given.
 
     Args:
         config: campaign shape (defaults to :class:`LoadgenConfig`).
         host, port: an already-running service to aim at; when ``host``
-            is ``None`` a service is created, loaded with the config's
-            groups, and torn down afterwards.
+            is ``None`` (and no ``endpoints``) a service is created,
+            loaded with the config's groups, and torn down afterwards.
         obs: optional obs context for the self-hosted service.
         session_config: session behaviour for the self-hosted service.
+        endpoints: several ``(host, port)`` targets — sessions
+            round-robin across them and the result carries a
+            per-endpoint stats breakdown next to the merged totals
+            (drive a shard gateway and its bare workers side by side).
     """
     cfg = config if config is not None else LoadgenConfig()
     return asyncio.run(
-        _run_loadgen_async(cfg, host, port, obs=obs, session_config=session_config)
+        _run_loadgen_async(
+            cfg,
+            host,
+            port,
+            obs=obs,
+            session_config=session_config,
+            endpoints=endpoints,
+        )
     )
 
 

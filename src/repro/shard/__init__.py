@@ -1,0 +1,63 @@
+"""repro.shard — multi-process sharded serving with failover.
+
+PR 5's :mod:`repro.serve` service is one asyncio process: one core,
+one failure domain. This package scales the same wire protocol
+horizontally without changing a byte of it:
+
+* :mod:`repro.shard.ring` — a deterministic consistent-hash ring maps
+  group ids onto workers with bounded movement on membership change;
+* :mod:`repro.shard.worker` — a supervisor spawns N worker processes,
+  each an ordinary :class:`~repro.serve.MonitoringService` owning a
+  disjoint group shard, heartbeating over a control socket;
+* :mod:`repro.shard.gateway` — an asyncio front speaking
+  ``repro.serve/v1`` to readers and proxying each round to the owning
+  worker, transparent to :class:`~repro.serve.ReaderClient`;
+* :mod:`repro.shard.failover` — per-verdict group snapshots (built on
+  ``server.state`` v2) plus a deterministic issuance replay, so a
+  SIGKILLed worker's groups resume on survivors with the *same* RNG
+  stream — a kill-a-worker drill loses zero verdicts and stays
+  bit-identical to single-process serve;
+* :mod:`repro.shard.cluster` / :mod:`repro.shard.bench` — the pieces
+  assembled: one object to start/stop, the drill, and the scaling
+  benchmark behind ``BENCH_shard.json``.
+"""
+
+from .bench import ShardBenchConfig, format_shard_bench, run_shard_bench
+from .cluster import DrillResult, ShardCluster, format_drill_result, run_drill
+from .config import ShardConfig, ShardGroupSpec
+from .failover import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    initial_snapshot,
+    load_snapshot,
+    restore_group,
+    snapshot_path,
+    write_snapshot,
+)
+from .gateway import ShardGateway
+from .ring import HashRing
+from .worker import ShardWorkerService, WorkerSpec, WorkerSupervisor
+
+__all__ = [
+    "DrillResult",
+    "HashRing",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "ShardBenchConfig",
+    "ShardCluster",
+    "ShardConfig",
+    "ShardGateway",
+    "ShardGroupSpec",
+    "ShardWorkerService",
+    "WorkerSpec",
+    "WorkerSupervisor",
+    "format_drill_result",
+    "format_shard_bench",
+    "initial_snapshot",
+    "load_snapshot",
+    "restore_group",
+    "run_drill",
+    "run_shard_bench",
+    "snapshot_path",
+    "write_snapshot",
+]

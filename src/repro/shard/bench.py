@@ -1,0 +1,203 @@
+"""The sharded-serving scaling benchmark behind ``BENCH_shard.json``.
+
+Measures round throughput of a 1-worker cluster and an N-worker
+cluster under the identical load (the serve loadgen in null-reader
+mode, so the measured work is the *server side*: challenge issuance,
+bitstring verification, per-verdict snapshot durability and the wire),
+and records both plus their ratio as a ``repro.obs.bench/v1`` document.
+
+The ratio is gated in CI by ``benchmarks/check_shard_scaling.py``,
+which scales its expectation by the host's core count — a 4-worker
+cluster cannot beat 1 worker on a 1-core container, and the gate must
+hold on any hardware (the ``check_batched_speedup`` philosophy).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..obs.bench import make_bench_record
+from ..serve.loadgen import LoadgenConfig, LoadgenResult, _run_loadgen_async
+from .cluster import ShardCluster
+from .config import DEFAULT_SEED, ShardConfig
+
+__all__ = ["ShardBenchConfig", "ShardBenchResult", "run_shard_bench", "format_shard_bench"]
+
+
+@dataclass(frozen=True)
+class ShardBenchConfig:
+    """Shape of one scaling measurement.
+
+    Raises:
+        ValueError: on non-positive shape values.
+    """
+
+    workers: int = 4
+    baseline_workers: int = 1
+    groups: int = 40
+    rounds: int = 5
+    concurrency: int = 16
+    population: int = 1200
+    tolerance: int = 4
+    confidence: float = 0.9
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        for name in (
+            "workers",
+            "baseline_workers",
+            "groups",
+            "rounds",
+            "concurrency",
+            "population",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.baseline_workers >= self.workers:
+            raise ValueError("workers must exceed baseline_workers")
+
+
+@dataclass
+class ShardBenchResult:
+    """Both measurements plus the scaling ratio, schema-valid."""
+
+    throughput_baseline_rps: float
+    throughput_sharded_rps: float
+    speedup: float
+    cpu_count: int
+    workers: int
+    baseline_workers: int
+    protocol_errors: int
+    record: dict = field(default_factory=dict)
+
+
+async def _campaign(
+    bench: ShardBenchConfig, workers: int, obs=None
+) -> LoadgenResult:
+    shard_config = ShardConfig(
+        workers=workers,
+        groups=bench.groups,
+        population=bench.population,
+        tolerance=bench.tolerance,
+        confidence=bench.confidence,
+        seed=bench.seed,
+        counter_tags=False,
+    )
+    load = LoadgenConfig(
+        groups=bench.groups,
+        rounds=bench.rounds,
+        concurrency=bench.concurrency,
+        population=bench.population,
+        tolerance=bench.tolerance,
+        confidence=bench.confidence,
+        protocol="trp",
+        seed=bench.seed,
+        group_prefix=shard_config.group_prefix,
+        counter_tags=False,
+        reader="null",
+    )
+    async with ShardCluster(shard_config, obs=obs) as cluster:
+        return await _run_loadgen_async(load, "127.0.0.1", cluster.port)
+
+
+def _loadgen_timing(name: str, workers: int, result: LoadgenResult) -> dict:
+    return {
+        "name": name,
+        "kind": "shard-loadgen",
+        "reps": max(1, result.rounds_completed),
+        "wall_s_total": result.wall_s_total,
+        "wall_s_mean": result.wall_s_total / max(1, result.rounds_completed),
+        "wall_s_min": result.wall_s_total,
+        "wall_s_max": result.wall_s_total,
+        "sim_air_us_total": 0.0,
+        "workers": workers,
+        "throughput_rps": result.throughput_rps,
+        "rounds": result.rounds_completed,
+        "protocol_errors": result.protocol_errors,
+        "latency_p95_ms": result.latency_p95_ms,
+    }
+
+
+async def _run_shard_bench_async(
+    bench: ShardBenchConfig, obs=None
+) -> ShardBenchResult:
+    started = time.perf_counter()
+    baseline = await _campaign(bench, bench.baseline_workers, obs=obs)
+    sharded = await _campaign(bench, bench.workers, obs=obs)
+    wall = time.perf_counter() - started
+
+    speedup = (
+        sharded.throughput_rps / baseline.throughput_rps
+        if baseline.throughput_rps > 0
+        else 0.0
+    )
+    cpu_count = os.cpu_count() or 1
+    timings = [
+        _loadgen_timing(
+            f"shard.loadgen.workers{bench.baseline_workers}",
+            bench.baseline_workers,
+            baseline,
+        ),
+        _loadgen_timing(
+            f"shard.loadgen.workers{bench.workers}", bench.workers, sharded
+        ),
+        {
+            "name": "shard.scaling",
+            "kind": "shard-scaling",
+            "reps": 1,
+            "wall_s_total": wall,
+            "wall_s_mean": wall,
+            "wall_s_min": wall,
+            "wall_s_max": wall,
+            "sim_air_us_total": 0.0,
+            "workers": bench.workers,
+            "baseline_workers": bench.baseline_workers,
+            "cpu_count": cpu_count,
+            "groups": bench.groups,
+            "rounds_per_group": bench.rounds,
+            "population": bench.population,
+            "throughput_baseline_rps": baseline.throughput_rps,
+            "throughput_sharded_rps": sharded.throughput_rps,
+            "speedup": speedup,
+            "protocol_errors": baseline.protocol_errors
+            + sharded.protocol_errors,
+        },
+    ]
+    record = make_bench_record(timings, quick=False, label="shard-scaling")
+    return ShardBenchResult(
+        throughput_baseline_rps=baseline.throughput_rps,
+        throughput_sharded_rps=sharded.throughput_rps,
+        speedup=speedup,
+        cpu_count=cpu_count,
+        workers=bench.workers,
+        baseline_workers=bench.baseline_workers,
+        protocol_errors=baseline.protocol_errors + sharded.protocol_errors,
+        record=record,
+    )
+
+
+def run_shard_bench(
+    config: Optional[ShardBenchConfig] = None, obs=None
+) -> ShardBenchResult:
+    """Measure 1-worker vs N-worker throughput under identical load."""
+    bench = config if config is not None else ShardBenchConfig()
+    return asyncio.run(_run_shard_bench_async(bench, obs=obs))
+
+
+def format_shard_bench(result: ShardBenchResult) -> str:
+    """Human-readable scaling summary for the CLI."""
+    return "\n".join(
+        [
+            f"baseline ({result.baseline_workers} worker) : "
+            f"{result.throughput_baseline_rps:.1f} rounds/s",
+            f"sharded  ({result.workers} workers): "
+            f"{result.throughput_sharded_rps:.1f} rounds/s",
+            f"speedup          : {result.speedup:.2f}x",
+            f"host cores       : {result.cpu_count}",
+            f"protocol errors  : {result.protocol_errors}",
+        ]
+    )

@@ -1,0 +1,217 @@
+"""Shard cluster configuration, validated hard at startup.
+
+The satellite fix this module carries: every knob that could make a
+worker or the gateway die *mid-campaign* — a NaN heartbeat interval, a
+float port, a zero worker count — is rejected as :class:`ValueError`
+at construction instead, mirroring the ``server.seeds`` guard that
+refuses a non-finite UTRP timer before it can poison a challenge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ShardConfig", "ShardGroupSpec", "DEFAULT_SEED"]
+
+#: Default master seed, matching the experiment grid's and loadgen's.
+DEFAULT_SEED = 20080617
+
+
+def _require_int(name: str, value, minimum: int, maximum: int = None) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an int, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValueError(f"{name} must be <= {maximum}, got {value}")
+
+
+def _require_finite(name: str, value, minimum: float, strict: bool) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if strict and not value > minimum:
+        raise ValueError(f"{name} must be > {minimum}, got {value}")
+    if not strict and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+
+@dataclass(frozen=True)
+class ShardGroupSpec:
+    """Everything needed to rebuild one group *deterministically*.
+
+    This is the unit failover moves between workers: a group restored
+    from its spec via :meth:`~repro.serve.MonitoringService.
+    create_group` has the same tag IDs and the same issuer RNG stream
+    as the original, which is what makes snapshot replay bit-exact.
+    """
+
+    name: str
+    population: int
+    tolerance: int
+    confidence: float = 0.9
+    seed: int = 0
+    counter_tags: bool = False
+    comm_budget: int = 20
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("group name must be a non-empty string")
+        _require_int("population", self.population, 1)
+        _require_int("tolerance", self.tolerance, 0)
+        _require_int("seed", self.seed, -(2**63), 2**63 - 1)
+        _require_int("comm_budget", self.comm_budget, 1)
+        _require_finite("confidence", self.confidence, 0.0, strict=True)
+        if not self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "population": self.population,
+            "tolerance": self.tolerance,
+            "confidence": self.confidence,
+            "seed": self.seed,
+            "counter_tags": self.counter_tags,
+            "comm_budget": self.comm_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ShardGroupSpec":
+        try:
+            return cls(
+                name=doc["name"],
+                population=doc["population"],
+                tolerance=doc["tolerance"],
+                confidence=doc["confidence"],
+                seed=doc["seed"],
+                counter_tags=bool(doc["counter_tags"]),
+                comm_budget=doc["comm_budget"],
+            )
+        except KeyError as error:
+            raise ValueError(f"malformed group spec: missing {error}") from error
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """One cluster's shape: workers, groups, ports, patience.
+
+    Attributes:
+        workers: worker processes to spawn.
+        groups: tag groups sharded across them.
+        host / port: gateway listen address (port 0 = ephemeral).
+        population / tolerance / confidence: per-group ``(n, m, alpha)``.
+        seed: master seed; group ``i`` is built from ``seed + i`` — the
+            same convention ``python -m repro serve`` and the loadgen
+            use, so existing clients work against the gateway unchanged.
+        counter_tags: host counter-mode groups (UTRP-capable). Defaults
+            off: counter-free TRP groups are stateless, which is what
+            lets a re-scanned round after failover stay bit-identical.
+        group_prefix: group names are ``{prefix}-{index:03d}``.
+        heartbeat_interval_s: worker heartbeat period on the control
+            socket.
+        start_timeout_s: how long the supervisor waits for every worker
+            to report in before declaring the cluster dead on arrival.
+        failover_timeout_s: ceiling on one group adoption handshake.
+        upstream_timeout_s: gateway-side ceiling on waiting for a
+            worker's reply to a proxied frame.
+        max_round_retries: proxied-round attempts across re-shards
+            before the gateway gives up with ``ERROR shard-unavailable``.
+        timer_scale: forwarded to workers as ``wall_us_per_s`` (0 =
+            trust reported air time — the deterministic mode).
+        ring_replicas: virtual points per worker on the hash ring.
+        state_dir: snapshot directory; ``None`` = private tempdir.
+
+    Raises:
+        ValueError: on any non-finite, non-integral or out-of-range
+            knob — at construction, never mid-campaign.
+    """
+
+    workers: int = 4
+    groups: int = 8
+    host: str = "127.0.0.1"
+    port: int = 0
+    population: int = 100
+    tolerance: int = 2
+    confidence: float = 0.9
+    seed: int = DEFAULT_SEED
+    counter_tags: bool = False
+    comm_budget: int = 20
+    group_prefix: str = "group"
+    heartbeat_interval_s: float = 0.5
+    start_timeout_s: float = 20.0
+    failover_timeout_s: float = 10.0
+    upstream_timeout_s: float = 30.0
+    max_round_retries: int = 6
+    timer_scale: float = 0.0
+    ring_replicas: int = 64
+    state_dir: Optional[str] = None
+    max_sessions: int = 256
+
+    def __post_init__(self) -> None:
+        _require_int("workers", self.workers, 1)
+        _require_int("groups", self.groups, 1)
+        _require_int("port", self.port, 0, 65535)
+        _require_int("population", self.population, 1)
+        _require_int("tolerance", self.tolerance, 0)
+        _require_int("seed", self.seed, -(2**63), 2**63 - 1)
+        _require_int("comm_budget", self.comm_budget, 1)
+        _require_int("max_round_retries", self.max_round_retries, 1)
+        _require_int("ring_replicas", self.ring_replicas, 1)
+        _require_int("max_sessions", self.max_sessions, 1)
+        if not self.host or not isinstance(self.host, str):
+            raise ValueError("host must be a non-empty string")
+        if not self.group_prefix or not isinstance(self.group_prefix, str):
+            raise ValueError("group_prefix must be a non-empty string")
+        _require_finite("confidence", self.confidence, 0.0, strict=True)
+        if not self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        _require_finite(
+            "heartbeat_interval_s", self.heartbeat_interval_s, 0.0, strict=True
+        )
+        _require_finite("start_timeout_s", self.start_timeout_s, 0.0, strict=True)
+        _require_finite(
+            "failover_timeout_s", self.failover_timeout_s, 0.0, strict=True
+        )
+        _require_finite(
+            "upstream_timeout_s", self.upstream_timeout_s, 0.0, strict=True
+        )
+        _require_finite("timer_scale", self.timer_scale, 0.0, strict=False)
+
+    # ------------------------------------------------------------------
+    # derived shapes
+    # ------------------------------------------------------------------
+
+    def group_name(self, index: int) -> str:
+        return f"{self.group_prefix}-{index:03d}"
+
+    def group_specs(self) -> Tuple[ShardGroupSpec, ...]:
+        """The cluster's groups, in index order.
+
+        Group ``i`` derives from ``seed + i`` exactly as a plain
+        ``MonitoringService`` deployment would, so any reader that can
+        rebuild populations for ``python -m repro serve`` can rebuild
+        them for the gateway too.
+        """
+        return tuple(
+            ShardGroupSpec(
+                name=self.group_name(i),
+                population=self.population,
+                tolerance=self.tolerance,
+                confidence=self.confidence,
+                seed=self.seed + i,
+                counter_tags=self.counter_tags,
+                comm_budget=self.comm_budget,
+            )
+            for i in range(self.groups)
+        )
+
+    def worker_ids(self) -> Tuple[str, ...]:
+        return tuple(f"w{i:02d}" for i in range(self.workers))

@@ -1,0 +1,141 @@
+"""Consistent-hash ring: group id → worker, deterministic and bounded.
+
+The gateway must answer "which worker owns group ``g``?" identically in
+every process that asks — the supervisor when placing groups, the
+gateway when routing a round, a test re-deriving the mapping under a
+different ``--jobs`` setting. Python's builtin ``hash`` is salted per
+process, so positions come from BLAKE2b over ``"{seed}|…"`` instead:
+the ring is a pure function of ``(nodes, replicas, seed)``.
+
+Classic consistent hashing (Karger et al.) with virtual nodes gives the
+two properties failover leans on:
+
+* **bounded movement** — removing a worker reassigns *only* the keys it
+  owned; adding one steals only the keys that now land on its points.
+  Every other group keeps its owner, so a re-shard never touches
+  healthy workers' state;
+* **balance** — ``replicas`` virtual points per worker keep the largest
+  shard within a small factor of ``keys / workers``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _position(seed: int, data: str) -> int:
+    digest = hashlib.blake2b(
+        f"{seed}|{data}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A deterministic consistent-hash ring over named workers."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        replicas: int = 64,
+        seed: int = 0,
+    ):
+        """Args:
+            nodes: initial worker names (order-insensitive).
+            replicas: virtual points per worker; more points = better
+                balance, linearly more memory.
+            seed: hash-domain seed — rings built with different seeds
+                are independent mappings.
+
+        Raises:
+            ValueError: on a non-positive replica count or a non-int
+                seed (``bool`` counts as non-int here: a flag passed
+                where a seed belongs is a bug worth failing on).
+        """
+        if isinstance(replicas, bool) or not isinstance(replicas, int):
+            raise ValueError("replicas must be an int")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ValueError("seed must be an int")
+        self._replicas = replicas
+        self._seed = seed
+        self._nodes: set = set()
+        # Sorted, parallel: point position -> owning node. Ties broken
+        # by node name so the mapping is total even on hash collisions.
+        self._points: List[Tuple[int, str]] = []
+        self._positions: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Current workers, sorted (deterministic iteration order)."""
+        return tuple(sorted(self._nodes))
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add a worker (its ``replicas`` points join the ring).
+
+        Raises:
+            ValueError: on an empty name or a duplicate.
+        """
+        if not node or not isinstance(node, str):
+            raise ValueError("node name must be a non-empty string")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for i in range(self._replicas):
+            point = (_position(self._seed, f"node:{node}:{i}"), node)
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+        self._positions = [p[0] for p in self._points]
+
+    def remove(self, node: str) -> None:
+        """Remove a worker; only *its* keys change owner.
+
+        Raises:
+            ValueError: if the worker is not on the ring.
+        """
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+        self._positions = [p[0] for p in self._points]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The worker owning ``key`` (first point clockwise).
+
+        Raises:
+            LookupError: on an empty ring.
+        """
+        if not self._points:
+            raise LookupError("ring has no nodes")
+        position = _position(self._seed, f"key:{key}")
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, List[str]]:
+        """``worker -> [keys]`` for every current worker (maybe empty)."""
+        shards: Dict[str, List[str]] = {node: [] for node in self.nodes}
+        for key in keys:
+            shards[self.owner(key)].append(key)
+        return shards

@@ -1,0 +1,706 @@
+"""Worker processes and their supervisor.
+
+One worker is one ordinary :class:`~repro.serve.MonitoringService` in
+its own OS process, hosting a disjoint shard of the cluster's groups —
+sharding multiplies the single-process server instead of replacing it,
+so every serve-layer property (strict alternation, deadline verdicts,
+backpressure) holds per worker unchanged.
+
+What the shard layer adds per worker:
+
+* **durability** — :class:`ShardWorkerService` overrides
+  ``observe_verdict`` to write the group's failover snapshot *before*
+  the VERDICT frame is flushed. A worker can therefore be SIGKILLed at
+  any instant without losing a verified round: either the verdict
+  reached the reader, or it is in the snapshot a survivor restores.
+* **a control link** — each worker dials the supervisor's control
+  socket at startup (newline-delimited JSON), reports its serve port,
+  then heartbeats. Supervisor → worker commands: ``adopt`` (restore a
+  snapshotted group) and ``shutdown``.
+
+The supervisor owns placement: a :class:`~repro.shard.ring.HashRing`
+maps groups onto workers, and on worker death the survivors adopt the
+orphaned groups ring-deterministically (:meth:`WorkerSupervisor.
+ensure_failover`), so the gateway, the supervisor and any test agree
+on where every group lives after any membership change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import signal
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..serve.server import MonitoringService
+from ..serve.session import SessionConfig
+from .config import ShardConfig, ShardGroupSpec, _require_finite, _require_int
+from .failover import (
+    initial_snapshot,
+    load_snapshot,
+    restore_group,
+    snapshot_doc,
+    snapshot_path,
+    write_snapshot,
+)
+from .ring import HashRing
+
+__all__ = ["ShardWorkerService", "WorkerSpec", "WorkerSupervisor"]
+
+
+# ----------------------------------------------------------------------
+# the worker-side service
+# ----------------------------------------------------------------------
+
+
+class ShardWorkerService(MonitoringService):
+    """A monitoring service that snapshots every verdict to disk.
+
+    The snapshot write sits in :meth:`observe_verdict`, which the
+    session state machine calls *before* flushing the VERDICT frame —
+    the ordering the zero-verdict-loss drill depends on.
+
+    Known limitation (documented in ``docs/SHARDING.md``): a round that
+    aborts between CHALLENGE and VERDICT (malformed proof, evicted
+    session) consumed issuer randomness that is not in the replay
+    history; a restore after such a round re-issues that challenge.
+    Verdicts are unaffected — only the never-reuse property weakens to
+    "never reused across *verified* rounds" across a failover.
+    """
+
+    def __init__(self, state_dir: str, **kwargs):
+        super().__init__(**kwargs)
+        self.state_dir = state_dir
+        self._specs: Dict[str, ShardGroupSpec] = {}
+        self._history: Dict[str, List[str]] = {}
+        self._last_verdict: Dict[str, Optional[dict]] = {}
+
+    def host_spec(self, spec: ShardGroupSpec):
+        """Host a fresh group from its deterministic spec."""
+        group = self.create_group(
+            spec.name,
+            spec.population,
+            spec.tolerance,
+            spec.confidence,
+            seed=spec.seed,
+            counter_tags=spec.counter_tags,
+            comm_budget=spec.comm_budget,
+        )
+        self._specs[spec.name] = spec
+        self._history[spec.name] = []
+        self._last_verdict[spec.name] = None
+        # First boot only: never clobber a predecessor's snapshot (the
+        # supervisor restores from disk when re-placing a group).
+        if not os.path.exists(snapshot_path(self.state_dir, spec.name)):
+            write_snapshot(self.state_dir, initial_snapshot(spec))
+        return group
+
+    def adopt(self, doc: dict) -> Tuple[int, Optional[dict]]:
+        """Restore a snapshotted group onto this worker.
+
+        Returns ``(rounds_verified, last_verdict)`` so the supervisor
+        can tell the gateway how far the group had progressed.
+
+        Raises:
+            ValueError: on a malformed or mismatched snapshot.
+        """
+        spec, rounds_verified, last_verdict = restore_group(self, doc)
+        self._specs[spec.name] = spec
+        self._history[spec.name] = list(doc["protocol_history"])
+        self._last_verdict[spec.name] = last_verdict
+        write_snapshot(self.state_dir, self._snapshot(spec.name))
+        return rounds_verified, last_verdict
+
+    def _snapshot(self, name: str) -> dict:
+        group = self.groups[name]
+        return snapshot_doc(
+            self._specs[name],
+            group.monitor,
+            protocol_history=self._history[name],
+            last_verdict=self._last_verdict[name],
+            resync=getattr(group, "pending_resync", None),
+        )
+
+    def observe_verdict(self, group, proto, result, timed_out=False) -> None:
+        name = group.name
+        if name in self._specs:
+            history = self._history[name]
+            history.append(proto)
+            self._last_verdict[name] = {
+                "group": name,
+                "round": len(history) - 1,
+                "verdict": result.verdict.value,
+                "frame_size": int(result.frame_size),
+                "mismatched_slots": len(result.mismatched_slots),
+                "elapsed_us": float(result.elapsed),
+                "alarm": bool(result.verdict.alarm),
+            }
+            write_snapshot(self.state_dir, self._snapshot(name))
+        super().observe_verdict(group, proto, result, timed_out=timed_out)
+
+    @property
+    def verdicts_persisted(self) -> int:
+        return sum(len(h) for h in self._history.values())
+
+
+# ----------------------------------------------------------------------
+# worker process plumbing
+# ----------------------------------------------------------------------
+
+
+class WorkerSpec:
+    """Everything one worker process needs, picklable via ``to_dict``.
+
+    Raises:
+        ValueError: at construction on invalid ports, intervals or
+            scales — the startup-time guard the shard layer promises
+            (a worker must never die mid-campaign on a config value it
+            could have rejected before serving a single frame).
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        control_host: str,
+        control_port: int,
+        state_dir: str,
+        groups: Tuple[ShardGroupSpec, ...],
+        heartbeat_interval_s: float = 0.5,
+        timer_scale: float = 0.0,
+        max_sessions: int = 256,
+    ):
+        if not worker_id or not isinstance(worker_id, str):
+            raise ValueError("worker_id must be a non-empty string")
+        if not control_host or not isinstance(control_host, str):
+            raise ValueError("control_host must be a non-empty string")
+        _require_int("control_port", control_port, 1, 65535)
+        _require_int("max_sessions", max_sessions, 1)
+        _require_finite(
+            "heartbeat_interval_s", heartbeat_interval_s, 0.0, strict=True
+        )
+        _require_finite("timer_scale", timer_scale, 0.0, strict=False)
+        self.worker_id = worker_id
+        self.control_host = control_host
+        self.control_port = control_port
+        self.state_dir = state_dir
+        self.groups = tuple(groups)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.timer_scale = timer_scale
+        self.max_sessions = max_sessions
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "control_host": self.control_host,
+            "control_port": self.control_port,
+            "state_dir": self.state_dir,
+            "groups": [g.to_dict() for g in self.groups],
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "timer_scale": self.timer_scale,
+            "max_sessions": self.max_sessions,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WorkerSpec":
+        return cls(
+            worker_id=doc["worker_id"],
+            control_host=doc["control_host"],
+            control_port=doc["control_port"],
+            state_dir=doc["state_dir"],
+            groups=tuple(
+                ShardGroupSpec.from_dict(g) for g in doc["groups"]
+            ),
+            heartbeat_interval_s=doc["heartbeat_interval_s"],
+            timer_scale=doc["timer_scale"],
+            max_sessions=doc["max_sessions"],
+        )
+
+
+def _send_line(writer: asyncio.StreamWriter, obj: dict) -> None:
+    writer.write(json.dumps(obj).encode("utf-8") + b"\n")
+
+
+async def _heartbeat_loop(
+    service: ShardWorkerService,
+    spec: WorkerSpec,
+    writer: asyncio.StreamWriter,
+) -> None:
+    while True:
+        await asyncio.sleep(spec.heartbeat_interval_s)
+        try:
+            _send_line(
+                writer,
+                {
+                    "type": "hb",
+                    "worker": spec.worker_id,
+                    "sessions": service.active_sessions,
+                    "verdicts": service.verdicts_persisted,
+                },
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return
+
+
+async def _worker_main(spec: WorkerSpec) -> None:
+    service = ShardWorkerService(
+        spec.state_dir,
+        session_config=SessionConfig(wall_us_per_s=spec.timer_scale),
+        max_sessions=spec.max_sessions,
+    )
+    for group in spec.groups:
+        service.host_spec(group)
+    await service.start("127.0.0.1", 0)
+
+    reader = writer = None
+    deadline = time.monotonic() + 10.0
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(
+                spec.control_host, spec.control_port
+            )
+            break
+        except OSError:
+            if time.monotonic() > deadline:
+                await service.close()
+                return
+            await asyncio.sleep(0.05)
+
+    _send_line(
+        writer,
+        {
+            "type": "hello",
+            "worker": spec.worker_id,
+            "pid": os.getpid(),
+            "port": service.port,
+            "groups": [g.name for g in spec.groups],
+        },
+    )
+    await writer.drain()
+    heartbeat = asyncio.ensure_future(_heartbeat_loop(service, spec, writer))
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            command = json.loads(line)
+            kind = command.get("type")
+            if kind == "adopt":
+                snapshot = command.get("snapshot") or {}
+                try:
+                    rounds_verified, last_verdict = service.adopt(snapshot)
+                    reply = {
+                        "type": "adopted",
+                        "group": snapshot.get("group"),
+                        "rounds_verified": rounds_verified,
+                        "last_verdict": last_verdict,
+                    }
+                except (ValueError, KeyError) as error:
+                    reply = {
+                        "type": "adopt-failed",
+                        "group": snapshot.get("group"),
+                        "error": str(error),
+                    }
+                _send_line(writer, reply)
+                await writer.drain()
+            elif kind == "shutdown":
+                break
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        heartbeat.cancel()
+        await asyncio.gather(heartbeat, return_exceptions=True)
+        await service.close()
+        writer.close()
+
+
+def _worker_entry(spec_dict: dict) -> None:
+    """Child-process entry point (top-level: must pickle under spawn)."""
+    try:
+        # Forked from inside a running event loop: the child inherits
+        # the parent's "a loop is running" marker and asyncio.run would
+        # refuse to start. Clear it — this process has no loop yet.
+        asyncio.events._set_running_loop(None)
+    except Exception:
+        pass
+    spec = WorkerSpec.from_dict(spec_dict)
+    asyncio.run(_worker_main(spec))
+
+
+# ----------------------------------------------------------------------
+# the supervisor
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    def __init__(self, worker_id: str, process):
+        self.worker_id = worker_id
+        self.process = process
+        self.port: Optional[int] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.alive = False
+        self.ready = asyncio.Event()
+        self.sessions = 0
+        self.verdicts = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def is_running(self) -> bool:
+        return self.alive and self.process.is_alive()
+
+
+class WorkerSupervisor:
+    """Spawns, watches, and re-shards the worker fleet.
+
+    Failover is **ring-driven and single-flight**: the first signal
+    that a worker is gone (control-socket EOF or a gateway-side
+    transport failure) starts one failover task; every later caller
+    awaits that same task. The task removes the dead worker from the
+    ring, loads each orphaned group's snapshot and asks the group's new
+    ring owner to adopt it — so after any kill sequence every survivor
+    agrees on placement without coordination.
+    """
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        state_dir: str,
+        group_specs: Optional[Tuple[ShardGroupSpec, ...]] = None,
+        obs=None,
+    ):
+        self.config = config
+        self.state_dir = state_dir
+        self.obs = obs
+        specs = group_specs if group_specs is not None else config.group_specs()
+        self._specs: Dict[str, ShardGroupSpec] = {g.name: g for g in specs}
+        self.ring = HashRing(
+            config.worker_ids(), replicas=config.ring_replicas, seed=config.seed
+        )
+        self.owners: Dict[str, str] = {
+            name: self.ring.owner(name) for name in self._specs
+        }
+        #: group -> {"rounds_verified", "last_verdict"} for groups that
+        #: changed owner; the gateway consults this to finish a round
+        #: whose verdict died with the previous owner.
+        self.adoptions: Dict[str, dict] = {}
+        self.handles: Dict[str, _WorkerHandle] = {}
+        self.reshards = 0
+        self.failovers = 0
+        self.failover_latencies: List[float] = []
+        self._failover_tasks: Dict[str, asyncio.Task] = {}
+        self._adopt_waiters: Dict[Tuple[str, str], asyncio.Future] = {}
+        self._control: Optional[asyncio.base_events.Server] = None
+        self._closing = False
+        # Register the whole metric family up front so a snapshot taken
+        # before the first heartbeat (or a campaign with no failover)
+        # still exposes every shard_* series at zero.
+        if self.obs is not None:
+            self._gauge("shard_workers", 0)
+            for worker_id in config.worker_ids():
+                self._gauge("shard_worker_sessions", 0, worker=worker_id)
+            self._count("shard_reshards_total", 0)
+            self._count("shard_failovers_total", 0)
+            self.obs.registry.histogram(
+                "shard_failover_seconds",
+                "failover latency: worker-death signal to last group adopted",
+            )
+
+    # -- observability -------------------------------------------------
+
+    def _gauge(self, name: str, value: float, **labels) -> None:
+        if self.obs is None:
+            return
+        gauge = self.obs.registry.gauge(
+            name, name.replace("_", " "),
+            labelnames=tuple(sorted(labels)) if labels else (),
+        )
+        (gauge.labels(**labels) if labels else gauge).set(value)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.obs is None:
+            return
+        self.obs.registry.counter(name, name.replace("_", " ")).inc(amount)
+
+    def _observe_latency(self, seconds: float) -> None:
+        if self.obs is None:
+            return
+        self.obs.registry.histogram(
+            "shard_failover_seconds",
+            "failover latency: worker-death signal to last group adopted",
+        ).observe(seconds)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker and wait until all have reported in.
+
+        Raises:
+            RuntimeError: when a worker fails to report within
+                ``start_timeout_s`` (the cluster is torn down first).
+        """
+        self._control = await asyncio.start_server(
+            self._on_control, host="127.0.0.1", port=0
+        )
+        control_port = self._control.sockets[0].getsockname()[1]
+        shards = self.ring.assignments(sorted(self._specs))
+        context = multiprocessing.get_context()
+        for worker_id in self.ring.nodes:
+            spec = WorkerSpec(
+                worker_id=worker_id,
+                control_host="127.0.0.1",
+                control_port=control_port,
+                state_dir=self.state_dir,
+                groups=tuple(
+                    self._specs[name] for name in shards.get(worker_id, [])
+                ),
+                heartbeat_interval_s=self.config.heartbeat_interval_s,
+                timer_scale=self.config.timer_scale,
+                max_sessions=self.config.max_sessions,
+            )
+            process = context.Process(
+                target=_worker_entry,
+                args=(spec.to_dict(),),
+                daemon=True,
+                name=f"repro-shard-{worker_id}",
+            )
+            process.start()
+            self.handles[worker_id] = _WorkerHandle(worker_id, process)
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(
+                    *(h.ready.wait() for h in self.handles.values())
+                ),
+                timeout=self.config.start_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            missing = sorted(
+                h.worker_id for h in self.handles.values() if not h.ready.is_set()
+            )
+            await self.close()
+            raise RuntimeError(
+                f"workers failed to start within "
+                f"{self.config.start_timeout_s}s: {missing}"
+            )
+        self._gauge("shard_workers", self.live_workers)
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for h in self.handles.values() if h.is_running())
+
+    async def _on_control(self, reader, writer) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                writer.close()
+                return
+            hello = json.loads(line)
+            handle = self.handles.get(hello.get("worker"))
+            if handle is None or hello.get("type") != "hello":
+                writer.close()
+                return
+            handle.port = int(hello["port"])
+            handle.writer = writer
+            handle.alive = True
+            handle.ready.set()
+            self._gauge("shard_workers", self.live_workers)
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                kind = message.get("type")
+                if kind == "hb":
+                    handle.sessions = int(message.get("sessions", 0))
+                    handle.verdicts = int(message.get("verdicts", 0))
+                    self._gauge(
+                        "shard_worker_sessions",
+                        handle.sessions,
+                        worker=handle.worker_id,
+                    )
+                elif kind in ("adopted", "adopt-failed"):
+                    waiter = self._adopt_waiters.get(
+                        (handle.worker_id, message.get("group"))
+                    )
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(message)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            handle = next(
+                (h for h in self.handles.values() if h.writer is writer), None
+            )
+            if handle is not None:
+                handle.alive = False
+                self._gauge("shard_workers", self.live_workers)
+                if not self._closing:
+                    self.ensure_failover(handle.worker_id)
+
+    # -- routing and failover ------------------------------------------
+
+    async def worker_for(self, group: str) -> _WorkerHandle:
+        """The live handle owning ``group``, failing over as needed.
+
+        Unknown groups route by raw ring position: the worker answers
+        with the protocol's own ``unknown-group`` ERROR, exactly like a
+        single-process service would.
+
+        Raises:
+            RuntimeError: when no live owner can be produced.
+        """
+        for _ in range(len(self.handles) + 2):
+            if self._closing:
+                raise RuntimeError("supervisor is shutting down")
+            worker_id = self.owners.get(group)
+            if worker_id is None:
+                worker_id = self.ring.owner(group)
+            handle = self.handles[worker_id]
+            if handle.is_running():
+                return handle
+            await self.ensure_failover(worker_id)
+        raise RuntimeError(f"no live worker available for group {group!r}")
+
+    async def worker_failed(self, worker_id: str) -> bool:
+        """Gateway signal: a connection to ``worker_id`` broke.
+
+        Returns True when the worker is actually gone (failover ran);
+        False for a transient transport error on a live worker.
+        """
+        handle = self.handles[worker_id]
+        if handle.is_running():
+            return False
+        await self.ensure_failover(worker_id)
+        return True
+
+    def ensure_failover(self, worker_id: str) -> asyncio.Task:
+        """Single-flight failover for one dead worker."""
+        task = self._failover_tasks.get(worker_id)
+        if task is None:
+            task = asyncio.ensure_future(self._failover(worker_id))
+            # Observe the exception even if no caller ever awaits.
+            task.add_done_callback(
+                lambda t: t.cancelled() or t.exception()
+            )
+            self._failover_tasks[worker_id] = task
+        return task
+
+    async def _failover(self, worker_id: str) -> None:
+        started = time.perf_counter()
+        handle = self.handles[worker_id]
+        handle.alive = False
+        if handle.writer is not None:
+            handle.writer.close()
+        if worker_id in self.ring:
+            self.ring.remove(worker_id)
+        orphans = sorted(
+            name for name, owner in self.owners.items() if owner == worker_id
+        )
+        moved = 0
+        for name in orphans:
+            doc = load_snapshot(self.state_dir, name)
+            if doc is None:
+                doc = initial_snapshot(self._specs[name])
+            while True:
+                if not len(self.ring):
+                    raise RuntimeError(
+                        "no surviving workers to adopt orphaned groups"
+                    )
+                target = self.ring.owner(name)
+                target_handle = self.handles[target]
+                if not target_handle.is_running():
+                    await self.ensure_failover(target)
+                    continue
+                try:
+                    reply = await self._request_adopt(target_handle, name, doc)
+                except (asyncio.TimeoutError, ConnectionError, OSError):
+                    target_handle.alive = False
+                    continue
+                if reply.get("type") != "adopted":
+                    raise RuntimeError(
+                        f"worker {target} refused group {name!r}: "
+                        f"{reply.get('error')}"
+                    )
+                self.owners[name] = target
+                self.adoptions[name] = {
+                    "rounds_verified": int(reply["rounds_verified"]),
+                    "last_verdict": reply.get("last_verdict"),
+                }
+                moved += 1
+                break
+        self.reshards += moved
+        self.failovers += 1
+        elapsed = time.perf_counter() - started
+        self.failover_latencies.append(elapsed)
+        self._count("shard_reshards_total", moved or 1)
+        self._count("shard_failovers_total")
+        self._observe_latency(elapsed)
+        self._gauge("shard_workers", self.live_workers)
+
+    async def _request_adopt(
+        self, handle: _WorkerHandle, group: str, doc: dict
+    ) -> dict:
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        self._adopt_waiters[(handle.worker_id, group)] = waiter
+        try:
+            _send_line(handle.writer, {"type": "adopt", "snapshot": doc})
+            await handle.writer.drain()
+            return await asyncio.wait_for(
+                waiter, timeout=self.config.failover_timeout_s
+            )
+        finally:
+            self._adopt_waiters.pop((handle.worker_id, group), None)
+
+    # -- drills and teardown -------------------------------------------
+
+    def kill_worker(self, worker_id: str) -> int:
+        """SIGKILL one worker (the drill's hammer); returns its pid."""
+        handle = self.handles[worker_id]
+        pid = handle.pid
+        if pid is not None and handle.process.is_alive():
+            os.kill(pid, signal.SIGKILL)
+        return pid or -1
+
+    async def close(self) -> None:
+        self._closing = True
+        for task in self._failover_tasks.values():
+            if not task.done():
+                task.cancel()
+        if self._failover_tasks:
+            await asyncio.gather(
+                *self._failover_tasks.values(), return_exceptions=True
+            )
+        for handle in self.handles.values():
+            if handle.writer is not None:
+                try:
+                    _send_line(handle.writer, {"type": "shutdown"})
+                    await handle.writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+        deadline = time.monotonic() + 3.0
+        while time.monotonic() < deadline and any(
+            h.process.is_alive() for h in self.handles.values()
+        ):
+            await asyncio.sleep(0.05)
+        for handle in self.handles.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline and any(
+            h.process.is_alive() for h in self.handles.values()
+        ):
+            await asyncio.sleep(0.05)
+        for handle in self.handles.values():
+            if handle.process.is_alive():
+                handle.process.kill()
+            handle.process.join(timeout=1.0)
+            if handle.writer is not None:
+                handle.writer.close()
+        if self._control is not None:
+            self._control.close()
+            await self._control.wait_closed()
+            self._control = None

@@ -34,6 +34,10 @@ class TestConfigValidation:
         assert LoadgenConfig(protocol="utrp").effective_counter_tags is True
         assert LoadgenConfig(counter_tags=True).effective_counter_tags is True
 
+    def test_rejects_unknown_reader(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(reader="chaotic")
+
 
 class TestSmallCampaigns:
     def test_trp_campaign_clean(self):
@@ -125,6 +129,114 @@ class TestBenchRecord:
         assert "rounds completed : 2" in text
         assert "intact=2" in text
         assert "p95" in text
+
+
+class TestNullReader:
+    def test_null_reader_completes_without_scanning(self):
+        # The bench's server-side mode: the reader answers instantly
+        # with an empty frame, so every round verifies (as not-intact —
+        # the server sees every tag missing) without client-side work.
+        result = run_loadgen(
+            LoadgenConfig(
+                groups=2, rounds=2, population=30, seed=3, reader="null"
+            )
+        )
+        assert result.protocol_errors == 0
+        assert result.rounds_completed == 4
+        assert result.verdict_counts == {"not-intact": 4}
+
+
+class TestMultiEndpoint:
+    """Satellite: one load campaign across several running services,
+    round-robined per session, with per-endpoint stats merged back."""
+
+    def _twin_services(self, groups):
+        from repro.serve import MonitoringService
+
+        services = [MonitoringService(), MonitoringService()]
+        for service in services:
+            for i in range(groups):
+                service.create_group(
+                    f"group-{i:03d}", 30, 2, 0.9, seed=3 + i,
+                    counter_tags=False,
+                )
+        return services
+
+    def test_sessions_round_robin_across_endpoints(self):
+        import asyncio
+
+        from repro.serve.loadgen import _run_loadgen_async
+
+        async def scenario():
+            a, b = self._twin_services(groups=4)
+            async with a, b:
+                return await _run_loadgen_async(
+                    LoadgenConfig(
+                        groups=4, rounds=2, concurrency=4,
+                        population=30, seed=3, group_prefix="group",
+                    ),
+                    None,
+                    None,
+                    endpoints=[
+                        ("127.0.0.1", a.port),
+                        ("127.0.0.1", b.port),
+                    ],
+                )
+
+        result = asyncio.run(scenario())
+        assert result.protocol_errors == 0
+        assert result.rounds_completed == 8
+        assert len(result.per_endpoint) == 2
+        # 4 sessions over 2 endpoints: 2 each, stats split evenly and
+        # summing back to the campaign totals.
+        assert [e["sessions"] for e in result.per_endpoint] == [2, 2]
+        assert sum(e["rounds"] for e in result.per_endpoint) == 8
+        assert (
+            sum(sum(e["verdicts"].values()) for e in result.per_endpoint) == 8
+        )
+        assert sum(e["protocol_errors"] for e in result.per_endpoint) == 0
+        ports = {e["port"] for e in result.per_endpoint}
+        assert len(ports) == 2
+
+    def test_record_carries_endpoint_breakdown(self):
+        import asyncio
+
+        from repro.serve.loadgen import _run_loadgen_async
+
+        async def scenario():
+            a, b = self._twin_services(groups=2)
+            async with a, b:
+                return await _run_loadgen_async(
+                    LoadgenConfig(
+                        groups=2, rounds=1, concurrency=2,
+                        population=30, seed=3, group_prefix="group",
+                    ),
+                    None,
+                    None,
+                    endpoints=[
+                        ("127.0.0.1", a.port),
+                        ("127.0.0.1", b.port),
+                    ],
+                )
+
+        result = asyncio.run(scenario())
+        validate_bench_record(result.record)
+        campaign = result.record["timings"][1]
+        assert len(campaign["endpoints"]) == 2
+        for entry in campaign["endpoints"]:
+            assert entry["host"] == "127.0.0.1"
+            assert entry["sessions"] == 1
+
+    def test_host_and_endpoints_are_mutually_exclusive(self):
+        from repro.serve.loadgen import run_loadgen as run
+
+        with pytest.raises(ValueError):
+            run(
+                LoadgenConfig(groups=1, rounds=1, population=30),
+                host="127.0.0.1",
+                port=1234,
+                endpoints=[("127.0.0.1", 1235)],
+            )
 
 
 class TestConcurrencyAtScale:

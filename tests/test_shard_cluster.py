@@ -1,0 +1,232 @@
+"""Tests for repro.shard — config guards, gateway equivalence, metrics.
+
+The core claim mirrors (and chains with) ``test_serve_equivalence``:
+PR 5 pinned wire ≡ in-process; these tests pin sharded-wire ≡ wire.
+A reader driving the gateway must see byte-identical rounds to one
+driving a single ``MonitoringService`` hosting the same specs — the
+sharding is invisible.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.fleet import RemoteCampaignConfig, drive_remote_campaign_async
+from repro.serve import MonitoringService
+from repro.shard import ShardCluster, ShardConfig, ShardGroupSpec
+from repro.shard.worker import WorkerSpec
+
+POP = 30
+SEED = 17
+
+
+class TestConfigValidation:
+    """Satellite: invalid knobs die as ValueError at startup, never
+    mid-campaign — the ``server.seeds`` non-finite-timer philosophy."""
+
+    def test_rejects_bad_counts(self):
+        for kwargs in (
+            {"workers": 0},
+            {"workers": True},
+            {"groups": 0},
+            {"population": 0},
+            {"tolerance": -1},
+            {"max_round_retries": 0},
+            {"ring_replicas": 0},
+            {"max_sessions": 0},
+        ):
+            with pytest.raises(ValueError):
+                ShardConfig(**kwargs)
+
+    def test_rejects_bad_ports(self):
+        for port in (-1, 65536, 2.5, "7781"):
+            with pytest.raises(ValueError):
+                ShardConfig(port=port)
+
+    def test_rejects_nonfinite_intervals(self):
+        for kwargs in (
+            {"heartbeat_interval_s": float("nan")},
+            {"heartbeat_interval_s": float("inf")},
+            {"heartbeat_interval_s": 0.0},
+            {"start_timeout_s": float("nan")},
+            {"failover_timeout_s": 0.0},
+            {"upstream_timeout_s": float("-inf")},
+            {"timer_scale": float("nan")},
+            {"timer_scale": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                ShardConfig(**kwargs)
+
+    def test_rejects_bad_confidence(self):
+        for alpha in (0.0, 1.0, float("nan"), math.inf):
+            with pytest.raises(ValueError):
+                ShardConfig(confidence=alpha)
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(ValueError):
+            ShardConfig(host="")
+        with pytest.raises(ValueError):
+            ShardConfig(group_prefix="")
+
+    def test_group_spec_validation(self):
+        with pytest.raises(ValueError):
+            ShardGroupSpec(name="", population=10, tolerance=1)
+        with pytest.raises(ValueError):
+            ShardGroupSpec(name="g", population=0, tolerance=1)
+        with pytest.raises(ValueError):
+            ShardGroupSpec(name="g", population=10, tolerance=1, confidence=1.5)
+        with pytest.raises(ValueError):
+            ShardGroupSpec.from_dict({"name": "g"})  # missing keys
+
+    def test_worker_spec_validation(self):
+        good = dict(
+            worker_id="w00",
+            control_host="127.0.0.1",
+            control_port=9999,
+            state_dir="/tmp",
+            groups=(),
+        )
+        WorkerSpec(**good)  # baseline: constructible
+        for override in (
+            {"worker_id": ""},
+            {"control_host": ""},
+            {"control_port": 0},
+            {"control_port": 70000},
+            {"heartbeat_interval_s": float("nan")},
+            {"heartbeat_interval_s": 0.0},
+            {"timer_scale": float("inf")},
+            {"max_sessions": 0},
+        ):
+            with pytest.raises(ValueError):
+                WorkerSpec(**{**good, **override})
+
+    def test_spec_roundtrip(self):
+        spec = ShardGroupSpec(
+            name="g", population=10, tolerance=1, seed=5, counter_tags=True
+        )
+        assert ShardGroupSpec.from_dict(spec.to_dict()) == spec
+
+    def test_group_specs_follow_seed_plus_index(self):
+        config = ShardConfig(workers=2, groups=3, seed=100)
+        assert [s.seed for s in config.group_specs()] == [100, 101, 102]
+        assert [s.name for s in config.group_specs()] == [
+            "group-000",
+            "group-001",
+            "group-002",
+        ]
+
+
+def _campaign_config(port: int, groups: int, rounds: int) -> RemoteCampaignConfig:
+    return RemoteCampaignConfig(
+        host="127.0.0.1",
+        port=port,
+        groups=groups,
+        rounds=rounds,
+        protocol="trp",
+        population=POP,
+        tolerance=2,
+        confidence=0.9,
+        seed=SEED,
+        counter_tags=False,
+        concurrency=4,
+    )
+
+
+class TestGatewayEquivalence:
+    """Sharded-wire ≡ wire, round by round, bit for bit."""
+
+    def test_verdict_sequences_match_single_process_serve(self):
+        groups, rounds = 4, 3
+        config = ShardConfig(
+            workers=2, groups=groups, population=POP, tolerance=2, seed=SEED
+        )
+
+        async def sharded():
+            async with ShardCluster(config) as cluster:
+                return await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, groups, rounds)
+                )
+
+        async def single():
+            service = MonitoringService()
+            for spec in config.group_specs():
+                service.create_group(
+                    spec.name,
+                    spec.population,
+                    spec.tolerance,
+                    spec.confidence,
+                    seed=spec.seed,
+                    counter_tags=spec.counter_tags,
+                    comm_budget=spec.comm_budget,
+                )
+            async with service:
+                return await drive_remote_campaign_async(
+                    _campaign_config(service.port, groups, rounds)
+                )
+
+        sharded_result = asyncio.run(sharded())
+        single_result = asyncio.run(single())
+        assert sharded_result.protocol_errors == []
+        assert single_result.protocol_errors == []
+        assert sharded_result.rounds_completed == groups * rounds
+        for name in sorted(single_result.per_group):
+            # RemoteRound is frozen and carries round index, verdict,
+            # frame size, mismatched slots and alarm — the whole wire
+            # outcome must be identical, group by group.
+            assert (
+                sharded_result.per_group[name] == single_result.per_group[name]
+            ), name
+
+    def test_unknown_group_is_a_clean_protocol_error(self):
+        config = ShardConfig(
+            workers=2, groups=2, population=POP, tolerance=2, seed=SEED
+        )
+
+        async def scenario():
+            from repro.serve import protocol
+
+            async with ShardCluster(config) as cluster:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", cluster.port
+                )
+                await protocol.write_frame(
+                    writer, protocol.reseed("no-such-group", "trp")
+                )
+                frame = await protocol.read_frame(reader)
+                writer.close()
+                return frame
+
+        frame = asyncio.run(scenario())
+        assert frame.type == "ERROR"
+
+    def test_shard_metrics_registered(self):
+        from repro.obs import ObsContext
+
+        obs = ObsContext()
+        config = ShardConfig(
+            workers=2, groups=2, population=POP, tolerance=2, seed=SEED
+        )
+
+        async def scenario():
+            async with ShardCluster(config, obs=obs) as cluster:
+                result = await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, 2, 1)
+                )
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.rounds_completed == 2
+        from repro.obs.exporters import prometheus_text
+
+        text = prometheus_text(obs.registry)
+        for metric in (
+            "shard_workers",
+            "shard_worker_sessions",
+            "shard_reshards_total",
+            "shard_failovers_total",
+            "shard_failover_seconds",
+            "shard_rounds_proxied_total",
+            "shard_sessions_total",
+        ):
+            assert metric in text, metric

@@ -1,0 +1,120 @@
+"""Tests for repro.shard.ring — the consistent-hash group placement.
+
+The ring's contract is what makes re-sharding cheap and failover
+bounded: placement is a pure function of ``(nodes, replicas, seed)``
+(so every process — gateway, supervisor, tests — computes the same
+owner without coordination), and removing one node only moves that
+node's keys (so a worker death re-homes its shard and nothing else).
+"""
+
+import json
+import math
+import subprocess
+import sys
+
+import pytest
+
+from repro.shard import HashRing
+
+GROUPS = [f"group-{i:03d}" for i in range(40)]
+WORKERS = [f"w{i:02d}" for i in range(5)]
+
+
+def _placement(nodes, keys, replicas=64, seed=0):
+    ring = HashRing(nodes, replicas=replicas, seed=seed)
+    return {key: ring.owner(key) for key in keys}
+
+
+class TestDeterminism:
+    def test_same_inputs_same_placement(self):
+        assert _placement(WORKERS, GROUPS) == _placement(WORKERS, GROUPS)
+
+    def test_node_insertion_order_is_irrelevant(self):
+        assert _placement(WORKERS, GROUPS) == _placement(
+            list(reversed(WORKERS)), GROUPS
+        )
+
+    def test_seed_changes_placement(self):
+        # Not a hard guarantee per key, but across 40 keys the two
+        # seeds must not agree everywhere — otherwise seed is dead.
+        a = _placement(WORKERS, GROUPS, seed=0)
+        b = _placement(WORKERS, GROUPS, seed=1)
+        assert a != b
+
+    def test_identical_across_processes(self):
+        # The cross-process pin: a fresh interpreter computes the very
+        # same placement (no PYTHONHASHSEED dependence — blake2b only).
+        script = (
+            "import json;from repro.shard import HashRing;"
+            f"ring = HashRing({WORKERS!r}, replicas=64, seed=0);"
+            f"print(json.dumps({{k: ring.owner(k) for k in {GROUPS!r}}}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert json.loads(out.stdout) == _placement(WORKERS, GROUPS)
+
+
+class TestStability:
+    def test_removing_one_node_moves_only_its_keys(self):
+        before = _placement(WORKERS, GROUPS)
+        survivors = WORKERS[:-1]
+        after = _placement(survivors, GROUPS)
+        moved = [k for k in GROUPS if before[k] != after[k]]
+        # Exactly the dead node's keys move; every survivor's keys stay.
+        assert set(moved) == {k for k in GROUPS if before[k] == WORKERS[-1]}
+
+    def test_adding_one_node_moves_a_bounded_fraction(self):
+        before = _placement(WORKERS, GROUPS)
+        after = _placement(WORKERS + ["w05"], GROUPS)
+        moved = [k for k in GROUPS if before[k] != after[k]]
+        # The newcomer should claim about 1/(N+1) of the keys; allow
+        # 2x slack over the ideal share for hash-placement variance.
+        bound = 2 * math.ceil(len(GROUPS) / (len(WORKERS) + 1))
+        assert len(moved) <= bound
+        # And everything that moved, moved *onto* the newcomer.
+        assert all(after[k] == "w05" for k in moved)
+
+    def test_every_node_owns_something_at_scale(self):
+        ring = HashRing(WORKERS, replicas=64, seed=0)
+        assignments = ring.assignments(GROUPS)
+        assert set(assignments) == set(WORKERS)
+        assert sum(len(v) for v in assignments.values()) == len(GROUPS)
+
+
+class TestApi:
+    def test_add_remove_contains(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and len(ring) == 2
+        ring.add("c")
+        assert ring.nodes == ("a", "b", "c")
+        ring.remove("b")
+        assert "b" not in ring
+        assert all(ring.owner(k) in ("a", "c") for k in GROUPS)
+
+    def test_duplicate_add_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"]).add("a")
+
+    def test_unknown_remove_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"]).remove("b")
+
+    def test_empty_ring_has_no_owner(self):
+        ring = HashRing(["a"])
+        ring.remove("a")
+        with pytest.raises(LookupError):
+            ring.owner("group-000")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"], replicas=0)
+        with pytest.raises(ValueError):
+            HashRing(["a"], replicas=True)
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing([""])

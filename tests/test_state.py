@@ -60,6 +60,93 @@ class TestFiles:
         assert not os.path.exists(path + ".tmp")
 
 
+class TestMidCampaignRoundtrip:
+    """Satellite pin: a state file written *mid-deployment* — counter
+    resync still incomplete, a UTRP round in flight with its deadline
+    armed — restores into a server that (a) knows recovery was
+    mid-flight, (b) never re-issues the in-flight challenge's seeds,
+    and (c) carries the exact pre-verification counter mirror."""
+
+    def test_incomplete_resync_and_inflight_round_survive(self, tmp_path):
+        import asyncio
+        import json
+
+        from repro.core.utrp import ResyncReport
+        from repro.serve import MonitoringService, SessionConfig
+        from repro.serve import protocol
+        from repro.server.state import import_resync
+
+        path = str(tmp_path / "state.json")
+        resync = ResyncReport(
+            rounds_run=2,
+            frame_size=16,
+            recovered={101: 3},
+            unresolved=[103, 107],
+            ambiguous=[105],
+        )
+        assert not resync.complete
+
+        async def scenario():
+            # wall_us_per_s arms a real wall-clock deadline per round.
+            svc = MonitoringService(
+                session_config=SessionConfig(wall_us_per_s=5_000_000.0)
+            )
+            svc.create_group("g", 30, 2, 0.9, seed=5, counter_tags=True)
+            monitor = svc.groups["g"].monitor
+            async with svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                await protocol.write_frame(writer, protocol.reseed("g", "utrp"))
+                challenge = await protocol.read_frame(reader)
+                # Mid-round: challenge issued, deadline ticking, no
+                # verdict yet. Snapshot exactly here.
+                save_state(path, monitor.database, monitor.issuer, resync=resync)
+                counters = monitor.database.counters.tolist()
+                writer.close()
+            return challenge, counters
+
+        challenge, counters_at_snapshot = asyncio.run(scenario())
+        assert challenge.type == "CHALLENGE"
+        assert challenge["timer_us"] > 0  # the deadline was armed
+
+        database, issuer = load_state(path)
+        # (c) the pre-verification counter mirror, exactly.
+        assert database.counters.tolist() == counters_at_snapshot
+        # (b) every in-flight challenge seed is burned forever.
+        inflight = {int(s) for s in challenge["seeds"]}
+        assert inflight <= issuer._issued
+        fresh = {issuer.trp_challenge(16).seed for _ in range(300)}
+        assert not (inflight & fresh)
+        # (a) the restored operator sees the unfinished recovery.
+        with open(path) as fh:
+            doc = json.load(fh)
+        restored = import_resync(doc)
+        assert restored is not None
+        assert not restored.complete
+        assert restored.unresolved == [103, 107]
+        assert restored.ambiguous == [105]
+        assert restored.recovered == {101: 3}
+        assert restored.rounds_run == 2
+        assert restored.frame_size == 16
+
+    def test_complete_resync_is_not_persisted(self):
+        from repro.core.utrp import ResyncReport
+        from repro.server.seeds import SeedIssuer
+        from repro.server.state import import_resync
+
+        done = ResyncReport(
+            rounds_run=1, frame_size=8, recovered={101: 1},
+            unresolved=[], ambiguous=[],
+        )
+        assert done.complete
+        doc = export_state(
+            _database(), SeedIssuer(np.random.default_rng(0)), resync=done
+        )
+        assert "resync" not in doc
+        assert import_resync(doc) is None
+
+
 class TestValidation:
     def test_wrong_format(self):
         with pytest.raises(ValueError):
