@@ -16,7 +16,10 @@ Usage::
     python -m repro loadgen --groups 8 --rounds 3       # load it, BENCH_serve.json
     python -m repro shard --workers 4 --groups 16       # sharded gateway
     python -m repro shard --drill                       # kill-a-worker drill
+    python -m repro shard --drill --trace-out trace.jsonl   # + merged trace
     python -m repro shard --bench                       # scaling, BENCH_shard.json
+    python -m repro obs tail trace.jsonl                # causal trace tree
+    python -m repro obs report trace.jsonl --metrics m.txt  # SLO attainment
 
 Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
 ``--trials K`` to override the Monte Carlo sample size, and ``--jobs N``
@@ -31,6 +34,7 @@ frame plans to a JSON file so warm reruns skip the solvers.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -426,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_serve.json", metavar="PATH",
         help="where to write the perf record (default BENCH_serve.json)",
     )
+    loadgen.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="trace every round (reader.round root spans, contexts "
+        "propagated on the wire) and write the span JSONL here",
+    )
 
     shard = sub.add_parser(
         "shard",
@@ -506,6 +515,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_shard.json", metavar="PATH",
         help="bench mode: where to write the perf record "
         "(default BENCH_shard.json)",
+    )
+    shard.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="drill: write the merged reader+gateway+worker trace as "
+        "span JSONL (its digest is invariant across --workers)",
+    )
+    shard.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="drill: write the final /metrics scrape body "
+        "(Prometheus text, aggregated across workers)",
+    )
+    shard.add_argument(
+        "--telemetry-port", type=int, default=0, metavar="P",
+        help="drill: port for the live /metrics, /healthz and /slo "
+        "endpoints (0 = ephemeral; default 0)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect traces and metrics a distributed run wrote",
+        description=(
+            "Read back distributed-observability artifacts: 'tail' "
+            "merges span JSONL files into the causal trace tree and "
+            "prints the span-tree digest; 'report' summarises SLO "
+            "attainment from traces and an optional /metrics scrape."
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_tail = obs_sub.add_parser(
+        "tail", help="pretty-print merged traces from span JSONL files"
+    )
+    obs_tail.add_argument(
+        "traces", nargs="+", metavar="TRACE.jsonl",
+        help="span JSONL files (a drill's --trace-out, or per-process "
+        "spans-*.jsonl files)",
+    )
+    obs_tail.add_argument(
+        "--max-traces", type=int, default=None, metavar="K",
+        help="show at most K traces (default: all)",
+    )
+    obs_report = obs_sub.add_parser(
+        "report", help="summarise SLO attainment from obs artifacts"
+    )
+    obs_report.add_argument(
+        "traces", nargs="*", metavar="TRACE.jsonl",
+        help="span JSONL files to summarise (optional)",
+    )
+    obs_report.add_argument(
+        "--metrics", default=None, metavar="SCRAPE.txt",
+        help="a /metrics scrape body (Prometheus text) to fold in",
     )
 
     sub.add_parser("list", help="list every reproducible experiment")
@@ -865,6 +924,11 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         counter_tags=True if args.connect_host is not None else None,
         reader=args.reader,
     )
+    tracer = None
+    if args.trace_out is not None:
+        from .obs.tracing import Tracer
+
+        tracer = Tracer("loadgen", path=args.trace_out)
     result = run_loadgen(
         config,
         host=args.connect_host if endpoints is None else None,
@@ -874,12 +938,18 @@ def _run_loadgen(args: argparse.Namespace) -> str:
             else None
         ),
         endpoints=endpoints,
+        tracer=tracer,
     )
     write_bench_record(result.record, args.out)
-    return (
-        format_loadgen_result(result)
-        + f"\nperf record written to {args.out}"
-    )
+    report = format_loadgen_result(result)
+    if tracer is not None:
+        from .obs.tracing import span_tree_digest
+
+        report += (
+            f"\ntrace written to {args.trace_out} "
+            f"({len(tracer)} spans; digest {span_tree_digest(tracer.spans)[:16]})"
+        )
+    return report + f"\nperf record written to {args.out}"
 
 
 def _run_shard(args: argparse.Namespace) -> int:
@@ -931,18 +1001,38 @@ def _run_shard(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             kill_fraction=args.kill_fraction,
             concurrency=args.concurrency,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            telemetry_port=args.telemetry_port,
         )
         print(format_drill_result(result))
+        if args.trace_out is not None:
+            print(f"merged trace written to {args.trace_out}")
+        if args.metrics_out is not None:
+            print(f"metrics scrape written to {args.metrics_out}")
         return 0 if result.ok else 1
 
     from .shard import ShardCluster
 
+    from .obs import ObsContext
+
     async def _serve() -> str:
-        async with ShardCluster(config) as cluster:
+        # Always wire an ObsContext: /metrics should expose the
+        # gateway/supervisor shard_* families, not just worker merges.
+        async with ShardCluster(
+            config, obs=ObsContext(), telemetry_port=args.telemetry_port
+        ) as cluster:
+            telemetry = (
+                f"; telemetry on {config.host}:{cluster.telemetry.port} "
+                "(/metrics /healthz /slo)"
+                if cluster.telemetry is not None
+                else ""
+            )
             print(
                 f"sharded gateway on {config.host}:{cluster.port} — "
                 f"{config.workers} worker(s), {config.groups} group(s) "
-                f"(seed {seed}; snapshots in {cluster.state_dir})",
+                f"(seed {seed}; snapshots in {cluster.state_dir})"
+                + telemetry,
                 flush=True,
             )
             try:
@@ -964,6 +1054,14 @@ def _run_shard(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupted")
     return 0
+
+
+def _run_obs(args: argparse.Namespace) -> str:
+    from .obs.cli import run_obs_report, run_obs_tail
+
+    if args.obs_command == "tail":
+        return run_obs_tail(args.traces, max_traces=args.max_traces)
+    return run_obs_report(args.traces, metrics_path=args.metrics)
 
 
 def _run_list() -> str:
@@ -1004,6 +1102,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "shard":
         return _run_shard(args)
+    if args.command == "obs":
+        try:
+            print(_run_obs(args))
+        except BrokenPipeError:
+            # `repro obs tail trace.jsonl | head` closes our stdout
+            # early; that is normal pipeline use, not an error.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            return 0
+        return 0
 
     grid = _grid(args)
     if args.command in ("fig4", "fig5", "fig6", "fig7"):

@@ -141,11 +141,16 @@ class RemoteCampaignResult:
 async def drive_remote_campaign_async(
     config: RemoteCampaignConfig,
     on_round: Optional[Callable[[RemoteRound], None]] = None,
+    tracer=None,
 ) -> RemoteCampaignResult:
     """Run the campaign inside an existing event loop.
 
     ``on_round`` fires after every completed round — the shard drill
-    uses it to time its mid-campaign worker kill.
+    uses it to time its mid-campaign worker kill. ``tracer`` (a
+    :class:`~repro.obs.tracing.Tracer`) makes every round traced: each
+    group's client roots a ``reader.round`` span and propagates its
+    context on the wire, which is how the drill stitches the
+    reader → gateway → worker causal chain.
     """
     per_group: Dict[str, List[RemoteRound]] = {
         config.group_name(i): [] for i in range(config.groups)
@@ -163,7 +168,9 @@ async def drive_remote_campaign_async(
         channel = SlottedChannel(population.tags)
         async with gate:
             try:
-                client = ReaderClient(config.host, config.port, channel)
+                client = ReaderClient(
+                    config.host, config.port, channel, tracer=tracer
+                )
                 async with client:
                     for _ in range(config.rounds):
                         outcome = await client.run_round(name, config.protocol)
@@ -194,9 +201,12 @@ async def drive_remote_campaign_async(
 def drive_remote_campaign(
     config: RemoteCampaignConfig,
     on_round: Optional[Callable[[RemoteRound], None]] = None,
+    tracer=None,
 ) -> RemoteCampaignResult:
     """Blocking wrapper around :func:`drive_remote_campaign_async`."""
-    return asyncio.run(drive_remote_campaign_async(config, on_round=on_round))
+    return asyncio.run(
+        drive_remote_campaign_async(config, on_round=on_round, tracer=tracer)
+    )
 
 
 def format_remote_campaign(result: RemoteCampaignResult) -> str:

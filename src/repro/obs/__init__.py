@@ -17,13 +17,30 @@ them one spine:
   paths, attributing both host wall clock and simulated air time;
 * exporters — deterministic JSONL trace dumps (same seed => same
   digest, whatever ``--jobs`` is), Prometheus snapshots, and the
-  ``BENCH_obs.json`` perf records ``python -m repro bench`` writes.
+  ``BENCH_obs.json`` perf records ``python -m repro bench`` writes;
+* :mod:`repro.obs.tracing` — cross-process spans: deterministic
+  trace/span ids propagated over the serve wire protocol, per-process
+  JSONL span files, and a merger whose span-tree digest is invariant
+  across worker counts;
+* :mod:`repro.obs.agg` — registry snapshots shipped over the shard
+  control channel and merged cluster-wide with deterministic
+  semantics, plus the metric-family self-check and the Prometheus
+  text parser the gateway telemetry endpoint stands on.
 
 The determinism contract mirrors :meth:`repro.fleet.journal.
 FleetJournal.digest`: everything derived from the seed is digestable;
 wall-clock quantities live in excluded fields.
 """
 
+from .agg import (
+    AGG_SCHEMA,
+    assert_families,
+    histogram_quantile,
+    merge_snapshots,
+    parse_prometheus_text,
+    snapshot_registry,
+    sum_family,
+)
 from .bench import (
     BENCH_SCHEMA,
     format_bench_record,
@@ -46,8 +63,18 @@ from .metrics import (
     MetricsRegistry,
 )
 from .profiling import NULL_PROFILER, PhaseStats, Profiler
+from .tracing import (
+    TRACE_SCHEMA,
+    Span,
+    SpanContext,
+    Tracer,
+    merge_spans,
+    span_tree_digest,
+    trace_id_for,
+)
 
 __all__ = [
+    "AGG_SCHEMA",
     "BENCH_SCHEMA",
     "Counter",
     "EventBus",
@@ -59,11 +86,24 @@ __all__ = [
     "ObsEvent",
     "PhaseStats",
     "Profiler",
+    "Span",
+    "SpanContext",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "assert_families",
     "format_bench_record",
+    "histogram_quantile",
     "make_bench_record",
+    "merge_snapshots",
+    "merge_spans",
+    "parse_prometheus_text",
     "prometheus_text",
     "run_bench",
+    "snapshot_registry",
+    "span_tree_digest",
+    "sum_family",
     "trace_digest",
+    "trace_id_for",
     "validate_bench_record",
     "write_bench_record",
     "write_events_jsonl",

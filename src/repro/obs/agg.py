@@ -1,0 +1,379 @@
+"""Cluster metrics aggregation: snapshot, ship, merge, self-check.
+
+A sharded deployment runs one :class:`~repro.obs.metrics.MetricsRegistry`
+per worker process, and each dies with its worker. This module makes
+worker metrics survive and compose:
+
+* :func:`snapshot_registry` serialises a registry into a JSON-safe
+  document (schema-tagged, with a monotonic ``seq`` so receivers can
+  pick the freshest snapshot per worker and never double-count);
+* :func:`merge_snapshots` folds any number of snapshots into one
+  registry with deterministic semantics — counters and gauges add,
+  fixed-bucket histograms add element-wise (the buckets were fixed at
+  registration, so addition is exact) and pool their retained samples.
+  Shape conflicts (same name, different kind/labels/buckets) raise
+  instead of guessing;
+* :func:`assert_families` is the pre-registration self-check: the
+  serving stack declares its ``serve_*``/``shard_*`` families up front,
+  and a renamed or re-shaped metric fails fast at startup instead of
+  silently exporting an empty family forever;
+* :func:`histogram_quantile` estimates p50/p99 from cumulative bucket
+  counts (PromQL-style linear interpolation) for histograms that do
+  not retain samples — the unbounded serving-path histograms;
+* :func:`parse_prometheus_text` reads the text exposition format back
+  into ``(name, labels) -> value`` samples, inverting the exporter's
+  escaping — the CI scrape assertions and the escaping round-trip
+  test both stand on it.
+
+The central determinism property, pinned by tests: **merging N worker
+snapshots produces a registry whose** ``digest()`` **equals the
+single-process registry that observed the same events** — aggregation
+is a pure fold, independent of how work was sharded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _GaugeSeries,
+    _HistogramSeries,
+)
+
+__all__ = [
+    "AGG_SCHEMA",
+    "snapshot_registry",
+    "merge_snapshots",
+    "merge_into",
+    "assert_families",
+    "histogram_quantile",
+    "parse_prometheus_text",
+    "sum_family",
+]
+
+#: Schema tag carried by every registry snapshot document.
+AGG_SCHEMA = "repro.obs.metrics/v1"
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+
+
+def snapshot_registry(
+    registry: MetricsRegistry, seq: int = 0, source: str = ""
+) -> Dict[str, object]:
+    """Serialise a registry into a JSON-safe snapshot document.
+
+    ``seq`` is the publisher's monotonic snapshot counter: a receiver
+    holding several snapshots from one ``source`` keeps the one with
+    the highest ``seq`` (snapshots are *state*, not deltas — summing
+    two snapshots of the same worker would double-count).
+    """
+    metrics: List[Dict[str, object]] = []
+    for metric in registry.collect():
+        doc: Dict[str, object] = {
+            "name": metric.name,
+            "kind": metric.kind,
+            "help": metric.help,
+            "labelnames": list(metric.labelnames),
+        }
+        if isinstance(metric, Histogram):
+            doc["buckets"] = list(metric.buckets)
+            doc["keep_samples"] = metric.keep_samples
+        series_docs: List[Dict[str, object]] = []
+        for labelvalues, series in metric.series():
+            sdoc: Dict[str, object] = {"labels": list(labelvalues)}
+            if isinstance(series, _HistogramSeries):
+                sdoc["bucket_counts"] = list(series.bucket_counts)
+                sdoc["count"] = series.count
+                sdoc["sum"] = series.sum
+                if series.keep_samples:
+                    sdoc["samples"] = list(series.samples)
+            else:
+                sdoc["value"] = series.value
+            series_docs.append(sdoc)
+        doc["series"] = series_docs
+        metrics.append(doc)
+    return {"v": AGG_SCHEMA, "seq": int(seq), "source": source, "metrics": metrics}
+
+
+def _check_snapshot(doc: Mapping[str, object]) -> Sequence[Mapping[str, object]]:
+    tag = doc.get("v")
+    if tag != AGG_SCHEMA:
+        raise ValueError(f"expected snapshot schema {AGG_SCHEMA!r}, got {tag!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, (list, tuple)):
+        raise ValueError("snapshot has no metrics list")
+    return metrics
+
+
+def merge_into(registry: MetricsRegistry, doc: Mapping[str, object]) -> None:
+    """Fold one snapshot into ``registry`` (adding, never replacing).
+
+    Registration is idempotent, so shape conflicts between the snapshot
+    and what ``registry`` already holds raise :class:`ValueError` — the
+    same no-silent-drift rule the registry enforces locally.
+    """
+    for mdoc in _check_snapshot(doc):
+        name = str(mdoc["name"])
+        kind = str(mdoc["kind"])
+        help_ = str(mdoc.get("help", ""))
+        labelnames = tuple(str(n) for n in mdoc.get("labelnames", ()))
+        if kind == "counter":
+            metric = registry.counter(name, help_, labelnames)
+        elif kind == "gauge":
+            metric = registry.gauge(name, help_, labelnames)
+        elif kind == "histogram":
+            metric = registry.histogram(
+                name,
+                help_,
+                labelnames,
+                buckets=mdoc["buckets"],
+                keep_samples=bool(mdoc.get("keep_samples", True)),
+            )
+        else:
+            raise ValueError(f"snapshot metric {name!r} has unknown kind {kind!r}")
+        for sdoc in mdoc.get("series", ()):
+            labels = dict(zip(labelnames, (str(v) for v in sdoc["labels"])))
+            series = metric.labels(**labels)
+            if kind == "counter":
+                series.inc(float(sdoc["value"]))
+            elif kind == "gauge":
+                _merge_gauge(series, float(sdoc["value"]))
+            else:
+                _merge_histogram_series(series, sdoc, name)
+
+
+def _merge_gauge(series: _GaugeSeries, value: float) -> None:
+    # Gauges add under merge: every cluster gauge in this codebase is a
+    # partition count (sessions per worker, groups per worker), where
+    # the cluster-wide value is the sum of the shards' values.
+    series.inc(value)
+
+
+def _merge_histogram_series(
+    series: _HistogramSeries, sdoc: Mapping[str, object], name: str
+) -> None:
+    counts = [int(c) for c in sdoc["bucket_counts"]]
+    if len(counts) != len(series.bucket_counts):
+        raise ValueError(
+            f"snapshot histogram {name!r} has {len(counts)} buckets, "
+            f"registry has {len(series.bucket_counts)}"
+        )
+    with series._lock:
+        for i, c in enumerate(counts):
+            series.bucket_counts[i] += c
+        series.count += int(sdoc["count"])
+        series.sum += float(sdoc["sum"])
+        if series.keep_samples and "samples" in sdoc:
+            series.samples.extend(float(v) for v in sdoc["samples"])
+            # Pooled samples arrive in shipment order, which depends on
+            # how work was sharded; sorting restores a canonical order
+            # so the merged registry is bit-equal across worker counts.
+            series.samples.sort()
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, object]],
+    into: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Fold snapshots into one registry (a fresh one unless ``into``).
+
+    Deterministic: the result's ``digest()`` depends only on the
+    multiset of snapshots, not their order (addition commutes and
+    pooled samples are re-sorted).
+    """
+    registry = into if into is not None else MetricsRegistry()
+    for doc in snapshots:
+        merge_into(registry, doc)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# family self-check
+# ----------------------------------------------------------------------
+
+
+def assert_families(
+    registry: MetricsRegistry,
+    families: Mapping[str, Tuple[str, Tuple[str, ...]]],
+) -> None:
+    """Check that every declared family exists with the declared shape.
+
+    ``families`` maps metric name -> ``(kind, labelnames)``. A missing
+    name (someone renamed the metric at the observation site without
+    updating the declaration) or a shape mismatch raises
+    :class:`ValueError` at startup, instead of a dashboard quietly
+    reading an empty family for a quarter.
+    """
+    present = {m.name: m for m in registry.collect()}
+    problems: List[str] = []
+    for name in sorted(families):
+        kind, labelnames = families[name]
+        metric = present.get(name)
+        if metric is None:
+            problems.append(f"{name}: declared but never registered")
+        elif metric.kind != kind:
+            problems.append(f"{name}: declared {kind}, registered {metric.kind}")
+        elif metric.labelnames != tuple(labelnames):
+            problems.append(
+                f"{name}: declared labels {tuple(labelnames)}, "
+                f"registered {metric.labelnames}"
+            )
+    if problems:
+        raise ValueError(
+            "metric family self-check failed:\n  " + "\n  ".join(problems)
+        )
+
+
+# ----------------------------------------------------------------------
+# bucket-interpolated quantiles
+# ----------------------------------------------------------------------
+
+
+def histogram_quantile(
+    bounds: Sequence[float], cumulative: Sequence[int], q: float
+) -> float:
+    """PromQL-style quantile estimate from cumulative bucket counts.
+
+    ``bounds`` are the finite upper bounds (the implicit ``+Inf``
+    bucket is ``cumulative[-1]``); ``q`` is a percentile in [0, 100]
+    to match :meth:`Histogram.percentile`. Linear interpolation within
+    the target bucket; observations beyond the last finite bound clamp
+    to it (their true magnitude is unknowable from buckets alone).
+    Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"{len(bounds)} bounds need {len(bounds) + 1} cumulative counts, "
+            f"got {len(cumulative)}"
+        )
+    total = cumulative[-1]
+    if total == 0:
+        return 0.0
+    rank = (q / 100.0) * total
+    for i, bound in enumerate(bounds):
+        if cumulative[i] >= rank:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            below = cumulative[i - 1] if i > 0 else 0
+            in_bucket = cumulative[i] - below
+            if in_bucket == 0:  # pragma: no cover - rank lands exactly on below
+                return bound
+            return lower + (bound - lower) * (rank - below) / in_bucket
+    return float(bounds[-1])
+
+
+# ----------------------------------------------------------------------
+# Prometheus text parsing (the exporter's inverse)
+# ----------------------------------------------------------------------
+
+
+def _unescape_label_value(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``name="value",...`` respecting escapes inside quotes."""
+    pairs: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {text[eq:]!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                raw.append(text[j : j + 2])
+                j += 2
+            else:
+                raw.append(text[j])
+                j += 1
+        pairs.append((name, _unescape_label_value("".join(raw))))
+        i = j + 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return tuple(pairs)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition-format text into ``(name, labels) -> value``.
+
+    Labels come back unescaped and sorted by label name, so a sample
+    rendered by :func:`~repro.obs.exporters.prometheus_text` and parsed
+    here round-trips exactly (the escaping property test). Comment and
+    blank lines are skipped.
+
+    Raises:
+        ValueError: on a malformed sample line.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if "{" in line:
+                name = line[: line.index("{")]
+                close = line.rindex("}")
+                labels = _parse_labels(line[line.index("{") + 1 : close])
+                value_text = line[close + 1 :].strip()
+            else:
+                name, value_text = line.rsplit(None, 1)
+                labels = ()
+            samples[(name, tuple(sorted(labels)))] = _parse_value(value_text)
+        except (ValueError, IndexError) as error:
+            raise ValueError(f"line {lineno + 1}: bad sample {line!r}") from error
+    return samples
+
+
+def sum_family(
+    samples: Mapping[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+    name: str,
+) -> float:
+    """Sum every series of one family in a parsed scrape.
+
+    The CI drill assertion: ``sum_family(parse_prometheus_text(body),
+    "serve_verdicts_total") == 120``.
+    """
+    return sum(v for (n, _), v in samples.items() if n == name)

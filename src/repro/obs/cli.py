@@ -1,0 +1,155 @@
+"""``repro obs`` — read back what a distributed run emitted.
+
+Two modes over the artifacts the serving stack writes:
+
+* ``repro obs tail TRACE.jsonl [...]`` — merge one or more span JSONL
+  files (a drill's ``--trace-out``, or per-process ``spans-*.jsonl``
+  straight out of a cluster state dir) into the causal trace tree and
+  print it with the span-tree digest — the value that must match
+  across worker counts;
+* ``repro obs report TRACE.jsonl [...] [--metrics SCRAPE.txt]`` —
+  summarise SLO attainment: span coverage per process tier, verdict
+  breakdown, and (when given a ``/metrics`` scrape body) the
+  late-rejection count, deadline-budget attainment and
+  bucket-interpolated latency quantiles.
+
+Both read only files; neither needs the cluster to still be alive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .agg import histogram_quantile, parse_prometheus_text, sum_family
+from .tracing import (
+    Span,
+    format_trace_tree,
+    load_span_files,
+    merge_spans,
+    span_tree_digest,
+)
+
+__all__ = ["run_obs_tail", "run_obs_report"]
+
+
+def run_obs_tail(
+    paths: Sequence[str], max_traces: Optional[int] = None
+) -> str:
+    """The ``repro obs tail`` body: merged tree + digest."""
+    spans = merge_spans(load_span_files(paths))
+    if not spans:
+        return "no spans found"
+    traces = len({s.trace_id for s in spans})
+    return (
+        format_trace_tree(spans, max_traces=max_traces)
+        + f"\n\n{len(spans)} span(s) across {traces} trace(s)"
+        + f"\nspan-tree digest: {span_tree_digest(spans)}"
+    )
+
+
+def _bucket_profile(
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+    family: str,
+) -> Tuple[List[float], List[int]]:
+    """``(finite bounds, cumulative counts)`` for one histogram family
+    in a parsed scrape, pooling every labelled series by ``le``."""
+    by_bound: Dict[float, float] = {}
+    for (name, labels), value in samples.items():
+        if name != f"{family}_bucket":
+            continue
+        le = dict(labels).get("le")
+        if le is None:
+            continue
+        bound = math.inf if le == "+Inf" else float(le)
+        by_bound[bound] = by_bound.get(bound, 0.0) + value
+    bounds = sorted(b for b in by_bound if math.isfinite(b))
+    cumulative = [int(by_bound[b]) for b in bounds]
+    cumulative.append(int(by_bound.get(math.inf, cumulative[-1] if cumulative else 0)))
+    return bounds, cumulative
+
+
+def _span_report(spans: List[Span]) -> List[str]:
+    traces: Dict[str, List[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    tiers: Dict[str, int] = {}
+    verdicts: Dict[str, int] = {}
+    for span in spans:
+        tiers[span.name] = tiers.get(span.name, 0) + 1
+        verdict = span.fields.get("verdict")
+        if verdict is not None and span.hop == 0:
+            verdicts[str(verdict)] = verdicts.get(str(verdict), 0) + 1
+    lines = [
+        f"traces            : {len(traces)}",
+        f"spans             : {len(spans)}",
+        "spans by tier     : "
+        + (
+            ", ".join(f"{k}={v}" for k, v in sorted(tiers.items()))
+            or "none"
+        ),
+        "verdicts (roots)  : "
+        + (
+            ", ".join(f"{k}={v}" for k, v in sorted(verdicts.items()))
+            or "none"
+        ),
+    ]
+    stitched = sum(
+        1 for members in traces.values() if len({s.hop for s in members}) > 1
+    )
+    lines.append(
+        f"stitched traces   : {stitched} "
+        f"(>1 hop; {len(traces) - stitched} single-hop)"
+    )
+    lines.append(f"span-tree digest  : {span_tree_digest(spans)}")
+    return lines
+
+
+def _metrics_report(text: str) -> List[str]:
+    samples = parse_prometheus_text(text)
+    verdicts = sum_family(samples, "serve_verdicts_total")
+    late = sum_family(samples, "serve_late_rejections_total")
+    timeouts = sum_family(samples, "serve_timeouts_total")
+    lines = [
+        f"verdicts total    : {int(verdicts)}",
+        f"timeouts          : {int(timeouts)}",
+        f"late rejections   : {int(late)}",
+    ]
+    bounds, cumulative = _bucket_profile(samples, "serve_deadline_budget_ratio")
+    total = cumulative[-1] if cumulative else 0
+    if total and 1.0 in bounds:
+        within = cumulative[bounds.index(1.0)]
+        lines.append(
+            f"deadline budget   : {within}/{total} rounds within budget "
+            f"({100.0 * within / total:.1f}% SLO attainment)"
+        )
+    bounds, cumulative = _bucket_profile(samples, "serve_round_latency_us")
+    if cumulative and cumulative[-1]:
+        p50 = histogram_quantile(bounds, cumulative, 50.0)
+        p99 = histogram_quantile(bounds, cumulative, 99.0)
+        lines.append(
+            f"round latency     : p50 ~{p50:.0f} us, p99 ~{p99:.0f} us "
+            "(bucket-interpolated)"
+        )
+    return lines
+
+
+def run_obs_report(
+    paths: Sequence[str], metrics_path: Optional[str] = None
+) -> str:
+    """The ``repro obs report`` body: SLO attainment summary."""
+    spans = merge_spans(load_span_files(paths))
+    sections: List[str] = []
+    if spans:
+        sections.extend(_span_report(spans))
+    elif paths:
+        sections.append("no spans found")
+    if metrics_path is not None:
+        with open(metrics_path) as fh:
+            text = fh.read()
+        if sections:
+            sections.append("")
+        sections.extend(_metrics_report(text))
+    if not sections:
+        return "nothing to report (no trace files, no --metrics)"
+    return "\n".join(sections)

@@ -1,0 +1,392 @@
+"""Distributed tracing: spans that survive process boundaries.
+
+One monitoring round that crosses the wire touches up to three
+processes — the reader client, the shard gateway, and the worker that
+owns the group — and each of them holds part of the round's latency
+story. This module gives them a shared span model with the same
+determinism contract the rest of ``repro.obs`` keeps:
+
+* **deterministic identity** — a round's ``trace_id`` is a pure
+  function of ``(group, round)``, and every span's ``span_id`` is a
+  pure function of ``(trace_id, parent, name)``. Two runs of the same
+  seeded scenario produce the same ids whatever the worker count, so
+  a digest over the merged trace is a regression artifact, not noise;
+* **hop-ordered causality** — the wire envelope carries ``(trace_id,
+  parent span, hop)``; each process records its span with ``hop`` one
+  past its parent's, so the merged trace sorts causally without any
+  clock agreement between processes;
+* **wall time on the side** — spans record ``wall_ns_start`` /
+  ``wall_ns_end`` for humans (the ``repro obs tail`` view), but the
+  digest projection excludes them, along with the process identity
+  (``process``, ``host_fields``) that legitimately differs between
+  1-worker and 4-worker deployments.
+
+Each process writes its spans to its own JSONL file (or keeps them in
+memory); :func:`merge_spans` stitches the per-process files into one
+causal trace, de-duplicating on ``(trace_id, span_id)`` so a worker
+that died after persisting its verdict — whose span the gateway then
+served from the snapshot — still contributes exactly one span.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "trace_id_for",
+    "derive_span_id",
+    "load_span_files",
+    "merge_spans",
+    "span_tree_digest",
+    "write_spans_jsonl",
+    "format_trace_tree",
+]
+
+#: Schema tag carried by every serialised span.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+#: Hex digits in a trace id / span id.
+_TRACE_ID_BYTES = 12
+_SPAN_ID_BYTES = 8
+
+
+def trace_id_for(group: str, round_index: int, namespace: str = "") -> str:
+    """The deterministic trace id of one ``(group, round)`` pair.
+
+    ``namespace`` distinguishes deliberately parallel universes (two
+    loadgen campaigns against one service); within one campaign the
+    default empty namespace keeps ids equal across runs and worker
+    counts.
+    """
+    payload = f"{namespace}\x00{group}\x00{int(round_index)}".encode()
+    return hashlib.blake2b(payload, digest_size=_TRACE_ID_BYTES).hexdigest()
+
+
+def derive_span_id(trace_id: str, name: str, parent_id: str) -> str:
+    """A span's id as a pure function of its causal position."""
+    payload = f"{trace_id}\x00{parent_id}\x00{name}".encode()
+    return hashlib.blake2b(payload, digest_size=_SPAN_ID_BYTES).hexdigest()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """What crosses the wire: enough to parent the next hop's span."""
+
+    trace_id: str
+    span_id: str
+    hop: int = 0
+
+    def to_wire(self) -> Dict[str, object]:
+        """The ``trace`` envelope field of a ``repro.serve/v1`` frame."""
+        return {"id": self.trace_id, "span": self.span_id, "hop": int(self.hop)}
+
+    @classmethod
+    def from_wire(cls, doc: Optional[Mapping[str, object]]) -> Optional["SpanContext"]:
+        """Parse an envelope; ``None`` (or an absent field) ⇒ untraced."""
+        if doc is None:
+            return None
+        return cls(
+            trace_id=str(doc["id"]),
+            span_id=str(doc["span"]),
+            hop=int(doc["hop"]),
+        )
+
+
+@dataclass(frozen=True)
+class Span:
+    """One process's share of one traced round.
+
+    Attributes:
+        trace_id: the round's trace (shared by every hop).
+        span_id: this span, derived via :func:`derive_span_id`.
+        parent_id: the upstream hop's span id ("" for the root).
+        name: stable span name ("reader.round", "gateway.round",
+            "serve.round").
+        hop: 0 at the root, +1 per process boundary; the causal sort
+            key inside one trace.
+        group / round: the monitored group and wire round index.
+        fields: JSON-safe deterministic payload (verdict, frame size,
+            simulated air time...). Included in the digest.
+        process: the recording process's role label ("reader",
+            "gateway", "worker:w01"). Excluded from the digest — a
+            4-worker cluster names different workers than a 1-worker
+            cluster for the *same* causal trace.
+        host_fields: process-/host-specific extras (pids, retry counts,
+            wall latencies). Excluded from the digest.
+        wall_ns_start / wall_ns_end: host monotonic clock. Excluded.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    hop: int
+    group: str
+    round: int
+    fields: Mapping[str, object] = field(default_factory=dict)
+    process: str = ""
+    host_fields: Mapping[str, object] = field(default_factory=dict)
+    wall_ns_start: int = 0
+    wall_ns_end: int = 0
+
+    @property
+    def context(self) -> SpanContext:
+        """The context downstream hops should parent to."""
+        return SpanContext(self.trace_id, self.span_id, self.hop + 1)
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The digest-relevant projection (no wall clock, no process)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "hop": self.hop,
+            "group": self.group,
+            "round": self.round,
+            "fields": dict(self.fields),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        doc = self.deterministic_dict()
+        doc["v"] = TRACE_SCHEMA
+        doc["process"] = self.process
+        doc["host_fields"] = dict(self.host_fields)
+        doc["wall_ns_start"] = self.wall_ns_start
+        doc["wall_ns_end"] = self.wall_ns_end
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "Span":
+        """Parse one serialised span.
+
+        Raises:
+            ValueError: on a missing field or a wrong schema tag.
+        """
+        tag = doc.get("v", TRACE_SCHEMA)
+        if tag != TRACE_SCHEMA:
+            raise ValueError(f"expected span schema {TRACE_SCHEMA!r}, got {tag!r}")
+        try:
+            return cls(
+                trace_id=str(doc["trace_id"]),
+                span_id=str(doc["span_id"]),
+                parent_id=str(doc["parent_id"]),
+                name=str(doc["name"]),
+                hop=int(doc["hop"]),
+                group=str(doc["group"]),
+                round=int(doc["round"]),
+                fields=dict(doc.get("fields", {})),
+                process=str(doc.get("process", "")),
+                host_fields=dict(doc.get("host_fields", {})),
+                wall_ns_start=int(doc.get("wall_ns_start", 0)),
+                wall_ns_end=int(doc.get("wall_ns_end", 0)),
+            )
+        except KeyError as error:
+            raise ValueError(f"malformed span: missing {error}") from error
+
+
+class Tracer:
+    """One process's span sink: in memory, optionally mirrored to disk.
+
+    The disk mirror appends each span as one JSON line the moment it is
+    recorded — a worker that is SIGKILLed mid-campaign leaves behind
+    every span it completed, which is exactly what the failover drill
+    merges afterwards.
+
+    Thread-safe; recording is append-only.
+    """
+
+    def __init__(self, process: str = "", path: Optional[str] = None):
+        self.process = process
+        self.path = path
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        if path is not None:
+            # Truncate a stale file from a previous run of this role.
+            with open(path, "w"):
+                pass
+
+    def span(
+        self,
+        name: str,
+        group: str,
+        round_index: int,
+        parent: Optional[SpanContext] = None,
+        trace_id: Optional[str] = None,
+        wall_ns_start: int = 0,
+        host_fields: Optional[Mapping[str, object]] = None,
+        **fields,
+    ) -> Span:
+        """Record one finished span and return it.
+
+        Roots pass ``trace_id`` (usually :func:`trace_id_for`) and no
+        ``parent``; downstream hops pass the ``parent`` context decoded
+        from the wire envelope.
+        """
+        if parent is not None:
+            tid, parent_id, hop = parent.trace_id, parent.span_id, parent.hop
+        else:
+            if trace_id is None:
+                raise ValueError("a root span needs an explicit trace_id")
+            tid, parent_id, hop = trace_id, "", 0
+        now = time.monotonic_ns()
+        span = Span(
+            trace_id=tid,
+            span_id=derive_span_id(tid, name, parent_id),
+            parent_id=parent_id,
+            name=name,
+            hop=hop,
+            group=group,
+            round=int(round_index),
+            fields=dict(fields),
+            process=self.process,
+            host_fields=dict(host_fields or {}),
+            wall_ns_start=wall_ns_start or now,
+            wall_ns_end=now,
+        )
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._spans.append(span)
+            if self.path is not None:
+                with open(self.path, "a") as fh:
+                    fh.write(line + "\n")
+        return span
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# ----------------------------------------------------------------------
+# merging and digesting
+# ----------------------------------------------------------------------
+
+
+def _span_sort_key(span: Span) -> Tuple:
+    return (span.trace_id, span.hop, span.parent_id, span.name, span.span_id)
+
+
+def load_span_files(paths: Sequence[str]) -> List[Span]:
+    """Parse per-process span JSONL files (missing files are skipped —
+    a worker that never traced a round simply contributes nothing).
+
+    A file's *final* line failing to parse as JSON is tolerated: spans
+    are appended one line at a time, so a SIGKILL (the failover drill's
+    whole point) can tear at most the trailing append. Anywhere else,
+    or a line that is valid JSON but not a valid span, still raises.
+
+    Raises:
+        ValueError: on a malformed span line, with file:line context.
+    """
+    spans: List[Span] = []
+    for path in paths:
+        if not os.path.exists(path):
+            continue
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as error:
+                if lineno == len(lines) - 1:
+                    continue  # torn trailing append of a killed process
+                raise ValueError(
+                    f"{path}:{lineno + 1}: bad span line ({error})"
+                ) from error
+            try:
+                spans.append(Span.from_dict(doc))
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{lineno + 1}: bad span line ({error})"
+                ) from error
+    return spans
+
+
+def merge_spans(*sources: Iterable[Span]) -> List[Span]:
+    """Stitch per-process span streams into one causal trace.
+
+    Output order is canonical — ``(trace_id, hop, parent, name,
+    span_id)`` — which is a pure function of the spans' deterministic
+    identity, so the merge is invariant to the number of source files
+    and the interleaving within them. Duplicate ``(trace_id,
+    span_id)`` pairs (a dead worker's span re-served from its
+    snapshot) keep the first occurrence in canonical order.
+    """
+    seen: Dict[Tuple[str, str], Span] = {}
+    for source in sources:
+        for span in source:
+            key = (span.trace_id, span.span_id)
+            if key not in seen:
+                seen[key] = span
+    return sorted(seen.values(), key=_span_sort_key)
+
+
+def span_tree_digest(spans: Iterable[Span]) -> str:
+    """SHA-256 over the merged trace's deterministic projection.
+
+    Equal across runs, ``--jobs`` settings and worker counts for the
+    same seeded scenario — the acceptance property the distributed
+    tracing tests pin.
+    """
+    merged = merge_spans(spans)
+    payload = "\n".join(
+        json.dumps(s.deterministic_dict(), sort_keys=True) for s in merged
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def write_spans_jsonl(spans: Iterable[Span], path: str) -> str:
+    """Write a merged trace as JSONL; returns its tree digest."""
+    merged = merge_spans(spans)
+    with open(path, "w") as fh:
+        for span in merged:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return span_tree_digest(merged)
+
+
+def format_trace_tree(spans: Iterable[Span], max_traces: Optional[int] = None) -> str:
+    """Human-readable tree, one indented line per span.
+
+    The ``repro obs tail`` rendering: traces in canonical order, spans
+    indented by hop, with the wall latency each process saw.
+    """
+    merged = merge_spans(spans)
+    by_trace: Dict[str, List[Span]] = {}
+    for span in merged:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    lines: List[str] = []
+    for count, (trace_id, members) in enumerate(sorted(by_trace.items())):
+        if max_traces is not None and count >= max_traces:
+            lines.append(f"... {len(by_trace) - max_traces} more trace(s)")
+            break
+        head = members[0]
+        lines.append(f"trace {trace_id}  group={head.group} round={head.round}")
+        for span in members:
+            wall_ms = (span.wall_ns_end - span.wall_ns_start) / 1e6
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(span.fields.items())
+            )
+            process = f" [{span.process}]" if span.process else ""
+            lines.append(
+                f"  {'  ' * span.hop}{span.name}{process} "
+                f"{wall_ms:.2f} ms{(' ' + detail) if detail else ''}"
+            )
+    return "\n".join(lines)

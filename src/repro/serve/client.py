@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
+from ..obs.tracing import SpanContext, derive_span_id, trace_id_for
 from ..rfid.channel import SlottedChannel
 from ..rfid.reader import TrustedReader
 from ..rfid.timing import LinkTiming, UNIT_SLOTS
@@ -49,6 +50,9 @@ class RoundOutcome:
         frame_size: the challenge's ``f``.
         elapsed_us: air time we reported (0 when the proof was dropped).
         mismatched_slots: server-counted disagreeing slots.
+        bytes_sent / bytes_received: wire bytes this round moved in
+            each direction, length prefixes included — the
+            bytes-per-round measurement the wire-v2 work needs.
     """
 
     group: str
@@ -58,6 +62,8 @@ class RoundOutcome:
     frame_size: int
     elapsed_us: float
     mismatched_slots: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
 
 class ReaderClient:
@@ -72,6 +78,8 @@ class ReaderClient:
         timing: LinkTiming = UNIT_SLOTS,
         extra_delay_us: float = 0.0,
         fault_injector=None,
+        tracer=None,
+        trace_namespace: str = "",
     ):
         """Args:
             host, port: where the service listens.
@@ -83,6 +91,13 @@ class ReaderClient:
             extra_delay_us: additional reported latency per round.
             fault_injector: optional frame-level fault source (see
                 :mod:`repro.serve.netfaults`).
+            tracer: optional :class:`~repro.obs.tracing.Tracer`; when
+                given, every round roots a ``reader.round`` span and
+                sends its context in the RESEED's ``trace`` envelope.
+            trace_namespace: distinguishes this client's traces from
+                other clients driving the *same* group (trace ids are
+                per-(namespace, group, round)); leave empty when one
+                client owns each group.
         """
         if extra_delay_us < 0:
             raise ValueError("extra_delay_us must be >= 0")
@@ -93,6 +108,11 @@ class ReaderClient:
         self.timing = timing
         self.extra_delay_us = extra_delay_us
         self.fault_injector = fault_injector
+        self.tracer = tracer
+        self.trace_namespace = trace_namespace
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._round_counters: Dict[str, int] = {}
         self._stream: Optional[tuple] = None
 
     # ------------------------------------------------------------------
@@ -121,10 +141,18 @@ class ReaderClient:
         await self.close()
 
     async def _send(self, frame: Frame) -> None:
-        await protocol.write_frame(self._stream[1], frame)
+        data = protocol.encode_frame(frame)
+        self._stream[1].write(data)
+        await self._stream[1].drain()
+        self.bytes_sent += len(data)
+
+    def _on_bytes(self, size: int) -> None:
+        self.bytes_received += size
 
     async def _recv(self) -> Frame:
-        frame = await protocol.read_frame(self._stream[0])
+        frame = await protocol.read_frame(
+            self._stream[0], on_bytes=self._on_bytes
+        )
         if frame is None:
             raise ConnectionError("server closed the connection")
         return frame
@@ -143,7 +171,30 @@ class ReaderClient:
         """
         if self._stream is None:
             await self.connect()
-        await self._send(protocol.reseed(group, proto))
+        sent_before = self.bytes_sent
+        received_before = self.bytes_received
+
+        # Trace identity is client-local and deterministic: the n-th
+        # round this client runs against `group` is the same trace on
+        # every run, whatever path (direct / gateway / failover retry)
+        # serves it. The root span is recorded once the round ends, but
+        # its id is a pure function of the trace, so the envelope can
+        # name it up front.
+        trace_ctx = None
+        if self.tracer is not None:
+            n = self._round_counters.get(group, 0)
+            self._round_counters[group] = n + 1
+            tid = trace_id_for(group, n, namespace=self.trace_namespace)
+            trace_ctx = SpanContext(
+                tid, derive_span_id(tid, "reader.round", ""), hop=1
+            )
+
+        await self._send(
+            protocol.with_trace(
+                protocol.reseed(group, proto),
+                trace_ctx.to_wire() if trace_ctx else None,
+            )
+        )
         challenge = await self._recv()
         if challenge.type == "ERROR":
             raise ProtocolError(challenge["code"], challenge["detail"])
@@ -176,7 +227,7 @@ class ReaderClient:
                         "unexpected-frame",
                         f"wanted deadline VERDICT, got {verdict.type}",
                     )
-                return RoundOutcome(
+                outcome = RoundOutcome(
                     group=group,
                     round_index=verdict["round"],
                     verdict=verdict["verdict"],
@@ -184,7 +235,11 @@ class ReaderClient:
                     frame_size=frame_size,
                     elapsed_us=0.0,
                     mismatched_slots=verdict["mismatched_slots"],
+                    bytes_sent=self.bytes_sent - sent_before,
+                    bytes_received=self.bytes_received - received_before,
                 )
+                self._finish_round_span(trace_ctx, group, proto, outcome)
+                return outcome
             elapsed_us += action.delay_us
 
         await self._send(
@@ -203,7 +258,7 @@ class ReaderClient:
             raise ProtocolError(
                 "unexpected-frame", f"wanted VERDICT, got {verdict.type}"
             )
-        return RoundOutcome(
+        outcome = RoundOutcome(
             group=group,
             round_index=verdict["round"],
             verdict=verdict["verdict"],
@@ -211,6 +266,38 @@ class ReaderClient:
             frame_size=verdict["frame_size"],
             elapsed_us=elapsed_us,
             mismatched_slots=verdict["mismatched_slots"],
+            bytes_sent=self.bytes_sent - sent_before,
+            bytes_received=self.bytes_received - received_before,
+        )
+        self._finish_round_span(trace_ctx, group, proto, outcome)
+        return outcome
+
+    def _finish_round_span(
+        self, trace_ctx, group: str, proto: str, outcome: RoundOutcome
+    ) -> None:
+        """Record the round's root span (when tracing is on).
+
+        Digest-relevant fields are seed-derived only; byte counts ride
+        in ``host_fields`` so a wire-framing change never perturbs the
+        causal digest.
+        """
+        if trace_ctx is None:
+            return
+        self.tracer.span(
+            "reader.round",
+            group,
+            # The local round counter fed the trace id; using it here
+            # keeps the span self-consistent even if the server's
+            # round numbering drifts from ours (shared groups).
+            self._round_counters[group] - 1,
+            trace_id=trace_ctx.trace_id,
+            proto=proto,
+            verdict=outcome.verdict,
+            frame_size=int(outcome.frame_size),
+            host_fields={
+                "bytes_sent": outcome.bytes_sent,
+                "bytes_received": outcome.bytes_received,
+            },
         )
 
     async def run_rounds(

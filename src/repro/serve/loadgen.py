@@ -142,6 +142,9 @@ class LoadgenResult:
     latency_p50_ms: float
     latency_p95_ms: float
     latency_p99_ms: float
+    bytes_sent_total: int = 0
+    bytes_received_total: int = 0
+    bytes_per_round: float = 0.0
     record: dict = field(default_factory=dict)
     per_endpoint: List[dict] = field(default_factory=list)
 
@@ -191,17 +194,27 @@ class _EndpointStats:
     verdicts: Dict[str, int] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     sessions: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     def summary(self) -> dict:
         wall = float(sum(self.latencies))
+        rounds = len(self.latencies)
         return {
             "host": self.host,
             "port": self.port,
             "sessions": self.sessions,
-            "rounds": len(self.latencies),
+            "rounds": rounds,
             "verdicts": dict(sorted(self.verdicts.items())),
             "protocol_errors": len(self.errors),
             "round_wall_s_total": wall,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "bytes_per_round": (
+                (self.bytes_sent + self.bytes_received) / rounds
+                if rounds
+                else 0.0
+            ),
         }
 
 
@@ -212,6 +225,7 @@ async def _run_session(
     gate: asyncio.Semaphore,
     start_at: float,
     t0: float,
+    tracer=None,
 ) -> None:
     delay = start_at - (time.perf_counter() - t0)
     if delay > 0:
@@ -230,7 +244,17 @@ async def _run_session(
         reader = None
     async with gate:
         stats.sessions += 1
-        client = ReaderClient(stats.host, stats.port, channel, reader=reader)
+        client = ReaderClient(
+            stats.host,
+            stats.port,
+            channel,
+            reader=reader,
+            tracer=tracer,
+            # Sessions can share a group (stateless TRP), so traces are
+            # namespaced per session; the session index is
+            # deterministic, so trace ids still are.
+            trace_namespace=f"session-{session_index}",
+        )
         try:
             async with client:
                 for _ in range(cfg.rounds):
@@ -243,6 +267,8 @@ async def _run_session(
                     stats.verdicts[outcome.verdict] = (
                         stats.verdicts.get(outcome.verdict, 0) + 1
                     )
+                    stats.bytes_sent += outcome.bytes_sent
+                    stats.bytes_received += outcome.bytes_received
         except (ProtocolError, ConnectionError, OSError) as exc:
             stats.errors.append(f"session {session_index}: {exc}")
 
@@ -254,6 +280,7 @@ async def _run_loadgen_async(
     obs=None,
     session_config: Optional[SessionConfig] = None,
     endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+    tracer=None,
 ) -> LoadgenResult:
     if endpoints is not None and host is not None:
         raise ValueError("pass either host/port or endpoints, not both")
@@ -292,7 +319,13 @@ async def _run_loadgen_async(
         await asyncio.gather(
             *(
                 _run_session(
-                    cfg, targets[i % len(targets)], i, gate, i * spacing, t0
+                    cfg,
+                    targets[i % len(targets)],
+                    i,
+                    gate,
+                    i * spacing,
+                    t0,
+                    tracer=tracer,
                 )
                 for i in range(cfg.total_sessions)
             )
@@ -306,13 +339,22 @@ async def _run_loadgen_async(
     air_us: List[float] = []
     verdicts: Dict[str, int] = {}
     errors: List[str] = []
+    bytes_sent_total = 0
+    bytes_received_total = 0
     for stats in targets:
         latencies.extend(stats.latencies)
         air_us.extend(stats.air_us)
         for verdict, count in stats.verdicts.items():
             verdicts[verdict] = verdicts.get(verdict, 0) + count
         errors.extend(stats.errors)
+        bytes_sent_total += stats.bytes_sent
+        bytes_received_total += stats.bytes_received
     per_endpoint = [stats.summary() for stats in targets]
+    bytes_per_round = (
+        (bytes_sent_total + bytes_received_total) / len(latencies)
+        if latencies
+        else 0.0
+    )
 
     lat = np.asarray(latencies, dtype=float)
     p50, p95, p99 = (
@@ -334,6 +376,9 @@ async def _run_loadgen_async(
             "wall_s_p50": p50,
             "wall_s_p95": p95,
             "wall_s_p99": p99,
+            "bytes_sent_total": bytes_sent_total,
+            "bytes_received_total": bytes_received_total,
+            "bytes_per_round": bytes_per_round,
         },
         {
             "name": "serve.loadgen.campaign",
@@ -370,6 +415,9 @@ async def _run_loadgen_async(
         latency_p50_ms=p50 * 1e3,
         latency_p95_ms=p95 * 1e3,
         latency_p99_ms=p99 * 1e3,
+        bytes_sent_total=bytes_sent_total,
+        bytes_received_total=bytes_received_total,
+        bytes_per_round=bytes_per_round,
         record=record,
         per_endpoint=per_endpoint,
     )
@@ -382,6 +430,7 @@ def run_loadgen(
     obs=None,
     session_config: Optional[SessionConfig] = None,
     endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+    tracer=None,
 ) -> LoadgenResult:
     """Run one load campaign; self-hosts on loopback when no host given.
 
@@ -396,6 +445,9 @@ def run_loadgen(
             round-robin across them and the result carries a
             per-endpoint stats breakdown next to the merged totals
             (drive a shard gateway and its bare workers side by side).
+        tracer: optional :class:`~repro.obs.tracing.Tracer` shared by
+            every generated reader; each round roots a traced span and
+            propagates its context over the wire.
     """
     cfg = config if config is not None else LoadgenConfig()
     return asyncio.run(
@@ -406,6 +458,7 @@ def run_loadgen(
             obs=obs,
             session_config=session_config,
             endpoints=endpoints,
+            tracer=tracer,
         )
     )
 
@@ -423,6 +476,9 @@ def format_loadgen_result(result: LoadgenResult) -> str:
             f"deadline timeouts: {result.timeouts}",
             f"wall time        : {result.wall_s_total:.3f} s",
             f"throughput       : {result.throughput_rps:.1f} rounds/s",
+            "wire bytes       : "
+            f"{result.bytes_sent_total} out, {result.bytes_received_total} in "
+            f"({result.bytes_per_round:.0f} per round)",
             "latency          : "
             f"p50 {result.latency_p50_ms:.2f} ms  "
             f"p95 {result.latency_p95_ms:.2f} ms  "

@@ -34,6 +34,14 @@ ERROR    both  protocol-level failure; carries a machine code + detail
 The bitstring crosses the wire as a ``0``/``1`` character string — a
 frame of 10 000 slots costs 10 KB, far under the frame cap, and stays
 human-readable in captures.
+
+Every frame type additionally accepts an *optional* ``trace`` envelope
+— ``{"id": trace_id, "span": parent span id, "hop": int}`` — that
+propagates distributed-trace context across hops (reader -> gateway ->
+worker). Absent means untraced: a v1 peer that never heard of tracing
+is fully conformant, and a traced peer talking to an old one simply
+gets no trace continuity. When present the envelope is validated as
+strictly as any other field.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ __all__ = [
     "bitstring_frame",
     "verdict_frame",
     "error_frame",
+    "with_trace",
     "bits_to_array",
     "array_to_bits",
 ]
@@ -79,6 +88,7 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "RESEED": {
         "group": (str,),
         "protocol": (str,),
+        "trace": (dict,),
     },
     "CHALLENGE": {
         "group": (str,),
@@ -87,6 +97,7 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "frame_size": (int,),
         "seeds": (list,),
         "timer_us": (int, float, type(None)),
+        "trace": (dict,),
     },
     "BITSTRING": {
         "group": (str,),
@@ -94,6 +105,7 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "bits": (str,),
         "elapsed_us": (int, float),
         "seeds_used": (int,),
+        "trace": (dict,),
     },
     "VERDICT": {
         "group": (str,),
@@ -103,17 +115,47 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "mismatched_slots": (int,),
         "elapsed_us": (int, float),
         "alarm": (bool,),
+        "trace": (dict,),
     },
     "ERROR": {
         "code": (str,),
         "detail": (str,),
+        "trace": (dict,),
     },
 }
 
 FRAME_TYPES = frozenset(_SCHEMAS)
 
 #: Payload fields that may be omitted (treated as ``None`` on decode).
-_OPTIONAL = {("CHALLENGE", "timer_us")}
+#: ``trace`` is optional on every frame: absent means untraced, which
+#: is what a pre-tracing v1 peer always sends.
+_OPTIONAL = {("CHALLENGE", "timer_us")} | {(t, "trace") for t in _SCHEMAS}
+
+#: The trace envelope's own schema: exactly these fields.
+_TRACE_FIELDS: Dict[str, tuple] = {"id": (str,), "span": (str,), "hop": (int,)}
+
+
+def _validate_trace(frame_type: str, envelope: Mapping[str, object]) -> None:
+    for field, kinds in _TRACE_FIELDS.items():
+        if field not in envelope:
+            raise ProtocolError(
+                "bad-field", f"{frame_type}.trace missing {field!r}"
+            )
+        value = envelope[field]
+        if isinstance(value, bool) or not isinstance(value, kinds):
+            raise ProtocolError(
+                "bad-field",
+                f"{frame_type}.trace.{field} has wrong type "
+                f"{type(value).__name__}",
+            )
+    if int(envelope["hop"]) < 0:
+        raise ProtocolError("bad-field", f"{frame_type}.trace.hop is negative")
+    extras = set(envelope) - set(_TRACE_FIELDS)
+    if extras:
+        raise ProtocolError(
+            "unknown-field",
+            f"{frame_type}.trace carries undeclared fields {sorted(extras)}",
+        )
 
 
 class ProtocolError(ValueError):
@@ -178,6 +220,9 @@ def _validate(frame_type: str, payload: Mapping[str, object]) -> None:
             "unknown-field",
             f"{frame_type} frame carries undeclared fields {sorted(extras)}",
         )
+    envelope = payload.get("trace")
+    if envelope is not None:
+        _validate_trace(frame_type, envelope)
 
 
 def encode_frame(frame: Frame) -> bytes:
@@ -259,12 +304,17 @@ def decode_frame(data: bytes) -> Frame:
 
 
 async def read_frame(
-    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+    reader: asyncio.StreamReader,
+    max_bytes: int = MAX_FRAME_BYTES,
+    on_bytes=None,
 ) -> Optional[Frame]:
     """Read one frame from a stream; ``None`` on clean EOF.
 
     The length prefix is validated *before* the body is buffered, so an
     oversize declaration costs four bytes of reading, not ``max_bytes``.
+    ``on_bytes`` (when given) is called with the frame's full wire size
+    — prefix included — once the body has been read; the loadgen's
+    bytes-per-round accounting hangs off it.
 
     Raises:
         ProtocolError: on an oversize declaration, a mid-frame EOF, or
@@ -287,6 +337,8 @@ async def read_frame(
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("truncated", "EOF inside frame body") from exc
+    if on_bytes is not None:
+        on_bytes(4 + length)
     return decode_body(body)
 
 
@@ -375,6 +427,17 @@ def verdict_frame(
 def error_frame(code: str, detail: str) -> Frame:
     """Protocol-level failure notice (either direction)."""
     return Frame("ERROR", {"code": code, "detail": detail})
+
+
+def with_trace(frame: Frame, envelope: Optional[Mapping[str, object]]) -> Frame:
+    """The same frame carrying ``envelope`` as its trace context.
+
+    ``None`` (or an empty envelope) returns the frame unchanged, so
+    callers can thread an optional context without branching.
+    """
+    if not envelope:
+        return frame
+    return Frame(frame.type, {**frame.payload, "trace": dict(envelope)})
 
 
 # ----------------------------------------------------------------------

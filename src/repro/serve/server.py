@@ -38,9 +38,87 @@ import numpy as np
 from ..core.monitor import MonitoringServer
 from ..core.parameters import MonitorRequirement
 from ..core.utrp import default_timer
+from ..obs.agg import assert_families
+from ..obs.metrics import DEFAULT_BUCKETS
+from ..obs.tracing import SpanContext
 from .session import ServeSession, SessionConfig
 
-__all__ = ["HostedGroup", "MonitoringService"]
+__all__ = [
+    "HostedGroup",
+    "MonitoringService",
+    "SERVE_METRIC_FAMILIES",
+    "BUDGET_BUCKETS",
+    "register_serve_metrics",
+]
+
+#: Fixed buckets for the UTRP deadline-budget consumption ratio
+#: (elapsed / timer). 1.0 is the Theorem-5 cliff; everything beyond it
+#: is a late rejection.
+BUDGET_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0, 5.0)
+
+#: Every metric family the serving path emits, by declared shape.
+#: :func:`register_serve_metrics` creates them up front and asserts the
+#: shapes match, so renaming a metric at an observation site without
+#: updating this table fails at service construction — not as a
+#: forever-empty family on a dashboard.
+SERVE_METRIC_FAMILIES = {
+    "serve_sessions_total": ("counter", ("phase",)),
+    "serve_sessions_refused_total": ("counter", ()),
+    "serve_frames_total": ("counter", ("direction", "type")),
+    "serve_errors_total": ("counter", ("code",)),
+    "serve_verdicts_total": ("counter", ("group", "verdict")),
+    "serve_timeouts_total": ("counter", ()),
+    "serve_late_rejections_total": ("counter", ()),
+    "serve_round_latency_us": ("histogram", ()),
+    "serve_deadline_budget_ratio": ("histogram", ()),
+}
+
+
+def register_serve_metrics(registry) -> None:
+    """Pre-register the ``serve_*`` families and self-check the shapes.
+
+    The SLO histograms observe unbounded round streams, so they do not
+    retain samples — ``/slo`` quantiles come from bucket interpolation
+    (:func:`repro.obs.agg.histogram_quantile`).
+
+    Raises:
+        ValueError: if a family is already registered with a drifted
+            shape (the self-check the satellite task demands).
+    """
+    registry.counter("serve_sessions_total", "sessions by phase", ("phase",))
+    # Unlabelled families materialise their default series immediately
+    # (.labels() with no kwargs) so a scrape of a healthy service shows
+    # an explicit 0, not a family with no samples.
+    registry.counter(
+        "serve_sessions_refused_total", "sessions refused at the cap"
+    ).labels()
+    registry.counter(
+        "serve_frames_total", "wire frames by type and direction",
+        ("direction", "type"),
+    )
+    registry.counter("serve_errors_total", "protocol errors by code", ("code",))
+    registry.counter(
+        "serve_verdicts_total", "round verdicts by group and outcome",
+        ("group", "verdict"),
+    )
+    registry.counter("serve_timeouts_total", "rounds lost to the deadline").labels()
+    registry.counter(
+        "serve_late_rejections_total",
+        "UTRP rounds rejected late (Theorem 5 path)",
+    ).labels()
+    registry.histogram(
+        "serve_round_latency_us",
+        "round latency in simulated microseconds",
+        buckets=DEFAULT_BUCKETS,
+        keep_samples=False,
+    ).labels()
+    registry.histogram(
+        "serve_deadline_budget_ratio",
+        "fraction of the UTRP timer budget one round consumed",
+        buckets=BUDGET_BUCKETS,
+        keep_samples=False,
+    ).labels()
+    assert_families(registry, SERVE_METRIC_FAMILIES)
 
 
 class HostedGroup:
@@ -97,6 +175,7 @@ class MonitoringService:
         max_sessions: int = 256,
         max_inflight: int = 64,
         obs=None,
+        tracer=None,
     ):
         """Args:
             session_config: per-connection behaviour (timeouts, timer
@@ -108,10 +187,14 @@ class MonitoringService:
                 VERDICT, service-wide.
             obs: optional :class:`~repro.obs.ObsContext`; sessions,
                 frames, verdicts and errors are published as events and
-                metrics when given.
+                metrics when given. The ``serve_*`` families are
+                pre-registered and shape-checked up front.
+            tracer: optional :class:`~repro.obs.tracing.Tracer`; rounds
+                whose RESEED carried a trace envelope emit a
+                ``serve.round`` span into it.
 
         Raises:
-            ValueError: on non-positive caps.
+            ValueError: on non-positive caps or a drifted metric shape.
         """
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
@@ -124,6 +207,9 @@ class MonitoringService:
         self.inflight = asyncio.Semaphore(max_inflight)
         self.groups: Dict[str, HostedGroup] = {}
         self.obs = obs
+        self.tracer = tracer
+        if obs is not None:
+            register_serve_metrics(obs.registry)
         self.sessions_served = 0
         self.sessions_refused = 0
         self._active_sessions = 0
@@ -320,7 +406,15 @@ class MonitoringService:
             )
 
     def observe_verdict(
-        self, group: HostedGroup, proto: str, result, timed_out: bool = False
+        self,
+        group: HostedGroup,
+        proto: str,
+        result,
+        timed_out: bool = False,
+        round_index: Optional[int] = None,
+        timer_us: Optional[float] = None,
+        elapsed_us: Optional[float] = None,
+        trace=None,
     ) -> None:
         self._count(
             "serve_verdicts_total",
@@ -330,6 +424,8 @@ class MonitoringService:
         )
         if timed_out:
             self._count("serve_timeouts_total", "rounds lost to the deadline")
+        self._observe_slo(proto, result, timer_us, elapsed_us)
+        self._record_span(group, proto, result, round_index, trace)
         if self.obs is not None:
             self.obs.bus.emit(
                 "serve.verdict",
@@ -341,3 +437,57 @@ class MonitoringService:
                 mismatched=len(result.mismatched_slots),
                 timed_out=timed_out,
             )
+
+    def _observe_slo(self, proto, result, timer_us, elapsed_us) -> None:
+        """SLO accounting: latency, budget consumption, late rejects.
+
+        Latency is the round's *simulated* air time, which is
+        seed-derived — the histograms stay digest-stable and mergeable
+        across worker counts (wall clock lives on spans, never in
+        metrics). Budget consumption is Theorem 5's quantity: the
+        fraction of the UTRP timer the round actually used.
+        """
+        if self.obs is None:
+            return
+        if result.verdict.value == "rejected-late":
+            self._count(
+                "serve_late_rejections_total",
+                "UTRP rounds rejected late (Theorem 5 path)",
+            )
+        if elapsed_us is None:
+            return
+        self.obs.registry.histogram(
+            "serve_round_latency_us",
+            "round latency in simulated microseconds",
+            buckets=DEFAULT_BUCKETS,
+            keep_samples=False,
+        ).observe(float(elapsed_us))
+        if timer_us is not None and timer_us > 0:
+            self.obs.registry.histogram(
+                "serve_deadline_budget_ratio",
+                "fraction of the UTRP timer budget one round consumed",
+                buckets=BUDGET_BUCKETS,
+                keep_samples=False,
+            ).observe(float(elapsed_us) / float(timer_us))
+
+    def _record_span(self, group, proto, result, round_index, trace) -> None:
+        """One ``serve.round`` span when the RESEED carried an envelope.
+
+        Digest-relevant fields are seed-derived only (verdict, frame
+        size, protocol); the worker's identity stays on the tracer's
+        ``process`` label, which the span-tree digest excludes — the
+        same causal round digests identically whichever worker served
+        it.
+        """
+        if self.tracer is None or trace is None:
+            return
+        parent = SpanContext.from_wire(trace)
+        self.tracer.span(
+            "serve.round",
+            group.name,
+            round_index if round_index is not None else -1,
+            parent=parent,
+            proto=proto,
+            verdict=result.verdict.value,
+            frame_size=int(result.frame_size),
+        )

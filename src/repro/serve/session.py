@@ -224,9 +224,9 @@ class ServeSession:
         # commits are one atomic step per round); total in-flight
         # rounds are bounded service-wide.
         async with group.lock, self.service.inflight:
-            await self._challenged_round(group, proto)
+            await self._challenged_round(group, proto, request.get("trace"))
 
-    async def _challenged_round(self, group, proto: str) -> None:
+    async def _challenged_round(self, group, proto: str, trace=None) -> None:
         cfg = self.config
         monitor = group.monitor
         round_index = group.rounds_issued
@@ -263,7 +263,16 @@ class ServeSession:
                 elapsed=(cfg.clock() - issued_at) * max(cfg.wall_us_per_s, 1.0),
             )
             self.stats.verdicts += 1
-            self.service.observe_verdict(group, proto, result, timed_out=True)
+            self.service.observe_verdict(
+                group,
+                proto,
+                result,
+                timed_out=True,
+                round_index=round_index,
+                timer_us=timer_us,
+                elapsed_us=result.elapsed,
+                trace=trace,
+            )
             try:
                 await self._send(
                     protocol.verdict_frame(
@@ -319,7 +328,19 @@ class ServeSession:
             )
         result = report.result
         self.stats.verdicts += 1
-        self.service.observe_verdict(group, proto, result)
+        # SLO latency is the reported air time, not ``result.elapsed``:
+        # TRP verification never judges timing, so its result carries
+        # elapsed 0 — but the round still took ``elapsed_us`` of
+        # (seed-derived) air, which is what the latency SLO measures.
+        self.service.observe_verdict(
+            group,
+            proto,
+            result,
+            round_index=round_index,
+            timer_us=timer_us,
+            elapsed_us=elapsed_us,
+            trace=trace,
+        )
         # Record the report only once the VERDICT frame is flushed (or
         # the send failed for good): pollers treat the report count as
         # "verdicts delivered" and must not observe a round whose reply

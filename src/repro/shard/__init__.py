@@ -17,6 +17,10 @@ horizontally without changing a byte of it:
   SIGKILLed worker's groups resume on survivors with the *same* RNG
   stream — a kill-a-worker drill loses zero verdicts and stays
   bit-identical to single-process serve;
+* :mod:`repro.shard.telemetry` — live gateway telemetry: ``/metrics``
+  (Prometheus text of the deterministically merged worker registries),
+  ``/healthz`` (per-worker liveness) and ``/slo`` (round-latency
+  quantiles, UTRP deadline-budget consumption, late rejections);
 * :mod:`repro.shard.cluster` / :mod:`repro.shard.bench` — the pieces
   assembled: one object to start/stop, the drill, and the scaling
   benchmark behind ``BENCH_shard.json``.
@@ -36,7 +40,13 @@ from .failover import (
 )
 from .gateway import ShardGateway
 from .ring import HashRing
-from .worker import ShardWorkerService, WorkerSpec, WorkerSupervisor
+from .telemetry import TelemetryServer, http_get, slo_summary
+from .worker import (
+    ShardWorkerService,
+    WorkerSpec,
+    WorkerSupervisor,
+    worker_spans_path,
+)
 
 __all__ = [
     "DrillResult",
@@ -49,15 +59,19 @@ __all__ = [
     "ShardGateway",
     "ShardGroupSpec",
     "ShardWorkerService",
+    "TelemetryServer",
     "WorkerSpec",
     "WorkerSupervisor",
     "format_drill_result",
     "format_shard_bench",
+    "http_get",
     "initial_snapshot",
     "load_snapshot",
     "restore_group",
     "run_drill",
     "run_shard_bench",
+    "slo_summary",
     "snapshot_path",
+    "worker_spans_path",
     "write_snapshot",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import json
 import shutil
 import tempfile
 import time
@@ -37,19 +38,46 @@ import numpy as np
 
 from ..core.monitor import MonitoringServer
 from ..core.parameters import MonitorRequirement
+from ..obs.agg import parse_prometheus_text, sum_family
+from ..obs.tracing import (
+    Tracer,
+    load_span_files,
+    merge_spans,
+    span_tree_digest,
+    write_spans_jsonl,
+)
 from ..rfid.channel import SlottedChannel
 from ..rfid.population import TagPopulation
 from .config import ShardConfig, ShardGroupSpec
 from .gateway import ShardGateway
-from .worker import WorkerSupervisor
+from .telemetry import TelemetryServer, http_get
+from .worker import WorkerSupervisor, worker_spans_path
 
 __all__ = ["ShardCluster", "DrillResult", "run_drill", "format_drill_result"]
 
 
 class ShardCluster:
-    """Supervisor + gateway + a snapshot directory, as one lifecycle."""
+    """Supervisor + gateway + a snapshot directory, as one lifecycle.
 
-    def __init__(self, config: Optional[ShardConfig] = None, obs=None):
+    Args:
+        config: the cluster's shape.
+        obs: optional :class:`~repro.obs.ObsContext` shared by the
+            supervisor and gateway (the ``shard_*`` counter side of the
+            merged ``/metrics`` view).
+        tracer: optional :class:`~repro.obs.tracing.Tracer` for the
+            gateway's ``gateway.round`` spans.
+        telemetry_port: when not ``None``, serve ``/metrics``,
+            ``/healthz`` and ``/slo`` on this port (0 = ephemeral; read
+            :attr:`telemetry`'s ``port`` back after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ShardConfig] = None,
+        obs=None,
+        tracer=None,
+        telemetry_port: Optional[int] = None,
+    ):
         self.config = config if config is not None else ShardConfig()
         self._own_state_dir = self.config.state_dir is None
         self.state_dir = (
@@ -60,11 +88,20 @@ class ShardCluster:
         self.supervisor = WorkerSupervisor(
             self.config, state_dir=self.state_dir, obs=obs
         )
-        self.gateway = ShardGateway(self.supervisor, self.config, obs=obs)
+        self.gateway = ShardGateway(
+            self.supervisor, self.config, obs=obs, tracer=tracer
+        )
+        self.telemetry: Optional[TelemetryServer] = (
+            TelemetryServer(self.supervisor, port=telemetry_port)
+            if telemetry_port is not None
+            else None
+        )
 
     async def start(self) -> None:
         await self.supervisor.start()
         await self.gateway.start()
+        if self.telemetry is not None:
+            await self.telemetry.start()
 
     @property
     def port(self) -> int:
@@ -74,7 +111,20 @@ class ShardCluster:
     def verdicts_delivered(self) -> int:
         return self.gateway.rounds_proxied
 
+    def worker_spans(self) -> List:
+        """Every span the workers have flushed to their JSONL files.
+
+        Call *before* :meth:`close` when the cluster owns its state
+        directory — close removes it along with the span files.
+        """
+        return load_span_files(
+            worker_spans_path(self.state_dir, worker_id)
+            for worker_id in self.config.worker_ids()
+        )
+
     async def close(self) -> None:
+        if self.telemetry is not None:
+            await self.telemetry.close()
         await self.gateway.close()
         await self.supervisor.close()
         if self._own_state_dir:
@@ -112,6 +162,20 @@ class DrillResult:
     failover_latency_s: float = 0.0
     cached_verdicts: int = 0
     wall_s: float = 0.0
+    #: Verdict count a live scrape of the gateway's ``/metrics``
+    #: reported (sum over ``serve_verdicts_total``); -1 = not scraped.
+    scraped_verdicts: int = -1
+    #: HTTP status of the post-kill ``/healthz`` probe (503 = degraded,
+    #: the expected answer once a worker has been killed); 0 = not
+    #: probed.
+    health_status: int = 0
+    #: Late rejections the ``/slo`` endpoint reported; -1 = not probed.
+    slo_late_rejections: int = -1
+    #: Spans in the merged reader+gateway+worker trace.
+    trace_spans: int = 0
+    #: Span-tree digest of that merged trace — invariant across worker
+    #: counts and ``--jobs`` for the same seeded scenario.
+    trace_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -119,6 +183,14 @@ class DrillResult:
             self.lost_verdicts == 0
             and self.protocol_errors == 0
             and not self.mismatches
+            # A scrape, when taken, must account for every verdict: the
+            # registry copies embedded in the per-verdict group
+            # snapshots make the aggregated counters exact even across
+            # the SIGKILL.
+            and (
+                self.scraped_verdicts < 0
+                or self.scraped_verdicts == self.verdicts_completed
+            )
         )
 
 
@@ -163,6 +235,9 @@ async def _run_drill_async(
     kill_fraction: float,
     concurrency: int,
     obs=None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    telemetry_port: Optional[int] = 0,
 ) -> DrillResult:
     from ..fleet.remote import RemoteCampaignConfig, drive_remote_campaign_async
 
@@ -173,8 +248,16 @@ async def _run_drill_async(
         for spec in config.group_specs()
     }
 
+    # The drill is always traced: the reader and gateway tracers live
+    # here, the workers flush theirs to the cluster's state dir, and
+    # the three merge into one causal trace after the campaign.
+    reader_tracer = Tracer("reader")
+    gateway_tracer = Tracer("gateway")
+
     started = time.perf_counter()
-    async with ShardCluster(config, obs=obs) as cluster:
+    async with ShardCluster(
+        config, obs=obs, tracer=gateway_tracer, telemetry_port=telemetry_port
+    ) as cluster:
         supervisor = cluster.supervisor
 
         killed: Dict[str, int] = {}
@@ -214,10 +297,44 @@ async def _run_drill_async(
         )
         kill_task = asyncio.ensure_future(killer())
         try:
-            result = await drive_remote_campaign_async(campaign_config)
+            result = await drive_remote_campaign_async(
+                campaign_config, tracer=reader_tracer
+            )
         finally:
             kill_task.cancel()
             await asyncio.gather(kill_task, return_exceptions=True)
+
+        # Scrape the live telemetry endpoints while the cluster is
+        # still up: the aggregated verdict counters must account for
+        # every delivered verdict, killed worker included.
+        scraped_verdicts = -1
+        health_status = 0
+        slo_late = -1
+        if cluster.telemetry is not None:
+            port = cluster.telemetry.port
+            status, body = await http_get("127.0.0.1", port, "/metrics")
+            if status == 200:
+                scraped_verdicts = int(
+                    sum_family(
+                        parse_prometheus_text(body), "serve_verdicts_total"
+                    )
+                )
+            if metrics_out:
+                with open(metrics_out, "w") as fh:
+                    fh.write(body)
+            health_status, _ = await http_get("127.0.0.1", port, "/healthz")
+            status, body = await http_get("127.0.0.1", port, "/slo")
+            if status == 200:
+                slo_late = int(json.loads(body)["late_rejections_total"])
+
+        # Merge the three tracers' spans before close() deletes the
+        # worker span files along with the state dir.
+        spans = merge_spans(
+            reader_tracer.spans, gateway_tracer.spans, cluster.worker_spans()
+        )
+        trace_digest = span_tree_digest(spans)
+        if trace_out:
+            write_spans_jsonl(spans, trace_out)
 
         mismatches: List[str] = []
         for name, reference in sorted(references.items()):
@@ -247,6 +364,11 @@ async def _run_drill_async(
             failover_latency_s=max(latencies) if latencies else 0.0,
             cached_verdicts=cluster.gateway.cached_verdicts_served,
             wall_s=time.perf_counter() - started,
+            scraped_verdicts=scraped_verdicts,
+            health_status=health_status,
+            slo_late_rejections=slo_late,
+            trace_spans=len(spans),
+            trace_digest=trace_digest,
         )
 
 
@@ -256,11 +378,22 @@ def run_drill(
     kill_fraction: float = 0.25,
     concurrency: int = 8,
     obs=None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    telemetry_port: Optional[int] = 0,
 ) -> DrillResult:
     """Run the kill-a-worker drill; see the module docstring.
 
     The drill needs stateless groups for its bit-identity claim, so
     ``counter_tags`` is forced off whatever the config says.
+
+    Args:
+        trace_out: write the merged reader+gateway+worker trace here
+            as span JSONL (the CI artifact).
+        metrics_out: write the final ``/metrics`` scrape body here.
+        telemetry_port: port for the live telemetry endpoints during
+            the drill (0 = ephemeral, the default; ``None`` disables
+            telemetry and the scrape assertions with it).
 
     Raises:
         ValueError: on a nonsensical kill fraction or round count.
@@ -275,7 +408,16 @@ def run_drill(
     if cfg.counter_tags:
         cfg = dataclasses.replace(cfg, counter_tags=False)
     return asyncio.run(
-        _run_drill_async(cfg, rounds, kill_fraction, concurrency, obs=obs)
+        _run_drill_async(
+            cfg,
+            rounds,
+            kill_fraction,
+            concurrency,
+            obs=obs,
+            trace_out=trace_out,
+            metrics_out=metrics_out,
+            telemetry_port=telemetry_port,
+        )
     )
 
 
@@ -301,6 +443,20 @@ def format_drill_result(result: DrillResult) -> str:
             f"failovers              : {result.failovers}",
             f"failover latency       : {result.failover_latency_s:.3f} s",
             f"cached verdicts served : {result.cached_verdicts}",
+            f"telemetry verdicts     : "
+            + (
+                str(result.scraped_verdicts)
+                if result.scraped_verdicts >= 0
+                else "not scraped"
+            ),
+            f"health after kill      : "
+            + (
+                f"HTTP {result.health_status}"
+                if result.health_status
+                else "not probed"
+            ),
+            f"trace spans            : {result.trace_spans}",
+            f"trace digest           : {result.trace_digest[:16] or 'n/a'}",
             f"wall time              : {result.wall_s:.3f} s",
             f"drill                  : {'PASS' if result.ok else 'FAIL'}",
         ]

@@ -58,6 +58,7 @@ def snapshot_doc(
     protocol_history: Optional[List[str]] = None,
     last_verdict: Optional[dict] = None,
     resync=None,
+    metrics: Optional[dict] = None,
 ) -> dict:
     """Build a snapshot document for one group.
 
@@ -72,6 +73,12 @@ def snapshot_doc(
             before the frame reached the reader.
         resync: in-flight counter recovery, forwarded to
             ``server.state``.
+        metrics: registry snapshots by source worker
+            (:func:`repro.obs.agg.snapshot_registry` docs). Embedded in
+            the *same* atomic write as the verdict state on purpose: a
+            SIGKILL can never separate "this round's verdict is
+            servable from the snapshot" from "this round is counted in
+            a persisted registry" — the scrape-exactness requirement.
     """
     history = list(protocol_history or [])
     doc = {
@@ -84,6 +91,8 @@ def snapshot_doc(
         "last_verdict": last_verdict,
         "state": None,
     }
+    if metrics:
+        doc["metrics"] = metrics
     if monitor is not None:
         doc["state"] = export_state(
             monitor.database, monitor.issuer, resync=resync

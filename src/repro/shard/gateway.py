@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, Optional
 
+from ..obs.tracing import SpanContext, derive_span_id
 from ..serve import protocol
 from ..serve.protocol import Frame, ProtocolError
 from .config import ShardConfig
@@ -112,10 +113,11 @@ def _same_challenge(first: Frame, second: Frame) -> bool:
 class ShardGateway:
     """Routes ``repro.serve/v1`` sessions across the worker fleet."""
 
-    def __init__(self, supervisor, config: ShardConfig, obs=None):
+    def __init__(self, supervisor, config: ShardConfig, obs=None, tracer=None):
         self.supervisor = supervisor
         self.config = config
         self.obs = obs
+        self.tracer = tracer
         self.sessions_served = 0
         self.rounds_proxied = 0
         self.round_retries = 0
@@ -274,8 +276,63 @@ class _ProxySession:
             except (ConnectionError, OSError):
                 pass
 
+    def _trace_setup(self, reseed: Frame):
+        """``(parent context, upstream RESEED)`` for one round.
+
+        When the reader sent a trace envelope, the gateway interposes
+        its own span: the upstream RESEED carries the *gateway's* span
+        as parent (hop+1), computed deterministically up front so
+        worker spans parent correctly even though the gateway span is
+        only recorded once the round ends. Untraced rounds forward the
+        RESEED untouched.
+        """
+        envelope = reseed.get("trace")
+        if envelope is None:
+            return None, reseed
+        parent = SpanContext.from_wire(envelope)
+        own_id = derive_span_id(parent.trace_id, "gateway.round", parent.span_id)
+        child = SpanContext(parent.trace_id, own_id, parent.hop + 1)
+        return parent, protocol.with_trace(
+            Frame(
+                "RESEED",
+                {k: v for k, v in reseed.payload.items() if k != "trace"},
+            ),
+            child.to_wire(),
+        )
+
+    def _finish_span(
+        self,
+        parent: Optional[SpanContext],
+        group: str,
+        verdict: Frame,
+        worker_id: str = "",
+        cached: bool = False,
+    ) -> None:
+        """Record ``gateway.round`` once the verdict reached the client.
+
+        Digest-relevant fields are the verdict's seed-derived facts;
+        *how* the round was served — which worker, whether the cached
+        verdict stood in for a dead worker's lost frame — legitimately
+        differs across worker counts and failover timing, so it rides
+        in ``host_fields``.
+        """
+        if self.gateway.tracer is None or parent is None:
+            return
+        if verdict.type != "VERDICT":
+            return
+        self.gateway.tracer.span(
+            "gateway.round",
+            group,
+            int(verdict["round"]),
+            parent=parent,
+            verdict=verdict["verdict"],
+            frame_size=int(verdict["frame_size"]),
+            host_fields={"worker": worker_id, "cached": cached},
+        )
+
     async def _proxy_round(self, reseed: Frame) -> None:
         group = reseed["group"]
+        trace_parent, upstream_reseed = self._trace_setup(reseed)
         challenge: Optional[Frame] = None  # as relayed to the client
         bits: Optional[Frame] = None  # the client's proof, once seen
         for _ in range(self.config.max_round_retries):
@@ -288,13 +345,13 @@ class _ProxySession:
                 )
                 return
             if challenge is not None and await self._try_cached_verdict(
-                group, challenge, bits
+                group, challenge, bits, trace_parent
             ):
                 return
 
             try:
                 upstream = await self._upstream(handle)
-                await protocol.write_frame(upstream.writer, reseed)
+                await protocol.write_frame(upstream.writer, upstream_reseed)
                 reply = await asyncio.wait_for(
                     upstream.stream.next(), self.config.upstream_timeout_s
                 )
@@ -332,7 +389,7 @@ class _ProxySession:
                 return
 
             if bits is None:
-                outcome = await self._await_proof(upstream)
+                outcome = await self._await_proof(upstream, group, trace_parent)
                 if outcome is _RETRY:
                     continue
                 if outcome is _DONE:
@@ -354,6 +411,9 @@ class _ProxySession:
             if verdict.type == "VERDICT":
                 self.gateway.rounds_proxied += 1
                 self.gateway._count("shard_rounds_proxied_total")
+            self._finish_span(
+                trace_parent, group, verdict, worker_id=handle.worker_id
+            )
             return
         self.gateway.relay_errors += 1
         await self._send_client(
@@ -363,7 +423,7 @@ class _ProxySession:
             )
         )
 
-    async def _await_proof(self, upstream: _Upstream):
+    async def _await_proof(self, upstream: _Upstream, group, trace_parent):
         """Wait for the client's BITSTRING *or* the worker's unprompted
         deadline VERDICT, whichever lands first.
 
@@ -391,6 +451,9 @@ class _ProxySession:
             if frame.type == "VERDICT":
                 self.gateway.rounds_proxied += 1
                 self.gateway._count("shard_rounds_proxied_total")
+            self._finish_span(
+                trace_parent, group, frame, worker_id=upstream.worker_id
+            )
             return _DONE
         try:
             frame = self.client.take()
@@ -407,7 +470,11 @@ class _ProxySession:
         return frame
 
     async def _try_cached_verdict(
-        self, group: str, challenge: Frame, bits: Optional[Frame]
+        self,
+        group: str,
+        challenge: Frame,
+        bits: Optional[Frame],
+        trace_parent: Optional[SpanContext] = None,
     ) -> bool:
         """Serve the snapshot's verdict when the round already verified.
 
@@ -433,11 +500,13 @@ class _ProxySession:
             frame = await self.client.next()
             if frame is None:
                 raise _SessionAborted()
-        await self._send_client(Frame("VERDICT", dict(cached)))
+        verdict = Frame("VERDICT", dict(cached))
+        await self._send_client(verdict)
         self.gateway.rounds_proxied += 1
         self.gateway.cached_verdicts_served += 1
         self.gateway._count("shard_rounds_proxied_total")
         self.gateway._count("shard_cached_verdicts_total")
+        self._finish_span(trace_parent, group, verdict, cached=True)
         return True
 
 

@@ -1,0 +1,265 @@
+"""Live gateway telemetry: ``/metrics``, ``/healthz`` and ``/slo``.
+
+A tiny asyncio HTTP/1.0 server colocated with the gateway that turns
+the supervisor's cluster-observability surface into scrapeable
+endpoints:
+
+* ``/metrics`` — Prometheus text exposition of
+  :meth:`~repro.shard.worker.WorkerSupervisor.cluster_registry`, i.e.
+  the deterministic merge of every worker's registry snapshot plus the
+  gateway/supervisor's own ``shard_*`` counters. Because every
+  per-verdict group snapshot embeds the worker's registry copy in the
+  same atomic write, a scrape after a campaign counts every
+  delivered verdict exactly once — SIGKILLed workers included;
+* ``/healthz`` — per-worker liveness as JSON; HTTP 503 when any worker
+  is down (the post-kill drill state), 200 otherwise;
+* ``/slo`` — round-latency quantiles (bucket-interpolated; the serving
+  histograms retain no samples), UTRP deadline-budget consumption and
+  the late-rejection count, all from the same merged registry.
+
+The server intentionally speaks just enough HTTP for ``curl``,
+Prometheus and the bundled :func:`http_get` client — request line plus
+headers in, ``Connection: close`` response out. It shares the event
+loop with the gateway, so a scrape observes a consistent supervisor
+state between rounds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from ..obs.agg import histogram_quantile
+from ..obs.exporters import prometheus_text
+from ..obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["TelemetryServer", "slo_summary", "http_get"]
+
+#: Upper bound on one request's header section; anything longer is not
+#: a scraper we recognise.
+_MAX_HEADER_BYTES = 16384
+
+_STATUS_TEXT = {
+    200: "OK",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+def _family(registry: MetricsRegistry, name: str):
+    for metric in registry.collect():
+        if metric.name == name:
+            return metric
+    return None
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> float:
+    metric = _family(registry, name)
+    if metric is None:
+        return 0.0
+    return float(sum(series.value for _, series in metric.series()))
+
+
+def _histogram_totals(metric: Histogram):
+    """Pool a histogram family's series into one cumulative profile."""
+    bounds = list(metric.buckets)
+    cumulative = [0] * (len(bounds) + 1)
+    count = 0
+    total = 0.0
+    for _, series in metric.series():
+        for i, c in enumerate(series.cumulative_counts()):
+            cumulative[i] += c
+        count += series.count
+        total += series.sum
+    return bounds, cumulative, count, total
+
+
+def _histogram_block(registry: MetricsRegistry, name: str) -> Dict[str, object]:
+    metric = _family(registry, name)
+    if metric is None:
+        return {"count": 0, "sum": 0.0, "p50": 0.0, "p99": 0.0}
+    bounds, cumulative, count, total = _histogram_totals(metric)
+    return {
+        "count": count,
+        "sum": round(total, 6),
+        "p50": round(histogram_quantile(bounds, cumulative, 50.0), 6),
+        "p99": round(histogram_quantile(bounds, cumulative, 99.0), 6),
+    }
+
+
+def slo_summary(registry: MetricsRegistry) -> Dict[str, object]:
+    """The ``/slo`` document for one (merged) registry.
+
+    Quantiles are bucket-interpolated — the serving-path histograms are
+    unbounded streams and retain no samples. ``deadline_budget`` adds
+    ``within_budget`` / ``over_budget`` round counts split at ratio
+    1.0, the Theorem-5 cliff; ``over_budget`` and
+    ``late_rejections_total`` agree by construction (both count rounds
+    whose reported air time exceeded the Alg. 5 timer).
+    """
+    latency = _histogram_block(registry, "serve_round_latency_us")
+    budget = _histogram_block(registry, "serve_deadline_budget_ratio")
+    metric = _family(registry, "serve_deadline_budget_ratio")
+    within = over = 0
+    if metric is not None:
+        bounds, cumulative, count, _ = _histogram_totals(metric)
+        if 1.0 in bounds:
+            within = cumulative[bounds.index(1.0)]
+            over = count - within
+    budget["within_budget"] = within
+    budget["over_budget"] = over
+    return {
+        "round_latency_us": latency,
+        "deadline_budget": budget,
+        "late_rejections_total": int(
+            _counter_total(registry, "serve_late_rejections_total")
+        ),
+        "timeouts_total": int(_counter_total(registry, "serve_timeouts_total")),
+        "verdicts_total": int(_counter_total(registry, "serve_verdicts_total")),
+    }
+
+
+class TelemetryServer:
+    """Scrape endpoints over one supervisor (and optionally a gateway).
+
+    Args:
+        supervisor: the :class:`~repro.shard.worker.WorkerSupervisor`
+            whose merged registry and health map back the endpoints.
+        host / port: listen address; port 0 binds an ephemeral port
+            (read it back from :attr:`port`).
+    """
+
+    def __init__(self, supervisor, host: str = "127.0.0.1", port: int = 0):
+        self.supervisor = supervisor
+        self.host = host
+        self._requested_port = port
+        self.scrapes = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("telemetry server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "TelemetryServer":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            consumed = len(request_line)
+            while True:  # drain headers; we route on the request line only
+                line = await reader.readline()
+                consumed += len(line)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if consumed > _MAX_HEADER_BYTES:
+                    return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            status, content_type, body = self._route(parts[0], parts[1])
+            self.scrapes += 1
+            payload = body.encode()
+            head = (
+                f"HTTP/1.0 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + payload)
+            await writer.drain()
+        except (ConnectionError, OSError, UnicodeDecodeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, method: str, target: str) -> Tuple[int, str, str]:
+        if method != "GET":
+            return 405, "text/plain", "only GET is served\n"
+        path = target.split("?", 1)[0]
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4",
+                prometheus_text(self.supervisor.cluster_registry()),
+            )
+        if path == "/healthz":
+            health = self.supervisor.health()
+            degraded = sorted(
+                wid for wid, doc in health.items() if not doc["alive"]
+            )
+            body = json.dumps(
+                {
+                    "status": "degraded" if degraded else "ok",
+                    "down": degraded,
+                    "workers": health,
+                },
+                sort_keys=True,
+                indent=2,
+            )
+            return (503 if degraded else 200, "application/json", body + "\n")
+        if path == "/slo":
+            body = json.dumps(
+                slo_summary(self.supervisor.cluster_registry()),
+                sort_keys=True,
+                indent=2,
+            )
+            return 200, "application/json", body + "\n"
+        return 404, "text/plain", f"no such endpoint: {path}\n"
+
+
+async def http_get(
+    host: str, port: int, path: str, timeout_s: float = 10.0
+) -> Tuple[int, str]:
+    """Minimal async GET against :class:`TelemetryServer`.
+
+    Returns ``(status, body)``. Exists so the drill, the CLI and the
+    tests can scrape without an HTTP client dependency.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split()
+    if len(status_line) < 2:
+        raise ValueError(f"malformed HTTP response: {head[:80]!r}")
+    return int(status_line[1]), body.decode()

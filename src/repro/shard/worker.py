@@ -35,6 +35,10 @@ import signal
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import ObsContext
+from ..obs.agg import merge_snapshots, snapshot_registry
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
 from ..serve.server import MonitoringService
 from ..serve.session import SessionConfig
 from .config import ShardConfig, ShardGroupSpec, _require_finite, _require_int
@@ -48,7 +52,17 @@ from .failover import (
 )
 from .ring import HashRing
 
-__all__ = ["ShardWorkerService", "WorkerSpec", "WorkerSupervisor"]
+__all__ = [
+    "ShardWorkerService",
+    "WorkerSpec",
+    "WorkerSupervisor",
+    "worker_spans_path",
+]
+
+
+def worker_spans_path(state_dir: str, worker_id: str) -> str:
+    """Where one worker appends its span JSONL."""
+    return os.path.join(state_dir, f"spans-{worker_id}.jsonl")
 
 
 # ----------------------------------------------------------------------
@@ -71,12 +85,34 @@ class ShardWorkerService(MonitoringService):
     "never reused across *verified* rounds" across a failover.
     """
 
-    def __init__(self, state_dir: str, **kwargs):
+    def __init__(self, state_dir: str, worker_id: str = "", **kwargs):
         super().__init__(**kwargs)
         self.state_dir = state_dir
+        self.worker_id = worker_id
         self._specs: Dict[str, ShardGroupSpec] = {}
         self._history: Dict[str, List[str]] = {}
         self._last_verdict: Dict[str, Optional[dict]] = {}
+        self._metrics_seq = 0
+        #: Predecessors' registry snapshots, harvested from adopted
+        #: group snapshots and re-embedded in every snapshot this
+        #: worker writes — so a failover chain never sheds the counts
+        #: of a worker that is no longer around to heartbeat.
+        self._inherited_metrics: Dict[str, dict] = {}
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        """This worker's registry as a snapshot doc (seq increments).
+
+        ``None`` without an obs context. The ``seq`` is monotonic over
+        the worker's life, so any receiver holding several snapshots of
+        this worker keeps the freshest by comparing ``seq`` — never by
+        summing them.
+        """
+        if self.obs is None:
+            return None
+        self._metrics_seq += 1
+        return snapshot_registry(
+            self.obs.registry, seq=self._metrics_seq, source=self.worker_id
+        )
 
     def host_spec(self, spec: ShardGroupSpec):
         """Host a fresh group from its deterministic spec."""
@@ -111,35 +147,57 @@ class ShardWorkerService(MonitoringService):
         self._specs[spec.name] = spec
         self._history[spec.name] = list(doc["protocol_history"])
         self._last_verdict[spec.name] = last_verdict
+        # Keep the dead owner's embedded registry (and anything *it*
+        # inherited): its verdicts stay counted after the file below
+        # overwrites the snapshot they arrived in.
+        for source, mdoc in (doc.get("metrics") or {}).items():
+            if source == self.worker_id:
+                continue
+            held = self._inherited_metrics.get(source)
+            if held is None or int(mdoc.get("seq", 0)) >= int(held.get("seq", 0)):
+                self._inherited_metrics[source] = mdoc
         write_snapshot(self.state_dir, self._snapshot(spec.name))
         return rounds_verified, last_verdict
 
     def _snapshot(self, name: str) -> dict:
         group = self.groups[name]
+        metrics = dict(self._inherited_metrics)
+        own = self.metrics_snapshot()
+        if own is not None:
+            metrics[self.worker_id] = own
         return snapshot_doc(
             self._specs[name],
             group.monitor,
             protocol_history=self._history[name],
             last_verdict=self._last_verdict[name],
             resync=getattr(group, "pending_resync", None),
+            metrics=metrics or None,
         )
 
-    def observe_verdict(self, group, proto, result, timed_out=False) -> None:
+    def observe_verdict(self, group, proto, result, timed_out=False, **kwargs) -> None:
+        # Registry first: the snapshot written below embeds a registry
+        # copy that must already count this verdict.
+        super().observe_verdict(group, proto, result, timed_out=timed_out, **kwargs)
         name = group.name
-        if name in self._specs:
-            history = self._history[name]
-            history.append(proto)
-            self._last_verdict[name] = {
-                "group": name,
-                "round": len(history) - 1,
-                "verdict": result.verdict.value,
-                "frame_size": int(result.frame_size),
-                "mismatched_slots": len(result.mismatched_slots),
-                "elapsed_us": float(result.elapsed),
-                "alarm": bool(result.verdict.alarm),
-            }
-            write_snapshot(self.state_dir, self._snapshot(name))
-        super().observe_verdict(group, proto, result, timed_out=timed_out)
+        if name not in self._specs:
+            return
+        history = self._history[name]
+        history.append(proto)
+        self._last_verdict[name] = {
+            "group": name,
+            "round": len(history) - 1,
+            "verdict": result.verdict.value,
+            "frame_size": int(result.frame_size),
+            "mismatched_slots": len(result.mismatched_slots),
+            "elapsed_us": float(result.elapsed),
+            "alarm": bool(result.verdict.alarm),
+        }
+        # One atomic write (tmp + rename) carries the verdict state AND
+        # the metrics registry. Two separate files would leave a window
+        # — SIGKILL between them lets the gateway serve this verdict
+        # from the snapshot while no persisted registry counts it (or
+        # vice versa), and the /metrics scrape stops being exact.
+        write_snapshot(self.state_dir, self._snapshot(name))
 
     @property
     def verdicts_persisted(self) -> int:
@@ -231,6 +289,11 @@ async def _heartbeat_loop(
     while True:
         await asyncio.sleep(spec.heartbeat_interval_s)
         try:
+            # Metrics piggyback on the heartbeat: the supervisor's live
+            # view of the cluster registry rides the control channel it
+            # already trusts for liveness. The registry copy embedded in
+            # each group snapshot covers the window between the last
+            # heartbeat and a kill.
             _send_line(
                 writer,
                 {
@@ -238,6 +301,7 @@ async def _heartbeat_loop(
                     "worker": spec.worker_id,
                     "sessions": service.active_sessions,
                     "verdicts": service.verdicts_persisted,
+                    "metrics": service.metrics_snapshot(),
                 },
             )
             await writer.drain()
@@ -246,10 +310,22 @@ async def _heartbeat_loop(
 
 
 async def _worker_main(spec: WorkerSpec) -> None:
+    # Every worker is born observable: its own registry (snapshotted to
+    # the supervisor and to disk) and its own span file. The tracer's
+    # process label carries the worker identity so the span-tree digest
+    # — which excludes it — stays invariant across worker counts.
+    obs = ObsContext()
+    tracer = Tracer(
+        f"worker:{spec.worker_id}",
+        path=worker_spans_path(spec.state_dir, spec.worker_id),
+    )
     service = ShardWorkerService(
         spec.state_dir,
+        worker_id=spec.worker_id,
         session_config=SessionConfig(wall_us_per_s=spec.timer_scale),
         max_sessions=spec.max_sessions,
+        obs=obs,
+        tracer=tracer,
     )
     for group in spec.groups:
         service.host_spec(group)
@@ -345,6 +421,10 @@ class _WorkerHandle:
         self.ready = asyncio.Event()
         self.sessions = 0
         self.verdicts = 0
+        #: Latest heartbeat-borne metrics snapshot (survives death —
+        #: a dead worker's last-known state still merges).
+        self.metrics: Optional[dict] = None
+        self.last_heartbeat: float = 0.0
 
     @property
     def pid(self) -> Optional[int]:
@@ -517,6 +597,9 @@ class WorkerSupervisor:
                 if kind == "hb":
                     handle.sessions = int(message.get("sessions", 0))
                     handle.verdicts = int(message.get("verdicts", 0))
+                    if message.get("metrics") is not None:
+                        handle.metrics = message["metrics"]
+                    handle.last_heartbeat = time.monotonic()
                     self._gauge(
                         "shard_worker_sessions",
                         handle.sessions,
@@ -539,6 +622,82 @@ class WorkerSupervisor:
                 self._gauge("shard_workers", self.live_workers)
                 if not self._closing:
                     self.ensure_failover(handle.worker_id)
+
+    # -- cluster observability -----------------------------------------
+
+    def worker_metric_snapshots(self) -> List[dict]:
+        """The freshest registry snapshot per source worker.
+
+        Candidates per source come from two channels — the last
+        heartbeat (live, but up to one interval stale) and the copies
+        embedded in the group snapshots on disk (exact, written in the
+        same atomic rename as the verdict they count, so they survive
+        SIGKILL) — and the highest ``seq`` wins. Candidates of one
+        source are never summed; two snapshots of the same registry are
+        states, not increments, and the cumulative one with the larger
+        ``seq`` subsumes the other.
+        """
+        best: Dict[str, dict] = {}
+
+        def consider(doc) -> None:
+            if not isinstance(doc, dict):
+                return
+            source = str(doc.get("source") or "")
+            if not source:
+                return
+            held = best.get(source)
+            if held is None or int(doc.get("seq", 0)) >= int(held.get("seq", 0)):
+                best[source] = doc
+
+        for worker_id in sorted(self.handles):
+            consider(self.handles[worker_id].metrics)
+        for name in self._specs:
+            try:
+                with open(snapshot_path(self.state_dir, name)) as fh:
+                    embedded = json.load(fh).get("metrics") or {}
+            except (OSError, ValueError):
+                continue
+            for doc in embedded.values():
+                consider(doc)
+        return [best[source] for source in sorted(best)]
+
+    def cluster_registry(self) -> MetricsRegistry:
+        """One merged registry: every worker's metrics + the shard ones.
+
+        The merge is the deterministic fold from
+        :func:`repro.obs.agg.merge_snapshots`; the gateway's
+        ``/metrics`` endpoint renders exactly this.
+        """
+        merged = MetricsRegistry()
+        if self.obs is not None:
+            merge_snapshots([snapshot_registry(self.obs.registry)], into=merged)
+        merge_snapshots(self.worker_metric_snapshots(), into=merged)
+        return merged
+
+    def health(self) -> Dict[str, dict]:
+        """Per-worker liveness, as the ``/healthz`` endpoint reports it."""
+        now = time.monotonic()
+        out: Dict[str, dict] = {}
+        for worker_id in sorted(self.handles):
+            handle = self.handles[worker_id]
+            out[worker_id] = {
+                "alive": handle.is_running(),
+                "pid": handle.pid,
+                "port": handle.port,
+                "sessions": handle.sessions,
+                "verdicts": handle.verdicts,
+                "groups": sorted(
+                    name
+                    for name, owner in self.owners.items()
+                    if owner == worker_id
+                ),
+                "heartbeat_age_s": (
+                    round(now - handle.last_heartbeat, 3)
+                    if handle.last_heartbeat
+                    else None
+                ),
+            }
+        return out
 
     # -- routing and failover ------------------------------------------
 

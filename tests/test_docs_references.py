@@ -25,6 +25,7 @@ DOC_FILES = [
     os.path.join("docs", "ROBUSTNESS.md"),
     os.path.join("docs", "SERVING.md"),
     os.path.join("docs", "SHARDING.md"),
+    os.path.join("docs", "OBSERVABILITY.md"),
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")

@@ -1,0 +1,197 @@
+"""Unit tests for repro.obs.agg — snapshot, merge, self-check, parse."""
+
+import math
+
+import pytest
+
+from repro.obs.agg import (
+    assert_families,
+    histogram_quantile,
+    merge_snapshots,
+    parse_prometheus_text,
+    snapshot_registry,
+    sum_family,
+)
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.server import (
+    SERVE_METRIC_FAMILIES,
+    register_serve_metrics,
+)
+
+
+def _observe(registry, events):
+    """Replay (group, verdict, latency_us) events into serve_* metrics."""
+    verdicts = registry.counter(
+        "serve_verdicts_total", "round verdicts by group and outcome",
+        ("group", "verdict"),
+    )
+    latency = registry.histogram(
+        "serve_round_latency_us", "round latency in simulated microseconds",
+        keep_samples=False,
+    )
+    for group, verdict, latency_us in events:
+        verdicts.labels(group=group, verdict=verdict).inc()
+        latency.observe(latency_us)
+
+
+EVENTS = [
+    ("group-000", "intact", 120.0),
+    ("group-000", "intact", 130.0),
+    ("group-001", "not-intact", 95.0),
+    ("group-002", "intact", 260.0),
+    ("group-002", "rejected-late", 900.0),
+    ("group-003", "intact", 45.0),
+]
+
+
+class TestMergeDeterminism:
+    def test_sharded_merge_equals_single_process(self):
+        """The tentpole property: merging N worker snapshots yields a
+        registry digest-identical to one process observing everything."""
+        single = MetricsRegistry()
+        _observe(single, EVENTS)
+
+        for cut in (1, 2, 3, 5):
+            shards = [MetricsRegistry() for _ in range(2)]
+            _observe(shards[0], EVENTS[:cut])
+            _observe(shards[1], EVENTS[cut:])
+            merged = merge_snapshots(
+                snapshot_registry(r, seq=i, source=f"w{i:02d}")
+                for i, r in enumerate(shards)
+            )
+            assert merged.digest() == single.digest(), f"cut={cut}"
+            assert prometheus_text(merged) == prometheus_text(single)
+
+    def test_merge_is_order_invariant(self):
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, shard in enumerate(shards):
+            _observe(shard, EVENTS[i::3])
+        docs = [
+            snapshot_registry(r, seq=1, source=f"w{i:02d}")
+            for i, r in enumerate(shards)
+        ]
+        assert (
+            merge_snapshots(docs).digest()
+            == merge_snapshots(docs[::-1]).digest()
+        )
+
+    def test_merge_pools_retained_samples_sorted(self):
+        a, b, single = (MetricsRegistry() for _ in range(3))
+        for registry, values in ((a, [5.0, 1.0]), (b, [3.0]), (single, [5.0, 1.0, 3.0])):
+            h = registry.histogram("h", "h")
+            for v in values:
+                h.observe(v)
+        merged = merge_snapshots(
+            [snapshot_registry(a), snapshot_registry(b)]
+        )
+        assert merged.digest() == single.digest()
+
+    def test_shape_conflict_raises_instead_of_guessing(self):
+        a = MetricsRegistry()
+        a.counter("serve_verdicts_total", "v", ("group",))
+        b = MetricsRegistry()
+        b.counter("serve_verdicts_total", "v", ("group", "verdict"))
+        with pytest.raises(ValueError):
+            merge_snapshots([snapshot_registry(a), snapshot_registry(b)])
+
+    def test_wrong_schema_tag_raises(self):
+        doc = snapshot_registry(MetricsRegistry())
+        doc["v"] = "not.a.snapshot/v0"
+        with pytest.raises(ValueError, match="schema"):
+            merge_snapshots([doc])
+
+
+class TestFamilySelfCheck:
+    def test_serve_families_pass_their_own_declaration(self):
+        registry = MetricsRegistry()
+        register_serve_metrics(registry)  # asserts internally
+
+    def test_missing_family_fails(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="never registered"):
+            assert_families(registry, SERVE_METRIC_FAMILIES)
+
+    def test_renamed_labels_fail(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_verdicts_total", "v", ("group", "outcome"))
+        with pytest.raises(ValueError, match="labels"):
+            assert_families(
+                registry,
+                {"serve_verdicts_total": ("counter", ("group", "verdict"))},
+            )
+
+    def test_kind_drift_fails(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve_timeouts_total", "t")
+        with pytest.raises(ValueError, match="declared counter"):
+            assert_families(
+                registry, {"serve_timeouts_total": ("counter", ())}
+            )
+
+
+class TestQuantiles:
+    def test_interpolates_within_bucket(self):
+        # 10 observations uniform in (0, 100]: p50 ~ 50.
+        bounds = [10.0, 100.0]
+        cumulative = [1, 10, 10]
+        assert histogram_quantile(bounds, cumulative, 50.0) == pytest.approx(
+            10.0 + 90.0 * (5 - 1) / 9
+        )
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile([1.0], [0, 0], 99.0) == 0.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        assert histogram_quantile([1.0], [0, 7], 99.0) == 1.0
+
+    def test_rejects_bad_shapes_and_percentiles(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([1.0, 2.0], [1, 2], 50.0)
+        with pytest.raises(ValueError):
+            histogram_quantile([1.0], [1, 1], 150.0)
+
+
+class TestPrometheusRoundTrip:
+    NASTY = 'he said "hi\\there"\nand left'
+
+    def test_escaping_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_errors_total", "errors", ("code",)).labels(
+            code=self.NASTY
+        ).inc(3)
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[
+            ("serve_errors_total", (("code", self.NASTY),))
+        ] == 3.0
+
+    def test_histogram_lines_parse(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", "h", buckets=(1.0, 2.0), keep_samples=False)
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[("h_bucket", (("le", "1"),))] == 1.0
+        assert samples[("h_bucket", (("le", "2"),))] == 2.0
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("h_count", ())] == 3.0
+        assert samples[("h_sum", ())] == pytest.approx(11.0)
+
+    def test_special_values_parse(self):
+        assert math.isinf(parse_prometheus_text("x +Inf")[("x", ())])
+        assert math.isnan(parse_prometheus_text("x NaN")[("x", ())])
+
+    def test_malformed_line_raises_with_context(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus_text("ok 1\nbroken{a=b} 2")
+
+    def test_sum_family_sums_only_that_family(self):
+        registry = MetricsRegistry()
+        v = registry.counter("serve_verdicts_total", "v", ("group", "verdict"))
+        v.labels(group="g0", verdict="intact").inc(2)
+        v.labels(group="g1", verdict="not-intact").inc(3)
+        registry.counter("serve_timeouts_total", "t").inc(9)
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert sum_family(samples, "serve_verdicts_total") == 5.0
+        assert sum_family(samples, "serve_timeouts_total") == 9.0
+        assert sum_family(samples, "no_such_family") == 0.0

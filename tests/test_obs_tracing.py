@@ -1,0 +1,203 @@
+"""Unit tests for repro.obs.tracing — deterministic distributed spans."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    derive_span_id,
+    format_trace_tree,
+    load_span_files,
+    merge_spans,
+    span_tree_digest,
+    trace_id_for,
+    write_spans_jsonl,
+)
+
+
+class TestIdentity:
+    def test_trace_id_is_deterministic(self):
+        assert trace_id_for("g0", 3) == trace_id_for("g0", 3)
+        assert trace_id_for("g0", 3) != trace_id_for("g0", 4)
+        assert trace_id_for("g0", 3) != trace_id_for("g1", 3)
+
+    def test_namespace_forks_the_universe(self):
+        assert trace_id_for("g0", 0) != trace_id_for("g0", 0, namespace="b")
+
+    def test_span_id_is_a_function_of_causal_position(self):
+        tid = trace_id_for("g0", 0)
+        root = derive_span_id(tid, "reader.round", "")
+        child = derive_span_id(tid, "gateway.round", root)
+        assert root == derive_span_id(tid, "reader.round", "")
+        assert child != root
+        assert child != derive_span_id(tid, "serve.round", root)
+
+    def test_context_wire_roundtrip(self):
+        ctx = SpanContext("t" * 24, "s" * 16, hop=2)
+        assert SpanContext.from_wire(ctx.to_wire()) == ctx
+        assert SpanContext.from_wire(None) is None
+
+
+def _three_hop_trace(group="g0", round_index=0, verdict="intact"):
+    """One reader -> gateway -> worker trace recorded on three tracers,
+    as three separate processes would."""
+    reader = Tracer("reader")
+    gateway = Tracer("gateway")
+    worker = Tracer("worker:w00")
+    tid = trace_id_for(group, round_index)
+    root_ctx = SpanContext(tid, derive_span_id(tid, "reader.round", ""), hop=1)
+    gw_span = gateway.span(
+        "gateway.round", group, round_index, parent=root_ctx, verdict=verdict
+    )
+    worker.span(
+        "serve.round", group, round_index, parent=gw_span.context,
+        proto="trp", verdict=verdict,
+    )
+    reader.span(
+        "reader.round", group, round_index, trace_id=tid,
+        proto="trp", verdict=verdict,
+    )
+    return reader, gateway, worker
+
+
+class TestMergeAndDigest:
+    def test_merge_is_canonical_and_hop_ordered(self):
+        reader, gateway, worker = _three_hop_trace()
+        merged = merge_spans(worker.spans, reader.spans, gateway.spans)
+        assert [s.name for s in merged] == [
+            "reader.round", "gateway.round", "serve.round",
+        ]
+        assert [s.hop for s in merged] == [0, 1, 2]
+        # Every non-root span parents the previous hop.
+        assert merged[1].parent_id == merged[0].span_id
+        assert merged[2].parent_id == merged[1].span_id
+
+    def test_merge_dedupes_on_trace_and_span_id(self):
+        reader, gateway, worker = _three_hop_trace()
+        once = merge_spans(reader.spans, gateway.spans, worker.spans)
+        twice = merge_spans(
+            reader.spans, gateway.spans, worker.spans, worker.spans
+        )
+        assert once == twice
+
+    def test_digest_invariant_to_source_split_and_order(self):
+        reader, gateway, worker = _three_hop_trace()
+        spans = merge_spans(reader.spans, gateway.spans, worker.spans)
+        assert span_tree_digest(spans) == span_tree_digest(
+            merge_spans(worker.spans, reader.spans, gateway.spans)
+        )
+        assert span_tree_digest(spans) == span_tree_digest(spans[::-1])
+
+    def test_digest_excludes_process_and_host_noise(self):
+        def build(process, latency):
+            tracer = Tracer(process)
+            tracer.span(
+                "reader.round", "g0", 0,
+                trace_id=trace_id_for("g0", 0),
+                verdict="intact",
+                host_fields={"latency_ms": latency},
+            )
+            return tracer.spans
+
+        assert span_tree_digest(build("worker:w00", 3)) == span_tree_digest(
+            build("worker:w03", 99)
+        )
+
+    def test_digest_sees_deterministic_fields(self):
+        def build(verdict):
+            tracer = Tracer()
+            tracer.span(
+                "reader.round", "g0", 0,
+                trace_id=trace_id_for("g0", 0), verdict=verdict,
+            )
+            return tracer.spans
+
+        assert span_tree_digest(build("intact")) != span_tree_digest(
+            build("not-intact")
+        )
+
+    def test_root_span_requires_trace_id(self):
+        with pytest.raises(ValueError):
+            Tracer().span("reader.round", "g0", 0)
+
+
+class TestFiles:
+    def test_jsonl_roundtrip(self, tmp_path):
+        reader, gateway, worker = _three_hop_trace()
+        spans = merge_spans(reader.spans, gateway.spans, worker.spans)
+        path = str(tmp_path / "trace.jsonl")
+        digest = write_spans_jsonl(spans, path)
+        loaded = load_span_files([path])
+        assert merge_spans(loaded) == spans
+        assert span_tree_digest(loaded) == digest
+
+    def test_tracer_disk_mirror_appends_per_span(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer("worker:w00", path=path)
+        tracer.span(
+            "serve.round", "g0", 0, trace_id=trace_id_for("g0", 0)
+        )
+        tracer.span(
+            "serve.round", "g0", 1, trace_id=trace_id_for("g0", 1)
+        )
+        assert load_span_files([path]) == tracer.spans
+
+    def test_missing_files_are_skipped(self, tmp_path):
+        assert load_span_files([str(tmp_path / "never-written.jsonl")]) == []
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        """A SIGKILL can tear at most the trailing append."""
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer("worker:w00", path=path)
+        span = tracer.span(
+            "serve.round", "g0", 0, trace_id=trace_id_for("g0", 0)
+        )
+        with open(path, "a") as fh:
+            fh.write('{"v": "repro.obs.trace/v1", "trace_id": "tr')
+        assert load_span_files([path]) == [span]
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer(path=path)
+        tracer.span("serve.round", "g0", 0, trace_id=trace_id_for("g0", 0))
+        with open(path) as fh:
+            good = fh.read()
+        with open(path, "w") as fh:
+            fh.write("{not json}\n" + good)
+        with pytest.raises(ValueError, match="spans.jsonl:1"):
+            load_span_files([path])
+
+    def test_wrong_schema_tag_raises(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        doc = Span(
+            trace_id="t", span_id="s", parent_id="", name="x", hop=0,
+            group="g0", round=0,
+        ).to_dict()
+        doc["v"] = "someone.else/v9"
+        with open(path, "w") as fh:
+            fh.write(json.dumps(doc) + "\n\n")  # blank tail line too
+        with pytest.raises(ValueError, match="schema"):
+            load_span_files([path])
+
+
+class TestTree:
+    def test_format_tree_indents_by_hop(self):
+        reader, gateway, worker = _three_hop_trace()
+        text = format_trace_tree(
+            merge_spans(reader.spans, gateway.spans, worker.spans)
+        )
+        assert "reader.round" in text
+        assert "    gateway.round" in text
+        assert "      serve.round" in text
+
+    def test_format_tree_caps_traces(self):
+        tracer = Tracer()
+        for i in range(4):
+            tracer.span(
+                "reader.round", "g0", i, trace_id=trace_id_for("g0", i)
+            )
+        text = format_trace_tree(tracer.spans, max_traces=1)
+        assert "3 more trace(s)" in text

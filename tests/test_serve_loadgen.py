@@ -259,3 +259,45 @@ class TestConcurrencyAtScale:
         assert result.timeouts == 0
         assert result.rounds_completed == 100
         assert result.verdict_counts == {"intact": 100}
+
+
+class TestWireAccounting:
+    def test_bytes_per_round_in_result_and_record(self):
+        config = LoadgenConfig(
+            groups=3, rounds=2, concurrency=3, population=30, seed=5
+        )
+        result = run_loadgen(config)
+        assert result.rounds_completed == 6
+        assert result.bytes_sent_total > 0
+        assert result.bytes_received_total > 0
+        assert result.bytes_per_round == pytest.approx(
+            (result.bytes_sent_total + result.bytes_received_total) / 6
+        )
+        round_entry = next(
+            t for t in result.record["timings"]
+            if t["name"] == "serve.loadgen.round"
+        )
+        assert round_entry["bytes_sent_total"] == result.bytes_sent_total
+        assert round_entry["bytes_received_total"] == result.bytes_received_total
+        assert round_entry["bytes_per_round"] == pytest.approx(
+            result.bytes_per_round
+        )
+
+    def test_traced_campaign_roots_one_span_per_round(self):
+        from repro.obs.tracing import Tracer, span_tree_digest
+
+        def campaign():
+            tracer = Tracer("loadgen")
+            run_loadgen(
+                LoadgenConfig(
+                    groups=3, rounds=2, concurrency=3, population=30, seed=5
+                ),
+                tracer=tracer,
+            )
+            return tracer.spans
+
+        spans = campaign()
+        assert len(spans) == 6
+        assert {s.name for s in spans} == {"reader.round"}
+        # Same seeded campaign, same causal digest — across runs.
+        assert span_tree_digest(spans) == span_tree_digest(campaign())

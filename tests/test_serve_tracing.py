@@ -1,0 +1,160 @@
+"""End-to-end tracing and SLO tests over the serve loopback."""
+
+import asyncio
+import itertools
+
+from repro.obs import ObsContext
+from repro.obs.tracing import Tracer, merge_spans, span_tree_digest
+from repro.rfid.channel import SlottedChannel
+from repro.serve import (
+    MonitoringService,
+    ReaderClient,
+    SessionConfig,
+    protocol,
+)
+from repro.shard.telemetry import slo_summary
+
+POP = 40
+SEED = 7
+
+
+def _service(tracer=None, obs=None, session_config=None) -> MonitoringService:
+    svc = MonitoringService(
+        session_config=session_config, obs=obs, tracer=tracer
+    )
+    svc.create_group("g0", POP, 2, 0.9, seed=SEED, counter_tags=True)
+    return svc
+
+
+def _channel() -> SlottedChannel:
+    population = MonitoringService.build_population_for(
+        POP, seed=SEED, counter_tags=True
+    )
+    return SlottedChannel(population.tags)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _traced_rounds(rounds=3):
+    server_tracer = Tracer("server")
+    reader_tracer = Tracer("reader")
+    async with _service(tracer=server_tracer) as svc:
+        async with ReaderClient(
+            "127.0.0.1", svc.port, _channel(), tracer=reader_tracer
+        ) as client:
+            for _ in range(rounds):
+                await client.run_round("g0", "trp")
+    return reader_tracer, server_tracer
+
+
+class TestPropagation:
+    def test_rounds_stitch_across_the_wire(self):
+        reader_tracer, server_tracer = run(_traced_rounds(rounds=2))
+        spans = merge_spans(reader_tracer.spans, server_tracer.spans)
+        assert len(spans) == 4  # 2 rounds x (reader.round + serve.round)
+        by_trace = {}
+        for span in spans:
+            by_trace.setdefault(span.trace_id, []).append(span)
+        for members in by_trace.values():
+            root, child = members
+            assert (root.name, child.name) == ("reader.round", "serve.round")
+            assert (root.hop, child.hop) == (0, 1)
+            assert child.parent_id == root.span_id
+            assert child.fields["verdict"] == root.fields["verdict"]
+
+    def test_digest_is_stable_across_runs(self):
+        first = run(_traced_rounds())
+        second = run(_traced_rounds())
+        assert span_tree_digest(
+            merge_spans(first[0].spans, first[1].spans)
+        ) == span_tree_digest(merge_spans(second[0].spans, second[1].spans))
+
+    def test_untraced_client_against_traced_server(self):
+        """Strict backward compatibility: a v1 client that never heard
+        of the trace envelope gets zero protocol errors and the traced
+        server records zero spans for it."""
+        server_tracer = Tracer("server")
+
+        async def scenario():
+            async with _service(tracer=server_tracer) as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    return await client.run_round("g0", "trp")
+
+        outcome = run(scenario())
+        assert outcome.verdict == "intact"
+        assert len(server_tracer) == 0
+
+    def test_reseed_frame_without_tracer_has_no_trace_field(self):
+        frame = protocol.reseed("g0", "trp")
+        assert "trace" not in frame.payload
+        # And with_trace(None) must be the identity on the wire.
+        assert protocol.with_trace(frame, None).payload == frame.payload
+
+    def test_traced_and_untraced_verdicts_agree(self):
+        async def scenario(tracer):
+            async with _service(tracer=tracer) as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel(),
+                    tracer=Tracer("reader") if tracer else None,
+                ) as client:
+                    return [
+                        (o.verdict, o.frame_size, o.mismatched_slots)
+                        for o in [
+                            await client.run_round("g0", "trp")
+                            for _ in range(3)
+                        ]
+                    ]
+
+        assert run(scenario(Tracer("server"))) == run(scenario(None))
+
+
+class TestSloAccounting:
+    def test_late_round_is_exactly_one_rejection(self):
+        """An injected clock makes one UTRP round overshoot its timer:
+        the Theorem-5 path must fire exactly once, and /slo's budget
+        split must agree with the late-rejection counter."""
+        ticks = itertools.chain([0.0, 1.0], itertools.repeat(2.0))
+        obs = ObsContext()
+        config = SessionConfig(
+            wall_us_per_s=1.0e6,
+            reply_timeout_s=30.0,
+            clock=lambda: next(ticks),
+        )
+
+        async def scenario():
+            async with _service(obs=obs, session_config=config) as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    return await client.run_round("g0", "utrp")
+
+        outcome = run(scenario())
+        assert outcome.verdict == "rejected-late"
+        assert outcome.alarm is True
+
+        doc = slo_summary(obs.registry)
+        assert doc["late_rejections_total"] == 1
+        assert doc["deadline_budget"]["over_budget"] == 1
+        assert doc["deadline_budget"]["within_budget"] == 0
+        assert doc["verdicts_total"] == 1
+
+    def test_latency_histogram_observes_air_time(self):
+        """TRP verification carries elapsed 0; the SLO histogram must
+        still see the reader-reported (seed-derived) air time."""
+        obs = ObsContext()
+
+        async def scenario():
+            async with _service(obs=obs) as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    await client.run_round("g0", "trp")
+
+        run(scenario())
+        doc = slo_summary(obs.registry)
+        assert doc["round_latency_us"]["count"] == 1
+        assert doc["round_latency_us"]["sum"] > 0.0

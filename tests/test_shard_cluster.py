@@ -230,3 +230,59 @@ class TestGatewayEquivalence:
             "shard_sessions_total",
         ):
             assert metric in text, metric
+
+
+class TestDistributedObservability:
+    """Tentpole acceptance: trace digests invariant across sharding,
+    and a live /metrics scrape that accounts for every verdict."""
+
+    def _drill(self, workers, kill_fraction=0.25):
+        from repro.shard import run_drill
+
+        config = ShardConfig(
+            workers=workers, groups=4, population=POP, tolerance=2, seed=SEED
+        )
+        return run_drill(config, rounds=2, kill_fraction=kill_fraction)
+
+    def test_kill_drill_scrape_is_exact(self):
+        result = self._drill(workers=3)
+        assert result.ok, result.mismatches
+        assert result.lost_verdicts == 0
+        assert result.scraped_verdicts == result.verdicts_completed == 8
+        assert result.health_status == 503  # a worker is down, and /healthz says so
+        assert result.slo_late_rejections == 0
+        assert result.trace_spans == 3 * result.verdicts_completed
+
+    def test_trace_digest_invariant_across_worker_counts_and_kills(self):
+        digests = {
+            workers: self._drill(workers).trace_digest
+            for workers in (2, 3)
+        }
+        assert len(set(digests.values())) == 1, digests
+
+        # And equal to the no-kill single-worker trace of the same
+        # seeded scenario, assembled without run_drill's killer.
+        from repro.fleet.remote import drive_remote_campaign_async
+        from repro.obs.tracing import Tracer, merge_spans, span_tree_digest
+        from repro.shard import ShardCluster
+
+        async def unkilled():
+            config = ShardConfig(
+                workers=1, groups=4, population=POP, tolerance=2, seed=SEED,
+                counter_tags=False,
+            )
+            reader_tracer = Tracer("reader")
+            gateway_tracer = Tracer("gateway")
+            async with ShardCluster(config, tracer=gateway_tracer) as cluster:
+                await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, 4, 2),
+                    tracer=reader_tracer,
+                )
+                worker_spans = cluster.worker_spans()
+            return span_tree_digest(
+                merge_spans(
+                    reader_tracer.spans, gateway_tracer.spans, worker_spans
+                )
+            )
+
+        assert asyncio.run(unkilled()) == digests[2]

@@ -1,0 +1,247 @@
+"""Tests for repro.shard.telemetry and the cluster metrics plumbing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.agg import (
+    parse_prometheus_text,
+    snapshot_registry,
+    sum_family,
+)
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.serve.server import BUDGET_BUCKETS, register_serve_metrics
+from repro.shard import ShardConfig, write_snapshot
+from repro.shard.failover import initial_snapshot
+from repro.shard.telemetry import TelemetryServer, http_get, slo_summary
+from repro.shard.worker import WorkerSupervisor
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _serving_registry(latencies=(100.0, 150.0, 400.0), ratios=(0.4, 0.8, 1.6)):
+    registry = MetricsRegistry()
+    register_serve_metrics(registry)
+    verdicts = registry.counter(
+        "serve_verdicts_total", "round verdicts by group and outcome",
+        ("group", "verdict"),
+    )
+    for i, latency in enumerate(latencies):
+        verdicts.labels(group=f"g{i}", verdict="intact").inc()
+        registry.histogram(
+            "serve_round_latency_us",
+            "round latency in simulated microseconds",
+            buckets=DEFAULT_BUCKETS,
+            keep_samples=False,
+        ).observe(latency)
+    for ratio in ratios:
+        registry.histogram(
+            "serve_deadline_budget_ratio",
+            "fraction of the UTRP timer budget one round consumed",
+            buckets=BUDGET_BUCKETS,
+            keep_samples=False,
+        ).observe(ratio)
+        if ratio > 1.0:
+            registry.counter(
+                "serve_late_rejections_total",
+                "UTRP rounds rejected late (Theorem 5 path)",
+            ).inc()
+    return registry
+
+
+class TestSloSummary:
+    def test_budget_split_at_the_theorem5_cliff(self):
+        doc = slo_summary(_serving_registry())
+        assert doc["deadline_budget"]["within_budget"] == 2
+        assert doc["deadline_budget"]["over_budget"] == 1
+        assert doc["late_rejections_total"] == 1
+        assert doc["deadline_budget"]["over_budget"] == doc[
+            "late_rejections_total"
+        ]
+        assert doc["verdicts_total"] == 3
+
+    def test_quantiles_are_bucket_interpolated(self):
+        doc = slo_summary(_serving_registry())
+        latency = doc["round_latency_us"]
+        assert latency["count"] == 3
+        assert 0.0 < latency["p50"] <= latency["p99"]
+
+    def test_empty_registry_reports_zeroes(self):
+        doc = slo_summary(MetricsRegistry())
+        assert doc["verdicts_total"] == 0
+        assert doc["round_latency_us"] == {
+            "count": 0, "sum": 0.0, "p50": 0.0, "p99": 0.0,
+        }
+
+
+class _FakeSupervisor:
+    """Just enough supervisor surface for TelemetryServer."""
+
+    def __init__(self, registry, health):
+        self._registry = registry
+        self._health = health
+
+    def cluster_registry(self):
+        return self._registry
+
+    def health(self):
+        return self._health
+
+
+def _fake(all_alive=True):
+    health = {
+        "w00": {"alive": True, "pid": 1, "sessions": 0},
+        "w01": {"alive": all_alive, "pid": 2, "sessions": 0},
+    }
+    return _FakeSupervisor(_serving_registry(), health)
+
+
+class TestEndpoints:
+    def test_metrics_is_prometheus_text(self):
+        async def scenario():
+            async with TelemetryServer(_fake()) as server:
+                return await http_get("127.0.0.1", server.port, "/metrics")
+
+        status, body = run(scenario())
+        assert status == 200
+        samples = parse_prometheus_text(body)
+        assert sum_family(samples, "serve_verdicts_total") == 3.0
+
+    def test_healthz_flips_to_503_when_a_worker_is_down(self):
+        async def scenario(all_alive):
+            async with TelemetryServer(_fake(all_alive)) as server:
+                return await http_get("127.0.0.1", server.port, "/healthz")
+
+        status, body = run(scenario(True))
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+        status, body = run(scenario(False))
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["status"] == "degraded"
+        assert doc["down"] == ["w01"]
+
+    def test_slo_endpoint_matches_slo_summary(self):
+        supervisor = _fake()
+
+        async def scenario():
+            async with TelemetryServer(supervisor) as server:
+                return await http_get("127.0.0.1", server.port, "/slo")
+
+        status, body = run(scenario())
+        assert status == 200
+        assert json.loads(body) == json.loads(
+            json.dumps(slo_summary(supervisor.cluster_registry()))
+        )
+
+    def test_unknown_path_404_and_non_get_405(self):
+        async def scenario():
+            async with TelemetryServer(_fake()) as server:
+                missing = await http_get("127.0.0.1", server.port, "/nope")
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return missing, raw
+
+        (status, _), raw = run(scenario())
+        assert status == 404
+        assert raw.startswith(b"HTTP/1.0 405")
+
+
+def _metrics_doc(source, seq, verdicts_by_group):
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "serve_verdicts_total", "round verdicts by group and outcome",
+        ("group", "verdict"),
+    )
+    for group, n in verdicts_by_group.items():
+        counter.labels(group=group, verdict="intact").inc(n)
+    return snapshot_registry(registry, seq=seq, source=source)
+
+
+class TestSupervisorSnapshotHarvest:
+    """worker_metric_snapshots over heartbeats + embedded snapshot docs."""
+
+    def _supervisor(self, tmp_path, workers=2, groups=2):
+        config = ShardConfig(
+            workers=workers, groups=groups, population=20, tolerance=2, seed=3
+        )
+        return WorkerSupervisor(config, state_dir=str(tmp_path))
+
+    def _write_group_snapshot(self, supervisor, group, metrics_by_source):
+        spec = supervisor._specs[group]
+        doc = initial_snapshot(spec)
+        doc["metrics"] = metrics_by_source
+        write_snapshot(supervisor.state_dir, doc)
+
+    def test_max_seq_wins_never_sums(self, tmp_path):
+        supervisor = self._supervisor(tmp_path)
+        stale = _metrics_doc("w00", seq=3, verdicts_by_group={"g": 2})
+        fresh = _metrics_doc("w00", seq=7, verdicts_by_group={"g": 5})
+        names = sorted(supervisor._specs)
+        self._write_group_snapshot(supervisor, names[0], {"w00": stale})
+        self._write_group_snapshot(supervisor, names[1], {"w00": fresh})
+
+        docs = supervisor.worker_metric_snapshots()
+        assert [d["seq"] for d in docs] == [7]
+        samples = parse_prometheus_text(
+            prometheus_text(supervisor.cluster_registry())
+        )
+        # 5, not 2+5: snapshots are states, not increments.
+        assert sum_family(samples, "serve_verdicts_total") == 5.0
+
+    def test_inherited_docs_survive_their_dead_source(self, tmp_path):
+        """A failover chain: w01's snapshot write carries the dead
+        w00's registry copy; the supervisor still counts both."""
+        supervisor = self._supervisor(tmp_path)
+        name = sorted(supervisor._specs)[0]
+        self._write_group_snapshot(
+            supervisor,
+            name,
+            {
+                "w00": _metrics_doc("w00", seq=9, verdicts_by_group={"a": 4}),
+                "w01": _metrics_doc("w01", seq=2, verdicts_by_group={"b": 3}),
+            },
+        )
+        docs = supervisor.worker_metric_snapshots()
+        assert [d["source"] for d in docs] == ["w00", "w01"]
+        samples = parse_prometheus_text(
+            prometheus_text(supervisor.cluster_registry())
+        )
+        assert sum_family(samples, "serve_verdicts_total") == 7.0
+
+    def test_heartbeat_and_embedded_candidates_compete_per_source(
+        self, tmp_path
+    ):
+        supervisor = self._supervisor(tmp_path)
+        name = sorted(supervisor._specs)[0]
+        self._write_group_snapshot(
+            supervisor,
+            name,
+            {"w00": _metrics_doc("w00", seq=5, verdicts_by_group={"a": 9})},
+        )
+
+        class _Handle:
+            metrics = _metrics_doc("w00", seq=4, verdicts_by_group={"a": 6})
+
+        supervisor.handles["w00"] = _Handle()
+        docs = supervisor.worker_metric_snapshots()
+        assert [d["seq"] for d in docs] == [5]  # embedded doc is fresher
+
+    def test_unreadable_snapshot_files_are_tolerated(self, tmp_path):
+        supervisor = self._supervisor(tmp_path)
+        name = sorted(supervisor._specs)[0]
+        from repro.shard.failover import snapshot_path
+
+        with open(snapshot_path(supervisor.state_dir, name), "w") as fh:
+            fh.write("{torn")
+        assert supervisor.worker_metric_snapshots() == []
