@@ -208,6 +208,80 @@ def test_bench_trp_false_alarm_trials_1k_batched(benchmark):
 
 
 # ---------------------------------------------------------------------------
+# wire codecs: the v1 ASCII bitstring path vs the v2 packed-byte path
+# (the serve wire gate's CPU side — benchmarks/check_serve_wire.py
+# gates the resulting bytes/throughput at the loadgen level)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bitstring_10k():
+    arr = (np.random.default_rng(4).random(10_000) < 0.5).astype(np.uint8)
+    return (arr + np.uint8(ord("0"))).tobytes().decode("ascii")
+
+
+def test_bench_wire_v1_bits_to_array_10k(benchmark, bitstring_10k):
+    from repro.serve.protocol import bits_to_array
+
+    benchmark(bits_to_array, bitstring_10k)
+
+
+def test_bench_wire_v1_array_to_bits_10k(benchmark, bitstring_10k):
+    from repro.serve.protocol import array_to_bits, bits_to_array
+
+    arr = bits_to_array(bitstring_10k)
+    benchmark(array_to_bits, arr)
+
+
+def test_bench_wire_v2_pack_bits_10k(benchmark, bitstring_10k):
+    from repro.serve.protocol import pack_bits
+
+    benchmark(pack_bits, bitstring_10k)
+
+
+def test_bench_wire_v2_unpack_bits_10k(benchmark, bitstring_10k):
+    from repro.serve.protocol import pack_bits, unpack_bits
+
+    packed = pack_bits(bitstring_10k)
+    benchmark(unpack_bits, packed, len(bitstring_10k))
+
+
+def test_bench_wire_v1_encode_bitstring_10k(benchmark, bitstring_10k):
+    from repro.serve.protocol import Frame
+    from repro.serve.wire import WireV1
+
+    frame = Frame(
+        "BITSTRING",
+        {
+            "group": "bench",
+            "round": 0,
+            "bits": bitstring_10k,
+            "elapsed_us": 1234.5,
+            "seeds_used": 1,
+        },
+    )
+    benchmark(WireV1.encode, frame)
+
+
+def test_bench_wire_v2_encode_bitstring_10k(benchmark, bitstring_10k):
+    from repro.serve.protocol import Frame
+    from repro.serve.wire import WireV2
+
+    frame = Frame(
+        "BITSTRING",
+        {
+            "group": "bench",
+            "round": 0,
+            "bits": bitstring_10k,
+            "elapsed_us": 1234.5,
+            "seeds_used": 1,
+            "seq": 7,
+        },
+    )
+    benchmark(WireV2.encode, frame)
+
+
+# ---------------------------------------------------------------------------
 # plan-cache warm lookups (cold solves are test_bench_eq2_frame_sizing
 # and the multi-second Eq. 3 search)
 # ---------------------------------------------------------------------------

@@ -221,6 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="field counter-mode populations in remote campaigns "
         "(default: only for utrp)",
     )
+    fleet.add_argument(
+        "--wire-version", choices=("v1", "v2"), default="v1",
+        help="remote campaigns: framing to offer at connection open "
+        "(v2 negotiates the binary framing, falling back to v1; "
+        "default v1)",
+    )
+    fleet.add_argument(
+        "--pipeline-depth", type=int, default=1, metavar="D",
+        help="remote campaigns: overlapped rounds per session "
+        "(> 1 requires --wire-version v2; default 1)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -435,6 +446,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every round (reader.round root spans, contexts "
         "propagated on the wire) and write the span JSONL here",
     )
+    loadgen.add_argument(
+        "--wire-version", choices=("v1", "v2"), default="v1",
+        help="framing each session offers at connection open (v2 "
+        "negotiates the binary framing, falling back to v1 against "
+        "old servers; default v1)",
+    )
+    loadgen.add_argument(
+        "--pipeline-depth", type=int, default=1, metavar="D",
+        help="overlapped rounds per session (> 1 requires "
+        "--wire-version v2; default 1)",
+    )
 
     shard = sub.add_parser(
         "shard",
@@ -530,6 +552,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-port", type=int, default=0, metavar="P",
         help="drill: port for the live /metrics, /healthz and /slo "
         "endpoints (0 = ephemeral; default 0)",
+    )
+    shard.add_argument(
+        "--wire-version", choices=("v1", "v2"), default="v1",
+        help="drill: framing the readers offer the gateway (the "
+        "gateway<->worker hop negotiates on its own; default v1)",
+    )
+    shard.add_argument(
+        "--pipeline-depth", type=int, default=1, metavar="D",
+        help="drill: overlapped rounds per reader session "
+        "(> 1 requires --wire-version v2; default 1)",
     )
 
     obs = sub.add_parser(
@@ -673,6 +705,8 @@ def _run_fleet_remote(args: argparse.Namespace) -> str:
         seed=args.seed if args.seed is not None else DEFAULT_SEED,
         counter_tags=True if args.counter_tags else None,
         jobs=args.jobs,
+        wire_version=_wire_version(args),
+        pipeline_depth=args.pipeline_depth,
     )
     return format_remote_campaign(drive_remote_campaign(config))
 
@@ -890,6 +924,11 @@ def _parse_endpoint(value: str) -> tuple:
         raise SystemExit(f"--endpoint port must be an integer, got {value!r}")
 
 
+def _wire_version(args: argparse.Namespace) -> int:
+    """``--wire-version v1|v2`` to the protocol's integer version."""
+    return int(args.wire_version.lstrip("v"))
+
+
 def _run_loadgen(args: argparse.Namespace) -> str:
     from .experiments.grid import DEFAULT_SEED
     from .obs.bench import write_bench_record
@@ -923,6 +962,8 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         # by default) keep the protocol-tracking default.
         counter_tags=True if args.connect_host is not None else None,
         reader=args.reader,
+        wire_version=_wire_version(args),
+        pipeline_depth=args.pipeline_depth,
     )
     tracer = None
     if args.trace_out is not None:
@@ -1004,6 +1045,8 @@ def _run_shard(args: argparse.Namespace) -> int:
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
             telemetry_port=args.telemetry_port,
+            wire_version=_wire_version(args),
+            pipeline_depth=args.pipeline_depth,
         )
         print(format_drill_result(result))
         if args.trace_out is not None:

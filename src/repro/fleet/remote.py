@@ -57,6 +57,12 @@ class RemoteCampaignConfig:
         jobs: fleet-style parallelism knob; ``None`` defers to
             ``concurrency``, otherwise :func:`~repro.fleet.executor.
             resolve_jobs` decides (0 = one per CPU).
+        wire_version: highest framing each session offers at connection
+            open (1 = JSON only, no HELLO; 2 = negotiate the binary
+            framing, falling back to v1 against old servers).
+        pipeline_depth: client-side round overlap per session; > 1
+            requires ``wire_version`` 2 and degrades to sequential on
+            connections that negotiated down to v1.
 
     Raises:
         ValueError: on non-positive shape values or a bad protocol.
@@ -75,6 +81,8 @@ class RemoteCampaignConfig:
     group_prefix: str = "group"
     concurrency: int = 8
     jobs: Optional[int] = None
+    wire_version: int = 1
+    pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         for name in ("groups", "rounds", "population", "concurrency"):
@@ -84,6 +92,14 @@ class RemoteCampaignConfig:
             raise ValueError("protocol must be 'trp' or 'utrp'")
         if self.port < 1 or self.port > 65535:
             raise ValueError(f"port must be in [1, 65535], got {self.port}")
+        if self.wire_version not in (1, 2):
+            raise ValueError(
+                f"wire_version must be 1 or 2, got {self.wire_version!r}"
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.pipeline_depth > 1 and self.wire_version < 2:
+            raise ValueError("pipeline_depth > 1 requires wire_version 2")
 
     @property
     def effective_counter_tags(self) -> bool:
@@ -166,26 +182,41 @@ async def drive_remote_campaign_async(
             counter_tags=config.effective_counter_tags,
         )
         channel = SlottedChannel(population.tags)
+        def record_outcome(outcome) -> None:
+            record = RemoteRound(
+                group=name,
+                round_index=outcome.round_index,
+                verdict=outcome.verdict,
+                alarm=outcome.alarm,
+                frame_size=outcome.frame_size,
+                mismatched_slots=outcome.mismatched_slots,
+                elapsed_us=outcome.elapsed_us,
+            )
+            per_group[name].append(record)
+            if on_round is not None:
+                on_round(record)
+
         async with gate:
             try:
                 client = ReaderClient(
-                    config.host, config.port, channel, tracer=tracer
+                    config.host,
+                    config.port,
+                    channel,
+                    tracer=tracer,
+                    wire_version=config.wire_version,
+                    pipeline_depth=config.pipeline_depth,
                 )
                 async with client:
-                    for _ in range(config.rounds):
-                        outcome = await client.run_round(name, config.protocol)
-                        record = RemoteRound(
-                            group=name,
-                            round_index=outcome.round_index,
-                            verdict=outcome.verdict,
-                            alarm=outcome.alarm,
-                            frame_size=outcome.frame_size,
-                            mismatched_slots=outcome.mismatched_slots,
-                            elapsed_us=outcome.elapsed_us,
-                        )
-                        per_group[name].append(record)
-                        if on_round is not None:
-                            on_round(record)
+                    if config.pipeline_depth > 1:
+                        for outcome in await client.run_rounds(
+                            name, config.rounds, config.protocol
+                        ):
+                            record_outcome(outcome)
+                    else:
+                        for _ in range(config.rounds):
+                            record_outcome(
+                                await client.run_round(name, config.protocol)
+                            )
             except (ProtocolError, ConnectionError, OSError) as exc:
                 errors.append(f"group {name}: {exc}")
 

@@ -14,7 +14,10 @@ bitstrings and verdicts.
 Layout:
 
 * :mod:`~repro.serve.protocol` — the ``repro.serve/v1`` length-prefixed
-  JSON wire format (CHALLENGE / BITSTRING / RESEED / VERDICT / ERROR);
+  JSON wire format (CHALLENGE / BITSTRING / RESEED / VERDICT / ERROR)
+  plus the HELLO wire-version negotiation;
+* :mod:`~repro.serve.wire` — the negotiated binary v2 framing (struct
+  headers, packed bitstrings, header-borne sequence numbers);
 * :mod:`~repro.serve.session` — per-connection state machine, timer
   enforcement, per-session degradation;
 * :mod:`~repro.serve.server` — the asyncio service: group hosting,
@@ -37,12 +40,14 @@ from .protocol import (
     Frame,
     MAX_FRAME_BYTES,
     PROTOCOL_SCHEMA,
+    SUPPORTED_WIRE_VERSIONS,
     ProtocolError,
     decode_frame,
     encode_frame,
 )
 from .server import HostedGroup, MonitoringService
 from .session import ServeSession, SessionConfig, SessionStats
+from .wire import WireV1, WireV2, codec_for
 
 __all__ = [
     "Frame",
@@ -57,9 +62,13 @@ __all__ = [
     "ProtocolError",
     "ReaderClient",
     "RoundOutcome",
+    "SUPPORTED_WIRE_VERSIONS",
     "ServeSession",
     "SessionConfig",
     "SessionStats",
+    "WireV1",
+    "WireV2",
+    "codec_for",
     "decode_frame",
     "encode_frame",
     "format_loadgen_result",

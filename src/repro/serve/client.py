@@ -18,19 +18,34 @@ Two knobs exist purely to exercise the server's defences:
   FrameFaultInjector`; dropped BITSTRING frames leave the server
   waiting into its deadline, delayed ones add wire latency on top of
   the scan.
+
+Two more select the transport:
+
+* ``wire_version`` — 1 (default) keeps the JSON framing; 2 opens with
+  a HELLO offer and switches to the binary v2 framing when the server
+  agrees, falling back to v1 — on the same connection after a
+  recoverable refusal, or on a fresh one when the peer predates HELLO
+  and hangs up;
+* ``pipeline_depth`` — with v2 negotiated, :meth:`run_rounds` issues
+  the next RESEED while the previous VERDICT is still in flight.
+  Per-round session sequence numbers (echoed by the server, verified
+  here) pin the reply order, so verdict/seed/bitstring sequences stay
+  bit-for-bit identical to the sequential path. Depth degrades to 1
+  whenever the connection ends up on v1.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..obs.tracing import SpanContext, derive_span_id, trace_id_for
 from ..rfid.channel import SlottedChannel
 from ..rfid.reader import TrustedReader
 from ..rfid.timing import LinkTiming, UNIT_SLOTS
-from . import protocol
+from . import protocol, wire
 from .protocol import Frame, ProtocolError
 
 __all__ = ["RoundOutcome", "ReaderClient"]
@@ -52,7 +67,14 @@ class RoundOutcome:
         mismatched_slots: server-counted disagreeing slots.
         bytes_sent / bytes_received: wire bytes this round moved in
             each direction, length prefixes included — the
-            bytes-per-round measurement the wire-v2 work needs.
+            bytes-per-round measurement the wire-v2 work needs. Under
+            pipelining, bytes are attributed at round completion, so
+            per-round figures can shift between overlapping rounds
+            while the totals stay exact.
+        wall_s: wall-clock seconds from this round's RESEED to its
+            VERDICT. Under pipelining rounds overlap, so summing
+            ``wall_s`` overstates the campaign's wall time — the load
+            generator times overlapped campaigns from outside instead.
     """
 
     group: str
@@ -64,10 +86,40 @@ class RoundOutcome:
     mismatched_slots: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    wall_s: float = 0.0
+
+
+class _RoundState:
+    """Client-local context for one in-flight round."""
+
+    __slots__ = (
+        "group",
+        "proto",
+        "seq",
+        "trace_ctx",
+        "trace_round",
+        "sent_before",
+        "received_before",
+        "started",
+        "frame_size",
+        "elapsed_us",
+    )
+
+    def __init__(self, group: str, proto: str):
+        self.group = group
+        self.proto = proto
+        self.seq: Optional[int] = None
+        self.trace_ctx: Optional[SpanContext] = None
+        self.trace_round = 0
+        self.sent_before = 0
+        self.received_before = 0
+        self.started = 0.0
+        self.frame_size = 0
+        self.elapsed_us = 0.0
 
 
 class ReaderClient:
-    """One remote reader speaking ``repro.serve/v1``."""
+    """One remote reader speaking ``repro.serve`` (v1 or negotiated v2)."""
 
     def __init__(
         self,
@@ -80,6 +132,8 @@ class ReaderClient:
         fault_injector=None,
         tracer=None,
         trace_namespace: str = "",
+        wire_version: int = 1,
+        pipeline_depth: int = 1,
     ):
         """Args:
             host, port: where the service listens.
@@ -98,9 +152,26 @@ class ReaderClient:
                 other clients driving the *same* group (trace ids are
                 per-(namespace, group, round)); leave empty when one
                 client owns each group.
+            wire_version: highest wire framing to offer (1 = never send
+                HELLO, stay on JSON v1).
+            pipeline_depth: rounds :meth:`run_rounds` keeps in flight;
+                > 1 requires ``wire_version`` 2 (the seq numbers that
+                make pipelining safe only ride on the v2 header).
+
+        Raises:
+            ValueError: on a bad knob combination.
         """
         if extra_delay_us < 0:
             raise ValueError("extra_delay_us must be >= 0")
+        if wire_version not in protocol.SUPPORTED_WIRE_VERSIONS:
+            raise ValueError(
+                f"wire_version must be one of "
+                f"{protocol.SUPPORTED_WIRE_VERSIONS}, got {wire_version}"
+            )
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if pipeline_depth > 1 and wire_version < 2:
+            raise ValueError("pipeline_depth > 1 requires wire_version 2")
         self.host = host
         self.port = port
         self.channel = channel
@@ -110,8 +181,13 @@ class ReaderClient:
         self.fault_injector = fault_injector
         self.tracer = tracer
         self.trace_namespace = trace_namespace
+        self.wire_version = int(wire_version)
+        self.pipeline_depth = int(pipeline_depth)
+        self.negotiated_version = 1
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._codec = wire.WireV1
+        self._next_seq = 0
         self._round_counters: Dict[str, int] = {}
         self._stream: Optional[tuple] = None
 
@@ -122,6 +198,10 @@ class ReaderClient:
     async def connect(self) -> None:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         self._stream = (reader, writer)
+        self._codec = wire.WireV1
+        self.negotiated_version = 1
+        if self.wire_version >= 2:
+            await self._negotiate()
 
     async def close(self) -> None:
         if self._stream is not None:
@@ -140,8 +220,51 @@ class ReaderClient:
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
+    async def _negotiate(self) -> None:
+        """HELLO exchange; every failure mode lands safely on v1.
+
+        * offer dropped by the fault injector -> stay v1 (the server
+          never saw it, so it never switches either);
+        * server replies ERROR (v1-only build, disjoint versions) ->
+          stay v1 on the same connection;
+        * server predates HELLO entirely (typed ERROR then hang-up, or
+          immediate close) -> reconnect plain v1;
+        * server replies nonsense -> :class:`ProtocolError`.
+        """
+        offered = [
+            v for v in protocol.SUPPORTED_WIRE_VERSIONS if v <= self.wire_version
+        ]
+        if self.fault_injector is not None:
+            if self.fault_injector.on_frame("HELLO").dropped:
+                return
+        await self._send(protocol.hello_frame(offered))
+        try:
+            reply = await self._recv()
+        except (ConnectionError, ProtocolError):
+            reply = None
+        if reply is not None and reply.type == "HELLO":
+            versions = reply["versions"]
+            if len(versions) != 1 or versions[0] not in offered:
+                raise ProtocolError(
+                    "unsupported-version",
+                    f"server chose {versions} from our offer {offered}",
+                )
+            self._codec = wire.codec_for(versions[0])
+            self.negotiated_version = versions[0]
+            return
+        if reply is not None and reply.type != "ERROR":
+            raise ProtocolError(
+                "unexpected-frame", f"wanted HELLO or ERROR, got {reply.type}"
+            )
+        if reply is None:
+            # The peer hung up on our HELLO (a pre-negotiation build
+            # answers unknown-type and closes): start over, silently v1.
+            await self.close()
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            self._stream = (reader, writer)
+
     async def _send(self, frame: Frame) -> None:
-        data = protocol.encode_frame(frame)
+        data = self._codec.encode(frame)
         self._stream[1].write(data)
         await self._stream[1].drain()
         self.bytes_sent += len(data)
@@ -150,7 +273,7 @@ class ReaderClient:
         self.bytes_received += size
 
     async def _recv(self) -> Frame:
-        frame = await protocol.read_frame(
+        frame = await self._codec.read(
             self._stream[0], on_bytes=self._on_bytes
         )
         if frame is None:
@@ -169,10 +292,54 @@ class ReaderClient:
                 an out-of-protocol frame.
             ConnectionError: if the server hangs up mid-round.
         """
+        state = await self._start_round(group, proto)
+        outcome = await self._challenge_and_scan(state)
+        if outcome is not None:
+            return outcome
+        return await self._finish_round(state)
+
+    async def run_rounds(
+        self, group: str, rounds: int, proto: str = "trp"
+    ) -> List[RoundOutcome]:
+        """``rounds`` rounds on one group, pipelined when negotiated.
+
+        With ``pipeline_depth`` > 1 on a v2 connection, round ``k+1``'s
+        RESEED goes out before round ``k``'s VERDICT has been read; the
+        server's strict per-group alternation plus TCP ordering keep
+        the reply sequence deterministic, and the echoed seq numbers
+        prove it frame by frame. Rounds whose proof the fault injector
+        dropped never pipeline — the server's unprompted deadline
+        VERDICT must be consumed before the next RESEED may go out.
+        """
         if self._stream is None:
             await self.connect()
-        sent_before = self.bytes_sent
-        received_before = self.bytes_received
+        depth = self.pipeline_depth if self._codec.version >= 2 else 1
+        if depth <= 1 or rounds <= 1:
+            return [await self.run_round(group, proto) for _ in range(rounds)]
+        outcomes: List[RoundOutcome] = []
+        pending: Optional[_RoundState] = None
+        for _ in range(rounds):
+            state = await self._start_round(group, proto)
+            if pending is not None:
+                outcomes.append(await self._finish_round(pending))
+                pending = None
+            outcome = await self._challenge_and_scan(state)
+            if outcome is not None:
+                outcomes.append(outcome)
+            else:
+                pending = state
+        if pending is not None:
+            outcomes.append(await self._finish_round(pending))
+        return outcomes
+
+    async def _start_round(self, group: str, proto: str) -> _RoundState:
+        """Open one round: allocate its identity and send the RESEED."""
+        if self._stream is None:
+            await self.connect()
+        state = _RoundState(group, proto)
+        state.sent_before = self.bytes_sent
+        state.received_before = self.bytes_received
+        state.started = time.perf_counter()
 
         # Trace identity is client-local and deterministic: the n-th
         # round this client runs against `group` is the same trace on
@@ -180,21 +347,46 @@ class ReaderClient:
         # serves it. The root span is recorded once the round ends, but
         # its id is a pure function of the trace, so the envelope can
         # name it up front.
-        trace_ctx = None
         if self.tracer is not None:
             n = self._round_counters.get(group, 0)
             self._round_counters[group] = n + 1
             tid = trace_id_for(group, n, namespace=self.trace_namespace)
-            trace_ctx = SpanContext(
+            state.trace_ctx = SpanContext(
                 tid, derive_span_id(tid, "reader.round", ""), hop=1
             )
+            state.trace_round = n
+        if self._codec.version >= 2:
+            state.seq = self._next_seq
+            self._next_seq += 1
 
         await self._send(
-            protocol.with_trace(
-                protocol.reseed(group, proto),
-                trace_ctx.to_wire() if trace_ctx else None,
+            protocol.with_seq(
+                protocol.with_trace(
+                    protocol.reseed(group, proto),
+                    state.trace_ctx.to_wire() if state.trace_ctx else None,
+                ),
+                state.seq,
             )
         )
+        return state
+
+    def _check_seq(self, state: _RoundState, frame: Frame) -> None:
+        """A v2 reply must echo the seq of the request it answers."""
+        if state.seq is None:
+            return
+        if frame.get("seq") != state.seq:
+            raise ProtocolError(
+                "seq-mismatch",
+                f"{frame.type} for {state.group!r} carries seq "
+                f"{frame.get('seq')}, expected {state.seq}",
+            )
+
+    async def _challenge_and_scan(
+        self, state: _RoundState
+    ) -> Optional[RoundOutcome]:
+        """CHALLENGE -> scan -> BITSTRING; the dropped-proof path ends
+        the round here (returning its outcome), otherwise ``None`` and
+        the VERDICT is left for :meth:`_finish_round`."""
         challenge = await self._recv()
         if challenge.type == "ERROR":
             raise ProtocolError(challenge["code"], challenge["detail"])
@@ -202,9 +394,11 @@ class ReaderClient:
             raise ProtocolError(
                 "unexpected-frame", f"wanted CHALLENGE, got {challenge.type}"
             )
+        self._check_seq(state, challenge)
 
         frame_size = challenge["frame_size"]
         seeds = challenge["seeds"]
+        state.frame_size = frame_size
         air_before = self.timing.session_us(self.channel.stats)
         if challenge["protocol"] == "utrp":
             scan = self.reader.scan_utrp(self.channel, frame_size, seeds)
@@ -227,30 +421,40 @@ class ReaderClient:
                         "unexpected-frame",
                         f"wanted deadline VERDICT, got {verdict.type}",
                     )
+                self._check_seq(state, verdict)
                 outcome = RoundOutcome(
-                    group=group,
+                    group=state.group,
                     round_index=verdict["round"],
                     verdict=verdict["verdict"],
                     alarm=verdict["alarm"],
                     frame_size=frame_size,
                     elapsed_us=0.0,
                     mismatched_slots=verdict["mismatched_slots"],
-                    bytes_sent=self.bytes_sent - sent_before,
-                    bytes_received=self.bytes_received - received_before,
+                    bytes_sent=self.bytes_sent - state.sent_before,
+                    bytes_received=self.bytes_received - state.received_before,
+                    wall_s=time.perf_counter() - state.started,
                 )
-                self._finish_round_span(trace_ctx, group, proto, outcome)
+                self._finish_round_span(state, outcome)
                 return outcome
             elapsed_us += action.delay_us
 
+        state.elapsed_us = elapsed_us
         await self._send(
-            protocol.bitstring_frame(
-                group,
-                challenge["round"],
-                scan.bitstring,
-                elapsed_us,
-                scan.seeds_used,
+            protocol.with_seq(
+                protocol.bitstring_frame(
+                    state.group,
+                    challenge["round"],
+                    scan.bitstring,
+                    elapsed_us,
+                    scan.seeds_used,
+                ),
+                state.seq,
             )
         )
+        return None
+
+    async def _finish_round(self, state: _RoundState) -> RoundOutcome:
+        """Consume one VERDICT and close out ``state``'s round."""
         verdict = await self._recv()
         if verdict.type == "ERROR":
             raise ProtocolError(verdict["code"], verdict["detail"])
@@ -258,22 +462,24 @@ class ReaderClient:
             raise ProtocolError(
                 "unexpected-frame", f"wanted VERDICT, got {verdict.type}"
             )
+        self._check_seq(state, verdict)
         outcome = RoundOutcome(
-            group=group,
+            group=state.group,
             round_index=verdict["round"],
             verdict=verdict["verdict"],
             alarm=verdict["alarm"],
             frame_size=verdict["frame_size"],
-            elapsed_us=elapsed_us,
+            elapsed_us=state.elapsed_us,
             mismatched_slots=verdict["mismatched_slots"],
-            bytes_sent=self.bytes_sent - sent_before,
-            bytes_received=self.bytes_received - received_before,
+            bytes_sent=self.bytes_sent - state.sent_before,
+            bytes_received=self.bytes_received - state.received_before,
+            wall_s=time.perf_counter() - state.started,
         )
-        self._finish_round_span(trace_ctx, group, proto, outcome)
+        self._finish_round_span(state, outcome)
         return outcome
 
     def _finish_round_span(
-        self, trace_ctx, group: str, proto: str, outcome: RoundOutcome
+        self, state: _RoundState, outcome: RoundOutcome
     ) -> None:
         """Record the round's root span (when tracing is on).
 
@@ -281,17 +487,17 @@ class ReaderClient:
         in ``host_fields`` so a wire-framing change never perturbs the
         causal digest.
         """
-        if trace_ctx is None:
+        if state.trace_ctx is None:
             return
         self.tracer.span(
             "reader.round",
-            group,
+            state.group,
             # The local round counter fed the trace id; using it here
             # keeps the span self-consistent even if the server's
             # round numbering drifts from ours (shared groups).
-            self._round_counters[group] - 1,
-            trace_id=trace_ctx.trace_id,
-            proto=proto,
+            state.trace_round,
+            trace_id=state.trace_ctx.trace_id,
+            proto=state.proto,
             verdict=outcome.verdict,
             frame_size=int(outcome.frame_size),
             host_fields={
@@ -299,9 +505,3 @@ class ReaderClient:
                 "bytes_received": outcome.bytes_received,
             },
         )
-
-    async def run_rounds(
-        self, group: str, rounds: int, proto: str = "trp"
-    ) -> list:
-        """``rounds`` sequential rounds on one group."""
-        return [await self.run_round(group, proto) for _ in range(rounds)]

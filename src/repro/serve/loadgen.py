@@ -26,6 +26,7 @@ the mirror. UTRP load therefore pins one session per group.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -69,6 +70,11 @@ class LoadgenConfig:
             challenge with an all-zeros bitstring immediately — a
             benchmarking mode that makes the *server side* the measured
             work (the shard scaling bench uses it).
+        wire_version: wire framing the readers offer — 1 (default)
+            stays on JSON; 2 negotiates the binary framing.
+        pipeline_depth: rounds each session keeps in flight (> 1
+            requires ``wire_version`` 2; see
+            :meth:`~repro.serve.client.ReaderClient.run_rounds`).
 
     Raises:
         ValueError: on non-positive shape parameters or a UTRP session
@@ -88,6 +94,8 @@ class LoadgenConfig:
     group_prefix: str = "load"
     counter_tags: Optional[bool] = None
     reader: str = "honest"
+    wire_version: int = 1
+    pipeline_depth: int = 1
 
     def __post_init__(self) -> None:
         for name in ("groups", "rounds", "concurrency", "population"):
@@ -99,6 +107,12 @@ class LoadgenConfig:
             raise ValueError("protocol must be 'trp' or 'utrp'")
         if self.reader not in ("honest", "null"):
             raise ValueError("reader must be 'honest' or 'null'")
+        if self.wire_version not in (1, 2):
+            raise ValueError("wire_version must be 1 or 2")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.pipeline_depth > 1 and self.wire_version < 2:
+            raise ValueError("pipeline_depth > 1 requires wire_version 2")
         if self.sessions is not None and self.sessions < 1:
             raise ValueError("sessions must be >= 1")
         if self.effective_counter_tags and self.total_sessions > self.groups:
@@ -145,6 +159,8 @@ class LoadgenResult:
     bytes_sent_total: int = 0
     bytes_received_total: int = 0
     bytes_per_round: float = 0.0
+    wire_version: int = 1
+    pipeline_depth: int = 1
     record: dict = field(default_factory=dict)
     per_endpoint: List[dict] = field(default_factory=list)
 
@@ -215,6 +231,12 @@ class _EndpointStats:
                 if rounds
                 else 0.0
             ),
+            "bytes_sent_per_round": (
+                self.bytes_sent / rounds if rounds else 0.0
+            ),
+            "bytes_received_per_round": (
+                self.bytes_received / rounds if rounds else 0.0
+            ),
         }
 
 
@@ -254,21 +276,36 @@ async def _run_session(
             # namespaced per session; the session index is
             # deterministic, so trace ids still are.
             trace_namespace=f"session-{session_index}",
+            wire_version=cfg.wire_version,
+            pipeline_depth=cfg.pipeline_depth,
         )
+        group = _group_name(cfg, group_index)
         try:
             async with client:
-                for _ in range(cfg.rounds):
-                    began = time.perf_counter()
-                    outcome = await client.run_round(
-                        _group_name(cfg, group_index), cfg.protocol
-                    )
-                    stats.latencies.append(time.perf_counter() - began)
-                    stats.air_us.append(outcome.elapsed_us)
-                    stats.verdicts[outcome.verdict] = (
-                        stats.verdicts.get(outcome.verdict, 0) + 1
-                    )
-                    stats.bytes_sent += outcome.bytes_sent
-                    stats.bytes_received += outcome.bytes_received
+                if cfg.pipeline_depth > 1:
+                    # Overlapped rounds: per-round latency is the
+                    # client-measured RESEED->VERDICT wall time.
+                    for outcome in await client.run_rounds(
+                        group, cfg.rounds, cfg.protocol
+                    ):
+                        stats.latencies.append(outcome.wall_s)
+                        stats.air_us.append(outcome.elapsed_us)
+                        stats.verdicts[outcome.verdict] = (
+                            stats.verdicts.get(outcome.verdict, 0) + 1
+                        )
+                        stats.bytes_sent += outcome.bytes_sent
+                        stats.bytes_received += outcome.bytes_received
+                else:
+                    for _ in range(cfg.rounds):
+                        began = time.perf_counter()
+                        outcome = await client.run_round(group, cfg.protocol)
+                        stats.latencies.append(time.perf_counter() - began)
+                        stats.air_us.append(outcome.elapsed_us)
+                        stats.verdicts[outcome.verdict] = (
+                            stats.verdicts.get(outcome.verdict, 0) + 1
+                        )
+                        stats.bytes_sent += outcome.bytes_sent
+                        stats.bytes_received += outcome.bytes_received
         except (ProtocolError, ConnectionError, OSError) as exc:
             stats.errors.append(f"session {session_index}: {exc}")
 
@@ -379,6 +416,14 @@ async def _run_loadgen_async(
             "bytes_sent_total": bytes_sent_total,
             "bytes_received_total": bytes_received_total,
             "bytes_per_round": bytes_per_round,
+            "bytes_sent_per_round": (
+                bytes_sent_total / len(latencies) if latencies else 0.0
+            ),
+            "bytes_received_per_round": (
+                bytes_received_total / len(latencies) if latencies else 0.0
+            ),
+            "wire_version": cfg.wire_version,
+            "pipeline_depth": cfg.pipeline_depth,
         },
         {
             "name": "serve.loadgen.campaign",
@@ -393,6 +438,11 @@ async def _run_loadgen_async(
             "concurrency": cfg.concurrency,
             "rounds_per_session": cfg.rounds,
             "protocol": cfg.protocol,
+            "wire_version": cfg.wire_version,
+            "pipeline_depth": cfg.pipeline_depth,
+            # For core-aware CI gates (check_serve_wire.py): a starved
+            # host cannot be held to the full throughput target.
+            "cpu_count": os.cpu_count() or 1,
             "throughput_rps": (len(latencies) / wall_total)
             if wall_total > 0
             else 0.0,
@@ -418,6 +468,8 @@ async def _run_loadgen_async(
         bytes_sent_total=bytes_sent_total,
         bytes_received_total=bytes_received_total,
         bytes_per_round=bytes_per_round,
+        wire_version=cfg.wire_version,
+        pipeline_depth=cfg.pipeline_depth,
         record=record,
         per_endpoint=per_endpoint,
     )
@@ -470,6 +522,8 @@ def format_loadgen_result(result: LoadgenResult) -> str:
     ) or "none"
     return "\n".join(
         [
+            "wire             : "
+            f"v{result.wire_version}, pipeline depth {result.pipeline_depth}",
             f"rounds completed : {result.rounds_completed}",
             f"verdicts         : {verdicts}",
             f"protocol errors  : {result.protocol_errors}",

@@ -54,6 +54,10 @@ class FrameFaultInjector:
     Attributes:
         frames_seen / frames_dropped / frames_delayed: counters for
             assertions and reports.
+        frames_by_type: per-frame-type offer counts — a v2 client also
+            offers its HELLO to the injector, and this breakdown is how
+            tests pin that a lost offer degrades negotiation to v1
+            instead of erroring.
     """
 
     def __init__(
@@ -81,10 +85,14 @@ class FrameFaultInjector:
         self.frames_seen = 0
         self.frames_dropped = 0
         self.frames_delayed = 0
+        self.frames_by_type: dict = {}
 
     def on_frame(self, frame_type: str) -> FrameAction:
         """Advance the chain one step and rule on this frame."""
         self.frames_seen += 1
+        self.frames_by_type[frame_type] = (
+            self.frames_by_type.get(frame_type, 0) + 1
+        )
         if self._bad:
             if self._rng.random() < self.model.p_bad_to_good:
                 self._bad = False

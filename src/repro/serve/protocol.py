@@ -21,6 +21,7 @@ Frame types (client C, server S):
 ======== ===== ==========================================================
 type     dir   meaning
 ======== ===== ==========================================================
+HELLO    both  wire-version negotiation at connection open (see below)
 RESEED   C->S  request a fresh challenge for one group ("reseed me")
 CHALLENGE S->C the pre-committed ``(f, r)`` (TRP) or ``(f, r_1..r_f,
                timer)`` (UTRP) for the round
@@ -34,6 +35,26 @@ ERROR    both  protocol-level failure; carries a machine code + detail
 The bitstring crosses the wire as a ``0``/``1`` character string — a
 frame of 10 000 slots costs 10 KB, far under the frame cap, and stays
 human-readable in captures.
+
+**Wire versions.** The JSON framing above is wire version 1 — the
+format every peer speaks at connection open. A client that also speaks
+the binary v2 framing (:mod:`repro.serve.wire`) may open with a HELLO
+frame listing the versions it supports; the server answers with a
+HELLO naming the highest version both sides share, and *after that
+exchange* both sides switch framing on the connection. A peer that
+never sends HELLO stays on v1 forever — negotiation is strictly opt-in
+and per-connection (the shard gateway negotiates each hop
+independently, so a v1 reader can still traverse a v2 gateway<->worker
+link). Frame *semantics* are identical across versions: both codecs
+produce the same validated :class:`Frame` objects, so verdicts, seeds
+and bitstrings cannot depend on the framing.
+
+Every frame additionally accepts an optional ``seq`` (int >= 0): the
+session sequence number the v2 pipelined client uses to pin reply
+ordering. The client stamps each round's requests with one fresh seq
+and the server echoes that seq on the round's replies. In v2 the seq
+rides in the fixed binary header (never the body); v1 peers simply
+omit it.
 
 Every frame type additionally accepts an *optional* ``trace`` envelope
 — ``{"id": trace_id, "span": parent span id, "hop": int}`` — that
@@ -57,6 +78,7 @@ __all__ = [
     "PROTOCOL_SCHEMA",
     "MAX_FRAME_BYTES",
     "FRAME_TYPES",
+    "SUPPORTED_WIRE_VERSIONS",
     "ProtocolError",
     "Frame",
     "encode_frame",
@@ -69,13 +91,23 @@ __all__ = [
     "bitstring_frame",
     "verdict_frame",
     "error_frame",
+    "hello_frame",
+    "choose_wire_version",
     "with_trace",
+    "with_seq",
     "bits_to_array",
     "array_to_bits",
+    "pack_bits",
+    "unpack_bits",
 ]
 
 #: Schema tag carried by (and required of) every frame.
 PROTOCOL_SCHEMA = "repro.serve/v1"
+
+#: Wire framings this build can speak. 1 is the JSON framing defined
+#: here; 2 is the binary framing in :mod:`repro.serve.wire`. HELLO
+#: negotiation picks the highest version both peers list.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 #: Hard cap on one frame's JSON body. A UTRP challenge for ``f`` slots
 #: carries ``f`` seeds of ~20 digits; 4 MiB covers frames beyond 10^5
@@ -85,10 +117,16 @@ MAX_FRAME_BYTES = 4 << 20
 #: ``type`` -> required payload fields and their JSON types. ``None``
 #: in an ``Optional`` position means the field may be absent entirely.
 _SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "HELLO": {
+        "versions": (list,),
+        "trace": (dict,),
+        "seq": (int,),
+    },
     "RESEED": {
         "group": (str,),
         "protocol": (str,),
         "trace": (dict,),
+        "seq": (int,),
     },
     "CHALLENGE": {
         "group": (str,),
@@ -98,6 +136,7 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "seeds": (list,),
         "timer_us": (int, float, type(None)),
         "trace": (dict,),
+        "seq": (int,),
     },
     "BITSTRING": {
         "group": (str,),
@@ -106,6 +145,7 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "elapsed_us": (int, float),
         "seeds_used": (int,),
         "trace": (dict,),
+        "seq": (int,),
     },
     "VERDICT": {
         "group": (str,),
@@ -116,11 +156,13 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "elapsed_us": (int, float),
         "alarm": (bool,),
         "trace": (dict,),
+        "seq": (int,),
     },
     "ERROR": {
         "code": (str,),
         "detail": (str,),
         "trace": (dict,),
+        "seq": (int,),
     },
 }
 
@@ -128,8 +170,14 @@ FRAME_TYPES = frozenset(_SCHEMAS)
 
 #: Payload fields that may be omitted (treated as ``None`` on decode).
 #: ``trace`` is optional on every frame: absent means untraced, which
-#: is what a pre-tracing v1 peer always sends.
-_OPTIONAL = {("CHALLENGE", "timer_us")} | {(t, "trace") for t in _SCHEMAS}
+#: is what a pre-tracing v1 peer always sends. ``seq`` is optional on
+#: every frame: absent means unordered, which is what a non-pipelining
+#: peer always sends.
+_OPTIONAL = (
+    {("CHALLENGE", "timer_us")}
+    | {(t, "trace") for t in _SCHEMAS}
+    | {(t, "seq") for t in _SCHEMAS}
+)
 
 #: The trace envelope's own schema: exactly these fields.
 _TRACE_FIELDS: Dict[str, tuple] = {"id": (str,), "span": (str,), "hop": (int,)}
@@ -223,6 +271,18 @@ def _validate(frame_type: str, payload: Mapping[str, object]) -> None:
     envelope = payload.get("trace")
     if envelope is not None:
         _validate_trace(frame_type, envelope)
+    seq = payload.get("seq")
+    if seq is not None and int(seq) < 0:
+        raise ProtocolError("bad-field", f"{frame_type}.seq is negative")
+    if frame_type == "HELLO":
+        versions = payload["versions"]
+        if not versions or not all(
+            isinstance(v, int) and not isinstance(v, bool) and v > 0
+            for v in versions
+        ):
+            raise ProtocolError(
+                "bad-field", "HELLO.versions must be a non-empty list of ints"
+            )
 
 
 def encode_frame(frame: Frame) -> bytes:
@@ -303,10 +363,30 @@ def decode_frame(data: bytes) -> Frame:
 # ----------------------------------------------------------------------
 
 
+async def _read_rest(coro, idle_timeout_s: Optional[float]):
+    """Await one *incremental* read under the frame-idle budget.
+
+    The first byte of a frame may take arbitrarily long to arrive (an
+    idle session is legal); once a frame has *started*, a peer that
+    dribbles the remainder byte-by-byte is holding a session slot
+    hostage. Each follow-up read therefore gets ``idle_timeout_s``.
+    """
+    if idle_timeout_s is None:
+        return await coro
+    try:
+        return await asyncio.wait_for(coro, idle_timeout_s)
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            "idle-read",
+            f"peer stalled mid-frame for more than {idle_timeout_s}s",
+        ) from None
+
+
 async def read_frame(
     reader: asyncio.StreamReader,
     max_bytes: int = MAX_FRAME_BYTES,
     on_bytes=None,
+    idle_timeout_s: Optional[float] = None,
 ) -> Optional[Frame]:
     """Read one frame from a stream; ``None`` on clean EOF.
 
@@ -316,15 +396,20 @@ async def read_frame(
     — prefix included — once the body has been read; the loadgen's
     bytes-per-round accounting hangs off it.
 
+    ``idle_timeout_s`` bounds how long the peer may stall *inside* a
+    frame (after its first byte arrived). The wait for a frame to start
+    is not timed here — that idle budget belongs to the session layer.
+
     Raises:
-        ProtocolError: on an oversize declaration, a mid-frame EOF, or
-            a body-level violation.
+        ProtocolError: on an oversize declaration, a mid-frame EOF, a
+            mid-frame stall past ``idle_timeout_s``, or a body-level
+            violation.
     """
     prefix = await reader.read(4)
     if not prefix:
         return None
     while len(prefix) < 4:
-        more = await reader.read(4 - len(prefix))
+        more = await _read_rest(reader.read(4 - len(prefix)), idle_timeout_s)
         if not more:
             raise ProtocolError("truncated", "EOF inside length prefix")
         prefix += more
@@ -334,7 +419,7 @@ async def read_frame(
             "oversize", f"declared length {length} exceeds cap {max_bytes}"
         )
     try:
-        body = await reader.readexactly(length)
+        body = await _read_rest(reader.readexactly(length), idle_timeout_s)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("truncated", "EOF inside frame body") from exc
     if on_bytes is not None:
@@ -429,6 +514,28 @@ def error_frame(code: str, detail: str) -> Frame:
     return Frame("ERROR", {"code": code, "detail": detail})
 
 
+def hello_frame(versions=SUPPORTED_WIRE_VERSIONS) -> Frame:
+    """Wire-version offer (client) or choice (server, single entry)."""
+    return Frame("HELLO", {"versions": [int(v) for v in versions]})
+
+
+def choose_wire_version(offered, supported=SUPPORTED_WIRE_VERSIONS) -> Optional[int]:
+    """Highest wire version in both lists, or ``None`` if disjoint."""
+    common = set(int(v) for v in offered) & set(int(v) for v in supported)
+    return max(common) if common else None
+
+
+def with_seq(frame: Frame, seq: Optional[int]) -> Frame:
+    """The same frame carrying ``seq`` as its session sequence number.
+
+    ``None`` returns the frame unchanged, so non-pipelining callers can
+    thread an optional seq without branching.
+    """
+    if seq is None:
+        return frame
+    return Frame(frame.type, {**frame.payload, "seq": int(seq)})
+
+
 def with_trace(frame: Frame, envelope: Optional[Mapping[str, object]]) -> Frame:
     """The same frame carrying ``envelope`` as its trace context.
 
@@ -447,7 +554,9 @@ def with_trace(frame: Frame, envelope: Optional[Mapping[str, object]]) -> Frame:
 
 def array_to_bits(bitstring: np.ndarray) -> str:
     """Occupancy vector -> ``"0101..."`` wire string."""
-    return "".join("1" if b else "0" for b in np.asarray(bitstring).tolist())
+    arr = np.asarray(bitstring)
+    chars = np.where(arr != 0, np.uint8(ord("1")), np.uint8(ord("0")))
+    return chars.astype(np.uint8).tobytes().decode("ascii")
 
 
 def bits_to_array(bits: str) -> np.ndarray:
@@ -456,6 +565,47 @@ def bits_to_array(bits: str) -> np.ndarray:
     Raises:
         ProtocolError: if any character is not ``0`` or ``1``.
     """
-    if bits.strip("01"):
+    try:
+        raw = bits.encode("ascii")
+    except UnicodeEncodeError:
+        raise ProtocolError("bad-field", "bits must contain only 0/1") from None
+    # Vectorised validation: anything outside "01" lands outside {0, 1}
+    # after the wrapping uint8 subtraction (str.strip("01") costs ~100x
+    # more at 10k slots — this runs per BITSTRING on the server).
+    arr = np.frombuffer(raw, dtype=np.uint8) - np.uint8(ord("0"))
+    if arr.size and int(arr.max()) > 1:
         raise ProtocolError("bad-field", "bits must contain only 0/1")
-    return np.frombuffer(bits.encode("ascii"), dtype=np.uint8) - ord("0")
+    return arr
+
+
+def pack_bits(bits: str) -> bytes:
+    """``"0101..."`` string -> packed bytes, 8 slots per byte (MSB first).
+
+    The v2 codec's bitstring body: ``ceil(nbits / 8)`` bytes instead of
+    ``nbits`` ASCII characters. Round-trips exactly through
+    :func:`unpack_bits` given the original bit count.
+
+    Raises:
+        ProtocolError: if any character is not ``0`` or ``1``.
+    """
+    return np.packbits(bits_to_array(bits)).tobytes()
+
+
+def unpack_bits(data: bytes, nbits: int) -> str:
+    """Packed bytes + bit count -> the ``"0101..."`` wire string.
+
+    Raises:
+        ProtocolError: if ``data`` is the wrong length for ``nbits`` or
+            carries set bits in the final byte's padding.
+    """
+    if nbits < 0 or len(data) != (nbits + 7) // 8:
+        raise ProtocolError(
+            "bad-field",
+            f"packed bitstring is {len(data)} bytes for {nbits} bits",
+        )
+    if nbits == 0:
+        return ""
+    arr = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if arr[nbits:].any():
+        raise ProtocolError("bad-field", "packed bitstring has non-zero padding")
+    return (arr[:nbits] + np.uint8(ord("0"))).tobytes().decode("ascii")

@@ -64,6 +64,7 @@ BUDGET_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0, 5.0)
 SERVE_METRIC_FAMILIES = {
     "serve_sessions_total": ("counter", ("phase",)),
     "serve_sessions_refused_total": ("counter", ()),
+    "serve_wire_negotiations_total": ("counter", ("version",)),
     "serve_frames_total": ("counter", ("direction", "type")),
     "serve_errors_total": ("counter", ("code",)),
     "serve_verdicts_total": ("counter", ("group", "verdict")),
@@ -92,6 +93,11 @@ def register_serve_metrics(registry) -> None:
     registry.counter(
         "serve_sessions_refused_total", "sessions refused at the cap"
     ).labels()
+    registry.counter(
+        "serve_wire_negotiations_total",
+        "HELLO negotiations by chosen wire version",
+        ("version",),
+    )
     registry.counter(
         "serve_frames_total", "wire frames by type and direction",
         ("direction", "type"),
@@ -176,6 +182,7 @@ class MonitoringService:
         max_inflight: int = 64,
         obs=None,
         tracer=None,
+        wire_versions=None,
     ):
         """Args:
             session_config: per-connection behaviour (timeouts, timer
@@ -192,14 +199,32 @@ class MonitoringService:
             tracer: optional :class:`~repro.obs.tracing.Tracer`; rounds
                 whose RESEED carried a trace envelope emit a
                 ``serve.round`` span into it.
+            wire_versions: wire framings this service will accept in a
+                HELLO negotiation (default: everything this build
+                speaks). ``(1,)`` pins a v1-only service: a HELLO
+                offering v2 alongside v1 negotiates down to v1, and a
+                v2-only offer earns ``unsupported-version`` — the
+                fallback paths the negotiation tests pin.
 
         Raises:
-            ValueError: on non-positive caps or a drifted metric shape.
+            ValueError: on non-positive caps, an unknown wire version,
+                or a drifted metric shape.
         """
+        from .protocol import SUPPORTED_WIRE_VERSIONS
+
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if wire_versions is None:
+            wire_versions = SUPPORTED_WIRE_VERSIONS
+        wire_versions = tuple(int(v) for v in wire_versions)
+        if not wire_versions or 1 not in wire_versions:
+            raise ValueError("wire_versions must include 1 (the HELLO framing)")
+        unknown = set(wire_versions) - set(SUPPORTED_WIRE_VERSIONS)
+        if unknown:
+            raise ValueError(f"unsupported wire versions: {sorted(unknown)}")
+        self.wire_versions = wire_versions
         self.session_config = (
             session_config if session_config is not None else SessionConfig()
         )
@@ -388,6 +413,17 @@ class MonitoringService:
                 f"serve.session.{phase}",
                 scope=session.scope,
                 session=session.session_id,
+            )
+
+    def observe_negotiation(self, session, version: int) -> None:
+        self._count(
+            "serve_wire_negotiations_total",
+            "HELLO negotiations by chosen wire version",
+            version=str(version),
+        )
+        if self.obs is not None:
+            self.obs.bus.emit(
+                "serve.negotiate", scope=session.scope, version=version
             )
 
     def observe_frame(self, session, frame_type: str, direction: str) -> None:

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..rfid.reader import ScanResult
-from . import protocol
+from . import protocol, wire
 from .protocol import Frame, ProtocolError
 
 __all__ = ["SessionConfig", "SessionStats", "ServeSession"]
@@ -48,6 +48,12 @@ class SessionConfig:
             waiting for a BITSTRING, whatever the protocol timer says.
         idle_timeout_s: how long to wait for the next RESEED before
             evicting an idle client (``None`` = forever).
+        frame_idle_timeout_s: how long the peer may stall *inside* a
+            frame once its first byte arrived. A peer that dribbles a
+            length prefix byte-by-byte would otherwise hold a session
+            slot forever; past this budget the read fails with a typed
+            ``idle-read`` error and the slot is freed. ``None``
+            disables the guard.
         max_frame_bytes: per-session receive cap, defaulting to the
             protocol-wide :data:`~repro.serve.protocol.MAX_FRAME_BYTES`.
         max_errors: recoverable protocol errors tolerated before the
@@ -65,6 +71,7 @@ class SessionConfig:
 
     reply_timeout_s: float = 30.0
     idle_timeout_s: Optional[float] = None
+    frame_idle_timeout_s: Optional[float] = 10.0
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     max_errors: int = 5
     wall_us_per_s: float = 0.0
@@ -111,13 +118,22 @@ class ServeSession:
         self.config = config if config is not None else SessionConfig()
         self.stats = SessionStats()
         self.scope = f"serve/session-{session_id:05d}"
+        # Every session opens speaking v1; a HELLO exchange may switch
+        # the codec mid-connection (see _negotiate).
+        self.codec = wire.WireV1
+        self._reply_seq: Optional[int] = None
 
     # ------------------------------------------------------------------
     # frame plumbing
     # ------------------------------------------------------------------
 
     async def _send(self, frame: Frame) -> None:
-        await protocol.write_frame(self.writer, frame)
+        # Replies echo the seq of the request that prompted them, so a
+        # pipelining client can pin reply order. (The v1 codec strips
+        # the field again; only v2 carries it on the wire.)
+        frame = protocol.with_seq(frame, self._reply_seq)
+        self.writer.write(self.codec.encode(frame))
+        await self.writer.drain()
         self.stats.frames_out += 1
         self.service.observe_frame(self, frame.type, "out")
 
@@ -130,7 +146,11 @@ class ServeSession:
         """
         try:
             frame = await asyncio.wait_for(
-                protocol.read_frame(self.reader, self.config.max_frame_bytes),
+                self.codec.read(
+                    self.reader,
+                    self.config.max_frame_bytes,
+                    idle_timeout_s=self.config.frame_idle_timeout_s,
+                ),
                 timeout=timeout,
             )
         except ProtocolError as exc:
@@ -147,7 +167,31 @@ class ServeSession:
         if frame is not None:
             self.stats.frames_in += 1
             self.service.observe_frame(self, frame.type, "in")
+            if frame.get("seq") is not None:
+                self._reply_seq = int(frame["seq"])
         return frame
+
+    async def _negotiate(self, offer: Frame) -> None:
+        """HELLO exchange: pick the highest shared wire version.
+
+        The acknowledging HELLO goes out in the *current* framing; only
+        after it is flushed does the session switch codecs. A disjoint
+        offer earns a recoverable ``unsupported-version`` ERROR and the
+        session simply stays on its current framing.
+        """
+        chosen = protocol.choose_wire_version(
+            offer["versions"], self.service.wire_versions
+        )
+        if chosen is None:
+            await self._recoverable_error(
+                "unsupported-version",
+                f"no common wire version in {offer['versions']}; "
+                f"server speaks {list(self.service.wire_versions)}",
+            )
+            return
+        await self._send(protocol.hello_frame([chosen]))
+        self.codec = wire.codec_for(chosen)
+        self.service.observe_negotiation(self, chosen)
 
     async def _recoverable_error(self, code: str, detail: str) -> None:
         """ERROR reply for a violation with intact framing; evict after
@@ -178,6 +222,8 @@ class ServeSession:
                     break
                 if frame.type == "RESEED":
                     await self._serve_round(frame)
+                elif frame.type == "HELLO":
+                    await self._negotiate(frame)
                 elif frame.type == "ERROR":
                     # A peer-side complaint; log and carry on.
                     self.service.observe_error(self, f"peer:{frame['code']}")

@@ -1,0 +1,366 @@
+"""The ``repro.serve/v2`` binary wire framing.
+
+Wire version 2 carries exactly the same five frame types — and decodes
+to exactly the same validated :class:`~repro.serve.protocol.Frame`
+objects — as the JSON v1 framing, but trades the per-round JSON
+re-encode for fixed little-endian structs and packed bitstring bytes
+(8 slots per byte instead of one ASCII character per slot). It is only
+ever spoken after a successful HELLO negotiation (see
+:mod:`repro.serve.protocol`); a peer that never negotiates stays on v1.
+
+Frame layout::
+
+    header := <BBBBII  (12 bytes, little-endian)
+              magic    u8  = 0xF2
+              type     u8  (RESEED=1 CHALLENGE=2 BITSTRING=3
+                            VERDICT=4 ERROR=5)
+              flags    u8  (bit0: trace envelope present,
+                            bit1: seq present in header)
+              pad      u8  = 0
+    	      seq      u32 (0 when flags bit1 clear)
+              body_len u32
+    body   := type-specific fields, little-endian; strings are
+              u16 length + UTF-8 bytes; an optional trace envelope
+              (id | span | u32 hop) closes the body when flags bit0
+              is set.
+
+Per-type bodies::
+
+    RESEED    group | protocol
+    CHALLENGE group | protocol | u32 round | u32 frame_size
+              | f64 timer_us (NaN = absent) | u32 nseeds | nseeds x u64
+    BITSTRING group | u32 round | u32 nbits | packed bits
+              | f64 elapsed_us | u32 seeds_used
+    VERDICT   group | u32 round | verdict | u32 frame_size
+              | u32 mismatched_slots | f64 elapsed_us | u8 alarm
+    ERROR     code | detail
+
+The magic byte makes mid-stream version confusion detectable in both
+directions: a v1 frame's first byte is always ``0x00`` (its big-endian
+length prefix tops out at 4 MiB), so a v2 reader that sees ``0x00``
+raises a typed ``version-mismatch`` instead of mis-parsing, and a v1
+reader that sees ``0xF2`` as a length prefix rejects it as oversize.
+Seeds ride as u64 (the issuer's seed space is ``2**62``); the absent
+UTRP timer rides as NaN, which is unambiguous because the server
+rejects non-finite timers outright.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import struct
+from typing import Mapping, Optional
+
+from . import protocol
+from .protocol import Frame, MAX_FRAME_BYTES, ProtocolError
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WireV1",
+    "WireV2",
+    "codec_for",
+]
+
+#: First byte of every v2 frame; never the first byte of a v1 frame.
+WIRE_MAGIC = 0xF2
+
+_HEADER = struct.Struct("<BBBBII")
+_FLAG_TRACE = 0x01
+_FLAG_SEQ = 0x02
+
+_TYPE_CODES = {
+    "RESEED": 1,
+    "CHALLENGE": 2,
+    "BITSTRING": 3,
+    "VERDICT": 4,
+    "ERROR": 5,
+}
+_CODE_TYPES = {code: name for name, code in _TYPE_CODES.items()}
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+# ----------------------------------------------------------------------
+# body primitives
+# ----------------------------------------------------------------------
+
+
+def _put_str(parts: list, value: str) -> None:
+    data = value.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ProtocolError("oversize", f"string field is {len(data)} bytes")
+    parts.append(struct.pack("<H", len(data)))
+    parts.append(data)
+
+
+class _Cursor:
+    """Sequential reader over one frame body; every overrun is typed."""
+
+    def __init__(self, data: bytes, frame_type: str):
+        self.data = data
+        self.pos = 0
+        self.frame_type = frame_type
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ProtocolError(
+                "truncated", f"{self.frame_type} body ends mid-field"
+            )
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def string(self) -> str:
+        length = struct.unpack("<H", self.take(2))[0]
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                "bad-field", f"{self.frame_type} string is not UTF-8"
+            ) from exc
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise ProtocolError(
+                "bad-field",
+                f"{self.frame_type} body carries "
+                f"{len(self.data) - self.pos} trailing bytes",
+            )
+
+
+# ----------------------------------------------------------------------
+# per-type body codecs (payload dict <-> bytes)
+# ----------------------------------------------------------------------
+
+
+def _encode_body(frame_type: str, payload: Mapping[str, object]) -> bytes:
+    parts: list = []
+    if frame_type == "RESEED":
+        _put_str(parts, payload["group"])
+        _put_str(parts, payload["protocol"])
+    elif frame_type == "CHALLENGE":
+        _put_str(parts, payload["group"])
+        _put_str(parts, payload["protocol"])
+        parts.append(_U32.pack(payload["round"]))
+        parts.append(_U32.pack(payload["frame_size"]))
+        timer = payload.get("timer_us")
+        parts.append(_F64.pack(math.nan if timer is None else float(timer)))
+        seeds = payload["seeds"]
+        parts.append(_U32.pack(len(seeds)))
+        for seed in seeds:
+            parts.append(_U64.pack(seed))
+    elif frame_type == "BITSTRING":
+        _put_str(parts, payload["group"])
+        parts.append(_U32.pack(payload["round"]))
+        bits = payload["bits"]
+        parts.append(_U32.pack(len(bits)))
+        parts.append(protocol.pack_bits(bits))
+        parts.append(_F64.pack(float(payload["elapsed_us"])))
+        parts.append(_U32.pack(payload["seeds_used"]))
+    elif frame_type == "VERDICT":
+        _put_str(parts, payload["group"])
+        parts.append(_U32.pack(payload["round"]))
+        _put_str(parts, payload["verdict"])
+        parts.append(_U32.pack(payload["frame_size"]))
+        parts.append(_U32.pack(payload["mismatched_slots"]))
+        parts.append(_F64.pack(float(payload["elapsed_us"])))
+        parts.append(struct.pack("<B", 1 if payload["alarm"] else 0))
+    elif frame_type == "ERROR":
+        _put_str(parts, payload["code"])
+        _put_str(parts, payload["detail"])
+    else:
+        raise ProtocolError(
+            "unknown-type", f"wire v2 cannot carry frame type {frame_type!r}"
+        )
+    trace = payload.get("trace")
+    if trace is not None:
+        _put_str(parts, trace["id"])
+        _put_str(parts, trace["span"])
+        parts.append(_U32.pack(trace["hop"]))
+    return b"".join(parts)
+
+
+def _decode_body(frame_type: str, data: bytes, flags: int) -> dict:
+    cur = _Cursor(data, frame_type)
+    payload: dict = {}
+    if frame_type == "RESEED":
+        payload["group"] = cur.string()
+        payload["protocol"] = cur.string()
+    elif frame_type == "CHALLENGE":
+        payload["group"] = cur.string()
+        payload["protocol"] = cur.string()
+        payload["round"] = cur.u32()
+        payload["frame_size"] = cur.u32()
+        timer = cur.f64()
+        if not math.isnan(timer):
+            payload["timer_us"] = timer
+        nseeds = cur.u32()
+        payload["seeds"] = [cur.u64() for _ in range(nseeds)]
+    elif frame_type == "BITSTRING":
+        payload["group"] = cur.string()
+        payload["round"] = cur.u32()
+        nbits = cur.u32()
+        packed = cur.take((nbits + 7) // 8)
+        payload["bits"] = protocol.unpack_bits(packed, nbits)
+        payload["elapsed_us"] = cur.f64()
+        payload["seeds_used"] = cur.u32()
+    elif frame_type == "VERDICT":
+        payload["group"] = cur.string()
+        payload["round"] = cur.u32()
+        payload["verdict"] = cur.string()
+        payload["frame_size"] = cur.u32()
+        payload["mismatched_slots"] = cur.u32()
+        payload["elapsed_us"] = cur.f64()
+        payload["alarm"] = bool(cur.u8())
+    elif frame_type == "ERROR":
+        payload["code"] = cur.string()
+        payload["detail"] = cur.string()
+    if flags & _FLAG_TRACE:
+        payload["trace"] = {
+            "id": cur.string(),
+            "span": cur.string(),
+            "hop": cur.u32(),
+        }
+    cur.done()
+    return payload
+
+
+# ----------------------------------------------------------------------
+# codecs
+# ----------------------------------------------------------------------
+
+
+class WireV1:
+    """The JSON framing, as a codec object.
+
+    Encoding strips the internal ``seq`` field: v1 wire traffic stays
+    byte-identical to pre-seq builds, and genuinely old peers never see
+    a field they would reject. (The server echoes seqs only on v2
+    connections, so nothing is lost.)
+    """
+
+    version = 1
+
+    @staticmethod
+    def encode(frame: Frame) -> bytes:
+        if "seq" in frame.payload:
+            payload = {k: v for k, v in frame.payload.items() if k != "seq"}
+            frame = Frame(frame.type, payload)
+        return protocol.encode_frame(frame)
+
+    @staticmethod
+    async def read(
+        reader: asyncio.StreamReader,
+        max_bytes: int = MAX_FRAME_BYTES,
+        on_bytes=None,
+        idle_timeout_s: Optional[float] = None,
+    ) -> Optional[Frame]:
+        return await protocol.read_frame(
+            reader, max_bytes, on_bytes, idle_timeout_s
+        )
+
+
+class WireV2:
+    """The binary framing."""
+
+    version = 2
+
+    @staticmethod
+    def encode(frame: Frame) -> bytes:
+        protocol._validate(frame.type, frame.payload)
+        code = _TYPE_CODES.get(frame.type)
+        if code is None:
+            raise ProtocolError(
+                "unknown-type", f"wire v2 cannot carry frame type {frame.type!r}"
+            )
+        body = _encode_body(frame.type, frame.payload)
+        if len(body) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                "oversize",
+                f"frame body is {len(body)} bytes (cap {MAX_FRAME_BYTES})",
+            )
+        flags = 0
+        seq = 0
+        if frame.payload.get("trace") is not None:
+            flags |= _FLAG_TRACE
+        if frame.payload.get("seq") is not None:
+            flags |= _FLAG_SEQ
+            seq = int(frame.payload["seq"])
+        header = _HEADER.pack(WIRE_MAGIC, code, flags, 0, seq, len(body))
+        return header + body
+
+    @staticmethod
+    async def read(
+        reader: asyncio.StreamReader,
+        max_bytes: int = MAX_FRAME_BYTES,
+        on_bytes=None,
+        idle_timeout_s: Optional[float] = None,
+    ) -> Optional[Frame]:
+        header = await reader.read(_HEADER.size)
+        if not header:
+            return None
+        while len(header) < _HEADER.size:
+            more = await protocol._read_rest(
+                reader.read(_HEADER.size - len(header)), idle_timeout_s
+            )
+            if not more:
+                raise ProtocolError("truncated", "EOF inside v2 header")
+            header += more
+        magic, code, flags, pad, seq, body_len = _HEADER.unpack(header)
+        if magic != WIRE_MAGIC:
+            # A v1 length prefix always starts 0x00; anything that is
+            # not our magic means the peer is speaking another framing.
+            raise ProtocolError(
+                "version-mismatch",
+                f"expected v2 magic 0x{WIRE_MAGIC:02x}, got 0x{magic:02x}",
+            )
+        frame_type = _CODE_TYPES.get(code)
+        if frame_type is None:
+            raise ProtocolError("unknown-type", f"unknown v2 type code {code}")
+        if pad != 0:
+            raise ProtocolError("bad-field", "v2 header pad byte is non-zero")
+        if body_len > max_bytes:
+            raise ProtocolError(
+                "oversize", f"declared length {body_len} exceeds cap {max_bytes}"
+            )
+        try:
+            body = await protocol._read_rest(
+                reader.readexactly(body_len), idle_timeout_s
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("truncated", "EOF inside frame body") from exc
+        if on_bytes is not None:
+            on_bytes(_HEADER.size + body_len)
+        payload = _decode_body(frame_type, body, flags)
+        if flags & _FLAG_SEQ:
+            payload["seq"] = seq
+        protocol._validate(frame_type, payload)
+        return Frame(frame_type, payload)
+
+
+def codec_for(version: int):
+    """The codec object speaking wire ``version``.
+
+    Raises:
+        ProtocolError: for a version this build does not speak.
+    """
+    if version == 1:
+        return WireV1
+    if version == 2:
+        return WireV2
+    raise ProtocolError("unsupported-version", f"wire version {version}")

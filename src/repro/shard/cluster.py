@@ -176,6 +176,12 @@ class DrillResult:
     #: Span-tree digest of that merged trace — invariant across worker
     #: counts and ``--jobs`` for the same seeded scenario.
     trace_digest: str = ""
+    #: Wire version the drill's readers offered (the gateway<->worker
+    #: hop negotiates independently from :attr:`ShardConfig.
+    #: wire_versions`).
+    wire_version: int = 1
+    #: Client-side round overlap per reader session.
+    pipeline_depth: int = 1
 
     @property
     def ok(self) -> bool:
@@ -238,6 +244,8 @@ async def _run_drill_async(
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
     telemetry_port: Optional[int] = 0,
+    wire_version: int = 1,
+    pipeline_depth: int = 1,
 ) -> DrillResult:
     from ..fleet.remote import RemoteCampaignConfig, drive_remote_campaign_async
 
@@ -294,6 +302,8 @@ async def _run_drill_async(
             counter_tags=False,
             group_prefix=config.group_prefix,
             concurrency=concurrency,
+            wire_version=wire_version,
+            pipeline_depth=pipeline_depth,
         )
         kill_task = asyncio.ensure_future(killer())
         try:
@@ -369,6 +379,8 @@ async def _run_drill_async(
             slo_late_rejections=slo_late,
             trace_spans=len(spans),
             trace_digest=trace_digest,
+            wire_version=wire_version,
+            pipeline_depth=pipeline_depth,
         )
 
 
@@ -381,6 +393,8 @@ def run_drill(
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
     telemetry_port: Optional[int] = 0,
+    wire_version: int = 1,
+    pipeline_depth: int = 1,
 ) -> DrillResult:
     """Run the kill-a-worker drill; see the module docstring.
 
@@ -394,9 +408,15 @@ def run_drill(
         telemetry_port: port for the live telemetry endpoints during
             the drill (0 = ephemeral, the default; ``None`` disables
             telemetry and the scrape assertions with it).
+        wire_version: framing the drill's readers offer the gateway
+            (2 = negotiate the binary framing; the verdict sequence
+            must stay bit-identical either way).
+        pipeline_depth: reader-side round overlap; > 1 requires
+            ``wire_version`` 2.
 
     Raises:
-        ValueError: on a nonsensical kill fraction or round count.
+        ValueError: on a nonsensical kill fraction, round count or
+            wire shape.
     """
     if not 0.0 < kill_fraction < 1.0:
         raise ValueError("kill_fraction must be in (0, 1)")
@@ -404,6 +424,12 @@ def run_drill(
         raise ValueError("rounds must be >= 1")
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
+    if wire_version not in (1, 2):
+        raise ValueError(f"wire_version must be 1 or 2, got {wire_version!r}")
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be >= 1")
+    if pipeline_depth > 1 and wire_version < 2:
+        raise ValueError("pipeline_depth > 1 requires wire_version 2")
     cfg = config if config is not None else ShardConfig()
     if cfg.counter_tags:
         cfg = dataclasses.replace(cfg, counter_tags=False)
@@ -417,6 +443,8 @@ def run_drill(
             trace_out=trace_out,
             metrics_out=metrics_out,
             telemetry_port=telemetry_port,
+            wire_version=wire_version,
+            pipeline_depth=pipeline_depth,
         )
     )
 
@@ -427,6 +455,8 @@ def format_drill_result(result: DrillResult) -> str:
         [
             f"groups                 : {result.groups}",
             f"rounds per group       : {result.rounds}",
+            f"reader wire            : v{result.wire_version}, "
+            f"pipeline depth {result.pipeline_depth}",
             f"verdicts expected      : {result.expected_verdicts}",
             f"verdicts completed     : {result.verdicts_completed}",
             f"lost verdicts          : {result.lost_verdicts}",

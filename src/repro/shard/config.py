@@ -126,6 +126,11 @@ class ShardConfig:
             trust reported air time — the deterministic mode).
         ring_replicas: virtual points per worker on the hash ring.
         state_dir: snapshot directory; ``None`` = private tempdir.
+        wire_versions: wire framings the cluster accepts, forwarded to
+            every worker and to the gateway's listener. When 2 is
+            listed the gateway also negotiates v2 on its upstream hops,
+            so a v1 reader still traverses a binary gateway<->worker
+            link; ``(1,)`` pins the whole cluster to JSON framing.
 
     Raises:
         ValueError: on any non-finite, non-integral or out-of-range
@@ -152,6 +157,7 @@ class ShardConfig:
     ring_replicas: int = 64
     state_dir: Optional[str] = None
     max_sessions: int = 256
+    wire_versions: Tuple[int, ...] = (1, 2)
 
     def __post_init__(self) -> None:
         _require_int("workers", self.workers, 1)
@@ -184,6 +190,21 @@ class ShardConfig:
             "upstream_timeout_s", self.upstream_timeout_s, 0.0, strict=True
         )
         _require_finite("timer_scale", self.timer_scale, 0.0, strict=False)
+        versions = tuple(self.wire_versions)
+        if not versions or any(
+            isinstance(v, bool) or not isinstance(v, int) for v in versions
+        ):
+            raise ValueError(
+                f"wire_versions must be a non-empty tuple of ints, "
+                f"got {self.wire_versions!r}"
+            )
+        if 1 not in versions:
+            raise ValueError("wire_versions must include 1 (the HELLO framing)")
+        if set(versions) - {1, 2}:
+            raise ValueError(
+                f"unsupported wire versions: {sorted(set(versions) - {1, 2})}"
+            )
+        object.__setattr__(self, "wire_versions", versions)
 
     # ------------------------------------------------------------------
     # derived shapes

@@ -31,7 +31,7 @@ import asyncio
 from typing import Dict, Optional
 
 from ..obs.tracing import SpanContext, derive_span_id
-from ..serve import protocol
+from ..serve import protocol, wire
 from ..serve.protocol import Frame, ProtocolError
 from .config import ShardConfig
 
@@ -57,12 +57,16 @@ class _FrameStream:
     def __init__(self, reader: asyncio.StreamReader):
         self._reader = reader
         self._task: Optional[asyncio.Task] = None
+        # Mutable: a HELLO negotiation switches this hop's framing. The
+        # at-most-one-read invariant guarantees no read started under
+        # the old codec is still pending when the switch happens.
+        self.codec = wire.WireV1
 
     def pending(self) -> asyncio.Task:
         """The outstanding read task, created on first demand."""
         if self._task is None:
             self._task = asyncio.ensure_future(
-                protocol.read_frame(self._reader)
+                self.codec.read(self._reader)
             )
         return self._task
 
@@ -95,6 +99,10 @@ class _Upstream:
         self.worker_id = worker_id
         self.stream = _FrameStream(reader)
         self.writer = writer
+
+    async def send(self, frame: Frame) -> None:
+        self.writer.write(self.stream.codec.encode(frame))
+        await self.writer.drain()
 
     def close(self) -> None:
         self.stream.cancel()
@@ -207,7 +215,25 @@ class _ProxySession:
         self.upstreams: Dict[str, _Upstream] = {}
 
     async def _send_client(self, frame: Frame) -> None:
-        await protocol.write_frame(self.writer, frame)
+        self.writer.write(self.client.codec.encode(frame))
+        await self.writer.drain()
+
+    async def _negotiate_client(self, offer: Frame) -> None:
+        """Downstream HELLO: same contract as a serve session's."""
+        chosen = protocol.choose_wire_version(
+            offer["versions"], self.config.wire_versions
+        )
+        if chosen is None:
+            await self._send_client(
+                protocol.error_frame(
+                    "unsupported-version",
+                    f"no common wire version in {offer['versions']}; "
+                    f"gateway speaks {list(self.config.wire_versions)}",
+                )
+            )
+            return
+        await self._send_client(protocol.hello_frame([chosen]))
+        self.client.codec = wire.codec_for(chosen)
 
     # -- upstream plumbing ---------------------------------------------
 
@@ -219,8 +245,38 @@ class _ProxySession:
             "127.0.0.1", handle.port
         )
         upstream = _Upstream(handle.worker_id, reader, writer)
+        if max(self.config.wire_versions) >= 2:
+            await self._negotiate_upstream(upstream, handle.port)
         self.upstreams[handle.worker_id] = upstream
         return upstream
+
+    async def _negotiate_upstream(self, upstream: _Upstream, port: int) -> None:
+        """Offer v2 on a fresh gateway->worker hop; fall back to v1.
+
+        Negotiation is per-hop: whatever framing the *reader* speaks,
+        the upstream leg runs the best framing the worker agrees to —
+        frame semantics are identical, so the translation is free.
+        """
+        await upstream.send(protocol.hello_frame(self.config.wire_versions))
+        try:
+            reply = await asyncio.wait_for(
+                upstream.stream.next(), self.config.upstream_timeout_s
+            )
+        except _UPSTREAM_ERRORS + (ProtocolError,):
+            reply = None
+        if reply is not None and reply.type == "HELLO":
+            versions = reply["versions"]
+            if len(versions) == 1 and versions[0] in self.config.wire_versions:
+                upstream.stream.codec = wire.codec_for(versions[0])
+            return
+        if reply is not None and reply.type == "ERROR":
+            return  # worker refused; this hop stays v1
+        # Hang-up or nonsense: reconnect plainly and never re-offer.
+        upstream.stream.cancel()
+        upstream.writer.close()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        upstream.stream = _FrameStream(reader)
+        upstream.writer = writer
 
     async def _worker_trouble(self, worker_id: str) -> None:
         """Discard the upstream and let the supervisor triage."""
@@ -252,6 +308,9 @@ class _ProxySession:
                     break
                 if frame.type == "ERROR":
                     continue  # peer-side complaint; carry on
+                if frame.type == "HELLO":
+                    await self._negotiate_client(frame)
+                    continue
                 if frame.type != "RESEED":
                     await self._send_client(
                         protocol.error_frame(
@@ -332,6 +391,11 @@ class _ProxySession:
 
     async def _proxy_round(self, reseed: Frame) -> None:
         group = reseed["group"]
+        # The client's seq for this round: every frame relayed back to
+        # the client must echo it, whether the serving worker saw it
+        # (v2 upstream hop) or not (v1 upstream hop strips it, cached
+        # verdicts never had it).
+        seq = reseed.get("seq")
         trace_parent, upstream_reseed = self._trace_setup(reseed)
         challenge: Optional[Frame] = None  # as relayed to the client
         bits: Optional[Frame] = None  # the client's proof, once seen
@@ -341,17 +405,20 @@ class _ProxySession:
             except (RuntimeError, LookupError) as error:
                 self.gateway.relay_errors += 1
                 await self._send_client(
-                    protocol.error_frame("shard-unavailable", str(error))
+                    protocol.with_seq(
+                        protocol.error_frame("shard-unavailable", str(error)),
+                        seq,
+                    )
                 )
                 return
             if challenge is not None and await self._try_cached_verdict(
-                group, challenge, bits, trace_parent
+                group, challenge, bits, trace_parent, seq=seq
             ):
                 return
 
             try:
                 upstream = await self._upstream(handle)
-                await protocol.write_frame(upstream.writer, upstream_reseed)
+                await upstream.send(upstream_reseed)
                 reply = await asyncio.wait_for(
                     upstream.stream.next(), self.config.upstream_timeout_s
                 )
@@ -364,7 +431,7 @@ class _ProxySession:
             if reply.type == "ERROR":
                 # The worker's own protocol-level answer (unknown
                 # group, bad field, ...) — relay and reset the round.
-                await self._send_client(reply)
+                await self._send_client(self._stamp(reply, seq))
                 return
             if reply.type != "CHALLENGE":
                 await self._worker_trouble(handle.worker_id)
@@ -372,7 +439,7 @@ class _ProxySession:
 
             if challenge is None:
                 challenge = reply
-                await self._send_client(reply)
+                await self._send_client(self._stamp(reply, seq))
             elif not _same_challenge(challenge, reply):
                 # The restored group disagrees with the challenge the
                 # reader already holds — snapshot and spec have
@@ -380,16 +447,21 @@ class _ProxySession:
                 self.gateway.relay_errors += 1
                 self.gateway._count("shard_relay_errors_total")
                 await self._send_client(
-                    protocol.error_frame(
-                        "reshard-mismatch",
-                        f"group {group!r} re-issued a different challenge "
-                        f"for round {challenge['round']} after failover",
+                    protocol.with_seq(
+                        protocol.error_frame(
+                            "reshard-mismatch",
+                            f"group {group!r} re-issued a different challenge "
+                            f"for round {challenge['round']} after failover",
+                        ),
+                        seq,
                     )
                 )
                 return
 
             if bits is None:
-                outcome = await self._await_proof(upstream, group, trace_parent)
+                outcome = await self._await_proof(
+                    upstream, group, trace_parent, seq
+                )
                 if outcome is _RETRY:
                     continue
                 if outcome is _DONE:
@@ -397,7 +469,7 @@ class _ProxySession:
                 bits = outcome
 
             try:
-                await protocol.write_frame(upstream.writer, bits)
+                await upstream.send(bits)
                 verdict = await asyncio.wait_for(
                     upstream.stream.next(), self.config.upstream_timeout_s
                 )
@@ -407,7 +479,7 @@ class _ProxySession:
             if verdict is None:
                 await self._worker_trouble(handle.worker_id)
                 continue
-            await self._send_client(verdict)
+            await self._send_client(self._stamp(verdict, seq))
             if verdict.type == "VERDICT":
                 self.gateway.rounds_proxied += 1
                 self.gateway._count("shard_rounds_proxied_total")
@@ -417,13 +489,30 @@ class _ProxySession:
             return
         self.gateway.relay_errors += 1
         await self._send_client(
-            protocol.error_frame(
-                "shard-unavailable",
-                f"round on group {group!r} kept failing across re-shards",
+            protocol.with_seq(
+                protocol.error_frame(
+                    "shard-unavailable",
+                    f"round on group {group!r} kept failing across re-shards",
+                ),
+                seq,
             )
         )
 
-    async def _await_proof(self, upstream: _Upstream, group, trace_parent):
+    @staticmethod
+    def _stamp(frame: Frame, seq) -> Frame:
+        """Echo the client's round seq on a relayed reply.
+
+        A v2 upstream hop already carried the seq through, in which
+        case the frame keeps the worker's (identical) echo; a v1 hop
+        stripped it, so the gateway restores it here.
+        """
+        if seq is None or frame.get("seq") is not None:
+            return frame
+        return protocol.with_seq(frame, seq)
+
+    async def _await_proof(
+        self, upstream: _Upstream, group, trace_parent, seq=None
+    ):
         """Wait for the client's BITSTRING *or* the worker's unprompted
         deadline VERDICT, whichever lands first.
 
@@ -447,7 +536,7 @@ class _ProxySession:
                 await self._worker_trouble(upstream.worker_id)
                 return _RETRY
             # Deadline VERDICT (or a worker-side ERROR): relay as-is.
-            await self._send_client(frame)
+            await self._send_client(self._stamp(frame, seq))
             if frame.type == "VERDICT":
                 self.gateway.rounds_proxied += 1
                 self.gateway._count("shard_rounds_proxied_total")
@@ -475,6 +564,7 @@ class _ProxySession:
         challenge: Frame,
         bits: Optional[Frame],
         trace_parent: Optional[SpanContext] = None,
+        seq=None,
     ) -> bool:
         """Serve the snapshot's verdict when the round already verified.
 
@@ -501,7 +591,7 @@ class _ProxySession:
             if frame is None:
                 raise _SessionAborted()
         verdict = Frame("VERDICT", dict(cached))
-        await self._send_client(verdict)
+        await self._send_client(self._stamp(verdict, seq))
         self.gateway.rounds_proxied += 1
         self.gateway.cached_verdicts_served += 1
         self.gateway._count("shard_rounds_proxied_total")

@@ -229,6 +229,7 @@ class WorkerSpec:
         heartbeat_interval_s: float = 0.5,
         timer_scale: float = 0.0,
         max_sessions: int = 256,
+        wire_versions: Tuple[int, ...] = (1, 2),
     ):
         if not worker_id or not isinstance(worker_id, str):
             raise ValueError("worker_id must be a non-empty string")
@@ -240,6 +241,12 @@ class WorkerSpec:
             "heartbeat_interval_s", heartbeat_interval_s, 0.0, strict=True
         )
         _require_finite("timer_scale", timer_scale, 0.0, strict=False)
+        wire_versions = tuple(wire_versions)
+        if 1 not in wire_versions or set(wire_versions) - {1, 2}:
+            raise ValueError(
+                f"wire_versions must include 1 and only known versions, "
+                f"got {wire_versions!r}"
+            )
         self.worker_id = worker_id
         self.control_host = control_host
         self.control_port = control_port
@@ -248,6 +255,7 @@ class WorkerSpec:
         self.heartbeat_interval_s = heartbeat_interval_s
         self.timer_scale = timer_scale
         self.max_sessions = max_sessions
+        self.wire_versions = wire_versions
 
     def to_dict(self) -> dict:
         return {
@@ -259,6 +267,7 @@ class WorkerSpec:
             "heartbeat_interval_s": self.heartbeat_interval_s,
             "timer_scale": self.timer_scale,
             "max_sessions": self.max_sessions,
+            "wire_versions": list(self.wire_versions),
         }
 
     @classmethod
@@ -274,6 +283,7 @@ class WorkerSpec:
             heartbeat_interval_s=doc["heartbeat_interval_s"],
             timer_scale=doc["timer_scale"],
             max_sessions=doc["max_sessions"],
+            wire_versions=tuple(doc.get("wire_versions", (1, 2))),
         )
 
 
@@ -326,6 +336,7 @@ async def _worker_main(spec: WorkerSpec) -> None:
         max_sessions=spec.max_sessions,
         obs=obs,
         tracer=tracer,
+        wire_versions=spec.wire_versions,
     )
     for group in spec.groups:
         service.host_spec(group)
@@ -541,6 +552,7 @@ class WorkerSupervisor:
                 heartbeat_interval_s=self.config.heartbeat_interval_s,
                 timer_scale=self.config.timer_scale,
                 max_sessions=self.config.max_sessions,
+                wire_versions=self.config.wire_versions,
             )
             process = context.Process(
                 target=_worker_entry,

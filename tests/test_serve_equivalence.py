@@ -53,7 +53,9 @@ def _inprocess_rounds(protocol: str, rounds: int):
     return reports
 
 
-def _wire_rounds(protocol: str, rounds: int):
+def _wire_rounds(
+    protocol: str, rounds: int, wire_version: int = 1, pipeline_depth: int = 1
+):
     """The same deployment split across a loopback wire."""
 
     async def scenario():
@@ -64,7 +66,15 @@ def _wire_rounds(protocol: str, rounds: int):
                 POP, seed=SEED, counter_tags=True
             )
             channel = SlottedChannel(population.tags)
-            async with ReaderClient("127.0.0.1", svc.port, channel) as client:
+            client = ReaderClient(
+                "127.0.0.1",
+                svc.port,
+                channel,
+                wire_version=wire_version,
+                pipeline_depth=pipeline_depth,
+            )
+            async with client:
+                assert client.negotiated_version == wire_version
                 outcomes = await client.run_rounds("g", rounds, protocol)
             return outcomes, list(svc.groups["g"].reports)
 
@@ -143,6 +153,60 @@ class TestUtrpEquivalence:
         assert (
             remote.result.mismatched_slots == local.result.mismatched_slots
         )
+
+
+class TestWireV2Equivalence:
+    """The tentpole claim: the negotiated binary framing — pipelined or
+    not — changes *nothing* about a round's cryptographic content.
+
+    Every (wire_version, pipeline_depth) mode must produce verdict,
+    seed and bitstring sequences bit-for-bit identical to plain v1 and
+    to the in-process reference, for TRP and for timer-enforced UTRP.
+    """
+
+    MODES = [(2, 1), (2, 2), (2, 4)]
+
+    def _assert_reports_match(self, protocol, local, remote):
+        assert len(remote) == len(local)
+        for lo, ro in zip(local, remote):
+            if protocol == "trp":
+                assert ro.challenge.seed == lo.challenge.seed
+            else:
+                assert tuple(ro.challenge.seeds) == tuple(lo.challenge.seeds)
+                assert ro.challenge.timer == lo.challenge.timer
+            assert ro.challenge.frame_size == lo.challenge.frame_size
+            np.testing.assert_array_equal(ro.scan.bitstring, lo.scan.bitstring)
+            assert ro.result.verdict == lo.result.verdict
+            assert ro.result.mismatched_slots == lo.result.mismatched_slots
+
+    def test_trp_modes_match_inprocess_and_v1(self):
+        rounds = 4
+        local = _inprocess_rounds("trp", rounds)
+        _, v1_reports = _wire_rounds("trp", rounds)
+        self._assert_reports_match("trp", local, v1_reports)
+        for wire_version, depth in self.MODES:
+            outcomes, reports = _wire_rounds(
+                "trp", rounds, wire_version=wire_version, pipeline_depth=depth
+            )
+            self._assert_reports_match("trp", local, reports)
+            assert [o.round_index for o in outcomes] == list(range(rounds))
+            for outcome, lo in zip(outcomes, local):
+                assert outcome.verdict == lo.result.verdict.value
+
+    def test_utrp_modes_match_inprocess_and_v1(self):
+        # UTRP pins timer parity too: the v2 CHALLENGE carries the
+        # timer as a binary f64 and the verdicts must stay identical.
+        rounds = 3
+        local = _inprocess_rounds("utrp", rounds)
+        _, v1_reports = _wire_rounds("utrp", rounds)
+        self._assert_reports_match("utrp", local, v1_reports)
+        for wire_version, depth in self.MODES:
+            outcomes, reports = _wire_rounds(
+                "utrp", rounds, wire_version=wire_version, pipeline_depth=depth
+            )
+            self._assert_reports_match("utrp", local, reports)
+            for outcome, lo in zip(outcomes, local):
+                assert outcome.verdict == lo.result.verdict.value
 
 
 class TestTimerParity:

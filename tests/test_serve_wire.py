@@ -1,0 +1,492 @@
+"""Tests for the negotiated binary wire framing (repro.serve.wire).
+
+Three layers:
+
+* pure codec round-trips — every frame type, trace envelopes, header
+  seqs, the NaN-absent UTRP timer and the packed-bitstring byte layout;
+* negotiation edge cases against a live service — fallback to v1,
+  unknown future versions, mid-stream framing confusion and truncated
+  v2 headers, each landing as a typed error with the server still
+  answering fresh connections afterwards;
+* the anti-dribble guard — a peer stalling mid-frame is evicted with a
+  typed ``idle-read`` error instead of holding its session slot.
+"""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.rfid.channel import SlottedChannel
+from repro.serve import (
+    MonitoringService,
+    ProtocolError,
+    ReaderClient,
+    SessionConfig,
+    WireV1,
+    WireV2,
+    codec_for,
+)
+from repro.serve import protocol
+from repro.serve.protocol import Frame
+from repro.serve.wire import _HEADER, WIRE_MAGIC
+
+POP = 40
+SEED = 7
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _service(session_config=None, **kwargs) -> MonitoringService:
+    svc = MonitoringService(session_config=session_config, **kwargs)
+    svc.create_group("g0", POP, 2, 0.9, seed=SEED, counter_tags=True)
+    return svc
+
+
+def _channel() -> SlottedChannel:
+    population = MonitoringService.build_population_for(
+        POP, seed=SEED, counter_tags=True
+    )
+    return SlottedChannel(population.tags)
+
+
+def _read_bytes(data: bytes, codec=WireV2) -> Frame:
+    """Decode one frame from raw bytes on a fresh in-memory stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await codec.read(reader)
+
+    return run(go())
+
+
+def _roundtrip(frame: Frame, codec=WireV2) -> Frame:
+    return _read_bytes(codec.encode(frame), codec)
+
+
+def _sample_bits(n: int, seed: int = 3) -> str:
+    arr = (np.random.default_rng(seed).random(n) < 0.5).astype(np.uint8)
+    return (arr + np.uint8(ord("0"))).tobytes().decode("ascii")
+
+
+SAMPLE_FRAMES = [
+    protocol.reseed("g0", "trp"),
+    protocol.challenge_frame("g0", "trp", 3, 57, [123456789]),
+    protocol.challenge_frame(
+        "g0", "utrp", 0, 61, [2**62 - 1, 0, 17], timer_us=1234.5
+    ),
+    Frame(
+        "BITSTRING",
+        {
+            "group": "g0",
+            "round": 2,
+            "bits": _sample_bits(57),
+            "elapsed_us": 456.25,
+            "seeds_used": 3,
+        },
+    ),
+    protocol.verdict_frame("g0", 4, "not-intact", 57, 3, 789.5, True),
+    protocol.error_frame("unknown-group", "no group named 'nope'"),
+]
+
+
+class TestCodecRoundTrips:
+    @pytest.mark.parametrize(
+        "frame", SAMPLE_FRAMES, ids=lambda f: f.type.lower()
+    )
+    def test_every_frame_type_roundtrips(self, frame):
+        decoded = _roundtrip(frame)
+        assert decoded.type == frame.type
+        assert dict(decoded.payload) == dict(frame.payload)
+
+    @pytest.mark.parametrize(
+        "frame", SAMPLE_FRAMES, ids=lambda f: f.type.lower()
+    )
+    def test_trace_and_seq_ride_every_type(self, frame):
+        envelope = {"id": "trace-1", "span": "span-1", "hop": 2}
+        stamped = protocol.with_seq(
+            protocol.with_trace(frame, envelope), 41
+        )
+        decoded = _roundtrip(stamped)
+        assert decoded["trace"] == envelope
+        assert decoded["seq"] == 41
+
+    def test_absent_utrp_timer_stays_absent(self):
+        # NaN is the wire sentinel for "no timer"; it must decode back
+        # to a payload *without* the key, not to a NaN value.
+        frame = protocol.challenge_frame("g0", "trp", 0, 57, [1])
+        assert "timer_us" not in frame.payload
+        assert "timer_us" not in _roundtrip(frame).payload
+
+    def test_empty_bitstring_roundtrips(self):
+        frame = Frame(
+            "BITSTRING",
+            {
+                "group": "g0",
+                "round": 0,
+                "bits": "",
+                "elapsed_us": 0.0,
+                "seeds_used": 0,
+            },
+        )
+        assert _roundtrip(frame)["bits"] == ""
+
+    def test_v1_encoding_strips_seq(self):
+        # v1 wire bytes must stay byte-identical to pre-seq builds.
+        frame = protocol.reseed("g0", "trp")
+        stamped = protocol.with_seq(frame, 9)
+        assert WireV1.encode(stamped) == WireV1.encode(frame)
+
+    def test_v2_bitstring_frame_is_at_least_4x_smaller_at_10k(self):
+        # The deterministic core of the benchmarks/check_serve_wire.py
+        # gate: packed bits shrink the dominant frame >= 4x.
+        frame = Frame(
+            "BITSTRING",
+            {
+                "group": "g0",
+                "round": 0,
+                "bits": _sample_bits(10_000),
+                "elapsed_us": 1.0,
+                "seeds_used": 1,
+            },
+        )
+        assert len(WireV1.encode(frame)) >= 4 * len(WireV2.encode(frame))
+
+    def test_codec_for_rejects_unknown_versions(self):
+        assert codec_for(1) is WireV1
+        assert codec_for(2) is WireV2
+        with pytest.raises(ProtocolError) as err:
+            codec_for(3)
+        assert err.value.code == "unsupported-version"
+
+    def test_v2_rejects_hello_frames(self):
+        # HELLO is the negotiation bootstrap; it only ever rides v1.
+        with pytest.raises(ProtocolError) as err:
+            WireV2.encode(protocol.hello_frame([1, 2]))
+        assert err.value.code == "unknown-type"
+
+
+class TestCodecRejections:
+    def test_truncated_body_is_typed(self):
+        data = WireV2.encode(SAMPLE_FRAMES[1])
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(data[:-3])
+        assert err.value.code == "truncated"
+
+    def test_truncated_header_is_typed(self):
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(WireV2.encode(SAMPLE_FRAMES[0])[:5])
+        assert err.value.code == "truncated"
+
+    def test_v1_bytes_on_a_v2_reader_are_version_mismatch(self):
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(WireV1.encode(protocol.reseed("g0", "trp")))
+        assert err.value.code == "version-mismatch"
+
+    def test_nonzero_pad_byte_is_rejected(self):
+        data = bytearray(WireV2.encode(SAMPLE_FRAMES[0]))
+        data[3] = 1
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(bytes(data))
+        assert err.value.code == "bad-field"
+
+    def test_unknown_type_code_is_rejected(self):
+        header = _HEADER.pack(WIRE_MAGIC, 9, 0, 0, 0, 0)
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(header)
+        assert err.value.code == "unknown-type"
+
+    def test_oversize_declaration_is_rejected(self):
+        header = _HEADER.pack(WIRE_MAGIC, 1, 0, 0, 0, 2**31)
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(header)
+        assert err.value.code == "oversize"
+
+    def test_trailing_bytes_are_rejected(self):
+        data = bytearray(WireV2.encode(SAMPLE_FRAMES[0]))
+        body_len = struct.unpack_from("<I", data, 8)[0]
+        struct.pack_into("<I", data, 8, body_len + 2)
+        data.extend(b"\x00\x00")
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(bytes(data))
+        assert err.value.code == "bad-field"
+
+
+class TestPackedBits:
+    def test_pack_unpack_roundtrip(self):
+        for n in (0, 1, 7, 8, 9, 57, 10_000):
+            bits = _sample_bits(n, seed=n)
+            assert protocol.unpack_bits(protocol.pack_bits(bits), n) == bits
+
+    def test_packed_density_is_8x(self):
+        assert len(protocol.pack_bits("1" * 8000)) == 1000
+
+    def test_wrong_length_is_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.unpack_bits(b"\xff", 9)
+        assert err.value.code == "bad-field"
+
+    def test_nonzero_padding_is_rejected(self):
+        # 3 bits occupy one byte; the 5 padding bits must be zero, so
+        # a tampered tail cannot smuggle ambiguous encodings.
+        packed = protocol.pack_bits("101")
+        with pytest.raises(ProtocolError) as err:
+            protocol.unpack_bits(bytes([packed[0] | 0x01]), 3)
+        assert err.value.code == "bad-field"
+
+    def test_bits_to_array_rejects_non_binary(self):
+        for bad in ("012", "ab", "01\x00", "1⁄0"):
+            with pytest.raises(ProtocolError):
+                protocol.bits_to_array(bad)
+
+
+class TestNegotiation:
+    def test_v2_client_negotiates_v2(self):
+        async def scenario():
+            async with _service() as svc:
+                client = ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), wire_version=2
+                )
+                async with client:
+                    outcome = await client.run_round("g0", "trp")
+                return client.negotiated_version, outcome
+
+        version, outcome = run(scenario())
+        assert version == 2
+        assert outcome.verdict == "intact"
+
+    def test_v2_client_falls_back_to_v1_only_server(self):
+        async def scenario():
+            async with _service(wire_versions=(1,)) as svc:
+                client = ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), wire_version=2
+                )
+                async with client:
+                    outcome = await client.run_round("g0", "trp")
+                return client.negotiated_version, outcome
+
+        version, outcome = run(scenario())
+        assert version == 1
+        assert outcome.verdict == "intact"
+
+    def test_pipelined_client_degrades_to_sequential_on_v1(self):
+        async def scenario():
+            async with _service(wire_versions=(1,)) as svc:
+                client = ReaderClient(
+                    "127.0.0.1",
+                    svc.port,
+                    _channel(),
+                    wire_version=2,
+                    pipeline_depth=2,
+                )
+                async with client:
+                    return await client.run_rounds("g0", 3, "trp")
+
+        outcomes = run(scenario())
+        assert [o.round_index for o in outcomes] == [0, 1, 2]
+
+    def test_unknown_future_version_offer_earns_typed_error(self):
+        # A raw v99-only HELLO (no v1 in the offer) must earn a
+        # recoverable unsupported-version ERROR — and the session must
+        # still serve a plain v1 round afterwards.
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                writer.write(WireV1.encode(protocol.hello_frame([99])))
+                await writer.drain()
+                reply = await protocol.read_frame(reader)
+                writer.write(WireV1.encode(protocol.reseed("g0", "trp")))
+                await writer.drain()
+                challenge = await protocol.read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+                return reply, challenge
+
+        reply, challenge = run(scenario())
+        assert reply.type == "ERROR"
+        assert reply["code"] == "unsupported-version"
+        assert challenge.type == "CHALLENGE"
+
+    def test_mixed_offer_with_future_version_negotiates_down(self):
+        # [1, 99] shares v1 with the server: negotiation picks it.
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                writer.write(WireV1.encode(protocol.hello_frame([1, 99])))
+                await writer.drain()
+                reply = await protocol.read_frame(reader)
+                writer.close()
+                await writer.wait_closed()
+                return reply
+
+        reply = run(scenario())
+        assert reply.type == "HELLO"
+        assert reply["versions"] == [1]
+
+    def test_negotiations_counted_in_metrics(self):
+        from repro.obs import ObsContext, prometheus_text
+
+        obs = ObsContext()
+
+        async def scenario():
+            async with _service(obs=obs) as svc:
+                client = ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), wire_version=2
+                )
+                async with client:
+                    await client.run_round("g0", "trp")
+
+        run(scenario())
+        text = prometheus_text(obs.registry)
+        assert 'serve_wire_negotiations_total{version="2"} 1' in text
+        kinds = {e.name for e in obs.bus.events()}
+        assert "serve.negotiate" in kinds
+
+
+class TestFramingConfusion:
+    def test_v2_frame_on_v1_session_is_typed_and_survivable(self):
+        # A peer that skips HELLO and just starts speaking v2 desyncs
+        # the stream: the server answers with a typed ERROR (the 0xF2
+        # magic reads as an oversize v1 length prefix), hangs up, and
+        # keeps serving fresh connections.
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                writer.write(WireV2.encode(protocol.reseed("g0", "trp")))
+                await writer.drain()
+                reply = await protocol.read_frame(reader)
+                eof = await reader.read(1)
+                writer.close()
+                await writer.wait_closed()
+
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    outcome = await client.run_round("g0", "trp")
+                return reply, eof, outcome
+
+        reply, eof, outcome = run(scenario())
+        assert reply.type == "ERROR"
+        assert reply["code"] == "oversize"
+        assert eof == b""  # the desynced session was hung up
+        assert outcome.verdict == "intact"
+
+    def test_truncated_v2_header_then_eof_is_survivable(self):
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                writer.write(WireV1.encode(protocol.hello_frame([1, 2])))
+                await writer.drain()
+                hello = await protocol.read_frame(reader)
+                writer.write(WireV2.encode(protocol.reseed("g0", "trp"))[:5])
+                writer.close()
+                await writer.wait_closed()
+
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    outcome = await client.run_round("g0", "trp")
+                return hello, outcome
+
+        hello, outcome = run(scenario())
+        assert hello.type == "HELLO" and hello["versions"] == [2]
+        assert outcome.verdict == "intact"
+
+    def test_server_echoes_request_seq_on_v2(self):
+        async def scenario():
+            async with _service() as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                writer.write(WireV1.encode(protocol.hello_frame([1, 2])))
+                await writer.drain()
+                await protocol.read_frame(reader)  # HELLO ack
+                writer.write(
+                    WireV2.encode(
+                        protocol.with_seq(protocol.reseed("g0", "trp"), 41)
+                    )
+                )
+                await writer.drain()
+                challenge = await WireV2.read(reader)
+                writer.close()
+                await writer.wait_closed()
+                return challenge
+
+        challenge = run(scenario())
+        assert challenge.type == "CHALLENGE"
+        assert challenge["seq"] == 41
+
+    def test_client_rejects_mismatched_seq(self):
+        from repro.serve.client import _RoundState
+
+        client = ReaderClient("127.0.0.1", 1, _channel(), wire_version=2)
+        state = _RoundState("g0", "trp")
+        state.seq = 3
+        frame = protocol.with_seq(
+            protocol.challenge_frame("g0", "trp", 0, 57, [1]), 4
+        )
+        with pytest.raises(ProtocolError) as err:
+            client._check_seq(state, frame)
+        assert err.value.code == "seq-mismatch"
+
+
+class TestDribbleGuard:
+    def test_mid_frame_stall_is_evicted_with_idle_read(self):
+        config = SessionConfig(frame_idle_timeout_s=0.05)
+
+        async def scenario():
+            async with _service(session_config=config) as svc:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", svc.port
+                )
+                # One byte of a length prefix, then silence: the guard
+                # must evict rather than hold the slot forever.
+                writer.write(b"\x00")
+                await writer.drain()
+                reply = await protocol.read_frame(reader)
+                eof = await reader.read(1)
+                writer.close()
+                await writer.wait_closed()
+
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    outcome = await client.run_round("g0", "trp")
+                return reply, eof, outcome
+
+        reply, eof, outcome = run(scenario())
+        assert reply.type == "ERROR"
+        assert reply["code"] == "idle-read"
+        assert eof == b""
+        assert outcome.verdict == "intact"
+
+    def test_idle_between_frames_is_not_an_idle_read(self):
+        # The guard bites only *inside* a frame; a client thinking
+        # between rounds is governed by idle_timeout_s, not this.
+        config = SessionConfig(frame_idle_timeout_s=0.05)
+
+        async def scenario():
+            async with _service(session_config=config) as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel()
+                ) as client:
+                    first = await client.run_round("g0", "trp")
+                    await asyncio.sleep(0.12)
+                    second = await client.run_round("g0", "trp")
+                return first, second
+
+        first, second = run(scenario())
+        assert (first.round_index, second.round_index) == (0, 1)

@@ -117,7 +117,13 @@ class TestConfigValidation:
         ]
 
 
-def _campaign_config(port: int, groups: int, rounds: int) -> RemoteCampaignConfig:
+def _campaign_config(
+    port: int,
+    groups: int,
+    rounds: int,
+    wire_version: int = 1,
+    pipeline_depth: int = 1,
+) -> RemoteCampaignConfig:
     return RemoteCampaignConfig(
         host="127.0.0.1",
         port=port,
@@ -130,6 +136,8 @@ def _campaign_config(port: int, groups: int, rounds: int) -> RemoteCampaignConfi
         seed=SEED,
         counter_tags=False,
         concurrency=4,
+        wire_version=wire_version,
+        pipeline_depth=pipeline_depth,
     )
 
 
@@ -177,6 +185,58 @@ class TestGatewayEquivalence:
             assert (
                 sharded_result.per_group[name] == single_result.per_group[name]
             ), name
+
+    def test_v2_pipelined_reader_matches_v1_through_gateway(self):
+        # The wire-v2 leg of the chain: a pipelining binary-framing
+        # reader crossing the gateway (which negotiates v2 upstream to
+        # its workers by default) sees the identical rounds a plain v1
+        # reader does.
+        groups, rounds = 4, 3
+        config = ShardConfig(
+            workers=2, groups=groups, population=POP, tolerance=2, seed=SEED
+        )
+
+        async def campaign(wire_version, pipeline_depth):
+            async with ShardCluster(config) as cluster:
+                return await drive_remote_campaign_async(
+                    _campaign_config(
+                        cluster.port,
+                        groups,
+                        rounds,
+                        wire_version=wire_version,
+                        pipeline_depth=pipeline_depth,
+                    )
+                )
+
+        v1 = asyncio.run(campaign(1, 1))
+        v2 = asyncio.run(campaign(2, 2))
+        assert v1.protocol_errors == []
+        assert v2.protocol_errors == []
+        assert v2.rounds_completed == groups * rounds
+        for name in sorted(v1.per_group):
+            assert v2.per_group[name] == v1.per_group[name], name
+
+    def test_v1_only_cluster_still_serves_v2_readers(self):
+        # wire_versions=(1,) pins every hop to JSON framing; a v2
+        # reader's HELLO negotiates down and the campaign still runs.
+        config = ShardConfig(
+            workers=2,
+            groups=2,
+            population=POP,
+            tolerance=2,
+            seed=SEED,
+            wire_versions=(1,),
+        )
+
+        async def scenario():
+            async with ShardCluster(config) as cluster:
+                return await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, 2, 2, wire_version=2)
+                )
+
+        result = asyncio.run(scenario())
+        assert result.protocol_errors == []
+        assert result.rounds_completed == 4
 
     def test_unknown_group_is_a_clean_protocol_error(self):
         config = ShardConfig(
@@ -236,13 +296,26 @@ class TestDistributedObservability:
     """Tentpole acceptance: trace digests invariant across sharding,
     and a live /metrics scrape that accounts for every verdict."""
 
-    def _drill(self, workers, kill_fraction=0.25):
+    def _drill(self, workers, kill_fraction=0.25, **kwargs):
         from repro.shard import run_drill
 
         config = ShardConfig(
             workers=workers, groups=4, population=POP, tolerance=2, seed=SEED
         )
-        return run_drill(config, rounds=2, kill_fraction=kill_fraction)
+        return run_drill(
+            config, rounds=2, kill_fraction=kill_fraction, **kwargs
+        )
+
+    def test_kill_drill_under_wire_v2_pipelined(self):
+        # The drill's zero-loss, bit-identity claim must survive the
+        # binary framing with overlapped rounds — a SIGKILL mid-campaign
+        # included.
+        result = self._drill(workers=3, wire_version=2, pipeline_depth=2)
+        assert result.ok, result.mismatches
+        assert result.lost_verdicts == 0
+        assert result.mismatches == []
+        assert result.wire_version == 2
+        assert result.scraped_verdicts == result.verdicts_completed == 8
 
     def test_kill_drill_scrape_is_exact(self):
         result = self._drill(workers=3)
