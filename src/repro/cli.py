@@ -17,6 +17,7 @@ Usage::
     python -m repro shard --workers 4 --groups 16       # sharded gateway
     python -m repro shard --drill                       # kill-a-worker drill
     python -m repro shard --drill --trace-out trace.jsonl   # + merged trace
+    python -m repro shard --chaos                       # self-healing chaos drill
     python -m repro shard --bench                       # scaling, BENCH_shard.json
     python -m repro obs tail trace.jsonl                # causal trace tree
     python -m repro obs report trace.jsonl --metrics m.txt  # SLO attainment
@@ -468,8 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
             "make worker death survivable, and failover re-shards a dead "
             "worker's groups onto survivors without losing a verdict. "
             "Default mode serves until --rounds-limit verdicts; --drill "
-            "runs the kill-a-worker acceptance drill; --bench measures "
-            "1-worker vs N-worker scaling into BENCH_shard.json."
+            "runs the kill-a-worker acceptance drill; --chaos runs the "
+            "self-healing chaos drill (seeded kills, restarts, disk "
+            "faults, upstream stalls); --bench measures 1-worker vs "
+            "N-worker scaling into BENCH_shard.json."
         ),
     )
     shard.add_argument("--host", default="127.0.0.1", help="gateway bind address")
@@ -528,6 +531,23 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--concurrency", type=int, default=8, metavar="C",
         help="drill/bench reader sessions in flight (default 8)",
+    )
+    shard.add_argument(
+        "--chaos", action="store_true",
+        help="run the self-healing chaos drill: seeded worker kills, "
+        "auto-restarts, hand-backs, snapshot disk faults and an "
+        "upstream stall (exit 1 unless zero verdicts were lost, every "
+        "worker healed and the verdict digests match fault-free)",
+    )
+    shard.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="S",
+        help="chaos: seed for the fault schedule draws (default: the "
+        "cluster's master --seed)",
+    )
+    shard.add_argument(
+        "--chaos-out", default=None, metavar="PATH",
+        help="chaos: write the full ChaosResult as JSON (CI's numeric "
+        "gate reads restart/hand-back/disk-fault counts from it)",
     )
     shard.add_argument(
         "--bench", action="store_true",
@@ -1033,6 +1053,36 @@ def _run_shard(args: argparse.Namespace) -> int:
         counter_tags=args.counter_tags,
         state_dir=args.state_dir,
     )
+
+    if args.chaos:
+        import dataclasses
+        import json
+
+        from .obs import ObsContext
+        from .shard import format_chaos_result, run_chaos_drill
+
+        if args.chaos_seed is not None:
+            config = dataclasses.replace(config, chaos_seed=args.chaos_seed)
+        result = run_chaos_drill(
+            config,
+            rounds=args.rounds,
+            concurrency=args.concurrency,
+            obs=ObsContext(),
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            wire_version=_wire_version(args),
+            pipeline_depth=args.pipeline_depth,
+        )
+        print(format_chaos_result(result))
+        if args.chaos_out is not None:
+            with open(args.chaos_out, "w") as fh:
+                json.dump(result.to_dict(), fh, indent=1)
+            print(f"chaos result written to {args.chaos_out}")
+        if args.trace_out is not None:
+            print(f"merged trace written to {args.trace_out}")
+        if args.metrics_out is not None:
+            print(f"metrics scrape written to {args.metrics_out}")
+        return 0 if result.ok else 1
 
     if args.drill:
         from .shard import format_drill_result, run_drill

@@ -16,14 +16,36 @@ alarm confirmation, counter resync) live with the verification and
 protocol code in :mod:`repro.core`; this package only breaks things.
 """
 
-from .inject import FAULT_DIMENSION, FaultInjector, RoundFaults
-from .models import BurstLossChannel, GilbertElliott
-from .plan import FAULT_KINDS, FaultPlan, FaultSpec, example_plan
+from .inject import (
+    DISK_FAULT_DIMENSION,
+    FAULT_DIMENSION,
+    DiskFaultInjector,
+    FaultInjector,
+    RoundFaults,
+)
+from .models import (
+    DISK_FAULT_KINDS,
+    BurstLossChannel,
+    DiskFaultModel,
+    GilbertElliott,
+)
+from .plan import (
+    CLUSTER_FAULT_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    example_plan,
+)
 
 __all__ = [
+    "CLUSTER_FAULT_KINDS",
+    "DISK_FAULT_DIMENSION",
+    "DISK_FAULT_KINDS",
     "FAULT_DIMENSION",
     "FAULT_KINDS",
     "BurstLossChannel",
+    "DiskFaultInjector",
+    "DiskFaultModel",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

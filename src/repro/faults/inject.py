@@ -18,20 +18,31 @@ which tags miss the downlink? — comes from a generator seeded purely by
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from ..simulation.rng import derive_seed
-from .models import GilbertElliott
-from .plan import FaultPlan, FaultSpec
+from .models import DiskFaultModel, GilbertElliott
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
 
-__all__ = ["RoundFaults", "FaultInjector", "FAULT_DIMENSION"]
+__all__ = [
+    "RoundFaults",
+    "FaultInjector",
+    "DiskFaultInjector",
+    "FAULT_DIMENSION",
+    "DISK_FAULT_DIMENSION",
+]
 
 # Seed-space dimension reserved for fault draws. The fleet reserves 99
 # for group generators; 7 keeps the two streams provably disjoint.
 FAULT_DIMENSION = 7
+
+# Disk faults draw from their own dimension so a plan mixing air and
+# disk specs perturbs neither stream by adding the other.
+DISK_FAULT_DIMENSION = 11
 
 
 @dataclass
@@ -109,7 +120,15 @@ class FaultInjector:
         if population < 0:
             raise ValueError(f"population must be >= 0, got {population}")
         faults = RoundFaults()
-        specs = self.plan.specs_for(group_name, tick)
+        # Cluster-kind specs (worker-kill, disk-fault, upstream-stall)
+        # are the chaos scheduler's business — skipping them *before*
+        # the gate loop keeps the air draw schedule independent of
+        # their presence in the plan.
+        specs = [
+            s
+            for s in self.plan.specs_for(group_name, tick)
+            if s.fault in FAULT_KINDS
+        ]
         if not specs:
             return faults
         rng = self.rng_for(group_index, tick, attempt)
@@ -159,3 +178,76 @@ class FaultInjector:
             else:
                 faults.fade_after = np.minimum(faults.fade_after, fades)
         faults.injected.append(spec.fault)
+
+
+def _group_coordinate(group_name: str) -> int:
+    """A stable integer coordinate for a group *name*.
+
+    Disk faults are keyed by name, not by the group's index on whatever
+    worker currently hosts it — so the same plan torments the same
+    snapshot file no matter how failover has shuffled placement.
+    """
+    digest = hashlib.blake2b(group_name.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 2
+
+
+class DiskFaultInjector:
+    """Materialises a plan's ``disk-fault`` specs per snapshot write.
+
+    The sibling of :class:`FaultInjector` for the storage axis: where
+    the air injector answers "what does round ``tick`` suffer?", this
+    one answers "does snapshot write number ``write_index`` of group
+    ``g`` fail, and how?". Draw coordinates are
+    ``(master_seed, DISK_FAULT_DIMENSION, hash(group_name),
+    write_index)`` — pure, so a chaos drill's disk carnage replays
+    byte-for-byte, and disjoint from both the group and the air fault
+    streams.
+    """
+
+    def __init__(self, plan: FaultPlan, master_seed: int):
+        self.plan = plan
+        self.master_seed = int(master_seed)
+        self.model = DiskFaultModel()
+
+    def rng_for(self, group_name: str, write_index: int) -> np.random.Generator:
+        """The write's private fault generator (pure coordinates)."""
+        return np.random.default_rng(
+            derive_seed(
+                self.master_seed,
+                DISK_FAULT_DIMENSION,
+                _group_coordinate(group_name),
+                write_index,
+            )
+        )
+
+    def fault_for(self, group_name: str, write_index: int) -> Optional[str]:
+        """The failure mode striking one snapshot write, or ``None``.
+
+        A spec's ``at_tick`` scopes the *write index* (the n-th
+        persisted snapshot of that group), reusing
+        :meth:`FaultSpec.applies_to` verbatim. As in the air injector,
+        every in-scope spec consumes exactly one gate draw whether or
+        not it fires; the first firing spec decides the mode
+        (``spec.mode`` if pinned, else a seeded uniform draw).
+
+        Raises:
+            ValueError: on a negative write index.
+        """
+        if write_index < 0:
+            raise ValueError(f"write_index must be >= 0, got {write_index}")
+        specs = [
+            s
+            for s in self.plan.specs_for(group_name, write_index)
+            if s.fault == "disk-fault"
+        ]
+        if not specs:
+            return None
+        rng = self.rng_for(group_name, write_index)
+        mode: Optional[str] = None
+        for spec in specs:
+            gate = rng.random()
+            if gate >= spec.probability:
+                continue
+            if mode is None:
+                mode = spec.mode or self.model.draw(rng)
+        return mode

@@ -21,14 +21,80 @@ unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..rfid.channel import SlotObservation, SlotOutcome, SlottedChannel
 from ..rfid.tag import Tag
 
-__all__ = ["GilbertElliott", "BurstLossChannel"]
+__all__ = [
+    "DISK_FAULT_KINDS",
+    "DiskFaultModel",
+    "GilbertElliott",
+    "BurstLossChannel",
+]
+
+#: Snapshot-write failure modes the disk-fault injector can inflict.
+#:
+#: ===============  ====================================================
+#: ``torn-write``   The temp file is truncated mid-document — the
+#:                  classic torn write a crash between ``write`` and
+#:                  ``fsync`` leaves behind. The writer's read-back
+#:                  verification catches it before the rename.
+#: ``short-write``  A few trailing bytes never hit the platter; also
+#:                  caught at read-back, before the rename.
+#: ``enospc``       ``OSError(ENOSPC)`` before any byte lands; the old
+#:                  snapshot survives untouched.
+#: ``fsync-fail``   The data is written but the flush raises
+#:                  ``OSError(EIO)``; the temp file is discarded and
+#:                  the old snapshot survives.
+#: ===============  ====================================================
+DISK_FAULT_KINDS = ("torn-write", "short-write", "enospc", "fsync-fail")
+
+
+@dataclass(frozen=True)
+class DiskFaultModel:
+    """How a snapshot write fails when a disk-fault spec fires.
+
+    The model is the *physics* half of disk-fault injection (the
+    policy half — which write, which group — lives in the plan): it
+    picks a failure mode from ``kinds`` and decides how many bytes a
+    torn or short write leaves behind. All choices are pure functions
+    of the caller-supplied generator, so a chaos schedule replays
+    byte-for-byte.
+    """
+
+    kinds: Tuple[str, ...] = DISK_FAULT_KINDS
+
+    def __post_init__(self) -> None:
+        kinds = tuple(self.kinds)
+        if not kinds:
+            raise ValueError("DiskFaultModel needs at least one kind")
+        unknown = set(kinds) - set(DISK_FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown disk-fault kinds: {', '.join(sorted(unknown))}"
+            )
+        object.__setattr__(self, "kinds", kinds)
+
+    def draw(self, rng: np.random.Generator) -> str:
+        """Pick a failure mode uniformly from ``kinds``."""
+        return self.kinds[int(rng.integers(0, len(self.kinds)))]
+
+    @staticmethod
+    def torn_prefix(num_bytes: int) -> int:
+        """Bytes a torn write leaves: the document cut mid-JSON."""
+        if num_bytes < 1:
+            raise ValueError(f"num_bytes must be >= 1, got {num_bytes}")
+        return max(1, num_bytes // 2)
+
+    @staticmethod
+    def short_prefix(num_bytes: int) -> int:
+        """Bytes a short write leaves: everything but the tail."""
+        if num_bytes < 1:
+            raise ValueError(f"num_bytes must be >= 1, got {num_bytes}")
+        return max(1, num_bytes - 16)
 
 
 @dataclass(frozen=True)

@@ -33,9 +33,43 @@ import json
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "example_plan"]
+from .models import DISK_FAULT_KINDS
 
+__all__ = [
+    "FAULT_KINDS",
+    "CLUSTER_FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "example_plan",
+]
+
+#: Air-interface fault kinds — consumed per round by the
+#: :class:`~repro.faults.inject.FaultInjector`.
 FAULT_KINDS = ("burst-loss", "seed-loss", "reader-crash", "tag-fade", "outage")
+
+#: Cluster-infrastructure fault kinds — consumed by the shard chaos
+#: drill, never by the air injector (so adding them to a plan cannot
+#: perturb the air-side draw schedule):
+#:
+#: ================== ==================================================
+#: ``worker-kill``    SIGKILL a worker once ``at_tick`` cluster-wide
+#:                    verdicts have completed. ``workers`` pins the
+#:                    victim; empty scope = the busiest live worker.
+#: ``disk-fault``     Fail a group's snapshot write; scoping reuses
+#:                    ``groups`` and ``at_tick`` (= write index), with
+#:                    ``mode`` pinning a :data:`DISK_FAULT_KINDS` entry
+#:                    (``None`` = seeded uniform draw).
+#: ``upstream-stall`` A worker stops accepting *new* sessions for
+#:                    ``duration_s`` once ``at_tick`` verdicts have
+#:                    completed — the gateway sees connect-then-EOF and
+#:                    its circuit breaker takes over. In-flight rounds
+#:                    are untouched, which is what keeps the verdict
+#:                    stream bit-identical.
+#: ================== ==================================================
+CLUSTER_FAULT_KINDS = ("worker-kill", "disk-fault", "upstream-stall")
+
+#: Kinds that carry no air-interface intensity.
+_INTENSITY_FREE = ("outage",) + CLUSTER_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -53,6 +87,12 @@ class FaultSpec:
         probability: per-round firing probability for stochastic specs
             (also gates a scripted spec, default: always fires).
         burst_length: mean burst length in slots (``burst-loss`` only).
+        workers: worker ids a cluster-kind spec targets (``worker-kill``
+            / ``upstream-stall``); ``None`` lets the chaos scheduler
+            pick the busiest live worker at fire time.
+        duration_s: stall length in seconds (``upstream-stall`` only).
+        mode: pinned :data:`~repro.faults.models.DISK_FAULT_KINDS`
+            entry (``disk-fault`` only); ``None`` = seeded draw.
     """
 
     fault: str
@@ -61,18 +101,21 @@ class FaultSpec:
     at_tick: Optional[int] = None
     probability: float = 1.0
     burst_length: float = 1.0
+    workers: Optional[Sequence[str]] = None
+    duration_s: float = 0.0
+    mode: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.fault not in FAULT_KINDS:
+        if self.fault not in FAULT_KINDS + CLUSTER_FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.fault!r}; expected one of "
-                f"{', '.join(FAULT_KINDS)}"
+                f"{', '.join(FAULT_KINDS + CLUSTER_FAULT_KINDS)}"
             )
         if not 0.0 <= self.intensity <= 1.0:
             raise ValueError(
                 f"intensity must be within [0, 1], got {self.intensity}"
             )
-        if self.fault != "outage" and self.intensity == 0.0:
+        if self.fault not in _INTENSITY_FREE and self.intensity == 0.0:
             raise ValueError(f"{self.fault} needs a positive intensity")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(
@@ -84,6 +127,41 @@ class FaultSpec:
             raise ValueError(
                 f"burst_length must be >= 1, got {self.burst_length}"
             )
+        if self.workers is not None:
+            if self.fault not in ("worker-kill", "upstream-stall"):
+                raise ValueError(
+                    f"workers scope only applies to worker-kill / "
+                    f"upstream-stall specs, not {self.fault!r}"
+                )
+            object.__setattr__(self, "workers", tuple(self.workers))
+        if self.fault in ("worker-kill", "upstream-stall"):
+            if self.at_tick is None:
+                raise ValueError(
+                    f"{self.fault} is scripted: it needs an at_tick "
+                    f"(cluster-wide verdict count to fire at)"
+                )
+        if self.fault == "upstream-stall":
+            if not self.duration_s > 0.0:
+                raise ValueError(
+                    f"upstream-stall needs a positive duration_s, "
+                    f"got {self.duration_s}"
+                )
+        elif self.duration_s != 0.0:
+            raise ValueError(
+                f"duration_s only applies to upstream-stall specs, "
+                f"not {self.fault!r}"
+            )
+        if self.mode is not None:
+            if self.fault != "disk-fault":
+                raise ValueError(
+                    f"mode only applies to disk-fault specs, not "
+                    f"{self.fault!r}"
+                )
+            if self.mode not in DISK_FAULT_KINDS:
+                raise ValueError(
+                    f"unknown disk-fault mode {self.mode!r}; expected one "
+                    f"of {', '.join(DISK_FAULT_KINDS)}"
+                )
         if self.groups is not None:
             object.__setattr__(self, "groups", tuple(self.groups))
 
@@ -109,6 +187,12 @@ class FaultSpec:
             doc["probability"] = self.probability
         if self.burst_length != 1.0:
             doc["burst_length"] = self.burst_length
+        if self.workers is not None:
+            doc["workers"] = list(self.workers)
+        if self.duration_s != 0.0:
+            doc["duration_s"] = self.duration_s
+        if self.mode is not None:
+            doc["mode"] = self.mode
         return doc
 
     @classmethod
@@ -126,6 +210,9 @@ class FaultSpec:
             "at_tick",
             "probability",
             "burst_length",
+            "workers",
+            "duration_s",
+            "mode",
         }
         unknown = set(doc) - known
         if unknown:
@@ -141,6 +228,9 @@ class FaultSpec:
             at_tick=doc.get("at_tick"),
             probability=float(doc.get("probability", 1.0)),
             burst_length=float(doc.get("burst_length", 1.0)),
+            workers=doc.get("workers"),
+            duration_s=float(doc.get("duration_s", 0.0)),
+            mode=doc.get("mode"),
         )
 
 

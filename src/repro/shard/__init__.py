@@ -23,10 +23,21 @@ horizontally without changing a byte of it:
   quantiles, UTRP deadline-budget consumption, late rejections);
 * :mod:`repro.shard.cluster` / :mod:`repro.shard.bench` — the pieces
   assembled: one object to start/stop, the drill, and the scaling
-  benchmark behind ``BENCH_shard.json``.
+  benchmark behind ``BENCH_shard.json``;
+* :mod:`repro.shard.chaos` — the self-healing acceptance test: a
+  seeded fault schedule (kills, restarts, disk faults, upstream
+  stalls) the cluster must survive with zero lost verdicts, every
+  worker healthy at the end and per-group verdict digests identical
+  to a fault-free run.
 """
 
 from .bench import ShardBenchConfig, format_shard_bench, run_shard_bench
+from .chaos import (
+    ChaosResult,
+    default_chaos_plan,
+    format_chaos_result,
+    run_chaos_drill,
+)
 from .cluster import DrillResult, ShardCluster, format_drill_result, run_drill
 from .config import ShardConfig, ShardGroupSpec
 from .failover import (
@@ -38,17 +49,20 @@ from .failover import (
     snapshot_path,
     write_snapshot,
 )
-from .gateway import ShardGateway
+from .gateway import CircuitBreaker, ShardGateway
 from .ring import HashRing
 from .telemetry import TelemetryServer, http_get, slo_summary
 from .worker import (
     ShardWorkerService,
     WorkerSpec,
     WorkerSupervisor,
+    restart_backoff_s,
     worker_spans_path,
 )
 
 __all__ = [
+    "ChaosResult",
+    "CircuitBreaker",
     "DrillResult",
     "HashRing",
     "SNAPSHOT_FORMAT",
@@ -62,12 +76,16 @@ __all__ = [
     "TelemetryServer",
     "WorkerSpec",
     "WorkerSupervisor",
+    "default_chaos_plan",
+    "format_chaos_result",
     "format_drill_result",
     "format_shard_bench",
     "http_get",
     "initial_snapshot",
     "load_snapshot",
+    "restart_backoff_s",
     "restore_group",
+    "run_chaos_drill",
     "run_drill",
     "run_shard_bench",
     "slo_summary",

@@ -72,12 +72,15 @@ class ShardBenchResult:
     workers: int
     baseline_workers: int
     protocol_errors: int
+    #: Gateway circuit-breaker opens across both runs — a clean load
+    #: must never trip a breaker, so the gate is simply zero.
+    breaker_opens: int = 0
     record: dict = field(default_factory=dict)
 
 
 async def _campaign(
     bench: ShardBenchConfig, workers: int, obs=None
-) -> LoadgenResult:
+):
     shard_config = ShardConfig(
         workers=workers,
         groups=bench.groups,
@@ -101,7 +104,8 @@ async def _campaign(
         reader="null",
     )
     async with ShardCluster(shard_config, obs=obs) as cluster:
-        return await _run_loadgen_async(load, "127.0.0.1", cluster.port)
+        result = await _run_loadgen_async(load, "127.0.0.1", cluster.port)
+        return result, cluster.gateway.breaker_opens
 
 
 def _loadgen_timing(name: str, workers: int, result: LoadgenResult) -> dict:
@@ -126,8 +130,13 @@ async def _run_shard_bench_async(
     bench: ShardBenchConfig, obs=None
 ) -> ShardBenchResult:
     started = time.perf_counter()
-    baseline = await _campaign(bench, bench.baseline_workers, obs=obs)
-    sharded = await _campaign(bench, bench.workers, obs=obs)
+    baseline, baseline_breaker_opens = await _campaign(
+        bench, bench.baseline_workers, obs=obs
+    )
+    sharded, sharded_breaker_opens = await _campaign(
+        bench, bench.workers, obs=obs
+    )
+    breaker_opens = baseline_breaker_opens + sharded_breaker_opens
     wall = time.perf_counter() - started
 
     speedup = (
@@ -165,6 +174,7 @@ async def _run_shard_bench_async(
             "speedup": speedup,
             "protocol_errors": baseline.protocol_errors
             + sharded.protocol_errors,
+            "breaker_opens": breaker_opens,
         },
     ]
     record = make_bench_record(timings, quick=False, label="shard-scaling")
@@ -176,6 +186,7 @@ async def _run_shard_bench_async(
         workers=bench.workers,
         baseline_workers=bench.baseline_workers,
         protocol_errors=baseline.protocol_errors + sharded.protocol_errors,
+        breaker_opens=breaker_opens,
         record=record,
     )
 
@@ -199,5 +210,6 @@ def format_shard_bench(result: ShardBenchResult) -> str:
             f"speedup          : {result.speedup:.2f}x",
             f"host cores       : {result.cpu_count}",
             f"protocol errors  : {result.protocol_errors}",
+            f"breaker opens    : {result.breaker_opens}",
         ]
     )

@@ -1,0 +1,510 @@
+"""The chaos drill: a seeded multi-fault schedule against a
+self-healing cluster, with a bit-identity exit gate.
+
+PR 5 pinned wire ≡ in-process; the kill drill pinned sharded-wire ≡
+wire across one SIGKILL. This drill turns the screws all the way: a
+:class:`~repro.faults.plan.FaultPlan` scripts *multiple* worker kills,
+an upstream stall and a schedule of snapshot disk faults — all seeded,
+so the same plan + seed replays the same carnage — and the cluster must
+come out the other side with
+
+* **zero lost verdicts** and zero protocol errors at the readers;
+* **every worker healthy** at the end (auto-restart brought the killed
+  workers back; none is permanently down) — the final ``/healthz``
+  probe must answer HTTP 200;
+* **per-group verdict digests identical to a fault-free run** — the
+  observed verdict sequences hash to the same digest as the in-process
+  reference for the same ``(seed, group, f, r)``, which *is* the
+  fault-free ground truth.
+
+The scheduler fires cluster-kind specs (``worker-kill``,
+``upstream-stall``) by watching the gateway's delivered-verdict count
+cross each spec's ``at_tick`` — a logical clock, so the incident
+timeline is phrased in campaign progress, not wall seconds. Disk-fault
+specs need no scheduler: the workers draw them write-by-write from the
+same plan through their seeded
+:class:`~repro.faults.inject.DiskFaultInjector`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..faults.plan import FaultPlan, FaultSpec
+from ..obs.agg import parse_prometheus_text, sum_family
+from ..obs.tracing import Tracer, merge_spans, span_tree_digest, write_spans_jsonl
+from .cluster import ShardCluster, _reference_sequence
+from .config import ShardConfig
+from .telemetry import http_get
+
+__all__ = [
+    "ChaosResult",
+    "default_chaos_plan",
+    "run_chaos_drill",
+    "format_chaos_result",
+]
+
+
+def default_chaos_plan(config: ShardConfig, rounds: int) -> FaultPlan:
+    """The bundled chaos schedule: two kills, one stall, disk faults.
+
+    Every trigger is phrased against the cluster-wide verdict count
+    (``at_tick``) or a group's snapshot write index, so the schedule
+    scales with the campaign size instead of hard-coding wall times.
+    All four disk-fault modes are loud by construction — the snapshot
+    writer catches torn and short writes at read-back verification and
+    retries clean, exactly as it does for ENOSPC and fsync failures —
+    so the snapshot on disk only ever moves forward and the zero-loss
+    gate stays honest rather than lucky.
+    """
+    expected = config.groups * rounds
+    names = [config.group_name(i) for i in range(config.groups)]
+    first_kill = max(1, expected // 4)
+    stall_tick = max(first_kill + 1, (2 * expected) // 5)
+    second_kill = max(stall_tick + 1, (11 * expected) // 20)
+    specs = [
+        # Torn write on the first group's very first snapshot: caught
+        # at read-back and retried clean, so the good file never goes
+        # stale — write indexes restart per adoption, so this one
+        # re-fires on every worker that ever hosts the group.
+        FaultSpec("disk-fault", groups=names[:1], at_tick=0, mode="torn-write"),
+        # ENOSPC and fsync failures take the same retry path: the
+        # snapshot on disk never goes stale.
+        FaultSpec("disk-fault", groups=names[1:2], at_tick=0, mode="enospc"),
+        FaultSpec("disk-fault", probability=0.2, mode="fsync-fail"),
+        FaultSpec("worker-kill", at_tick=first_kill),
+        FaultSpec("upstream-stall", at_tick=stall_tick, duration_s=0.6),
+        FaultSpec("worker-kill", at_tick=second_kill),
+    ]
+    if config.groups < 2:
+        # A single-group config has no second name to scope; drop the
+        # empty-scoped spec rather than carry a dead entry.
+        specs = [s for s in specs if s.groups != ()]
+    return FaultPlan(
+        name="chaos-drill",
+        description=(
+            "Two seeded worker kills, one upstream stall and a "
+            "schedule of snapshot disk faults; the self-healing "
+            "cluster must finish bit-identical to fault-free."
+        ),
+        specs=specs,
+    )
+
+
+@dataclass
+class ChaosResult:
+    """What the chaos drill measured; ``ok`` is the exit gate."""
+
+    groups: int
+    rounds: int
+    expected_verdicts: int
+    verdicts_completed: int
+    lost_verdicts: int
+    protocol_errors: int
+    mismatches: List[str] = field(default_factory=list)
+    #: Workers SIGKILLed by the schedule, in firing order.
+    kills: List[str] = field(default_factory=list)
+    #: Workers told to refuse new sessions, in firing order.
+    stalls: List[str] = field(default_factory=list)
+    #: Successful supervisor restarts (kills recovered from).
+    worker_restarts: int = 0
+    #: Groups handed back to their rejoined home worker.
+    handbacks: int = 0
+    #: Disk faults the workers' seeded injectors actually inflicted.
+    disk_faults: int = 0
+    #: Corrupt snapshot reads survived during failover/hand-back.
+    snapshots_corrupt: int = 0
+    #: Gateway circuit-breaker open transitions.
+    breaker_opens: int = 0
+    failovers: int = 0
+    #: Workers that exhausted their restart budget (must be empty).
+    permanently_down: List[str] = field(default_factory=list)
+    #: blake2b over the observed per-group verdict sequences.
+    digest: str = ""
+    #: Same hash over the in-process fault-free reference.
+    reference_digest: str = ""
+    #: HTTP status of the post-heal ``/healthz`` probe (200 required).
+    health_status: int = 0
+    #: ``serve_verdicts_total`` from the final ``/metrics`` scrape;
+    #: -1 = not scraped.
+    scraped_verdicts: int = -1
+    trace_spans: int = 0
+    trace_digest: str = ""
+    wall_s: float = 0.0
+
+    @property
+    def digest_match(self) -> bool:
+        return bool(self.digest) and self.digest == self.reference_digest
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.lost_verdicts == 0
+            and self.protocol_errors == 0
+            and not self.mismatches
+            and self.digest_match
+            and self.health_status == 200
+            and not self.permanently_down
+            # Scrape exactness survives restarts because each worker
+            # incarnation snapshots under its own metrics source.
+            and (
+                self.scraped_verdicts < 0
+                or self.scraped_verdicts == self.verdicts_completed
+            )
+        )
+
+    def to_dict(self) -> dict:
+        doc = dataclasses.asdict(self)
+        doc["digest_match"] = self.digest_match
+        doc["ok"] = self.ok
+        return doc
+
+
+def _sequence_digest(sequences: Dict[str, list]) -> str:
+    payload = json.dumps(
+        {name: [list(item) for item in sequences[name]] for name in sorted(sequences)},
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+async def _run_chaos_async(
+    config: ShardConfig,
+    plan: FaultPlan,
+    rounds: int,
+    concurrency: int,
+    obs=None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    heal_timeout_s: float = 30.0,
+    wire_version: int = 1,
+    pipeline_depth: int = 1,
+) -> ChaosResult:
+    from ..fleet.remote import RemoteCampaignConfig, drive_remote_campaign_async
+
+    expected = config.groups * rounds
+    references = {
+        spec.name: _reference_sequence(spec, rounds)
+        for spec in config.group_specs()
+    }
+    reference_digest = _sequence_digest(references)
+
+    reader_tracer = Tracer("reader")
+    gateway_tracer = Tracer("gateway")
+    kills: List[str] = []
+    stalls: List[str] = []
+
+    started = time.perf_counter()
+    async with ShardCluster(
+        config,
+        obs=obs,
+        tracer=gateway_tracer,
+        telemetry_port=0,
+        fault_plan=plan,
+    ) as cluster:
+        supervisor = cluster.supervisor
+        gateway = cluster.gateway
+
+        def busiest_live() -> Optional[str]:
+            load: Dict[str, int] = {}
+            for owner in supervisor.owners.values():
+                load[owner] = load.get(owner, 0) + 1
+            for wid in sorted(load, key=lambda w: (-load[w], w)):
+                if supervisor.handles[wid].is_running():
+                    return wid
+            return None
+
+        def pick(spec: FaultSpec) -> Optional[str]:
+            if spec.workers:
+                for wid in spec.workers:
+                    if supervisor.handles[wid].is_running():
+                        return wid
+                return None
+            return busiest_live()
+
+        async def scheduler() -> None:
+            events = sorted(
+                (s for s in plan.specs if s.fault in ("worker-kill", "upstream-stall")),
+                key=lambda s: (s.at_tick, s.fault),
+            )
+            for spec in events:
+                while gateway.rounds_proxied < spec.at_tick:
+                    await asyncio.sleep(0.005)
+                target = pick(spec)
+                if target is None:
+                    continue
+                if spec.fault == "worker-kill":
+                    # Never take down the *last* running worker: a
+                    # previous victim may still be mid-respawn, and a
+                    # zero-live cluster is an outage, not chaos — the
+                    # zero-loss gate would measure the wrong thing.
+                    running = sum(
+                        1
+                        for handle in supervisor.handles.values()
+                        if handle.is_running()
+                    )
+                    if running < 2:
+                        continue
+                    kills.append(target)
+                    supervisor.kill_worker(target)
+                else:
+                    # Upstream connections are cached per reader
+                    # session, so any session that has not yet dialled
+                    # the target (and every post-stall reconnect) lands
+                    # in the refusal window — the breaker engages
+                    # without any cache surgery here.
+                    stalls.append(target)
+                    await supervisor.stall_worker(target, spec.duration_s)
+
+        campaign_config = RemoteCampaignConfig(
+            host="127.0.0.1",
+            port=cluster.port,
+            groups=config.groups,
+            rounds=rounds,
+            protocol="trp",
+            population=config.population,
+            tolerance=config.tolerance,
+            confidence=config.confidence,
+            seed=config.seed,
+            counter_tags=False,
+            group_prefix=config.group_prefix,
+            concurrency=concurrency,
+            wire_version=wire_version,
+            pipeline_depth=pipeline_depth,
+        )
+        chaos_task = asyncio.ensure_future(scheduler())
+        try:
+            result = await drive_remote_campaign_async(
+                campaign_config, tracer=reader_tracer
+            )
+        finally:
+            chaos_task.cancel()
+            outcome = await asyncio.gather(chaos_task, return_exceptions=True)
+            # A scheduler crash means the drill did not run its plan —
+            # surface it instead of reporting a vacuous PASS.
+            if isinstance(outcome[0], Exception) and not isinstance(
+                outcome[0], asyncio.CancelledError
+            ):
+                raise outcome[0]
+
+        # Heal gate: wait for restarts and hand-backs to settle before
+        # judging the end state — "the cluster recovered" includes the
+        # recovery actually finishing.
+        deadline = time.monotonic() + heal_timeout_s
+        while time.monotonic() < deadline:
+            restarting = any(
+                not t.done() for t in supervisor._restart_tasks.values()
+            )
+            migrating = bool(supervisor._migrations)
+            down = [
+                wid
+                for wid, doc in supervisor.health().items()
+                if not doc["alive"]
+            ]
+            if not restarting and not migrating and not down:
+                break
+            await asyncio.sleep(0.05)
+
+        scraped_verdicts = -1
+        health_status = 0
+        if cluster.telemetry is not None:
+            port = cluster.telemetry.port
+            status, body = await http_get("127.0.0.1", port, "/metrics")
+            disk_faults = 0
+            if status == 200:
+                families = parse_prometheus_text(body)
+                scraped_verdicts = int(
+                    sum_family(families, "serve_verdicts_total")
+                )
+                disk_faults = int(
+                    sum_family(families, "shard_snapshot_faults_total")
+                )
+            if metrics_out:
+                with open(metrics_out, "w") as fh:
+                    fh.write(body)
+            health_status, _ = await http_get("127.0.0.1", port, "/healthz")
+        else:
+            disk_faults = 0
+
+        spans = merge_spans(
+            reader_tracer.spans, gateway_tracer.spans, cluster.worker_spans()
+        )
+        trace_digest = span_tree_digest(spans)
+        if trace_out:
+            write_spans_jsonl(spans, trace_out)
+
+        observed = {
+            name: [
+                (r.verdict, r.frame_size, r.mismatched_slots)
+                for r in result.per_group.get(name, [])
+            ]
+            for name in references
+        }
+        mismatches = [
+            f"{name}: observed {observed[name]} != reference {references[name]}"
+            for name in sorted(references)
+            if observed[name] != references[name]
+        ]
+
+        return ChaosResult(
+            groups=config.groups,
+            rounds=rounds,
+            expected_verdicts=expected,
+            verdicts_completed=result.rounds_completed,
+            lost_verdicts=expected - result.rounds_completed,
+            protocol_errors=len(result.protocol_errors),
+            mismatches=mismatches,
+            kills=kills,
+            stalls=stalls,
+            worker_restarts=supervisor.restarts,
+            handbacks=supervisor.handbacks,
+            disk_faults=disk_faults,
+            snapshots_corrupt=supervisor.snapshot_corrupt,
+            breaker_opens=gateway.breaker_opens,
+            failovers=supervisor.failovers,
+            permanently_down=sorted(
+                wid
+                for wid, handle in supervisor.handles.items()
+                if handle.permanently_down
+            ),
+            digest=_sequence_digest(observed),
+            reference_digest=reference_digest,
+            health_status=health_status,
+            scraped_verdicts=scraped_verdicts,
+            trace_spans=len(spans),
+            trace_digest=trace_digest,
+            wall_s=time.perf_counter() - started,
+        )
+
+
+def run_chaos_drill(
+    config: Optional[ShardConfig] = None,
+    plan: Optional[FaultPlan] = None,
+    rounds: int = 6,
+    concurrency: int = 8,
+    obs=None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    heal_timeout_s: float = 30.0,
+    wire_version: int = 1,
+    pipeline_depth: int = 1,
+) -> ChaosResult:
+    """Run the chaos drill; see the module docstring.
+
+    The drill forces stateless TRP groups (the bit-identity claim) and
+    turns self-healing *on*: ``restart_max_attempts`` is raised to at
+    least 2 so the scheduled kills are recoverable, and the retry
+    budget is widened so a stall window costs latency, never a verdict.
+
+    Args:
+        plan: the fault schedule; ``None`` uses
+            :func:`default_chaos_plan`. Only its cluster-kind and
+            ``disk-fault`` specs matter here — air-interface specs
+            would break the bit-identity gate and are rejected.
+        trace_out / metrics_out: artifact paths (merged trace JSONL,
+            final ``/metrics`` scrape body).
+        heal_timeout_s: ceiling on the post-campaign settle wait.
+
+    Raises:
+        ValueError: on a nonsensical shape, or a plan carrying
+            air-interface fault specs.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if wire_version not in (1, 2):
+        raise ValueError(f"wire_version must be 1 or 2, got {wire_version!r}")
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be >= 1")
+    if pipeline_depth > 1 and wire_version < 2:
+        raise ValueError("pipeline_depth > 1 requires wire_version 2")
+    if not heal_timeout_s > 0:
+        raise ValueError("heal_timeout_s must be > 0")
+    cfg = config if config is not None else ShardConfig()
+    overrides = {}
+    if cfg.counter_tags:
+        overrides["counter_tags"] = False
+    if cfg.restart_max_attempts < 2:
+        overrides["restart_max_attempts"] = 2
+    if cfg.max_round_retries < 12:
+        overrides["max_round_retries"] = 12
+    if overrides:
+        cfg = dataclasses.replace(cfg, **overrides)
+    chaos_plan = plan if plan is not None else default_chaos_plan(cfg, rounds)
+    air = [
+        s.fault
+        for s in chaos_plan.specs
+        if s.fault not in ("worker-kill", "upstream-stall", "disk-fault")
+    ]
+    if air:
+        raise ValueError(
+            "chaos drill plans must not carry air-interface faults "
+            f"(got {', '.join(sorted(set(air)))}); they would break the "
+            "bit-identity gate — use repro.fleet campaigns for those"
+        )
+    return asyncio.run(
+        _run_chaos_async(
+            cfg,
+            chaos_plan,
+            rounds,
+            concurrency,
+            obs=obs,
+            trace_out=trace_out,
+            metrics_out=metrics_out,
+            heal_timeout_s=heal_timeout_s,
+            wire_version=wire_version,
+            pipeline_depth=pipeline_depth,
+        )
+    )
+
+
+def format_chaos_result(result: ChaosResult) -> str:
+    """Human-readable chaos report; CI greps the gate lines."""
+    return "\n".join(
+        [
+            f"groups                 : {result.groups}",
+            f"rounds per group       : {result.rounds}",
+            f"verdicts expected      : {result.expected_verdicts}",
+            f"verdicts completed     : {result.verdicts_completed}",
+            f"lost verdicts          : {result.lost_verdicts}",
+            f"protocol errors        : {result.protocol_errors}",
+            f"verdict mismatches     : {len(result.mismatches)}",
+            f"workers killed         : "
+            + (", ".join(result.kills) if result.kills else "none"),
+            f"worker restarts        : {result.worker_restarts}",
+            f"hand-backs             : {result.handbacks}",
+            f"upstream stalls        : "
+            + (", ".join(result.stalls) if result.stalls else "none"),
+            f"disk faults injected   : {result.disk_faults}",
+            f"snapshots corrupted    : {result.snapshots_corrupt}",
+            f"breaker opens          : {result.breaker_opens}",
+            f"failovers              : {result.failovers}",
+            f"permanently down       : "
+            + (", ".join(result.permanently_down) or "none"),
+            f"digest match           : {'yes' if result.digest_match else 'NO'}",
+            f"final health           : "
+            + (
+                f"HTTP {result.health_status}"
+                if result.health_status
+                else "not probed"
+            ),
+            f"telemetry verdicts     : "
+            + (
+                str(result.scraped_verdicts)
+                if result.scraped_verdicts >= 0
+                else "not scraped"
+            ),
+            f"trace spans            : {result.trace_spans}",
+            f"trace digest           : {result.trace_digest[:16] or 'n/a'}",
+            f"wall time              : {result.wall_s:.3f} s",
+            f"chaos                  : {'PASS' if result.ok else 'FAIL'}",
+        ]
+        + [f"  mismatch: {m}" for m in result.mismatches[:5]]
+    )

@@ -69,6 +69,10 @@ class ShardCluster:
         telemetry_port: when not ``None``, serve ``/metrics``,
             ``/healthz`` and ``/slo`` on this port (0 = ephemeral; read
             :attr:`telemetry`'s ``port`` back after :meth:`start`).
+        fault_plan: optional :class:`~repro.faults.plan.FaultPlan`
+            forwarded to the workers (chaos drills; workers draw their
+            disk faults from it, the chaos scheduler drives the
+            kill/stall specs from outside).
     """
 
     def __init__(
@@ -77,6 +81,7 @@ class ShardCluster:
         obs=None,
         tracer=None,
         telemetry_port: Optional[int] = None,
+        fault_plan=None,
     ):
         self.config = config if config is not None else ShardConfig()
         self._own_state_dir = self.config.state_dir is None
@@ -86,13 +91,15 @@ class ShardCluster:
             else tempfile.mkdtemp(prefix="repro-shard-")
         )
         self.supervisor = WorkerSupervisor(
-            self.config, state_dir=self.state_dir, obs=obs
+            self.config, state_dir=self.state_dir, obs=obs, fault_plan=fault_plan
         )
         self.gateway = ShardGateway(
             self.supervisor, self.config, obs=obs, tracer=tracer
         )
         self.telemetry: Optional[TelemetryServer] = (
-            TelemetryServer(self.supervisor, port=telemetry_port)
+            TelemetryServer(
+                self.supervisor, gateway=self.gateway, port=telemetry_port
+            )
             if telemetry_port is not None
             else None
         )

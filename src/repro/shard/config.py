@@ -126,6 +126,32 @@ class ShardConfig:
             trust reported air time — the deterministic mode).
         ring_replicas: virtual points per worker on the hash ring.
         state_dir: snapshot directory; ``None`` = private tempdir.
+        restart_max_attempts: automatic worker restarts per worker
+            before the supervisor declares it permanently down. 0 (the
+            default) disables self-healing entirely — a killed worker
+            stays dead and its groups stay failed over, the PR 6
+            behaviour.
+        restart_backoff_base_s / restart_backoff_cap_s: the restart
+            delay for attempt ``k`` is ``min(cap, base * 2**(k-1))``
+            scaled by a deterministic jitter in ``[0.5, 1.0)`` seeded
+            from ``(seed, worker_id, k)`` — the whole restart timeline
+            replays exactly under a fixed master seed.
+        breaker_failure_threshold: consecutive upstream failures on one
+            worker before the gateway's per-worker circuit breaker
+            opens.
+        breaker_open_s: how long an open breaker rejects attempts
+            before letting one half-open probe through.
+        round_deadline_s: total retry budget for one proxied round; the
+            remaining budget propagates into every upstream wait, so a
+            round can never spend ``max_round_retries x
+            upstream_timeout_s`` wedged.
+        drain_timeout_s: ceiling on waiting for a group's in-flight
+            rounds to finish before a hand-back migrates it.
+        frame_idle_timeout_s: mid-frame stall ceiling on the
+            gateway->worker hop (the reader-side dribble guard's
+            upstream twin); ``None`` disables it.
+        chaos_seed: seed for the chaos drill's stochastic fault draws;
+            ``None`` = reuse ``seed``.
         wire_versions: wire framings the cluster accepts, forwarded to
             every worker and to the gateway's listener. When 2 is
             listed the gateway also negotiates v2 on its upstream hops,
@@ -158,6 +184,15 @@ class ShardConfig:
     state_dir: Optional[str] = None
     max_sessions: int = 256
     wire_versions: Tuple[int, ...] = (1, 2)
+    restart_max_attempts: int = 0
+    restart_backoff_base_s: float = 0.05
+    restart_backoff_cap_s: float = 2.0
+    breaker_failure_threshold: int = 3
+    breaker_open_s: float = 0.25
+    round_deadline_s: float = 30.0
+    drain_timeout_s: float = 5.0
+    frame_idle_timeout_s: Optional[float] = 10.0
+    chaos_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require_int("workers", self.workers, 1)
@@ -190,6 +225,39 @@ class ShardConfig:
             "upstream_timeout_s", self.upstream_timeout_s, 0.0, strict=True
         )
         _require_finite("timer_scale", self.timer_scale, 0.0, strict=False)
+        _require_int("restart_max_attempts", self.restart_max_attempts, 0)
+        _require_finite(
+            "restart_backoff_base_s",
+            self.restart_backoff_base_s,
+            0.0,
+            strict=True,
+        )
+        _require_finite(
+            "restart_backoff_cap_s", self.restart_backoff_cap_s, 0.0, strict=True
+        )
+        if self.restart_backoff_cap_s < self.restart_backoff_base_s:
+            raise ValueError(
+                f"restart_backoff_cap_s must be >= restart_backoff_base_s, "
+                f"got {self.restart_backoff_cap_s} < "
+                f"{self.restart_backoff_base_s}"
+            )
+        _require_int(
+            "breaker_failure_threshold", self.breaker_failure_threshold, 1
+        )
+        _require_finite("breaker_open_s", self.breaker_open_s, 0.0, strict=True)
+        _require_finite(
+            "round_deadline_s", self.round_deadline_s, 0.0, strict=True
+        )
+        _require_finite("drain_timeout_s", self.drain_timeout_s, 0.0, strict=True)
+        if self.frame_idle_timeout_s is not None:
+            _require_finite(
+                "frame_idle_timeout_s",
+                self.frame_idle_timeout_s,
+                0.0,
+                strict=True,
+            )
+        if self.chaos_seed is not None:
+            _require_int("chaos_seed", self.chaos_seed, -(2**63), 2**63 - 1)
         versions = tuple(self.wire_versions)
         if not versions or any(
             isinstance(v, bool) or not isinstance(v, int) for v in versions

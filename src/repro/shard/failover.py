@@ -23,12 +23,14 @@ snapshot can never be adopted.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..faults.models import DISK_FAULT_KINDS, DiskFaultModel
 from ..server.state import export_state, import_resync, import_state
 from .config import ShardGroupSpec
 
@@ -40,6 +42,7 @@ __all__ = [
     "initial_snapshot",
     "write_snapshot",
     "load_snapshot",
+    "reconcile_snapshots",
     "restore_group",
 ]
 
@@ -105,30 +108,135 @@ def initial_snapshot(spec: ShardGroupSpec) -> dict:
     return snapshot_doc(spec)
 
 
-def write_snapshot(state_dir: str, doc: dict) -> str:
-    """Atomically persist ``doc``; returns the final path."""
+def write_snapshot(state_dir: str, doc: dict, fault: Optional[str] = None) -> str:
+    """Atomically persist ``doc``; returns the final path.
+
+    The write is read-back verified: the temp file is re-parsed before
+    the atomic rename, so a torn or short write never replaces the
+    previous good snapshot — it is detected, the temp file is
+    discarded, and :class:`OSError` surfaces for the caller to retry.
+    The snapshot on disk therefore only ever moves forward; the only
+    way to corrupt it is behind the writer's back (which
+    :func:`load_snapshot` survives at read time).
+
+    Args:
+        fault: a :data:`~repro.faults.models.DISK_FAULT_KINDS` entry to
+            inflict on this write (chaos drills only; ``None`` = the
+            honest path). Every kind raises :class:`OSError` and leaves
+            the previous snapshot intact — ``enospc`` before a byte
+            lands, ``fsync-fail`` after the temp write, ``torn-write``
+            / ``short-write`` at read-back verification.
+
+    Raises:
+        OSError: for every injected fault mode (and for any real
+            filesystem failure).
+        ValueError: on an unknown fault kind.
+    """
+    if fault is not None and fault not in DISK_FAULT_KINDS:
+        raise ValueError(f"unknown disk-fault kind {fault!r}")
     os.makedirs(state_dir, exist_ok=True)
     path = snapshot_path(state_dir, doc["group"])
     tmp = f"{path}.tmp"
+    if fault == "enospc":
+        # The write fails before a byte lands; no temp file to clean.
+        raise OSError(errno.ENOSPC, "injected: no space left on device", tmp)
+    payload = json.dumps(doc)
+    if fault == "torn-write":
+        payload = payload[: DiskFaultModel.torn_prefix(len(payload))]
+    elif fault == "short-write":
+        payload = payload[: DiskFaultModel.short_prefix(len(payload))]
     with open(tmp, "w") as fh:
-        json.dump(doc, fh)
+        fh.write(payload)
+    if fault == "fsync-fail":
+        # Data written, flush failed: discard the temp file, keep the
+        # previous snapshot — what a correct writer does on EIO.
+        os.unlink(tmp)
+        raise OSError(errno.EIO, "injected: fsync failed", tmp)
+    try:
+        with open(tmp) as fh:
+            if json.load(fh) != doc:
+                raise ValueError("read-back does not match document")
+    except ValueError as error:
+        os.unlink(tmp)
+        raise OSError(
+            errno.EIO, f"torn write caught at read-back ({error})", tmp
+        ) from error
     os.replace(tmp, path)
     return path
 
 
-def load_snapshot(state_dir: str, group: str) -> Optional[dict]:
-    """The group's persisted snapshot, or ``None`` if never written.
+def load_snapshot(
+    state_dir: str,
+    group: str,
+    on_corrupt: Optional[Callable[[str, Exception], None]] = None,
+) -> Optional[dict]:
+    """The group's persisted snapshot, or ``None``.
 
-    Raises:
-        ValueError: on a file that is not a shard snapshot.
+    ``None`` means *no usable snapshot*: never written, or the file on
+    disk is torn / truncated / garbage. Corruption is survivable by
+    design — the caller falls back to ``initial_snapshot`` and the
+    group replays from round zero, deterministically — so it must
+    never raise out of a failover path. ``on_corrupt(group, error)``
+    fires exactly once per corrupt read so the supervisor can count
+    ``shard_snapshot_corrupt_total``.
     """
     path = snapshot_path(state_dir, group)
-    if not os.path.exists(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"snapshot for {group!r} is not a JSON object"
+            )
+        _validate(doc)
+    except FileNotFoundError:
         return None
-    with open(path) as fh:
-        doc = json.load(fh)
-    _validate(doc)
+    except (ValueError, OSError) as error:
+        # json.JSONDecodeError subclasses ValueError: torn writes,
+        # empty files and foreign documents all land here.
+        if on_corrupt is not None:
+            on_corrupt(group, error)
+        return None
     return doc
+
+
+def reconcile_snapshots(
+    primary: Optional[dict], secondary: Optional[dict]
+) -> Optional[dict]:
+    """Merge two snapshot generations of one group, freshest wins.
+
+    The anti-entropy step of a hand-back: the releasing survivor's
+    final document and whatever the rejoined worker still has on disk
+    may disagree (the disk copy predates the failover, or a torn write
+    ate one of them). The longer verdict history wins outright;
+    embedded metrics are merged per source with max-``seq`` semantics
+    (via dict union — each source's snapshot is already internally
+    consistent, and a higher ``rounds_verified`` implies
+    same-or-newer ``seq`` for every family that source owns).
+    """
+    if primary is None:
+        return secondary
+    if secondary is None:
+        return primary
+    newer, older = primary, secondary
+    if int(older.get("rounds_verified", 0)) > int(newer.get("rounds_verified", 0)):
+        newer, older = older, newer
+    merged = dict(newer)
+    metrics = dict(older.get("metrics") or {})
+    for source, snap in (newer.get("metrics") or {}).items():
+        have = metrics.get(source)
+        if have is None or _metrics_seq(snap) >= _metrics_seq(have):
+            metrics[source] = snap
+    if metrics:
+        merged["metrics"] = metrics
+    return merged
+
+
+def _metrics_seq(snap: dict) -> int:
+    try:
+        return int(snap.get("seq", 0))
+    except (AttributeError, TypeError, ValueError):
+        return 0
 
 
 def _validate(doc: dict) -> None:

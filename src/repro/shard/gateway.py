@@ -28,14 +28,15 @@ in :class:`~repro.shard.worker.ShardWorkerService`.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional
+import time
+from typing import Callable, Dict, Optional
 
 from ..obs.tracing import SpanContext, derive_span_id
 from ..serve import protocol, wire
 from ..serve.protocol import Frame, ProtocolError
 from .config import ShardConfig
 
-__all__ = ["ShardGateway"]
+__all__ = ["CircuitBreaker", "ShardGateway"]
 
 #: Transport failures that mean "this upstream is unusable", as opposed
 #: to protocol-level trouble the worker itself reports via ERROR.
@@ -46,16 +47,91 @@ class _SessionAborted(Exception):
     """Internal: the client connection is unusable; end the session."""
 
 
+class CircuitBreaker:
+    """Per-worker closed → open → half-open breaker.
+
+    ``threshold`` consecutive failures open the breaker; while open,
+    :meth:`allow` rejects attempts without touching the worker at all
+    (a dead or stalling upstream stops costing a connect-and-timeout
+    per retry). After ``open_s`` the next :meth:`allow` transitions to
+    half-open and lets probes through: one success closes the breaker,
+    one failure re-opens it and the clock restarts.
+
+    The clock is injectable for tests; state changes are synchronous
+    and only ever made from the event loop thread.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        open_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if not open_s > 0.0:
+            raise ValueError(f"open_s must be > 0, got {open_s}")
+        self.threshold = threshold
+        self.open_s = open_s
+        self._clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self.opens = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """Whether an attempt may proceed right now."""
+        if self.state == "open":
+            if self._clock() - self._opened_at >= self.open_s:
+                self.state = "half-open"
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == "half-open" or self.failures >= self.threshold:
+            if self.state != "open":
+                self.opens += 1
+            self.state = "open"
+            self._opened_at = self._clock()
+            self.failures = 0
+
+    def reset(self) -> None:
+        """Back to closed with a clean slate (worker rejoined)."""
+        self.state = "closed"
+        self.failures = 0
+
+
+#: Numeric encoding of breaker states for the ``shard_breaker_state``
+#: gauge: 0 closed, 1 open, 2 half-open.
+_BREAKER_STATE_CODE = {"closed": 0, "open": 1, "half-open": 2}
+
+
 class _FrameStream:
     """At-most-one outstanding ``read_frame`` over a StreamReader.
 
     The proxy must be able to wait on "client frame OR worker frame"
     and later resume waiting on whichever did not arrive — without ever
     having two reads racing on one stream (frames would interleave).
+
+    ``idle_timeout_s`` is the mid-frame stall guard: reads forward it
+    to the codec, which raises ``ProtocolError("idle-read")`` when the
+    peer goes silent *inside* a frame. The gateway sets it on its
+    worker-facing streams so a dribbling worker cannot wedge a relay.
     """
 
-    def __init__(self, reader: asyncio.StreamReader):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        idle_timeout_s: Optional[float] = None,
+    ):
         self._reader = reader
+        self.idle_timeout_s = idle_timeout_s
         self._task: Optional[asyncio.Task] = None
         # Mutable: a HELLO negotiation switches this hop's framing. The
         # at-most-one-read invariant guarantees no read started under
@@ -66,7 +142,9 @@ class _FrameStream:
         """The outstanding read task, created on first demand."""
         if self._task is None:
             self._task = asyncio.ensure_future(
-                self.codec.read(self._reader)
+                self.codec.read(
+                    self._reader, idle_timeout_s=self.idle_timeout_s
+                )
             )
         return self._task
 
@@ -95,9 +173,15 @@ class _FrameStream:
 
 
 class _Upstream:
-    def __init__(self, worker_id: str, reader, writer):
+    def __init__(
+        self,
+        worker_id: str,
+        reader,
+        writer,
+        idle_timeout_s: Optional[float] = None,
+    ):
         self.worker_id = worker_id
-        self.stream = _FrameStream(reader)
+        self.stream = _FrameStream(reader, idle_timeout_s=idle_timeout_s)
         self.writer = writer
 
     async def send(self, frame: Frame) -> None:
@@ -131,6 +215,11 @@ class ShardGateway:
         self.round_retries = 0
         self.cached_verdicts_served = 0
         self.relay_errors = 0
+        self.breaker_opens = 0
+        #: Per-worker circuit breakers, shared across every session
+        #: this gateway serves (consecutive failures accumulate
+        #: gateway-wide, which is the point).
+        self.breakers: Dict[str, CircuitBreaker] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._session_tasks: set = set()
         # Pre-register so snapshots expose the family even at zero.
@@ -140,13 +229,85 @@ class ShardGateway:
             "shard_round_retries_total",
             "shard_cached_verdicts_total",
             "shard_relay_errors_total",
+            "shard_breaker_opens_total",
         ):
             self._count(name, 0)
+        for worker_id in config.worker_ids():
+            self._gauge("shard_breaker_state", 0, worker=worker_id)
+        # A rejoined worker deserves a clean slate: reset its breaker
+        # the moment the supervisor confirms the hand-back pass ended
+        # (duck-typed so bare fakes without the hook still work).
+        listeners = getattr(supervisor, "rejoin_listeners", None)
+        if listeners is not None:
+            listeners.append(self._on_worker_rejoined)
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self.obs is None:
             return
         self.obs.registry.counter(name, name.replace("_", " ")).inc(amount)
+
+    def _gauge(self, name: str, value: float, **labels) -> None:
+        if self.obs is None:
+            return
+        gauge = self.obs.registry.gauge(
+            name,
+            name.replace("_", " "),
+            labelnames=tuple(sorted(labels)) if labels else (),
+        )
+        (gauge.labels(**labels) if labels else gauge).set(value)
+
+    # -- circuit breakers ----------------------------------------------
+
+    def breaker(self, worker_id: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding one worker."""
+        breaker = self.breakers.get(worker_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.config.breaker_failure_threshold,
+                self.config.breaker_open_s,
+            )
+            self.breakers[worker_id] = breaker
+        return breaker
+
+    def breaker_allow(self, worker_id: str) -> bool:
+        """Breaker admission for one attempt (syncs the state gauge)."""
+        breaker = self.breaker(worker_id)
+        allowed = breaker.allow()
+        self._sync_breaker_gauge(worker_id, breaker)
+        return allowed
+
+    def record_breaker(self, worker_id: str, ok: bool) -> None:
+        """Feed one attempt's outcome into the worker's breaker."""
+        breaker = self.breaker(worker_id)
+        was_open = breaker.opens
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        if breaker.opens > was_open:
+            self.breaker_opens += breaker.opens - was_open
+            self._count("shard_breaker_opens_total", breaker.opens - was_open)
+        self._sync_breaker_gauge(worker_id, breaker)
+
+    def breaker_states(self) -> Dict[str, str]:
+        """worker id -> breaker state, for ``/healthz``."""
+        return {
+            worker_id: self.breakers[worker_id].state
+            for worker_id in sorted(self.breakers)
+        }
+
+    def _sync_breaker_gauge(self, worker_id: str, breaker: CircuitBreaker) -> None:
+        self._gauge(
+            "shard_breaker_state",
+            _BREAKER_STATE_CODE[breaker.state],
+            worker=worker_id,
+        )
+
+    def _on_worker_rejoined(self, worker_id: str) -> None:
+        breaker = self.breakers.get(worker_id)
+        if breaker is not None:
+            breaker.reset()
+            self._sync_breaker_gauge(worker_id, breaker)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -244,7 +405,12 @@ class _ProxySession:
         reader, writer = await asyncio.open_connection(
             "127.0.0.1", handle.port
         )
-        upstream = _Upstream(handle.worker_id, reader, writer)
+        upstream = _Upstream(
+            handle.worker_id,
+            reader,
+            writer,
+            idle_timeout_s=self.config.frame_idle_timeout_s,
+        )
         if max(self.config.wire_versions) >= 2:
             await self._negotiate_upstream(upstream, handle.port)
         self.upstreams[handle.worker_id] = upstream
@@ -275,7 +441,9 @@ class _ProxySession:
         upstream.stream.cancel()
         upstream.writer.close()
         reader, writer = await asyncio.open_connection("127.0.0.1", port)
-        upstream.stream = _FrameStream(reader)
+        upstream.stream = _FrameStream(
+            reader, idle_timeout_s=self.config.frame_idle_timeout_s
+        )
         upstream.writer = writer
 
     async def _worker_trouble(self, worker_id: str) -> None:
@@ -285,7 +453,15 @@ class _ProxySession:
             upstream.close()
         self.gateway.round_retries += 1
         self.gateway._count("shard_round_retries_total")
-        await self.supervisor.worker_failed(worker_id)
+        try:
+            await self.supervisor.worker_failed(worker_id)
+        except RuntimeError:
+            # Failover couldn't complete right now (e.g. every adoptive
+            # target is itself mid-restart). That's this *attempt*
+            # failing, not the session: the retry loop keeps trying
+            # until the deadline, and a later trouble report re-runs
+            # the failover once a worker is back.
+            pass
 
     # -- the conversation ----------------------------------------------
 
@@ -390,6 +566,21 @@ class _ProxySession:
         )
 
     async def _proxy_round(self, reseed: Frame) -> None:
+        # A hand-back migration must not race this round: the gate
+        # blocks while the group is mid-move and registers the round
+        # in flight so the migration's drain can wait for it in turn.
+        group = reseed["group"]
+        gate = getattr(self.supervisor, "round_gate", None)
+        if gate is not None:
+            await gate(group)
+        try:
+            await self._proxy_round_gated(reseed)
+        finally:
+            done = getattr(self.supervisor, "round_done", None)
+            if done is not None:
+                done(group)
+
+    async def _proxy_round_gated(self, reseed: Frame) -> None:
         group = reseed["group"]
         # The client's seq for this round: every frame relayed back to
         # the client must echo it, whether the serving worker saw it
@@ -399,43 +590,64 @@ class _ProxySession:
         trace_parent, upstream_reseed = self._trace_setup(reseed)
         challenge: Optional[Frame] = None  # as relayed to the client
         bits: Optional[Frame] = None  # the client's proof, once seen
-        for _ in range(self.config.max_round_retries):
+        # The round's total retry budget: attempts are bounded AND the
+        # deadline propagates into every upstream wait, so the worst
+        # case is round_deadline_s — not retries x upstream_timeout_s.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.round_deadline_s
+        attempts = 0
+        while attempts < self.config.max_round_retries:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
             try:
                 handle = await self.supervisor.worker_for(group)
-            except (RuntimeError, LookupError) as error:
-                self.gateway.relay_errors += 1
-                await self._send_client(
-                    protocol.with_seq(
-                        protocol.error_frame("shard-unavailable", str(error)),
-                        seq,
-                    )
-                )
-                return
+            except (RuntimeError, LookupError):
+                # No live owner *right now* — e.g. the whole fleet is
+                # mid-restart. Spend a sliver of the deadline, not an
+                # attempt; a respawned worker changes the answer.
+                if getattr(self.supervisor, "_closing", False):
+                    break
+                await asyncio.sleep(min(0.05, remaining))
+                continue
             if challenge is not None and await self._try_cached_verdict(
                 group, challenge, bits, trace_parent, seq=seq
             ):
                 return
 
+            if not self.gateway.breaker_allow(handle.worker_id):
+                # Open breaker: spend a sliver of the deadline, not an
+                # attempt — the worker may be mid-restart, and failover
+                # or recovery will change the routing underneath us.
+                await asyncio.sleep(min(0.05, remaining))
+                continue
+            attempts += 1
+            timeout = min(self.config.upstream_timeout_s, remaining)
             try:
-                upstream = await self._upstream(handle)
-                await upstream.send(upstream_reseed)
-                reply = await asyncio.wait_for(
-                    upstream.stream.next(), self.config.upstream_timeout_s
+                upstream = await asyncio.wait_for(
+                    self._upstream(handle), timeout
                 )
+                await upstream.send(upstream_reseed)
+                reply = await asyncio.wait_for(upstream.stream.next(), timeout)
             except _UPSTREAM_ERRORS + (ProtocolError,):
+                self.gateway.record_breaker(handle.worker_id, ok=False)
                 await self._worker_trouble(handle.worker_id)
                 continue
             if reply is None:
+                self.gateway.record_breaker(handle.worker_id, ok=False)
                 await self._worker_trouble(handle.worker_id)
                 continue
             if reply.type == "ERROR":
                 # The worker's own protocol-level answer (unknown
                 # group, bad field, ...) — relay and reset the round.
+                self.gateway.record_breaker(handle.worker_id, ok=True)
                 await self._send_client(self._stamp(reply, seq))
                 return
             if reply.type != "CHALLENGE":
+                self.gateway.record_breaker(handle.worker_id, ok=False)
                 await self._worker_trouble(handle.worker_id)
                 continue
+            self.gateway.record_breaker(handle.worker_id, ok=True)
 
             if challenge is None:
                 challenge = reply
@@ -471,14 +683,21 @@ class _ProxySession:
             try:
                 await upstream.send(bits)
                 verdict = await asyncio.wait_for(
-                    upstream.stream.next(), self.config.upstream_timeout_s
+                    upstream.stream.next(),
+                    min(
+                        self.config.upstream_timeout_s,
+                        max(0.05, deadline - loop.time()),
+                    ),
                 )
             except _UPSTREAM_ERRORS + (ProtocolError,):
+                self.gateway.record_breaker(handle.worker_id, ok=False)
                 await self._worker_trouble(handle.worker_id)
                 continue
             if verdict is None:
+                self.gateway.record_breaker(handle.worker_id, ok=False)
                 await self._worker_trouble(handle.worker_id)
                 continue
+            self.gateway.record_breaker(handle.worker_id, ok=True)
             await self._send_client(self._stamp(verdict, seq))
             if verdict.type == "VERDICT":
                 self.gateway.rounds_proxied += 1
@@ -530,9 +749,11 @@ class _ProxySession:
             try:
                 frame = upstream.stream.take()
             except _UPSTREAM_ERRORS + (ProtocolError,):
+                self.gateway.record_breaker(upstream.worker_id, ok=False)
                 await self._worker_trouble(upstream.worker_id)
                 return _RETRY
             if frame is None:
+                self.gateway.record_breaker(upstream.worker_id, ok=False)
                 await self._worker_trouble(upstream.worker_id)
                 return _RETRY
             # Deadline VERDICT (or a worker-side ERROR): relay as-is.

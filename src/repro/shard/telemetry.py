@@ -127,12 +127,18 @@ class TelemetryServer:
     Args:
         supervisor: the :class:`~repro.shard.worker.WorkerSupervisor`
             whose merged registry and health map back the endpoints.
+        gateway: optional :class:`~repro.shard.gateway.ShardGateway`;
+            when present ``/healthz`` includes its per-worker circuit
+            breaker states.
         host / port: listen address; port 0 binds an ephemeral port
             (read it back from :attr:`port`).
     """
 
-    def __init__(self, supervisor, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, supervisor, gateway=None, host: str = "127.0.0.1", port: int = 0
+    ):
         self.supervisor = supervisor
+        self.gateway = gateway
         self.host = host
         self._requested_port = port
         self.scrapes = 0
@@ -216,15 +222,14 @@ class TelemetryServer:
             degraded = sorted(
                 wid for wid, doc in health.items() if not doc["alive"]
             )
-            body = json.dumps(
-                {
-                    "status": "degraded" if degraded else "ok",
-                    "down": degraded,
-                    "workers": health,
-                },
-                sort_keys=True,
-                indent=2,
-            )
+            doc = {
+                "status": "degraded" if degraded else "ok",
+                "down": degraded,
+                "workers": health,
+            }
+            if self.gateway is not None:
+                doc["breakers"] = self.gateway.breaker_states()
+            body = json.dumps(doc, sort_keys=True, indent=2)
             return (503 if degraded else 200, "application/json", body + "\n")
         if path == "/slo":
             body = json.dumps(

@@ -28,13 +28,16 @@ on where every group lives after any membership change.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import multiprocessing
 import os
 import signal
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..faults.inject import DiskFaultInjector
+from ..faults.plan import FaultPlan
 from ..obs import ObsContext
 from ..obs.agg import merge_snapshots, snapshot_registry
 from ..obs.metrics import MetricsRegistry
@@ -45,6 +48,7 @@ from .config import ShardConfig, ShardGroupSpec, _require_finite, _require_int
 from .failover import (
     initial_snapshot,
     load_snapshot,
+    reconcile_snapshots,
     restore_group,
     snapshot_doc,
     snapshot_path,
@@ -56,8 +60,39 @@ __all__ = [
     "ShardWorkerService",
     "WorkerSpec",
     "WorkerSupervisor",
+    "restart_backoff_s",
     "worker_spans_path",
 ]
+
+
+def restart_backoff_s(
+    master_seed: int,
+    worker_id: str,
+    attempt: int,
+    base_s: float,
+    cap_s: float,
+) -> float:
+    """The delay before restart ``attempt`` of one worker — pure.
+
+    Exponential backoff with deterministic jitter:
+    ``min(cap, base * 2**(attempt-1))`` scaled by a factor in
+    ``[0.5, 1.0)`` derived from ``blake2b(seed|worker|attempt)``. A
+    pure function of its arguments, so a chaos drill's whole restart
+    timeline replays exactly under a fixed master seed, while distinct
+    workers (and distinct attempts) still de-synchronise their
+    respawns the way jitter is meant to.
+
+    Raises:
+        ValueError: on a non-positive attempt number.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    raw = min(float(cap_s), float(base_s) * (2.0 ** (attempt - 1)))
+    digest = hashlib.blake2b(
+        f"{master_seed}|{worker_id}|{attempt}".encode(), digest_size=8
+    ).digest()
+    jitter = 0.5 + (int.from_bytes(digest, "big") / 2.0**64) * 0.5
+    return raw * jitter
 
 
 def worker_spans_path(state_dir: str, worker_id: str) -> str:
@@ -85,10 +120,34 @@ class ShardWorkerService(MonitoringService):
     "never reused across *verified* rounds" across a failover.
     """
 
-    def __init__(self, state_dir: str, worker_id: str = "", **kwargs):
+    def __init__(
+        self,
+        state_dir: str,
+        worker_id: str = "",
+        generation: int = 0,
+        disk_faults: Optional[DiskFaultInjector] = None,
+        **kwargs,
+    ):
         super().__init__(**kwargs)
         self.state_dir = state_dir
         self.worker_id = worker_id
+        self.generation = int(generation)
+        #: Metrics identity. Each *incarnation* of a restarted worker
+        #: publishes under its own source (``w01``, ``w01+r1``, ...):
+        #: a fresh process restarts its registry and its ``seq`` at
+        #: zero, and under max-seq merge a reborn ``w01`` would lose to
+        #: its own predecessor forever — distinct sources make the two
+        #: registries *add* in the cluster merge instead, which is what
+        #: keeps the /metrics scrape exact across restarts.
+        self.metrics_source = (
+            worker_id if not generation else f"{worker_id}+r{generation}"
+        )
+        self._disk_faults = disk_faults
+        self._write_counts: Dict[str, int] = {}
+        #: Injected snapshot-write faults suffered, by mode.
+        self.snapshot_fault_counts: Dict[str, int] = {}
+        self._stall_until = 0.0
+        self.stalled_refusals = 0
         self._specs: Dict[str, ShardGroupSpec] = {}
         self._history: Dict[str, List[str]] = {}
         self._last_verdict: Dict[str, Optional[dict]] = {}
@@ -111,7 +170,7 @@ class ShardWorkerService(MonitoringService):
             return None
         self._metrics_seq += 1
         return snapshot_registry(
-            self.obs.registry, seq=self._metrics_seq, source=self.worker_id
+            self.obs.registry, seq=self._metrics_seq, source=self.metrics_source
         )
 
     def host_spec(self, spec: ShardGroupSpec):
@@ -149,22 +208,126 @@ class ShardWorkerService(MonitoringService):
         self._last_verdict[spec.name] = last_verdict
         # Keep the dead owner's embedded registry (and anything *it*
         # inherited): its verdicts stay counted after the file below
-        # overwrites the snapshot they arrived in.
+        # overwrites the snapshot they arrived in. Prior incarnations
+        # of *this* worker are predecessors too — only the current
+        # incarnation's own source is excluded.
         for source, mdoc in (doc.get("metrics") or {}).items():
-            if source == self.worker_id:
+            if source == self.metrics_source:
                 continue
             held = self._inherited_metrics.get(source)
             if held is None or int(mdoc.get("seq", 0)) >= int(held.get("seq", 0)):
                 self._inherited_metrics[source] = mdoc
-        write_snapshot(self.state_dir, self._snapshot(spec.name))
+        self._write_group_snapshot(spec.name)
         return rounds_verified, last_verdict
+
+    def handback(self, doc: dict) -> Tuple[int, Optional[dict]]:
+        """Take back a group this worker's predecessor owned.
+
+        Mechanically :meth:`adopt` — the same deterministic
+        rebuild-and-replay restore — under the name the hand-back
+        protocol uses, so the control-channel traffic reads as what it
+        is: anti-entropy returning a group to its ring home.
+
+        Raises:
+            ValueError: on a malformed or mismatched snapshot.
+        """
+        return self.adopt(doc)
+
+    async def release_group(self, name: str) -> dict:
+        """Stop hosting ``name``; returns its final snapshot document.
+
+        The releasing half of a hand-back. Taking the group's round
+        lock first means no round is mid-flight when the final
+        snapshot is cut, so the document carries every verdict this
+        worker ever verified for the group. The final write bypasses
+        fault injection: a hand-back is a deliberate migration, not a
+        crash, and its document must be trustworthy.
+
+        Raises:
+            ValueError: when the group is not hosted here.
+        """
+        group = self.groups.get(name)
+        if group is None or name not in self._specs:
+            raise ValueError(f"group {name!r} is not hosted on this worker")
+        async with group.lock:
+            doc = self._snapshot(name)
+            write_snapshot(self.state_dir, doc)
+            self.groups.pop(name, None)
+            self._specs.pop(name, None)
+            self._history.pop(name, None)
+            self._last_verdict.pop(name, None)
+            self._write_counts.pop(name, None)
+        return doc
+
+    def stall(self, seconds: float) -> None:
+        """Refuse *new* sessions for ``seconds`` (chaos drills only).
+
+        Existing connections and in-flight rounds are untouched — on
+        purpose. A live worker that re-received a RESEED would advance
+        its issuer RNG off the deterministic script, so the stall
+        models the one upstream failure that is bit-safe: connects
+        that die before the worker reads a single frame. The gateway
+        experiences connect-then-EOF, trips its circuit breaker, and
+        retries the round against the same challenge after recovery.
+        """
+        self._stall_until = time.monotonic() + max(0.0, float(seconds))
+
+    async def _accept(self, reader, writer) -> None:
+        if time.monotonic() < self._stall_until:
+            self.stalled_refusals += 1
+            writer.close()
+            return
+        await super()._accept(reader, writer)
+
+    def _write_group_snapshot(self, name: str) -> None:
+        """Persist one group, suffering any planned disk fault.
+
+        Write indexes count per group, so a plan's ``at_tick`` pins
+        "the n-th persisted snapshot of group g" deterministically.
+        Every failed write — ``enospc``, ``fsync-fail``, and torn /
+        short writes caught by :func:`write_snapshot`'s read-back
+        verification — is retried once on the honest path: the
+        zero-verdict-loss ordering (snapshot durable *before* the
+        VERDICT frame flushes) must survive a lying disk. Surviving
+        *reads* of corpses corrupted behind the writer's back is
+        ``load_snapshot``'s job.
+        """
+        doc = self._snapshot(name)
+        index = self._write_counts.get(name, 0)
+        self._write_counts[name] = index + 1
+        fault = (
+            self._disk_faults.fault_for(name, index)
+            if self._disk_faults is not None
+            else None
+        )
+        if fault is None:
+            write_snapshot(self.state_dir, doc)
+            return
+        self.snapshot_fault_counts[fault] = (
+            self.snapshot_fault_counts.get(fault, 0) + 1
+        )
+        if self.obs is not None:
+            self.obs.registry.counter(
+                "shard_snapshot_faults_total",
+                "injected snapshot-write faults suffered",
+                labelnames=("mode",),
+            ).labels(mode=fault).inc()
+        try:
+            write_snapshot(self.state_dir, doc, fault=fault)
+        except OSError:
+            if self.obs is not None:
+                self.obs.registry.counter(
+                    "shard_snapshot_write_errors_total",
+                    "snapshot writes that raised and were retried",
+                ).inc()
+            write_snapshot(self.state_dir, doc)
 
     def _snapshot(self, name: str) -> dict:
         group = self.groups[name]
         metrics = dict(self._inherited_metrics)
         own = self.metrics_snapshot()
         if own is not None:
-            metrics[self.worker_id] = own
+            metrics[self.metrics_source] = own
         return snapshot_doc(
             self._specs[name],
             group.monitor,
@@ -197,7 +360,7 @@ class ShardWorkerService(MonitoringService):
         # — SIGKILL between them lets the gateway serve this verdict
         # from the snapshot while no persisted registry counts it (or
         # vice versa), and the /metrics scrape stops being exact.
-        write_snapshot(self.state_dir, self._snapshot(name))
+        self._write_group_snapshot(name)
 
     @property
     def verdicts_persisted(self) -> int:
@@ -230,6 +393,9 @@ class WorkerSpec:
         timer_scale: float = 0.0,
         max_sessions: int = 256,
         wire_versions: Tuple[int, ...] = (1, 2),
+        generation: int = 0,
+        fault_plan: Optional[dict] = None,
+        fault_seed: int = 0,
     ):
         if not worker_id or not isinstance(worker_id, str):
             raise ValueError("worker_id must be a non-empty string")
@@ -237,10 +403,17 @@ class WorkerSpec:
             raise ValueError("control_host must be a non-empty string")
         _require_int("control_port", control_port, 1, 65535)
         _require_int("max_sessions", max_sessions, 1)
+        _require_int("generation", generation, 0)
+        _require_int("fault_seed", fault_seed, -(2**63), 2**63 - 1)
         _require_finite(
             "heartbeat_interval_s", heartbeat_interval_s, 0.0, strict=True
         )
         _require_finite("timer_scale", timer_scale, 0.0, strict=False)
+        if fault_plan is not None and not isinstance(fault_plan, dict):
+            raise ValueError(
+                f"fault_plan must be a plan document or None, "
+                f"got {fault_plan!r}"
+            )
         wire_versions = tuple(wire_versions)
         if 1 not in wire_versions or set(wire_versions) - {1, 2}:
             raise ValueError(
@@ -256,6 +429,9 @@ class WorkerSpec:
         self.timer_scale = timer_scale
         self.max_sessions = max_sessions
         self.wire_versions = wire_versions
+        self.generation = generation
+        self.fault_plan = fault_plan
+        self.fault_seed = fault_seed
 
     def to_dict(self) -> dict:
         return {
@@ -268,6 +444,9 @@ class WorkerSpec:
             "timer_scale": self.timer_scale,
             "max_sessions": self.max_sessions,
             "wire_versions": list(self.wire_versions),
+            "generation": self.generation,
+            "fault_plan": self.fault_plan,
+            "fault_seed": self.fault_seed,
         }
 
     @classmethod
@@ -284,6 +463,9 @@ class WorkerSpec:
             timer_scale=doc["timer_scale"],
             max_sessions=doc["max_sessions"],
             wire_versions=tuple(doc.get("wire_versions", (1, 2))),
+            generation=doc.get("generation", 0),
+            fault_plan=doc.get("fault_plan"),
+            fault_seed=doc.get("fault_seed", 0),
         )
 
 
@@ -329,9 +511,16 @@ async def _worker_main(spec: WorkerSpec) -> None:
         f"worker:{spec.worker_id}",
         path=worker_spans_path(spec.state_dir, spec.worker_id),
     )
+    disk_faults = None
+    if spec.fault_plan:
+        disk_faults = DiskFaultInjector(
+            FaultPlan.from_dict(spec.fault_plan), spec.fault_seed
+        )
     service = ShardWorkerService(
         spec.state_dir,
         worker_id=spec.worker_id,
+        generation=spec.generation,
+        disk_faults=disk_faults,
         session_config=SessionConfig(wall_us_per_s=spec.timer_scale),
         max_sessions=spec.max_sessions,
         obs=obs,
@@ -391,8 +580,48 @@ async def _worker_main(spec: WorkerSpec) -> None:
                         "group": snapshot.get("group"),
                         "error": str(error),
                     }
+                reply["req"] = command.get("req")
                 _send_line(writer, reply)
                 await writer.drain()
+            elif kind == "handback":
+                snapshot = command.get("snapshot") or {}
+                try:
+                    rounds_verified, last_verdict = service.handback(snapshot)
+                    reply = {
+                        "type": "handed-back",
+                        "group": snapshot.get("group"),
+                        "rounds_verified": rounds_verified,
+                        "last_verdict": last_verdict,
+                    }
+                except (ValueError, KeyError) as error:
+                    reply = {
+                        "type": "handback-failed",
+                        "group": snapshot.get("group"),
+                        "error": str(error),
+                    }
+                reply["req"] = command.get("req")
+                _send_line(writer, reply)
+                await writer.drain()
+            elif kind == "release":
+                name = command.get("group")
+                try:
+                    doc = await service.release_group(name)
+                    reply = {
+                        "type": "released",
+                        "group": name,
+                        "snapshot": doc,
+                    }
+                except (ValueError, KeyError) as error:
+                    reply = {
+                        "type": "release-failed",
+                        "group": name,
+                        "error": str(error),
+                    }
+                reply["req"] = command.get("req")
+                _send_line(writer, reply)
+                await writer.drain()
+            elif kind == "stall":
+                service.stall(float(command.get("seconds", 0.0)))
             elif kind == "shutdown":
                 break
     except (ConnectionError, OSError):
@@ -436,6 +665,18 @@ class _WorkerHandle:
         #: a dead worker's last-known state still merges).
         self.metrics: Optional[dict] = None
         self.last_heartbeat: float = 0.0
+        #: Completed automatic restarts of this worker slot.
+        self.restarts = 0
+        #: Incarnation number of the *current* process (0 = original);
+        #: feeds the worker's distinct per-incarnation metrics source.
+        self.generation = 0
+        #: Set when the restart budget is exhausted: the slot stays
+        #: dead, its groups stay failed over, and /healthz keeps
+        #: reporting it down.
+        self.permanently_down = False
+        #: Heartbeat snapshots of dead incarnations, kept so their
+        #: sources still merge into the cluster registry.
+        self.prior_metrics: List[dict] = []
 
     @property
     def pid(self) -> Optional[int]:
@@ -463,10 +704,18 @@ class WorkerSupervisor:
         state_dir: str,
         group_specs: Optional[Tuple[ShardGroupSpec, ...]] = None,
         obs=None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.config = config
         self.state_dir = state_dir
         self.obs = obs
+        #: Forwarded to every worker (original and restarted alike) so
+        #: the disk-fault injector torments the same snapshot writes no
+        #: matter which incarnation performs them.
+        self.fault_plan = fault_plan
+        self.fault_seed = (
+            config.chaos_seed if config.chaos_seed is not None else config.seed
+        )
         specs = group_specs if group_specs is not None else config.group_specs()
         self._specs: Dict[str, ShardGroupSpec] = {g.name: g for g in specs}
         self.ring = HashRing(
@@ -482,10 +731,26 @@ class WorkerSupervisor:
         self.handles: Dict[str, _WorkerHandle] = {}
         self.reshards = 0
         self.failovers = 0
+        self.restarts = 0
+        self.handbacks = 0
+        self.snapshot_corrupt = 0
         self.failover_latencies: List[float] = []
         self._failover_tasks: Dict[str, asyncio.Task] = {}
-        self._adopt_waiters: Dict[Tuple[str, str], asyncio.Future] = {}
+        self._restart_tasks: Dict[str, asyncio.Task] = {}
+        self._adopt_waiters: Dict[Tuple[str, int], asyncio.Future] = {}
+        self._req_seq = 0
+        #: Serialises ownership mutations: a failover and a rejoin
+        #: hand-back racing on the same groups would double-assign.
+        self._migration_lock = asyncio.Lock()
+        #: group -> gate event while a hand-back migrates it; the
+        #: gateway's round_gate blocks here so no round races the move.
+        self._migrations: Dict[str, asyncio.Event] = {}
+        self._inflight: Dict[str, int] = {}
+        #: Called with the worker id after every completed rejoin (the
+        #: gateway resets that worker's circuit breaker here).
+        self.rejoin_listeners: List[Callable[[str], None]] = []
         self._control: Optional[asyncio.base_events.Server] = None
+        self._control_port: Optional[int] = None
         self._closing = False
         # Register the whole metric family up front so a snapshot taken
         # before the first heartbeat (or a campaign with no failover)
@@ -496,6 +761,9 @@ class WorkerSupervisor:
                 self._gauge("shard_worker_sessions", 0, worker=worker_id)
             self._count("shard_reshards_total", 0)
             self._count("shard_failovers_total", 0)
+            self._count("shard_worker_restarts_total", 0)
+            self._count("shard_handbacks_total", 0)
+            self._count("shard_snapshot_corrupt_total", 0)
             self.obs.registry.histogram(
                 "shard_failover_seconds",
                 "failover latency: worker-death signal to last group adopted",
@@ -537,31 +805,18 @@ class WorkerSupervisor:
         self._control = await asyncio.start_server(
             self._on_control, host="127.0.0.1", port=0
         )
-        control_port = self._control.sockets[0].getsockname()[1]
+        self._control_port = self._control.sockets[0].getsockname()[1]
         shards = self.ring.assignments(sorted(self._specs))
-        context = multiprocessing.get_context()
         for worker_id in self.ring.nodes:
-            spec = WorkerSpec(
-                worker_id=worker_id,
-                control_host="127.0.0.1",
-                control_port=control_port,
-                state_dir=self.state_dir,
+            spec = self._worker_spec(
+                worker_id,
                 groups=tuple(
                     self._specs[name] for name in shards.get(worker_id, [])
                 ),
-                heartbeat_interval_s=self.config.heartbeat_interval_s,
-                timer_scale=self.config.timer_scale,
-                max_sessions=self.config.max_sessions,
-                wire_versions=self.config.wire_versions,
             )
-            process = context.Process(
-                target=_worker_entry,
-                args=(spec.to_dict(),),
-                daemon=True,
-                name=f"repro-shard-{worker_id}",
+            self.handles[worker_id] = _WorkerHandle(
+                worker_id, self._spawn(spec)
             )
-            process.start()
-            self.handles[worker_id] = _WorkerHandle(worker_id, process)
         try:
             await asyncio.wait_for(
                 asyncio.gather(
@@ -579,6 +834,41 @@ class WorkerSupervisor:
                 f"{self.config.start_timeout_s}s: {missing}"
             )
         self._gauge("shard_workers", self.live_workers)
+
+    def _worker_spec(
+        self,
+        worker_id: str,
+        groups: Tuple[ShardGroupSpec, ...] = (),
+        generation: int = 0,
+    ) -> WorkerSpec:
+        return WorkerSpec(
+            worker_id=worker_id,
+            control_host="127.0.0.1",
+            control_port=self._control_port,
+            state_dir=self.state_dir,
+            groups=groups,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            timer_scale=self.config.timer_scale,
+            max_sessions=self.config.max_sessions,
+            wire_versions=self.config.wire_versions,
+            generation=generation,
+            fault_plan=(
+                self.fault_plan.to_dict() if self.fault_plan is not None else None
+            ),
+            fault_seed=self.fault_seed,
+        )
+
+    @staticmethod
+    def _spawn(spec: WorkerSpec):
+        context = multiprocessing.get_context()
+        process = context.Process(
+            target=_worker_entry,
+            args=(spec.to_dict(),),
+            daemon=True,
+            name=f"repro-shard-{spec.worker_id}",
+        )
+        process.start()
+        return process
 
     @property
     def live_workers(self) -> int:
@@ -617,9 +907,16 @@ class WorkerSupervisor:
                         handle.sessions,
                         worker=handle.worker_id,
                     )
-                elif kind in ("adopted", "adopt-failed"):
+                elif kind in (
+                    "adopted",
+                    "adopt-failed",
+                    "released",
+                    "release-failed",
+                    "handed-back",
+                    "handback-failed",
+                ):
                     waiter = self._adopt_waiters.get(
-                        (handle.worker_id, message.get("group"))
+                        (handle.worker_id, message.get("req"))
                     )
                     if waiter is not None and not waiter.done():
                         waiter.set_result(message)
@@ -662,7 +959,12 @@ class WorkerSupervisor:
                 best[source] = doc
 
         for worker_id in sorted(self.handles):
-            consider(self.handles[worker_id].metrics)
+            handle = self.handles[worker_id]
+            consider(handle.metrics)
+            # Dead incarnations of a restarted worker publish under
+            # their own sources; their last heartbeats still count.
+            for doc in handle.prior_metrics:
+                consider(doc)
         for name in self._specs:
             try:
                 with open(snapshot_path(self.state_dir, name)) as fh:
@@ -708,10 +1010,39 @@ class WorkerSupervisor:
                     if handle.last_heartbeat
                     else None
                 ),
+                "restarts": handle.restarts,
+                "permanently_down": handle.permanently_down,
             }
         return out
 
     # -- routing and failover ------------------------------------------
+
+    async def round_gate(self, group: str) -> None:
+        """Admit one proxied round, waiting out any live migration.
+
+        A hand-back must never race a round: the gateway calls this at
+        round entry, blocking while the group is mid-migration, then
+        registers the round as in flight so the migration's drain step
+        can in turn wait for *it*.
+        """
+        while True:
+            gate = self._migrations.get(group)
+            if gate is None:
+                break
+            await gate.wait()
+        self._inflight[group] = self._inflight.get(group, 0) + 1
+
+    def round_done(self, group: str) -> None:
+        """The matching exit for :meth:`round_gate` (finally-safe)."""
+        count = self._inflight.get(group, 0) - 1
+        if count <= 0:
+            self._inflight.pop(group, None)
+        else:
+            self._inflight[group] = count
+
+    def _on_corrupt_snapshot(self, group: str, error: Exception) -> None:
+        self.snapshot_corrupt += 1
+        self._count("shard_snapshot_corrupt_total")
 
     async def worker_for(self, group: str) -> _WorkerHandle:
         """The live handle owning ``group``, failing over as needed.
@@ -752,10 +1083,18 @@ class WorkerSupervisor:
         task = self._failover_tasks.get(worker_id)
         if task is None:
             task = asyncio.ensure_future(self._failover(worker_id))
-            # Observe the exception even if no caller ever awaits.
-            task.add_done_callback(
-                lambda t: t.cancelled() or t.exception()
-            )
+
+            def _observe(t: asyncio.Task, wid: str = worker_id) -> None:
+                # Observe the exception even if no caller ever awaits —
+                # and un-latch a *failed* failover so the next trouble
+                # report retries it once workers are back.
+                if t.cancelled():
+                    return
+                if t.exception() is not None:
+                    if self._failover_tasks.get(wid) is t:
+                        self._failover_tasks.pop(wid, None)
+
+            task.add_done_callback(_observe)
             self._failover_tasks[worker_id] = task
         return task
 
@@ -765,43 +1104,59 @@ class WorkerSupervisor:
         handle.alive = False
         if handle.writer is not None:
             handle.writer.close()
-        if worker_id in self.ring:
-            self.ring.remove(worker_id)
-        orphans = sorted(
-            name for name, owner in self.owners.items() if owner == worker_id
-        )
-        moved = 0
-        for name in orphans:
-            doc = load_snapshot(self.state_dir, name)
-            if doc is None:
-                doc = initial_snapshot(self._specs[name])
-            while True:
-                if not len(self.ring):
-                    raise RuntimeError(
-                        "no surviving workers to adopt orphaned groups"
-                    )
-                target = self.ring.owner(name)
-                target_handle = self.handles[target]
-                if not target_handle.is_running():
-                    await self.ensure_failover(target)
-                    continue
-                try:
-                    reply = await self._request_adopt(target_handle, name, doc)
-                except (asyncio.TimeoutError, ConnectionError, OSError):
-                    target_handle.alive = False
-                    continue
-                if reply.get("type") != "adopted":
-                    raise RuntimeError(
-                        f"worker {target} refused group {name!r}: "
-                        f"{reply.get('error')}"
-                    )
-                self.owners[name] = target
-                self.adoptions[name] = {
-                    "rounds_verified": int(reply["rounds_verified"]),
-                    "last_verdict": reply.get("last_verdict"),
-                }
-                moved += 1
-                break
+        async with self._migration_lock:
+            if worker_id in self.ring:
+                self.ring.remove(worker_id)
+            orphans = sorted(
+                name
+                for name, owner in self.owners.items()
+                if owner == worker_id
+            )
+            moved = 0
+            for name in orphans:
+                doc = load_snapshot(
+                    self.state_dir, name, on_corrupt=self._on_corrupt_snapshot
+                )
+                if doc is None:
+                    doc = initial_snapshot(self._specs[name])
+                while True:
+                    if not len(self.ring):
+                        raise RuntimeError(
+                            "no surviving workers to adopt orphaned groups"
+                        )
+                    target = self.ring.owner(name)
+                    target_handle = self.handles[target]
+                    if not target_handle.is_running():
+                        # Don't await the dependent failover while
+                        # holding the migration lock (it needs the same
+                        # lock). Drop the dead target from the ring now
+                        # and let its own queued failover re-home
+                        # whatever this loop already assigned to it.
+                        if target in self.ring:
+                            self.ring.remove(target)
+                        self.ensure_failover(target)
+                        continue
+                    try:
+                        reply = await self._request(
+                            target_handle,
+                            name,
+                            {"type": "adopt", "snapshot": doc},
+                        )
+                    except (asyncio.TimeoutError, ConnectionError, OSError):
+                        target_handle.alive = False
+                        continue
+                    if reply.get("type") != "adopted":
+                        raise RuntimeError(
+                            f"worker {target} refused group {name!r}: "
+                            f"{reply.get('error')}"
+                        )
+                    self.owners[name] = target
+                    self.adoptions[name] = {
+                        "rounds_verified": int(reply["rounds_verified"]),
+                        "last_verdict": reply.get("last_verdict"),
+                    }
+                    moved += 1
+                    break
         self.reshards += moved
         self.failovers += 1
         elapsed = time.perf_counter() - started
@@ -810,21 +1165,231 @@ class WorkerSupervisor:
         self._count("shard_failovers_total")
         self._observe_latency(elapsed)
         self._gauge("shard_workers", self.live_workers)
+        self._maybe_schedule_restart(worker_id)
 
-    async def _request_adopt(
-        self, handle: _WorkerHandle, group: str, doc: dict
+    async def _request(
+        self, handle: _WorkerHandle, group: str, command: dict
     ) -> dict:
+        """One command/reply exchange about ``group`` on the control link.
+
+        Replies are matched by ``(worker, req)`` — every group-scoped
+        command (adopt, release, handback) carries a unique request id
+        that the worker echoes back, so two concurrent exchanges about
+        the same group can never pick up each other's reply.
+        """
+        if handle.writer is None:
+            raise ConnectionError(
+                f"no control channel to worker {handle.worker_id}"
+            )
+        self._req_seq += 1
+        req = self._req_seq
         loop = asyncio.get_running_loop()
         waiter: asyncio.Future = loop.create_future()
-        self._adopt_waiters[(handle.worker_id, group)] = waiter
+        self._adopt_waiters[(handle.worker_id, req)] = waiter
         try:
-            _send_line(handle.writer, {"type": "adopt", "snapshot": doc})
+            _send_line(handle.writer, dict(command, req=req))
             await handle.writer.drain()
             return await asyncio.wait_for(
                 waiter, timeout=self.config.failover_timeout_s
             )
         finally:
-            self._adopt_waiters.pop((handle.worker_id, group), None)
+            self._adopt_waiters.pop((handle.worker_id, req), None)
+
+    # -- self-healing: restart, rejoin, hand-back ----------------------
+
+    def _maybe_schedule_restart(self, worker_id: str) -> None:
+        """Queue an automatic restart after a failover, if policy allows."""
+        if self._closing or self.config.restart_max_attempts < 1:
+            return
+        handle = self.handles[worker_id]
+        if handle.permanently_down or worker_id in self._restart_tasks:
+            return
+        task = asyncio.ensure_future(self._restart(worker_id))
+
+        def _reap(t: asyncio.Task) -> None:
+            self._restart_tasks.pop(worker_id, None)
+            t.cancelled() or t.exception()
+
+        task.add_done_callback(_reap)
+        self._restart_tasks[worker_id] = task
+
+    async def _restart(self, worker_id: str) -> None:
+        """Respawn one dead worker under the deterministic backoff policy."""
+        handle = self.handles[worker_id]
+        while not self._closing:
+            attempt = handle.restarts + 1
+            if attempt > self.config.restart_max_attempts:
+                handle.permanently_down = True
+                return
+            await asyncio.sleep(
+                restart_backoff_s(
+                    self.config.seed,
+                    worker_id,
+                    attempt,
+                    self.config.restart_backoff_base_s,
+                    self.config.restart_backoff_cap_s,
+                )
+            )
+            if self._closing:
+                return
+            handle.process.join(timeout=0.1)
+            if handle.metrics is not None:
+                handle.prior_metrics.append(handle.metrics)
+                handle.metrics = None
+            handle.restarts = attempt
+            handle.generation += 1
+            handle.alive = False
+            handle.port = None
+            handle.writer = None
+            handle.sessions = 0
+            handle.verdicts = 0
+            handle.ready = asyncio.Event()
+            # Reborn with no groups: everything it owned was failed
+            # over; the rejoin below hands its ring-home groups back.
+            handle.process = self._spawn(
+                self._worker_spec(worker_id, generation=handle.generation)
+            )
+            self.restarts += 1
+            self._count("shard_worker_restarts_total")
+            try:
+                await asyncio.wait_for(
+                    handle.ready.wait(), timeout=self.config.start_timeout_s
+                )
+            except asyncio.TimeoutError:
+                # Stillborn: reap it and let the loop charge the next
+                # attempt (or go permanent-down at the cap).
+                if handle.process.is_alive():
+                    handle.process.kill()
+                continue
+            await self._rejoin(worker_id)
+            return
+
+    async def _rejoin(self, worker_id: str) -> None:
+        """Re-include a restarted worker and hand its groups back.
+
+        The ring is a pure function of its node set, so re-adding the
+        node restores the exact pre-crash placement; every group whose
+        ring home is the rejoined worker but which currently lives on
+        an adoptive survivor is migrated back via the release/handback
+        exchange. A failed hand-back leaves the group on its survivor —
+        placement stays merely suboptimal, never wrong.
+        """
+        handle = self.handles[worker_id]
+        if worker_id not in self.ring:
+            self.ring.add(worker_id)
+        # Un-latch the single-flight failover so a *second* death of
+        # this worker can fail over again.
+        self._failover_tasks.pop(worker_id, None)
+        self._gauge("shard_workers", self.live_workers)
+        for name in sorted(self._specs):
+            if self._closing or not handle.is_running():
+                break
+            if self.ring.owner(name) != worker_id:
+                continue
+            current = self.owners.get(name)
+            if current is None or current == worker_id:
+                continue
+            try:
+                await self._handback(name, current, worker_id)
+            except (
+                asyncio.TimeoutError,
+                ConnectionError,
+                OSError,
+                RuntimeError,
+            ):
+                continue
+        for listener in list(self.rejoin_listeners):
+            listener(worker_id)
+
+    async def _handback(self, name: str, from_id: str, to_id: str) -> None:
+        """Migrate one group from its adoptive survivor to its ring home.
+
+        Anti-entropy by construction: drain in-flight rounds, have the
+        survivor release the group with a final authoritative snapshot,
+        reconcile that against whatever generation is on disk
+        (freshest ``rounds_verified`` wins, embedded metrics merge
+        max-seq), and hand the winner to the rejoined worker — whose
+        deterministic rebuild continues the verdict sequence
+        bit-identically. On a refused hand-back the survivor re-adopts
+        so the group is never left unhosted.
+        """
+        survivor = self.handles[from_id]
+        target = self.handles[to_id]
+        async with self._migration_lock:
+            if self.owners.get(name) != from_id:
+                # A failover re-homed the group while we waited for the
+                # lock; this hand-back's premise is gone.
+                raise RuntimeError(
+                    f"group {name!r} re-homed before hand-back"
+                )
+            if not survivor.is_running() or not target.is_running():
+                raise RuntimeError(
+                    f"hand-back of {name!r} needs both endpoints live"
+                )
+            gate = asyncio.Event()
+            self._migrations[name] = gate
+            try:
+                deadline = time.monotonic() + self.config.drain_timeout_s
+                while (
+                    self._inflight.get(name, 0) > 0
+                    and time.monotonic() < deadline
+                ):
+                    await asyncio.sleep(0.01)
+                reply = await self._request(
+                    survivor, name, {"type": "release", "group": name}
+                )
+                if reply.get("type") != "released":
+                    raise RuntimeError(
+                        f"worker {from_id} refused to release {name!r}: "
+                        f"{reply.get('error')}"
+                    )
+                doc = reconcile_snapshots(
+                    reply.get("snapshot"),
+                    load_snapshot(
+                        self.state_dir,
+                        name,
+                        on_corrupt=self._on_corrupt_snapshot,
+                    ),
+                )
+                if doc is None:
+                    doc = initial_snapshot(self._specs[name])
+                back = await self._request(
+                    target, name, {"type": "handback", "snapshot": doc}
+                )
+                if back.get("type") == "handed-back":
+                    new_owner = to_id
+                else:
+                    # Put it back where it just came from; the survivor
+                    # no longer hosts it after the release above.
+                    back = await self._request(
+                        survivor, name, {"type": "adopt", "snapshot": doc}
+                    )
+                    if back.get("type") != "adopted":
+                        raise RuntimeError(
+                            f"group {name!r} stranded mid-hand-back"
+                        )
+                    new_owner = from_id
+                self.owners[name] = new_owner
+                self.adoptions[name] = {
+                    "rounds_verified": int(back["rounds_verified"]),
+                    "last_verdict": back.get("last_verdict"),
+                }
+                if new_owner == to_id:
+                    self.handbacks += 1
+                    self._count("shard_handbacks_total")
+            finally:
+                gate.set()
+                self._migrations.pop(name, None)
+
+    async def stall_worker(self, worker_id: str, seconds: float) -> None:
+        """Tell one worker to refuse new sessions for ``seconds``."""
+        handle = self.handles[worker_id]
+        if handle.writer is None:
+            return
+        _send_line(
+            handle.writer, {"type": "stall", "seconds": float(seconds)}
+        )
+        await handle.writer.drain()
 
     # -- drills and teardown -------------------------------------------
 
@@ -838,13 +1403,18 @@ class WorkerSupervisor:
 
     async def close(self) -> None:
         self._closing = True
-        for task in self._failover_tasks.values():
+        pending = list(self._restart_tasks.values()) + list(
+            self._failover_tasks.values()
+        )
+        for task in pending:
             if not task.done():
                 task.cancel()
-        if self._failover_tasks:
-            await asyncio.gather(
-                *self._failover_tasks.values(), return_exceptions=True
-            )
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        # Unblock any gateway session parked on a migration gate.
+        for gate in self._migrations.values():
+            gate.set()
+        self._migrations.clear()
         for handle in self.handles.values():
             if handle.writer is not None:
                 try:

@@ -156,3 +156,90 @@ class TestFaultsOverTheWire:
                     return await client.run_round("g", "trp")
 
         assert asyncio.run(scenario()).verdict == "intact"
+
+
+class TestGatewayIdleTimeout:
+    """frame_idle_timeout_s guards the gateway's worker-facing reads: a
+    worker that dribbles half a frame and goes silent must cost the
+    client a prompt ERROR, not a wedge until the upstream timeout."""
+
+    def test_dribbling_worker_fails_fast(self):
+        import time
+        from types import SimpleNamespace
+
+        from repro.serve import protocol
+        from repro.serve.wire import WireV1
+        from repro.shard import ShardConfig
+        from repro.shard.gateway import ShardGateway
+
+        async def scenario():
+            # A fake worker: swallows the RESEED, dribbles the first
+            # half of a frame, then goes silent mid-frame forever.
+            async def dribble(reader, writer):
+                await protocol.read_frame(reader)
+                payload = WireV1.encode(protocol.reseed("group-000", "trp"))
+                writer.write(payload[: len(payload) // 2])
+                await writer.drain()
+                try:
+                    await asyncio.sleep(3600)
+                except asyncio.CancelledError:
+                    pass
+                finally:
+                    writer.close()
+
+            worker_server = await asyncio.start_server(
+                dribble, "127.0.0.1", 0
+            )
+            worker_port = worker_server.sockets[0].getsockname()[1]
+
+            handle = SimpleNamespace(worker_id="w00", port=worker_port)
+
+            class FakeSupervisor:
+                adoptions = {}
+
+                async def worker_for(self, group):
+                    return handle
+
+                async def worker_failed(self, worker_id):
+                    return False  # "still alive": transport trouble only
+
+            config = ShardConfig(
+                workers=1,
+                groups=1,
+                population=POP,
+                tolerance=2,
+                seed=SEED,
+                wire_versions=(1,),
+                frame_idle_timeout_s=0.25,
+                upstream_timeout_s=30.0,
+                round_deadline_s=30.0,
+                max_round_retries=2,
+            )
+            gateway = ShardGateway(FakeSupervisor(), config)
+            await gateway.start(host="127.0.0.1", port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+                started = time.monotonic()
+                await protocol.write_frame(
+                    writer, protocol.reseed("group-000", "trp")
+                )
+                frame = await asyncio.wait_for(
+                    protocol.read_frame(reader), timeout=20.0
+                )
+                elapsed = time.monotonic() - started
+                writer.close()
+                return frame, elapsed, gateway.round_retries
+            finally:
+                await gateway.close()
+                worker_server.close()
+                await worker_server.wait_closed()
+
+        frame, elapsed, retries = asyncio.run(scenario())
+        assert frame is not None and frame.type == "ERROR"
+        assert frame["code"] == "shard-unavailable"
+        # Two idle-read strikes at 0.25s each, nowhere near the 30s
+        # upstream timeout the idle guard is protecting us from.
+        assert elapsed < 8.0
+        assert retries >= 2

@@ -58,6 +58,39 @@ class TestConfigValidation:
             with pytest.raises(ValueError):
                 ShardConfig(**kwargs)
 
+    def test_rejects_bad_selfheal_knobs(self):
+        # Satellite: the self-healing knobs fail loudly at startup too.
+        for kwargs in (
+            {"restart_max_attempts": -1},
+            {"restart_max_attempts": True},
+            {"restart_backoff_base_s": 0.0},
+            {"restart_backoff_base_s": float("nan")},
+            {"restart_backoff_cap_s": float("inf")},
+            # cap below base: the backoff schedule would be nonsense.
+            {"restart_backoff_base_s": 1.0, "restart_backoff_cap_s": 0.5},
+            {"breaker_failure_threshold": 0},
+            {"breaker_open_s": 0.0},
+            {"breaker_open_s": float("nan")},
+            {"round_deadline_s": 0.0},
+            {"round_deadline_s": float("-inf")},
+            {"drain_timeout_s": 0.0},
+            {"frame_idle_timeout_s": 0.0},
+            {"frame_idle_timeout_s": float("nan")},
+            {"chaos_seed": 1.5},
+            {"chaos_seed": "42"},
+            {"chaos_seed": 2**63},
+        ):
+            with pytest.raises(ValueError):
+                ShardConfig(**kwargs)
+
+    def test_selfheal_defaults_are_off_and_none_ok(self):
+        # Auto-restart defaults OFF (the kill drill's degraded-health
+        # contract depends on it); None disables the idle timeout.
+        config = ShardConfig(frame_idle_timeout_s=None)
+        assert config.restart_max_attempts == 0
+        assert config.frame_idle_timeout_s is None
+        assert config.chaos_seed is None
+
     def test_rejects_bad_confidence(self):
         for alpha in (0.0, 1.0, float("nan"), math.inf):
             with pytest.raises(ValueError):
@@ -288,6 +321,11 @@ class TestGatewayEquivalence:
             "shard_failover_seconds",
             "shard_rounds_proxied_total",
             "shard_sessions_total",
+            "shard_worker_restarts_total",
+            "shard_handbacks_total",
+            "shard_snapshot_corrupt_total",
+            "shard_breaker_opens_total",
+            "shard_breaker_state",
         ):
             assert metric in text, metric
 

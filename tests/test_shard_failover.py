@@ -135,19 +135,35 @@ class TestSnapshotValidation:
         write_snapshot(state_dir, initial_snapshot(_spec()))
         assert load_snapshot(state_dir, "g")["rounds_verified"] == 0
 
-    def test_wrong_format_rejected(self, tmp_path):
+    def test_wrong_format_is_corrupt_not_fatal(self, tmp_path):
+        # A foreign document must not raise out of a failover path:
+        # the caller falls back to the initial snapshot and the
+        # corruption callback ticks the counter.
         path = snapshot_path(str(tmp_path), "g")
         with open(path, "w") as fh:
             json.dump({"format": "other", "group": "g"}, fh)
-        with pytest.raises(ValueError):
-            load_snapshot(str(tmp_path), "g")
+        seen = []
+        assert (
+            load_snapshot(
+                str(tmp_path), "g", on_corrupt=lambda g, e: seen.append((g, e))
+            )
+            is None
+        )
+        assert len(seen) == 1 and seen[0][0] == "g"
+        assert isinstance(seen[0][1], ValueError)
 
-    def test_bad_protocol_history_rejected(self, tmp_path):
+    def test_bad_protocol_history_is_corrupt_not_fatal(self, tmp_path):
         doc = initial_snapshot(_spec())
         doc["protocol_history"] = ["trp", "quantum"]
         write_snapshot(str(tmp_path), doc)
-        with pytest.raises(ValueError):
-            load_snapshot(str(tmp_path), "g")
+        seen = []
+        assert (
+            load_snapshot(
+                str(tmp_path), "g", on_corrupt=lambda g, e: seen.append(g)
+            )
+            is None
+        )
+        assert seen == ["g"]
 
     def test_seed_mismatch_rejected_on_restore(self, tmp_path):
         # A snapshot whose persisted tag IDs disagree with the spec's
@@ -169,6 +185,159 @@ class TestSnapshotValidation:
         (tmp_path / "other").mkdir()
         with pytest.raises(ValueError, match="deterministic rebuild"):
             restore_group(second, doc)
+
+
+class TestSnapshotCorruption:
+    """Torn, truncated and half-replaced files must read as None."""
+
+    def test_truncation_mid_json_reads_as_none(self, tmp_path):
+        write_snapshot(str(tmp_path), initial_snapshot(_spec()))
+        path = snapshot_path(str(tmp_path), "g")
+        with open(path) as fh:
+            payload = fh.read()
+        with open(path, "w") as fh:
+            fh.write(payload[: len(payload) // 2])
+        seen = []
+        assert (
+            load_snapshot(str(tmp_path), "g", on_corrupt=lambda g, e: seen.append(g)) is None
+        )
+        assert seen == ["g"]
+
+    def test_empty_file_reads_as_none(self, tmp_path):
+        path = snapshot_path(str(tmp_path), "g")
+        open(path, "w").close()
+        assert load_snapshot(str(tmp_path), "g") is None
+
+    def test_non_object_document_reads_as_none(self, tmp_path):
+        path = snapshot_path(str(tmp_path), "g")
+        with open(path, "w") as fh:
+            json.dump(["not", "a", "snapshot"], fh)
+        seen = []
+        assert (
+            load_snapshot(str(tmp_path), "g", on_corrupt=lambda g, e: seen.append(g)) is None
+        )
+        assert seen == ["g"]
+
+    def test_injected_torn_write_caught_at_read_back(self, tmp_path):
+        # A torn write never replaces the good snapshot: read-back
+        # verification detects the truncation before the atomic rename.
+        write_snapshot(str(tmp_path), initial_snapshot(_spec()))
+        doc = initial_snapshot(_spec())
+        doc["protocol_history"] = ["trp"]
+        doc["rounds_verified"] = 1
+        with pytest.raises(OSError, match="read-back"):
+            write_snapshot(str(tmp_path), doc, fault="torn-write")
+        assert load_snapshot(str(tmp_path), "g")["rounds_verified"] == 0
+        assert not (tmp_path / "g.snapshot.json.tmp").exists()
+
+    def test_injected_short_write_caught_at_read_back(self, tmp_path):
+        with pytest.raises(OSError, match="read-back"):
+            write_snapshot(
+                str(tmp_path), initial_snapshot(_spec()), fault="short-write"
+            )
+        assert load_snapshot(str(tmp_path), "g") is None
+        assert not (tmp_path / "g.snapshot.json.tmp").exists()
+
+    def test_injected_enospc_keeps_previous_snapshot(self, tmp_path):
+        write_snapshot(str(tmp_path), initial_snapshot(_spec()))
+        doc = initial_snapshot(_spec())
+        doc["protocol_history"] = ["trp"]
+        doc["rounds_verified"] = 1
+        with pytest.raises(OSError):
+            write_snapshot(str(tmp_path), doc, fault="enospc")
+        # The failed write never touched the good file.
+        assert load_snapshot(str(tmp_path), "g")["rounds_verified"] == 0
+
+    def test_injected_fsync_fail_keeps_previous_snapshot(self, tmp_path):
+        write_snapshot(str(tmp_path), initial_snapshot(_spec()))
+        with pytest.raises(OSError):
+            write_snapshot(
+                str(tmp_path), initial_snapshot(_spec()), fault="fsync-fail"
+            )
+        assert load_snapshot(str(tmp_path), "g") is not None
+        # ... and left no temp file behind to confuse a later replace.
+        assert not (tmp_path / "g.snapshot.json.tmp").exists()
+
+    def test_concurrent_second_writer_last_replace_wins(self, tmp_path):
+        # Two writers racing the same group: each write is tmp+replace,
+        # so the reader sees one complete document or the other, never
+        # an interleaving — and a leftover stale tmp file is inert.
+        older = initial_snapshot(_spec())
+        newer = initial_snapshot(_spec())
+        newer["protocol_history"] = ["trp"]
+        newer["rounds_verified"] = 1
+        write_snapshot(str(tmp_path), older)
+        with open(snapshot_path(str(tmp_path), "g") + ".tmp", "w") as fh:
+            fh.write(json.dumps(older)[:10])  # a torn write in flight
+        write_snapshot(str(tmp_path), newer)
+        doc = load_snapshot(str(tmp_path), "g")
+        assert doc is not None and doc["rounds_verified"] == 1
+
+    def test_unknown_fault_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="disk-fault"):
+            write_snapshot(
+                str(tmp_path), initial_snapshot(_spec()), fault="gamma-ray"
+            )
+
+
+class TestReleaseHandback:
+    """The anti-entropy hand-back: release -> handback continues the
+    verdict sequence exactly where the survivor stopped."""
+
+    def test_release_then_handback_is_bit_identical(self, tmp_path):
+        rounds, split = 4, 2
+
+        def reference():
+            async def scenario():
+                (tmp_path / "ref").mkdir(exist_ok=True)
+                service = ShardWorkerService(state_dir=str(tmp_path / "ref"))
+                service.host_spec(_spec())
+                channel = _channel()
+                async with service:
+                    return await _run_rounds(service, channel, rounds, "trp")
+
+            return asyncio.run(scenario())
+
+        def handed_back():
+            state_dir = str(tmp_path / "state")
+            (tmp_path / "state").mkdir(exist_ok=True)
+
+            async def scenario():
+                channel = _channel()
+                survivor = ShardWorkerService(state_dir=state_dir)
+                survivor.host_spec(_spec())
+                async with survivor:
+                    outcomes = await _run_rounds(
+                        survivor, channel, split, "trp"
+                    )
+                    # The home worker rejoined: the survivor releases
+                    # the group (final snapshot, stops serving it) ...
+                    doc = await survivor.release_group("g")
+                    assert "g" not in survivor.groups
+                # ... and the rejoined worker picks it up via handback.
+                home = ShardWorkerService(state_dir=state_dir)
+                rounds_verified, last_verdict = home.handback(doc)
+                assert rounds_verified == split
+                assert last_verdict is not None
+                async with home:
+                    outcomes += await _run_rounds(
+                        home, channel, rounds - split, "trp"
+                    )
+                return outcomes
+
+            return asyncio.run(scenario())
+
+        assert list(map(_outcome_key, handed_back())) == list(
+            map(_outcome_key, reference())
+        )
+
+    def test_release_unknown_group_raises(self, tmp_path):
+        async def scenario():
+            service = ShardWorkerService(state_dir=str(tmp_path))
+            with pytest.raises(ValueError, match="not hosted"):
+                await service.release_group("ghost")
+
+        asyncio.run(scenario())
 
 
 class TestKillDrill:

@@ -85,6 +85,49 @@ class TestStability:
         assert sum(len(v) for v in assignments.values()) == len(GROUPS)
 
 
+class TestRejoinStability:
+    """The self-healing contract: a restarted worker re-enters the ring
+    exactly where it left, so hand-back re-homes precisely the groups
+    failover moved away — nothing else ever migrates."""
+
+    def test_remove_then_re_add_restores_original_placement(self):
+        # Placement is a pure function of the node *set*: the ring a
+        # rejoined worker re-enters is bit-identical to one that never
+        # saw the death, so every adopted group's home owner is again
+        # its pre-kill owner.
+        reference = _placement(WORKERS, GROUPS)
+        ring = HashRing(WORKERS, replicas=64, seed=0)
+        ring.remove("w02")
+        ring.add("w02")
+        assert {k: ring.owner(k) for k in GROUPS} == reference
+
+    def test_down_window_movement_is_bounded_to_dead_nodes_keys(self):
+        # During the whole down window, the only keys whose owner
+        # differs from the steady state are the dead node's own — the
+        # rejoin hand-back set equals the failover adoption set.
+        before = _placement(WORKERS, GROUPS)
+        ring = HashRing(WORKERS, replicas=64, seed=0)
+        ring.remove("w02")
+        during = {k: ring.owner(k) for k in GROUPS}
+        moved = {k for k in GROUPS if during[k] != before[k]}
+        assert moved == {k for k in GROUPS if before[k] == "w02"}
+        # No moved key landed on the dead node, obviously — and each
+        # went to a then-live survivor.
+        assert all(during[k] != "w02" for k in moved)
+        ring.add("w02")
+        after = {k: ring.owner(k) for k in GROUPS}
+        handback = {k for k in GROUPS if after[k] != during[k]}
+        assert handback == moved
+
+    def test_repeated_bounce_is_idempotent(self):
+        ring = HashRing(WORKERS, replicas=64, seed=0)
+        reference = {k: ring.owner(k) for k in GROUPS}
+        for _ in range(3):
+            ring.remove("w04")
+            ring.add("w04")
+        assert {k: ring.owner(k) for k in GROUPS} == reference
+
+
 class TestApi:
     def test_add_remove_contains(self):
         ring = HashRing(["a", "b"])

@@ -1,0 +1,412 @@
+"""Tests for the self-healing shard machinery (restart / rejoin / chaos).
+
+Three layers, bottom up: the pure pieces (deterministic restart
+backoff, the circuit breaker against a fake clock, the seeded disk
+fault injector), one end-to-end kill → restart → rejoin → hand-back
+scenario pinned bit-identical to a fault-free run, and the bundled
+chaos drill's own exit gate.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.faults import DISK_FAULT_KINDS, DiskFaultInjector, FaultPlan, FaultSpec
+from repro.fleet import RemoteCampaignConfig, drive_remote_campaign_async
+from repro.obs import ObsContext
+from repro.shard import (
+    CircuitBreaker,
+    ShardCluster,
+    ShardConfig,
+    default_chaos_plan,
+    restart_backoff_s,
+    run_chaos_drill,
+)
+from repro.shard.telemetry import http_get
+
+POP = 30
+SEED = 17
+
+
+class TestRestartBackoff:
+    """restart_backoff_s is pure: the whole restart timeline of a
+    chaos drill replays exactly under a fixed master seed."""
+
+    def test_deterministic(self):
+        a = restart_backoff_s(1, "w01", 3, 0.1, 5.0)
+        b = restart_backoff_s(1, "w01", 3, 0.1, 5.0)
+        assert a == b
+
+    def test_jitter_stays_in_half_open_band(self):
+        # Jitter scales the raw exponential by [0.5, 1.0): never less
+        # than half the nominal delay, never at or above it.
+        for attempt in range(1, 8):
+            raw = min(5.0, 0.1 * 2 ** (attempt - 1))
+            value = restart_backoff_s(SEED, "w00", attempt, 0.1, 5.0)
+            assert 0.5 * raw <= value < raw
+
+    def test_cap_bounds_every_attempt(self):
+        assert restart_backoff_s(SEED, "w00", 40, 0.1, 5.0) < 5.0
+
+    def test_distinct_workers_desynchronise(self):
+        # The point of jitter: two workers respawning after the same
+        # failure must not thunder in lockstep.
+        values = {
+            restart_backoff_s(SEED, f"w{i:02d}", 1, 0.1, 5.0)
+            for i in range(8)
+        }
+        assert len(values) == 8
+
+    def test_distinct_attempts_draw_fresh_jitter(self):
+        # Attempts 1 and 2 differ by more than the pure doubling.
+        first = restart_backoff_s(SEED, "w00", 1, 0.1, 5.0)
+        second = restart_backoff_s(SEED, "w00", 2, 0.1, 5.0)
+        assert second != 2 * first
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            restart_backoff_s(SEED, "w00", 0, 0.1, 5.0)
+
+
+def _clocked_breaker(threshold=3, open_s=10.0):
+    now = [0.0]
+    breaker = CircuitBreaker(threshold, open_s, clock=lambda: now[0])
+    return breaker, now
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = _clocked_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = _clocked_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_threshold_failures_open(self):
+        breaker, _ = _clocked_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = _clocked_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_decays_to_half_open_after_open_s(self):
+        breaker, now = _clocked_breaker(threshold=1, open_s=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        now[0] = 9.9
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+
+    def test_half_open_success_closes(self):
+        breaker, now = _clocked_breaker(threshold=1, open_s=10.0)
+        breaker.record_failure()
+        now[0] = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_and_restarts_the_clock(self):
+        breaker, now = _clocked_breaker(threshold=3, open_s=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 10.0
+        assert breaker.allow()  # half-open probe
+        breaker.record_failure()  # probe failed: one strike re-opens
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        now[0] = 19.9
+        assert not breaker.allow()
+        now[0] = 20.0
+        assert breaker.allow()
+
+    def test_reset_returns_to_closed(self):
+        breaker, _ = _clocked_breaker(threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 0.0)
+
+
+class TestDiskFaultInjector:
+    def _plan(self, *specs):
+        return FaultPlan(name="t", description="test plan", specs=list(specs))
+
+    def test_pinned_spec_hits_exactly_its_coordinates(self):
+        plan = self._plan(
+            FaultSpec(
+                "disk-fault", groups=["g0"], at_tick=2, mode="torn-write"
+            )
+        )
+        injector = DiskFaultInjector(plan, master_seed=SEED)
+        assert injector.fault_for("g0", 2) == "torn-write"
+        assert injector.fault_for("g0", 1) is None
+        assert injector.fault_for("g0", 3) is None
+        assert injector.fault_for("g1", 2) is None
+
+    def test_schedule_replays_exactly(self):
+        plan = self._plan(
+            FaultSpec("disk-fault", probability=0.3),
+            FaultSpec("disk-fault", groups=["g1"], at_tick=0, mode="enospc"),
+        )
+        grid = [
+            (f"g{g}", i) for g in range(4) for i in range(12)
+        ]
+        first = [
+            DiskFaultInjector(plan, master_seed=SEED).fault_for(*coord)
+            for coord in grid
+        ]
+        second = [
+            DiskFaultInjector(plan, master_seed=SEED).fault_for(*coord)
+            for coord in grid
+        ]
+        assert first == second
+        # A different master seed reshuffles the probabilistic draws.
+        other = [
+            DiskFaultInjector(plan, master_seed=SEED + 1).fault_for(*coord)
+            for coord in grid
+        ]
+        assert first != other
+
+    def test_certain_probability_always_fires_a_known_kind(self):
+        plan = self._plan(FaultSpec("disk-fault", probability=1.0))
+        injector = DiskFaultInjector(plan, master_seed=SEED)
+        modes = {injector.fault_for("g0", i) for i in range(16)}
+        assert None not in modes
+        assert modes <= set(DISK_FAULT_KINDS)
+
+    def test_negative_write_index_rejected(self):
+        injector = DiskFaultInjector(self._plan(), master_seed=SEED)
+        with pytest.raises(ValueError, match="write_index"):
+            injector.fault_for("g0", -1)
+
+
+def _campaign_config(port, groups, rounds) -> RemoteCampaignConfig:
+    return RemoteCampaignConfig(
+        host="127.0.0.1",
+        port=port,
+        groups=groups,
+        rounds=rounds,
+        protocol="trp",
+        population=POP,
+        tolerance=2,
+        confidence=0.9,
+        seed=SEED,
+        counter_tags=False,
+        concurrency=4,
+    )
+
+
+class TestSelfHealingEndToEnd:
+    def test_kill_restart_rejoin_handback_bit_identical(self):
+        groups, half = 4, 2
+        config = ShardConfig(
+            workers=2,
+            groups=groups,
+            population=POP,
+            tolerance=2,
+            seed=SEED,
+            heartbeat_interval_s=0.2,
+            restart_max_attempts=2,
+        )
+
+        async def healed_run():
+            async with ShardCluster(
+                config, obs=ObsContext(), telemetry_port=0
+            ) as cluster:
+                supervisor = cluster.supervisor
+                first = await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, groups, half)
+                )
+                # Kill the busiest owner so at least one group must be
+                # adopted, then handed back on rejoin.
+                victim = max(
+                    supervisor.handles,
+                    key=lambda wid: sum(
+                        1 for o in supervisor.owners.values() if o == wid
+                    ),
+                )
+                owned_before = sorted(
+                    n for n, o in supervisor.owners.items() if o == victim
+                )
+                assert owned_before  # the premise of the hand-back
+                supervisor.kill_worker(victim)
+                deadline = asyncio.get_running_loop().time() + 25.0
+                while asyncio.get_running_loop().time() < deadline:
+                    healed = (
+                        supervisor.restarts >= 1
+                        and supervisor.handles[victim].is_running()
+                        and not supervisor._restart_tasks
+                        and not supervisor._migrations
+                        and sorted(
+                            n
+                            for n, o in supervisor.owners.items()
+                            if o == victim
+                        )
+                        == owned_before
+                    )
+                    if healed:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    pytest.fail("cluster did not heal within 25s")
+                second = await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, groups, half)
+                )
+                status, body = await http_get(
+                    "127.0.0.1", cluster.telemetry.port, "/healthz"
+                )
+                return {
+                    "first": first,
+                    "second": second,
+                    "victim": victim,
+                    "restarts": supervisor.restarts,
+                    "handbacks": supervisor.handbacks,
+                    "breakers": dict(cluster.gateway.breaker_states()),
+                    "health": (status, json.loads(body)),
+                }
+
+        async def reference_run():
+            async with ShardCluster(config) as cluster:
+                return await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, groups, 2 * half)
+                )
+
+        healed = asyncio.run(healed_run())
+        reference = asyncio.run(reference_run())
+
+        assert healed["first"].protocol_errors == []
+        assert healed["second"].protocol_errors == []
+        assert reference.protocol_errors == []
+        assert healed["restarts"] >= 1
+        assert healed["handbacks"] >= 1
+        # The spliced sequence (before-kill + after-heal) is the
+        # fault-free sequence: restart, rejoin and hand-back are
+        # invisible at the wire.
+        for name in sorted(reference.per_group):
+            spliced = (
+                healed["first"].per_group[name]
+                + healed["second"].per_group[name]
+            )
+            assert spliced == reference.per_group[name], name
+        # And the control plane agrees: healthy fleet, closed breaker
+        # for the rejoined worker, breaker states on /healthz.
+        status, doc = healed["health"]
+        assert status == 200
+        assert healed["breakers"][healed["victim"]] == "closed"
+        assert doc["breakers"][healed["victim"]] == "closed"
+
+    def test_restart_cap_parks_worker_permanently_down(self):
+        config = ShardConfig(
+            workers=2,
+            groups=2,
+            population=POP,
+            tolerance=2,
+            seed=SEED,
+            heartbeat_interval_s=0.2,
+            restart_max_attempts=0,
+        )
+
+        async def scenario():
+            async with ShardCluster(config) as cluster:
+                supervisor = cluster.supervisor
+                await drive_remote_campaign_async(
+                    _campaign_config(cluster.port, 2, 1)
+                )
+                victim = sorted(supervisor.handles)[0]
+                supervisor.kill_worker(victim)
+                await supervisor.worker_failed(victim)
+                # restart_max_attempts=0 disables self-healing: no
+                # restart is ever scheduled for the dead worker.
+                await asyncio.sleep(0.3)
+                return (
+                    supervisor.restarts,
+                    dict(supervisor._restart_tasks),
+                    supervisor.handles[victim].is_running(),
+                )
+
+        restarts, tasks, running = asyncio.run(scenario())
+        assert restarts == 0
+        assert tasks == {}
+        assert not running
+
+
+class TestChaosDrill:
+    def test_default_plan_is_deterministic_and_ordered(self):
+        config = ShardConfig(
+            workers=2, groups=6, population=POP, tolerance=2, seed=SEED
+        )
+        a = default_chaos_plan(config, 4)
+        b = default_chaos_plan(config, 4)
+        assert a.specs == b.specs
+        ticks = [
+            s.at_tick
+            for s in a.specs
+            if s.fault in ("worker-kill", "upstream-stall")
+        ]
+        assert ticks == sorted(ticks)
+        assert len(ticks) == len(set(ticks))
+
+    def test_air_interface_faults_rejected(self):
+        config = ShardConfig(
+            workers=2, groups=2, population=POP, tolerance=2, seed=SEED
+        )
+        plan = FaultPlan(
+            name="bad",
+            description="an air fault has no place in the chaos drill",
+            specs=[
+                FaultSpec("burst-loss", intensity=0.2, probability=0.5)
+            ],
+        )
+        with pytest.raises(ValueError, match="air-interface"):
+            run_chaos_drill(config, plan=plan, rounds=2)
+
+    def test_small_drill_meets_the_exit_gate(self):
+        config = ShardConfig(
+            workers=2,
+            groups=6,
+            population=POP,
+            tolerance=2,
+            seed=SEED,
+            heartbeat_interval_s=0.2,
+        )
+        result = run_chaos_drill(
+            config, rounds=4, concurrency=4, obs=ObsContext()
+        )
+        assert result.ok, result.mismatches
+        assert result.lost_verdicts == 0
+        assert result.protocol_errors == 0
+        assert result.digest_match
+        assert result.health_status == 200
+        assert result.kills  # at least one kill actually fired
+        assert result.worker_restarts >= 1
+        assert result.handbacks >= 1
+        assert result.disk_faults >= 1
+        assert result.permanently_down == []
+        # The result round-trips through its JSON form (the CI gate
+        # parses exactly this).
+        doc = json.loads(json.dumps(result.to_dict()))
+        assert doc["ok"] is True
+        assert doc["digest"] == result.digest

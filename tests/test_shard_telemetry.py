@@ -232,6 +232,7 @@ class TestSupervisorSnapshotHarvest:
 
         class _Handle:
             metrics = _metrics_doc("w00", seq=4, verdicts_by_group={"a": 6})
+            prior_metrics: list = []
 
         supervisor.handles["w00"] = _Handle()
         docs = supervisor.worker_metric_snapshots()
