@@ -21,6 +21,8 @@ Usage::
     python -m repro shard --bench                       # scaling, BENCH_shard.json
     python -m repro obs tail trace.jsonl                # causal trace tree
     python -m repro obs report trace.jsonl --metrics m.txt  # SLO attainment
+    python -m repro churn           # detection vs membership churn sweep
+    python -m repro churn --smoke   # scripted-churn fleet campaign (CI gate)
 
 Add ``--full`` (or set ``REPRO_FULL=1``) for the paper's exact grid,
 ``--trials K`` to override the Monte Carlo sample size, and ``--jobs N``
@@ -176,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="PATH",
         help="inject faults from this fault-plan JSON file "
         "(see repro.faults; same seed => same injections, whatever --jobs)",
+    )
+    fleet.add_argument(
+        "--churn-plan", default=None, metavar="PATH",
+        help="apply scripted membership churn from this churn-plan JSON "
+        "file (repro.population: commission/decommission/replace events "
+        "by tick; an empty plan leaves the journal digest unchanged)",
     )
     fleet.add_argument(
         "--vote", nargs=2, type=int, default=None, metavar=("K", "R"),
@@ -457,6 +465,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipeline-depth", type=int, default=1, metavar="D",
         help="overlapped rounds per session (> 1 requires "
         "--wire-version v2; default 1)",
+    )
+    loadgen.add_argument(
+        "--churn-rate", type=float, default=0.0, metavar="R",
+        help="membership replace updates per round per session "
+        "(MEMBERSHIP frames on the wire, channel mutated in lockstep; "
+        "requires the honest reader and one session per group at most; "
+        "default 0 = static populations)",
+    )
+
+    churn = sub.add_parser(
+        "churn",
+        help="monitoring quality under membership churn (repro.population)",
+        description=(
+            "Sweep detection confidence and false-alarm rate against "
+            "membership churn rate for commission/decommission/replace "
+            "mixes, comparing an epoch-maintained membership view with "
+            "one frozen at epoch 0. With --smoke, run a fleet campaign "
+            "under a scripted churn plan instead and print its "
+            "deterministic journal digest (the CI churn gate)."
+        ),
+    )
+    churn.add_argument(
+        "--rounds", type=int, default=None, metavar="T",
+        help="rounds per sweep cell (default 200), or scheduler ticks "
+        "in --smoke mode (default 6)",
+    )
+    churn.add_argument(
+        "--population", type=int, default=None, metavar="N",
+        help="initial population per cell (sweep mode; default 1200)",
+    )
+    churn.add_argument(
+        "--tolerance", type=int, default=None, metavar="M",
+        help="missing-tag tolerance (sweep mode; default 4)",
+    )
+    churn.add_argument(
+        "--alpha", type=float, default=None,
+        help="planning confidence (sweep mode; default 0.95)",
+    )
+    churn.add_argument("--seed", type=int, default=None, help="master seed")
+    churn.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report to this file",
+    )
+    churn.add_argument(
+        "--smoke", action="store_true",
+        help="run the scripted-churn fleet campaign (>=1 commission, "
+        "decommission and replace mid-campaign) instead of the sweep",
+    )
+    churn.add_argument(
+        "--groups", type=int, default=4, metavar="G",
+        help="groups in the --smoke campaign scenario (default 4)",
     )
 
     shard = sub.add_parser(
@@ -754,6 +813,11 @@ def _run_fleet(args: argparse.Namespace) -> str:
         from .faults import FaultPlan
 
         fault_plan = FaultPlan.load(args.fault_plan)
+    churn_plan = None
+    if args.churn_plan is not None:
+        from .population import ChurnPlan
+
+        churn_plan = ChurnPlan.load(args.churn_plan)
     vote = args.vote if args.vote is not None else (0, 0)
     config = CampaignConfig(
         ticks=args.rounds,
@@ -762,6 +826,7 @@ def _run_fleet(args: argparse.Namespace) -> str:
         time_scale=args.time_scale,
         diagnostic_trials=args.diag_trials,
         fault_plan=fault_plan,
+        churn_plan=churn_plan,
         vote_quorum=vote[0],
         vote_window=vote[1],
         salvage_partial=args.salvage,
@@ -863,6 +928,70 @@ def _run_chaos(args: argparse.Namespace) -> str:
         report += f"\njournal written to {args.journal}"
     for line in _write_obs_outputs(obs, args):
         report += f"\n{line}"
+    return report
+
+
+def _run_churn(args: argparse.Namespace) -> str:
+    from .experiments.grid import DEFAULT_SEED
+
+    if args.smoke:
+        from .fleet import (
+            CampaignConfig,
+            default_scenario,
+            format_campaign_result,
+            run_campaign,
+        )
+        from .fleet.executor import resolve_jobs
+        from .population import ChurnPlan
+
+        # The gate plan: every membership op at least once, mid-campaign.
+        plan = ChurnPlan.scripted(
+            [
+                (1, "group-00", "commission", 2),
+                (2, "group-01", "decommission", 1),
+                (3, "group-02", "replace", 2),
+            ]
+        )
+        config = CampaignConfig(
+            ticks=args.rounds if args.rounds is not None else 6,
+            jobs=resolve_jobs(1),
+            master_seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            time_scale=0.0,
+            churn_plan=plan,
+        )
+        scenario = default_scenario(groups=max(3, args.groups))
+        result = run_campaign(scenario, config)
+        report = format_campaign_result(result)
+        report += (
+            "\nchurn smoke: scripted plan applied "
+            f"({sum(result.churn_applied.values())} membership events)"
+        )
+        return report
+
+    from dataclasses import replace as dc_replace
+
+    from .experiments.churn import (
+        ChurnStudyConfig,
+        format_churn_result,
+        run_churn_study,
+    )
+
+    cfg = ChurnStudyConfig()
+    if args.rounds is not None:
+        cfg = dc_replace(cfg, rounds=args.rounds)
+    if args.population is not None:
+        cfg = dc_replace(cfg, population=args.population)
+    if args.tolerance is not None:
+        cfg = dc_replace(cfg, tolerance=args.tolerance)
+    if args.alpha is not None:
+        cfg = dc_replace(cfg, confidence=args.alpha)
+    if args.seed is not None:
+        cfg = dc_replace(cfg, master_seed=args.seed)
+    report = format_churn_result(run_churn_study(cfg))
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        report += f"\nreport written to {args.out}"
     return report
 
 
@@ -984,6 +1113,7 @@ def _run_loadgen(args: argparse.Namespace) -> str:
         reader=args.reader,
         wire_version=_wire_version(args),
         pipeline_depth=args.pipeline_depth,
+        churn_rate=args.churn_rate,
     )
     tracer = None
     if args.trace_out is not None:
@@ -1183,6 +1313,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "chaos":
         print(_run_chaos(args))
+        return 0
+    if args.command == "churn":
+        print(_run_churn(args))
         return 0
     if args.command == "bench":
         print(_run_bench(args))

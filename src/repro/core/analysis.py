@@ -45,6 +45,11 @@ __all__ = [
 #: is far below every confidence granularity the paper uses.
 _TAIL_EPS = 1e-12
 
+# Below this per-slot emptiness, g <= f*p underflows to 0 at double
+# precision — and scipy's boost-backed binom.pmf raises OverflowError
+# on subnormal p (seen at n=1424, f=2), so short-circuit before it.
+_P_UNDERFLOW = 1e-300
+
 #: Upper bound for the frame-size search; Eq. 2 solutions for the
 #: paper's whole grid sit below 10^4, so hitting this indicates misuse.
 _MAX_FRAME = 1 << 26
@@ -89,6 +94,8 @@ def detection_probability(
         return 0.0
     present = n - x
     p = _occupancy_p(present, f, exact_occupancy)
+    if p < _P_UNDERFLOW:
+        return 0.0
     lo, hi = binom_mass_window(f, p, _TAIL_EPS)
     i = np.arange(lo, hi + 1)
     pmf = stats.binom.pmf(i, f, p)
@@ -128,6 +135,8 @@ def partial_detection_probability(
         return 0.0
     present = n - x
     p = _occupancy_p(present, f, exact_occupancy)
+    if p < _P_UNDERFLOW:
+        return 0.0
     lo, hi = binom_mass_window(polled, p, _TAIL_EPS)
     i = np.arange(lo, hi + 1)
     pmf = stats.binom.pmf(i, polled, p)

@@ -120,6 +120,14 @@ class MonitoringServer:
         self.alerts: List[Alert] = []
         self._on_alert = on_alert
         self._rounds = 0
+        #: Population epoch — 0 for the paper's static set, bumped by
+        #: every :meth:`apply_membership` delta.
+        self.population_epoch = 0
+        #: Applied membership deltas, in order. Each entry records the
+        #: round count at apply time (``at_round``) so a deterministic
+        #: restore (shard failover) can interleave membership replay
+        #: with challenge replay.
+        self.membership_log: List[dict] = []
 
     # ------------------------------------------------------------------
     # deployment
@@ -146,6 +154,94 @@ class MonitoringServer:
                 tolerance=self.requirement.tolerance,
                 confidence=self.requirement.confidence,
             )
+
+    def apply_membership(
+        self,
+        op: str,
+        tag_ids,
+        replacement_ids=None,
+        labels=None,
+    ) -> int:
+        """Apply one membership delta; returns the new population epoch.
+
+        The delta is atomic from the verifier's point of view: the
+        requirement's ``n``, the database and the epoch move together,
+        so the next issued challenge is already sized (Eq. 2 / Eq. 3,
+        via the plan cache — O(1) for a previously seen ``n``) for the
+        post-delta set. Commissioned tags enter the counter mirror at
+        ``ct = 0``, a factory-fresh tag's hardware counter.
+
+        Args:
+            op: ``"commission"``, ``"decommission"`` or ``"replace"``.
+            tag_ids: new IDs for commission; outgoing IDs otherwise.
+            replacement_ids: incoming IDs for replace (aligned with
+                ``tag_ids``); must be absent for the other ops.
+            labels: optional labels for the incoming IDs.
+
+        Raises:
+            ValueError: on an unknown op, malformed ID lists, or a
+                delta that would leave ``n <= m`` (the requirement
+                would be unsatisfiable).
+            KeyError: decommissioning / replacing an unregistered ID.
+        """
+        ids = [int(i) for i in tag_ids]
+        reps = [int(i) for i in (replacement_ids or [])]
+        if not ids:
+            raise ValueError("membership delta must name at least one tag")
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate tag IDs in membership delta")
+        n = self.requirement.population
+        if op == "commission":
+            if reps:
+                raise ValueError("commission takes no replacement_ids")
+            new_n = n + len(ids)
+        elif op == "decommission":
+            if reps:
+                raise ValueError("decommission takes no replacement_ids")
+            new_n = n - len(ids)
+        elif op == "replace":
+            if len(reps) != len(ids):
+                raise ValueError(
+                    "replace needs one replacement ID per outgoing ID"
+                )
+            if set(reps) & set(ids):
+                raise ValueError("a tag cannot replace itself")
+            new_n = n
+        else:
+            raise ValueError(f"unknown membership op {op!r}")
+        # Validate the post-delta requirement *before* mutating state,
+        # so a delta that would leave n <= m rejects atomically.
+        new_requirement = MonitorRequirement(
+            new_n, self.requirement.tolerance, self.requirement.confidence
+        )
+        if op == "commission":
+            self.database.commission(ids, labels)
+        elif op == "decommission":
+            self.database.decommission(ids)
+        else:
+            self.database.decommission(ids)
+            self.database.commission(reps, labels)
+        self.requirement = new_requirement
+        self.population_epoch += 1
+        self.membership_log.append(
+            {
+                "epoch": self.population_epoch,
+                "op": op,
+                "tag_ids": ids,
+                "replacement_ids": reps,
+                "labels": list(labels) if labels is not None else None,
+                "at_round": self._rounds,
+            }
+        )
+        if self.audit is not None:
+            self.audit.record(
+                "membership",
+                epoch=self.population_epoch,
+                op=op,
+                tags=len(ids),
+                population=new_n,
+            )
+        return self.population_epoch
 
     # ------------------------------------------------------------------
     # planning

@@ -1,0 +1,306 @@
+"""Churn experiment: monitoring quality under a live tag population.
+
+The paper plans its frame sizes for a *static* set ``T*``; the
+``repro.population`` layer relaxes that with epoch-versioned
+commission/decommission/replace. This experiment quantifies what is at
+stake: a server whose membership view tracks the population (the
+*maintained* view, re-planning via
+:class:`~repro.population.maintain.PlanMaintainer`) against one whose
+view froze at epoch 0 (the *stale* view — exactly what a deployment
+without membership propagation degrades into after its first churn
+event).
+
+Per ``(op mix, churn rate)`` cell the population evolves for a fixed
+number of monitoring rounds, applying ``rate`` membership events per
+round (an accumulator, so fractional rates interleave deterministically).
+Each round measures, on a loss-free channel:
+
+* **detection** — ``m + 1`` currently-present tags are stolen; the
+  round detects when at least one expected slot goes silent (the
+  paper's strict rule, the event Eq. 2 sizes for). Reported for both
+  views: the maintained view must hold ``>= alpha`` at every churn
+  rate, while the stale view loses exactly the thefts that hit tags it
+  never learned about (commission-heavy mixes).
+* **false alarms** — nothing is stolen; an alarm is a page for a
+  population that is fully present. The maintained view's rate is
+  identically 0 here (clean channel, exact expectation); the stale
+  view pages whenever a tag it still expects has been decommissioned —
+  reported under the strict rule (any silent slot) and the tolerant
+  threshold rule (estimated missing ``> m``), the latter showing the
+  grace margin ``m`` buys before a stale view pages permanently.
+
+The cell also reports the maintainer's plan-cache behaviour: deltas
+applied vs full re-plans, the incremental-maintenance claim in numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.estimation import estimate_missing_count
+from ..population.maintain import PlanMaintainer
+from ..population.registry import MEMBERSHIP_OPS
+from ..rfid.hashing import slots_for_tags
+from ..rfid.ids import random_tag_ids
+from ..simulation.rng import derive_seed
+
+__all__ = [
+    "ChurnStudyConfig",
+    "ChurnPoint",
+    "ChurnStudyResult",
+    "run_churn_study",
+    "format_churn_result",
+]
+
+_SEED_SPACE = 1 << 62
+#: Seed-space dimension for membership churn (figures use their figure
+#: numbers, the fleet uses 99, faults 7, chaos 41).
+_CHURN_DIMENSION = 53
+
+
+@dataclass(frozen=True)
+class ChurnStudyConfig:
+    """The sweep's operating point.
+
+    Attributes:
+        population: initial registered ``n``.
+        tolerance: the deployment's ``m``.
+        confidence: Eq. 2 planning confidence ``alpha``.
+        churn_rates: membership events per monitoring round to sweep
+            (0 = the paper's static set, the control column).
+        mixes: op mixes to sweep; each of
+            :data:`~repro.population.registry.MEMBERSHIP_OPS` applies
+            only that op, ``"mixed"`` cycles through all three.
+        rounds: monitoring rounds (= measurement trials) per cell.
+        master_seed: root of every generator this experiment touches.
+    """
+
+    population: int = 1200
+    tolerance: int = 4
+    confidence: float = 0.95
+    churn_rates: Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0)
+    mixes: Tuple[str, ...] = MEMBERSHIP_OPS + ("mixed",)
+    rounds: int = 200
+    master_seed: int = 20080617
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if not 0 <= self.tolerance < self.population:
+            raise ValueError("tolerance must be within [0, n)")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be within (0, 1)")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        for rate in self.churn_rates:
+            if rate < 0:
+                raise ValueError("churn rates must be >= 0")
+        for mix in self.mixes:
+            if mix != "mixed" and mix not in MEMBERSHIP_OPS:
+                raise ValueError(f"unknown op mix {mix!r}")
+
+
+@dataclass
+class ChurnPoint:
+    """One ``(mix, churn rate)`` cell's measured rates."""
+
+    mix: str
+    churn_rate: float
+    events_applied: int
+    final_population: int
+    detection_maintained: float
+    detection_stale: float
+    false_alarm_stale_strict: float
+    false_alarm_stale_threshold: float
+    deltas_applied: int
+    replans: int
+    plan_reuses: int
+
+
+@dataclass
+class ChurnStudyResult:
+    """The full sweep plus its planning context."""
+
+    config: ChurnStudyConfig
+    base_frame_size: int
+    points: List[ChurnPoint] = field(default_factory=list)
+
+
+class _Roster:
+    """The evolving physical population of one cell."""
+
+    def __init__(self, ids: np.ndarray, rng: np.random.Generator):
+        self.ids = ids
+        self.rng = rng
+        self.events = 0
+
+    def apply(self, op: str) -> None:
+        if op in ("decommission", "replace"):
+            victim = int(self.rng.integers(0, self.ids.size))
+            self.ids = np.delete(self.ids, victim)
+        if op in ("commission", "replace"):
+            while True:
+                fresh = random_tag_ids(1, self.rng)
+                if fresh[0] not in self.ids:
+                    break
+            self.ids = np.concatenate([self.ids, fresh])
+        self.events += 1
+
+
+def _mismatches(
+    view_ids: np.ndarray,
+    physical_ids: np.ndarray,
+    frame_size: int,
+    seed: int,
+) -> int:
+    """Expected-but-silent slots for one loss-free TRP round."""
+    expected = np.zeros(frame_size, dtype=bool)
+    expected[slots_for_tags(view_ids, seed, frame_size)] = True
+    observed = np.zeros(frame_size, dtype=bool)
+    if physical_ids.size:
+        observed[slots_for_tags(physical_ids, seed, frame_size)] = True
+    return int(np.count_nonzero(expected & ~observed))
+
+
+def _ops_for(mix: str, index: int) -> str:
+    if mix == "mixed":
+        return MEMBERSHIP_OPS[index % len(MEMBERSHIP_OPS)]
+    return mix
+
+
+def run_churn_study(config: ChurnStudyConfig = ChurnStudyConfig()) -> ChurnStudyResult:
+    """Run the churn sweep.
+
+    Raises:
+        ValueError: when decommission-only churn would push ``n`` to or
+            below ``m`` within the configured rounds (the cell is
+            infeasible; shrink the rate or grow the population).
+    """
+    cfg = config
+    maintainer_probe = PlanMaintainer(cfg.tolerance, cfg.confidence)
+    base_frame = maintainer_probe.plan_for(cfg.population).trp_frame_size
+    result = ChurnStudyResult(config=cfg, base_frame_size=base_frame)
+
+    for mix_index, mix in enumerate(cfg.mixes):
+        for rate_index, rate in enumerate(cfg.churn_rates):
+            roster_rng = np.random.default_rng(
+                derive_seed(cfg.master_seed, _CHURN_DIMENSION, mix_index, rate_index)
+            )
+            round_rng = np.random.default_rng(
+                derive_seed(
+                    cfg.master_seed, _CHURN_DIMENSION, mix_index, rate_index, 1
+                )
+            )
+            roster = _Roster(
+                random_tag_ids(cfg.population, roster_rng), roster_rng
+            )
+            stale_view = roster.ids.copy()
+            stale_frame = base_frame
+            maintainer = PlanMaintainer(cfg.tolerance, cfg.confidence)
+            maintainer.plan_for(roster.ids.size)
+
+            det_maint = det_stale = fa_strict = fa_thresh = 0
+            acc = 0.0
+            for _ in range(cfg.rounds):
+                acc += rate
+                while acc >= 1.0:
+                    acc -= 1.0
+                    op = _ops_for(mix, roster.events)
+                    if (
+                        op == "decommission"
+                        and roster.ids.size <= cfg.tolerance + 2
+                    ):
+                        raise ValueError(
+                            f"cell ({mix}, {rate}) exhausts the population: "
+                            "decommission churn would drop n below m + 2"
+                        )
+                    roster.apply(op)
+                    maintainer.apply_delta(op, 1, roster.ids.size)
+                plan = maintainer.current
+                frame = plan.trp_frame_size
+
+                # Detection condition: steal m + 1 present tags.
+                steal = cfg.tolerance + 1
+                stolen = round_rng.choice(
+                    roster.ids.size, size=steal, replace=False
+                )
+                keep = np.ones(roster.ids.size, dtype=bool)
+                keep[stolen] = False
+                physical = roster.ids[keep]
+                seed = int(round_rng.integers(0, _SEED_SPACE))
+                if _mismatches(roster.ids, physical, frame, seed) > 0:
+                    det_maint += 1
+                if (
+                    _mismatches(stale_view, physical, stale_frame, seed) > 0
+                ):
+                    det_stale += 1
+
+                # False-alarm condition: the population is intact.
+                seed = int(round_rng.integers(0, _SEED_SPACE))
+                stale_miss = _mismatches(
+                    stale_view, roster.ids, stale_frame, seed
+                )
+                if stale_miss > 0:
+                    fa_strict += 1
+                if (
+                    estimate_missing_count(
+                        stale_miss, stale_view.size, stale_frame
+                    )
+                    > cfg.tolerance
+                ):
+                    fa_thresh += 1
+
+            rounds = cfg.rounds
+            result.points.append(
+                ChurnPoint(
+                    mix=mix,
+                    churn_rate=rate,
+                    events_applied=roster.events,
+                    final_population=int(roster.ids.size),
+                    detection_maintained=det_maint / rounds,
+                    detection_stale=det_stale / rounds,
+                    false_alarm_stale_strict=fa_strict / rounds,
+                    false_alarm_stale_threshold=fa_thresh / rounds,
+                    deltas_applied=maintainer.stats["deltas_applied"],
+                    replans=maintainer.stats["replans"],
+                    plan_reuses=maintainer.stats["plan_reuses"],
+                )
+            )
+    return result
+
+
+def format_churn_result(result: ChurnStudyResult) -> str:
+    """The operator-facing sweep table."""
+    cfg = result.config
+    lines = [
+        "churn: detection confidence and false-alarm rate vs membership "
+        "churn rate",
+        f"n={cfg.population}, m={cfg.tolerance}, alpha={cfg.confidence}, "
+        f"base f={result.base_frame_size}; {cfg.rounds} rounds per cell; "
+        "loss-free channel",
+        "maintained view re-plans per epoch; stale view froze at epoch 0",
+        "",
+        "mix           rate  events  n_end  det_maint  det_stale  "
+        "FA_strict  FA_thresh  replans  reuses",
+        "------------  ----  ------  -----  ---------  ---------  "
+        "---------  ---------  -------  ------",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.mix:<12s}  {p.churn_rate:4.1f}  {p.events_applied:6d}  "
+            f"{p.final_population:5d}  {p.detection_maintained:9.4f}  "
+            f"{p.detection_stale:9.4f}  {p.false_alarm_stale_strict:9.4f}  "
+            f"{p.false_alarm_stale_threshold:9.4f}  {p.replans:7d}  "
+            f"{p.plan_reuses:6d}"
+        )
+    floor = min(p.detection_maintained for p in result.points)
+    worst_stale = min(p.detection_stale for p in result.points)
+    lines.append("")
+    lines.append(
+        f"maintained detection floor: {floor:.4f} (planned alpha "
+        f"{cfg.confidence}); worst stale detection: {worst_stale:.4f}"
+    )
+    return "\n".join(lines)

@@ -40,6 +40,7 @@ from ..rfid.channel import ChannelOutage
 from ..rfid.hashing import slots_for_tags_with_counters
 from ..rfid.ids import random_tag_ids
 from ..obs.profiling import NULL_PROFILER
+from ..population.churn import ChurnPlan
 from ..rfid.timing import GEN2_TYPICAL, LinkTiming
 from ..simulation.rng import derive_seed
 from .executor import ParallelExecutor
@@ -75,6 +76,11 @@ _SEED_SPACE = 1 << 62
 #: Dimension tag separating fleet seed derivation from the figure
 #: experiments' (which use their figure numbers).
 _FLEET_DIMENSION = 99
+#: Dimension tag for membership-churn randomness. Churn draws from its
+#: own stream so a campaign with an empty churn plan consumes exactly
+#: the round seeds a pre-churn build consumed — the journal digest
+#: equivalence the churn feature is pinned against.
+_CHURN_DIMENSION = 53
 
 
 @dataclass(frozen=True)
@@ -111,6 +117,12 @@ class CampaignConfig:
         resync_max_offset: largest per-tag broadcast deficit the resync
             hypothesis search considers.
         resync_max_rounds: probe-round budget per resync handshake.
+        churn_plan: optional scripted membership timeline
+            (:class:`~repro.population.churn.ChurnPlan`); events apply
+            on the campaign thread before the tick's rounds launch,
+            drawing tag choices from a dedicated seed dimension.
+            ``None`` (or an empty plan) leaves every round — and the
+            journal digest — byte-identical to a churn-free build.
     """
 
     ticks: int = 5
@@ -129,6 +141,7 @@ class CampaignConfig:
     auto_resync: bool = False
     resync_max_offset: int = 8
     resync_max_rounds: int = 6
+    churn_plan: Optional[ChurnPlan] = None
 
     def __post_init__(self) -> None:
         if self.ticks < 1:
@@ -191,6 +204,13 @@ class GroupRuntime:
         self.rng = np.random.default_rng(
             derive_seed(config.master_seed, _FLEET_DIMENSION, index)
         )
+        # Churn never touches self.rng: tag choices and fresh IDs come
+        # from this separate stream, so an empty churn plan leaves the
+        # round-seed sequence (hence the journal digest) untouched.
+        self.churn_rng = np.random.default_rng(
+            derive_seed(config.master_seed, _CHURN_DIMENSION, index)
+        )
+        self.population_epoch = 0
         self.ids = random_tag_ids(spec.population, self.rng)
         self.present = np.ones(spec.population, dtype=bool)
         self.counter = 0
@@ -243,6 +263,81 @@ class GroupRuntime:
             self.present[chosen] = False
             self.stolen_total += take
         return take
+
+    def apply_churn(self, op: str, count: int) -> int:
+        """Apply one membership event; returns how many tags it moved.
+
+        Commission appends fresh IDs (present, counters in sync: a
+        factory-fresh tag's hardware counter is 0 on both the physical
+        and the mirrored side). Decommission retires random *present*
+        tags — an operator retires tags that are in hand, and the
+        request is capped so ``n`` stays above the tolerance the group
+        monitors at. Replace retires then commissions in one event, so
+        ``n`` is unchanged. Every applied event advances the group's
+        population epoch; decision-variable frame sizes are recomputed
+        from the new ``n`` immediately (the plan cache absorbs the
+        cost when ``n`` lands on a previously planned value).
+        """
+        removed = 0
+        added = 0
+        if op in ("decommission", "replace"):
+            present_idx = np.nonzero(self.present)[0]
+            limit = present_idx.size
+            if op == "decommission":
+                # Keep the monitored invariant n > m intact.
+                limit = min(limit, self.ids.size - self.spec.tolerance - 1)
+            removed = min(count, max(0, limit))
+            if removed:
+                chosen = self.churn_rng.choice(
+                    present_idx, size=removed, replace=False
+                )
+                keep = np.ones(self.ids.size, dtype=bool)
+                keep[chosen] = False
+                self.ids = self.ids[keep]
+                self.present = self.present[keep]
+                self.counter_lag = self.counter_lag[keep]
+                self.mirror_lag = self.mirror_lag[keep]
+        if op in ("commission", "replace"):
+            added = count if op == "commission" else removed
+            if added:
+                existing = set(self.ids.tolist())
+                fresh: List[int] = []
+                while len(fresh) < added:
+                    for candidate in random_tag_ids(
+                        added - len(fresh), self.churn_rng
+                    ).tolist():
+                        if candidate not in existing:
+                            existing.add(candidate)
+                            fresh.append(candidate)
+                self.ids = np.concatenate(
+                    [self.ids, np.asarray(fresh, dtype=self.ids.dtype)]
+                )
+                self.present = np.concatenate(
+                    [self.present, np.ones(added, dtype=bool)]
+                )
+                # A new tag's hardware counter is 0 while the group
+                # counter is already at self.counter: both the physical
+                # lag and the mirrored lag start at that deficit, so
+                # the tag is born in sync.
+                born_lag = np.full(added, self.counter, dtype=np.int64)
+                self.counter_lag = np.concatenate([self.counter_lag, born_lag])
+                self.mirror_lag = np.concatenate([self.mirror_lag, born_lag])
+        moved = removed if op != "commission" else added
+        if moved or (op == "replace" and removed):
+            self.population_epoch += 1
+            n = int(self.ids.size)
+            self.trp_frame = optimal_trp_frame_size(
+                n, self.spec.tolerance, self.spec.confidence
+            )
+            self.utrp_frame = optimal_utrp_frame_size(
+                n,
+                self.spec.tolerance,
+                self.spec.confidence,
+                self.spec.comm_budget,
+            )
+            # The identification accumulator indexes the old roster.
+            self.identifier = None
+        return moved
 
     # ------------------------------------------------------------------
     # round execution (one executor worker)
@@ -356,7 +451,8 @@ class GroupRuntime:
         retry_errors: Optional[List[str]] = None,
     ) -> RoundRecord:
         spec = self.spec
-        n, f = spec.population, outcome.frame_size
+        # Current roster size, not the spec's: churn moves n mid-run.
+        n, f = int(self.ids.size), outcome.frame_size
         mismatches = outcome.mismatches
         estimate = estimate_missing_count(mismatches, n, f)
         raw_alarmed = outcome.result.verdict.alarm and self.alarm_policy.should_alarm(
@@ -534,6 +630,12 @@ class CampaignResult:
             the journal digest — it varies with jobs and host).
         config: the configuration that ran.
         group_names: roster, in registration order.
+        churn_applied: tags moved per membership op over the run
+            (empty when no churn plan ran). Kept out of the journal on
+            purpose: the digest must stay comparable across builds
+            with and without churn support.
+        population_epochs: final per-group epoch (only groups a churn
+            event actually touched; everything else is implicitly 0).
     """
 
     journal: FleetJournal
@@ -542,6 +644,8 @@ class CampaignResult:
     wall_seconds: float
     config: CampaignConfig
     group_names: List[str]
+    churn_applied: Dict[str, int] = field(default_factory=dict)
+    population_epochs: Dict[str, int] = field(default_factory=dict)
 
 
 def run_campaign(
@@ -569,6 +673,14 @@ def run_campaign(
         ValueError: on an invalid scenario.
     """
     scenario.validate()
+    churn_plan = config.churn_plan
+    if churn_plan:
+        known = set(scenario.registry.names)
+        for event in churn_plan.events:
+            if event.group not in known:
+                raise ValueError(
+                    f"churn plan names unknown group {event.group!r}"
+                )
     injector = (
         FaultInjector(config.fault_plan, config.master_seed)
         if config.fault_plan is not None
@@ -602,6 +714,7 @@ def run_campaign(
             ticks=config.ticks,
             master_seed=config.master_seed,
         )
+    churn_applied: Dict[str, int] = {}
     start = time.perf_counter()
     for tick in range(config.ticks):
         scope = f"fleet/tick:{tick:06d}"
@@ -615,6 +728,23 @@ def run_campaign(
                     requested=event.count,
                     taken=taken,
                 )
+        if churn_plan:
+            for event in churn_plan.events_at(tick):
+                runtime = runtimes[event.group]
+                moved = runtime.apply_churn(event.op, event.count)
+                churn_applied[event.op] = (
+                    churn_applied.get(event.op, 0) + moved
+                )
+                if obs is not None:
+                    obs.bus.emit(
+                        "fleet.churn",
+                        scope=scope,
+                        group=event.group,
+                        op=event.op,
+                        moved=moved,
+                        epoch=runtime.population_epoch,
+                        population=int(runtime.ids.size),
+                    )
         due = scheduler.due(tick)
         records = executor.map(run_one, due)
         for record in records:
@@ -726,6 +856,12 @@ def run_campaign(
         wall_seconds=wall,
         config=config,
         group_names=scenario.registry.names,
+        churn_applied=churn_applied,
+        population_epochs={
+            name: runtime.population_epoch
+            for name, runtime in runtimes.items()
+            if runtime.population_epoch
+        },
     )
 
 
@@ -802,6 +938,19 @@ def format_campaign_result(result: CampaignResult) -> str:
         lines.append("")
         lines.append(
             "degraded groups: " + ", ".join(sorted(set(degraded)))
+        )
+    if result.churn_applied:
+        moved = result.churn_applied
+        epochs = ", ".join(
+            f"{name}={epoch}"
+            for name, epoch in sorted(result.population_epochs.items())
+        )
+        lines.append("")
+        lines.append(
+            f"membership churn: {moved.get('commission', 0)} commissioned, "
+            f"{moved.get('decommission', 0)} decommissioned, "
+            f"{moved.get('replace', 0)} replaced; "
+            f"final epochs: {epochs or 'none'}"
         )
     lines.append("")
     lines.append(f"journal digest: {result.journal.digest()}")

@@ -1,0 +1,32 @@
+"""repro.population — epoch-versioned tag lifecycle.
+
+The subsystem that relaxes the paper's static-set assumption: a
+registry of lifecycle records (:mod:`~repro.population.registry`),
+O(1)-amortized frame-plan maintenance under churn
+(:mod:`~repro.population.maintain`) and deterministic scripted churn
+schedules (:mod:`~repro.population.churn`). See ``docs/POPULATION.md``
+for the lifecycle model and epoch semantics.
+"""
+
+from .churn import CHURN_PLAN_SCHEMA, ChurnEvent, ChurnPlan
+from .maintain import FramePlan, PlanMaintainer
+from .registry import (
+    MEMBERSHIP_OPS,
+    POPULATION_SCHEMA,
+    MembershipDelta,
+    PopulationRegistry,
+    TagRecord,
+)
+
+__all__ = [
+    "CHURN_PLAN_SCHEMA",
+    "ChurnEvent",
+    "ChurnPlan",
+    "FramePlan",
+    "PlanMaintainer",
+    "MEMBERSHIP_OPS",
+    "POPULATION_SCHEMA",
+    "MembershipDelta",
+    "PopulationRegistry",
+    "TagRecord",
+]

@@ -1,0 +1,153 @@
+"""Scripted churn plans: deterministic membership schedules.
+
+A :class:`ChurnPlan` is to membership what
+:class:`~repro.fleet.registry.FleetScenario`'s theft events are to
+loss: a declarative, JSON-persistable schedule of *when* which group
+commissions, decommissions or replaces how many tags. Campaigns and
+drills load a plan, apply its events at the scheduled ticks, and —
+because the IDs themselves are drawn from a dedicated churn RNG
+dimension — two runs of the same plan at the same master seed are
+bit-identical.
+
+An **empty plan is the identity**: no events means no epoch bumps, no
+membership frames, and byte-for-byte the pre-churn behaviour — the
+equivalence anchor this subsystem is tested against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from .registry import MEMBERSHIP_OPS
+
+__all__ = ["CHURN_PLAN_SCHEMA", "ChurnEvent", "ChurnPlan"]
+
+#: Schema identifier for persisted churn plans.
+CHURN_PLAN_SCHEMA = "repro.population.churn/v1"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership mutation.
+
+    Attributes:
+        tick: campaign tick (0-based) *before* which the event applies.
+        group: target group name.
+        op: one of :data:`~repro.population.registry.MEMBERSHIP_OPS`.
+        count: how many tags the op touches (for ``replace``, how many
+            pairs).
+    """
+
+    tick: int
+    group: str
+    op: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError("tick must be >= 0")
+        if self.op not in MEMBERSHIP_OPS:
+            raise ValueError(
+                f"unknown churn op {self.op!r}; expected one of "
+                f"{MEMBERSHIP_OPS}"
+            )
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not self.group:
+            raise ValueError("group must be non-empty")
+
+    def to_dict(self) -> dict:
+        return {
+            "tick": self.tick,
+            "group": self.group,
+            "op": self.op,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ChurnEvent":
+        return cls(
+            tick=int(doc["tick"]),
+            group=str(doc["group"]),
+            op=str(doc["op"]),
+            count=int(doc.get("count", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A full membership schedule for one campaign."""
+
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_at(self, tick: int) -> List[ChurnEvent]:
+        """Events scheduled for ``tick``, in plan order."""
+        return [e for e in self.events if e.tick == tick]
+
+    def op_totals(self) -> Dict[str, int]:
+        """Tag count per op over the whole plan (absent ops omitted)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.op] = totals.get(event.op, 0) + event.count
+        return totals
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "schema": CHURN_PLAN_SCHEMA,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ChurnPlan":
+        """Raises:
+            ValueError: on a foreign or malformed document.
+        """
+        if not isinstance(doc, dict) or doc.get("schema") != CHURN_PLAN_SCHEMA:
+            raise ValueError(
+                f"not a {CHURN_PLAN_SCHEMA} document"
+            )
+        events = doc.get("events")
+        if not isinstance(events, list):
+            raise ValueError("malformed churn plan: events must be a list")
+        return cls(tuple(ChurnEvent.from_dict(e) for e in events))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ChurnPlan":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def scripted(
+        cls, entries: Iterable[Tuple[int, str, str, int]]
+    ) -> "ChurnPlan":
+        """Build a plan from ``(tick, group, op, count)`` tuples."""
+        return cls(
+            tuple(
+                ChurnEvent(tick, group, op, count)
+                for tick, group, op, count in entries
+            )
+        )

@@ -1,0 +1,158 @@
+"""Incremental frame-plan maintenance under population churn.
+
+Eq. 2 / Eq. 3 frame sizes are pure functions of ``(n, m, alpha, ...)``
+— and a membership delta only moves ``n``. Re-running the binary
+search on every commission/decommission would put tens of milliseconds
+of solver work on the membership path; this module keeps the decision
+current in **O(1) amortized** instead:
+
+* frame size as a function of ``n`` is a step function, so consecutive
+  deltas overwhelmingly land on an ``n`` the maintainer has already
+  planned (``replace`` never changes ``n`` at all). Those lookups are
+  one dict probe.
+* the first visit to a fresh ``n`` consults the process-wide
+  :mod:`repro.core.plancache` (so a fleet of groups with the same
+  shape shares solves) and only solves from scratch on a cold cache —
+  once per distinct ``n`` over the maintainer's lifetime.
+
+The *verification-side* state (expected bitstrings, UTRP counter
+mirrors) is maintained by the database delta itself: commissioned
+tags enter the mirror at counter 0 (a fresh tag's hardware ``ct``),
+decommissioned tags leave it, and each round's expected bitstring is
+derived from the post-delta ID set — so a single delta costs O(delta)
+there, never O(n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.plancache import PlanCache, default_cache
+from ..core.utrp_analysis import DEFAULT_SLACK_SLOTS
+
+__all__ = ["FramePlan", "PlanMaintainer"]
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """The frame-size decision for one population size.
+
+    Attributes:
+        population: ``n`` the plan was sized for.
+        tolerance: ``m``.
+        confidence: ``alpha``.
+        trp_frame_size: Eq. 2 optimum.
+        utrp_frame_size: Eq. 3 optimum (``None`` for counter-free
+            deployments that never run UTRP).
+    """
+
+    population: int
+    tolerance: int
+    confidence: float
+    trp_frame_size: int
+    utrp_frame_size: Optional[int] = None
+
+
+class PlanMaintainer:
+    """Keeps one group's frame plan current as its population churns.
+
+    Attributes:
+        stats: monotonic counters — ``deltas_applied`` (membership
+            deltas observed), ``plan_reuses`` (O(1) local-memo hits),
+            ``replans`` (fresh ``n`` values that needed a cache/solver
+            consult).
+    """
+
+    def __init__(
+        self,
+        tolerance: int,
+        confidence: float,
+        comm_budget: Optional[int] = None,
+        slack: int = DEFAULT_SLACK_SLOTS,
+        cache: Optional[PlanCache] = None,
+    ):
+        """Args:
+            tolerance, confidence: the fixed ``(m, alpha)`` policy.
+            comm_budget: UTRP collusion budget ``c``; ``None`` skips
+                UTRP planning entirely.
+            slack: UTRP slack slots, forwarded to the Eq. 3 solver.
+            cache: plan cache to consult on fresh ``n`` (defaults to
+                the process-wide cache).
+        """
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        self.tolerance = int(tolerance)
+        self.confidence = float(confidence)
+        self.comm_budget = comm_budget
+        self.slack = int(slack)
+        self._cache = cache
+        self._plans: Dict[int, FramePlan] = {}
+        self._current: Optional[FramePlan] = None
+        self.stats: Dict[str, int] = {
+            "deltas_applied": 0,
+            "plan_reuses": 0,
+            "replans": 0,
+        }
+
+    @property
+    def current(self) -> Optional[FramePlan]:
+        """The plan for the most recently observed population size."""
+        return self._current
+
+    def plan_for(self, population: int) -> FramePlan:
+        """The plan for ``population`` tags; O(1) when already known."""
+        if population <= self.tolerance:
+            raise ValueError(
+                f"population {population} cannot satisfy tolerance "
+                f"{self.tolerance} (need n > m)"
+            )
+        plan = self._plans.get(population)
+        if plan is not None:
+            self.stats["plan_reuses"] += 1
+            self._current = plan
+            return plan
+        self.stats["replans"] += 1
+        cache = self._cache if self._cache is not None else default_cache()
+        trp = cache.trp_frame_size(
+            population, self.tolerance, self.confidence
+        )
+        utrp = None
+        if self.comm_budget is not None:
+            utrp = cache.utrp_frame_size(
+                population,
+                self.tolerance,
+                self.confidence,
+                self.comm_budget,
+                self.slack,
+            )
+        plan = FramePlan(
+            population, self.tolerance, self.confidence, trp, utrp
+        )
+        self._plans[population] = plan
+        self._current = plan
+        return plan
+
+    def apply_delta(self, op: str, count: int, population_after: int) -> FramePlan:
+        """Fold one membership delta into the plan.
+
+        Args:
+            op: the membership op (``replace`` is the guaranteed-O(1)
+                case — ``n`` is unchanged, so the current plan stands).
+            count: how many tags the delta touched (bookkeeping only).
+            population_after: ``n`` after the delta.
+
+        Returns:
+            The (possibly reused) plan for the new population.
+        """
+        self.stats["deltas_applied"] += 1
+        if (
+            op == "replace"
+            and self._current is not None
+            and self._current.population == population_after
+        ):
+            self.stats["plan_reuses"] += 1
+            return self._current
+        return self.plan_for(population_after)

@@ -1,0 +1,424 @@
+"""Epoch-versioned tag lifecycle registry.
+
+The paper assumes the monitored set ``T*`` is static (Sec. 3); a
+production deployment commissions, decommissions and *replaces* tags
+continuously. This module is the system of record for that lifecycle:
+a :class:`PopulationRegistry` holds one :class:`TagRecord` per tag the
+deployment has ever known, and every membership mutation bumps a
+monotonically increasing **population epoch**. The epoch is the
+consistency token the rest of the stack keys on — the serve layer
+rejects requests planned against a stale epoch, shard snapshots carry
+it so failover restores the *current* set, and equivalence tests pin
+"no churn" to "epoch stays 0".
+
+The registry is deliberately append-only history plus a live view:
+decommissioned tags keep their record (with ``decommissioned_epoch``
+set), so an auditor can answer "when did tag X leave the set, and what
+replaced it" from the registry alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "POPULATION_SCHEMA",
+    "MEMBERSHIP_OPS",
+    "TagRecord",
+    "MembershipDelta",
+    "PopulationRegistry",
+]
+
+#: Schema identifier embedded in (and required of) every persisted
+#: registry document.
+POPULATION_SCHEMA = "repro.population/v1"
+
+#: The three lifecycle operations, in canonical order.
+MEMBERSHIP_OPS = ("commission", "decommission", "replace")
+
+
+@dataclass
+class TagRecord:
+    """One tag's lifecycle, from commissioning to (maybe) retirement.
+
+    Attributes:
+        tag_id: the 64-bit tag ID.
+        label: optional operator label ("pallet 17", ...).
+        commissioned_epoch: epoch at which the tag entered the set
+            (0 for the seeded baseline).
+        decommissioned_epoch: epoch at which it left, or ``None`` while
+            it is still active.
+        replaced_by: the ID that superseded this tag in a ``replace``
+            operation, or ``None``.
+    """
+
+    tag_id: int
+    label: Optional[str] = None
+    commissioned_epoch: int = 0
+    decommissioned_epoch: Optional[int] = None
+    replaced_by: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return self.decommissioned_epoch is None
+
+    def to_dict(self) -> dict:
+        return {
+            "tag_id": self.tag_id,
+            "label": self.label,
+            "commissioned_epoch": self.commissioned_epoch,
+            "decommissioned_epoch": self.decommissioned_epoch,
+            "replaced_by": self.replaced_by,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TagRecord":
+        return cls(
+            tag_id=int(doc["tag_id"]),
+            label=doc.get("label"),
+            commissioned_epoch=int(doc.get("commissioned_epoch", 0)),
+            decommissioned_epoch=(
+                None
+                if doc.get("decommissioned_epoch") is None
+                else int(doc["decommissioned_epoch"])
+            ),
+            replaced_by=(
+                None
+                if doc.get("replaced_by") is None
+                else int(doc["replaced_by"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class MembershipDelta:
+    """One applied membership mutation — the unit of replication.
+
+    Deltas are what travels: over the wire as MEMBERSHIP frames, into
+    shard snapshots as the membership log, and between a registry and
+    its replicas via :meth:`PopulationRegistry.apply`.
+
+    Attributes:
+        epoch: the epoch this delta *produced* (i.e. post-apply).
+        op: one of :data:`MEMBERSHIP_OPS`.
+        tag_ids: the IDs the op targets (new IDs for ``commission``,
+            outgoing IDs for ``decommission`` / ``replace``).
+        replacement_ids: incoming IDs for ``replace`` (empty otherwise),
+            aligned with ``tag_ids``.
+        labels: optional labels for the incoming IDs.
+    """
+
+    epoch: int
+    op: str
+    tag_ids: Tuple[int, ...]
+    replacement_ids: Tuple[int, ...] = ()
+    labels: Tuple[Optional[str], ...] = ()
+
+    def to_dict(self) -> dict:
+        doc = {
+            "epoch": self.epoch,
+            "op": self.op,
+            "tag_ids": list(self.tag_ids),
+        }
+        if self.replacement_ids:
+            doc["replacement_ids"] = list(self.replacement_ids)
+        if any(label is not None for label in self.labels):
+            doc["labels"] = list(self.labels)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MembershipDelta":
+        return cls(
+            epoch=int(doc["epoch"]),
+            op=str(doc["op"]),
+            tag_ids=tuple(int(i) for i in doc["tag_ids"]),
+            replacement_ids=tuple(
+                int(i) for i in doc.get("replacement_ids", ())
+            ),
+            labels=tuple(doc.get("labels", ())),
+        )
+
+
+def _check_op(op: str) -> None:
+    if op not in MEMBERSHIP_OPS:
+        raise ValueError(
+            f"unknown membership op {op!r}; expected one of {MEMBERSHIP_OPS}"
+        )
+
+
+def _unique_ints(tag_ids: Iterable[int], what: str) -> List[int]:
+    ids = [int(i) for i in tag_ids]
+    if not ids:
+        raise ValueError(f"{what} must name at least one tag")
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate IDs in {what}")
+    for i in ids:
+        if i < 0:
+            raise ValueError(f"negative tag ID in {what}")
+    return ids
+
+
+class PopulationRegistry:
+    """The epoch-versioned system of record for one monitored set.
+
+    Construction is two-phase: :meth:`seed` records the baseline set at
+    epoch 0 (no epoch bump — a never-churned registry is
+    indistinguishable from the paper's static ``T*``), then
+    :meth:`commission` / :meth:`decommission` / :meth:`replace` each
+    advance the epoch by exactly one and append a
+    :class:`MembershipDelta` to :attr:`history`.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[int, TagRecord] = {}
+        self._epoch = 0
+        self._seeded = False
+        self.history: List[MembershipDelta] = []
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The population epoch — bumped by every mutation."""
+        return self._epoch
+
+    @property
+    def size(self) -> int:
+        """``n`` — the number of *active* tags."""
+        return sum(1 for r in self._records.values() if r.active)
+
+    @property
+    def active_ids(self) -> List[int]:
+        """Active tag IDs in commissioning order."""
+        return [r.tag_id for r in self._records.values() if r.active]
+
+    def record(self, tag_id: int) -> TagRecord:
+        """The lifecycle record for one tag (active or retired).
+
+        Raises:
+            KeyError: for an ID the registry has never seen.
+        """
+        return self._records[int(tag_id)]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, tag_id: int) -> bool:
+        rec = self._records.get(int(tag_id))
+        return rec is not None and rec.active
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def seed(
+        self,
+        tag_ids: Iterable[int],
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        """Record the baseline set at epoch 0, once.
+
+        Raises:
+            RuntimeError: if the registry was already seeded.
+            ValueError: on duplicate or negative IDs.
+        """
+        if self._seeded:
+            raise RuntimeError("registry is already seeded")
+        ids = _unique_ints(tag_ids, "baseline set")
+        label_list = self._labels_for(ids, labels, "baseline set")
+        for tag_id, label in zip(ids, label_list):
+            self._records[tag_id] = TagRecord(tag_id, label, 0)
+        self._seeded = True
+
+    def commission(
+        self,
+        tag_ids: Iterable[int],
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> MembershipDelta:
+        """Add new tags to the active set; returns the applied delta."""
+        ids = _unique_ints(tag_ids, "commission")
+        label_list = self._labels_for(ids, labels, "commission")
+        for i in ids:
+            rec = self._records.get(i)
+            if rec is not None and rec.active:
+                raise ValueError(f"tag {i:#x} is already active")
+        epoch = self._epoch + 1
+        for tag_id, label in zip(ids, label_list):
+            self._records[tag_id] = TagRecord(tag_id, label, epoch)
+        self._epoch = epoch
+        delta = MembershipDelta(
+            epoch, "commission", tuple(ids), (), tuple(label_list)
+        )
+        self.history.append(delta)
+        return delta
+
+    def decommission(self, tag_ids: Iterable[int]) -> MembershipDelta:
+        """Retire active tags; returns the applied delta."""
+        ids = _unique_ints(tag_ids, "decommission")
+        self._require_active(ids, "decommission")
+        epoch = self._epoch + 1
+        for i in ids:
+            self._records[i].decommissioned_epoch = epoch
+        self._epoch = epoch
+        delta = MembershipDelta(epoch, "decommission", tuple(ids))
+        self.history.append(delta)
+        return delta
+
+    def replace(
+        self,
+        tag_ids: Iterable[int],
+        replacement_ids: Iterable[int],
+        labels: Optional[Sequence[Optional[str]]] = None,
+    ) -> MembershipDelta:
+        """Atomically swap active tags for fresh ones (one epoch bump).
+
+        The i-th outgoing tag's record points at the i-th incoming ID
+        via ``replaced_by``; the incoming record inherits the outgoing
+        label unless ``labels`` overrides it.
+        """
+        out_ids = _unique_ints(tag_ids, "replace (outgoing)")
+        in_ids = _unique_ints(replacement_ids, "replace (incoming)")
+        if len(in_ids) != len(out_ids):
+            raise ValueError(
+                "replace needs one replacement ID per outgoing ID"
+            )
+        if set(in_ids) & set(out_ids):
+            raise ValueError("a tag cannot replace itself")
+        self._require_active(out_ids, "replace")
+        for i in in_ids:
+            rec = self._records.get(i)
+            if rec is not None and rec.active:
+                raise ValueError(f"replacement tag {i:#x} is already active")
+        label_list = self._labels_for(in_ids, labels, "replace")
+        inherited = tuple(
+            label if label is not None else self._records[out].label
+            for out, label in zip(out_ids, label_list)
+        )
+        epoch = self._epoch + 1
+        for out, incoming, label in zip(out_ids, in_ids, inherited):
+            self._records[out].decommissioned_epoch = epoch
+            self._records[out].replaced_by = incoming
+            self._records[incoming] = TagRecord(incoming, label, epoch)
+        self._epoch = epoch
+        delta = MembershipDelta(
+            epoch, "replace", tuple(out_ids), tuple(in_ids), inherited
+        )
+        self.history.append(delta)
+        return delta
+
+    def apply(self, delta: MembershipDelta) -> MembershipDelta:
+        """Replay a delta produced elsewhere (replication path).
+
+        The delta must be the next epoch in sequence — replicas apply
+        the log in order, and a gap means a missed update.
+
+        Raises:
+            ValueError: on an out-of-sequence epoch or an op the
+                current state cannot accept.
+        """
+        if delta.epoch != self._epoch + 1:
+            raise ValueError(
+                f"delta for epoch {delta.epoch} cannot apply at "
+                f"epoch {self._epoch}"
+            )
+        _check_op(delta.op)
+        labels = delta.labels or None
+        if delta.op == "commission":
+            return self.commission(delta.tag_ids, labels)
+        if delta.op == "decommission":
+            return self.decommission(delta.tag_ids)
+        return self.replace(delta.tag_ids, delta.replacement_ids, labels)
+
+    # ------------------------------------------------------------------
+    # persistence & equivalence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The full registry as a schema-tagged JSON document."""
+        return {
+            "schema": POPULATION_SCHEMA,
+            "epoch": self._epoch,
+            "seeded": self._seeded,
+            "records": [r.to_dict() for r in self._records.values()],
+            "history": [d.to_dict() for d in self.history],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "PopulationRegistry":
+        """Rebuild a registry from :meth:`to_json` output.
+
+        Raises:
+            ValueError: on a foreign or malformed document.
+        """
+        if not isinstance(doc, dict) or doc.get("schema") != POPULATION_SCHEMA:
+            raise ValueError(
+                f"not a {POPULATION_SCHEMA} document: "
+                f"{doc.get('schema') if isinstance(doc, dict) else doc!r}"
+            )
+        registry = cls()
+        registry._epoch = int(doc.get("epoch", 0))
+        registry._seeded = bool(doc.get("seeded", False))
+        for rdoc in doc.get("records", ()):
+            rec = TagRecord.from_dict(rdoc)
+            registry._records[rec.tag_id] = rec
+        registry.history = [
+            MembershipDelta.from_dict(d) for d in doc.get("history", ())
+        ]
+        if registry.history and registry.history[-1].epoch != registry._epoch:
+            raise ValueError(
+                "malformed registry document: history does not end at "
+                "the recorded epoch"
+            )
+        return registry
+
+    def epoch_digest(self) -> str:
+        """Deterministic digest of (epoch, active membership).
+
+        Two registries that applied the same deltas — whether natively
+        or via :meth:`apply` replication — produce the same digest;
+        equivalence tests pin on it.
+        """
+        payload = json.dumps(
+            {
+                "schema": POPULATION_SCHEMA,
+                "epoch": self._epoch,
+                "active": [
+                    [r.tag_id, r.label]
+                    for r in self._records.values()
+                    if r.active
+                ],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _require_active(self, ids: Sequence[int], what: str) -> None:
+        for i in ids:
+            rec = self._records.get(i)
+            if rec is None:
+                raise KeyError(f"{what}: tag {i:#x} was never commissioned")
+            if not rec.active:
+                raise ValueError(f"{what}: tag {i:#x} is already retired")
+
+    @staticmethod
+    def _labels_for(
+        ids: Sequence[int],
+        labels: Optional[Sequence[Optional[str]]],
+        what: str,
+    ) -> Tuple[Optional[str], ...]:
+        if labels is None:
+            return tuple([None] * len(ids))
+        label_list = tuple(labels)
+        if len(label_list) != len(ids):
+            raise ValueError(f"{what}: labels must match tag_ids in length")
+        return label_list

@@ -189,6 +189,7 @@ class ReaderClient:
         self._codec = wire.WireV1
         self._next_seq = 0
         self._round_counters: Dict[str, int] = {}
+        self._epochs: Dict[str, int] = {}
         self._stream: Optional[tuple] = None
 
     # ------------------------------------------------------------------
@@ -281,6 +282,77 @@ class ReaderClient:
         return frame
 
     # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    @property
+    def known_epochs(self) -> Dict[str, int]:
+        """Per-group population epochs this client has observed (copy)."""
+        return dict(self._epochs)
+
+    async def update_membership(
+        self,
+        group: str,
+        op: str,
+        tag_ids,
+        replacement_ids=None,
+    ) -> int:
+        """Apply a membership delta server-side; returns the new epoch.
+
+        The request carries the epoch this client last observed for
+        ``group`` (0 before any update), implementing the optimistic
+        concurrency check: if another writer churned the group first,
+        the server answers ``stale-epoch`` and nothing is applied.
+
+        This is a *wire* operation only — the caller owns the physical
+        channel and must commission/decommission the matching
+        :class:`~repro.rfid.tag.Tag` objects itself (new tags start at
+        counter 0 on both sides), or the next scan will disagree with
+        the server's expectation.
+
+        Raises:
+            ProtocolError: on an ERROR reply (``stale-epoch``,
+                ``bad-membership``, ``unknown-group``) or an
+                out-of-protocol frame.
+            ConnectionError: if the server hangs up mid-exchange.
+        """
+        if self._stream is None:
+            await self.connect()
+        seq: Optional[int] = None
+        if self._codec.version >= 2:
+            seq = self._next_seq
+            self._next_seq += 1
+        await self._send(
+            protocol.with_seq(
+                protocol.membership_frame(
+                    group,
+                    op,
+                    tag_ids,
+                    self._epochs.get(group, 0),
+                    replacement_ids,
+                ),
+                seq,
+            )
+        )
+        reply = await self._recv()
+        if reply.type == "ERROR":
+            raise ProtocolError(reply["code"], reply["detail"])
+        if reply.type != "MEMBERSHIP":
+            raise ProtocolError(
+                "unexpected-frame",
+                f"wanted MEMBERSHIP ack, got {reply.type}",
+            )
+        if seq is not None and reply.get("seq") != seq:
+            raise ProtocolError(
+                "seq-mismatch",
+                f"MEMBERSHIP ack carries seq {reply.get('seq')}, "
+                f"expected {seq}",
+            )
+        epoch = int(reply["epoch"])
+        self._epochs[group] = epoch
+        return epoch
+
+    # ------------------------------------------------------------------
     # rounds
     # ------------------------------------------------------------------
 
@@ -359,10 +431,16 @@ class ReaderClient:
             state.seq = self._next_seq
             self._next_seq += 1
 
+        # RESEED pins the population epoch only once this client has
+        # itself churned the group: a never-updating client sends the
+        # exact pre-churn bytes, and a churning one catches a failover
+        # that restored an older population before any seeds go out.
         await self._send(
             protocol.with_seq(
                 protocol.with_trace(
-                    protocol.reseed(group, proto),
+                    protocol.reseed(
+                        group, proto, epoch=self._epochs.get(group)
+                    ),
                     state.trace_ctx.to_wire() if state.trace_ctx else None,
                 ),
                 state.seq,

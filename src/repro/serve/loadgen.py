@@ -36,7 +36,10 @@ import numpy as np
 from ..obs.bench import make_bench_record
 from ..rfid.bitstring import empty_bitstring
 from ..rfid.channel import SlottedChannel
+from ..rfid.ids import random_tag_ids
 from ..rfid.reader import ScanResult
+from ..rfid.tag import Tag
+from ..simulation.rng import derive_seed
 from .client import ReaderClient
 from .protocol import ProtocolError
 from .server import MonitoringService
@@ -46,6 +49,10 @@ __all__ = ["LoadgenConfig", "LoadgenResult", "run_loadgen", "format_loadgen_resu
 
 #: Default master seed, matching the experiment grid's.
 DEFAULT_SEED = 20080617
+
+#: Seed-space dimension for membership churn (shared with the fleet's
+#: churn plans and the churn experiment).
+_CHURN_DIMENSION = 53
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,16 @@ class LoadgenConfig:
         pipeline_depth: rounds each session keeps in flight (> 1
             requires ``wire_version`` 2; see
             :meth:`~repro.serve.client.ReaderClient.run_rounds`).
+        churn_rate: membership updates per round each session emits
+            (an accumulator, so fractional rates interleave). Each
+            update is a ``replace`` — one live tag decommissioned, a
+            fresh one commissioned in the same delta — so ``n`` and the
+            planned frame size stay fixed while the tag *set* (and the
+            population epoch) moves. The physical channel is mutated in
+            lockstep, so verdicts stay ``intact``. Requires the honest
+            reader, sequential rounds (``pipeline_depth`` 1) and at
+            most one session per group (the churner owns its group's
+            membership view).
 
     Raises:
         ValueError: on non-positive shape parameters or a UTRP session
@@ -96,6 +113,7 @@ class LoadgenConfig:
     reader: str = "honest"
     wire_version: int = 1
     pipeline_depth: int = 1
+    churn_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("groups", "rounds", "concurrency", "population"):
@@ -115,6 +133,18 @@ class LoadgenConfig:
             raise ValueError("pipeline_depth > 1 requires wire_version 2")
         if self.sessions is not None and self.sessions < 1:
             raise ValueError("sessions must be >= 1")
+        if self.churn_rate < 0:
+            raise ValueError("churn_rate must be >= 0")
+        if self.churn_rate > 0:
+            if self.reader != "honest":
+                raise ValueError("churn needs the honest reader")
+            if self.pipeline_depth > 1:
+                raise ValueError("churn requires pipeline_depth 1")
+            if self.total_sessions > self.groups:
+                raise ValueError(
+                    "churn needs one session per group at most (the "
+                    "churner owns its group's membership view)"
+                )
         if self.effective_counter_tags and self.total_sessions > self.groups:
             raise ValueError(
                 "counter-tag load needs one session per group at most "
@@ -161,6 +191,9 @@ class LoadgenResult:
     bytes_per_round: float = 0.0
     wire_version: int = 1
     pipeline_depth: int = 1
+    churn_rate: float = 0.0
+    membership_updates: int = 0
+    population_epochs: Dict[str, int] = field(default_factory=dict)
     record: dict = field(default_factory=dict)
     per_endpoint: List[dict] = field(default_factory=list)
 
@@ -212,6 +245,8 @@ class _EndpointStats:
     sessions: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    membership_updates: int = 0
+    epochs: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> dict:
         wall = float(sum(self.latencies))
@@ -238,6 +273,36 @@ class _EndpointStats:
                 self.bytes_received / rounds if rounds else 0.0
             ),
         }
+
+
+async def _churn_replace(
+    cfg: LoadgenConfig,
+    client: ReaderClient,
+    group: str,
+    channel: SlottedChannel,
+    rng: np.random.Generator,
+) -> int:
+    """Replace one live tag over the wire, mutating the channel in step.
+
+    The server is updated first (a failed update raises before the
+    physical population moves), then the replaced tag leaves the
+    channel and a factory-fresh one — counter at zero, matching the
+    server's commission default — joins it, so the next round's scan
+    agrees with the server's new expectation and verdicts stay intact.
+    """
+    tags = channel.tags
+    live_ids = {tag.tag_id for tag in tags}
+    victim = tags[int(rng.integers(0, len(tags)))]
+    while True:
+        fresh = int(random_tag_ids(1, rng)[0])
+        if fresh not in live_ids:
+            break
+    epoch = await client.update_membership(
+        group, "replace", [victim.tag_id], replacement_ids=[fresh]
+    )
+    tags.remove(victim)
+    tags.append(Tag(fresh, uses_counter=cfg.effective_counter_tags))
+    return epoch
 
 
 async def _run_session(
@@ -296,6 +361,16 @@ async def _run_session(
                         stats.bytes_sent += outcome.bytes_sent
                         stats.bytes_received += outcome.bytes_received
                 else:
+                    churn_rng = (
+                        np.random.default_rng(
+                            derive_seed(
+                                cfg.seed, _CHURN_DIMENSION, group_index
+                            )
+                        )
+                        if cfg.churn_rate > 0
+                        else None
+                    )
+                    churn_acc = 0.0
                     for _ in range(cfg.rounds):
                         began = time.perf_counter()
                         outcome = await client.run_round(group, cfg.protocol)
@@ -306,6 +381,16 @@ async def _run_session(
                         )
                         stats.bytes_sent += outcome.bytes_sent
                         stats.bytes_received += outcome.bytes_received
+                        if churn_rng is None:
+                            continue
+                        churn_acc += cfg.churn_rate
+                        while churn_acc >= 1.0:
+                            churn_acc -= 1.0
+                            epoch = await _churn_replace(
+                                cfg, client, group, channel, churn_rng
+                            )
+                            stats.membership_updates += 1
+                            stats.epochs[group] = epoch
         except (ProtocolError, ConnectionError, OSError) as exc:
             stats.errors.append(f"session {session_index}: {exc}")
 
@@ -378,6 +463,8 @@ async def _run_loadgen_async(
     errors: List[str] = []
     bytes_sent_total = 0
     bytes_received_total = 0
+    membership_updates = 0
+    population_epochs: Dict[str, int] = {}
     for stats in targets:
         latencies.extend(stats.latencies)
         air_us.extend(stats.air_us)
@@ -386,6 +473,11 @@ async def _run_loadgen_async(
         errors.extend(stats.errors)
         bytes_sent_total += stats.bytes_sent
         bytes_received_total += stats.bytes_received
+        membership_updates += stats.membership_updates
+        for group, epoch in stats.epochs.items():
+            population_epochs[group] = max(
+                population_epochs.get(group, 0), epoch
+            )
     per_endpoint = [stats.summary() for stats in targets]
     bytes_per_round = (
         (bytes_sent_total + bytes_received_total) / len(latencies)
@@ -454,6 +546,14 @@ async def _run_loadgen_async(
     ]
     if len(per_endpoint) > 1:
         timings[1]["endpoints"] = per_endpoint
+    if cfg.churn_rate > 0:
+        # Churn-free records stay byte-identical to the pre-population
+        # schema; churned campaigns document the knob and its effect.
+        timings[1]["churn_rate"] = cfg.churn_rate
+        timings[1]["membership_updates"] = membership_updates
+        timings[1]["population_epochs"] = dict(
+            sorted(population_epochs.items())
+        )
     record = make_bench_record(timings, quick=False, label="serve-loadgen")
     return LoadgenResult(
         rounds_completed=len(latencies),
@@ -470,6 +570,9 @@ async def _run_loadgen_async(
         bytes_per_round=bytes_per_round,
         wire_version=cfg.wire_version,
         pipeline_depth=cfg.pipeline_depth,
+        churn_rate=cfg.churn_rate,
+        membership_updates=membership_updates,
+        population_epochs=dict(sorted(population_epochs.items())),
         record=record,
         per_endpoint=per_endpoint,
     )
@@ -520,22 +623,31 @@ def format_loadgen_result(result: LoadgenResult) -> str:
     verdicts = ", ".join(
         f"{k}={v}" for k, v in sorted(result.verdict_counts.items())
     ) or "none"
-    return "\n".join(
-        [
-            "wire             : "
-            f"v{result.wire_version}, pipeline depth {result.pipeline_depth}",
-            f"rounds completed : {result.rounds_completed}",
-            f"verdicts         : {verdicts}",
-            f"protocol errors  : {result.protocol_errors}",
-            f"deadline timeouts: {result.timeouts}",
-            f"wall time        : {result.wall_s_total:.3f} s",
-            f"throughput       : {result.throughput_rps:.1f} rounds/s",
-            "wire bytes       : "
-            f"{result.bytes_sent_total} out, {result.bytes_received_total} in "
-            f"({result.bytes_per_round:.0f} per round)",
-            "latency          : "
-            f"p50 {result.latency_p50_ms:.2f} ms  "
-            f"p95 {result.latency_p95_ms:.2f} ms  "
-            f"p99 {result.latency_p99_ms:.2f} ms",
-        ]
-    )
+    lines = [
+        "wire             : "
+        f"v{result.wire_version}, pipeline depth {result.pipeline_depth}",
+        f"rounds completed : {result.rounds_completed}",
+        f"verdicts         : {verdicts}",
+        f"protocol errors  : {result.protocol_errors}",
+        f"deadline timeouts: {result.timeouts}",
+        f"wall time        : {result.wall_s_total:.3f} s",
+        f"throughput       : {result.throughput_rps:.1f} rounds/s",
+        "wire bytes       : "
+        f"{result.bytes_sent_total} out, {result.bytes_received_total} in "
+        f"({result.bytes_per_round:.0f} per round)",
+        "latency          : "
+        f"p50 {result.latency_p50_ms:.2f} ms  "
+        f"p95 {result.latency_p95_ms:.2f} ms  "
+        f"p99 {result.latency_p99_ms:.2f} ms",
+    ]
+    if result.churn_rate > 0:
+        epochs = ", ".join(
+            f"{g}={e}" for g, e in sorted(result.population_epochs.items())
+        ) or "none"
+        lines.append(
+            "membership churn : "
+            f"{result.membership_updates} replace updates "
+            f"(rate {result.churn_rate:g}/round)"
+        )
+        lines.append(f"population epochs: {epochs}")
+    return "\n".join(lines)

@@ -29,6 +29,9 @@ BITSTRING C->S the scan proof: slot occupancy plus the reader's elapsed
                air time
 VERDICT  S->C  the server's conclusion (intact / not-intact /
                rejected-late / rejected-malformed)
+MEMBERSHIP C->S a population delta (commission / decommission /
+               replace); the server acks by echoing it with the new
+               population epoch stamped
 ERROR    both  protocol-level failure; carries a machine code + detail
 ======== ===== ==========================================================
 
@@ -55,6 +58,15 @@ ordering. The client stamps each round's requests with one fresh seq
 and the server echoes that seq on the round's replies. In v2 the seq
 rides in the fixed binary header (never the body); v1 peers simply
 omit it.
+
+**Membership frames and epochs.** Population churn
+(:mod:`repro.population`) rides the protocol *additively*: a MEMBERSHIP
+frame applies one delta and RESEED accepts an optional ``epoch`` field
+pinning which population version the reader believes it is scanning
+(the server answers ``stale-epoch`` on a mismatch instead of judging a
+scan against the wrong set). Both are strictly opt-in — a peer that
+never churns sends bytes identical to a pre-churn build, on both wire
+versions, and epoch 0 is the paper's static set.
 
 Every frame type additionally accepts an *optional* ``trace`` envelope
 — ``{"id": trace_id, "span": parent span id, "hop": int}`` — that
@@ -90,8 +102,10 @@ __all__ = [
     "challenge_frame",
     "bitstring_frame",
     "verdict_frame",
+    "membership_frame",
     "error_frame",
     "hello_frame",
+    "MEMBERSHIP_WIRE_OPS",
     "choose_wire_version",
     "with_trace",
     "with_seq",
@@ -125,6 +139,16 @@ _SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "RESEED": {
         "group": (str,),
         "protocol": (str,),
+        "epoch": (int,),
+        "trace": (dict,),
+        "seq": (int,),
+    },
+    "MEMBERSHIP": {
+        "group": (str,),
+        "op": (str,),
+        "tag_ids": (list,),
+        "epoch": (int,),
+        "replacement_ids": (list,),
         "trace": (dict,),
         "seq": (int,),
     },
@@ -175,9 +199,15 @@ FRAME_TYPES = frozenset(_SCHEMAS)
 #: peer always sends.
 _OPTIONAL = (
     {("CHALLENGE", "timer_us")}
+    | {("RESEED", "epoch"), ("MEMBERSHIP", "replacement_ids")}
     | {(t, "trace") for t in _SCHEMAS}
     | {(t, "seq") for t in _SCHEMAS}
 )
+
+#: Membership operations a MEMBERSHIP frame may carry (mirrors
+#: :data:`repro.population.registry.MEMBERSHIP_OPS`; duplicated here so
+#: the wire layer validates without importing the lifecycle layer).
+MEMBERSHIP_WIRE_OPS = ("commission", "decommission", "replace")
 
 #: The trace envelope's own schema: exactly these fields.
 _TRACE_FIELDS: Dict[str, tuple] = {"id": (str,), "span": (str,), "hop": (int,)}
@@ -282,6 +312,32 @@ def _validate(frame_type: str, payload: Mapping[str, object]) -> None:
         ):
             raise ProtocolError(
                 "bad-field", "HELLO.versions must be a non-empty list of ints"
+            )
+    epoch = payload.get("epoch")
+    if epoch is not None and int(epoch) < 0:
+        raise ProtocolError("bad-field", f"{frame_type}.epoch is negative")
+    if frame_type == "MEMBERSHIP":
+        if payload["op"] not in MEMBERSHIP_WIRE_OPS:
+            raise ProtocolError(
+                "bad-field",
+                f"MEMBERSHIP.op must be one of {list(MEMBERSHIP_WIRE_OPS)}, "
+                f"got {payload['op']!r}",
+            )
+        for field in ("tag_ids", "replacement_ids"):
+            ids = payload.get(field)
+            if ids is None:
+                continue
+            if not all(
+                isinstance(i, int) and not isinstance(i, bool) and i >= 0
+                for i in ids
+            ):
+                raise ProtocolError(
+                    "bad-field",
+                    f"MEMBERSHIP.{field} must be non-negative ints",
+                )
+        if not payload["tag_ids"]:
+            raise ProtocolError(
+                "bad-field", "MEMBERSHIP.tag_ids must be non-empty"
             )
 
 
@@ -438,9 +494,44 @@ async def write_frame(writer: asyncio.StreamWriter, frame: Frame) -> None:
 # ----------------------------------------------------------------------
 
 
-def reseed(group: str, protocol: str) -> Frame:
-    """Client request: issue me a fresh challenge for ``group``."""
-    return Frame("RESEED", {"group": group, "protocol": protocol})
+def reseed(
+    group: str, protocol: str, epoch: Optional[int] = None
+) -> Frame:
+    """Client request: issue me a fresh challenge for ``group``.
+
+    ``epoch`` (when given) pins the population version the reader's
+    channel reflects; the server rejects a mismatch with
+    ``stale-epoch`` instead of judging the scan against the wrong set.
+    ``None`` keeps the frame byte-identical to pre-churn builds.
+    """
+    payload = {"group": group, "protocol": protocol}
+    if epoch is not None:
+        payload["epoch"] = int(epoch)
+    return Frame("RESEED", payload)
+
+
+def membership_frame(
+    group: str,
+    op: str,
+    tag_ids,
+    epoch: int,
+    replacement_ids=None,
+) -> Frame:
+    """One population delta (request), or its ack (server echo).
+
+    On the request, ``epoch`` is the epoch the sender last observed
+    (optimistic concurrency: a mismatch earns ``stale-epoch``); on the
+    ack, the epoch the delta *produced*.
+    """
+    payload = {
+        "group": group,
+        "op": op,
+        "tag_ids": [int(i) for i in tag_ids],
+        "epoch": int(epoch),
+    }
+    if replacement_ids is not None:
+        payload["replacement_ids"] = [int(i) for i in replacement_ids]
+    return Frame("MEMBERSHIP", payload)
 
 
 def challenge_frame(

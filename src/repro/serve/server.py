@@ -72,6 +72,8 @@ SERVE_METRIC_FAMILIES = {
     "serve_late_rejections_total": ("counter", ()),
     "serve_round_latency_us": ("histogram", ()),
     "serve_deadline_budget_ratio": ("histogram", ()),
+    "population_updates_total": ("counter", ("group", "op")),
+    "population_epoch": ("gauge", ("group",)),
 }
 
 
@@ -124,6 +126,16 @@ def register_serve_metrics(registry) -> None:
         buckets=BUDGET_BUCKETS,
         keep_samples=False,
     ).labels()
+    registry.counter(
+        "population_updates_total",
+        "applied membership deltas by group and op",
+        ("group", "op"),
+    )
+    registry.gauge(
+        "population_epoch",
+        "current population epoch by group",
+        ("group",),
+    )
     assert_families(registry, SERVE_METRIC_FAMILIES)
 
 
@@ -312,6 +324,31 @@ class MonitoringService:
             rng=np.random.default_rng(seed),
         )
 
+    def apply_membership(
+        self,
+        group_name: str,
+        op: str,
+        tag_ids,
+        replacement_ids=None,
+    ) -> int:
+        """Apply a membership delta to a hosted group; returns the new epoch.
+
+        Callers (the session layer, the shard worker) are responsible for
+        holding the group lock and for optimistic-concurrency epoch checks;
+        this method is the single point where a delta reaches the monitor,
+        so workers can override it to persist a snapshot per change.
+
+        Raises:
+            KeyError: unknown group.
+            ValueError: invalid delta (propagated from the monitor).
+        """
+        group = self.groups[group_name]
+        epoch = group.monitor.apply_membership(
+            op, tag_ids, replacement_ids=replacement_ids
+        )
+        self.observe_membership(group, op, epoch)
+        return epoch
+
     # ------------------------------------------------------------------
     # listener lifecycle
     # ------------------------------------------------------------------
@@ -439,6 +476,27 @@ class MonitoringService:
         if self.obs is not None:
             self.obs.bus.emit(
                 "serve.error", scope=session.scope, code=code
+            )
+
+    def observe_membership(self, group: HostedGroup, op: str, epoch: int) -> None:
+        self._count(
+            "population_updates_total",
+            "applied membership deltas by group and op",
+            group=group.name,
+            op=op,
+        )
+        if self.obs is not None:
+            self.obs.registry.gauge(
+                "population_epoch",
+                "current population epoch by group",
+                ("group",),
+            ).labels(group=group.name).set(float(epoch))
+            self.obs.bus.emit(
+                "population.epoch",
+                scope=f"serve/group-{group.name}",
+                group=group.name,
+                op=op,
+                epoch=epoch,
             )
 
     def observe_verdict(

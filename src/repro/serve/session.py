@@ -222,6 +222,8 @@ class ServeSession:
                     break
                 if frame.type == "RESEED":
                     await self._serve_round(frame)
+                elif frame.type == "MEMBERSHIP":
+                    await self._apply_membership(frame)
                 elif frame.type == "HELLO":
                     await self._negotiate(frame)
                 elif frame.type == "ERROR":
@@ -265,12 +267,72 @@ class ServeSession:
                 f"group {group_name!r} has no counter tags; UTRP unavailable",
             )
             return
+        epoch = request.get("epoch")
+        if epoch is not None and int(epoch) != group.monitor.population_epoch:
+            # The reader's channel reflects another population version;
+            # judging its scan against this set would be meaningless.
+            await self._recoverable_error(
+                "stale-epoch",
+                f"group {group_name!r} is at population epoch "
+                f"{group.monitor.population_epoch}, request pinned {epoch}",
+            )
+            return
 
         # Rounds on one group serialise (seed issuance and counter
         # commits are one atomic step per round); total in-flight
         # rounds are bounded service-wide.
         async with group.lock, self.service.inflight:
             await self._challenged_round(group, proto, request.get("trace"))
+
+    async def _apply_membership(self, request: Frame) -> None:
+        """One MEMBERSHIP -> MEMBERSHIP-ack exchange.
+
+        The request carries the epoch the sender last observed
+        (optimistic concurrency): a mismatch means the sender's view of
+        the population is stale — some other writer got there first —
+        and earns a recoverable ``stale-epoch`` ERROR instead of a
+        silent lost update. The delta itself applies under the group
+        lock, serialised against in-flight rounds, so a challenge is
+        always issued against a consistent (pre- or post-delta) set,
+        never a half-applied one.
+        """
+        group_name = request["group"]
+        group = self.service.groups.get(group_name)
+        if group is None:
+            await self._recoverable_error(
+                "unknown-group", f"no group named {group_name!r}"
+            )
+            return
+        async with group.lock:
+            current = group.monitor.population_epoch
+            if int(request["epoch"]) != current:
+                await self._recoverable_error(
+                    "stale-epoch",
+                    f"group {group_name!r} is at population epoch {current}, "
+                    f"update was built against {request['epoch']}",
+                )
+                return
+            try:
+                new_epoch = self.service.apply_membership(
+                    group_name,
+                    request["op"],
+                    request["tag_ids"],
+                    request.get("replacement_ids"),
+                )
+            except (KeyError, ValueError) as exc:
+                await self._recoverable_error(
+                    "bad-membership", f"membership delta rejected: {exc}"
+                )
+                return
+        await self._send(
+            protocol.membership_frame(
+                group_name,
+                request["op"],
+                request["tag_ids"],
+                new_epoch,
+                request.get("replacement_ids"),
+            )
+        )
 
     async def _challenged_round(self, group, proto: str, trace=None) -> None:
         cfg = self.config

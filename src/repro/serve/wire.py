@@ -13,9 +13,10 @@ Frame layout::
     header := <BBBBII  (12 bytes, little-endian)
               magic    u8  = 0xF2
               type     u8  (RESEED=1 CHALLENGE=2 BITSTRING=3
-                            VERDICT=4 ERROR=5)
+                            VERDICT=4 ERROR=5 MEMBERSHIP=6)
               flags    u8  (bit0: trace envelope present,
-                            bit1: seq present in header)
+                            bit1: seq present in header,
+                            bit2: RESEED carries a u64 epoch)
               pad      u8  = 0
     	      seq      u32 (0 when flags bit1 clear)
               body_len u32
@@ -26,14 +27,22 @@ Frame layout::
 
 Per-type bodies::
 
-    RESEED    group | protocol
+    RESEED    group | protocol | [u64 epoch, when flags bit2]
     CHALLENGE group | protocol | u32 round | u32 frame_size
               | f64 timer_us (NaN = absent) | u32 nseeds | nseeds x u64
     BITSTRING group | u32 round | u32 nbits | packed bits
               | f64 elapsed_us | u32 seeds_used
     VERDICT   group | u32 round | verdict | u32 frame_size
               | u32 mismatched_slots | f64 elapsed_us | u8 alarm
+    MEMBERSHIP group | op | u32 nids | nids x u64
+              | u8 has_replacements | [u32 nreps | nreps x u64]
+              | u64 epoch
     ERROR     code | detail
+
+The MEMBERSHIP type code and the RESEED epoch flag are *additive*: a
+peer that never churns (epoch absent, no membership frames) emits
+bytes identical to builds that predate them, which is what the wire
+interop tests pin.
 
 The magic byte makes mid-stream version confusion detectable in both
 directions: a v1 frame's first byte is always ``0x00`` (its big-endian
@@ -68,6 +77,7 @@ WIRE_MAGIC = 0xF2
 _HEADER = struct.Struct("<BBBBII")
 _FLAG_TRACE = 0x01
 _FLAG_SEQ = 0x02
+_FLAG_EPOCH = 0x04
 
 _TYPE_CODES = {
     "RESEED": 1,
@@ -75,6 +85,7 @@ _TYPE_CODES = {
     "BITSTRING": 3,
     "VERDICT": 4,
     "ERROR": 5,
+    "MEMBERSHIP": 6,
 }
 _CODE_TYPES = {code: name for name, code in _TYPE_CODES.items()}
 
@@ -153,6 +164,24 @@ def _encode_body(frame_type: str, payload: Mapping[str, object]) -> bytes:
     if frame_type == "RESEED":
         _put_str(parts, payload["group"])
         _put_str(parts, payload["protocol"])
+        if payload.get("epoch") is not None:
+            parts.append(_U64.pack(payload["epoch"]))
+    elif frame_type == "MEMBERSHIP":
+        _put_str(parts, payload["group"])
+        _put_str(parts, payload["op"])
+        ids = payload["tag_ids"]
+        parts.append(_U32.pack(len(ids)))
+        for tag_id in ids:
+            parts.append(_U64.pack(tag_id))
+        reps = payload.get("replacement_ids")
+        if reps is None:
+            parts.append(struct.pack("<B", 0))
+        else:
+            parts.append(struct.pack("<B", 1))
+            parts.append(_U32.pack(len(reps)))
+            for tag_id in reps:
+                parts.append(_U64.pack(tag_id))
+        parts.append(_U64.pack(payload["epoch"]))
     elif frame_type == "CHALLENGE":
         _put_str(parts, payload["group"])
         _put_str(parts, payload["protocol"])
@@ -201,6 +230,17 @@ def _decode_body(frame_type: str, data: bytes, flags: int) -> dict:
     if frame_type == "RESEED":
         payload["group"] = cur.string()
         payload["protocol"] = cur.string()
+        if flags & _FLAG_EPOCH:
+            payload["epoch"] = cur.u64()
+    elif frame_type == "MEMBERSHIP":
+        payload["group"] = cur.string()
+        payload["op"] = cur.string()
+        nids = cur.u32()
+        payload["tag_ids"] = [cur.u64() for _ in range(nids)]
+        if cur.u8():
+            nreps = cur.u32()
+            payload["replacement_ids"] = [cur.u64() for _ in range(nreps)]
+        payload["epoch"] = cur.u64()
     elif frame_type == "CHALLENGE":
         payload["group"] = cur.string()
         payload["protocol"] = cur.string()
@@ -301,6 +341,8 @@ class WireV2:
         if frame.payload.get("seq") is not None:
             flags |= _FLAG_SEQ
             seq = int(frame.payload["seq"])
+        if frame.type == "RESEED" and frame.payload.get("epoch") is not None:
+            flags |= _FLAG_EPOCH
         header = _HEADER.pack(WIRE_MAGIC, code, flags, 0, seq, len(body))
         return header + body
 
@@ -334,6 +376,10 @@ class WireV2:
             raise ProtocolError("unknown-type", f"unknown v2 type code {code}")
         if pad != 0:
             raise ProtocolError("bad-field", "v2 header pad byte is non-zero")
+        if flags & _FLAG_EPOCH and frame_type != "RESEED":
+            raise ProtocolError(
+                "bad-field", "epoch flag is only valid on RESEED frames"
+            )
         if body_len > max_bytes:
             raise ProtocolError(
                 "oversize", f"declared length {body_len} exceeds cap {max_bytes}"

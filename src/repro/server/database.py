@@ -34,10 +34,13 @@ class TagRecord:
 class TagDatabase:
     """Registry of one monitored set ``T*``.
 
-    The set is static after registration (Sec. 3) — there is
-    deliberately no ``add`` after :meth:`register_set` and no ``remove``
-    at all: the server believing a tag exists while it is physically
-    gone is precisely the condition the protocols detect.
+    The set is static after registration (Sec. 3) by default: the
+    server believing a tag exists while it is physically gone is
+    precisely the condition the protocols detect. The population
+    lifecycle layer (:mod:`repro.population`) relaxes that through the
+    *explicit* :meth:`commission` / :meth:`decommission` mutations —
+    deliberate membership changes recorded against an epoch, never a
+    silent drift of the mirrored set.
     """
 
     def __init__(self) -> None:
@@ -68,6 +71,62 @@ class TagDatabase:
         for tag_id, label in zip(ids, label_list):
             self._records[tag_id] = TagRecord(tag_id, 0, label)
         self._sealed = True
+
+    def commission(
+        self,
+        tag_ids: Iterable[int],
+        labels: Optional[Iterable[str]] = None,
+        counter: int = 0,
+    ) -> None:
+        """Add tags to an already-registered set (a membership delta).
+
+        New records append after the existing ones, so :attr:`ids`
+        order stays deterministic across replicas that apply the same
+        delta sequence. ``counter`` defaults to 0 — a factory-fresh
+        UTRP tag's hardware ``ct``.
+
+        Raises:
+            RuntimeError: before :meth:`register_set` (the baseline
+                set must exist first).
+            ValueError: on duplicate or already-present IDs.
+        """
+        if not self._sealed:
+            raise RuntimeError(
+                "commission requires a registered baseline set"
+            )
+        ids = [int(i) for i in tag_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate tag IDs in commission")
+        for i in ids:
+            if i in self._records:
+                raise ValueError(f"tag {i:#x} is already registered")
+        label_list: List[Optional[str]]
+        if labels is None:
+            label_list = [None] * len(ids)
+        else:
+            label_list = list(labels)
+            if len(label_list) != len(ids):
+                raise ValueError("labels must match tag_ids in length")
+        for tag_id, label in zip(ids, label_list):
+            self._records[tag_id] = TagRecord(tag_id, counter, label)
+
+    def decommission(self, tag_ids: Iterable[int]) -> None:
+        """Drop tags from the set (a membership delta).
+
+        Raises:
+            RuntimeError: before :meth:`register_set`.
+            KeyError: for an ID not currently registered.
+        """
+        if not self._sealed:
+            raise RuntimeError(
+                "decommission requires a registered baseline set"
+            )
+        ids = [int(i) for i in tag_ids]
+        for i in ids:
+            if i not in self._records:
+                raise KeyError(f"tag {i:#x} is not registered")
+        for i in ids:
+            del self._records[i]
 
     @property
     def size(self) -> int:

@@ -13,6 +13,12 @@ unresolved or ambiguous tags, the partial outcome is part of the
 server's operational state — a restarted server must know recovery was
 mid-flight rather than re-alarm from scratch. Version 1 documents load
 unchanged (the block is simply absent).
+
+Version 3 adds ``population_epoch`` (see :mod:`repro.population`): the
+membership-epoch counter a restored deployment resumes at. Version 1
+and 2 documents predate churn support and load unchanged with the
+epoch defaulting to 0 — exactly the static set they were written
+against (read it with :func:`import_population_epoch`).
 """
 
 from __future__ import annotations
@@ -29,19 +35,21 @@ __all__ = [
     "export_state",
     "import_state",
     "import_resync",
+    "import_population_epoch",
     "save_state",
     "load_state",
 ]
 
 _FORMAT = "repro-rfid-server-state"
-_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def export_state(
     database: TagDatabase,
     issuer: Optional[SeedIssuer] = None,
     resync=None,
+    population_epoch: int = 0,
 ) -> dict:
     """Serialise a database (and optionally issuer history + resync).
 
@@ -51,10 +59,13 @@ def export_state(
             across restarts.
         resync: an in-flight :class:`~repro.core.utrp.ResyncReport`
             (or ``None``); persisted only when it left work behind.
+        population_epoch: the membership epoch the database reflects
+            (0 for a never-churned set).
     """
     doc = {
         "format": _FORMAT,
         "version": _VERSION,
+        "population_epoch": int(population_epoch),
         "tags": [
             {
                 "id": int(tag_id),
@@ -141,14 +152,32 @@ def import_resync(doc: dict):
         raise ValueError(f"malformed resync block: {error}") from error
 
 
+def import_population_epoch(doc: dict) -> int:
+    """The persisted membership epoch; 0 for pre-v3 documents.
+
+    Raises:
+        ValueError: on a present-but-malformed epoch.
+    """
+    epoch = doc.get("population_epoch", 0)
+    if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+        raise ValueError(
+            f"malformed state: population_epoch {epoch!r} must be a "
+            "non-negative integer"
+        )
+    return epoch
+
+
 def save_state(
     path: str,
     database: TagDatabase,
     issuer: Optional[SeedIssuer] = None,
     resync=None,
+    population_epoch: int = 0,
 ) -> None:
     """Write the state document to ``path`` atomically."""
-    doc = export_state(database, issuer, resync=resync)
+    doc = export_state(
+        database, issuer, resync=resync, population_epoch=population_epoch
+    )
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fh:
         json.dump(doc, fh, indent=1)

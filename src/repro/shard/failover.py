@@ -65,6 +65,14 @@ def snapshot_doc(
 ) -> dict:
     """Build a snapshot document for one group.
 
+    A churned group additionally carries its ``population_epoch`` and
+    the full ``membership_log`` (both read off the monitor). The log is
+    the replay script for membership: each entry records which round
+    count it landed at, so :func:`restore_group` can interleave deltas
+    with challenge replay and reproduce every frame size the original
+    owner used. Never-churned groups omit both keys, keeping their
+    snapshots byte-identical to pre-churn builds.
+
     Args:
         spec: the deterministic rebuild recipe.
         monitor: the live :class:`~repro.core.monitor.MonitoringServer`;
@@ -98,8 +106,15 @@ def snapshot_doc(
         doc["metrics"] = metrics
     if monitor is not None:
         doc["state"] = export_state(
-            monitor.database, monitor.issuer, resync=resync
+            monitor.database,
+            monitor.issuer,
+            resync=resync,
+            population_epoch=getattr(monitor, "population_epoch", 0),
         )
+        log = getattr(monitor, "membership_log", None)
+        if log:
+            doc["population_epoch"] = int(monitor.population_epoch)
+            doc["membership_log"] = [dict(entry) for entry in log]
     return doc
 
 
@@ -208,7 +223,10 @@ def reconcile_snapshots(
     The anti-entropy step of a hand-back: the releasing survivor's
     final document and whatever the rejoined worker still has on disk
     may disagree (the disk copy predates the failover, or a torn write
-    ate one of them). The longer verdict history wins outright;
+    ate one of them). The longer verdict history wins outright, with
+    the population epoch breaking ties (a membership delta between two
+    rounds advances the epoch without advancing ``rounds_verified``,
+    and serving the pre-delta set would silently undo the churn);
     embedded metrics are merged per source with max-``seq`` semantics
     (via dict union — each source's snapshot is already internally
     consistent, and a higher ``rounds_verified`` implies
@@ -218,8 +236,15 @@ def reconcile_snapshots(
         return secondary
     if secondary is None:
         return primary
+
+    def freshness(doc: dict) -> Tuple[int, int]:
+        return (
+            int(doc.get("rounds_verified", 0)),
+            int(doc.get("population_epoch", 0)),
+        )
+
     newer, older = primary, secondary
-    if int(older.get("rounds_verified", 0)) > int(newer.get("rounds_verified", 0)):
+    if freshness(older) > freshness(newer):
         newer, older = older, newer
     merged = dict(newer)
     metrics = dict(older.get("metrics") or {})
@@ -251,6 +276,18 @@ def _validate(doc: dict) -> None:
     for proto in doc["protocol_history"]:
         if proto not in ("trp", "utrp"):
             raise ValueError(f"malformed snapshot: bad protocol {proto!r}")
+    log = doc.get("membership_log")
+    if log is not None:
+        if not isinstance(log, list) or not all(
+            isinstance(entry, dict) for entry in log
+        ):
+            raise ValueError("malformed snapshot: bad membership_log")
+        epoch = doc.get("population_epoch", len(log))
+        if epoch != len(log):
+            raise ValueError(
+                f"malformed snapshot: population_epoch {epoch!r} disagrees "
+                f"with a membership_log of {len(log)} entries"
+            )
 
 
 def restore_group(
@@ -262,10 +299,13 @@ def restore_group(
 
     1. ``create_group`` from the spec — same seeds as the original, so
        tag IDs and the issuer stream match the dead worker's at birth;
-    2. replay issuance per ``protocol_history`` — each recorded round
-       consumes exactly the challenge the original round consumed
-       (sizes and timers are pure functions of the requirement), so
-       the RNG stream fast-forwards to the crash point;
+    2. replay issuance per ``protocol_history``, interleaved with the
+       ``membership_log``: every delta whose ``at_round`` the history
+       has reached is applied *before* that round's challenge is
+       issued, so each replayed round sees the same ``(n, m)`` — hence
+       the same frame size and timer — the original round used, and
+       the RNG stream fast-forwards to the crash point at the latest
+       population epoch;
     3. overlay persisted counters / issued seeds / resync — verification
        state the replay cannot reconstruct (counters advance on
        *verify*, not on issue).
@@ -292,12 +332,33 @@ def restore_group(
     monitor = group.monitor
 
     history = list(doc["protocol_history"])
-    for proto in history:
+    log = [dict(entry) for entry in doc.get("membership_log") or []]
+
+    def replay_membership(entry: dict) -> None:
+        monitor.apply_membership(
+            entry["op"],
+            entry["tag_ids"],
+            replacement_ids=entry.get("replacement_ids") or None,
+            labels=entry.get("labels") or None,
+        )
+
+    applied = 0
+    for index, proto in enumerate(history):
+        while applied < len(log) and int(log[applied]["at_round"]) <= index:
+            replay_membership(log[applied])
+            applied += 1
         if proto == "trp":
             monitor.issuer.trp_challenge(group.trp_frame_size)
         else:
             frame_size, timer_us = group.utrp_plan()
             monitor.issuer.utrp_challenge(frame_size, timer_us)
+    while applied < len(log):
+        replay_membership(log[applied])
+        applied += 1
+    # Replaying re-derives epoch and database membership; the recorded
+    # log (with its original `at_round` stamps) replaces the replay's
+    # so the *next* snapshot round-trips identically.
+    monitor.membership_log = log
 
     state = doc.get("state")
     if state is not None:

@@ -487,6 +487,9 @@ class _ProxySession:
                 if frame.type == "HELLO":
                     await self._negotiate_client(frame)
                     continue
+                if frame.type == "MEMBERSHIP":
+                    await self._proxy_membership(frame)
+                    continue
                 if frame.type != "RESEED":
                     await self._send_client(
                         protocol.error_frame(
@@ -712,6 +715,83 @@ class _ProxySession:
                 protocol.error_frame(
                     "shard-unavailable",
                     f"round on group {group!r} kept failing across re-shards",
+                ),
+                seq,
+            )
+        )
+
+    async def _proxy_membership(self, request: Frame) -> None:
+        """Relay one MEMBERSHIP exchange to the group's owning worker.
+
+        Routed and gated exactly like a round (a delta must not race a
+        hand-back migration), but the exchange is one request/reply.
+        The delta is *not* blindly retried across a failover: the
+        owning worker snapshots the new epoch before its ack flushes,
+        so a retry against the restored group fails the epoch check
+        (``stale-epoch``) instead of double-applying — the sender
+        re-reads the epoch and decides, which is the whole point of the
+        optimistic-concurrency scheme.
+        """
+        group = request["group"]
+        gate = getattr(self.supervisor, "round_gate", None)
+        if gate is not None:
+            await gate(group)
+        try:
+            await self._proxy_membership_gated(request)
+        finally:
+            done = getattr(self.supervisor, "round_done", None)
+            if done is not None:
+                done(group)
+
+    async def _proxy_membership_gated(self, request: Frame) -> None:
+        group = request["group"]
+        seq = request.get("seq")
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.round_deadline_s
+        attempts = 0
+        while attempts < self.config.max_round_retries:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                handle = await self.supervisor.worker_for(group)
+            except (RuntimeError, LookupError):
+                if getattr(self.supervisor, "_closing", False):
+                    break
+                await asyncio.sleep(min(0.05, remaining))
+                continue
+            if not self.gateway.breaker_allow(handle.worker_id):
+                await asyncio.sleep(min(0.05, remaining))
+                continue
+            attempts += 1
+            timeout = min(self.config.upstream_timeout_s, remaining)
+            try:
+                upstream = await asyncio.wait_for(
+                    self._upstream(handle), timeout
+                )
+                await upstream.send(request)
+                reply = await asyncio.wait_for(upstream.stream.next(), timeout)
+            except _UPSTREAM_ERRORS + (ProtocolError,):
+                self.gateway.record_breaker(handle.worker_id, ok=False)
+                await self._worker_trouble(handle.worker_id)
+                continue
+            if reply is None:
+                self.gateway.record_breaker(handle.worker_id, ok=False)
+                await self._worker_trouble(handle.worker_id)
+                continue
+            if reply.type in ("MEMBERSHIP", "ERROR"):
+                self.gateway.record_breaker(handle.worker_id, ok=True)
+                await self._send_client(self._stamp(reply, seq))
+                return
+            self.gateway.record_breaker(handle.worker_id, ok=False)
+            await self._worker_trouble(handle.worker_id)
+        self.gateway.relay_errors += 1
+        await self._send_client(
+            protocol.with_seq(
+                protocol.error_frame(
+                    "shard-unavailable",
+                    f"membership update on group {group!r} kept failing "
+                    "across re-shards",
                 ),
                 seq,
             )

@@ -362,6 +362,20 @@ class ShardWorkerService(MonitoringService):
         # vice versa), and the /metrics scrape stops being exact.
         self._write_group_snapshot(name)
 
+    def apply_membership(
+        self, group_name, op, tag_ids, replacement_ids=None
+    ) -> int:
+        # Same durability ordering as verdicts: the delta is applied
+        # and snapshotted before the MEMBERSHIP ack flushes, so a
+        # SIGKILL can never acknowledge a churn that a survivor's
+        # restore would then silently undo.
+        epoch = super().apply_membership(
+            group_name, op, tag_ids, replacement_ids=replacement_ids
+        )
+        if group_name in self._specs:
+            self._write_group_snapshot(group_name)
+        return epoch
+
     @property
     def verdicts_persisted(self) -> int:
         return sum(len(h) for h in self._history.values())

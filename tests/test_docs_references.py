@@ -26,6 +26,7 @@ DOC_FILES = [
     os.path.join("docs", "SERVING.md"),
     os.path.join("docs", "SHARDING.md"),
     os.path.join("docs", "OBSERVABILITY.md"),
+    os.path.join("docs", "POPULATION.md"),
 ]
 
 _MODULE_RE = re.compile(r"`(repro(?:\.[a-z_]+)+)`")

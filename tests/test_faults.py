@@ -417,7 +417,7 @@ class TestStateV2Resync:
             ambiguous=[2],
         )
         doc = export_state(database, resync=report)
-        assert doc["version"] == 2
+        assert doc["version"] == 3
         loaded = import_resync(doc)
         assert loaded.recovered == {1: 2}
         assert loaded.unresolved == [3]

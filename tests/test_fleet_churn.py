@@ -1,0 +1,202 @@
+"""Fleet campaigns under scripted membership churn (repro.population).
+
+The two campaign-level claims:
+
+* **equivalence** — a churn-free campaign (no plan, or an empty plan)
+  is bit-identical to a pre-population build: same journal digest,
+  every epoch 0, no churn block in the report;
+* **determinism under churn** — a scripted plan applies from its own
+  seed dimension, so the same ``(seed, plan)`` reproduces the same
+  journal digest at any ``--jobs``.
+
+Plus the churn *experiment* (repro.experiments.churn): the maintained
+view holds its planned detection confidence while the stale epoch-0
+view degrades, with false alarms concentrated in decommission-heavy
+mixes.
+"""
+
+import pytest
+
+from repro.experiments.churn import (
+    ChurnStudyConfig,
+    format_churn_result,
+    run_churn_study,
+)
+from repro.fleet import (
+    CampaignConfig,
+    default_scenario,
+    format_campaign_result,
+    run_campaign,
+)
+from repro.population import ChurnPlan
+
+
+def _plan(entries):
+    return ChurnPlan.scripted(entries)
+
+
+SCRIPT = [
+    (1, "group-00", "commission", 3),
+    (2, "group-01", "decommission", 2),
+    (3, "group-02", "replace", 2),
+]
+
+
+class TestCampaignChurn:
+    def test_empty_plan_is_bit_identical_to_no_plan(self):
+        scenario = default_scenario(groups=4)
+        base = CampaignConfig(ticks=4, master_seed=11)
+        churnless = CampaignConfig(
+            ticks=4, master_seed=11, churn_plan=ChurnPlan(())
+        )
+        a = run_campaign(scenario, base)
+        b = run_campaign(scenario, churnless)
+        assert a.journal.digest() == b.journal.digest()
+        assert b.churn_applied == {}
+        assert b.population_epochs == {}
+        assert "membership churn" not in format_campaign_result(b)
+
+    def test_scripted_plan_applies_and_reports(self):
+        scenario = default_scenario(groups=4)
+        config = CampaignConfig(
+            ticks=5, master_seed=11, churn_plan=_plan(SCRIPT)
+        )
+        result = run_campaign(scenario, config)
+        assert result.churn_applied == {
+            "commission": 3,
+            "decommission": 2,
+            "replace": 2,
+        }
+        assert result.population_epochs == {
+            "group-00": 1,
+            "group-01": 1,
+            "group-02": 1,
+        }
+        report = format_campaign_result(result)
+        assert (
+            "membership churn: 3 commissioned, 2 decommissioned, "
+            "2 replaced" in report
+        )
+        assert "group-00=1" in report
+
+    def test_churned_campaign_is_deterministic_across_jobs(self):
+        scenario = default_scenario(groups=4)
+        digests = set()
+        for jobs in (1, 2):
+            config = CampaignConfig(
+                ticks=5, master_seed=11, jobs=jobs, churn_plan=_plan(SCRIPT)
+            )
+            digests.add(run_campaign(scenario, config).journal.digest())
+        assert len(digests) == 1
+
+    def test_unknown_group_in_plan_rejected_upfront(self):
+        scenario = default_scenario(groups=2)
+        config = CampaignConfig(
+            ticks=3,
+            master_seed=11,
+            churn_plan=_plan([(0, "group-99", "commission", 1)]),
+        )
+        with pytest.raises(ValueError):
+            run_campaign(scenario, config)
+
+    def test_decommission_never_breaches_the_tolerance_floor(self):
+        scenario = default_scenario(groups=1)
+        spec = next(iter(scenario.registry))
+        config = CampaignConfig(
+            ticks=3,
+            master_seed=11,
+            churn_plan=_plan([(1, spec.name, "decommission", 10**6)]),
+        )
+        result = run_campaign(scenario, config)
+        moved = result.churn_applied["decommission"]
+        # The clamp: only present tags can retire, and n must stay
+        # above m so the monitoring requirement remains satisfiable.
+        assert 0 < moved <= spec.population - spec.tolerance - 1
+        assert spec.population - moved > spec.tolerance
+
+    def test_churn_events_reach_the_bus(self):
+        from repro.obs import ObsContext
+
+        obs = ObsContext()
+        scenario = default_scenario(groups=4)
+        config = CampaignConfig(
+            ticks=5, master_seed=11, churn_plan=_plan(SCRIPT)
+        )
+        run_campaign(scenario, config, obs=obs)
+        churn_events = [
+            e for e in obs.bus.events() if e.name == "fleet.churn"
+        ]
+        assert [e.fields["op"] for e in churn_events] == [
+            "commission",
+            "decommission",
+            "replace",
+        ]
+        assert all(e.fields["epoch"] == 1 for e in churn_events)
+
+
+class TestChurnStudy:
+    CFG = ChurnStudyConfig(
+        population=300,
+        tolerance=3,
+        confidence=0.9,
+        churn_rates=(0.0, 1.0),
+        mixes=("decommission", "replace"),
+        rounds=40,
+        master_seed=5,
+    )
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_churn_study(self.CFG)
+
+    def test_sweep_shape_and_control_column(self, result):
+        assert len(result.points) == 4  # 2 mixes x 2 rates
+        for p in result.points:
+            if p.churn_rate == 0.0:
+                # the static control: no events, views agree exactly
+                assert p.events_applied == 0
+                assert p.detection_maintained == p.detection_stale
+                assert p.false_alarm_stale_strict == 0.0
+
+    def test_maintained_view_holds_detection_under_churn(self, result):
+        for p in result.points:
+            assert p.detection_maintained >= 0.8  # planned alpha 0.9
+
+    def test_stale_view_pages_after_decommission_churn(self, result):
+        (point,) = [
+            p
+            for p in result.points
+            if p.mix == "decommission" and p.churn_rate == 1.0
+        ]
+        # Every round expects at least one long-gone tag.
+        assert point.false_alarm_stale_strict >= 0.8
+        assert point.final_population == 300 - point.events_applied
+
+    def test_replace_churn_is_all_plan_reuses(self, result):
+        (point,) = [
+            p
+            for p in result.points
+            if p.mix == "replace" and p.churn_rate == 1.0
+        ]
+        assert point.final_population == 300  # n is invariant
+        assert point.replans == 1  # the epoch-0 plan, once
+        assert point.plan_reuses >= point.events_applied
+
+    def test_infeasible_decommission_cell_rejected(self):
+        cfg = ChurnStudyConfig(
+            population=20,
+            tolerance=3,
+            confidence=0.9,
+            churn_rates=(2.0,),
+            mixes=("decommission",),
+            rounds=40,
+            master_seed=5,
+        )
+        with pytest.raises(ValueError):
+            run_churn_study(cfg)
+
+    def test_report_renders(self, result):
+        report = format_churn_result(result)
+        assert "churn: detection confidence and false-alarm rate" in report
+        assert "maintained detection floor:" in report
+        assert "replace" in report and "decommission" in report

@@ -1,0 +1,280 @@
+"""Live membership updates over the serve wire (repro.population).
+
+Covers the MEMBERSHIP frame family end to end on both wire versions:
+apply-and-ack, optimistic-concurrency rejection (``stale-epoch``), the
+epoch-pinned RESEED path, metric/event emission, and the loadgen
+``churn_rate`` knob that drives all of it under load.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.rfid.channel import SlottedChannel
+from repro.rfid.tag import Tag
+from repro.serve import (
+    MonitoringService,
+    ProtocolError,
+    ReaderClient,
+)
+from repro.serve.loadgen import LoadgenConfig, format_loadgen_result, run_loadgen
+
+POP = 40
+SEED = 7
+
+FRESH = 0x5EED_0000  # base for fabricated replacement IDs
+
+
+def _service(**kwargs) -> MonitoringService:
+    svc = MonitoringService(**kwargs)
+    svc.create_group("g0", POP, 2, 0.9, seed=SEED, counter_tags=True)
+    return svc
+
+
+def _channel() -> SlottedChannel:
+    population = MonitoringService.build_population_for(
+        POP, seed=SEED, counter_tags=True
+    )
+    return SlottedChannel(population.tags)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.mark.parametrize("wire", [1, 2])
+class TestMembershipRounds:
+    def test_replace_round_trips_and_keeps_verdicts_intact(self, wire):
+        async def scenario():
+            async with _service() as svc:
+                ch = _channel()
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, ch, wire_version=wire
+                ) as c:
+                    before = await c.run_round("g0", "trp")
+                    victim = ch.tags[0]
+                    epoch = await c.update_membership(
+                        "g0",
+                        "replace",
+                        [victim.tag_id],
+                        replacement_ids=[FRESH + 1],
+                    )
+                    # Mirror the delta on the physical channel: the old
+                    # tag leaves, a factory-fresh one joins.
+                    ch.tags.remove(victim)
+                    ch.tags.append(Tag(FRESH + 1, uses_counter=True))
+                    after = await c.run_round("g0", "trp")
+                    monitor = svc.groups["g0"].monitor
+                    return before, epoch, after, monitor
+
+        before, epoch, after, monitor = run(scenario())
+        assert before.verdict == after.verdict == "intact"
+        assert epoch == 1
+        assert monitor.population_epoch == 1
+        assert monitor.requirement.population == POP
+
+    def test_commission_and_decommission_move_n(self, wire):
+        async def scenario():
+            async with _service() as svc:
+                ch = _channel()
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, ch, wire_version=wire
+                ) as c:
+                    e1 = await c.update_membership(
+                        "g0", "commission", [FRESH + 2, FRESH + 3]
+                    )
+                    ch.tags.append(Tag(FRESH + 2, uses_counter=True))
+                    ch.tags.append(Tag(FRESH + 3, uses_counter=True))
+                    grown = await c.run_round("g0", "trp")
+                    n_grown = svc.groups["g0"].monitor.requirement.population
+
+                    victims = [ch.tags[0], ch.tags[1], ch.tags[2]]
+                    e2 = await c.update_membership(
+                        "g0", "decommission", [t.tag_id for t in victims]
+                    )
+                    for t in victims:
+                        ch.tags.remove(t)
+                    shrunk = await c.run_round("g0", "trp")
+                    n_shrunk = svc.groups["g0"].monitor.requirement.population
+                    return e1, grown, n_grown, e2, shrunk, n_shrunk
+
+        e1, grown, n_grown, e2, shrunk, n_shrunk = run(scenario())
+        assert (e1, e2) == (1, 2)
+        assert grown.verdict == shrunk.verdict == "intact"
+        assert n_grown == POP + 2
+        assert n_shrunk == POP - 1
+
+    def test_utrp_round_survives_replace(self, wire):
+        """The counter mirror tracks the delta: a fresh tag enters at
+        ct = 0 on both sides, so UTRP verdicts stay intact."""
+
+        async def scenario():
+            async with _service() as svc:
+                ch = _channel()
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, ch, wire_version=wire
+                ) as c:
+                    await c.run_round("g0", "utrp")
+                    victim = ch.tags[5]
+                    await c.update_membership(
+                        "g0",
+                        "replace",
+                        [victim.tag_id],
+                        replacement_ids=[FRESH + 4],
+                    )
+                    ch.tags.remove(victim)
+                    ch.tags.append(Tag(FRESH + 4, uses_counter=True))
+                    return await c.run_round("g0", "utrp")
+
+        outcome = run(scenario())
+        assert outcome.verdict == "intact"
+
+    def test_unknown_group_and_bad_delta_are_recoverable(self, wire):
+        async def scenario():
+            async with _service() as svc:
+                ch = _channel()
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, ch, wire_version=wire
+                ) as c:
+                    codes = []
+                    try:
+                        await c.update_membership("nope", "commission", [1])
+                    except ProtocolError as err:
+                        codes.append(err.code)
+                    try:
+                        # decommissioning a tag the group never held
+                        await c.update_membership(
+                            "g0", "decommission", [FRESH + 5]
+                        )
+                    except ProtocolError as err:
+                        codes.append(err.code)
+                    # the session survived both: a round still works
+                    outcome = await c.run_round("g0", "trp")
+                    return codes, outcome
+
+        codes, outcome = run(scenario())
+        assert codes == ["unknown-group", "bad-membership"]
+        assert outcome.verdict == "intact"
+
+    def test_concurrent_writer_gets_stale_epoch(self, wire):
+        """Optimistic concurrency: the second writer's epoch-0 view is
+        rejected after the first writer moved the group to epoch 1."""
+
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), wire_version=wire
+                ) as writer_a, ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), wire_version=wire
+                ) as writer_b:
+                    await writer_a.update_membership(
+                        "g0", "commission", [FRESH + 6]
+                    )
+                    with pytest.raises(ProtocolError) as err:
+                        await writer_b.update_membership(
+                            "g0", "commission", [FRESH + 7]
+                        )
+                    epoch = svc.groups["g0"].monitor.population_epoch
+                    return err.value.code, epoch, writer_a.known_epochs
+
+        code, epoch, known = run(scenario())
+        assert code == "stale-epoch"
+        assert epoch == 1  # the losing update was not applied
+        assert known == {"g0": 1}
+
+    def test_reseed_epoch_pin_rejects_stale_round(self, wire):
+        """A client that has churned pins its RESEEDs to the epoch it
+        knows; a server-side delta behind its back fails the round fast
+        instead of judging the scan against the wrong set."""
+
+        async def scenario():
+            async with _service() as svc:
+                ch = _channel()
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, ch, wire_version=wire
+                ) as c:
+                    await c.update_membership(
+                        "g0", "commission", [FRESH + 8]
+                    )
+                    ch.tags.append(Tag(FRESH + 8, uses_counter=True))
+                    await c.run_round("g0", "trp")  # pinned at 1: fine
+                    # another writer moves the group to epoch 2
+                    svc.apply_membership("g0", "commission", [FRESH + 9])
+                    with pytest.raises(ProtocolError) as err:
+                        await c.run_round("g0", "trp")
+                    return err.value.code
+
+        assert run(scenario()) == "stale-epoch"
+
+
+class TestMembershipObservability:
+    def test_metrics_and_events_are_published(self):
+        from repro.obs import ObsContext, prometheus_text
+
+        obs = ObsContext()
+
+        async def scenario():
+            svc = _service(obs=obs)
+            async with svc:
+                ch = _channel()
+                async with ReaderClient("127.0.0.1", svc.port, ch) as c:
+                    victim = ch.tags[0]
+                    await c.update_membership(
+                        "g0",
+                        "replace",
+                        [victim.tag_id],
+                        replacement_ids=[FRESH + 10],
+                    )
+
+        run(scenario())
+        text = prometheus_text(obs.registry)
+        assert 'population_updates_total{group="g0",op="replace"} 1' in text
+        assert 'population_epoch{group="g0"} 1' in text
+        events = [e for e in obs.bus.events() if e.name == "population.epoch"]
+        assert len(events) == 1
+        assert events[0].fields["epoch"] == 1
+        assert events[0].fields["op"] == "replace"
+
+
+class TestLoadgenChurn:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(churn_rate=-0.5)
+        with pytest.raises(ValueError):
+            LoadgenConfig(churn_rate=1.0, reader="null")
+        with pytest.raises(ValueError):
+            LoadgenConfig(
+                churn_rate=1.0, wire_version=2, pipeline_depth=2
+            )
+        with pytest.raises(ValueError):
+            LoadgenConfig(churn_rate=1.0, groups=2, sessions=4)
+
+    @pytest.mark.parametrize("wire", [1, 2])
+    def test_churned_campaign_is_clean(self, wire):
+        cfg = LoadgenConfig(
+            groups=2,
+            rounds=4,
+            population=50,
+            churn_rate=1.0,
+            wire_version=wire,
+        )
+        result = run_loadgen(cfg)
+        assert result.protocol_errors == 0
+        assert result.verdict_counts == {"intact": 8}
+        assert result.membership_updates == 8  # 1/round x 4 x 2 groups
+        assert result.population_epochs == {"load-000": 4, "load-001": 4}
+        campaign = result.record["timings"][1]
+        assert campaign["churn_rate"] == 1.0
+        assert campaign["membership_updates"] == 8
+        assert campaign["population_epochs"] == result.population_epochs
+        report = format_loadgen_result(result)
+        assert "membership churn : 8 replace updates" in report
+        assert "population epochs: load-000=4, load-001=4" in report
+
+    def test_churn_free_campaign_keeps_pre_population_schema(self):
+        result = run_loadgen(LoadgenConfig(groups=2, rounds=2, population=40))
+        campaign = result.record["timings"][1]
+        assert "churn_rate" not in campaign
+        assert "membership_updates" not in campaign
+        assert "population_epochs" not in campaign
+        assert "membership churn" not in format_loadgen_result(result)

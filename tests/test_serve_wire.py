@@ -92,6 +92,10 @@ SAMPLE_FRAMES = [
     ),
     protocol.verdict_frame("g0", 4, "not-intact", 57, 3, 789.5, True),
     protocol.error_frame("unknown-group", "no group named 'nope'"),
+    protocol.membership_frame("g0", "commission", [1, 2**62], 7),
+    protocol.membership_frame(
+        "g0", "replace", [10, 11], 3, replacement_ids=[20, 21]
+    ),
 ]
 
 
@@ -215,6 +219,71 @@ class TestCodecRejections:
         with pytest.raises(ProtocolError) as err:
             _read_bytes(bytes(data))
         assert err.value.code == "bad-field"
+
+
+class TestMembershipWire:
+    """The additively-negotiated membership family (repro.population).
+
+    Epoch-less traffic must stay byte-identical to pre-population
+    builds on both codecs — the epoch is strictly opt-in — while
+    MEMBERSHIP frames and epoch-stamped RESEEDs round-trip losslessly.
+    """
+
+    @pytest.mark.parametrize("codec", [WireV1, WireV2], ids=["v1", "v2"])
+    def test_membership_frame_roundtrips(self, codec):
+        for frame in SAMPLE_FRAMES[-2:]:
+            decoded = _roundtrip(frame, codec)
+            assert decoded.type == "MEMBERSHIP"
+            assert dict(decoded.payload) == dict(frame.payload)
+
+    @pytest.mark.parametrize("codec", [WireV1, WireV2], ids=["v1", "v2"])
+    def test_epoch_stamped_reseed_roundtrips(self, codec):
+        frame = protocol.reseed("g0", "trp", epoch=5)
+        decoded = _roundtrip(frame, codec)
+        assert decoded["epoch"] == 5
+
+    def test_epoch_none_is_byte_identical_to_pre_population_reseed(self):
+        plain = protocol.reseed("g0", "trp")
+        assert "epoch" not in plain.payload
+        explicit_none = protocol.reseed("g0", "trp", epoch=None)
+        for codec in (WireV1, WireV2):
+            assert codec.encode(explicit_none) == codec.encode(plain)
+        # v2 header: no epoch flag on an epoch-less RESEED
+        assert WireV2.encode(plain)[2] & 0x04 == 0
+
+    def test_epoch_flag_on_non_reseed_is_rejected(self):
+        data = bytearray(WireV2.encode(SAMPLE_FRAMES[1]))  # a CHALLENGE
+        data[2] |= 0x04
+        with pytest.raises(ProtocolError) as err:
+            _read_bytes(bytes(data))
+        assert err.value.code == "bad-field"
+
+    def test_membership_without_replacements_omits_the_field(self):
+        frame = protocol.membership_frame("g0", "decommission", [9], 1)
+        decoded = _roundtrip(frame)
+        assert "replacement_ids" not in decoded.payload
+
+    @pytest.mark.parametrize("wire", [1, 2])
+    def test_churn_free_peers_never_exchange_membership_state(self, wire):
+        """Negotiation matrix, pre-PR interop: a peer that never churns
+        sends epoch-less RESEEDs (byte-identical to pre-population
+        builds per the codec pins above) and sees zero membership
+        traffic either way."""
+
+        async def scenario():
+            async with _service() as svc:
+                async with ReaderClient(
+                    "127.0.0.1", svc.port, _channel(), wire_version=wire
+                ) as c:
+                    await c.run_round("g0", "trp")
+                    await c.run_round("g0", "utrp")
+                    monitor = svc.groups["g0"].monitor
+                    return c.known_epochs, monitor
+
+        known, monitor = run(scenario())
+        assert known == {}  # nothing observed -> nothing ever pinned
+        assert monitor.population_epoch == 0
+        assert monitor.membership_log == []
 
 
 class TestPackedBits:

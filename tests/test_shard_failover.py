@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.serve import MonitoringService, ReaderClient
+from repro.shard.failover import reconcile_snapshots
 from repro.shard import (
     ShardConfig,
     ShardGroupSpec,
@@ -382,3 +383,132 @@ class TestKillDrill:
             run_drill(rounds=0)
         with pytest.raises(ValueError):
             run_drill(concurrency=0)
+
+
+class TestChurnContinuation:
+    """Failover under live membership (repro.population).
+
+    A worker that dies after membership deltas must be adopted at the
+    *latest* population epoch: the snapshot carries the membership log,
+    restore replays it interleaved with the protocol history, and the
+    continued rounds are bit-identical to a never-killed worker serving
+    the same churned group.
+    """
+
+    FRESH = 0x5EED_1000
+
+    async def _churned_rounds(self, service, channel, kill_after=None):
+        """2 rounds, a replace + a commission, 2 more rounds; returns
+        (outcomes, epoch). With kill_after, stop after that many rounds
+        (post-churn kill point is between rounds 3 and 4)."""
+        from repro.rfid.tag import Tag
+
+        outcomes = []
+        async with ReaderClient("127.0.0.1", service.port, channel) as client:
+            for _ in range(2):
+                outcomes.append(await client.run_round("g", "trp"))
+            victim = channel.tags[0]
+            await client.update_membership(
+                "g", "replace", [victim.tag_id],
+                replacement_ids=[self.FRESH],
+            )
+            channel.tags.remove(victim)
+            channel.tags.append(Tag(self.FRESH))
+            await client.update_membership(
+                "g", "commission", [self.FRESH + 1]
+            )
+            channel.tags.append(Tag(self.FRESH + 1))
+            remaining = 2 if kill_after is None else kill_after - 2
+            for _ in range(remaining):
+                outcomes.append(await client.run_round("g", "trp"))
+        return outcomes
+
+    def _reference(self, tmp_path):
+        async def scenario():
+            state_dir = tmp_path / "ref"
+            state_dir.mkdir(exist_ok=True)
+            service = ShardWorkerService(state_dir=str(state_dir))
+            service.host_spec(_spec())
+            channel = _channel()
+            async with service:
+                return await self._churned_rounds(service, channel)
+
+        return asyncio.run(scenario())
+
+    def test_post_churn_failover_is_bit_identical(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        (tmp_path / "state").mkdir(exist_ok=True)
+
+        async def interrupted():
+            channel = _channel()
+            first = ShardWorkerService(state_dir=state_dir)
+            first.host_spec(_spec())
+            async with first:
+                outcomes = await self._churned_rounds(
+                    first, channel, kill_after=3
+                )
+            # first is dead; the survivor adopts the churned snapshot.
+            second = ShardWorkerService(state_dir=state_dir)
+            doc = load_snapshot(state_dir, "g")
+            assert doc["population_epoch"] == 2
+            assert len(doc["membership_log"]) == 2
+            rounds_verified, _ = second.adopt(doc)
+            assert rounds_verified == 3
+            monitor = second.groups["g"].monitor
+            assert monitor.population_epoch == 2
+            assert monitor.requirement.population == POP + 1
+            async with second:
+                async with ReaderClient(
+                    "127.0.0.1", second.port, channel
+                ) as client:
+                    outcomes.append(await client.run_round("g", "trp"))
+            return outcomes
+
+        reference = self._reference(tmp_path)
+        restored = asyncio.run(interrupted())
+        assert list(map(_outcome_key, restored)) == list(
+            map(_outcome_key, reference)
+        )
+        assert all(o.verdict == "intact" for o in restored)
+
+    def test_membership_log_restores_with_original_round_stamps(
+        self, tmp_path
+    ):
+        state_dir = str(tmp_path / "state")
+        (tmp_path / "state").mkdir(exist_ok=True)
+
+        async def scenario():
+            channel = _channel()
+            first = ShardWorkerService(state_dir=state_dir)
+            first.host_spec(_spec())
+            async with first:
+                await self._churned_rounds(first, channel, kill_after=4)
+            second = ShardWorkerService(state_dir=state_dir)
+            second.adopt(load_snapshot(state_dir, "g"))
+            return (
+                load_snapshot(state_dir, "g")["membership_log"],
+                second.groups["g"].monitor.membership_log,
+            )
+
+        persisted, restored = asyncio.run(scenario())
+        # Replay must not re-stamp at_round: a second failover of the
+        # restored worker depends on the original interleave points.
+        assert restored == persisted
+        assert all(entry["at_round"] == 2 for entry in persisted)
+
+    def test_pre_churn_snapshots_omit_population_keys(self, tmp_path):
+        # Byte-level equivalence: a never-churned group's snapshot has
+        # no population_epoch / membership_log keys at all.
+        doc = initial_snapshot(_spec())
+        assert "population_epoch" not in doc
+        assert "membership_log" not in doc
+
+    def test_reconcile_prefers_higher_epoch_at_equal_rounds(self):
+        stale = {"rounds_verified": 5}
+        churned = {"rounds_verified": 5, "population_epoch": 3,
+                   "membership_log": []}
+        assert reconcile_snapshots(stale, churned) == churned
+        assert reconcile_snapshots(churned, stale) == churned
+        # ...but verdict history still dominates the epoch.
+        longer = {"rounds_verified": 6}
+        assert reconcile_snapshots(longer, churned) == longer

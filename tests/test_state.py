@@ -5,7 +5,13 @@ import pytest
 
 from repro.server.database import TagDatabase
 from repro.server.seeds import SeedIssuer
-from repro.server.state import export_state, import_state, load_state, save_state
+from repro.server.state import (
+    export_state,
+    import_population_epoch,
+    import_state,
+    load_state,
+    save_state,
+)
 
 
 def _database(n=10, counters=None):
@@ -164,3 +170,44 @@ class TestValidation:
         restored, _ = import_state(export_state(_database()))
         with pytest.raises(RuntimeError):
             restored.register_set([1])
+
+
+class TestPopulationEpochV3:
+    """Version 3: snapshots carry the membership epoch (repro.population)."""
+
+    def test_export_stamps_version_3_and_epoch(self):
+        doc = export_state(_database(), population_epoch=4)
+        assert doc["version"] == 3
+        assert doc["population_epoch"] == 4
+        assert import_population_epoch(doc) == 4
+
+    def test_epoch_defaults_to_zero(self):
+        assert export_state(_database())["population_epoch"] == 0
+
+    def test_pre_v3_documents_load_with_epoch_zero(self):
+        """The v2 -> v3 migration: an old snapshot has no epoch key and
+        must restore as a never-churned (epoch 0) set."""
+        doc = export_state(_database(5, counters=[1, 2, 3, 4, 5]))
+        del doc["population_epoch"]
+        doc["version"] = 2
+        restored, _ = import_state(doc)
+        assert restored.counters.tolist() == [1, 2, 3, 4, 5]
+        assert import_population_epoch(doc) == 0
+        doc["version"] = 1
+        restored, _ = import_state(doc)
+        assert restored.ids.size == 5
+
+    def test_epoch_round_trips_through_files(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        save_state(path, _database(), population_epoch=7)
+        import json
+
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert import_population_epoch(doc) == 7
+
+    def test_malformed_epoch_rejected(self):
+        base = {"format": "repro-rfid-server-state", "version": 3}
+        for bad in (-1, "3", True, 1.5):
+            with pytest.raises(ValueError):
+                import_population_epoch({**base, "population_epoch": bad})
